@@ -1,0 +1,76 @@
+//! M2: query-bitmap operations — the per-tuple book-keeping of the GQP.
+//! The shared-join step (`bm &= dim | bypass`) and the distributor's
+//! set-bit iteration dominate CJOIN's overhead at low concurrency
+//! (Scenario III's explanation).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use qs_cjoin::{AtomicBitmap, Bitmap};
+use std::hint::black_box;
+
+fn bench_and(c: &mut Criterion) {
+    let mut group = c.benchmark_group("bitmap_and");
+    for bits in [64usize, 256, 1024] {
+        let mut a = Bitmap::zeros(bits);
+        let mut b = Bitmap::zeros(bits);
+        for i in (0..bits).step_by(3) {
+            a.set(i);
+        }
+        for i in (0..bits).step_by(2) {
+            b.set(i);
+        }
+        group.throughput(Throughput::Elements(1));
+        group.bench_with_input(BenchmarkId::new("plain", bits), &bits, |bench, _| {
+            bench.iter(|| {
+                let mut x = a.clone();
+                x.and_assign(black_box(&b));
+                black_box(x.any())
+            })
+        });
+
+        let dim = AtomicBitmap::zeros(bits);
+        let bypass = AtomicBitmap::zeros(bits);
+        for i in (0..bits).step_by(2) {
+            dim.set(i);
+        }
+        bypass.set(bits - 1);
+        group.bench_with_input(
+            BenchmarkId::new("atomic_and_or", bits),
+            &bits,
+            |bench, _| {
+                bench.iter(|| {
+                    let mut x = a.clone();
+                    dim.and_or_into(black_box(&bypass), &mut x);
+                    black_box(x.any())
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_iter_ones(c: &mut Criterion) {
+    let mut group = c.benchmark_group("bitmap_iter_ones");
+    for density in [1usize, 8, 32] {
+        let mut b = Bitmap::zeros(256);
+        for i in (0..256).step_by(256 / density) {
+            b.set(i);
+        }
+        group.bench_with_input(
+            BenchmarkId::new("density", density),
+            &density,
+            |bench, _| {
+                bench.iter(|| {
+                    let mut sum = 0usize;
+                    for q in b.iter_ones() {
+                        sum += q;
+                    }
+                    black_box(sum)
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_and, bench_iter_ones);
+criterion_main!(benches);

@@ -1,0 +1,70 @@
+//! M4: the GQP trade-off in one micro-benchmark — evaluating K concurrent
+//! star queries through one CJOIN pipeline vs K query-centric hash-join
+//! plans in the QPipe engine. At K=1 the query-centric plan wins (no
+//! bitmap book-keeping, no admission); as K grows the single shared fact
+//! scan amortizes and CJOIN catches up — the crossover of Scenarios II/III.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use qs_core::{DbConfig, ExecutionMode, SharingDb};
+use qs_storage::Catalog;
+use qs_workload::ssb::data::{generate_ssb, SsbConfig};
+use qs_workload::ssb::queries::TemplateParams;
+use qs_workload::SsbTemplate;
+use std::hint::black_box;
+use std::sync::Arc;
+
+fn catalog() -> Arc<Catalog> {
+    let cat = Catalog::new();
+    generate_ssb(
+        &cat,
+        &SsbConfig {
+            scale: 0.002,
+            seed: 42,
+            page_bytes: 64 * 1024,
+        },
+    );
+    cat
+}
+
+fn bench_gqp_vs_qc(c: &mut Criterion) {
+    let cat = catalog();
+    let mut group = c.benchmark_group("cjoin_vs_query_centric");
+    group.sample_size(10);
+    for k in [1usize, 4, 8] {
+        // K different variants, as in the randomized scenarios.
+        let plans: Vec<_> = (0..k as u64)
+            .map(|v| {
+                SsbTemplate::Q2_1
+                    .plan(&cat, &TemplateParams::variant(v))
+                    .unwrap()
+            })
+            .collect();
+        for (label, mode) in [
+            ("query_centric", ExecutionMode::QueryCentric),
+            ("gqp", ExecutionMode::Gqp),
+        ] {
+            group.bench_with_input(
+                BenchmarkId::new(label, k),
+                &plans,
+                |b, plans| {
+                    b.iter_batched(
+                        || SharingDb::new(cat.clone(), DbConfig::new(mode)).unwrap(),
+                        |db| {
+                            let tickets = db.submit_batch(plans).unwrap();
+                            std::thread::scope(|s| {
+                                for t in tickets {
+                                    s.spawn(|| black_box(t.collect_pages().unwrap().len()));
+                                }
+                            });
+                        },
+                        criterion::BatchSize::PerIteration,
+                    );
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_gqp_vs_qc);
+criterion_main!(benches);

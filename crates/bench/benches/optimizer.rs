@@ -1,0 +1,162 @@
+//! A3 (optimizer ablations):
+//!
+//! * `star_join_order` — executing a two-dimension star query with the
+//!   selective dimension joined first (the optimizer's choice) vs last
+//!   (the naive FROM order). Probe-side work shrinks when the selective
+//!   join runs first.
+//! * `pushdown` — executing a SQL-bound plan with the residual WHERE
+//!   filter above the joins vs the same plan after predicate pushdown.
+//! * `front_end_cost` — parse+bind+optimize latency for an SSB-style
+//!   statement (the query-centric "optimize each query" cost the paper's
+//!   sharing systems amortize).
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use qs_engine::{EngineConfig, QpipeEngine, SharingPolicy};
+use qs_plan::{optimize_with, OptimizerOptions};
+use qs_sql::plan_sql;
+use qs_storage::{
+    BufferPool, BufferPoolConfig, Catalog, DiskConfig, DiskModel,
+};
+use qs_workload::ssb::data::{generate_ssb, SsbConfig};
+use std::hint::black_box;
+use std::sync::Arc;
+
+const SQL_STAR: &str = "SELECT d_year, SUM(lo_revenue) AS rev \
+                        FROM lineorder \
+                        JOIN date ON lo_orderdate = d_datekey \
+                        JOIN part ON lo_partkey = p_partkey \
+                        WHERE d_year >= 1995 AND p_size < 4 \
+                        GROUP BY d_year";
+
+fn setup() -> (Arc<Catalog>, QpipeEngine) {
+    let catalog = Catalog::new();
+    generate_ssb(
+        &catalog,
+        &SsbConfig {
+            scale: 0.01,
+            seed: 9,
+            page_bytes: 16 * 1024,
+        },
+    );
+    let pool = Arc::new(BufferPool::new(
+        BufferPoolConfig::unbounded(),
+        Arc::new(DiskModel::new(DiskConfig::memory_resident())),
+    ));
+    let engine = QpipeEngine::new(
+        catalog.clone(),
+        pool,
+        EngineConfig {
+            sharing: SharingPolicy::query_centric(),
+            ..Default::default()
+        },
+    );
+    (catalog, engine)
+}
+
+fn options(reorder: bool) -> OptimizerOptions {
+    OptimizerOptions {
+        reorder_joins: reorder,
+        ..OptimizerOptions::default()
+    }
+}
+
+fn bench_star_join_order(c: &mut Criterion) {
+    let (catalog, engine) = setup();
+    let naive = plan_sql(SQL_STAR, &catalog).expect("bind");
+    // `p_size < 4` is the selective predicate; the FROM order joins `date`
+    // (unselective) first. With reordering the part join runs first.
+    let from_order = optimize_with(naive.clone(), &catalog, &options(false)).expect("opt");
+    let reordered = optimize_with(naive, &catalog, &options(true)).expect("opt");
+    assert_ne!(from_order, reordered, "reorder must change the plan");
+
+    let mut group = c.benchmark_group("star_join_order");
+    group.sample_size(20);
+    group.bench_function("from_order", |b| {
+        b.iter(|| {
+            black_box(
+                engine
+                    .submit(&from_order)
+                    .expect("submit")
+                    .collect_rows()
+                    .expect("rows"),
+            )
+        })
+    });
+    group.bench_function("selective_first", |b| {
+        b.iter(|| {
+            black_box(
+                engine
+                    .submit(&reordered)
+                    .expect("submit")
+                    .collect_rows()
+                    .expect("rows"),
+            )
+        })
+    });
+    group.finish();
+}
+
+fn bench_pushdown(c: &mut Criterion) {
+    let (catalog, engine) = setup();
+    let naive = plan_sql(SQL_STAR, &catalog).expect("bind");
+    let no_pushdown = naive.clone();
+    let pushed = optimize_with(
+        naive,
+        &catalog,
+        &OptimizerOptions {
+            reorder_joins: false,
+            ..OptimizerOptions::default()
+        },
+    )
+    .expect("opt");
+
+    let mut group = c.benchmark_group("predicate_pushdown");
+    group.sample_size(20);
+    group.bench_function("filter_above_joins", |b| {
+        b.iter(|| {
+            black_box(
+                engine
+                    .submit(&no_pushdown)
+                    .expect("submit")
+                    .collect_rows()
+                    .expect("rows"),
+            )
+        })
+    });
+    group.bench_function("pushed_into_scans", |b| {
+        b.iter(|| {
+            black_box(
+                engine
+                    .submit(&pushed)
+                    .expect("submit")
+                    .collect_rows()
+                    .expect("rows"),
+            )
+        })
+    });
+    group.finish();
+}
+
+fn bench_front_end_cost(c: &mut Criterion) {
+    let (catalog, _engine) = setup();
+    let mut group = c.benchmark_group("front_end_cost");
+    group.throughput(Throughput::Elements(1));
+    group.bench_function("parse_bind", |b| {
+        b.iter(|| black_box(plan_sql(SQL_STAR, &catalog).expect("bind")))
+    });
+    group.bench_function("parse_bind_optimize", |b| {
+        b.iter(|| {
+            let p = plan_sql(SQL_STAR, &catalog).expect("bind");
+            black_box(optimize_with(p, &catalog, &OptimizerOptions::default()).expect("opt"))
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_star_join_order,
+    bench_pushdown,
+    bench_front_end_cost
+);
+criterion_main!(benches);

@@ -1,0 +1,113 @@
+//! Criterion versions of representative scenario points, scaled down so
+//! `cargo bench` finishes in minutes. The full sweeps live in the
+//! `scenario1..4` binaries.
+//!
+//! * `s1_point`: 8 identical TPC-H Q1 instances, 4 cores — QC vs SP-FIFO
+//!   vs SP-SPL (Scenario I's headline comparison).
+//! * `s4_point`: 6 identical star queries — GQP vs GQP+SP (Scenario IV's
+//!   maximal-similarity point).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use qs_core::{DbConfig, ExecutionMode, SharingDb};
+use qs_engine::{ShareMode, SharingPolicy};
+use qs_storage::Catalog;
+use qs_workload::ssb::data::{generate_ssb, SsbConfig};
+use qs_workload::ssb::queries::TemplateParams;
+use qs_workload::{generate_lineitem, tpch_q1_plan, SsbTemplate, TpchConfig};
+use std::hint::black_box;
+
+fn s1_point(c: &mut Criterion) {
+    let cat = Catalog::new();
+    generate_lineitem(
+        &cat,
+        &TpchConfig {
+            scale: 0.005,
+            seed: 42,
+            page_bytes: 64 * 1024,
+        },
+    );
+    let plan = tpch_q1_plan(&cat, qs_workload::tpch::Q1_CUTOFF).unwrap();
+    let k = 8;
+
+    let mut group = c.benchmark_group("s1_point_8xQ1_4cores");
+    group.sample_size(10);
+    let configs: [(&str, ExecutionMode, Option<SharingPolicy>); 3] = [
+        ("query_centric", ExecutionMode::QueryCentric, None),
+        (
+            "sp_push_fifo",
+            ExecutionMode::SpPush,
+            Some(SharingPolicy::scan_only(ShareMode::Push)),
+        ),
+        (
+            "sp_pull_spl",
+            ExecutionMode::SpPull,
+            Some(SharingPolicy::scan_only(ShareMode::Pull)),
+        ),
+    ];
+    for (label, mode, over) in configs {
+        group.bench_function(label, |b| {
+            b.iter_batched(
+                || {
+                    SharingDb::new(
+                        cat.clone(),
+                        DbConfig {
+                            cores: 4,
+                            sharing_override: over,
+                            ..DbConfig::new(mode)
+                        },
+                    )
+                    .unwrap()
+                },
+                |db| {
+                    let tickets = db.submit_batch(&vec![plan.clone(); k]).unwrap();
+                    std::thread::scope(|s| {
+                        for t in tickets {
+                            s.spawn(|| black_box(t.collect_pages().unwrap().len()));
+                        }
+                    });
+                },
+                criterion::BatchSize::PerIteration,
+            );
+        });
+    }
+    group.finish();
+}
+
+fn s4_point(c: &mut Criterion) {
+    let cat = Catalog::new();
+    generate_ssb(
+        &cat,
+        &SsbConfig {
+            scale: 0.002,
+            seed: 42,
+            page_bytes: 64 * 1024,
+        },
+    );
+    let plan = SsbTemplate::Q2_1
+        .plan(&cat, &TemplateParams::variant(0))
+        .unwrap();
+    let k = 6;
+
+    let mut group = c.benchmark_group("s4_point_6x_identical_star");
+    group.sample_size(10);
+    for (label, mode) in [("gqp", ExecutionMode::Gqp), ("gqp_sp", ExecutionMode::GqpSp)] {
+        group.bench_function(label, |b| {
+            b.iter_batched(
+                || SharingDb::new(cat.clone(), DbConfig::new(mode)).unwrap(),
+                |db| {
+                    let tickets = db.submit_batch(&vec![plan.clone(); k]).unwrap();
+                    std::thread::scope(|s| {
+                        for t in tickets {
+                            s.spawn(|| black_box(t.collect_pages().unwrap().len()));
+                        }
+                    });
+                },
+                criterion::BatchSize::PerIteration,
+            );
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, s1_point, s4_point);
+criterion_main!(benches);

@@ -1,0 +1,71 @@
+//! M3: circular shared scans through the buffer pool — the I/O-layer
+//! sharing both QPipe and CJOIN rely on. Compares the simulated-disk cost
+//! of K concurrent scans when they attach to the circular scan (reusing
+//! buffered pages) vs cold independent scans (pool cleared in between).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use qs_storage::{
+    BufferPool, BufferPoolConfig, Catalog, CircularCursor, DataType, DiskConfig, DiskModel,
+    Schema, TableBuilder,
+};
+use std::hint::black_box;
+use std::sync::Arc;
+use std::time::Duration;
+
+fn setup(rows: i64) -> (Arc<qs_storage::Table>, Arc<BufferPool>) {
+    let catalog = Catalog::new();
+    let schema = Schema::from_pairs(&[("k", DataType::Int), ("v", DataType::Int)]);
+    let mut b = TableBuilder::with_page_bytes("t", schema, 16 * 1024);
+    for i in 0..rows {
+        b.push_values(&[qs_storage::Value::Int(i), qs_storage::Value::Int(i * 7)])
+            .unwrap();
+    }
+    let table = catalog.register(b);
+    let disk = Arc::new(DiskModel::new(DiskConfig {
+        spindles: 7,
+        latency: Duration::from_micros(80),
+    }));
+    let pool = Arc::new(BufferPool::new(BufferPoolConfig::unbounded(), disk));
+    (table, pool)
+}
+
+fn scan_all(table: &Arc<qs_storage::Table>, pool: &BufferPool) -> i64 {
+    let mut cursor = CircularCursor::new(table.clone());
+    let mut sum = 0i64;
+    while let Some(p) = cursor.next_page(pool) {
+        for r in p.iter() {
+            sum += r.i64_col(0);
+        }
+    }
+    sum
+}
+
+fn bench_shared_vs_cold(c: &mut Criterion) {
+    let (table, pool) = setup(40_000); // ~40 pages of 16 KiB
+    let mut group = c.benchmark_group("shared_scan");
+    group.sample_size(10);
+    for k in [2usize, 4, 8] {
+        group.bench_with_input(BenchmarkId::new("circular_shared", k), &k, |b, &k| {
+            b.iter(|| {
+                // First scan warms, the rest ride the buffer pool.
+                std::thread::scope(|s| {
+                    for _ in 0..k {
+                        s.spawn(|| black_box(scan_all(&table, &pool)));
+                    }
+                });
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("cold_independent", k), &k, |b, &k| {
+            b.iter(|| {
+                for _ in 0..k {
+                    pool.clear(); // defeat sharing: every scan pays full I/O
+                    black_box(scan_all(&table, &pool));
+                }
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_shared_vs_cold);
+criterion_main!(benches);

@@ -1,0 +1,124 @@
+//! M1: the mechanism behind Scenario I — distributing one producer's page
+//! stream to K consumers with per-consumer FIFOs + deep copies (push-based
+//! SP) vs one Shared Pages List (pull-based SP).
+//!
+//! The push cost grows linearly with K on the *producer* thread (the
+//! serialization point); the pull cost is flat.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use qs_engine::{CoreGovernor, FifoBuffer, Metrics, OutputHub, PageSource, ShareMode, StageKind};
+use qs_storage::{DataType, Page, PageBuilder, Schema, Value};
+use std::hint::black_box;
+use std::sync::Arc;
+
+fn big_page() -> Arc<Page> {
+    let schema = Schema::from_pairs(&[("a", DataType::Int), ("b", DataType::Int)]);
+    let mut b = PageBuilder::with_bytes(schema, 64 * 1024);
+    let mut i = 0i64;
+    loop {
+        if !b
+            .push_values(&[Value::Int(i), Value::Int(i * 2)])
+            .expect("push")
+        {
+            break;
+        }
+        i += 1;
+    }
+    Arc::new(b.finish())
+}
+
+/// Producer-side cost of emitting `pages` pages to `k` consumers.
+fn bench_hub(c: &mut Criterion) {
+    let page = big_page();
+    let pages = 16usize;
+    let mut group = c.benchmark_group("hub_distribution");
+    group.throughput(Throughput::Bytes((page.byte_len() * pages) as u64));
+    for k in [1usize, 2, 4, 8] {
+        for (label, mode) in [("push", ShareMode::Push), ("pull", ShareMode::Pull)] {
+            group.bench_with_input(
+                BenchmarkId::new(label, k),
+                &k,
+                |bencher, &k| {
+                    bencher.iter_batched(
+                        || {
+                            let metrics = Metrics::new();
+                            let governor = CoreGovernor::new(0, metrics.clone());
+                            let (hub, primary) = OutputHub::new(
+                                mode,
+                                StageKind::Scan,
+                                usize::MAX / 2, // unbounded: isolate copy cost
+                                metrics,
+                                governor,
+                            );
+                            let mut subs = vec![primary];
+                            for _ in 1..k {
+                                subs.push(hub.subscribe().expect("subscribe"));
+                            }
+                            (hub, subs)
+                        },
+                        |(hub, subs)| {
+                            // Producer work only: consumers drain afterwards
+                            // (outside the producer's critical path).
+                            for _ in 0..pages {
+                                hub.push(page.clone()).expect("push");
+                            }
+                            hub.finish();
+                            black_box(subs);
+                        },
+                        criterion::BatchSize::SmallInput,
+                    );
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+/// Raw single-producer/single-consumer transport: FIFO vs SPL.
+fn bench_transport(c: &mut Criterion) {
+    let page = big_page();
+    let pages = 64usize;
+    let mut group = c.benchmark_group("spsc_transport");
+    group.throughput(Throughput::Bytes((page.byte_len() * pages) as u64));
+    group.bench_function("fifo", |b| {
+        b.iter(|| {
+            let (fifo, mut reader) = FifoBuffer::channel(8);
+            std::thread::scope(|s| {
+                s.spawn(|| {
+                    for _ in 0..pages {
+                        fifo.push(page.clone()).unwrap();
+                    }
+                    fifo.finish();
+                });
+                let mut n = 0;
+                while let Some(p) = reader.next_page().unwrap() {
+                    n += p.rows();
+                }
+                black_box(n);
+            });
+        })
+    });
+    group.bench_function("spl", |b| {
+        b.iter(|| {
+            let spl = qs_engine::SharedPagesList::new();
+            let mut reader = spl.reader();
+            std::thread::scope(|s| {
+                s.spawn(|| {
+                    for _ in 0..pages {
+                        spl.append(page.clone()).unwrap();
+                    }
+                    spl.finish();
+                });
+                let mut n = 0;
+                while let Some(p) = reader.next_page().unwrap() {
+                    n += p.rows();
+                }
+                black_box(n);
+            });
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_hub, bench_transport);
+criterion_main!(benches);

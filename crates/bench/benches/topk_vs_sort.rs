@@ -1,0 +1,102 @@
+//! A2 (operator ablation): the heap-based `TopK` operator vs the
+//! `Sort + Limit` plan it replaces (the optimizer's `fuse_topk` rule).
+//!
+//! `Sort` materializes and orders the whole input before `Limit` drops all
+//! but `n` rows; `TopK` keeps `n` rows throughout. The gap widens with the
+//! input/`n` ratio.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use qs_engine::{EngineConfig, QpipeEngine, SharingPolicy};
+use qs_plan::LogicalPlan;
+use qs_storage::{
+    BufferPool, BufferPoolConfig, Catalog, DiskConfig, DiskModel,
+};
+use qs_workload::ssb::data::{generate_ssb, SsbConfig};
+use std::hint::black_box;
+use std::sync::Arc;
+
+fn setup() -> (Arc<Catalog>, QpipeEngine) {
+    let catalog = Catalog::new();
+    generate_ssb(
+        &catalog,
+        &SsbConfig {
+            scale: 0.01,
+            seed: 7,
+            page_bytes: 16 * 1024,
+        },
+    );
+    let pool = Arc::new(BufferPool::new(
+        BufferPoolConfig::unbounded(),
+        Arc::new(DiskModel::new(DiskConfig::memory_resident())),
+    ));
+    let engine = QpipeEngine::new(
+        catalog.clone(),
+        pool,
+        EngineConfig {
+            sharing: SharingPolicy::query_centric(),
+            ..Default::default()
+        },
+    );
+    (catalog, engine)
+}
+
+fn scan() -> LogicalPlan {
+    LogicalPlan::Scan {
+        table: "lineorder".into(),
+        predicate: None,
+        projection: Some(vec![0, 8]), // lo_orderkey, lo_revenue
+    }
+}
+
+fn bench_topk_vs_sort_limit(c: &mut Criterion) {
+    let (catalog, engine) = setup();
+    let rows = catalog.get("lineorder").unwrap().row_count();
+    let mut group = c.benchmark_group("topk_vs_sort_limit");
+    group.throughput(Throughput::Elements(rows as u64));
+    group.sample_size(20);
+
+    for &n in &[10usize, 100, 1000] {
+        let topk = LogicalPlan::TopK {
+            input: Box::new(scan()),
+            keys: vec![(1, false), (0, true)],
+            n,
+        };
+        let sort_limit = LogicalPlan::Limit {
+            input: Box::new(LogicalPlan::Sort {
+                input: Box::new(scan()),
+                keys: vec![(1, false), (0, true)],
+            }),
+            n,
+        };
+        group.bench_with_input(BenchmarkId::new("topk", n), &topk, |b, plan| {
+            b.iter(|| {
+                black_box(
+                    engine
+                        .submit(plan)
+                        .expect("submit")
+                        .collect_rows()
+                        .expect("rows"),
+                )
+            })
+        });
+        group.bench_with_input(
+            BenchmarkId::new("sort_limit", n),
+            &sort_limit,
+            |b, plan| {
+                b.iter(|| {
+                    black_box(
+                        engine
+                            .submit(plan)
+                            .expect("submit")
+                            .collect_rows()
+                            .expect("rows"),
+                    )
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_topk_vs_sort_limit);
+criterion_main!(benches);

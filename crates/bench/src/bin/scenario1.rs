@@ -1,0 +1,33 @@
+//! Scenario I (paper §4.3, Figures 3a & 4): push-based vs pull-based SP
+//! vs query-centric execution. Identical TPC-H Q1 instances are submitted
+//! simultaneously; response time, CPU busy time, copied/shared bytes and
+//! disk reads are reported per concurrency level.
+//!
+//! ```sh
+//! cargo run --release -p qs-bench --bin scenario1 -- \
+//!     --scale 0.02 --cores 8 --disk 0
+//! ```
+
+use qs_bench::{arg, arg_list};
+use qs_core::scenarios::{format_scenario1_table, scenario1, Scenario1Config};
+
+fn main() {
+    let cfg = Scenario1Config {
+        scale: arg("scale", 0.02),
+        clients: arg_list("clients", &[1, 2, 4, 8, 16, 32]),
+        cores: arg("cores", 8),
+        disk_resident: arg("disk", 0usize) != 0,
+        buffer_pool_pages: {
+            let p = arg("pool-pages", 0usize);
+            if p == 0 {
+                None
+            } else {
+                Some(p)
+            }
+        },
+        seed: arg("seed", 42),
+    };
+    eprintln!("scenario1 config: {cfg:?}");
+    let rows = scenario1(&cfg).expect("scenario 1");
+    println!("{}", format_scenario1_table(&rows));
+}

@@ -1,0 +1,34 @@
+//! Scenario II (paper §4.4, Figure 5): impact of concurrency. Throughput
+//! of QPipe with SP on all stages vs the CJOIN GQP, sweeping concurrent
+//! clients; randomized template parameters, 1% selectivity, disk-resident.
+//!
+//! ```sh
+//! cargo run --release -p qs-bench --bin scenario2 -- --scale 0.01 --window-ms 2000
+//! ```
+
+use qs_bench::{arg, arg_list};
+use qs_core::scenarios::{format_throughput_table, scenario2, Scenario2Config};
+use std::time::Duration;
+
+fn main() {
+    let cfg = Scenario2Config {
+        scale: arg("scale", 0.01),
+        clients: arg_list("clients", &[1, 2, 4, 8, 16, 32]),
+        selectivity: arg("selectivity", 0.01),
+        window: Duration::from_millis(arg("window-ms", 2000)),
+        disk_resident: arg("disk", 1usize) != 0,
+        cores: arg("cores", 8),
+        seed: arg("seed", 42),
+        ..Default::default()
+    };
+    eprintln!("scenario2 config: {cfg:?}");
+    let rows = scenario2(&cfg).expect("scenario 2");
+    println!(
+        "{}",
+        format_throughput_table(
+            "Scenario II: impact of concurrency (QPipe+SP vs CJOIN)",
+            "clients",
+            &rows
+        )
+    );
+}

@@ -1,0 +1,37 @@
+//! Scenario III (paper §4.4): impact of selectivity. Throughput of QPipe
+//! with SP vs the CJOIN GQP at low concurrency, memory-resident, sweeping
+//! query selectivity — exposing the GQP's per-tuple book-keeping overhead.
+//!
+//! ```sh
+//! cargo run --release -p qs-bench --bin scenario3 -- --scale 0.01 --clients 2
+//! ```
+
+use qs_bench::arg;
+use qs_core::scenarios::{format_throughput_table, scenario3, Scenario3Config};
+use std::time::Duration;
+
+fn main() {
+    let cfg = Scenario3Config {
+        scale: arg("scale", 0.01),
+        clients: arg("clients", 2),
+        selectivities: {
+            // --selectivities 1,5,10 given in percent
+            let pct = qs_bench::arg_list("selectivities", &[1, 5, 10, 25, 50, 90]);
+            pct.into_iter().map(|p| p as f64 / 100.0).collect()
+        },
+        window: Duration::from_millis(arg("window-ms", 2000)),
+        cores: arg("cores", 8),
+        seed: arg("seed", 42),
+        ..Default::default()
+    };
+    eprintln!("scenario3 config: {cfg:?}");
+    let rows = scenario3(&cfg).expect("scenario 3");
+    println!(
+        "{}",
+        format_throughput_table(
+            "Scenario III: impact of selectivity (QPipe+SP vs CJOIN, low concurrency)",
+            "selectivity",
+            &rows
+        )
+    );
+}

@@ -1,0 +1,35 @@
+//! Scenario IV (paper §4.4): impact of similarity. Throughput and CJOIN
+//! SP hits of GQP vs GQP+SP at high concurrency with batched submission,
+//! sweeping the number of possible distinct plans: fewer plans ⇒ more
+//! common CJOIN sub-plans ⇒ SP converts admissions into subscriptions.
+//!
+//! ```sh
+//! cargo run --release -p qs-bench --bin scenario4 -- --scale 0.01 --clients 16
+//! ```
+
+use qs_bench::{arg, arg_list};
+use qs_core::scenarios::{format_throughput_table, scenario4, Scenario4Config};
+use std::time::Duration;
+
+fn main() {
+    let cfg = Scenario4Config {
+        scale: arg("scale", 0.01),
+        clients: arg("clients", 16),
+        num_plans: arg_list("num-plans", &[1, 2, 4, 8, 16, 32]),
+        window: Duration::from_millis(arg("window-ms", 2000)),
+        disk_resident: arg("disk", 1usize) != 0,
+        cores: arg("cores", 8),
+        seed: arg("seed", 42),
+        ..Default::default()
+    };
+    eprintln!("scenario4 config: {cfg:?}");
+    let rows = scenario4(&cfg).expect("scenario 4");
+    println!(
+        "{}",
+        format_throughput_table(
+            "Scenario IV: impact of similarity (GQP vs GQP+SP, batched)",
+            "num_plans",
+            &rows
+        )
+    );
+}

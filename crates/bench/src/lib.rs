@@ -1,0 +1,55 @@
+//! # qs-bench — benchmark harness
+//!
+//! Two kinds of artefacts:
+//!
+//! * **Scenario binaries** (`scenario1` … `scenario4`): full re-runs of
+//!   the demo's four scenarios, printing the series the GUI plots.
+//!   `cargo run --release -p qs-bench --bin scenario1`.
+//! * **Criterion micro-benches** (`cargo bench -p qs-bench`): the
+//!   mechanism-level measurements behind the scenarios — SPL vs FIFO page
+//!   exchange, bitmap operations, shared scans, CJOIN probe overhead vs a
+//!   plain hash join, and scaled-down scenario sweeps.
+
+use std::env;
+
+/// Parse `--key value`-style overrides from a binary's argument list.
+/// Returns the value for `key` parsed as `T`, or `default`.
+pub fn arg<T: std::str::FromStr>(key: &str, default: T) -> T {
+    let args: Vec<String> = env::args().collect();
+    for w in args.windows(2) {
+        if w[0] == format!("--{key}") {
+            if let Ok(v) = w[1].parse::<T>() {
+                return v;
+            }
+        }
+    }
+    default
+}
+
+/// Parse a comma-separated `--key a,b,c` list, or `default`.
+pub fn arg_list(key: &str, default: &[usize]) -> Vec<usize> {
+    let args: Vec<String> = env::args().collect();
+    for w in args.windows(2) {
+        if w[0] == format!("--{key}") {
+            let parsed: Vec<usize> = w[1]
+                .split(',')
+                .filter_map(|s| s.trim().parse().ok())
+                .collect();
+            if !parsed.is_empty() {
+                return parsed;
+            }
+        }
+    }
+    default.to_vec()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn arg_returns_default_without_flag() {
+        assert_eq!(arg("nonexistent-key", 7usize), 7);
+        assert_eq!(arg_list("nonexistent-key", &[1, 2]), vec![1, 2]);
+    }
+}

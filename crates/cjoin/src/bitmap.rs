@@ -1,0 +1,312 @@
+//! Query bitmaps — the tuple/query correlation mechanism of the GQP.
+//!
+//! Every tuple flowing through the CJOIN pipeline carries a [`Bitmap`]
+//! whose bit `q` means "this tuple is (still) relevant to query `q`".
+//! Shared selections set bits; shared hash joins AND the fact tuple's
+//! bitmap with the matching dimension tuple's bitmap; a tuple whose bitmap
+//! reaches zero is dropped. Dimension-side bitmaps are updated *online*
+//! while the pipeline runs (query admission), so they are atomic
+//! ([`AtomicBitmap`]).
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// A fixed-width bitmap over query slots.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Bitmap {
+    words: Vec<u64>,
+}
+
+impl Bitmap {
+    /// All-zero bitmap able to hold `nbits` query slots.
+    pub fn zeros(nbits: usize) -> Self {
+        Bitmap {
+            words: vec![0; nbits.div_ceil(64).max(1)],
+        }
+    }
+
+    /// Number of 64-bit words.
+    #[inline]
+    pub fn word_count(&self) -> usize {
+        self.words.len()
+    }
+
+    /// Set bit `i`.
+    #[inline]
+    pub fn set(&mut self, i: usize) {
+        self.words[i / 64] |= 1u64 << (i % 64);
+    }
+
+    /// Clear bit `i`.
+    #[inline]
+    pub fn clear(&mut self, i: usize) {
+        self.words[i / 64] &= !(1u64 << (i % 64));
+    }
+
+    /// Read bit `i`.
+    #[inline]
+    pub fn get(&self, i: usize) -> bool {
+        self.words[i / 64] & (1u64 << (i % 64)) != 0
+    }
+
+    /// `self &= other` (the shared hash-join step).
+    #[inline]
+    pub fn and_assign(&mut self, other: &Bitmap) {
+        debug_assert_eq!(self.words.len(), other.words.len());
+        for (a, b) in self.words.iter_mut().zip(&other.words) {
+            *a &= *b;
+        }
+    }
+
+    /// `self &= (other | mask)` in one pass — the join step with a
+    /// bypass mask for queries that do not join this dimension.
+    #[inline]
+    pub fn and_or_assign(&mut self, other: &Bitmap, mask: &Bitmap) {
+        debug_assert_eq!(self.words.len(), other.words.len());
+        debug_assert_eq!(self.words.len(), mask.words.len());
+        for ((a, b), m) in self.words.iter_mut().zip(&other.words).zip(&mask.words) {
+            *a &= *b | *m;
+        }
+    }
+
+    /// `self &= mask` (join step when the key found no dimension match:
+    /// only bypassing queries survive).
+    #[inline]
+    pub fn and_mask(&mut self, mask: &Bitmap) {
+        for (a, m) in self.words.iter_mut().zip(&mask.words) {
+            *a &= *m;
+        }
+    }
+
+    /// Any bit set?
+    #[inline]
+    pub fn any(&self) -> bool {
+        self.words.iter().any(|&w| w != 0)
+    }
+
+    /// Number of set bits.
+    pub fn count_ones(&self) -> usize {
+        self.words.iter().map(|w| w.count_ones() as usize).sum()
+    }
+
+    /// Iterate the indices of set bits, ascending.
+    pub fn iter_ones(&self) -> impl Iterator<Item = usize> + '_ {
+        self.words.iter().enumerate().flat_map(|(wi, &w)| {
+            let mut w = w;
+            std::iter::from_fn(move || {
+                if w == 0 {
+                    None
+                } else {
+                    let b = w.trailing_zeros() as usize;
+                    w &= w - 1;
+                    Some(wi * 64 + b)
+                }
+            })
+        })
+    }
+}
+
+/// A bitmap updated concurrently with readers (dimension hash-table
+/// entries and per-stage bypass masks).
+#[derive(Debug)]
+pub struct AtomicBitmap {
+    words: Vec<AtomicU64>,
+}
+
+impl AtomicBitmap {
+    /// All-zero atomic bitmap for `nbits` slots.
+    pub fn zeros(nbits: usize) -> Self {
+        AtomicBitmap {
+            words: (0..nbits.div_ceil(64).max(1))
+                .map(|_| AtomicU64::new(0))
+                .collect(),
+        }
+    }
+
+    /// Set bit `i`.
+    #[inline]
+    pub fn set(&self, i: usize) {
+        self.words[i / 64].fetch_or(1u64 << (i % 64), Ordering::Release);
+    }
+
+    /// Clear bit `i`.
+    #[inline]
+    pub fn clear(&self, i: usize) {
+        self.words[i / 64].fetch_and(!(1u64 << (i % 64)), Ordering::Release);
+    }
+
+    /// Write bit `i` to `value` (admission sets or clears explicitly so
+    /// slot reuse never sees stale bits).
+    #[inline]
+    pub fn write(&self, i: usize, value: bool) {
+        if value {
+            self.set(i);
+        } else {
+            self.clear(i);
+        }
+    }
+
+    /// Read bit `i`.
+    #[inline]
+    pub fn get(&self, i: usize) -> bool {
+        self.words[i / 64].load(Ordering::Acquire) & (1u64 << (i % 64)) != 0
+    }
+
+    /// Snapshot into a plain bitmap.
+    pub fn snapshot(&self) -> Bitmap {
+        Bitmap {
+            words: self.words.iter().map(|w| w.load(Ordering::Acquire)).collect(),
+        }
+    }
+
+    /// `dst &= (self | mask)` without allocating (hot join path).
+    #[inline]
+    pub fn and_or_into(&self, mask: &AtomicBitmap, dst: &mut Bitmap) {
+        for (i, d) in dst.words.iter_mut().enumerate() {
+            let w = self.words[i].load(Ordering::Acquire);
+            let m = mask.words[i].load(Ordering::Acquire);
+            *d &= w | m;
+        }
+    }
+
+    /// `dst &= self` without allocating.
+    #[inline]
+    pub fn and_into(&self, dst: &mut Bitmap) {
+        for (i, d) in dst.words.iter_mut().enumerate() {
+            *d &= self.words[i].load(Ordering::Acquire);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn set_get_clear() {
+        let mut b = Bitmap::zeros(130);
+        assert_eq!(b.word_count(), 3);
+        b.set(0);
+        b.set(63);
+        b.set(64);
+        b.set(129);
+        assert!(b.get(0) && b.get(63) && b.get(64) && b.get(129));
+        assert!(!b.get(1) && !b.get(128));
+        b.clear(64);
+        assert!(!b.get(64));
+        assert_eq!(b.count_ones(), 3);
+    }
+
+    #[test]
+    fn and_assign_intersects() {
+        let mut a = Bitmap::zeros(64);
+        let mut b = Bitmap::zeros(64);
+        a.set(1);
+        a.set(2);
+        b.set(2);
+        b.set(3);
+        a.and_assign(&b);
+        assert_eq!(a.iter_ones().collect::<Vec<_>>(), vec![2]);
+    }
+
+    #[test]
+    fn and_or_assign_respects_bypass() {
+        // q0 joins the dim (match bit set), q1 bypasses it.
+        let mut tuple = Bitmap::zeros(64);
+        tuple.set(0);
+        tuple.set(1);
+        let mut dim = Bitmap::zeros(64);
+        dim.set(0);
+        let mut bypass = Bitmap::zeros(64);
+        bypass.set(1);
+        tuple.and_or_assign(&dim, &bypass);
+        assert_eq!(tuple.iter_ones().collect::<Vec<_>>(), vec![0, 1]);
+
+        // Dim entry NOT matching q0: q0 dies, q1 survives via bypass.
+        let mut tuple = Bitmap::zeros(64);
+        tuple.set(0);
+        tuple.set(1);
+        let dim0 = Bitmap::zeros(64);
+        tuple.and_or_assign(&dim0, &bypass);
+        assert_eq!(tuple.iter_ones().collect::<Vec<_>>(), vec![1]);
+    }
+
+    #[test]
+    fn and_mask_for_missing_key() {
+        let mut tuple = Bitmap::zeros(64);
+        tuple.set(0);
+        tuple.set(5);
+        let mut bypass = Bitmap::zeros(64);
+        bypass.set(5);
+        tuple.and_mask(&bypass);
+        assert_eq!(tuple.iter_ones().collect::<Vec<_>>(), vec![5]);
+        assert!(tuple.any());
+    }
+
+    #[test]
+    fn iter_ones_across_words() {
+        let mut b = Bitmap::zeros(200);
+        for i in [0, 63, 64, 127, 128, 199] {
+            b.set(i);
+        }
+        assert_eq!(
+            b.iter_ones().collect::<Vec<_>>(),
+            vec![0, 63, 64, 127, 128, 199]
+        );
+    }
+
+    #[test]
+    fn empty_bitmap_any_false() {
+        let b = Bitmap::zeros(64);
+        assert!(!b.any());
+        assert_eq!(b.iter_ones().count(), 0);
+    }
+
+    #[test]
+    fn atomic_write_and_snapshot() {
+        let a = AtomicBitmap::zeros(128);
+        a.set(3);
+        a.set(100);
+        a.write(3, false);
+        a.write(7, true);
+        assert!(!a.get(3));
+        assert!(a.get(7) && a.get(100));
+        let snap = a.snapshot();
+        assert_eq!(snap.iter_ones().collect::<Vec<_>>(), vec![7, 100]);
+    }
+
+    #[test]
+    fn atomic_and_or_into_matches_plain() {
+        let dim = AtomicBitmap::zeros(128);
+        let mask = AtomicBitmap::zeros(128);
+        dim.set(1);
+        dim.set(70);
+        mask.set(2);
+        let mut dst = Bitmap::zeros(128);
+        dst.set(1);
+        dst.set(2);
+        dst.set(70);
+        dst.set(99);
+        dim.and_or_into(&mask, &mut dst);
+        assert_eq!(dst.iter_ones().collect::<Vec<_>>(), vec![1, 2, 70]);
+    }
+
+    #[test]
+    fn concurrent_admission_updates_are_visible() {
+        use std::sync::Arc;
+        let a = Arc::new(AtomicBitmap::zeros(256));
+        let hs: Vec<_> = (0..4)
+            .map(|t| {
+                let a = a.clone();
+                std::thread::spawn(move || {
+                    for i in 0..64 {
+                        a.set(t * 64 + i);
+                    }
+                })
+            })
+            .collect();
+        for h in hs {
+            h.join().unwrap();
+        }
+        assert_eq!(a.snapshot().count_ones(), 256);
+    }
+}

@@ -1,0 +1,989 @@
+//! The CJOIN pipeline: preprocessor → shared hash-joins → distributor.
+//!
+//! CJOIN (Candea, Polyzotis, Vingralek, VLDBJ'11) evaluates *all*
+//! concurrent star queries with one always-on global query plan shaped as
+//! a chain:
+//!
+//! ```text
+//!            ┌────────┐   ┌──────┐        ┌──────┐   ┌─────────────┐
+//!  admit ──▶ │ preproc │──▶│ ⋈ D1 │──...──▶│ ⋈ Dk │──▶│ distributor │──▶ per-query
+//!            │ (circular│  └──────┘        └──────┘   └─────────────┘    outputs
+//!            │ fact scan)│  shared hash-joins (bitmap AND)
+//!            └────────┘
+//! ```
+//!
+//! * The **preprocessor** runs a circular scan of the fact table. For each
+//!   fact tuple it evaluates every active query's fact-side predicate and
+//!   attaches the resulting query bitmap; a query is complete after one
+//!   full revolution from its admission point.
+//! * Each **shared hash-join** holds the dimension's hash table, with a
+//!   per-entry bitmap maintained online by admissions (bit q = the entry
+//!   satisfies query q's dimension predicate) and a per-stage *bypass
+//!   mask* (bit q = query q does not join this dimension). The join step
+//!   is `tuple_bm &= entry_bm | bypass`; tuples whose bitmap reaches zero
+//!   are dropped.
+//! * The **distributor** materializes, for every surviving tuple and every
+//!   set bit, the query's joined row (fact columns, then its dimensions in
+//!   the query's join order) and streams pages into the query's output
+//!   hub ([`qs_engine::OutputHub`], pull mode — so SP can share CJOIN
+//!   outputs, the paper's Figure 2).
+//!
+//! Admission/termination control flows through the same channels as data
+//! (`Msg::Admitted` / `Msg::QueryDone`), so ordering guarantees are free:
+//! a query's output hub is installed downstream before its first tuple,
+//! and finished after its last.
+
+use crate::bitmap::{AtomicBitmap, Bitmap};
+use crate::stats::{CjoinMetrics, CjoinStats};
+use crossbeam::channel::{bounded, Receiver, Sender};
+use parking_lot::Mutex;
+use qs_engine::{ExecCtx, OutputHub, PageSource, ShareMode, StageKind};
+use qs_plan::{Expr, StarQuery};
+use qs_storage::{Catalog, Page, PageBuilder, RowRef, Schema, Table};
+use std::collections::HashMap;
+use std::fmt;
+use std::sync::atomic::Ordering;
+use std::sync::Arc;
+
+/// Errors surfaced by the CJOIN operator.
+#[derive(Debug, Clone, PartialEq)]
+pub enum CjoinError {
+    /// The star query does not fit this pipeline (wrong fact table or an
+    /// unknown (dim, key) pair).
+    Incompatible(String),
+    /// All query slots are in use.
+    Saturated,
+    /// Storage failure during construction.
+    Storage(qs_storage::StorageError),
+}
+
+impl fmt::Display for CjoinError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CjoinError::Incompatible(msg) => write!(f, "incompatible star query: {msg}"),
+            CjoinError::Saturated => write!(f, "pipeline saturated: no free query slots"),
+            CjoinError::Storage(e) => write!(f, "storage: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for CjoinError {}
+
+impl From<qs_storage::StorageError> for CjoinError {
+    fn from(e: qs_storage::StorageError) -> Self {
+        CjoinError::Storage(e)
+    }
+}
+
+/// One dimension position of the pipeline.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DimSpec {
+    /// Dimension table name.
+    pub table: String,
+    /// Fact foreign-key column probing this dimension.
+    pub fact_key: usize,
+    /// Dimension key column.
+    pub dim_key: usize,
+}
+
+/// Pipeline construction parameters.
+#[derive(Debug, Clone)]
+pub struct PipelineSpec {
+    /// Fact table name.
+    pub fact_table: String,
+    /// Dimension chain, in pipeline order.
+    pub dims: Vec<DimSpec>,
+    /// Maximum concurrently admitted queries (bitmap width).
+    pub max_queries: usize,
+    /// Channel depth between pipeline stages, in batches.
+    pub channel_depth: usize,
+    /// Byte budget of distributor output pages.
+    pub out_page_bytes: usize,
+    /// Distributor shards: queries are partitioned by slot across this
+    /// many distributor threads, parallelizing the per-(tuple × query)
+    /// materialization work the way the CJOIN prototype parallelizes its
+    /// pipeline.
+    pub dist_shards: usize,
+    /// Preprocessor workers: fact-predicate evaluation (one eval per
+    /// active query per tuple) is chunked across this many helper threads
+    /// per page — the preprocessor parallelism of the CJOIN prototype.
+    pub preproc_workers: usize,
+}
+
+impl PipelineSpec {
+    /// Spec with defaults for `max_queries`/`channel_depth`/page size.
+    pub fn new(fact_table: impl Into<String>, dims: Vec<DimSpec>) -> Self {
+        PipelineSpec {
+            fact_table: fact_table.into(),
+            dims,
+            max_queries: 64,
+            channel_depth: 4,
+            out_page_bytes: qs_storage::DEFAULT_PAGE_BYTES,
+            dist_shards: 4,
+            preproc_workers: 4,
+        }
+    }
+}
+
+struct DimEntry {
+    row: Box<[u8]>,
+    bitmap: AtomicBitmap,
+}
+
+struct DimData {
+    spec: DimSpec,
+    schema: Arc<Schema>,
+    entries: Vec<DimEntry>,
+    by_key: HashMap<i64, u32>,
+    bypass: AtomicBitmap,
+}
+
+/// Installed per query at the distributor.
+struct QueryOutput {
+    hub: Arc<OutputHub>,
+    builder: PageBuilder,
+    /// Pipeline dim indices in the query's join order.
+    dim_order: Vec<u32>,
+    out_schema: Arc<Schema>,
+}
+
+struct Batch {
+    page: Arc<Page>,
+    rows: Vec<u32>,
+    bitmaps: Vec<Bitmap>,
+    /// `dim_hits[d][i]`: matched entry index at pipeline dim `d` for tuple
+    /// `i` (`u32::MAX` = no match, survived via bypass). Filled stage by
+    /// stage.
+    dim_hits: Vec<Vec<u32>>,
+}
+
+enum Msg {
+    Batch(Batch),
+    Admitted(u32, Box<QueryOutput>),
+    QueryDone(u32),
+}
+
+/// Messages delivered to distributor shards: batches are broadcast
+/// (shared), control messages are routed to the owning shard.
+enum DistMsg {
+    Batch(Arc<Batch>),
+    Admitted(u32, Box<QueryOutput>),
+    QueryDone(u32),
+}
+
+enum Ctl {
+    Admit {
+        slot: u32,
+        fact_pred: Option<Expr>,
+        output: Box<QueryOutput>,
+    },
+    /// Early removal (cancellation): stop feeding the query and finish its
+    /// output at the next page boundary.
+    Remove(u32),
+    Shutdown,
+}
+
+/// Cancels an admitted query early (before its revolution completes).
+/// Cheap to clone and `Send`; cancelling an already-finished query is a
+/// no-op.
+#[derive(Clone)]
+pub struct CjoinCancel {
+    ctl_tx: Sender<Ctl>,
+    slot: u32,
+}
+
+impl CjoinCancel {
+    /// Request removal. The query's output stream ends (cleanly) at the
+    /// next fact-page boundary instead of after the full revolution.
+    pub fn cancel(&self) {
+        let _ = self.ctl_tx.send(Ctl::Remove(self.slot));
+    }
+}
+
+/// Handle returned by [`CjoinPipeline::admit`].
+pub struct CjoinQuery {
+    /// Stream of joined pages for this query (fact cols ++ dim cols in the
+    /// query's join order). Ends after one full fact revolution.
+    pub reader: Box<dyn PageSource>,
+    /// The output hub (pull mode) — `qs-core` registers it for SP so a
+    /// second identical CJOIN sub-plan can subscribe instead of being
+    /// admitted.
+    pub hub: Arc<OutputHub>,
+    /// Schema of the joined rows.
+    pub schema: Arc<Schema>,
+    /// The slot (bitmap bit) this query occupies until completion.
+    pub slot: u32,
+    /// Early-cancellation handle (paper Fig. 1a's "cancel" arrow, applied
+    /// to the CJOIN stage).
+    pub cancel: CjoinCancel,
+}
+
+/// Per-dimension cache of the predicates of *active* queries, used to
+/// de-duplicate admission work: when a new query brings a predicate
+/// identical to one already evaluated for an active query on the same
+/// dimension, its bits are copied from that query's instead of
+/// re-evaluating the predicate over every entry (the CJOIN prototype's
+/// predicate-sharing optimization).
+type PredCache = Mutex<Vec<HashMap<u64, (Option<Expr>, u32)>>>;
+
+/// The always-on CJOIN operator.
+pub struct CjoinPipeline {
+    fact: Arc<Table>,
+    fact_schema: Arc<Schema>,
+    dims: Arc<Vec<DimData>>,
+    ctl_tx: Sender<Ctl>,
+    free_slots: Arc<Mutex<Vec<u32>>>,
+    pred_cache: Arc<PredCache>,
+    max_queries: usize,
+    out_page_bytes: usize,
+    ctx: Arc<ExecCtx>,
+    metrics: Arc<CjoinMetrics>,
+    threads: Mutex<Vec<std::thread::JoinHandle<()>>>,
+}
+
+fn pred_key(pred: &Option<Expr>) -> u64 {
+    match pred {
+        None => 0x716a_f00d_0000_0001, // sentinel for "no predicate"
+        Some(e) => qs_plan::signature::expr_signature(e),
+    }
+}
+
+impl CjoinPipeline {
+    /// Build the pipeline: loads every dimension hash table and starts the
+    /// stage threads. The pipeline idles until the first admission.
+    pub fn new(
+        ctx: Arc<ExecCtx>,
+        catalog: &Catalog,
+        spec: &PipelineSpec,
+    ) -> Result<Self, CjoinError> {
+        let fact = catalog.get(&spec.fact_table)?;
+        let fact_schema = fact.schema().clone();
+        for d in &spec.dims {
+            if d.fact_key >= fact_schema.len() {
+                return Err(CjoinError::Incompatible(format!(
+                    "fact key {} out of range for `{}`",
+                    d.fact_key, spec.fact_table
+                )));
+            }
+        }
+
+        // Build dimension hash tables (reading through the buffer pool:
+        // this is real, accounted I/O, like CJOIN's startup).
+        let mut dims = Vec::with_capacity(spec.dims.len());
+        for d in &spec.dims {
+            let table = catalog.get(&d.table)?;
+            let schema = table.schema().clone();
+            if d.dim_key >= schema.len() {
+                return Err(CjoinError::Incompatible(format!(
+                    "dim key {} out of range for `{}`",
+                    d.dim_key, d.table
+                )));
+            }
+            let mut entries = Vec::with_capacity(table.row_count());
+            let mut by_key = HashMap::with_capacity(table.row_count());
+            let mut cursor = qs_storage::CircularCursor::from_position(table.clone(), 0);
+            while let Some(page) = cursor.next_page(&ctx.pool) {
+                for row in page.iter() {
+                    let idx = entries.len() as u32;
+                    by_key.insert(row.i64_col(d.dim_key), idx);
+                    entries.push(DimEntry {
+                        row: row.bytes().to_vec().into_boxed_slice(),
+                        bitmap: AtomicBitmap::zeros(spec.max_queries),
+                    });
+                }
+            }
+            dims.push(DimData {
+                spec: d.clone(),
+                schema,
+                entries,
+                by_key,
+                bypass: AtomicBitmap::zeros(spec.max_queries),
+            });
+        }
+        let dims = Arc::new(dims);
+        let metrics = Arc::new(CjoinMetrics::default());
+
+        // Wire the chain: preproc -> dim[0] -> ... -> dim[k-1] -> dist.
+        let (ctl_tx, ctl_rx) = bounded::<Ctl>(spec.max_queries.max(16));
+        let mut threads = Vec::new();
+        let (head_tx, mut prev_rx) = bounded::<Msg>(spec.channel_depth.max(1));
+
+        // Preprocessor helper pool (parallel fact-predicate evaluation).
+        let (job_tx, job_rx) = bounded::<ChunkJob>(spec.preproc_workers.max(1) * 2);
+        for w in 0..spec.preproc_workers.max(1) {
+            let job_rx = job_rx.clone();
+            let ctx = ctx.clone();
+            threads.push(
+                std::thread::Builder::new()
+                    .name(format!("cjoin-pre{w}"))
+                    .spawn(move || preproc_worker_loop(job_rx, ctx))
+                    .expect("spawn preproc worker"),
+            );
+        }
+        drop(job_rx);
+
+        // Preprocessor thread.
+        {
+            let fact = fact.clone();
+            let ctx = ctx.clone();
+            let metrics = metrics.clone();
+            let max_queries = spec.max_queries;
+            threads.push(
+                std::thread::Builder::new()
+                    .name("cjoin-preproc".into())
+                    .spawn(move || {
+                        preprocessor_loop(
+                            fact, ctx, metrics, max_queries, ctl_rx, head_tx, job_tx,
+                        )
+                    })
+                    .expect("spawn preprocessor"),
+            );
+        }
+
+        // One thread per shared hash-join.
+        for dim_idx in 0..dims.len() {
+            let (tx, rx) = bounded::<Msg>(spec.channel_depth.max(1));
+            let dims = dims.clone();
+            let ctx = ctx.clone();
+            let metrics = metrics.clone();
+            let in_rx = prev_rx;
+            threads.push(
+                std::thread::Builder::new()
+                    .name(format!("cjoin-dim{dim_idx}"))
+                    .spawn(move || dim_stage_loop(dim_idx, dims, ctx, metrics, in_rx, tx))
+                    .expect("spawn dim stage"),
+            );
+            prev_rx = rx;
+        }
+
+        // Distributor shards: slot s is owned by shard s % dist_shards.
+        let free_slots: Arc<Mutex<Vec<u32>>> =
+            Arc::new(Mutex::new((0..spec.max_queries as u32).rev().collect()));
+        let pred_cache: Arc<PredCache> =
+            Arc::new(Mutex::new(vec![HashMap::new(); dims.len()]));
+        let shards = spec.dist_shards.max(1);
+        let mut shard_txs: Vec<Sender<DistMsg>> = Vec::with_capacity(shards);
+        for shard in 0..shards {
+            let (tx, rx) = bounded::<DistMsg>(spec.channel_depth.max(1));
+            shard_txs.push(tx);
+            let dims = dims.clone();
+            let ctx = ctx.clone();
+            let metrics = metrics.clone();
+            let free = free_slots.clone();
+            let cache = pred_cache.clone();
+            threads.push(
+                std::thread::Builder::new()
+                    .name(format!("cjoin-dist{shard}"))
+                    .spawn(move || distributor_loop(dims, ctx, metrics, free, cache, rx))
+                    .expect("spawn distributor"),
+            );
+        }
+        // Fan-out thread: broadcasts batches to every shard, routes
+        // admissions/completions to the owning shard.
+        {
+            threads.push(
+                std::thread::Builder::new()
+                    .name("cjoin-fanout".into())
+                    .spawn(move || {
+                        while let Ok(msg) = prev_rx.recv() {
+                            match msg {
+                                Msg::Batch(b) => {
+                                    let b = Arc::new(b);
+                                    for tx in &shard_txs {
+                                        if tx.send(DistMsg::Batch(b.clone())).is_err() {
+                                            return;
+                                        }
+                                    }
+                                }
+                                Msg::Admitted(slot, out) => {
+                                    let shard = slot as usize % shard_txs.len();
+                                    if shard_txs[shard]
+                                        .send(DistMsg::Admitted(slot, out))
+                                        .is_err()
+                                    {
+                                        return;
+                                    }
+                                }
+                                Msg::QueryDone(slot) => {
+                                    let shard = slot as usize % shard_txs.len();
+                                    if shard_txs[shard]
+                                        .send(DistMsg::QueryDone(slot))
+                                        .is_err()
+                                    {
+                                        return;
+                                    }
+                                }
+                            }
+                        }
+                    })
+                    .expect("spawn fanout"),
+            );
+        }
+
+        Ok(CjoinPipeline {
+            fact,
+            fact_schema,
+            dims,
+            ctl_tx,
+            free_slots,
+            pred_cache,
+            max_queries: spec.max_queries,
+            out_page_bytes: spec.out_page_bytes,
+            ctx,
+            metrics,
+            threads: Mutex::new(threads),
+        })
+    }
+
+    /// Maximum concurrent queries.
+    pub fn capacity(&self) -> usize {
+        self.max_queries
+    }
+
+    /// Free slots remaining.
+    pub fn free_slots(&self) -> usize {
+        self.free_slots.lock().len()
+    }
+
+    /// Counters.
+    pub fn stats(&self) -> CjoinStats {
+        self.metrics.snapshot()
+    }
+
+    /// Reset counters (between experiment points).
+    pub fn reset_stats(&self) {
+        self.metrics.reset();
+    }
+
+    /// Admit a star query into the GQP. Returns the stream of its joined
+    /// tuples; the query is complete when the stream ends (one full fact
+    /// revolution).
+    pub fn admit(&self, star: &StarQuery) -> Result<CjoinQuery, CjoinError> {
+        if star.fact_table != self.fact.name() {
+            return Err(CjoinError::Incompatible(format!(
+                "fact table `{}` (pipeline serves `{}`)",
+                star.fact_table,
+                self.fact.name()
+            )));
+        }
+        // Map the query's dims (its join order) onto pipeline positions.
+        let mut dim_order = Vec::with_capacity(star.dims.len());
+        for d in &star.dims {
+            let idx = self
+                .dims
+                .iter()
+                .position(|p| {
+                    p.spec.table == d.table
+                        && p.spec.fact_key == d.fact_key
+                        && p.spec.dim_key == d.dim_key
+                })
+                .ok_or_else(|| {
+                    CjoinError::Incompatible(format!(
+                        "join ⋈ {} on fact.{} = dim.{} not in the pipeline",
+                        d.table, d.fact_key, d.dim_key
+                    ))
+                })?;
+            if dim_order.contains(&(idx as u32)) {
+                return Err(CjoinError::Incompatible(format!(
+                    "dimension `{}` joined twice",
+                    d.table
+                )));
+            }
+            dim_order.push(idx as u32);
+        }
+
+        let slot = self
+            .free_slots
+            .lock()
+            .pop()
+            .ok_or(CjoinError::Saturated)?;
+
+        // Update dimension bitmaps and bypass masks *before* the query's
+        // bit can appear on any tuple (the admit control message below is
+        // what makes the preprocessor start setting it).
+        let mut evals = 0u64;
+        let mut dedup_hits = 0u64;
+        {
+            let mut cache = self.pred_cache.lock();
+            for (idx, dim) in self.dims.iter().enumerate() {
+                match dim_order.iter().position(|&d| d == idx as u32) {
+                    Some(pos) => {
+                        dim.bypass.write(slot as usize, false);
+                        let pred = star.dims[pos].predicate.clone();
+                        let key = pred_key(&pred);
+                        // Predicate sharing: an *active* query with the
+                        // identical predicate on this dimension already
+                        // computed these bits — copy them.
+                        let source = cache[idx]
+                            .get(&key)
+                            .filter(|(p, _)| *p == pred)
+                            .map(|(_, s)| *s);
+                        match source {
+                            Some(src) if src != slot => {
+                                for e in &dim.entries {
+                                    e.bitmap.write(slot as usize, e.bitmap.get(src as usize));
+                                }
+                                dedup_hits += 1;
+                            }
+                            _ => {
+                                for e in &dim.entries {
+                                    let keep = match &pred {
+                                        Some(p) => {
+                                            p.eval(&RowRef::new(&e.row, &dim.schema))
+                                        }
+                                        None => true,
+                                    };
+                                    e.bitmap.write(slot as usize, keep);
+                                    evals += 1;
+                                }
+                                cache[idx].insert(key, (pred, slot));
+                            }
+                        }
+                    }
+                    None => {
+                        dim.bypass.write(slot as usize, true);
+                        // Entries' bits for this slot are irrelevant
+                        // (bypass short-circuits).
+                    }
+                }
+            }
+        }
+        self.metrics
+            .admission_evals
+            .fetch_add(evals, Ordering::Relaxed);
+        self.metrics
+            .admission_dedup_hits
+            .fetch_add(dedup_hits, Ordering::Relaxed);
+
+        // Output schema: fact columns, then each dim's columns in the
+        // query's join order — identical to the query-centric join chain.
+        let mut out_schema = self.fact_schema.clone();
+        for &d in &dim_order {
+            out_schema = out_schema.join(&self.dims[d as usize].schema);
+        }
+
+        let (hub, reader) = OutputHub::new(
+            ShareMode::Pull,
+            StageKind::Cjoin,
+            16,
+            self.ctx.metrics.clone(),
+            self.ctx.governor.clone(),
+        );
+        let output = Box::new(QueryOutput {
+            hub: hub.clone(),
+            builder: PageBuilder::with_bytes(out_schema.clone(), self.out_page_bytes),
+            dim_order,
+            out_schema: out_schema.clone(),
+        });
+        self.metrics.admissions.fetch_add(1, Ordering::Relaxed);
+        self.ctl_tx
+            .send(Ctl::Admit {
+                slot,
+                fact_pred: star.fact_predicate.clone(),
+                output,
+            })
+            .expect("preprocessor alive");
+        // Slot is returned to the allocator by the distributor when the
+        // revolution completes — see `distributor_loop`.
+        Ok(CjoinQuery {
+            reader,
+            hub,
+            schema: out_schema,
+            slot,
+            cancel: CjoinCancel {
+                ctl_tx: self.ctl_tx.clone(),
+                slot,
+            },
+        })
+    }
+}
+
+impl Drop for CjoinPipeline {
+    fn drop(&mut self) {
+        let _ = self.ctl_tx.send(Ctl::Shutdown);
+        for h in self.threads.lock().drain(..) {
+            let _ = h.join();
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Stage bodies
+// ---------------------------------------------------------------------
+
+struct ActiveQuery {
+    slot: u32,
+    fact_pred: Option<Expr>,
+    remaining_pages: usize,
+}
+
+/// A unit of parallel fact-predicate evaluation: rows `range` of `page`
+/// against the predicate snapshot; passing rows and their bitmaps are
+/// replied with the chunk id so the preprocessor can reassemble in order.
+struct ChunkJob {
+    page: Arc<Page>,
+    range: std::ops::Range<usize>,
+    preds: Arc<Vec<(u32, Option<Expr>)>>,
+    max_queries: usize,
+    chunk_id: usize,
+    reply: Sender<(usize, Vec<u32>, Vec<Bitmap>)>,
+}
+
+fn eval_chunk(job: &ChunkJob) -> (Vec<u32>, Vec<Bitmap>) {
+    let mut rows = Vec::with_capacity(job.range.len());
+    let mut bitmaps = Vec::with_capacity(job.range.len());
+    for i in job.range.clone() {
+        let row = job.page.row(i);
+        let mut bm = Bitmap::zeros(job.max_queries);
+        for (slot, pred) in job.preds.iter() {
+            let pass = pred.as_ref().map(|p| p.eval(&row)).unwrap_or(true);
+            if pass {
+                bm.set(*slot as usize);
+            }
+        }
+        if bm.any() {
+            rows.push(i as u32);
+            bitmaps.push(bm);
+        }
+    }
+    (rows, bitmaps)
+}
+
+fn preproc_worker_loop(job_rx: Receiver<ChunkJob>, ctx: Arc<ExecCtx>) {
+    while let Ok(job) = job_rx.recv() {
+        let (rows, bitmaps) = ctx.governor.run(|| eval_chunk(&job));
+        let _ = job.reply.send((job.chunk_id, rows, bitmaps));
+    }
+}
+
+fn preprocessor_loop(
+    fact: Arc<Table>,
+    ctx: Arc<ExecCtx>,
+    metrics: Arc<CjoinMetrics>,
+    max_queries: usize,
+    ctl_rx: Receiver<Ctl>,
+    out: Sender<Msg>,
+    job_tx: Sender<ChunkJob>,
+) {
+    let mut active: Vec<ActiveQuery> = Vec::new();
+    let mut pos = 0usize;
+    let pages = fact.page_count();
+    'outer: loop {
+        // Apply pending control messages; block when idle.
+        loop {
+            let ctl = if active.is_empty() {
+                match ctl_rx.recv() {
+                    Ok(c) => c,
+                    Err(_) => break 'outer,
+                }
+            } else {
+                match ctl_rx.try_recv() {
+                    Ok(c) => c,
+                    Err(crossbeam::channel::TryRecvError::Empty) => break,
+                    Err(crossbeam::channel::TryRecvError::Disconnected) => break 'outer,
+                }
+            };
+            match ctl {
+                Ctl::Admit {
+                    slot,
+                    fact_pred,
+                    output,
+                } => {
+                    if out.send(Msg::Admitted(slot, output)).is_err() {
+                        break 'outer;
+                    }
+                    if pages == 0 {
+                        // Empty fact table: the query completes instantly.
+                        if out.send(Msg::QueryDone(slot)).is_err() {
+                            break 'outer;
+                        }
+                    } else {
+                        active.push(ActiveQuery {
+                            slot,
+                            fact_pred,
+                            remaining_pages: pages,
+                        });
+                    }
+                }
+                Ctl::Remove(slot) => {
+                    // Only forward QueryDone if the query is still active;
+                    // a natural completion may have raced the removal (in
+                    // which case its QueryDone is already in flight and
+                    // the slot must not be double-freed).
+                    let before = active.len();
+                    active.retain(|q| q.slot != slot);
+                    if active.len() < before && out.send(Msg::QueryDone(slot)).is_err() {
+                        break 'outer;
+                    }
+                }
+                Ctl::Shutdown => break 'outer,
+            }
+        }
+
+        if active.is_empty() {
+            continue;
+        }
+
+        // One page of the circular fact scan.
+        let page = ctx.pool.get(&fact, pos);
+        fact.advance_clock(pos);
+        pos = (pos + 1) % pages;
+        metrics.fact_pages.fetch_add(1, Ordering::Relaxed);
+
+        // Evaluate every active query's fact predicate on every row —
+        // chunked across the preprocessor worker pool when the page and
+        // query count justify the fan-out.
+        let preds: Arc<Vec<(u32, Option<Expr>)>> = Arc::new(
+            active
+                .iter()
+                .map(|q| (q.slot, q.fact_pred.clone()))
+                .collect(),
+        );
+        let n_rows = page.rows();
+        let parallel = n_rows * active.len() >= 512;
+        let (mut rows, mut bitmaps) = if parallel {
+            let chunks = 4usize;
+            let step = n_rows.div_ceil(chunks);
+            let (reply_tx, reply_rx) = bounded(chunks);
+            let mut sent = 0usize;
+            for (cid, start) in (0..n_rows).step_by(step.max(1)).enumerate() {
+                let job = ChunkJob {
+                    page: page.clone(),
+                    range: start..(start + step).min(n_rows),
+                    preds: preds.clone(),
+                    max_queries,
+                    chunk_id: cid,
+                    reply: reply_tx.clone(),
+                };
+                if job_tx.send(job).is_err() {
+                    break 'outer;
+                }
+                sent += 1;
+            }
+            drop(reply_tx);
+            let mut parts: Vec<(usize, Vec<u32>, Vec<Bitmap>)> =
+                reply_rx.iter().take(sent).collect();
+            parts.sort_by_key(|(cid, _, _)| *cid);
+            let mut rows = Vec::with_capacity(n_rows);
+            let mut bitmaps = Vec::with_capacity(n_rows);
+            for (_, r, b) in parts {
+                rows.extend(r);
+                bitmaps.extend(b);
+            }
+            (rows, bitmaps)
+        } else {
+            ctx.governor.run(|| {
+                eval_chunk(&ChunkJob {
+                    page: page.clone(),
+                    range: 0..n_rows,
+                    preds: preds.clone(),
+                    max_queries,
+                    chunk_id: 0,
+                    reply: {
+                        // unused for the inline path
+                        let (tx, _rx) = bounded(1);
+                        tx
+                    },
+                })
+            })
+        };
+        rows.shrink_to_fit();
+        bitmaps.shrink_to_fit();
+        metrics
+            .tuples_in
+            .fetch_add(rows.len() as u64, Ordering::Relaxed);
+        if out
+            .send(Msg::Batch(Batch {
+                page,
+                rows,
+                bitmaps,
+                dim_hits: Vec::new(),
+            }))
+            .is_err()
+        {
+            break;
+        }
+
+        // Retire queries whose revolution completed.
+        let mut done: Vec<u32> = Vec::new();
+        active.retain_mut(|q| {
+            q.remaining_pages -= 1;
+            if q.remaining_pages == 0 {
+                done.push(q.slot);
+                false
+            } else {
+                true
+            }
+        });
+        for slot in done {
+            if out.send(Msg::QueryDone(slot)).is_err() {
+                break 'outer;
+            }
+        }
+    }
+    // Channel closes on drop; downstream stages drain and exit.
+}
+
+fn dim_stage_loop(
+    dim_idx: usize,
+    dims: Arc<Vec<DimData>>,
+    ctx: Arc<ExecCtx>,
+    metrics: Arc<CjoinMetrics>,
+    in_rx: Receiver<Msg>,
+    out: Sender<Msg>,
+) {
+    let dim = &dims[dim_idx];
+    while let Ok(msg) = in_rx.recv() {
+        match msg {
+            Msg::Batch(mut batch) => {
+                let before = batch.rows.len();
+                let mut hits: Vec<u32> = vec![u32::MAX; before];
+                let mut keep: Vec<bool> = vec![false; before];
+                ctx.governor.run(|| {
+                    for (t, &row_idx) in batch.rows.iter().enumerate() {
+                        let row = batch.page.row(row_idx as usize);
+                        let key = row.i64_col(dim.spec.fact_key);
+                        match dim.by_key.get(&key) {
+                            Some(&eidx) => {
+                                let e = &dim.entries[eidx as usize];
+                                e.bitmap
+                                    .and_or_into(&dim.bypass, &mut batch.bitmaps[t]);
+                                hits[t] = eidx;
+                            }
+                            None => {
+                                dim.bypass.and_into(&mut batch.bitmaps[t]);
+                            }
+                        }
+                        keep[t] = batch.bitmaps[t].any();
+                    }
+                });
+                // Compact the batch, dropping dead tuples.
+                let survivors = keep.iter().filter(|&&k| k).count();
+                if survivors < before {
+                    metrics
+                        .tuples_dropped
+                        .fetch_add((before - survivors) as u64, Ordering::Relaxed);
+                    let mut idx = 0usize;
+                    batch.rows.retain(|_| {
+                        let k = keep[idx];
+                        idx += 1;
+                        k
+                    });
+                    let mut idx = 0usize;
+                    batch.bitmaps.retain(|_| {
+                        let k = keep[idx];
+                        idx += 1;
+                        k
+                    });
+                    for col in &mut batch.dim_hits {
+                        let mut idx = 0usize;
+                        col.retain(|_| {
+                            let k = keep[idx];
+                            idx += 1;
+                            k
+                        });
+                    }
+                    let mut idx = 0usize;
+                    hits.retain(|_| {
+                        let k = keep[idx];
+                        idx += 1;
+                        k
+                    });
+                }
+                batch.dim_hits.push(hits);
+                if !batch.rows.is_empty() && out.send(Msg::Batch(batch)).is_err() {
+                    return;
+                }
+            }
+            other => {
+                if out.send(other).is_err() {
+                    return;
+                }
+            }
+        }
+    }
+}
+
+fn distributor_loop(
+    dims: Arc<Vec<DimData>>,
+    ctx: Arc<ExecCtx>,
+    metrics: Arc<CjoinMetrics>,
+    free_slots: Arc<Mutex<Vec<u32>>>,
+    pred_cache: Arc<PredCache>,
+    in_rx: Receiver<DistMsg>,
+) {
+    let mut outputs: HashMap<u32, Box<QueryOutput>> = HashMap::new();
+    let mut rowbuf: Vec<u8> = Vec::new();
+    while let Ok(msg) = in_rx.recv() {
+        match msg {
+            DistMsg::Admitted(slot, output) => {
+                outputs.insert(slot, output);
+            }
+            DistMsg::QueryDone(slot) => {
+                if let Some(mut out) = outputs.remove(&slot) {
+                    if !out.builder.is_empty() {
+                        let page = out.builder.finish_and_reset();
+                        let _ = out.hub.push(Arc::new(page));
+                    }
+                    out.hub.finish();
+                    metrics.completions.fetch_add(1, Ordering::Relaxed);
+                }
+                // The slot's predicate-cache entries die with it.
+                {
+                    let mut cache = pred_cache.lock();
+                    for per_dim in cache.iter_mut() {
+                        per_dim.retain(|_, (_, s)| *s != slot);
+                    }
+                }
+                free_slots.lock().push(slot);
+            }
+            DistMsg::Batch(batch) => {
+                if outputs.is_empty() {
+                    continue; // none of this shard's queries are active
+                }
+                let mut flushes: Vec<(u32, Arc<Page>)> = Vec::new();
+                ctx.governor.run(|| {
+                    for (t, &row_idx) in batch.rows.iter().enumerate() {
+                        let fact_row = batch.page.row(row_idx as usize);
+                        for q in batch.bitmaps[t].iter_ones() {
+                            let Some(out) = outputs.get_mut(&(q as u32)) else {
+                                continue;
+                            };
+                            rowbuf.clear();
+                            rowbuf.extend_from_slice(fact_row.bytes());
+                            for &d in &out.dim_order {
+                                let eidx = batch.dim_hits[d as usize][t];
+                                debug_assert_ne!(
+                                    eidx,
+                                    u32::MAX,
+                                    "query joined this dim, so it must have matched"
+                                );
+                                rowbuf.extend_from_slice(
+                                    &dims[d as usize].entries[eidx as usize].row,
+                                );
+                            }
+                            debug_assert_eq!(rowbuf.len(), out.out_schema.row_size());
+                            if !out.builder.push_encoded(&rowbuf) {
+                                let page = out.builder.finish_and_reset();
+                                flushes.push((q as u32, Arc::new(page)));
+                                let ok = out.builder.push_encoded(&rowbuf);
+                                debug_assert!(ok);
+                            }
+                            metrics.rows_out.fetch_add(1, Ordering::Relaxed);
+                        }
+                    }
+                });
+                for (q, page) in flushes {
+                    if let Some(out) = outputs.get(&q) {
+                        // A dropped reader is fine: the SPL keeps accepting.
+                        let _ = out.hub.push(page);
+                    }
+                }
+            }
+        }
+    }
+    // Pipeline shutting down: abort any query still open.
+    for (_, out) in outputs.drain() {
+        out.hub.abort("cjoin pipeline shut down");
+    }
+}

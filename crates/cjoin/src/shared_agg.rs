@@ -1,0 +1,459 @@
+//! Shared aggregation over bitmap-annotated tuples — the GQP extension
+//! the demo's related work points at (DataPath and SharedDB advance
+//! global query plans beyond shared joins to shared *aggregations*).
+//!
+//! The CJOIN distributor materializes a separate output stream per query
+//! and every query then aggregates its stream with a query-centric
+//! operator: `Q` queries touch each joined tuple `Q` times. A shared
+//! aggregation instead consumes the *annotated* tuple stream once,
+//! **before** routing: for each tuple it extracts each distinct grouping
+//! key once and folds the tuple into the accumulator tables of exactly
+//! the queries whose bitmap bit survived the join chain.
+//!
+//! Sharing structure:
+//!
+//! * Queries with the same `group_by` columns form a **grouping class**;
+//!   the (byte-encoded) group key is computed once per class per tuple,
+//!   no matter how many queries share it.
+//! * Within a class, each query keeps its own accumulator row (its
+//!   aggregates may differ), keyed by the shared group key.
+//!
+//! The trade-off mirrors the paper's shared-operator rule of thumb: one
+//! pass over the joined stream (wins at high query counts) versus
+//! per-tuple bitmap iteration and hash-map indirection per query
+//! (book-keeping that loses at low counts). The `shared_agg` bench
+//! regenerates exactly this crossover.
+
+use crate::bitmap::Bitmap;
+use qs_engine::agg::{finalize_acc, make_acc, update_acc, Acc};
+use qs_plan::AggSpec;
+use qs_storage::{Page, Schema, Value};
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// The aggregation a single query wants over the joined tuple stream.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AggPlan {
+    /// Group-by columns (indices into the joined schema).
+    pub group_by: Vec<usize>,
+    /// Aggregate outputs.
+    pub aggs: Vec<AggSpec>,
+}
+
+/// Per-query accumulator table.
+struct QueryState {
+    /// Query slot (bitmap bit) this state belongs to.
+    slot: u32,
+    /// Grouping class index (shared key extraction).
+    class: usize,
+    aggs: Vec<AggSpec>,
+    /// group key bytes → accumulators, insertion-ordered via `order`.
+    groups: HashMap<Vec<u8>, Vec<Acc>>,
+    order: Vec<Vec<u8>>,
+}
+
+/// One distinct `group_by` column set.
+struct GroupClass {
+    group_by: Vec<usize>,
+    /// Queries in this class (indices into `queries`).
+    members: Vec<usize>,
+    /// Scratch buffer for the current tuple's key.
+    key_buf: Vec<u8>,
+}
+
+/// Shared aggregation operator: single pass over annotated tuples, one
+/// accumulator table per admitted query.
+pub struct SharedAggregator {
+    in_schema: Arc<Schema>,
+    queries: Vec<QueryState>,
+    classes: Vec<GroupClass>,
+    /// slot → query index (dense map; slots are small integers).
+    by_slot: HashMap<u32, usize>,
+    tuples_seen: u64,
+    updates_applied: u64,
+}
+
+impl SharedAggregator {
+    /// Create an aggregator over tuples of `in_schema` (the joined row
+    /// layout the CJOIN distributor produces).
+    pub fn new(in_schema: Arc<Schema>) -> Self {
+        SharedAggregator {
+            in_schema,
+            queries: Vec::new(),
+            classes: Vec::new(),
+            by_slot: HashMap::new(),
+            tuples_seen: 0,
+            updates_applied: 0,
+        }
+    }
+
+    /// Register the aggregation of query `slot`. Queries registering a
+    /// `group_by` already seen join that grouping class and share its key
+    /// extraction work.
+    pub fn register(&mut self, slot: u32, plan: AggPlan) {
+        let class = match self
+            .classes
+            .iter()
+            .position(|c| c.group_by == plan.group_by)
+        {
+            Some(i) => i,
+            None => {
+                self.classes.push(GroupClass {
+                    group_by: plan.group_by.clone(),
+                    members: Vec::new(),
+                    key_buf: Vec::new(),
+                });
+                self.classes.len() - 1
+            }
+        };
+        let qidx = self.queries.len();
+        self.classes[class].members.push(qidx);
+        self.by_slot.insert(slot, qidx);
+        self.queries.push(QueryState {
+            slot,
+            class,
+            aggs: plan.aggs,
+            groups: HashMap::new(),
+            order: Vec::new(),
+        });
+    }
+
+    /// Number of distinct grouping classes (shared key extractions per
+    /// tuple).
+    pub fn class_count(&self) -> usize {
+        self.classes.len()
+    }
+
+    /// Registered query count.
+    pub fn query_count(&self) -> usize {
+        self.queries.len()
+    }
+
+    /// Tuples consumed so far.
+    pub fn tuples_seen(&self) -> u64 {
+        self.tuples_seen
+    }
+
+    /// Accumulator updates applied so far (one per relevant (tuple, query)
+    /// pair — the shared operator's book-keeping metric).
+    pub fn updates_applied(&self) -> u64 {
+        self.updates_applied
+    }
+
+    /// Fold one annotated page: `bitmaps[i]` is the surviving bitmap of
+    /// row `i`.
+    pub fn push_page(&mut self, page: &Page, bitmaps: &[Bitmap]) {
+        debug_assert_eq!(page.rows(), bitmaps.len());
+        // Disjoint field borrows: classes hold the shared key scratch,
+        // queries hold the accumulator tables.
+        let classes = &mut self.classes;
+        let queries = &mut self.queries;
+        let in_schema = &self.in_schema;
+        for (i, row) in page.iter().enumerate() {
+            let bm = &bitmaps[i];
+            if !bm.any() {
+                continue;
+            }
+            self.tuples_seen += 1;
+            // Key extraction once per class that has a relevant member.
+            for class in classes.iter_mut() {
+                let relevant = class
+                    .members
+                    .iter()
+                    .any(|&q| bm.get(queries[q].slot as usize));
+                if !relevant {
+                    continue;
+                }
+                class.key_buf.clear();
+                for &g in &class.group_by {
+                    class.key_buf.extend_from_slice(row.col_bytes(g));
+                }
+                let key = &class.key_buf;
+                for &q in &class.members {
+                    let state = &mut queries[q];
+                    if !bm.get(state.slot as usize) {
+                        continue;
+                    }
+                    let entry = match state.groups.get_mut(key.as_slice()) {
+                        Some(e) => e,
+                        None => {
+                            state.order.push(key.clone());
+                            let accs: Vec<Acc> = state
+                                .aggs
+                                .iter()
+                                .map(|a| make_acc(&a.func, in_schema))
+                                .collect();
+                            state.groups.entry(key.clone()).or_insert(accs)
+                        }
+                    };
+                    for (acc, spec) in entry.iter_mut().zip(&state.aggs) {
+                        update_acc(acc, &spec.func, &row);
+                    }
+                    self.updates_applied += 1;
+                }
+            }
+        }
+    }
+
+    /// Finish query `slot`: its result rows (group values then aggregate
+    /// values, groups in first-seen order). Removing the state frees the
+    /// slot for the caller's bookkeeping; unknown slots return `None`.
+    pub fn finish(&mut self, slot: u32) -> Option<Vec<Vec<Value>>> {
+        let qidx = self.by_slot.remove(&slot)?;
+        // Swap out the state; leave a tombstone so indices stay stable.
+        let class_idx = self.queries[qidx].class;
+        let state = std::mem::replace(
+            &mut self.queries[qidx],
+            QueryState {
+                slot: u32::MAX,
+                class: class_idx,
+                aggs: Vec::new(),
+                groups: HashMap::new(),
+                order: Vec::new(),
+            },
+        );
+        let class = &self.classes[state.class];
+        let group_by = class.group_by.clone();
+        let mut out = Vec::with_capacity(state.order.len().max(1));
+        // A scalar aggregate over zero tuples still yields one row.
+        if group_by.is_empty() && state.order.is_empty() {
+            let accs: Vec<Acc> = state
+                .aggs
+                .iter()
+                .map(|a| make_acc(&a.func, &self.in_schema))
+                .collect();
+            out.push(accs.iter().map(finalize_acc).collect());
+            return Some(out);
+        }
+        for key in &state.order {
+            let accs = &state.groups[key];
+            let mut row: Vec<Value> = Vec::with_capacity(group_by.len() + accs.len());
+            // Decode the group key bytes back into values.
+            let mut off = 0usize;
+            for &g in &group_by {
+                let w = self.in_schema.dtype(g).width();
+                row.push(decode_col(&key[off..off + w], self.in_schema.dtype(g)));
+                off += w;
+            }
+            for acc in accs {
+                row.push(finalize_acc(acc));
+            }
+            out.push(row);
+        }
+        Some(out)
+    }
+}
+
+/// Decode one fixed-width column value from its row encoding.
+fn decode_col(bytes: &[u8], dtype: qs_storage::DataType) -> Value {
+    use qs_storage::DataType;
+    match dtype {
+        DataType::Int => Value::Int(i64::from_le_bytes(
+            bytes.try_into().expect("8-byte Int column"),
+        )),
+        DataType::Float => Value::Float(f64::from_le_bytes(
+            bytes.try_into().expect("8-byte Float column"),
+        )),
+        DataType::Date => Value::Date(u32::from_le_bytes(
+            bytes.try_into().expect("4-byte Date column"),
+        )),
+        DataType::Char(_) => Value::Str(
+            std::str::from_utf8(bytes)
+                .unwrap_or("")
+                .trim_end_matches(' ')
+                .to_string(),
+        ),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qs_plan::{AggFunc, AggSpec};
+    use qs_storage::{DataType, Schema};
+
+    fn schema() -> Arc<Schema> {
+        Schema::from_pairs(&[
+            ("g", DataType::Int),
+            ("v", DataType::Int),
+            ("f", DataType::Float),
+        ])
+    }
+
+    fn page(rows: &[(i64, i64, f64)]) -> Page {
+        let vals: Vec<Vec<Value>> = rows
+            .iter()
+            .map(|&(g, v, f)| vec![Value::Int(g), Value::Int(v), Value::Float(f)])
+            .collect();
+        Page::from_values(&schema(), &vals).unwrap()
+    }
+
+    fn bm(n: usize, bits: &[usize]) -> Bitmap {
+        let mut b = Bitmap::zeros(n);
+        for &i in bits {
+            b.set(i);
+        }
+        b
+    }
+
+    #[test]
+    fn single_query_matches_plain_aggregation() {
+        let mut agg = SharedAggregator::new(schema());
+        agg.register(
+            0,
+            AggPlan {
+                group_by: vec![0],
+                aggs: vec![
+                    AggSpec::new(AggFunc::Sum(1), "s"),
+                    AggSpec::new(AggFunc::Count, "n"),
+                ],
+            },
+        );
+        let p = page(&[(1, 10, 0.5), (2, 20, 1.5), (1, 30, 2.5)]);
+        let bms: Vec<Bitmap> = (0..3).map(|_| bm(4, &[0])).collect();
+        agg.push_page(&p, &bms);
+        let rows = agg.finish(0).unwrap();
+        assert_eq!(
+            rows,
+            vec![
+                vec![Value::Int(1), Value::Int(40), Value::Int(2)],
+                vec![Value::Int(2), Value::Int(20), Value::Int(1)],
+            ]
+        );
+    }
+
+    #[test]
+    fn bitmap_routes_tuples_per_query() {
+        let mut agg = SharedAggregator::new(schema());
+        for slot in [0u32, 1u32] {
+            agg.register(
+                slot,
+                AggPlan {
+                    group_by: vec![],
+                    aggs: vec![AggSpec::new(AggFunc::Count, "n")],
+                },
+            );
+        }
+        let p = page(&[(1, 1, 0.0), (2, 2, 0.0), (3, 3, 0.0)]);
+        // Row 0 → both; row 1 → only q0; row 2 → only q1.
+        let bms = vec![bm(4, &[0, 1]), bm(4, &[0]), bm(4, &[1])];
+        agg.push_page(&p, &bms);
+        assert_eq!(agg.finish(0).unwrap(), vec![vec![Value::Int(2)]]);
+        assert_eq!(agg.finish(1).unwrap(), vec![vec![Value::Int(2)]]);
+    }
+
+    #[test]
+    fn grouping_classes_shared() {
+        let mut agg = SharedAggregator::new(schema());
+        // Three queries, two distinct group_by sets.
+        agg.register(
+            0,
+            AggPlan {
+                group_by: vec![0],
+                aggs: vec![AggSpec::new(AggFunc::Sum(1), "a")],
+            },
+        );
+        agg.register(
+            1,
+            AggPlan {
+                group_by: vec![0],
+                aggs: vec![AggSpec::new(AggFunc::Avg(2), "b")],
+            },
+        );
+        agg.register(
+            2,
+            AggPlan {
+                group_by: vec![0, 1],
+                aggs: vec![AggSpec::new(AggFunc::Count, "c")],
+            },
+        );
+        assert_eq!(agg.class_count(), 2);
+        assert_eq!(agg.query_count(), 3);
+    }
+
+    #[test]
+    fn zero_bitmap_rows_skipped() {
+        let mut agg = SharedAggregator::new(schema());
+        agg.register(
+            0,
+            AggPlan {
+                group_by: vec![],
+                aggs: vec![AggSpec::new(AggFunc::Count, "n")],
+            },
+        );
+        let p = page(&[(1, 1, 0.0), (2, 2, 0.0)]);
+        let bms = vec![bm(4, &[]), bm(4, &[0])];
+        agg.push_page(&p, &bms);
+        assert_eq!(agg.tuples_seen(), 1);
+        assert_eq!(agg.finish(0).unwrap(), vec![vec![Value::Int(1)]]);
+    }
+
+    #[test]
+    fn scalar_aggregate_over_no_tuples_yields_zero_row() {
+        let mut agg = SharedAggregator::new(schema());
+        agg.register(
+            0,
+            AggPlan {
+                group_by: vec![],
+                aggs: vec![AggSpec::new(AggFunc::Count, "n")],
+            },
+        );
+        assert_eq!(agg.finish(0).unwrap(), vec![vec![Value::Int(0)]]);
+        // Double-finish returns None (slot state consumed).
+        assert!(agg.finish(0).is_none());
+    }
+
+    #[test]
+    fn group_key_decoding_all_types() {
+        let s = Schema::from_pairs(&[
+            ("i", DataType::Int),
+            ("d", DataType::Date),
+            ("c", DataType::Char(4)),
+        ]);
+        let p = Page::from_values(
+            &s,
+            &[vec![
+                Value::Int(-7),
+                Value::Date(19971231),
+                Value::Str("ab".into()),
+            ]],
+        )
+        .unwrap();
+        let mut agg = SharedAggregator::new(s);
+        agg.register(
+            0,
+            AggPlan {
+                group_by: vec![0, 1, 2],
+                aggs: vec![AggSpec::new(AggFunc::Count, "n")],
+            },
+        );
+        agg.push_page(&p, &[bm(1, &[0])]);
+        assert_eq!(
+            agg.finish(0).unwrap(),
+            vec![vec![
+                Value::Int(-7),
+                Value::Date(19971231),
+                Value::Str("ab".into()),
+                Value::Int(1)
+            ]]
+        );
+    }
+
+    #[test]
+    fn update_accounting() {
+        let mut agg = SharedAggregator::new(schema());
+        for slot in 0..3u32 {
+            agg.register(
+                slot,
+                AggPlan {
+                    group_by: vec![0],
+                    aggs: vec![AggSpec::new(AggFunc::Count, "n")],
+                },
+            );
+        }
+        let p = page(&[(1, 1, 0.0)]);
+        agg.push_page(&p, &[bm(4, &[0, 2])]);
+        assert_eq!(agg.tuples_seen(), 1);
+        assert_eq!(agg.updates_applied(), 2);
+    }
+}

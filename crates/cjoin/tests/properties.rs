@@ -1,0 +1,226 @@
+//! Property-based tests for CJOIN: for random mini star schemas, random
+//! predicates and random admission interleavings, every query's GQP output
+//! equals its query-centric evaluation — the fundamental transparency
+//! invariant of proactive sharing.
+
+use proptest::prelude::*;
+use qs_cjoin::{Bitmap, CjoinPipeline, DimSpec, PipelineSpec};
+use qs_engine::reference::{assert_rows_match, eval};
+use qs_engine::{CoreGovernor, ExecCtx, Metrics, PageSource};
+use qs_plan::{CmpOp, Expr, LogicalPlan, StarQuery};
+use qs_storage::{
+    BufferPool, BufferPoolConfig, Catalog, DataType, DiskConfig, DiskModel, Schema, TableBuilder,
+    Value,
+};
+use std::sync::Arc;
+
+fn ctx() -> Arc<ExecCtx> {
+    let metrics = Metrics::new();
+    Arc::new(ExecCtx {
+        pool: Arc::new(BufferPool::new(
+            BufferPoolConfig::unbounded(),
+            Arc::new(DiskModel::new(DiskConfig::memory_resident())),
+        )),
+        governor: CoreGovernor::new(0, metrics.clone()),
+        metrics,
+        out_page_bytes: 256,
+    })
+}
+
+/// A generated mini star schema: fact with `n_dims` FK columns + value,
+/// dims with key + attribute.
+#[derive(Debug, Clone)]
+struct MiniStar {
+    dim_sizes: Vec<i64>,
+    fact_rows: Vec<Vec<i64>>, // fk per dim + value
+}
+
+fn mini_star() -> impl Strategy<Value = MiniStar> {
+    (1usize..=3)
+        .prop_flat_map(|n_dims| {
+            let dims = prop::collection::vec(2i64..12, n_dims);
+            dims.prop_flat_map(move |dim_sizes| {
+                let sizes = dim_sizes.clone();
+                let fact_row = sizes
+                    .iter()
+                    // key domain slightly larger than the dim: dangling FKs
+                    .map(|&s| 0i64..s + 2)
+                    .chain(std::iter::once(0i64..100))
+                    .collect::<Vec<_>>();
+                prop::collection::vec(fact_row, 1..120).prop_map(move |fact_rows| MiniStar {
+                    dim_sizes: dim_sizes.clone(),
+                    fact_rows,
+                })
+            })
+        })
+}
+
+fn build_catalog(star: &MiniStar) -> Arc<Catalog> {
+    let cat = Catalog::new();
+    for (d, &size) in star.dim_sizes.iter().enumerate() {
+        let schema = Schema::from_pairs(&[("k", DataType::Int), ("a", DataType::Int)]);
+        let mut b = TableBuilder::with_page_bytes(format!("d{d}"), schema, 64);
+        for k in 0..size {
+            b.push_values(&[Value::Int(k), Value::Int(k % 4)]).unwrap();
+        }
+        cat.register(b);
+    }
+    let mut cols: Vec<(String, DataType)> = (0..star.dim_sizes.len())
+        .map(|d| (format!("fk{d}"), DataType::Int))
+        .collect();
+    cols.push(("val".to_string(), DataType::Int));
+    let schema = Schema::new(
+        cols.into_iter()
+            .map(|(n, t)| qs_storage::Column::new(n, t))
+            .collect(),
+    );
+    let mut b = TableBuilder::with_page_bytes("fact", schema, 128);
+    for row in &star.fact_rows {
+        let vals: Vec<Value> = row.iter().map(|&v| Value::Int(v)).collect();
+        b.push_values(&vals).unwrap();
+    }
+    cat.register(b);
+    cat
+}
+
+fn pipeline_spec(star: &MiniStar) -> PipelineSpec {
+    PipelineSpec {
+        max_queries: 8,
+        channel_depth: 2,
+        out_page_bytes: 256,
+        ..PipelineSpec::new(
+            "fact",
+            (0..star.dim_sizes.len())
+                .map(|d| DimSpec {
+                    table: format!("d{d}"),
+                    fact_key: d,
+                    dim_key: 0,
+                })
+                .collect(),
+        )
+    }
+}
+
+/// A random star query over the mini schema: subset of dims (at least
+/// one), random attribute predicates, optional fact predicate.
+fn star_plan(star: &MiniStar, choice: &[Option<(CmpOp, i64)>], fact_pred: Option<i64>) -> LogicalPlan {
+    let n_dims = star.dim_sizes.len();
+    let mut cur = LogicalPlan::Scan {
+        table: "fact".into(),
+        predicate: fact_pred.map(|v| Expr::Cmp {
+            col: n_dims, // val
+            op: CmpOp::Ge,
+            lit: Value::Int(v),
+        }),
+        projection: None,
+    };
+    for (d, sel) in choice.iter().enumerate() {
+        let Some((op, lit)) = sel else { continue };
+        cur = LogicalPlan::HashJoin {
+            build: Box::new(LogicalPlan::Scan {
+                table: format!("d{d}"),
+                predicate: Some(Expr::Cmp {
+                    col: 1,
+                    op: *op,
+                    lit: Value::Int(*lit),
+                }),
+                projection: None,
+            }),
+            probe: Box::new(cur),
+            build_key: 0,
+            probe_key: d,
+        };
+    }
+    cur
+}
+
+fn drain(mut r: Box<dyn PageSource>) -> Vec<Vec<Value>> {
+    let mut out = Vec::new();
+    while let Some(p) = r.next_page().unwrap() {
+        out.extend(p.to_values());
+    }
+    out
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn gqp_equals_query_centric_for_random_stars(
+        star in mini_star(),
+        // up to 4 concurrent queries, each choosing dims and predicates
+        specs in prop::collection::vec(
+            (
+                prop::collection::vec(
+                    prop::option::of((
+                        prop_oneof![Just(CmpOp::Eq), Just(CmpOp::Le), Just(CmpOp::Ne)],
+                        0i64..4,
+                    )),
+                    3,
+                ),
+                prop::option::of(0i64..100),
+            ),
+            1..4,
+        ),
+    ) {
+        let cat = build_catalog(&star);
+        let pipe = CjoinPipeline::new(ctx(), &cat, &pipeline_spec(&star)).unwrap();
+        let n_dims = star.dim_sizes.len();
+
+        let mut plans = Vec::new();
+        for (choice, fact_pred) in &specs {
+            let mut choice = choice[..n_dims].to_vec();
+            // ensure at least one dim joined (star queries need a join)
+            if choice.iter().all(|c| c.is_none()) {
+                choice[0] = Some((CmpOp::Le, 3));
+            }
+            plans.push(star_plan(&star, &choice, *fact_pred));
+        }
+
+        // Admit all queries (interleaved with the pipeline running), then
+        // drain them concurrently.
+        let queries: Vec<_> = plans
+            .iter()
+            .map(|p| {
+                let sq = StarQuery::detect(p, &cat).expect("star");
+                pipe.admit(&sq).expect("admit")
+            })
+            .collect();
+        let results: Vec<_> = std::thread::scope(|s| {
+            let handles: Vec<_> = queries
+                .into_iter()
+                .map(|q| s.spawn(move || drain(q.reader)))
+                .collect();
+            handles.into_iter().map(|h| h.join().unwrap()).collect()
+        });
+        for (plan, got) in plans.iter().zip(results) {
+            let expected = eval(plan, &cat).unwrap();
+            assert_rows_match(got, expected, 0.0);
+        }
+    }
+
+    /// Bitmap algebra: and_or_assign(self, dim, mask) == self & (dim|mask)
+    /// computed bit by bit.
+    #[test]
+    fn bitmap_and_or_matches_bitwise_model(
+        a in prop::collection::vec(any::<bool>(), 130),
+        b in prop::collection::vec(any::<bool>(), 130),
+        m in prop::collection::vec(any::<bool>(), 130),
+    ) {
+        let mk = |bits: &[bool]| {
+            let mut bm = Bitmap::zeros(130);
+            for (i, &x) in bits.iter().enumerate() {
+                if x {
+                    bm.set(i);
+                }
+            }
+            bm
+        };
+        let mut x = mk(&a);
+        x.and_or_assign(&mk(&b), &mk(&m));
+        for i in 0..130 {
+            prop_assert_eq!(x.get(i), a[i] && (b[i] || m[i]), "bit {}", i);
+        }
+        prop_assert_eq!(x.count_ones(), x.iter_ones().count());
+    }
+}

@@ -1,0 +1,419 @@
+//! The unified sharing system: QPipe + CJOIN behind one `submit` call.
+//!
+//! This is the paper's §3 "Integration": the CJOIN operator is mounted as
+//! an additional stage of the QPipe engine, and the execution mode decides
+//! how a submitted plan is evaluated:
+//!
+//! * [`ExecutionMode::QueryCentric`] — plain QPipe operators, no SP,
+//! * [`ExecutionMode::SpPush`] / [`ExecutionMode::SpPull`] — QPipe with
+//!   Simultaneous Pipelining at every stage (original push model vs the
+//!   Shared Pages List),
+//! * [`ExecutionMode::Gqp`] — star queries are admitted to the CJOIN
+//!   pipeline; their remaining operators (aggregation, sort, …) run as
+//!   query-centric QPipe packets consuming the CJOIN output. Non-star
+//!   plans fall back to query-centric QPipe, as in the demo.
+//! * [`ExecutionMode::GqpSp`] — GQP plus SP *at the CJOIN stage*: two
+//!   star queries with identical CJOIN sub-plans (same fact predicate,
+//!   same dimension joins and predicates) share a single admission via an
+//!   SPL, saving admission and book-keeping costs (the paper's Figure 2).
+
+use parking_lot::Mutex;
+use qs_cjoin::{CjoinPipeline, CjoinStats, PipelineSpec};
+use qs_engine::{
+    EngineConfig, EngineError, MetricsSnapshot, QpipeEngine, QueryTicket, ShareMode,
+    SharingPolicy, StageKind,
+};
+use qs_plan::{LogicalPlan, StarQuery};
+use qs_storage::{
+    BufferPool, BufferPoolConfig, Catalog, DiskConfig, DiskModel,
+};
+use std::collections::HashMap;
+use std::sync::{Arc, Weak};
+
+/// How queries are evaluated (the demo GUI's main switch).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ExecutionMode {
+    /// Independent query-centric operators (baseline).
+    QueryCentric,
+    /// Reactive sharing, original push model (SP over FIFOs).
+    SpPush,
+    /// Reactive sharing, pull model (SP over Shared Pages Lists).
+    SpPull,
+    /// Proactive sharing: CJOIN global query plan for star queries.
+    Gqp,
+    /// Proactive + reactive: CJOIN with SP at the CJOIN stage.
+    GqpSp,
+}
+
+impl ExecutionMode {
+    /// All modes, plot order.
+    pub fn all() -> [ExecutionMode; 5] {
+        [
+            ExecutionMode::QueryCentric,
+            ExecutionMode::SpPush,
+            ExecutionMode::SpPull,
+            ExecutionMode::Gqp,
+            ExecutionMode::GqpSp,
+        ]
+    }
+
+    /// Short label used in tables and plots.
+    pub fn label(&self) -> &'static str {
+        match self {
+            ExecutionMode::QueryCentric => "QC",
+            ExecutionMode::SpPush => "SP-FIFO",
+            ExecutionMode::SpPull => "SP-SPL",
+            ExecutionMode::Gqp => "GQP",
+            ExecutionMode::GqpSp => "GQP+SP",
+        }
+    }
+
+    /// Whether this mode uses the CJOIN pipeline.
+    pub fn uses_gqp(&self) -> bool {
+        matches!(self, ExecutionMode::Gqp | ExecutionMode::GqpSp)
+    }
+}
+
+/// Database construction parameters (the demo GUI's system pane).
+#[derive(Debug, Clone)]
+pub struct DbConfig {
+    /// Execution mode.
+    pub mode: ExecutionMode,
+    /// Core permits (`0` = unlimited) — "bind server to N cores".
+    pub cores: usize,
+    /// Simulated disk.
+    pub disk: DiskConfig,
+    /// Buffer pool frames; `None` = big enough for everything
+    /// (memory-resident database).
+    pub buffer_pool_pages: Option<usize>,
+    /// FIFO depth for the push pipeline.
+    pub fifo_capacity: usize,
+    /// Operator output page bytes.
+    pub out_page_bytes: usize,
+    /// Override the per-stage SP policy implied by `mode` (e.g.
+    /// Scenario I uses SP at the scan stage only).
+    pub sharing_override: Option<SharingPolicy>,
+    /// CJOIN pipeline shape; required for the GQP modes.
+    pub pipeline: Option<PipelineSpec>,
+}
+
+impl DbConfig {
+    /// Reasonable defaults for `mode` (memory-resident, unlimited cores).
+    pub fn new(mode: ExecutionMode) -> Self {
+        DbConfig {
+            mode,
+            cores: 0,
+            disk: DiskConfig::memory_resident(),
+            buffer_pool_pages: None,
+            fifo_capacity: 16,
+            out_page_bytes: qs_storage::DEFAULT_PAGE_BYTES,
+            sharing_override: None,
+            pipeline: None,
+        }
+    }
+
+    fn sharing_policy(&self) -> SharingPolicy {
+        if let Some(p) = self.sharing_override {
+            return p;
+        }
+        match self.mode {
+            ExecutionMode::QueryCentric => SharingPolicy::query_centric(),
+            ExecutionMode::SpPush => SharingPolicy::all_stages(ShareMode::Push),
+            ExecutionMode::SpPull => SharingPolicy::all_stages(ShareMode::Pull),
+            // GQP modes run the operators above CJOIN query-centric; SP on
+            // them is a separate dimension the demo leaves to the CJOIN
+            // stage, which qs-core implements itself (see submit()).
+            ExecutionMode::Gqp | ExecutionMode::GqpSp => SharingPolicy::query_centric(),
+        }
+    }
+}
+
+/// Build the CJOIN pipeline spec for the SSB star schema registered in
+/// `catalog` (lineorder + date/customer/supplier/part).
+pub fn ssb_pipeline_spec(catalog: &Catalog) -> Result<PipelineSpec, EngineError> {
+    let lo = catalog.get("lineorder")?;
+    let key = |name: &str| lo.schema().index_of(name).map_err(EngineError::from);
+    let dim = |table: &str, fk: usize| -> Result<qs_cjoin::DimSpec, EngineError> {
+        let t = catalog.get(table)?;
+        Ok(qs_cjoin::DimSpec {
+            table: table.to_string(),
+            fact_key: fk,
+            dim_key: t.schema().index_of(&format!(
+                "{}_{}key",
+                &table[..1],
+                match table {
+                    "date" => "date",
+                    "customer" => "cust",
+                    "supplier" => "supp",
+                    "part" => "part",
+                    _ => "x",
+                }
+            ))?,
+        })
+    };
+    Ok(PipelineSpec::new(
+        "lineorder",
+        vec![
+            dim("date", key("lo_orderdate")?)?,
+            dim("customer", key("lo_custkey")?)?,
+            dim("supplier", key("lo_suppkey")?)?,
+            dim("part", key("lo_partkey")?)?,
+        ],
+    ))
+}
+
+/// The unified system.
+pub struct SharingDb {
+    catalog: Arc<Catalog>,
+    pool: Arc<BufferPool>,
+    engine: QpipeEngine,
+    cjoin: Option<CjoinPipeline>,
+    /// GqpSp: join-signature → live CJOIN output hub.
+    cjoin_registry: Mutex<HashMap<u64, Weak<qs_engine::OutputHub>>>,
+    config: DbConfig,
+}
+
+impl SharingDb {
+    /// Build the system over an already-populated catalog.
+    pub fn new(catalog: Arc<Catalog>, config: DbConfig) -> Result<Self, EngineError> {
+        let disk = Arc::new(DiskModel::new(config.disk.clone()));
+        let pool_cfg = match config.buffer_pool_pages {
+            Some(n) => BufferPoolConfig::with_capacity(n),
+            None => BufferPoolConfig::unbounded(),
+        };
+        let pool = Arc::new(BufferPool::new(pool_cfg, disk));
+        let engine = QpipeEngine::new(
+            catalog.clone(),
+            pool.clone(),
+            EngineConfig {
+                cores: config.cores,
+                fifo_capacity: config.fifo_capacity,
+                out_page_bytes: config.out_page_bytes,
+                sharing: config.sharing_policy(),
+                ..Default::default()
+            },
+        );
+        let cjoin = if config.mode.uses_gqp() {
+            let spec = config
+                .pipeline
+                .clone()
+                .map(Ok)
+                .unwrap_or_else(|| ssb_pipeline_spec(&catalog))?;
+            Some(
+                CjoinPipeline::new(engine.ctx().clone(), &catalog, &spec)
+                    .map_err(|e| EngineError::Aborted(e.to_string()))?,
+            )
+        } else {
+            None
+        };
+        Ok(SharingDb {
+            catalog,
+            pool,
+            engine,
+            cjoin,
+            cjoin_registry: Mutex::new(HashMap::new()),
+            config,
+        })
+    }
+
+    /// The catalog.
+    pub fn catalog(&self) -> &Arc<Catalog> {
+        &self.catalog
+    }
+
+    /// The buffer pool (for I/O statistics).
+    pub fn pool(&self) -> &Arc<BufferPool> {
+        &self.pool
+    }
+
+    /// The configured mode.
+    pub fn mode(&self) -> ExecutionMode {
+        self.config.mode
+    }
+
+    /// Engine metrics snapshot.
+    pub fn metrics(&self) -> MetricsSnapshot {
+        self.engine.metrics()
+    }
+
+    /// CJOIN statistics (GQP modes only).
+    pub fn cjoin_stats(&self) -> Option<CjoinStats> {
+        self.cjoin.as_ref().map(|c| c.stats())
+    }
+
+    /// Reset all counters between experiment points.
+    pub fn reset_metrics(&self) {
+        self.engine.reset_metrics();
+        if let Some(c) = &self.cjoin {
+            c.reset_stats();
+        }
+        self.pool.reset_stats();
+        self.pool.disk().reset_stats();
+    }
+
+    /// Parse, bind, optimize and submit a SQL `SELECT`. The statement goes
+    /// through the full front-end: `qs-sql` produces a naive plan,
+    /// `qs_plan::optimize` pushes predicates into the scans (making star
+    /// queries CJOIN-admissible) and the result is submitted under the
+    /// configured execution mode.
+    pub fn submit_sql(&self, sql: &str) -> Result<QueryTicket, EngineError> {
+        let plan = self.plan_sql(sql)?;
+        self.submit(&plan)
+    }
+
+    /// Front-end only: SQL text → optimized [`LogicalPlan`] (no
+    /// submission). Useful for EXPLAIN-style inspection and batching.
+    pub fn plan_sql(&self, sql: &str) -> Result<LogicalPlan, EngineError> {
+        let plan = qs_sql::plan_sql(sql, &self.catalog)
+            .map_err(|e| EngineError::Aborted(e.to_string()))?;
+        Ok(qs_plan::optimize(plan, &self.catalog)?)
+    }
+
+    /// Submit one query.
+    pub fn submit(&self, plan: &LogicalPlan) -> Result<QueryTicket, EngineError> {
+        match self.config.mode {
+            ExecutionMode::QueryCentric | ExecutionMode::SpPush | ExecutionMode::SpPull => {
+                self.engine.submit(plan)
+            }
+            ExecutionMode::Gqp | ExecutionMode::GqpSp => self.submit_gqp(plan),
+        }
+    }
+
+    /// Submit a coordinated batch (the demo's batching knob): for the
+    /// QPipe modes the whole batch is built before execution starts
+    /// (maximal SP window); for the GQP modes, batched admission
+    /// amortizes admission costs because all queries ride the same
+    /// revolution.
+    pub fn submit_batch(&self, plans: &[LogicalPlan]) -> Result<Vec<QueryTicket>, EngineError> {
+        match self.config.mode {
+            ExecutionMode::QueryCentric | ExecutionMode::SpPush | ExecutionMode::SpPull => {
+                self.engine.submit_batch(plans)
+            }
+            ExecutionMode::Gqp | ExecutionMode::GqpSp => {
+                // Pin every admission's output hub until the whole batch
+                // is submitted: with a small fact table the pipeline can
+                // finish (and drop the hub) between two submissions, which
+                // would break the batch guarantee that identical CJOIN
+                // sub-plans share one admission. Pull-mode hubs replay the
+                // full history to late subscribers, so pinning is enough.
+                let mut pins: Vec<Arc<qs_engine::OutputHub>> = Vec::new();
+                plans
+                    .iter()
+                    .map(|p| self.submit_gqp_pinned(p, Some(&mut pins)))
+                    .collect()
+            }
+        }
+    }
+
+    fn submit_gqp(&self, plan: &LogicalPlan) -> Result<QueryTicket, EngineError> {
+        self.submit_gqp_pinned(plan, None)
+    }
+
+    fn submit_gqp_pinned(
+        &self,
+        plan: &LogicalPlan,
+        pins: Option<&mut Vec<Arc<qs_engine::OutputHub>>>,
+    ) -> Result<QueryTicket, EngineError> {
+        let cjoin = self.cjoin.as_ref().expect("GQP mode has a pipeline");
+        let Some(star) = StarQuery::detect(plan, &self.catalog) else {
+            // Not a star query: CJOIN cannot evaluate it; fall back to
+            // query-centric operators (paper §3).
+            return self.engine.submit(plan);
+        };
+
+        let metrics = self.engine.metrics_handle();
+        let source: Box<dyn qs_engine::PageSource> = if self.config.mode
+            == ExecutionMode::GqpSp
+        {
+            let sig = star.join_signature();
+            let mut reg = self.cjoin_registry.lock();
+            let existing = reg.get(&sig).and_then(|w| w.upgrade());
+            match existing.and_then(|hub| hub.subscribe()) {
+                Some(reader) => {
+                    // SP hit on the CJOIN stage: this query reuses the
+                    // in-flight admission's output.
+                    metrics.sp_hit(StageKind::Cjoin);
+                    reader
+                }
+                None => {
+                    metrics.sp_miss(StageKind::Cjoin);
+                    let q = cjoin
+                        .admit(&star)
+                        .map_err(|e| EngineError::Aborted(e.to_string()))?;
+                    metrics.packet(StageKind::Cjoin);
+                    reg.insert(sig, Arc::downgrade(&q.hub));
+                    if reg.len() > 1024 {
+                        reg.retain(|_, w| w.strong_count() > 0);
+                    }
+                    if let Some(pins) = pins {
+                        pins.push(q.hub.clone());
+                    }
+                    q.reader
+                }
+            }
+        } else {
+            let q = cjoin
+                .admit(&star)
+                .map_err(|e| EngineError::Aborted(e.to_string()))?;
+            metrics.packet(StageKind::Cjoin);
+            q.reader
+        };
+
+        // Run the query-centric operators above the join on the CJOIN
+        // output. `submit_consumer` replaces the plan's join/scan leaf
+        // with the external stream.
+        self.engine.submit_consumer(plan, source)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qs_workload::ssb::data::{generate_ssb, SsbConfig};
+
+    #[test]
+    fn ssb_pipeline_spec_resolves_all_dims() {
+        let cat = Catalog::new();
+        generate_ssb(
+            &cat,
+            &SsbConfig {
+                scale: 0.0005,
+                seed: 1,
+                page_bytes: 8192,
+            },
+        );
+        let spec = ssb_pipeline_spec(&cat).unwrap();
+        assert_eq!(spec.fact_table, "lineorder");
+        let tables: Vec<&str> = spec.dims.iter().map(|d| d.table.as_str()).collect();
+        assert_eq!(tables, vec!["date", "customer", "supplier", "part"]);
+        let lo = cat.get("lineorder").unwrap();
+        for d in &spec.dims {
+            // every fact key must be an Int FK column of lineorder
+            assert_eq!(
+                lo.schema().dtype(d.fact_key),
+                qs_storage::DataType::Int
+            );
+            let dim = cat.get(&d.table).unwrap();
+            assert_eq!(d.dim_key, 0, "SSB dim keys are the first column");
+            assert_eq!(dim.schema().dtype(d.dim_key), qs_storage::DataType::Int);
+        }
+    }
+
+    #[test]
+    fn mode_labels_are_unique() {
+        let labels: std::collections::HashSet<&str> =
+            ExecutionMode::all().iter().map(|m| m.label()).collect();
+        assert_eq!(labels.len(), 5);
+        assert!(ExecutionMode::Gqp.uses_gqp());
+        assert!(ExecutionMode::GqpSp.uses_gqp());
+        assert!(!ExecutionMode::SpPull.uses_gqp());
+    }
+
+    #[test]
+    fn gqp_mode_requires_resolvable_pipeline() {
+        // A catalog without SSB tables cannot build the default pipeline.
+        let cat = Catalog::new();
+        let err = SharingDb::new(cat, DbConfig::new(ExecutionMode::Gqp));
+        assert!(err.is_err());
+    }
+}

@@ -1,0 +1,23 @@
+//! # qs-core — the unified reactive + proactive sharing system
+//!
+//! The paper's integrated system: the QPipe staged engine (reactive
+//! sharing via Simultaneous Pipelining) with the CJOIN operator (proactive
+//! sharing via a global query plan) mounted as an additional stage, plus
+//! the demo's workload driver and the four scenario harnesses.
+//!
+//! * [`db`] — [`SharingDb`]: one `submit` call, five execution modes.
+//! * [`driver`] — concurrent-client simulator (response time and
+//!   throughput measurements).
+//! * [`scenarios`] — Scenario I–IV experiment runners (the demo GUI's
+//!   predefined scenarios as reproducible functions).
+
+pub mod db;
+pub mod driver;
+pub mod scenarios;
+
+pub use db::{ssb_pipeline_spec, DbConfig, ExecutionMode, SharingDb};
+pub use driver::{run_response_time, run_throughput, DriverConfig, ThroughputResult};
+pub use scenarios::{
+    scenario1, scenario2, scenario3, scenario4, Scenario1Config, Scenario1Row, Scenario2Config,
+    Scenario3Config, Scenario4Config, ThroughputRow,
+};

@@ -1,0 +1,90 @@
+//! Smoke tests for the scenario harnesses: the quick configurations must
+//! run end to end, produce one row per (mode, x) pair, and exhibit the
+//! coarse properties the scenarios are built to show (without asserting
+//! on timing-sensitive magnitudes, which belong to the bench binaries).
+
+use qs_core::scenarios::{
+    format_scenario1_table, format_throughput_table, scenario1, scenario2, scenario3, scenario4,
+    Scenario1Config, Scenario2Config, Scenario3Config, Scenario4Config,
+};
+
+#[test]
+fn scenario1_quick_runs_and_accounts_sharing() {
+    let cfg = Scenario1Config::quick();
+    let rows = scenario1(&cfg).unwrap();
+    assert_eq!(rows.len(), 3 * cfg.clients.len());
+    for r in &rows {
+        assert!(r.response_ms > 0.0, "{r:?}");
+        match r.mode.as_str() {
+            // Push-based SP copies for every extra consumer...
+            "SP-FIFO" if r.clients > 1 => assert!(r.bytes_copied > 0, "{r:?}"),
+            // ...pull-based SP never copies, it shares.
+            "SP-SPL" => {
+                assert_eq!(r.bytes_copied, 0, "{r:?}");
+                assert!(r.bytes_shared > 0, "{r:?}");
+            }
+            "QC" => {
+                assert_eq!(r.bytes_copied, 0, "{r:?}");
+                assert_eq!(r.bytes_shared, 0, "{r:?}");
+            }
+            _ => {}
+        }
+    }
+    let table = format_scenario1_table(&rows);
+    assert!(table.contains("SP-SPL"));
+    assert!(table.lines().count() >= rows.len());
+}
+
+#[test]
+fn scenario1_disk_resident_does_io() {
+    let cfg = Scenario1Config {
+        disk_resident: true,
+        ..Scenario1Config::quick()
+    };
+    let rows = scenario1(&cfg).unwrap();
+    assert!(rows.iter().all(|r| r.disk_reads > 0), "disk runs must read");
+}
+
+#[test]
+fn scenario2_quick_produces_both_lines() {
+    let cfg = Scenario2Config::quick();
+    let rows = scenario2(&cfg).unwrap();
+    assert_eq!(rows.len(), 2 * cfg.clients.len());
+    assert!(rows.iter().any(|r| r.mode == "QPipe+SP"));
+    assert!(rows.iter().any(|r| r.mode == "CJOIN"));
+    assert!(rows.iter().all(|r| r.completed > 0));
+    let table = format_throughput_table("t", "clients", &rows);
+    assert!(table.contains("CJOIN"));
+}
+
+#[test]
+fn scenario3_quick_sweeps_selectivity() {
+    let cfg = Scenario3Config::quick();
+    let rows = scenario3(&cfg).unwrap();
+    assert_eq!(rows.len(), 2 * cfg.selectivities.len());
+    // x column carries the swept selectivity
+    for (i, &s) in cfg.selectivities.iter().enumerate() {
+        assert!((rows[i].x - s).abs() < 1e-9);
+    }
+}
+
+#[test]
+fn scenario4_quick_shows_cjoin_sharing() {
+    let cfg = Scenario4Config::quick();
+    let rows = scenario4(&cfg).unwrap();
+    assert_eq!(rows.len(), 2 * cfg.num_plans.len());
+    // GQP alone never records CJOIN SP hits; GQP+SP at num_plans=1 must.
+    for r in &rows {
+        if r.mode == "GQP" {
+            assert_eq!(r.cjoin_sp_hits, 0, "{r:?}");
+        }
+    }
+    let gqpsp_single = rows
+        .iter()
+        .find(|r| r.mode == "GQP+SP" && r.x == 1.0)
+        .expect("GQP+SP @ num_plans=1");
+    assert!(
+        gqpsp_single.cjoin_sp_hits > 0,
+        "batched identical plans must share the CJOIN stage: {gqpsp_single:?}"
+    );
+}

@@ -1,0 +1,57 @@
+//! Engine error type.
+
+use qs_plan::PlanError;
+use qs_storage::StorageError;
+use std::fmt;
+
+/// Errors surfaced by query execution.
+#[derive(Debug, Clone, PartialEq)]
+pub enum EngineError {
+    /// Plan construction/validation failure.
+    Plan(PlanError),
+    /// Storage failure.
+    Storage(StorageError),
+    /// A producer aborted; the message describes the root cause.
+    Aborted(String),
+    /// The query (or every consumer of a producer) was cancelled.
+    Cancelled,
+}
+
+impl fmt::Display for EngineError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EngineError::Plan(e) => write!(f, "plan error: {e}"),
+            EngineError::Storage(e) => write!(f, "storage error: {e}"),
+            EngineError::Aborted(msg) => write!(f, "aborted: {msg}"),
+            EngineError::Cancelled => write!(f, "cancelled"),
+        }
+    }
+}
+
+impl std::error::Error for EngineError {}
+
+impl From<PlanError> for EngineError {
+    fn from(e: PlanError) -> Self {
+        EngineError::Plan(e)
+    }
+}
+
+impl From<StorageError> for EngineError {
+    fn from(e: StorageError) -> Self {
+        EngineError::Storage(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_and_conversions() {
+        let e: EngineError = StorageError::TableNotFound("x".into()).into();
+        assert!(e.to_string().contains("x"));
+        let e: EngineError = PlanError::Invalid("bad".into()).into();
+        assert!(e.to_string().contains("bad"));
+        assert_eq!(EngineError::Cancelled.to_string(), "cancelled");
+    }
+}

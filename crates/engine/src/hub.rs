@@ -1,0 +1,384 @@
+//! The output hub: one producer, N subscribers, in either sharing mode.
+//!
+//! Every packet writes its output through an [`OutputHub`]. The hub is
+//! where the paper's two SP mechanics diverge:
+//!
+//! * **Push mode** (original QPipe): each subscriber has its own bounded
+//!   FIFO. The producer hands the original page to the first live
+//!   subscriber and **deep-copies** it for every additional one — on the
+//!   producer's own thread, under a core permit, because the copy is real
+//!   CPU work. This loop is the serialization point of push-based SP.
+//!   Subscription is only possible before the first page is produced
+//!   (the strict sharing window of push-based SP).
+//!
+//! * **Pull mode** (SPL): all subscribers share one [`SharedPagesList`];
+//!   the producer appends each page exactly once and subscription is
+//!   possible at any time until the producer finishes.
+//!
+//! With a single subscriber the push-mode hub degenerates to QPipe's plain
+//! FIFO pipeline dataflow, so the hub is the *only* output path in the
+//! engine — query-centric execution is simply "nobody else subscribed".
+
+use crate::error::EngineError;
+use crate::fifo::{FifoBuffer, FifoReader, PageSource};
+use crate::governor::CoreGovernor;
+use crate::metrics::{Metrics, StageKind};
+use crate::spl::SharedPagesList;
+use parking_lot::Mutex;
+use qs_storage::Page;
+use std::sync::atomic::Ordering;
+use std::sync::Arc;
+
+/// FIFO capacity for passive (client-drained) consumers: effectively
+/// unbounded, so a shared producer can never block on a ticket the client
+/// has not started draining yet. See [`OutputHub::subscribe_with_capacity`].
+pub const UNBOUNDED_CAPACITY: usize = usize::MAX;
+
+/// How intermediate results are distributed to consumers.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ShareMode {
+    /// Per-consumer FIFOs; producer copies (original QPipe SP).
+    Push,
+    /// One Shared Pages List; consumers pull (the paper's improvement).
+    Pull,
+}
+
+struct HubState {
+    started: bool,
+    finished: bool,
+    push_subs: Vec<Arc<FifoBuffer>>,
+}
+
+/// Producer-side fan-out point for one packet's output.
+pub struct OutputHub {
+    mode: ShareMode,
+    stage: StageKind,
+    fifo_capacity: usize,
+    metrics: Arc<Metrics>,
+    governor: Arc<CoreGovernor>,
+    spl: Option<Arc<SharedPagesList>>,
+    state: Mutex<HubState>,
+}
+
+impl OutputHub {
+    /// Create a hub and its primary consumer (the packet's own parent).
+    pub fn new(
+        mode: ShareMode,
+        stage: StageKind,
+        fifo_capacity: usize,
+        metrics: Arc<Metrics>,
+        governor: Arc<CoreGovernor>,
+    ) -> (Arc<OutputHub>, Box<dyn PageSource>) {
+        match mode {
+            ShareMode::Pull => {
+                let spl = SharedPagesList::new();
+                let reader = spl.reader();
+                let hub = Arc::new(OutputHub {
+                    mode,
+                    stage,
+                    fifo_capacity,
+                    metrics,
+                    governor,
+                    spl: Some(spl),
+                    state: Mutex::new(HubState {
+                        started: false,
+                        finished: false,
+                        push_subs: Vec::new(),
+                    }),
+                });
+                (hub, Box::new(reader))
+            }
+            ShareMode::Push => {
+                let (fifo, reader) = FifoBuffer::channel(fifo_capacity);
+                let hub = Arc::new(OutputHub {
+                    mode,
+                    stage,
+                    fifo_capacity,
+                    metrics,
+                    governor,
+                    spl: None,
+                    state: Mutex::new(HubState {
+                        started: false,
+                        finished: false,
+                        push_subs: vec![fifo],
+                    }),
+                });
+                (hub, Box::new(reader) as Box<FifoReader> as Box<dyn PageSource>)
+            }
+        }
+    }
+
+    /// The sharing mode.
+    pub fn mode(&self) -> ShareMode {
+        self.mode
+    }
+
+    /// The stage this hub's producer runs at (metrics label).
+    pub fn stage(&self) -> StageKind {
+        self.stage
+    }
+
+    /// Attempt to attach an additional consumer (an SP hit), with the
+    /// hub's own FIFO capacity.
+    ///
+    /// Pull mode accepts until the producer has finished; push mode only
+    /// before the first page is produced. `None` means the sharing window
+    /// has closed and the caller must evaluate its own packet.
+    pub fn subscribe(&self) -> Option<Box<dyn PageSource>> {
+        self.subscribe_with_capacity(self.fifo_capacity)
+    }
+
+    /// [`OutputHub::subscribe`] with an explicit FIFO capacity for the new
+    /// consumer (push mode only; pull-mode SPL readers are unbuffered).
+    ///
+    /// Liveness rule: a *passive* consumer — one drained by client code at
+    /// an arbitrary pace, i.e. a root [`crate::QueryTicket`] — must use
+    /// [`UNBOUNDED_CAPACITY`]. A bounded FIFO here lets the shared
+    /// producer block on one sibling while the client waits on another,
+    /// deadlocking two queries that share a packet. Operator-input
+    /// consumers have dedicated stage workers that always drain, so they
+    /// keep bounded FIFOs (pipeline backpressure).
+    pub fn subscribe_with_capacity(&self, cap: usize) -> Option<Box<dyn PageSource>> {
+        let mut st = self.state.lock();
+        match self.mode {
+            ShareMode::Pull => {
+                // Pull mode accepts even after the producer finished: the
+                // SPL retains the full history, so late sharing is correct.
+                self.spl
+                    .as_ref()
+                    .map(|spl| Box::new(spl.reader()) as Box<dyn PageSource>)
+            }
+            ShareMode::Push => {
+                if st.started || st.finished {
+                    return None;
+                }
+                let (fifo, reader) = FifoBuffer::channel(cap);
+                st.push_subs.push(fifo);
+                Some(Box::new(reader))
+            }
+        }
+    }
+
+    /// Number of currently attached consumers.
+    pub fn consumers(&self) -> usize {
+        match self.mode {
+            ShareMode::Pull => 1, // readers are untracked; at least primary
+            ShareMode::Push => self.state.lock().push_subs.len(),
+        }
+    }
+
+    /// Producer: emit one page to every consumer.
+    pub fn push(&self, page: Arc<Page>) -> Result<(), EngineError> {
+        match self.mode {
+            ShareMode::Pull => {
+                {
+                    let mut st = self.state.lock();
+                    st.started = true;
+                }
+                self.metrics.pages_shared.fetch_add(1, Ordering::Relaxed);
+                self.metrics
+                    .bytes_shared
+                    .fetch_add(page.byte_len() as u64, Ordering::Relaxed);
+                self.spl
+                    .as_ref()
+                    .expect("pull hub has an SPL")
+                    .append(page)
+            }
+            ShareMode::Push => {
+                let subs: Vec<Arc<FifoBuffer>> = {
+                    let mut st = self.state.lock();
+                    st.started = true;
+                    st.push_subs.clone()
+                };
+                let mut delivered = 0usize;
+                let mut dead: Vec<usize> = Vec::new();
+                for (i, fifo) in subs.iter().enumerate() {
+                    if fifo.reader_gone() {
+                        dead.push(i);
+                        continue;
+                    }
+                    // First live consumer receives the original page; every
+                    // further one costs a deep copy on this (producer)
+                    // thread — the push-based SP serialization point.
+                    let to_send = if delivered == 0 {
+                        page.clone()
+                    } else {
+                        let copy = self.governor.run(|| Arc::new(page.deep_copy()));
+                        self.metrics.pages_copied.fetch_add(1, Ordering::Relaxed);
+                        self.metrics
+                            .bytes_copied
+                            .fetch_add(copy.byte_len() as u64, Ordering::Relaxed);
+                        copy
+                    };
+                    match fifo.push(to_send) {
+                        Ok(()) => delivered += 1,
+                        Err(EngineError::Cancelled) => dead.push(i),
+                        Err(e) => return Err(e),
+                    }
+                }
+                if !dead.is_empty() {
+                    let mut st = self.state.lock();
+                    // Retain only live FIFOs (compare by Arc identity).
+                    st.push_subs
+                        .retain(|f| !subs.iter().enumerate().any(|(i, s)| dead.contains(&i) && Arc::ptr_eq(f, s)));
+                }
+                if delivered == 0 {
+                    return Err(EngineError::Cancelled);
+                }
+                Ok(())
+            }
+        }
+    }
+
+    /// Producer: end of stream.
+    pub fn finish(&self) {
+        let subs = {
+            let mut st = self.state.lock();
+            st.finished = true;
+            st.push_subs.clone()
+        };
+        if let Some(spl) = &self.spl {
+            spl.finish();
+        }
+        for f in subs {
+            f.finish();
+        }
+    }
+
+    /// Producer: abort all consumers with a cause.
+    pub fn abort(&self, msg: impl Into<String>) {
+        let msg = msg.into();
+        let subs = {
+            let mut st = self.state.lock();
+            st.finished = true;
+            st.push_subs.clone()
+        };
+        if let Some(spl) = &self.spl {
+            spl.abort(msg.clone());
+        }
+        for f in subs {
+            f.abort(msg.clone());
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qs_storage::{DataType, Schema, Value};
+
+    fn page(k: i64) -> Arc<Page> {
+        let s = Schema::from_pairs(&[("k", DataType::Int)]);
+        Arc::new(Page::from_values(&s, &[vec![Value::Int(k)]]).unwrap())
+    }
+
+    fn hub(mode: ShareMode) -> (Arc<OutputHub>, Box<dyn PageSource>, Arc<Metrics>) {
+        let m = Metrics::new();
+        let g = CoreGovernor::new(0, m.clone());
+        let (h, r) = OutputHub::new(mode, StageKind::Scan, 8, m.clone(), g);
+        (h, r, m)
+    }
+
+    fn drain(mut src: Box<dyn PageSource>) -> Vec<i64> {
+        let mut out = Vec::new();
+        while let Some(p) = src.next_page().unwrap() {
+            out.push(p.row(0).i64_col(0));
+        }
+        out
+    }
+
+    #[test]
+    fn pull_mode_shares_without_copying() {
+        let (h, primary, m) = hub(ShareMode::Pull);
+        let sub = h.subscribe().expect("pull subscribe");
+        h.push(page(1)).unwrap();
+        h.push(page(2)).unwrap();
+        h.finish();
+        assert_eq!(drain(primary), vec![1, 2]);
+        assert_eq!(drain(sub), vec![1, 2]);
+        let s = m.snapshot();
+        assert_eq!(s.pages_shared, 2);
+        assert_eq!(s.pages_copied, 0);
+    }
+
+    #[test]
+    fn pull_mode_allows_mid_stream_subscription() {
+        let (h, primary, _) = hub(ShareMode::Pull);
+        h.push(page(1)).unwrap();
+        let late = h.subscribe().expect("late pull subscribe");
+        h.push(page(2)).unwrap();
+        h.finish();
+        assert_eq!(drain(primary), vec![1, 2]);
+        assert_eq!(drain(late), vec![1, 2]);
+    }
+
+    #[test]
+    fn push_mode_copies_per_extra_consumer() {
+        let (h, primary, m) = hub(ShareMode::Push);
+        let sub1 = h.subscribe().expect("pre-start subscribe");
+        let sub2 = h.subscribe().expect("pre-start subscribe 2");
+        let producer = {
+            let h = h.clone();
+            std::thread::spawn(move || {
+                h.push(page(1)).unwrap();
+                h.push(page(2)).unwrap();
+                h.finish();
+            })
+        };
+        let a = drain(primary);
+        let b = drain(sub1);
+        let c = drain(sub2);
+        producer.join().unwrap();
+        assert_eq!(a, vec![1, 2]);
+        assert_eq!(b, a);
+        assert_eq!(c, a);
+        let s = m.snapshot();
+        // 2 pages × 2 extra consumers = 4 deep copies
+        assert_eq!(s.pages_copied, 4);
+        assert_eq!(s.pages_shared, 0);
+    }
+
+    #[test]
+    fn push_mode_window_closes_at_first_page() {
+        let (h, primary, _) = hub(ShareMode::Push);
+        h.push(page(1)).unwrap();
+        assert!(h.subscribe().is_none(), "window must be closed");
+        h.finish();
+        assert_eq!(drain(primary), vec![1]);
+    }
+
+    #[test]
+    fn abort_propagates_to_all_modes() {
+        for mode in [ShareMode::Pull, ShareMode::Push] {
+            let (h, mut primary, _) = hub(mode);
+            h.abort("nope");
+            assert!(matches!(
+                primary.next_page(),
+                Err(EngineError::Aborted(_))
+            ));
+        }
+    }
+
+    #[test]
+    fn push_mode_survives_one_cancelled_consumer() {
+        let (h, primary, _) = hub(ShareMode::Push);
+        let sub = h.subscribe().unwrap();
+        drop(sub); // consumer cancels before production
+        let producer = {
+            let h = h.clone();
+            std::thread::spawn(move || {
+                h.push(page(5)).unwrap();
+                h.finish();
+            })
+        };
+        assert_eq!(drain(primary), vec![5]);
+        producer.join().unwrap();
+    }
+
+    #[test]
+    fn push_mode_all_consumers_gone_cancels_producer() {
+        let (h, primary, _) = hub(ShareMode::Push);
+        drop(primary);
+        assert!(matches!(h.push(page(1)), Err(EngineError::Cancelled)));
+    }
+}

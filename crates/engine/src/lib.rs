@@ -1,0 +1,45 @@
+//! # qs-engine — the QPipe-style staged execution engine
+//!
+//! Reproduction of QPipe (Harizopoulos et al., SIGMOD'05) as integrated in
+//! the SIGMOD'14 demo:
+//!
+//! * every relational operator is a **stage** with a work queue and an
+//!   elastic local thread pool ([`stage`]),
+//! * a query plan becomes a tree of **packets** whose data flows through
+//!   page-based exchange — bounded FIFO buffers in the original push-only
+//!   model ([`fifo`]),
+//! * **Simultaneous Pipelining (SP)**: when a packet arrives at a stage
+//!   while an identical one (same sub-plan signature) is in flight, it
+//!   subscribes to the in-flight packet's output instead of executing
+//!   ([`stage::SpRegistry`], [`hub`]),
+//! * the **Shared Pages List** ([`spl`]) implements the paper's pull-based
+//!   SP, eliminating the copy serialization of the push model,
+//! * a **core governor** ([`governor`]) reproduces the demo's "bind the
+//!   server to N cores" knob,
+//! * a serial **reference evaluator** ([`reference`]) serves as the
+//!   testing oracle for all execution modes.
+
+pub mod agg;
+pub mod engine;
+pub mod error;
+pub mod fifo;
+pub mod governor;
+pub mod hub;
+pub mod metrics;
+pub mod ops;
+pub mod reference;
+pub mod spl;
+pub mod stage;
+
+pub use engine::{EngineConfig, QpipeEngine, QueryTicket, SharingPolicy};
+pub use error::EngineError;
+pub use fifo::{FifoBuffer, FifoReader, PageSource};
+pub use governor::CoreGovernor;
+pub use hub::{OutputHub, ShareMode};
+pub use metrics::{Metrics, MetricsSnapshot, StageKind, ALL_STAGES, NUM_STAGES};
+pub use ops::{ExecCtx, PhysicalOp};
+pub use spl::{SharedPagesList, SplReader};
+pub use stage::{Packet, SpRegistry, Stage};
+
+/// Result alias for engine operations.
+pub type Result<T> = std::result::Result<T, EngineError>;

@@ -1,0 +1,225 @@
+//! Execution metrics — the counters the demo GUI plots next to each run
+//! (SP hits per stage, copied vs shared pages, CPU busy time).
+
+use serde::{Deserialize, Serialize};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Stage identifiers (array indices into the per-stage counters).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[repr(usize)]
+pub enum StageKind {
+    /// Table scan stage (with pushed-down selection/projection).
+    Scan = 0,
+    /// Standalone filter stage.
+    Filter = 1,
+    /// Hash-join stage.
+    Join = 2,
+    /// Aggregation stage.
+    Aggregate = 3,
+    /// Sort stage.
+    Sort = 4,
+    /// Projection stage.
+    Project = 5,
+    /// Limit stage.
+    Limit = 6,
+    /// Duplicate-elimination stage.
+    Distinct = 7,
+    /// Heap-based top-k stage.
+    TopK = 8,
+    /// The CJOIN global-query-plan stage (mounted by `qs-core`).
+    Cjoin = 9,
+}
+
+/// Number of stage kinds.
+pub const NUM_STAGES: usize = 10;
+
+/// All stage kinds, index-ordered.
+pub const ALL_STAGES: [StageKind; NUM_STAGES] = [
+    StageKind::Scan,
+    StageKind::Filter,
+    StageKind::Join,
+    StageKind::Aggregate,
+    StageKind::Sort,
+    StageKind::Project,
+    StageKind::Limit,
+    StageKind::Distinct,
+    StageKind::TopK,
+    StageKind::Cjoin,
+];
+
+impl StageKind {
+    /// Stable display name.
+    pub fn name(self) -> &'static str {
+        match self {
+            StageKind::Scan => "scan",
+            StageKind::Filter => "filter",
+            StageKind::Join => "join",
+            StageKind::Aggregate => "aggregate",
+            StageKind::Sort => "sort",
+            StageKind::Project => "project",
+            StageKind::Limit => "limit",
+            StageKind::Distinct => "distinct",
+            StageKind::TopK => "topk",
+            StageKind::Cjoin => "cjoin",
+        }
+    }
+}
+
+/// Live, thread-safe counters. Shared as `Arc<Metrics>` by every operator.
+#[derive(Debug, Default)]
+pub struct Metrics {
+    sp_hits: [AtomicU64; NUM_STAGES],
+    sp_misses: [AtomicU64; NUM_STAGES],
+    packets: [AtomicU64; NUM_STAGES],
+    /// Pages deep-copied by push-based SP (one per extra consumer).
+    pub pages_copied: AtomicU64,
+    /// Bytes deep-copied by push-based SP.
+    pub bytes_copied: AtomicU64,
+    /// Pages appended to SPLs (pull-based sharing, zero copies).
+    pub pages_shared: AtomicU64,
+    /// Bytes made available through SPLs.
+    pub bytes_shared: AtomicU64,
+    /// Nanoseconds of CPU-governed operator work.
+    pub busy_nanos: AtomicU64,
+    /// Rows emitted by scans after selection.
+    pub rows_scanned: AtomicU64,
+    /// Rows emitted by joins.
+    pub rows_joined: AtomicU64,
+    /// Completed queries.
+    pub queries_completed: AtomicU64,
+}
+
+impl Metrics {
+    /// Fresh counters.
+    pub fn new() -> std::sync::Arc<Self> {
+        std::sync::Arc::new(Metrics::default())
+    }
+
+    /// Record an SP subscription (the incoming packet rode an in-flight
+    /// one).
+    pub fn sp_hit(&self, stage: StageKind) {
+        self.sp_hits[stage as usize].fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Record an SP lookup that found no shareable packet.
+    pub fn sp_miss(&self, stage: StageKind) {
+        self.sp_misses[stage as usize].fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Record a packet dispatched to a stage.
+    pub fn packet(&self, stage: StageKind) {
+        self.packets[stage as usize].fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Point-in-time snapshot.
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        let arr = |a: &[AtomicU64; NUM_STAGES]| -> [u64; NUM_STAGES] {
+            std::array::from_fn(|i| a[i].load(Ordering::Relaxed))
+        };
+        MetricsSnapshot {
+            sp_hits: arr(&self.sp_hits),
+            sp_misses: arr(&self.sp_misses),
+            packets: arr(&self.packets),
+            pages_copied: self.pages_copied.load(Ordering::Relaxed),
+            bytes_copied: self.bytes_copied.load(Ordering::Relaxed),
+            pages_shared: self.pages_shared.load(Ordering::Relaxed),
+            bytes_shared: self.bytes_shared.load(Ordering::Relaxed),
+            busy_nanos: self.busy_nanos.load(Ordering::Relaxed),
+            rows_scanned: self.rows_scanned.load(Ordering::Relaxed),
+            rows_joined: self.rows_joined.load(Ordering::Relaxed),
+            queries_completed: self.queries_completed.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Reset every counter (between experiment points).
+    pub fn reset(&self) {
+        for i in 0..NUM_STAGES {
+            self.sp_hits[i].store(0, Ordering::Relaxed);
+            self.sp_misses[i].store(0, Ordering::Relaxed);
+            self.packets[i].store(0, Ordering::Relaxed);
+        }
+        self.pages_copied.store(0, Ordering::Relaxed);
+        self.bytes_copied.store(0, Ordering::Relaxed);
+        self.pages_shared.store(0, Ordering::Relaxed);
+        self.bytes_shared.store(0, Ordering::Relaxed);
+        self.busy_nanos.store(0, Ordering::Relaxed);
+        self.rows_scanned.store(0, Ordering::Relaxed);
+        self.rows_joined.store(0, Ordering::Relaxed);
+        self.queries_completed.store(0, Ordering::Relaxed);
+    }
+}
+
+/// Immutable snapshot of [`Metrics`].
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct MetricsSnapshot {
+    /// SP subscriptions per stage.
+    pub sp_hits: [u64; NUM_STAGES],
+    /// SP lookups that missed, per stage.
+    pub sp_misses: [u64; NUM_STAGES],
+    /// Packets dispatched per stage.
+    pub packets: [u64; NUM_STAGES],
+    /// Pages deep-copied (push-based SP fan-out).
+    pub pages_copied: u64,
+    /// Bytes deep-copied.
+    pub bytes_copied: u64,
+    /// Pages shared via SPL (no copy).
+    pub pages_shared: u64,
+    /// Bytes shared via SPL.
+    pub bytes_shared: u64,
+    /// CPU-governed operator time.
+    pub busy_nanos: u64,
+    /// Rows surviving scans.
+    pub rows_scanned: u64,
+    /// Rows produced by joins.
+    pub rows_joined: u64,
+    /// Completed queries.
+    pub queries_completed: u64,
+}
+
+impl MetricsSnapshot {
+    /// Total SP hits across stages.
+    pub fn total_sp_hits(&self) -> u64 {
+        self.sp_hits.iter().sum()
+    }
+
+    /// SP hits for one stage.
+    pub fn sp_hits_for(&self, stage: StageKind) -> u64 {
+        self.sp_hits[stage as usize]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hit_counting_per_stage() {
+        let m = Metrics::new();
+        m.sp_hit(StageKind::Scan);
+        m.sp_hit(StageKind::Scan);
+        m.sp_hit(StageKind::Aggregate);
+        m.sp_miss(StageKind::Join);
+        let s = m.snapshot();
+        assert_eq!(s.sp_hits_for(StageKind::Scan), 2);
+        assert_eq!(s.sp_hits_for(StageKind::Aggregate), 1);
+        assert_eq!(s.sp_hits_for(StageKind::Join), 0);
+        assert_eq!(s.sp_misses[StageKind::Join as usize], 1);
+        assert_eq!(s.total_sp_hits(), 3);
+    }
+
+    #[test]
+    fn reset_zeroes_everything() {
+        let m = Metrics::new();
+        m.sp_hit(StageKind::Scan);
+        m.pages_copied.store(5, Ordering::Relaxed);
+        m.reset();
+        assert_eq!(m.snapshot(), MetricsSnapshot::default());
+    }
+
+    #[test]
+    fn stage_names_unique() {
+        let names: std::collections::HashSet<&str> =
+            ALL_STAGES.iter().map(|s| s.name()).collect();
+        assert_eq!(names.len(), NUM_STAGES);
+    }
+}

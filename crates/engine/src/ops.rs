@@ -1,0 +1,577 @@
+//! Physical operators: the bodies of stage packets.
+//!
+//! Each operator is a blocking pull(inputs)/push(hub) loop. CPU-bound
+//! per-page work runs under a core permit from the [`CoreGovernor`]; waits
+//! on inputs, outputs and simulated disk do not hold a permit.
+
+use crate::agg::{finalize_acc, make_acc, update_acc, Acc};
+use crate::error::EngineError;
+use crate::fifo::PageSource;
+use crate::governor::CoreGovernor;
+use crate::hub::OutputHub;
+use crate::metrics::Metrics;
+use qs_plan::{AggSpec, Expr};
+use qs_storage::{
+    BufferPool, CircularCursor, DataType, Page, PageBuilder, RowRef, Schema, Table,
+};
+use std::collections::HashMap;
+use std::sync::atomic::Ordering;
+use std::sync::Arc;
+
+/// Shared execution context handed to every packet.
+pub struct ExecCtx {
+    /// Buffer pool (scans read through it).
+    pub pool: Arc<BufferPool>,
+    /// CPU-parallelism governor.
+    pub governor: Arc<CoreGovernor>,
+    /// Metrics sink.
+    pub metrics: Arc<Metrics>,
+    /// Byte budget for operator output pages.
+    pub out_page_bytes: usize,
+}
+
+/// The physical operator of one packet.
+pub enum PhysicalOp {
+    /// Circular table scan with optional selection and projection.
+    Scan {
+        /// Table to scan.
+        table: Arc<Table>,
+        /// Selection over the table schema.
+        predicate: Option<Expr>,
+        /// Columns to emit; `None` = all.
+        projection: Option<Vec<usize>>,
+        /// Output schema (projected or full).
+        out_schema: Arc<Schema>,
+    },
+    /// Standalone selection.
+    Filter {
+        /// Predicate over the input schema.
+        predicate: Expr,
+    },
+    /// Hash equi-join: `inputs[0]` is built, `inputs[1]` probes.
+    HashJoin {
+        /// Key column in the build schema.
+        build_key: usize,
+        /// Key column in the probe schema.
+        probe_key: usize,
+        /// `probe ++ build` output schema.
+        out_schema: Arc<Schema>,
+    },
+    /// Hash aggregation.
+    Aggregate {
+        /// Group-by columns over the input schema.
+        group_by: Vec<usize>,
+        /// Aggregate specs.
+        aggs: Vec<AggSpec>,
+        /// Input schema.
+        in_schema: Arc<Schema>,
+        /// Output schema (group cols then agg cols).
+        out_schema: Arc<Schema>,
+    },
+    /// Full sort.
+    Sort {
+        /// `(column, ascending)` keys.
+        keys: Vec<(usize, bool)>,
+        /// Row schema (unchanged by sort).
+        schema: Arc<Schema>,
+    },
+    /// Projection.
+    Project {
+        /// Columns to keep.
+        columns: Vec<usize>,
+        /// Output schema.
+        out_schema: Arc<Schema>,
+    },
+    /// First-n rows.
+    Limit {
+        /// Row budget.
+        n: usize,
+        /// Row schema (unchanged).
+        schema: Arc<Schema>,
+    },
+    /// Whole-row duplicate elimination (first occurrence wins).
+    Distinct {
+        /// Row schema (unchanged).
+        schema: Arc<Schema>,
+    },
+    /// Heap-based top-n in key order.
+    TopK {
+        /// `(column, ascending)` keys.
+        keys: Vec<(usize, bool)>,
+        /// Rows to keep.
+        n: usize,
+        /// Row schema (unchanged).
+        schema: Arc<Schema>,
+    },
+}
+
+/// Execute one packet body: read `inputs`, write to `hub`. The caller
+/// (stage worker) is responsible for `hub.finish()` / `hub.abort()`.
+pub fn execute(
+    op: &PhysicalOp,
+    inputs: &mut [Box<dyn PageSource>],
+    hub: &OutputHub,
+    ctx: &ExecCtx,
+) -> Result<(), EngineError> {
+    match op {
+        PhysicalOp::Scan {
+            table,
+            predicate,
+            projection,
+            out_schema,
+        } => run_scan(table, predicate.as_ref(), projection.as_deref(), out_schema, hub, ctx),
+        PhysicalOp::Filter { predicate } => run_filter(predicate, &mut inputs[0], hub, ctx),
+        PhysicalOp::HashJoin {
+            build_key,
+            probe_key,
+            out_schema,
+        } => {
+            let (build, probe) = inputs.split_at_mut(1);
+            run_hash_join(
+                *build_key,
+                *probe_key,
+                out_schema,
+                &mut build[0],
+                &mut probe[0],
+                hub,
+                ctx,
+            )
+        }
+        PhysicalOp::Aggregate {
+            group_by,
+            aggs,
+            in_schema,
+            out_schema,
+        } => run_aggregate(group_by, aggs, in_schema, out_schema, &mut inputs[0], hub, ctx),
+        PhysicalOp::Sort { keys, schema } => run_sort(keys, schema, &mut inputs[0], hub, ctx),
+        PhysicalOp::Project { columns, out_schema } => {
+            run_project(columns, out_schema, &mut inputs[0], hub, ctx)
+        }
+        PhysicalOp::Limit { n, schema } => run_limit(*n, schema, &mut inputs[0], hub, ctx),
+        PhysicalOp::Distinct { schema } => run_distinct(schema, &mut inputs[0], hub, ctx),
+        PhysicalOp::TopK { keys, n, schema } => {
+            run_topk(keys, *n, schema, &mut inputs[0], hub, ctx)
+        }
+    }
+}
+
+/// Copy the projected columns of `row` into `buf` laid out as `out_schema`.
+#[inline]
+fn project_into(row: &RowRef<'_>, columns: &[usize], out_schema: &Schema, buf: &mut Vec<u8>) {
+    buf.clear();
+    for &c in columns {
+        buf.extend_from_slice(row.col_bytes(c));
+    }
+    debug_assert_eq!(buf.len(), out_schema.row_size());
+}
+
+fn flush_if_full(
+    builder: &mut PageBuilder,
+    hub: &OutputHub,
+) -> Result<(), EngineError> {
+    if builder.is_full() {
+        let page = builder.finish_and_reset();
+        hub.push(Arc::new(page))?;
+    }
+    Ok(())
+}
+
+fn flush_rest(builder: &mut PageBuilder, hub: &OutputHub) -> Result<(), EngineError> {
+    if !builder.is_empty() {
+        let page = builder.finish_and_reset();
+        hub.push(Arc::new(page))?;
+    }
+    Ok(())
+}
+
+fn run_scan(
+    table: &Arc<Table>,
+    predicate: Option<&Expr>,
+    projection: Option<&[usize]>,
+    out_schema: &Arc<Schema>,
+    hub: &OutputHub,
+    ctx: &ExecCtx,
+) -> Result<(), EngineError> {
+    let mut cursor = CircularCursor::new(table.clone());
+    let mut builder = PageBuilder::with_bytes(out_schema.clone(), ctx.out_page_bytes);
+    let mut rowbuf: Vec<u8> = Vec::with_capacity(out_schema.row_size());
+    // Fast path: no selection, no projection — forward table pages as-is
+    // (zero copy; the whole point of page-based exchange).
+    let passthrough = predicate.is_none() && projection.is_none();
+    while let Some(page) = cursor.next_page(&ctx.pool) {
+        if passthrough {
+            ctx.metrics
+                .rows_scanned
+                .fetch_add(page.rows() as u64, Ordering::Relaxed);
+            hub.push(page)?;
+            continue;
+        }
+        let mut emitted = 0u64;
+        // Process the page under a core permit, flushing outside of it.
+        let mut pending: Vec<Arc<Page>> = Vec::new();
+        ctx.governor.run(|| {
+            for row in page.iter() {
+                if let Some(p) = predicate {
+                    if !p.eval(&row) {
+                        continue;
+                    }
+                }
+                emitted += 1;
+                let ok = match projection {
+                    Some(cols) => {
+                        project_into(&row, cols, out_schema, &mut rowbuf);
+                        builder.push_encoded(&rowbuf)
+                    }
+                    None => builder.push_row(row),
+                };
+                debug_assert!(ok);
+                if builder.is_full() {
+                    pending.push(Arc::new(builder.finish_and_reset()));
+                }
+            }
+        });
+        ctx.metrics.rows_scanned.fetch_add(emitted, Ordering::Relaxed);
+        for p in pending {
+            hub.push(p)?;
+        }
+    }
+    flush_rest(&mut builder, hub)
+}
+
+fn run_filter(
+    predicate: &Expr,
+    input: &mut Box<dyn PageSource>,
+    hub: &OutputHub,
+    ctx: &ExecCtx,
+) -> Result<(), EngineError> {
+    let mut builder: Option<PageBuilder> = None;
+    while let Some(page) = input.next_page()? {
+        let b = builder.get_or_insert_with(|| {
+            PageBuilder::with_bytes(page.schema().clone(), ctx.out_page_bytes)
+        });
+        let mut pending: Vec<Arc<Page>> = Vec::new();
+        ctx.governor.run(|| {
+            for row in page.iter() {
+                if predicate.eval(&row) {
+                    let ok = b.push_row(row);
+                    debug_assert!(ok);
+                    if b.is_full() {
+                        pending.push(Arc::new(b.finish_and_reset()));
+                    }
+                }
+            }
+        });
+        for p in pending {
+            hub.push(p)?;
+        }
+    }
+    if let Some(mut b) = builder {
+        flush_rest(&mut b, hub)?;
+    }
+    Ok(())
+}
+
+fn run_hash_join(
+    build_key: usize,
+    probe_key: usize,
+    out_schema: &Arc<Schema>,
+    build: &mut Box<dyn PageSource>,
+    probe: &mut Box<dyn PageSource>,
+    hub: &OutputHub,
+    ctx: &ExecCtx,
+) -> Result<(), EngineError> {
+    // Build phase: hash the (dimension) side.
+    let mut build_pages: Vec<Arc<Page>> = Vec::new();
+    let mut ht: HashMap<i64, Vec<(u32, u32)>> = HashMap::new();
+    while let Some(page) = build.next_page()? {
+        let page_idx = build_pages.len() as u32;
+        ctx.governor.run(|| {
+            for (i, row) in page.iter().enumerate() {
+                ht.entry(row.i64_col(build_key))
+                    .or_default()
+                    .push((page_idx, i as u32));
+            }
+        });
+        build_pages.push(page);
+    }
+
+    // Probe phase: stream the (fact) side.
+    let mut builder = PageBuilder::with_bytes(out_schema.clone(), ctx.out_page_bytes);
+    let mut rowbuf: Vec<u8> = Vec::with_capacity(out_schema.row_size());
+    let mut joined = 0u64;
+    while let Some(page) = probe.next_page()? {
+        let mut pending: Vec<Arc<Page>> = Vec::new();
+        ctx.governor.run(|| {
+            for row in page.iter() {
+                if let Some(matches) = ht.get(&row.i64_col(probe_key)) {
+                    for &(pidx, ridx) in matches {
+                        let brow = build_pages[pidx as usize].row(ridx as usize);
+                        rowbuf.clear();
+                        rowbuf.extend_from_slice(row.bytes());
+                        rowbuf.extend_from_slice(brow.bytes());
+                        let ok = builder.push_encoded(&rowbuf);
+                        debug_assert!(ok);
+                        joined += 1;
+                        if builder.is_full() {
+                            pending.push(Arc::new(builder.finish_and_reset()));
+                        }
+                    }
+                }
+            }
+        });
+        for p in pending {
+            hub.push(p)?;
+        }
+    }
+    ctx.metrics.rows_joined.fetch_add(joined, Ordering::Relaxed);
+    flush_rest(&mut builder, hub)
+}
+
+fn run_aggregate(
+    group_by: &[usize],
+    aggs: &[AggSpec],
+    in_schema: &Arc<Schema>,
+    out_schema: &Arc<Schema>,
+    input: &mut Box<dyn PageSource>,
+    hub: &OutputHub,
+    ctx: &ExecCtx,
+) -> Result<(), EngineError> {
+    // Group key = concatenated raw bytes of the group columns; insertion
+    // order is preserved so output is deterministic given input order.
+    let mut groups: HashMap<Vec<u8>, (u64, Vec<Acc>)> = HashMap::new();
+    let mut order: Vec<Vec<u8>> = Vec::new();
+    let mut seq = 0u64;
+    while let Some(page) = input.next_page()? {
+        ctx.governor.run(|| {
+            for row in page.iter() {
+                let mut key = Vec::with_capacity(16);
+                for &g in group_by {
+                    key.extend_from_slice(row.col_bytes(g));
+                }
+                let entry = groups.entry(key.clone()).or_insert_with(|| {
+                    order.push(key);
+                    seq += 1;
+                    (seq, aggs.iter().map(|a| make_acc(&a.func, in_schema)).collect())
+                });
+                for (acc, spec) in entry.1.iter_mut().zip(aggs) {
+                    update_acc(acc, &spec.func, &row);
+                }
+            }
+        });
+    }
+
+    // Global aggregate over empty input still emits one row of zeroes.
+    if group_by.is_empty() && groups.is_empty() {
+        groups.insert(
+            Vec::new(),
+            (0, aggs.iter().map(|a| make_acc(&a.func, in_schema)).collect()),
+        );
+        order.push(Vec::new());
+    }
+
+    let mut builder = PageBuilder::with_bytes(out_schema.clone(), ctx.out_page_bytes);
+    let mut rowbuf: Vec<u8> = vec![0u8; out_schema.row_size()];
+    for key in &order {
+        let (_, accs) = &groups[key];
+        // Group columns occupy the prefix of the output row with identical
+        // widths, so the key bytes land directly.
+        rowbuf[..key.len()].copy_from_slice(key);
+        for (i, acc) in accs.iter().enumerate() {
+            let col = group_by.len() + i;
+            let v = finalize_acc(acc);
+            qs_storage::row::encode_value(&mut rowbuf, out_schema, col, &v)
+                .map_err(EngineError::Storage)?;
+        }
+        if !builder.push_encoded(&rowbuf) {
+            hub.push(Arc::new(builder.finish_and_reset()))?;
+            let ok = builder.push_encoded(&rowbuf);
+            debug_assert!(ok);
+        }
+        flush_if_full(&mut builder, hub)?;
+    }
+    flush_rest(&mut builder, hub)
+}
+
+/// Compare two encoded rows on the sort keys.
+fn cmp_rows(a: &RowRef<'_>, b: &RowRef<'_>, keys: &[(usize, bool)]) -> std::cmp::Ordering {
+    use std::cmp::Ordering as O;
+    for &(col, asc) in keys {
+        let ord = match a.schema().dtype(col) {
+            DataType::Int => a.i64_col(col).cmp(&b.i64_col(col)),
+            DataType::Float => a.f64_col(col).total_cmp(&b.f64_col(col)),
+            DataType::Date => a.date_col(col).cmp(&b.date_col(col)),
+            DataType::Char(_) => a.str_col(col).cmp(b.str_col(col)),
+        };
+        let ord = if asc { ord } else { ord.reverse() };
+        if ord != O::Equal {
+            return ord;
+        }
+    }
+    O::Equal
+}
+
+fn run_sort(
+    keys: &[(usize, bool)],
+    schema: &Arc<Schema>,
+    input: &mut Box<dyn PageSource>,
+    hub: &OutputHub,
+    ctx: &ExecCtx,
+) -> Result<(), EngineError> {
+    let mut pages: Vec<Arc<Page>> = Vec::new();
+    let mut index: Vec<(u32, u32)> = Vec::new();
+    while let Some(page) = input.next_page()? {
+        let pidx = pages.len() as u32;
+        for i in 0..page.rows() {
+            index.push((pidx, i as u32));
+        }
+        pages.push(page);
+    }
+    ctx.governor.run(|| {
+        index.sort_by(|&(pa, ra), &(pb, rb)| {
+            let a = pages[pa as usize].row(ra as usize);
+            let b = pages[pb as usize].row(rb as usize);
+            cmp_rows(&a, &b, keys)
+        });
+    });
+    let mut builder = PageBuilder::with_bytes(schema.clone(), ctx.out_page_bytes);
+    for &(p, r) in &index {
+        let row = pages[p as usize].row(r as usize);
+        let ok = builder.push_row(row);
+        debug_assert!(ok);
+        flush_if_full(&mut builder, hub)?;
+    }
+    flush_rest(&mut builder, hub)
+}
+
+fn run_project(
+    columns: &[usize],
+    out_schema: &Arc<Schema>,
+    input: &mut Box<dyn PageSource>,
+    hub: &OutputHub,
+    ctx: &ExecCtx,
+) -> Result<(), EngineError> {
+    let mut builder = PageBuilder::with_bytes(out_schema.clone(), ctx.out_page_bytes);
+    let mut rowbuf: Vec<u8> = Vec::with_capacity(out_schema.row_size());
+    while let Some(page) = input.next_page()? {
+        let mut pending: Vec<Arc<Page>> = Vec::new();
+        ctx.governor.run(|| {
+            for row in page.iter() {
+                project_into(&row, columns, out_schema, &mut rowbuf);
+                let ok = builder.push_encoded(&rowbuf);
+                debug_assert!(ok);
+                if builder.is_full() {
+                    pending.push(Arc::new(builder.finish_and_reset()));
+                }
+            }
+        });
+        for p in pending {
+            hub.push(p)?;
+        }
+    }
+    flush_rest(&mut builder, hub)
+}
+
+fn run_distinct(
+    schema: &Arc<Schema>,
+    input: &mut Box<dyn PageSource>,
+    hub: &OutputHub,
+    ctx: &ExecCtx,
+) -> Result<(), EngineError> {
+    // Rows are fixed-width encoded, so whole-row dedup is byte equality.
+    let mut seen: std::collections::HashSet<Vec<u8>> = std::collections::HashSet::new();
+    let mut builder = PageBuilder::with_bytes(schema.clone(), ctx.out_page_bytes);
+    while let Some(page) = input.next_page()? {
+        let mut pending: Vec<Arc<Page>> = Vec::new();
+        ctx.governor.run(|| {
+            for row in page.iter() {
+                if seen.insert(row.bytes().to_vec()) {
+                    let ok = builder.push_row(row);
+                    debug_assert!(ok);
+                    if builder.is_full() {
+                        pending.push(Arc::new(builder.finish_and_reset()));
+                    }
+                }
+            }
+        });
+        for p in pending {
+            hub.push(p)?;
+        }
+    }
+    flush_rest(&mut builder, hub)
+}
+
+fn run_topk(
+    keys: &[(usize, bool)],
+    n: usize,
+    schema: &Arc<Schema>,
+    input: &mut Box<dyn PageSource>,
+    hub: &OutputHub,
+    ctx: &ExecCtx,
+) -> Result<(), EngineError> {
+    if n == 0 {
+        // Still drain the input so the producer is not blocked forever.
+        while input.next_page()?.is_some() {}
+        return Ok(());
+    }
+    // Bounded selection: keep the n best encoded rows seen so far. A
+    // sorted insertion buffer is O(n) per displacing row but n is small
+    // (LIMIT clauses); it keeps the common non-displacing row at one
+    // comparison against the current cutoff.
+    let mut best: Vec<Vec<u8>> = Vec::with_capacity(n + 1);
+    while let Some(page) = input.next_page()? {
+        ctx.governor.run(|| {
+            for row in page.iter() {
+                let full = best.len() == n;
+                if full {
+                    let worst = RowRef::new(best.last().expect("n > 0"), schema);
+                    if cmp_rows(&row, &worst, keys) != std::cmp::Ordering::Less {
+                        continue;
+                    }
+                }
+                let encoded = row.bytes().to_vec();
+                let pos = best.partition_point(|b| {
+                    cmp_rows(&RowRef::new(b, schema), &row, keys) != std::cmp::Ordering::Greater
+                });
+                best.insert(pos, encoded);
+                if best.len() > n {
+                    best.pop();
+                }
+            }
+        });
+    }
+    let mut builder = PageBuilder::with_bytes(schema.clone(), ctx.out_page_bytes);
+    for enc in &best {
+        let ok = builder.push_encoded(enc);
+        debug_assert!(ok);
+        flush_if_full(&mut builder, hub)?;
+    }
+    flush_rest(&mut builder, hub)
+}
+
+fn run_limit(
+    n: usize,
+    schema: &Arc<Schema>,
+    input: &mut Box<dyn PageSource>,
+    hub: &OutputHub,
+    ctx: &ExecCtx,
+) -> Result<(), EngineError> {
+    let mut remaining = n;
+    while let Some(page) = input.next_page()? {
+        if remaining == 0 {
+            break;
+        }
+        if page.rows() <= remaining {
+            remaining -= page.rows();
+            hub.push(page)?;
+        } else {
+            let mut builder = PageBuilder::with_bytes(schema.clone(), ctx.out_page_bytes);
+            for row in page.iter().take(remaining) {
+                let ok = builder.push_row(row);
+                debug_assert!(ok);
+            }
+            remaining = 0;
+            flush_rest(&mut builder, hub)?;
+        }
+    }
+    Ok(())
+}

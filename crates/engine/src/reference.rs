@@ -1,0 +1,497 @@
+//! Serial reference evaluator — the testing oracle.
+//!
+//! A deliberately simple, single-threaded, materializing interpreter of
+//! [`LogicalPlan`]s that shares **no code** with the pipelined engine's
+//! operators. Integration and property tests compare every execution mode
+//! (query-centric, SP-push, SP-pull, GQP, GQP+SP) against this oracle.
+
+use crate::EngineError;
+use qs_plan::{AggFunc, AggSpec, LogicalPlan};
+use qs_storage::{Catalog, DataType, Schema, Value};
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// A row of decoded values.
+pub type Row = Vec<Value>;
+
+/// Hashable/comparable wrapper for group keys over decoded values.
+#[derive(Debug, Clone, PartialEq)]
+struct Key(Vec<Value>);
+
+impl Eq for Key {}
+
+impl std::hash::Hash for Key {
+    fn hash<H: std::hash::Hasher>(&self, state: &mut H) {
+        for v in &self.0 {
+            match v {
+                Value::Int(x) => {
+                    state.write_u8(1);
+                    state.write_i64(*x);
+                }
+                Value::Float(x) => {
+                    state.write_u8(2);
+                    state.write_u64(x.to_bits());
+                }
+                Value::Date(x) => {
+                    state.write_u8(3);
+                    state.write_u32(*x);
+                }
+                Value::Str(s) => {
+                    state.write_u8(4);
+                    state.write(s.as_bytes());
+                }
+            }
+        }
+    }
+}
+
+fn num(v: &Value) -> f64 {
+    match v {
+        Value::Int(x) => *x as f64,
+        Value::Float(x) => *x,
+        Value::Date(x) => *x as f64,
+        Value::Str(_) => panic!("numeric aggregate over string"),
+    }
+}
+
+fn int(v: &Value) -> i64 {
+    match v {
+        Value::Int(x) => *x,
+        other => panic!("expected Int, got {other:?}"),
+    }
+}
+
+/// Evaluate `plan` against the raw table pages (bypassing the buffer
+/// pool), returning decoded rows.
+pub fn eval(plan: &LogicalPlan, catalog: &Catalog) -> Result<Vec<Row>, EngineError> {
+    plan.validate(catalog)?;
+    eval_inner(plan, catalog)
+}
+
+fn eval_inner(plan: &LogicalPlan, catalog: &Catalog) -> Result<Vec<Row>, EngineError> {
+    match plan {
+        LogicalPlan::Scan {
+            table,
+            predicate,
+            projection,
+        } => {
+            let t = catalog.get(table)?;
+            let mut out = Vec::new();
+            for pno in 0..t.page_count() {
+                for row in t.raw_page(pno).iter() {
+                    if let Some(p) = predicate {
+                        if !p.eval(&row) {
+                            continue;
+                        }
+                    }
+                    let vals = row.values();
+                    out.push(match projection {
+                        Some(cols) => cols.iter().map(|&c| vals[c].clone()).collect(),
+                        None => vals,
+                    });
+                }
+            }
+            Ok(out)
+        }
+        LogicalPlan::Filter { input, predicate } => {
+            let in_schema = input.output_schema(catalog)?;
+            let rows = eval_inner(input, catalog)?;
+            Ok(filter_rows(rows, predicate, &in_schema))
+        }
+        LogicalPlan::HashJoin {
+            build,
+            probe,
+            build_key,
+            probe_key,
+        } => {
+            let build_rows = eval_inner(build, catalog)?;
+            let probe_rows = eval_inner(probe, catalog)?;
+            let mut ht: HashMap<i64, Vec<&Row>> = HashMap::new();
+            for r in &build_rows {
+                ht.entry(int(&r[*build_key])).or_default().push(r);
+            }
+            let mut out = Vec::new();
+            for p in &probe_rows {
+                if let Some(matches) = ht.get(&int(&p[*probe_key])) {
+                    for b in matches {
+                        let mut row = p.clone();
+                        row.extend((*b).iter().cloned());
+                        out.push(row);
+                    }
+                }
+            }
+            Ok(out)
+        }
+        LogicalPlan::Aggregate {
+            input,
+            group_by,
+            aggs,
+        } => {
+            let rows = eval_inner(input, catalog)?;
+            let in_schema = input.output_schema(catalog)?;
+            Ok(aggregate_rows(rows, group_by, aggs, &in_schema))
+        }
+        LogicalPlan::Sort { input, keys } => {
+            let mut rows = eval_inner(input, catalog)?;
+            rows.sort_by(|a, b| {
+                for &(c, asc) in keys {
+                    let ord = a[c].total_cmp(&b[c]);
+                    let ord = if asc { ord } else { ord.reverse() };
+                    if ord != std::cmp::Ordering::Equal {
+                        return ord;
+                    }
+                }
+                std::cmp::Ordering::Equal
+            });
+            Ok(rows)
+        }
+        LogicalPlan::Project { input, columns } => {
+            let rows = eval_inner(input, catalog)?;
+            Ok(rows
+                .into_iter()
+                .map(|r| columns.iter().map(|&c| r[c].clone()).collect())
+                .collect())
+        }
+        LogicalPlan::Limit { input, n } => {
+            let mut rows = eval_inner(input, catalog)?;
+            rows.truncate(*n);
+            Ok(rows)
+        }
+        LogicalPlan::Distinct { input } => {
+            let rows = eval_inner(input, catalog)?;
+            let mut seen: std::collections::HashSet<String> = std::collections::HashSet::new();
+            // Values lack Eq/Hash (floats); key on the debug rendering,
+            // which is injective for the four storage types.
+            Ok(rows
+                .into_iter()
+                .filter(|r| seen.insert(format!("{r:?}")))
+                .collect())
+        }
+        LogicalPlan::TopK { input, keys, n } => {
+            // Semantics by definition: full sort, then first n.
+            let mut rows = eval_inner(
+                &LogicalPlan::Sort {
+                    input: input.clone(),
+                    keys: keys.clone(),
+                },
+                catalog,
+            )?;
+            rows.truncate(*n);
+            Ok(rows)
+        }
+    }
+}
+
+fn filter_rows(rows: Vec<Row>, predicate: &qs_plan::Expr, schema: &Arc<Schema>) -> Vec<Row> {
+    // Re-encode rows to reuse Expr::eval (which operates on encoded rows);
+    // this keeps the oracle's predicate semantics identical by
+    // construction while the relational logic stays independent.
+    rows.into_iter()
+        .filter(|r| {
+            let page = qs_storage::Page::from_values(schema, std::slice::from_ref(r))
+                .expect("row fits page");
+            predicate.eval(&page.row(0))
+        })
+        .collect()
+}
+
+fn aggregate_rows(
+    rows: Vec<Row>,
+    group_by: &[usize],
+    aggs: &[AggSpec],
+    in_schema: &Arc<Schema>,
+) -> Vec<Row> {
+    #[derive(Clone)]
+    enum A {
+        Count(i64),
+        SumI(i64),
+        SumF(f64),
+        Avg(f64, i64),
+        Min(Option<Value>),
+        Max(Option<Value>),
+        SumProdI(i64),
+        SumProdF(f64),
+        SumDiffI(i64),
+        SumDiffF(f64),
+    }
+    let is_int = |c: usize| in_schema.dtype(c) == DataType::Int;
+    let mk = |f: &AggFunc| match f {
+        AggFunc::Count => A::Count(0),
+        AggFunc::Sum(c) => {
+            if is_int(*c) {
+                A::SumI(0)
+            } else {
+                A::SumF(0.0)
+            }
+        }
+        AggFunc::Avg(_) => A::Avg(0.0, 0),
+        AggFunc::Min(_) => A::Min(None),
+        AggFunc::Max(_) => A::Max(None),
+        AggFunc::SumProd(a, b) => {
+            if is_int(*a) && is_int(*b) {
+                A::SumProdI(0)
+            } else {
+                A::SumProdF(0.0)
+            }
+        }
+        AggFunc::SumDiff(a, b) => {
+            if is_int(*a) && is_int(*b) {
+                A::SumDiffI(0)
+            } else {
+                A::SumDiffF(0.0)
+            }
+        }
+    };
+
+    let mut groups: HashMap<Key, Vec<A>> = HashMap::new();
+    let mut order: Vec<Key> = Vec::new();
+    for row in &rows {
+        let key = Key(group_by.iter().map(|&g| row[g].clone()).collect());
+        let accs = groups.entry(key.clone()).or_insert_with(|| {
+            order.push(key);
+            aggs.iter().map(|a| mk(&a.func)).collect()
+        });
+        for (acc, spec) in accs.iter_mut().zip(aggs) {
+            match (acc, &spec.func) {
+                (A::Count(n), AggFunc::Count) => *n += 1,
+                (A::SumI(s), AggFunc::Sum(c)) => *s += int(&row[*c]),
+                (A::SumF(s), AggFunc::Sum(c)) => *s += num(&row[*c]),
+                (A::Avg(s, n), AggFunc::Avg(c)) => {
+                    *s += num(&row[*c]);
+                    *n += 1;
+                }
+                (A::Min(m), AggFunc::Min(c)) => {
+                    let v = row[*c].clone();
+                    let replace = m
+                        .as_ref()
+                        .map(|x| v.total_cmp(x) == std::cmp::Ordering::Less)
+                        .unwrap_or(true);
+                    if replace {
+                        *m = Some(v);
+                    }
+                }
+                (A::Max(m), AggFunc::Max(c)) => {
+                    let v = row[*c].clone();
+                    let replace = m
+                        .as_ref()
+                        .map(|x| v.total_cmp(x) == std::cmp::Ordering::Greater)
+                        .unwrap_or(true);
+                    if replace {
+                        *m = Some(v);
+                    }
+                }
+                (A::SumProdI(s), AggFunc::SumProd(a, b)) => {
+                    *s += int(&row[*a]) * int(&row[*b])
+                }
+                (A::SumProdF(s), AggFunc::SumProd(a, b)) => {
+                    *s += num(&row[*a]) * num(&row[*b])
+                }
+                (A::SumDiffI(s), AggFunc::SumDiff(a, b)) => {
+                    *s += int(&row[*a]) - int(&row[*b])
+                }
+                (A::SumDiffF(s), AggFunc::SumDiff(a, b)) => {
+                    *s += num(&row[*a]) - num(&row[*b])
+                }
+                _ => unreachable!("acc/func mismatch"),
+            }
+        }
+    }
+    if group_by.is_empty() && groups.is_empty() {
+        let key = Key(Vec::new());
+        groups.insert(key.clone(), aggs.iter().map(|a| mk(&a.func)).collect());
+        order.push(key);
+    }
+
+    let fin = |a: &A, f: &AggFunc| -> Value {
+        match a {
+            A::Count(n) => Value::Int(*n),
+            A::SumI(s) => Value::Int(*s),
+            A::SumF(s) => Value::Float(*s),
+            A::Avg(s, n) => Value::Float(if *n == 0 { 0.0 } else { s / *n as f64 }),
+            A::Min(m) | A::Max(m) => m.clone().unwrap_or_else(|| {
+                // Empty global aggregate: zero of the column type.
+                let c = f.input_col().expect("min/max has a column");
+                match in_schema.dtype(c) {
+                    DataType::Int => Value::Int(0),
+                    DataType::Float => Value::Float(0.0),
+                    DataType::Date => Value::Date(0),
+                    DataType::Char(_) => Value::Str(String::new()),
+                }
+            }),
+            A::SumProdI(s) | A::SumDiffI(s) => Value::Int(*s),
+            A::SumProdF(s) | A::SumDiffF(s) => Value::Float(*s),
+        }
+    };
+
+    order
+        .into_iter()
+        .map(|key| {
+            let accs = &groups[&key];
+            let mut row: Row = key.0;
+            for (a, spec) in accs.iter().zip(aggs) {
+                row.push(fin(a, &spec.func));
+            }
+            row
+        })
+        .collect()
+}
+
+/// Canonicalize rows for order-insensitive comparison: sorts by the total
+/// order over values.
+pub fn canon(mut rows: Vec<Row>) -> Vec<Row> {
+    rows.sort_by(|a, b| {
+        for (x, y) in a.iter().zip(b.iter()) {
+            let ord = x.total_cmp(y);
+            if ord != std::cmp::Ordering::Equal {
+                return ord;
+            }
+        }
+        a.len().cmp(&b.len())
+    });
+    rows
+}
+
+/// Assert two row sets are equal up to row order, with float tolerance.
+/// Panics with a readable diff on mismatch.
+pub fn assert_rows_match(actual: Vec<Row>, expected: Vec<Row>, float_tol: f64) {
+    let a = canon(actual);
+    let e = canon(expected);
+    assert_eq!(a.len(), e.len(), "row count: got {}, want {}", a.len(), e.len());
+    for (i, (ra, re)) in a.iter().zip(e.iter()).enumerate() {
+        assert_eq!(ra.len(), re.len(), "row {i} arity");
+        for (j, (va, ve)) in ra.iter().zip(re.iter()).enumerate() {
+            let ok = match (va, ve) {
+                (Value::Float(x), Value::Float(y)) => {
+                    (x - y).abs() <= float_tol * (1.0 + y.abs())
+                }
+                (x, y) => x == y,
+            };
+            assert!(ok, "row {i} col {j}: got {va:?}, want {ve:?}");
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qs_plan::{AggSpec, Expr, PlanBuilder};
+    use qs_storage::TableBuilder;
+
+    fn catalog() -> Arc<Catalog> {
+        let cat = Catalog::new();
+        let schema = Schema::from_pairs(&[
+            ("k", DataType::Int),
+            ("g", DataType::Int),
+            ("v", DataType::Int),
+        ]);
+        let mut b = TableBuilder::with_page_bytes("t", schema, 64);
+        for i in 0..10i64 {
+            b.push_values(&[Value::Int(i), Value::Int(i % 2), Value::Int(i * 10)])
+                .unwrap();
+        }
+        cat.register(b);
+        let dim = Schema::from_pairs(&[("dk", DataType::Int), ("label", DataType::Char(3))]);
+        let mut b = TableBuilder::new("d", dim);
+        b.push_values(&[Value::Int(0), Value::Str("ev".into())]).unwrap();
+        b.push_values(&[Value::Int(1), Value::Str("od".into())]).unwrap();
+        cat.register(b);
+        cat
+    }
+
+    #[test]
+    fn scan_filter_project() {
+        let cat = catalog();
+        let plan = PlanBuilder::scan(&cat, "t")
+            .unwrap()
+            .filter(Expr::ge(0, 5i64))
+            .unwrap()
+            .project(&["v"])
+            .unwrap()
+            .build()
+            .unwrap();
+        let rows = eval(&plan, &cat).unwrap();
+        assert_eq!(
+            rows,
+            (5..10).map(|i| vec![Value::Int(i * 10)]).collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
+    fn join_and_group() {
+        let cat = catalog();
+        let plan = PlanBuilder::scan(&cat, "t")
+            .unwrap()
+            .join_dim("d", "g", "dk", None)
+            .unwrap()
+            .aggregate(
+                &["label"],
+                vec![
+                    AggSpec::new(AggFunc::Sum(2), "sum_v"),
+                    AggSpec::new(AggFunc::Count, "n"),
+                ],
+            )
+            .unwrap()
+            .build()
+            .unwrap();
+        let rows = canon(eval(&plan, &cat).unwrap());
+        assert_eq!(
+            rows,
+            vec![
+                vec![Value::Str("ev".into()), Value::Int(200), Value::Int(5)],
+                vec![Value::Str("od".into()), Value::Int(250), Value::Int(5)],
+            ]
+        );
+    }
+
+    #[test]
+    fn sort_limit() {
+        let cat = catalog();
+        let plan = PlanBuilder::scan(&cat, "t")
+            .unwrap()
+            .sort(&[("k", false)])
+            .unwrap()
+            .limit(3)
+            .build()
+            .unwrap();
+        let rows = eval(&plan, &cat).unwrap();
+        let keys: Vec<i64> = rows.iter().map(|r| int(&r[0])).collect();
+        assert_eq!(keys, vec![9, 8, 7]);
+    }
+
+    #[test]
+    fn global_aggregate_on_empty_input() {
+        let cat = catalog();
+        let plan = PlanBuilder::scan(&cat, "t")
+            .unwrap()
+            .filter(Expr::eq(0, 999i64))
+            .unwrap()
+            .aggregate(
+                &[],
+                vec![
+                    AggSpec::new(AggFunc::Count, "n"),
+                    AggSpec::new(AggFunc::Sum(2), "s"),
+                    AggSpec::new(AggFunc::Min(2), "m"),
+                ],
+            )
+            .unwrap()
+            .build()
+            .unwrap();
+        let rows = eval(&plan, &cat).unwrap();
+        assert_eq!(rows, vec![vec![Value::Int(0), Value::Int(0), Value::Int(0)]]);
+    }
+
+    #[test]
+    fn assert_rows_match_tolerates_floats() {
+        assert_rows_match(
+            vec![vec![Value::Float(1.0000000001)]],
+            vec![vec![Value::Float(1.0)]],
+            1e-6,
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "row count")]
+    fn assert_rows_match_detects_missing_rows() {
+        assert_rows_match(vec![], vec![vec![Value::Int(1)]], 0.0);
+    }
+}

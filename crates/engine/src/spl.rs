@@ -1,0 +1,246 @@
+//! The Shared Pages List — the paper's pull-based SP data structure.
+//!
+//! The SPL replaces per-consumer FIFO buffers with one shared,
+//! reference-counted list of pages: the single producer *appends* each
+//! page once, and every consumer advances its own cursor over the list at
+//! its own pace. Sharing a page is an `Arc` clone, not a copy, so adding a
+//! consumer adds no work to the producer — this eliminates the
+//! serialization point of push-based SP (paper §3, "Shared Pages List").
+//!
+//! Consumers can attach at any time before the producer finishes and
+//! always see the *complete* stream (the list retains all pages while
+//! readers may still need them), which also widens the SP window compared
+//! with the strict push-mode window.
+//!
+//! Trade-off, as in the paper: the SPL is unbounded — a slow consumer
+//! does not throttle the producer, it just keeps pages alive longer.
+
+use crate::error::EngineError;
+use crate::fifo::PageSource;
+use parking_lot::{Condvar, Mutex};
+use qs_storage::Page;
+use std::sync::Arc;
+
+struct SplState {
+    pages: Vec<Arc<Page>>,
+    finished: bool,
+    aborted: Option<String>,
+}
+
+/// Single-producer, multi-consumer shared list of pages.
+pub struct SharedPagesList {
+    state: Mutex<SplState>,
+    appended: Condvar,
+}
+
+impl SharedPagesList {
+    /// New, empty list.
+    pub fn new() -> Arc<Self> {
+        Arc::new(SharedPagesList {
+            state: Mutex::new(SplState {
+                pages: Vec::new(),
+                finished: false,
+                aborted: None,
+            }),
+            appended: Condvar::new(),
+        })
+    }
+
+    /// Append a page (producer side). A no-op error after abort.
+    pub fn append(&self, page: Arc<Page>) -> Result<(), EngineError> {
+        let mut st = self.state.lock();
+        if let Some(msg) = &st.aborted {
+            return Err(EngineError::Aborted(msg.clone()));
+        }
+        debug_assert!(!st.finished, "append after finish");
+        st.pages.push(page);
+        self.appended.notify_all();
+        Ok(())
+    }
+
+    /// Mark end of stream.
+    pub fn finish(&self) {
+        let mut st = self.state.lock();
+        st.finished = true;
+        self.appended.notify_all();
+    }
+
+    /// Abort the stream; all readers observe the error.
+    pub fn abort(&self, msg: impl Into<String>) {
+        let mut st = self.state.lock();
+        st.aborted = Some(msg.into());
+        self.appended.notify_all();
+    }
+
+    /// Attach a reader positioned at the start of the list.
+    pub fn reader(self: &Arc<Self>) -> SplReader {
+        SplReader {
+            spl: self.clone(),
+            cursor: 0,
+        }
+    }
+
+    /// Number of pages currently in the list.
+    pub fn len(&self) -> usize {
+        self.state.lock().pages.len()
+    }
+
+    /// Whether no page has been appended yet.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Whether the producer has finished.
+    pub fn is_finished(&self) -> bool {
+        self.state.lock().finished
+    }
+}
+
+/// A consumer cursor over a [`SharedPagesList`].
+pub struct SplReader {
+    spl: Arc<SharedPagesList>,
+    cursor: usize,
+}
+
+impl SplReader {
+    /// Pages this reader has consumed so far.
+    pub fn position(&self) -> usize {
+        self.cursor
+    }
+}
+
+impl PageSource for SplReader {
+    fn next_page(&mut self) -> Result<Option<Arc<Page>>, EngineError> {
+        let mut st = self.spl.state.lock();
+        loop {
+            if let Some(msg) = &st.aborted {
+                return Err(EngineError::Aborted(msg.clone()));
+            }
+            if self.cursor < st.pages.len() {
+                let p = st.pages[self.cursor].clone();
+                self.cursor += 1;
+                return Ok(Some(p));
+            }
+            if st.finished {
+                return Ok(None);
+            }
+            self.spl.appended.wait(&mut st);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qs_storage::{DataType, Schema, Value};
+    use std::time::Duration;
+
+    fn page(k: i64) -> Arc<Page> {
+        let s = Schema::from_pairs(&[("k", DataType::Int)]);
+        Arc::new(Page::from_values(&s, &[vec![Value::Int(k)]]).unwrap())
+    }
+
+    fn drain(mut r: SplReader) -> Vec<i64> {
+        let mut out = Vec::new();
+        while let Some(p) = r.next_page().unwrap() {
+            out.push(p.row(0).i64_col(0));
+        }
+        out
+    }
+
+    #[test]
+    fn all_consumers_see_identical_streams_without_copies() {
+        let spl = SharedPagesList::new();
+        let r1 = spl.reader();
+        let r2 = spl.reader();
+        let p1 = page(1);
+        let p2 = page(2);
+        spl.append(p1.clone()).unwrap();
+        spl.append(p2.clone()).unwrap();
+        spl.finish();
+        let a = drain(r1);
+        let b = drain(r2);
+        assert_eq!(a, vec![1, 2]);
+        assert_eq!(a, b);
+        // Zero copies: 1 in each list slot + our p1 handle = same allocation
+        let mut r3 = spl.reader();
+        let got = r3.next_page().unwrap().unwrap();
+        assert!(Arc::ptr_eq(&got, &p1));
+    }
+
+    #[test]
+    fn late_attach_sees_full_history() {
+        let spl = SharedPagesList::new();
+        spl.append(page(1)).unwrap();
+        spl.append(page(2)).unwrap();
+        let late = spl.reader(); // attaches after 2 pages produced
+        spl.append(page(3)).unwrap();
+        spl.finish();
+        assert_eq!(drain(late), vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn consumers_progress_independently() {
+        let spl = SharedPagesList::new();
+        let mut fast = spl.reader();
+        let mut slow = spl.reader();
+        spl.append(page(1)).unwrap();
+        spl.append(page(2)).unwrap();
+        assert_eq!(fast.next_page().unwrap().unwrap().row(0).i64_col(0), 1);
+        assert_eq!(fast.next_page().unwrap().unwrap().row(0).i64_col(0), 2);
+        assert_eq!(fast.position(), 2);
+        assert_eq!(slow.position(), 0);
+        assert_eq!(slow.next_page().unwrap().unwrap().row(0).i64_col(0), 1);
+        spl.finish();
+        assert!(fast.next_page().unwrap().is_none());
+        assert_eq!(slow.next_page().unwrap().unwrap().row(0).i64_col(0), 2);
+        assert!(slow.next_page().unwrap().is_none());
+    }
+
+    #[test]
+    fn reader_blocks_until_producer_appends() {
+        let spl = SharedPagesList::new();
+        let mut r = spl.reader();
+        let spl2 = spl.clone();
+        let h = std::thread::spawn(move || r.next_page().unwrap().unwrap().row(0).i64_col(0));
+        std::thread::sleep(Duration::from_millis(10));
+        spl2.append(page(9)).unwrap();
+        assert_eq!(h.join().unwrap(), 9);
+    }
+
+    #[test]
+    fn abort_propagates_to_all_readers() {
+        let spl = SharedPagesList::new();
+        let mut r1 = spl.reader();
+        let mut r2 = spl.reader();
+        spl.append(page(1)).unwrap();
+        spl.abort("boom");
+        assert!(matches!(r1.next_page(), Err(EngineError::Aborted(_))));
+        assert!(matches!(r2.next_page(), Err(EngineError::Aborted(_))));
+        assert!(matches!(spl.append(page(2)), Err(EngineError::Aborted(_))));
+    }
+
+    #[test]
+    fn concurrent_producer_and_many_consumers() {
+        let spl = SharedPagesList::new();
+        let readers: Vec<_> = (0..8).map(|_| spl.reader()).collect();
+        let producer = {
+            let spl = spl.clone();
+            std::thread::spawn(move || {
+                for i in 0..100 {
+                    spl.append(page(i)).unwrap();
+                }
+                spl.finish();
+            })
+        };
+        let hs: Vec<_> = readers
+            .into_iter()
+            .map(|r| std::thread::spawn(move || drain(r)))
+            .collect();
+        producer.join().unwrap();
+        let expect: Vec<i64> = (0..100).collect();
+        for h in hs {
+            assert_eq!(h.join().unwrap(), expect);
+        }
+    }
+}

@@ -1,0 +1,343 @@
+//! Stages: QPipe's self-contained operator modules.
+//!
+//! Each relational operator is encapsulated in a stage with a work queue
+//! and a local thread pool (grown on demand so that inter-dependent
+//! packets can never deadlock waiting for a worker). A query plan is
+//! converted into interdependent *packets* dispatched to the stages; data
+//! flows between packets through the [`crate::hub::OutputHub`]s.
+//!
+//! Every stage also carries the **SP registry**: a map from sub-plan
+//! signature to the in-flight packet's output hub. When a new packet
+//! arrives whose signature matches an in-flight one whose sharing window
+//! is still open, the new packet is never executed — it subscribes to the
+//! existing output instead (Simultaneous Pipelining).
+
+use crate::fifo::PageSource;
+use crate::hub::OutputHub;
+use crate::metrics::StageKind;
+use crate::ops::{execute, ExecCtx, PhysicalOp};
+use crate::EngineError;
+use crossbeam::channel::{unbounded, Receiver, Sender};
+use parking_lot::Mutex;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicIsize, AtomicUsize, Ordering};
+use std::sync::{Arc, Weak};
+
+/// A unit of work queued at a stage.
+pub struct Packet {
+    /// Owning query.
+    pub query_id: u64,
+    /// Operator to run.
+    pub op: PhysicalOp,
+    /// Input streams (join: `[build, probe]`).
+    pub inputs: Vec<Box<dyn PageSource>>,
+    /// Output fan-out point.
+    pub hub: Arc<OutputHub>,
+}
+
+/// Per-stage map: sub-plan signature → in-flight packet's hub.
+#[derive(Default)]
+pub struct SpRegistry {
+    inner: Mutex<HashMap<u64, Weak<OutputHub>>>,
+}
+
+impl SpRegistry {
+    /// Try to ride an in-flight packet with the same signature. `None`
+    /// when no such packet exists or its sharing window has closed.
+    /// `cap` is the new consumer's FIFO capacity (push mode): bounded for
+    /// operator inputs, [`crate::hub::UNBOUNDED_CAPACITY`] for root
+    /// tickets — see [`OutputHub::subscribe_with_capacity`].
+    pub fn try_subscribe(&self, sig: u64, cap: usize) -> Option<Box<dyn PageSource>> {
+        let mut map = self.inner.lock();
+        if let Some(weak) = map.get(&sig) {
+            if let Some(hub) = weak.upgrade() {
+                if let Some(reader) = hub.subscribe_with_capacity(cap) {
+                    return Some(reader);
+                }
+            }
+            map.remove(&sig);
+        }
+        None
+    }
+
+    /// Publish a new in-flight packet's hub under its signature.
+    pub fn register(&self, sig: u64, hub: &Arc<OutputHub>) {
+        let mut map = self.inner.lock();
+        map.insert(sig, Arc::downgrade(hub));
+        // Opportunistic pruning keeps the map from accumulating dead
+        // entries across a long workload.
+        if map.len() > 1024 {
+            map.retain(|_, w| w.strong_count() > 0);
+        }
+    }
+
+    /// Number of live registered entries (test/debug).
+    pub fn live_entries(&self) -> usize {
+        self.inner
+            .lock()
+            .values()
+            .filter(|w| w.strong_count() > 0)
+            .count()
+    }
+}
+
+struct StageInner {
+    kind: StageKind,
+    rx: Receiver<Packet>,
+    /// Number of workers guaranteed to be free (waiting in `recv` with no
+    /// packet already earmarked for them). Dispatch consumes one credit
+    /// per packet and spawns a worker when none is left, so the pool can
+    /// never have more outstanding packets than workers — which would
+    /// deadlock when queued packets feed each other through buffers.
+    credits: AtomicIsize,
+    workers: AtomicUsize,
+    max_workers: usize,
+    ctx: Arc<ExecCtx>,
+}
+
+/// One operator stage: queue + elastic thread pool + SP registry.
+pub struct Stage {
+    tx: Sender<Packet>,
+    registry: Arc<SpRegistry>,
+    inner: Arc<StageInner>,
+}
+
+impl Stage {
+    /// Create the stage and start `initial_workers` threads.
+    pub fn new(
+        kind: StageKind,
+        ctx: Arc<ExecCtx>,
+        initial_workers: usize,
+        max_workers: usize,
+    ) -> Self {
+        let (tx, rx) = unbounded();
+        let inner = Arc::new(StageInner {
+            kind,
+            rx,
+            credits: AtomicIsize::new(0),
+            workers: AtomicUsize::new(0),
+            max_workers: max_workers.max(1),
+            ctx,
+        });
+        let stage = Stage {
+            tx,
+            registry: Arc::new(SpRegistry::default()),
+            inner,
+        };
+        for _ in 0..initial_workers.max(1) {
+            Self::spawn_worker(&stage.inner, true);
+        }
+        stage
+    }
+
+    /// This stage's SP registry.
+    pub fn registry(&self) -> &SpRegistry {
+        &self.registry
+    }
+
+    /// Stage kind.
+    pub fn kind(&self) -> StageKind {
+        self.inner.kind
+    }
+
+    /// Current worker-thread count (test/debug).
+    pub fn worker_count(&self) -> usize {
+        self.inner.workers.load(Ordering::Relaxed)
+    }
+
+    /// Queue a packet, growing the pool if no worker is guaranteed free.
+    /// Packets at one stage may depend (through their input streams) on
+    /// packets at other stages or even queued behind them here, so a
+    /// fixed-size pool could deadlock; QPipe's stages grow their local
+    /// pools the same way.
+    pub fn dispatch(&self, packet: Packet) {
+        self.inner.ctx.metrics.packet(self.inner.kind);
+        // Claim a free-worker credit; if none remained, spawn a worker
+        // dedicated (in the counting sense) to this packet.
+        let prev = self.inner.credits.fetch_sub(1, Ordering::AcqRel);
+        if prev <= 0 && self.inner.workers.load(Ordering::Acquire) < self.inner.max_workers {
+            Self::spawn_worker(&self.inner, false);
+        }
+        // Send fails only if every worker exited, which only happens when
+        // the engine is being dropped; dropping the packet then aborts its
+        // consumers via the hub drop chain.
+        let _ = self.tx.send(packet);
+    }
+
+    fn spawn_worker(inner: &Arc<StageInner>, initial_credit: bool) {
+        let inner = inner.clone();
+        inner.workers.fetch_add(1, Ordering::Release);
+        if initial_credit {
+            inner.credits.fetch_add(1, Ordering::AcqRel);
+        }
+        let name = format!("qpipe-{}", inner.kind.name());
+        std::thread::Builder::new()
+            .name(name)
+            .spawn(move || loop {
+                let pkt = inner.rx.recv();
+                match pkt {
+                    Ok(mut pkt) => {
+                        let result =
+                            execute(&pkt.op, &mut pkt.inputs, &pkt.hub, &inner.ctx);
+                        match result {
+                            Ok(()) => pkt.hub.finish(),
+                            Err(EngineError::Cancelled) => {
+                                // Every consumer is gone; nothing to tell.
+                                pkt.hub.abort("cancelled");
+                            }
+                            Err(e) => pkt.hub.abort(e.to_string()),
+                        }
+                        // Dropping the packet drops its input readers,
+                        // cascading cancellation upstream if this packet
+                        // failed mid-stream.
+                        drop(pkt);
+                        // This worker is free again: return its credit so
+                        // the next dispatch reuses it instead of spawning.
+                        inner.credits.fetch_add(1, Ordering::AcqRel);
+                    }
+                    Err(_) => {
+                        inner.workers.fetch_sub(1, Ordering::Release);
+                        break; // engine dropped
+                    }
+                }
+            })
+            .expect("spawn stage worker");
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::governor::CoreGovernor;
+    use crate::hub::ShareMode;
+    use crate::metrics::Metrics;
+    use qs_storage::{
+        BufferPool, BufferPoolConfig, DiskConfig, DiskModel, Schema, TableBuilder, Value,
+    };
+    use qs_storage::{Catalog, DataType};
+
+    fn ctx() -> (Arc<ExecCtx>, Arc<Catalog>) {
+        let catalog = Catalog::new();
+        let schema = Schema::from_pairs(&[("k", DataType::Int)]);
+        let mut b = TableBuilder::with_page_bytes("t", schema, 64);
+        for i in 0..100 {
+            b.push_values(&[Value::Int(i)]).unwrap();
+        }
+        catalog.register(b);
+        let metrics = Metrics::new();
+        let pool = Arc::new(BufferPool::new(
+            BufferPoolConfig::unbounded(),
+            Arc::new(DiskModel::new(DiskConfig::memory_resident())),
+        ));
+        (
+            Arc::new(ExecCtx {
+                pool,
+                governor: CoreGovernor::new(0, metrics.clone()),
+                metrics,
+                out_page_bytes: 64,
+            }),
+            catalog,
+        )
+    }
+
+    fn scan_packet(ctx: &Arc<ExecCtx>, catalog: &Catalog) -> (Packet, Box<dyn PageSource>) {
+        let table = catalog.get("t").unwrap();
+        let out_schema = table.schema().clone();
+        let (hub, reader) = OutputHub::new(
+            ShareMode::Push,
+            StageKind::Scan,
+            8,
+            ctx.metrics.clone(),
+            ctx.governor.clone(),
+        );
+        (
+            Packet {
+                query_id: 1,
+                op: PhysicalOp::Scan {
+                    table,
+                    predicate: None,
+                    projection: None,
+                    out_schema,
+                },
+                inputs: vec![],
+                hub,
+            },
+            reader,
+        )
+    }
+
+    #[test]
+    fn stage_executes_packets() {
+        let (ctx, catalog) = ctx();
+        let stage = Stage::new(StageKind::Scan, ctx.clone(), 1, 8);
+        let (pkt, mut reader) = scan_packet(&ctx, &catalog);
+        stage.dispatch(pkt);
+        let mut rows = 0;
+        while let Some(p) = reader.next_page().unwrap() {
+            rows += p.rows();
+        }
+        assert_eq!(rows, 100);
+    }
+
+    #[test]
+    fn pool_grows_under_concurrent_packets() {
+        let (ctx, catalog) = ctx();
+        let stage = Stage::new(StageKind::Scan, ctx.clone(), 1, 64);
+        let mut readers = Vec::new();
+        for _ in 0..6 {
+            let (pkt, reader) = scan_packet(&ctx, &catalog);
+            stage.dispatch(pkt);
+            readers.push(reader);
+        }
+        // All six scans complete even though we started with one worker
+        // (the FIFO capacity of 8 pages < 25 pages forces real pipelining).
+        for mut r in readers {
+            let mut rows = 0;
+            while let Some(p) = r.next_page().unwrap() {
+                rows += p.rows();
+            }
+            assert_eq!(rows, 100);
+        }
+        assert!(stage.worker_count() >= 2);
+    }
+
+    #[test]
+    fn registry_subscribe_and_expiry() {
+        let (ctx, _) = ctx();
+        let reg = SpRegistry::default();
+        let (hub, _primary) = OutputHub::new(
+            ShareMode::Pull,
+            StageKind::Scan,
+            8,
+            ctx.metrics.clone(),
+            ctx.governor.clone(),
+        );
+        reg.register(42, &hub);
+        assert!(reg.try_subscribe(42, 8).is_some());
+        assert!(reg.try_subscribe(7, 8).is_none());
+        assert_eq!(reg.live_entries(), 1);
+        drop(hub);
+        assert!(reg.try_subscribe(42, 8).is_none(), "dead hub pruned");
+        assert_eq!(reg.live_entries(), 0);
+    }
+
+    #[test]
+    fn push_registry_window_closes_after_start() {
+        let (ctx, _) = ctx();
+        let reg = SpRegistry::default();
+        let (hub, _primary) = OutputHub::new(
+            ShareMode::Push,
+            StageKind::Scan,
+            8,
+            ctx.metrics.clone(),
+            ctx.governor.clone(),
+        );
+        reg.register(42, &hub);
+        let s = Schema::from_pairs(&[("k", DataType::Int)]);
+        hub.push(Arc::new(
+            qs_storage::Page::from_values(&s, &[vec![Value::Int(1)]]).unwrap(),
+        ))
+        .unwrap();
+        assert!(reg.try_subscribe(42, 8).is_none(), "push window closed");
+    }
+}

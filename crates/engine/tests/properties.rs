@@ -1,0 +1,260 @@
+//! Property-based tests for the engine's sharing machinery and operators:
+//! SPL delivery under arbitrary interleavings, hub fan-out equivalence,
+//! and mode-invariance of random plans against the reference evaluator.
+
+use proptest::prelude::*;
+use qs_engine::reference::{assert_rows_match, eval};
+use qs_engine::{
+    EngineConfig, PageSource, QpipeEngine, ShareMode, SharedPagesList, SharingPolicy,
+};
+use qs_plan::{AggFunc, AggSpec, CmpOp, Expr, LogicalPlan};
+use qs_storage::{
+    BufferPool, BufferPoolConfig, Catalog, DataType, DiskConfig, DiskModel, Page, Schema,
+    TableBuilder, Value,
+};
+use std::sync::Arc;
+
+fn page(k: i64) -> Arc<Page> {
+    let s = Schema::from_pairs(&[("k", DataType::Int)]);
+    Arc::new(Page::from_values(&s, &[vec![Value::Int(k)]]).unwrap())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Whatever schedule of appends and reads happens, every SPL consumer
+    /// sees exactly the appended sequence.
+    #[test]
+    fn spl_consumers_always_see_the_full_stream(
+        n_pages in 1usize..50,
+        n_readers in 1usize..6,
+        // per-reader random "work" injected between reads
+        delays in prop::collection::vec(0u64..50, 6),
+    ) {
+        let spl = SharedPagesList::new();
+        let readers: Vec<_> = (0..n_readers).map(|_| spl.reader()).collect();
+        let producer = {
+            let spl = spl.clone();
+            std::thread::spawn(move || {
+                for i in 0..n_pages {
+                    spl.append(page(i as i64)).unwrap();
+                }
+                spl.finish();
+            })
+        };
+        let handles: Vec<_> = readers
+            .into_iter()
+            .enumerate()
+            .map(|(r, mut reader)| {
+                let spin = delays[r % delays.len()];
+                std::thread::spawn(move || {
+                    let mut got = Vec::new();
+                    while let Some(p) = reader.next_page().unwrap() {
+                        got.push(p.row(0).i64_col(0));
+                        for _ in 0..spin {
+                            std::hint::spin_loop();
+                        }
+                    }
+                    got
+                })
+            })
+            .collect();
+        producer.join().unwrap();
+        let expect: Vec<i64> = (0..n_pages as i64).collect();
+        for h in handles {
+            prop_assert_eq!(h.join().unwrap(), expect.clone());
+        }
+    }
+
+    /// A random single-table plan (filter + aggregate) returns the
+    /// oracle's answer under every sharing configuration, submitted as a
+    /// concurrent batch.
+    #[test]
+    fn random_plans_are_mode_invariant(
+        rows in prop::collection::vec((any::<i16>(), 0i64..8), 1..300),
+        threshold in any::<i16>(),
+        op in prop_oneof![Just(CmpOp::Lt), Just(CmpOp::Ge), Just(CmpOp::Eq)],
+        k in 1usize..4,
+    ) {
+        let catalog = Catalog::new();
+        let schema = Schema::from_pairs(&[("v", DataType::Int), ("g", DataType::Int)]);
+        let mut b = TableBuilder::with_page_bytes("t", schema, 64);
+        for (v, g) in &rows {
+            b.push_values(&[Value::Int(*v as i64), Value::Int(*g)]).unwrap();
+        }
+        catalog.register(b);
+
+        let plan = LogicalPlan::Aggregate {
+            input: Box::new(LogicalPlan::Scan {
+                table: "t".into(),
+                predicate: Some(Expr::Cmp {
+                    col: 0,
+                    op,
+                    lit: Value::Int(threshold as i64),
+                }),
+                projection: None,
+            }),
+            group_by: vec![1],
+            aggs: vec![
+                AggSpec::new(AggFunc::Sum(0), "s"),
+                AggSpec::new(AggFunc::Count, "n"),
+                AggSpec::new(AggFunc::Min(0), "mn"),
+                AggSpec::new(AggFunc::Max(0), "mx"),
+            ],
+        };
+        let expected = eval(&plan, &catalog).unwrap();
+
+        for sharing in [
+            SharingPolicy::query_centric(),
+            SharingPolicy::all_stages(ShareMode::Push),
+            SharingPolicy::all_stages(ShareMode::Pull),
+        ] {
+            let pool = Arc::new(BufferPool::new(
+                BufferPoolConfig::unbounded(),
+                Arc::new(DiskModel::new(DiskConfig::memory_resident())),
+            ));
+            let engine = QpipeEngine::new(
+                catalog.clone(),
+                pool,
+                EngineConfig {
+                    out_page_bytes: 64,
+                    fifo_capacity: 2,
+                    sharing,
+                    ..Default::default()
+                },
+            );
+            let tickets = engine.submit_batch(&vec![plan.clone(); k]).unwrap();
+            for t in tickets {
+                assert_rows_match(t.collect_rows().unwrap(), expected.clone(), 1e-9);
+            }
+        }
+    }
+
+    /// Random sort keys: engine sort output is totally ordered per keys
+    /// and is a permutation of the input.
+    #[test]
+    fn sort_is_a_correct_permutation(
+        rows in prop::collection::vec((any::<i8>(), any::<i8>()), 1..200),
+        asc0 in any::<bool>(),
+        asc1 in any::<bool>(),
+    ) {
+        let catalog = Catalog::new();
+        let schema = Schema::from_pairs(&[("a", DataType::Int), ("b", DataType::Int)]);
+        let mut b = TableBuilder::with_page_bytes("t", schema, 48);
+        for (a, bb) in &rows {
+            b.push_values(&[Value::Int(*a as i64), Value::Int(*bb as i64)]).unwrap();
+        }
+        catalog.register(b);
+        let plan = LogicalPlan::Sort {
+            input: Box::new(LogicalPlan::Scan {
+                table: "t".into(),
+                predicate: None,
+                projection: None,
+            }),
+            keys: vec![(0, asc0), (1, asc1)],
+        };
+        let pool = Arc::new(BufferPool::new(
+            BufferPoolConfig::unbounded(),
+            Arc::new(DiskModel::new(DiskConfig::memory_resident())),
+        ));
+        let engine = QpipeEngine::new(catalog.clone(), pool, EngineConfig {
+            out_page_bytes: 48,
+            ..Default::default()
+        });
+        let got = engine.submit(&plan).unwrap().collect_rows().unwrap();
+        prop_assert_eq!(got.len(), rows.len());
+        // ordered per keys
+        for w in got.windows(2) {
+            let (a0, b0) = (w[0][0].as_int().unwrap(), w[0][1].as_int().unwrap());
+            let (a1, b1) = (w[1][0].as_int().unwrap(), w[1][1].as_int().unwrap());
+            let c0 = if asc0 { a0.cmp(&a1) } else { a1.cmp(&a0) };
+            let ord = c0.then(if asc1 { b0.cmp(&b1) } else { b1.cmp(&b0) });
+            prop_assert_ne!(ord, std::cmp::Ordering::Greater);
+        }
+        // permutation of the input
+        let mut got_pairs: Vec<(i64, i64)> = got
+            .iter()
+            .map(|r| (r[0].as_int().unwrap(), r[1].as_int().unwrap()))
+            .collect();
+        let mut want: Vec<(i64, i64)> =
+            rows.iter().map(|(a, b)| (*a as i64, *b as i64)).collect();
+        got_pairs.sort_unstable();
+        want.sort_unstable();
+        prop_assert_eq!(got_pairs, want);
+    }
+
+    /// Limit returns exactly min(n, rows) rows, a prefix-compatible subset.
+    #[test]
+    fn limit_bounds_rows(
+        n_rows in 0usize..100,
+        limit in 0usize..120,
+    ) {
+        let catalog = Catalog::new();
+        let schema = Schema::from_pairs(&[("k", DataType::Int)]);
+        let mut b = TableBuilder::with_page_bytes("t", schema, 32);
+        for i in 0..n_rows {
+            b.push_values(&[Value::Int(i as i64)]).unwrap();
+        }
+        catalog.register(b);
+        let plan = LogicalPlan::Limit {
+            input: Box::new(LogicalPlan::Scan {
+                table: "t".into(),
+                predicate: None,
+                projection: None,
+            }),
+            n: limit,
+        };
+        let pool = Arc::new(BufferPool::new(
+            BufferPoolConfig::unbounded(),
+            Arc::new(DiskModel::new(DiskConfig::memory_resident())),
+        ));
+        let engine = QpipeEngine::new(catalog.clone(), pool, EngineConfig {
+            out_page_bytes: 32,
+            ..Default::default()
+        });
+        let got = engine.submit(&plan).unwrap().collect_rows().unwrap();
+        prop_assert_eq!(got.len(), limit.min(n_rows));
+    }
+}
+
+/// One non-proptest regression: a PageSource chain across push and pull
+/// hubs must interoperate (pull producer feeding push consumer).
+#[test]
+fn mixed_mode_plan_works() {
+    let catalog = Catalog::new();
+    let schema = Schema::from_pairs(&[("v", DataType::Int)]);
+    let mut b = TableBuilder::with_page_bytes("t", schema, 32);
+    for i in 0..50 {
+        b.push_values(&[Value::Int(i)]).unwrap();
+    }
+    catalog.register(b);
+    // Scan shares (pull), aggregate does not (push FIFO).
+    let plan = LogicalPlan::Aggregate {
+        input: Box::new(LogicalPlan::Scan {
+            table: "t".into(),
+            predicate: None,
+            projection: None,
+        }),
+        group_by: vec![],
+        aggs: vec![AggSpec::new(AggFunc::Sum(0), "s")],
+    };
+    let pool = Arc::new(BufferPool::new(
+        BufferPoolConfig::unbounded(),
+        Arc::new(DiskModel::new(DiskConfig::memory_resident())),
+    ));
+    let engine = QpipeEngine::new(
+        catalog.clone(),
+        pool,
+        EngineConfig {
+            sharing: SharingPolicy::scan_only(ShareMode::Pull),
+            out_page_bytes: 32,
+            ..Default::default()
+        },
+    );
+    let tickets = engine.submit_batch(&vec![plan.clone(); 3]).unwrap();
+    for t in tickets {
+        let rows = t.collect_rows().unwrap();
+        assert_eq!(rows, vec![vec![Value::Int((0..50).sum())]]);
+    }
+    assert_eq!(engine.metrics().sp_hits[qs_engine::StageKind::Scan as usize], 2);
+}

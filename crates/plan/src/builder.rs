@@ -1,0 +1,268 @@
+//! Fluent plan builder with name-based column resolution.
+//!
+//! The workload templates and examples build plans by column *name*; the
+//! builder tracks the evolving output schema so names resolve correctly
+//! through joins and aggregates.
+
+use crate::expr::Expr;
+use crate::plan::{AggSpec, LogicalPlan, PlanError};
+use crate::Result;
+use qs_storage::{Catalog, Schema};
+use std::sync::Arc;
+
+/// Builds a [`LogicalPlan`] bottom-up while tracking the current schema.
+pub struct PlanBuilder<'c> {
+    catalog: &'c Catalog,
+    plan: LogicalPlan,
+    schema: Arc<Schema>,
+}
+
+impl<'c> PlanBuilder<'c> {
+    /// Start from a full scan of `table`.
+    pub fn scan(catalog: &'c Catalog, table: &str) -> Result<Self> {
+        let t = catalog.get(table)?;
+        Ok(PlanBuilder {
+            catalog,
+            plan: LogicalPlan::Scan {
+                table: table.to_string(),
+                predicate: None,
+                projection: None,
+            },
+            schema: t.schema().clone(),
+        })
+    }
+
+    /// Current output schema.
+    pub fn schema(&self) -> &Arc<Schema> {
+        &self.schema
+    }
+
+    /// Resolve a column name in the current schema.
+    pub fn col(&self, name: &str) -> Result<usize> {
+        Ok(self.schema.index_of(name)?)
+    }
+
+    /// Apply a predicate. If the current node is a `Scan`, the predicate is
+    /// pushed into it (merged with any existing one); otherwise a `Filter`
+    /// node is added.
+    pub fn filter(mut self, pred: Expr) -> Result<Self> {
+        pred.validate(&self.schema).map_err(PlanError::Invalid)?;
+        match &mut self.plan {
+            LogicalPlan::Scan { predicate, .. } => {
+                *predicate = Some(match predicate.take() {
+                    Some(existing) => Expr::and(vec![existing, pred]),
+                    None => pred,
+                });
+            }
+            _ => {
+                self.plan = LogicalPlan::Filter {
+                    input: Box::new(self.plan),
+                    predicate: pred,
+                };
+            }
+        }
+        Ok(self)
+    }
+
+    /// Join the current plan (as probe side) with a scan of `dim_table`
+    /// (as build side): `current.probe_key = dim.dim_key`, with an optional
+    /// predicate on the dimension.
+    pub fn join_dim(
+        mut self,
+        dim_table: &str,
+        probe_key: &str,
+        dim_key: &str,
+        dim_predicate: Option<Expr>,
+    ) -> Result<Self> {
+        let dim = self.catalog.get(dim_table)?;
+        let probe_key_idx = self.schema.index_of(probe_key)?;
+        let dim_key_idx = dim.schema().index_of(dim_key)?;
+        if let Some(p) = &dim_predicate {
+            p.validate(dim.schema()).map_err(PlanError::Invalid)?;
+        }
+        let dim_schema = dim.schema().clone();
+        self.schema = self.schema.join(&dim_schema);
+        self.plan = LogicalPlan::HashJoin {
+            build: Box::new(LogicalPlan::Scan {
+                table: dim_table.to_string(),
+                predicate: dim_predicate,
+                projection: None,
+            }),
+            probe: Box::new(self.plan),
+            build_key: dim_key_idx,
+            probe_key: probe_key_idx,
+        };
+        Ok(self)
+    }
+
+    /// Aggregate with named group-by columns.
+    pub fn aggregate(mut self, group_by: &[&str], aggs: Vec<AggSpec>) -> Result<Self> {
+        let group_idx: Vec<usize> = group_by
+            .iter()
+            .map(|n| self.schema.index_of(n).map_err(PlanError::from))
+            .collect::<Result<_>>()?;
+        self.plan = LogicalPlan::Aggregate {
+            input: Box::new(self.plan),
+            group_by: group_idx,
+            aggs,
+        };
+        self.schema = self.plan.output_schema(self.catalog)?;
+        Ok(self)
+    }
+
+    /// Sort by named keys.
+    pub fn sort(mut self, keys: &[(&str, bool)]) -> Result<Self> {
+        let key_idx: Vec<(usize, bool)> = keys
+            .iter()
+            .map(|(n, asc)| {
+                self.schema
+                    .index_of(n)
+                    .map(|i| (i, *asc))
+                    .map_err(PlanError::from)
+            })
+            .collect::<Result<_>>()?;
+        self.plan = LogicalPlan::Sort {
+            input: Box::new(self.plan),
+            keys: key_idx,
+        };
+        Ok(self)
+    }
+
+    /// Keep only the named columns.
+    pub fn project(mut self, columns: &[&str]) -> Result<Self> {
+        let idx: Vec<usize> = columns
+            .iter()
+            .map(|n| self.schema.index_of(n).map_err(PlanError::from))
+            .collect::<Result<_>>()?;
+        self.schema = self.schema.project(&idx);
+        self.plan = LogicalPlan::Project {
+            input: Box::new(self.plan),
+            columns: idx,
+        };
+        Ok(self)
+    }
+
+    /// Keep at most `n` rows.
+    pub fn limit(mut self, n: usize) -> Self {
+        self.plan = LogicalPlan::Limit {
+            input: Box::new(self.plan),
+            n,
+        };
+        self
+    }
+
+    /// Finish, validating the complete plan.
+    pub fn build(self) -> Result<LogicalPlan> {
+        self.plan.validate(self.catalog)?;
+        Ok(self.plan)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::plan::AggFunc;
+    use crate::StarQuery;
+    use qs_storage::{DataType, TableBuilder, Value};
+
+    fn catalog() -> Arc<Catalog> {
+        let cat = Catalog::new();
+        let fact = Schema::from_pairs(&[
+            ("f_dk", DataType::Int),
+            ("rev", DataType::Int),
+        ]);
+        let mut b = TableBuilder::new("fact", fact);
+        b.push_values(&[Value::Int(1), Value::Int(5)]).unwrap();
+        cat.register(b);
+        let dim = Schema::from_pairs(&[("k", DataType::Int), ("year", DataType::Int)]);
+        let mut b = TableBuilder::new("dim", dim);
+        b.push_values(&[Value::Int(1), Value::Int(1997)]).unwrap();
+        cat.register(b);
+        cat
+    }
+
+    #[test]
+    fn builds_star_plan_with_names() {
+        let cat = catalog();
+        let b = PlanBuilder::scan(&cat, "fact").unwrap();
+        let year_pred = Expr::eq(1, 1997i64);
+        let plan = b
+            .join_dim("dim", "f_dk", "k", Some(year_pred))
+            .unwrap()
+            .aggregate(&["year"], vec![AggSpec::new(AggFunc::Sum(1), "sum_rev")])
+            .unwrap()
+            .build()
+            .unwrap();
+        let sq = StarQuery::detect(&plan, &cat).expect("is star");
+        assert_eq!(sq.dims[0].table, "dim");
+        let out = plan.output_schema(&cat).unwrap();
+        assert_eq!(out.column(0).name, "year");
+        assert_eq!(out.column(1).name, "sum_rev");
+    }
+
+    #[test]
+    fn filter_pushes_into_scan_and_merges() {
+        let cat = catalog();
+        let plan = PlanBuilder::scan(&cat, "fact")
+            .unwrap()
+            .filter(Expr::ge(1, 0i64))
+            .unwrap()
+            .filter(Expr::lt(1, 100i64))
+            .unwrap()
+            .build()
+            .unwrap();
+        match &plan {
+            LogicalPlan::Scan { predicate, .. } => {
+                assert!(matches!(predicate, Some(Expr::And(parts)) if parts.len() == 2));
+            }
+            other => panic!("expected scan, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn filter_above_join_becomes_filter_node() {
+        let cat = catalog();
+        let b = PlanBuilder::scan(&cat, "fact").unwrap();
+        let plan = b
+            .join_dim("dim", "f_dk", "k", None)
+            .unwrap()
+            .filter(Expr::eq(3, 1997i64)) // dim.year in joined schema
+            .unwrap()
+            .build()
+            .unwrap();
+        assert!(matches!(plan, LogicalPlan::Filter { .. }));
+    }
+
+    #[test]
+    fn name_resolution_errors() {
+        let cat = catalog();
+        let b = PlanBuilder::scan(&cat, "fact").unwrap();
+        assert!(b.col("nope").is_err());
+        assert!(PlanBuilder::scan(&cat, "missing").is_err());
+    }
+
+    #[test]
+    fn sort_project_limit_chain() {
+        let cat = catalog();
+        let plan = PlanBuilder::scan(&cat, "fact")
+            .unwrap()
+            .sort(&[("rev", false)])
+            .unwrap()
+            .project(&["rev"])
+            .unwrap()
+            .limit(10)
+            .build()
+            .unwrap();
+        assert!(matches!(plan, LogicalPlan::Limit { .. }));
+        let s = plan.output_schema(&cat).unwrap();
+        assert_eq!(s.len(), 1);
+        assert_eq!(s.column(0).name, "rev");
+    }
+
+    #[test]
+    fn invalid_predicate_rejected_at_filter() {
+        let cat = catalog();
+        let b = PlanBuilder::scan(&cat, "fact").unwrap();
+        assert!(b.filter(Expr::eq(9, 1i64)).is_err());
+    }
+}

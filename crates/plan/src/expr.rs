@@ -1,0 +1,407 @@
+//! Predicate and scalar expressions over encoded rows.
+//!
+//! Expressions are evaluated directly against [`RowRef`]s (no `Value`
+//! materialization on the comparison fast paths for `Int`/`Float`/`Date`
+//! columns). They are also hashed structurally for SP signatures — two
+//! queries share a sub-plan only if their predicates are *identical*, which
+//! is exactly the paper's SP eligibility rule.
+
+use qs_storage::{DataType, RowRef, Schema, Value};
+use serde::{Deserialize, Serialize};
+use std::cmp::Ordering;
+
+/// Comparison operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum CmpOp {
+    /// `=`
+    Eq,
+    /// `<>`
+    Ne,
+    /// `<`
+    Lt,
+    /// `<=`
+    Le,
+    /// `>`
+    Gt,
+    /// `>=`
+    Ge,
+}
+
+impl CmpOp {
+    /// Does `ord` (lhs vs rhs) satisfy the operator?
+    #[inline]
+    pub fn matches(self, ord: Ordering) -> bool {
+        match self {
+            CmpOp::Eq => ord == Ordering::Equal,
+            CmpOp::Ne => ord != Ordering::Equal,
+            CmpOp::Lt => ord == Ordering::Less,
+            CmpOp::Le => ord != Ordering::Greater,
+            CmpOp::Gt => ord == Ordering::Greater,
+            CmpOp::Ge => ord != Ordering::Less,
+        }
+    }
+
+    /// SQL spelling (for `EXPLAIN`-style output).
+    pub fn symbol(self) -> &'static str {
+        match self {
+            CmpOp::Eq => "=",
+            CmpOp::Ne => "<>",
+            CmpOp::Lt => "<",
+            CmpOp::Le => "<=",
+            CmpOp::Gt => ">",
+            CmpOp::Ge => ">=",
+        }
+    }
+}
+
+/// A boolean predicate over one row.
+///
+/// Column references are positional (resolved against the input schema at
+/// plan-build time), which keeps evaluation allocation-free and makes the
+/// structural signature well-defined.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum Expr {
+    /// `col <op> literal`
+    Cmp {
+        /// Column index in the input schema.
+        col: usize,
+        /// Operator.
+        op: CmpOp,
+        /// Literal to compare against.
+        lit: Value,
+    },
+    /// `col BETWEEN lo AND hi` (inclusive).
+    Between {
+        /// Column index.
+        col: usize,
+        /// Lower bound (inclusive).
+        lo: Value,
+        /// Upper bound (inclusive).
+        hi: Value,
+    },
+    /// `col IN (items...)`.
+    InList {
+        /// Column index.
+        col: usize,
+        /// Allowed values.
+        items: Vec<Value>,
+    },
+    /// Conjunction (empty = true).
+    And(Vec<Expr>),
+    /// Disjunction (empty = false).
+    Or(Vec<Expr>),
+    /// Negation.
+    Not(Box<Expr>),
+    /// Constant truth value.
+    Const(bool),
+}
+
+impl Expr {
+    /// `col = lit` shorthand.
+    pub fn eq(col: usize, lit: impl Into<Value>) -> Expr {
+        Expr::Cmp {
+            col,
+            op: CmpOp::Eq,
+            lit: lit.into(),
+        }
+    }
+
+    /// `col BETWEEN lo AND hi` shorthand.
+    pub fn between(col: usize, lo: impl Into<Value>, hi: impl Into<Value>) -> Expr {
+        Expr::Between {
+            col,
+            lo: lo.into(),
+            hi: hi.into(),
+        }
+    }
+
+    /// `col < lit` shorthand.
+    pub fn lt(col: usize, lit: impl Into<Value>) -> Expr {
+        Expr::Cmp {
+            col,
+            op: CmpOp::Lt,
+            lit: lit.into(),
+        }
+    }
+
+    /// `col >= lit` shorthand.
+    pub fn ge(col: usize, lit: impl Into<Value>) -> Expr {
+        Expr::Cmp {
+            col,
+            op: CmpOp::Ge,
+            lit: lit.into(),
+        }
+    }
+
+    /// Conjunction of the given predicates, flattening trivial cases.
+    pub fn and(mut parts: Vec<Expr>) -> Expr {
+        parts.retain(|p| !matches!(p, Expr::Const(true)));
+        match parts.len() {
+            0 => Expr::Const(true),
+            1 => parts.pop().expect("len checked"),
+            _ => Expr::And(parts),
+        }
+    }
+
+    /// Evaluate against a row.
+    pub fn eval(&self, row: &RowRef<'_>) -> bool {
+        match self {
+            Expr::Cmp { col, op, lit } => op.matches(cmp_col_lit(row, *col, lit)),
+            Expr::Between { col, lo, hi } => {
+                cmp_col_lit(row, *col, lo) != Ordering::Less
+                    && cmp_col_lit(row, *col, hi) != Ordering::Greater
+            }
+            Expr::InList { col, items } => items
+                .iter()
+                .any(|it| cmp_col_lit(row, *col, it) == Ordering::Equal),
+            Expr::And(parts) => parts.iter().all(|p| p.eval(row)),
+            Expr::Or(parts) => parts.iter().any(|p| p.eval(row)),
+            Expr::Not(inner) => !inner.eval(row),
+            Expr::Const(b) => *b,
+        }
+    }
+
+    /// Validate that all column references exist in `schema` and literals
+    /// are type-compatible. Returns a description of the first problem.
+    pub fn validate(&self, schema: &Schema) -> std::result::Result<(), String> {
+        let check_col = |col: usize, lit: Option<&Value>| -> std::result::Result<(), String> {
+            if col >= schema.len() {
+                return Err(format!(
+                    "column index {col} out of range for schema of {} columns",
+                    schema.len()
+                ));
+            }
+            if let Some(lit) = lit {
+                let dt = schema.dtype(col);
+                let compatible = matches!(
+                    (lit, dt),
+                    (Value::Int(_), DataType::Int)
+                        | (Value::Float(_), DataType::Float)
+                        | (Value::Date(_), DataType::Date)
+                        | (Value::Str(_), DataType::Char(_))
+                );
+                if !compatible {
+                    return Err(format!(
+                        "literal {} incompatible with column `{}` of type {}",
+                        lit,
+                        schema.column(col).name,
+                        dt.name()
+                    ));
+                }
+            }
+            Ok(())
+        };
+        match self {
+            Expr::Cmp { col, lit, .. } => check_col(*col, Some(lit)),
+            Expr::Between { col, lo, hi } => {
+                check_col(*col, Some(lo))?;
+                check_col(*col, Some(hi))
+            }
+            Expr::InList { col, items } => {
+                for it in items {
+                    check_col(*col, Some(it))?;
+                }
+                check_col(*col, None)
+            }
+            Expr::And(parts) | Expr::Or(parts) => {
+                for p in parts {
+                    p.validate(schema)?;
+                }
+                Ok(())
+            }
+            Expr::Not(inner) => inner.validate(schema),
+            Expr::Const(_) => Ok(()),
+        }
+    }
+
+    /// Rewrite column indices through a projection map: `new_col =
+    /// map[old_col]`. Used when pushing predicates through projections.
+    pub fn remap_columns(&self, map: &dyn Fn(usize) -> usize) -> Expr {
+        match self {
+            Expr::Cmp { col, op, lit } => Expr::Cmp {
+                col: map(*col),
+                op: *op,
+                lit: lit.clone(),
+            },
+            Expr::Between { col, lo, hi } => Expr::Between {
+                col: map(*col),
+                lo: lo.clone(),
+                hi: hi.clone(),
+            },
+            Expr::InList { col, items } => Expr::InList {
+                col: map(*col),
+                items: items.clone(),
+            },
+            Expr::And(parts) => Expr::And(parts.iter().map(|p| p.remap_columns(map)).collect()),
+            Expr::Or(parts) => Expr::Or(parts.iter().map(|p| p.remap_columns(map)).collect()),
+            Expr::Not(inner) => Expr::Not(Box::new(inner.remap_columns(map))),
+            Expr::Const(b) => Expr::Const(*b),
+        }
+    }
+
+    /// Columns referenced by this expression (sorted, deduplicated).
+    pub fn referenced_columns(&self) -> Vec<usize> {
+        let mut cols = Vec::new();
+        self.collect_columns(&mut cols);
+        cols.sort_unstable();
+        cols.dedup();
+        cols
+    }
+
+    fn collect_columns(&self, out: &mut Vec<usize>) {
+        match self {
+            Expr::Cmp { col, .. } | Expr::Between { col, .. } | Expr::InList { col, .. } => {
+                out.push(*col)
+            }
+            Expr::And(parts) | Expr::Or(parts) => {
+                for p in parts {
+                    p.collect_columns(out);
+                }
+            }
+            Expr::Not(inner) => inner.collect_columns(out),
+            Expr::Const(_) => {}
+        }
+    }
+}
+
+/// Compare column `col` of `row` with a literal, on the fast path for
+/// numeric types and falling back to `Value` comparison for strings.
+#[inline]
+fn cmp_col_lit(row: &RowRef<'_>, col: usize, lit: &Value) -> Ordering {
+    match (row.schema().dtype(col), lit) {
+        (DataType::Int, Value::Int(x)) => row.i64_col(col).cmp(x),
+        (DataType::Float, Value::Float(x)) => row.f64_col(col).total_cmp(x),
+        (DataType::Date, Value::Date(x)) => row.date_col(col).cmp(x),
+        (DataType::Char(_), Value::Str(x)) => row.str_col(col).cmp(x.as_str()),
+        // Mistyped literal: fall back to tagged comparison (deterministic,
+        // and `validate` rejects these plans before execution anyway).
+        _ => row.value(col).total_cmp(lit),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qs_storage::{Page, Schema};
+    use std::sync::Arc;
+
+    fn schema() -> Arc<Schema> {
+        Schema::from_pairs(&[
+            ("k", DataType::Int),
+            ("p", DataType::Float),
+            ("d", DataType::Date),
+            ("s", DataType::Char(4)),
+        ])
+    }
+
+    fn page() -> Page {
+        Page::from_values(
+            &schema(),
+            &[
+                vec![
+                    Value::Int(5),
+                    Value::Float(1.5),
+                    Value::Date(19970101),
+                    Value::Str("ab".into()),
+                ],
+                vec![
+                    Value::Int(10),
+                    Value::Float(2.5),
+                    Value::Date(19980601),
+                    Value::Str("cd".into()),
+                ],
+            ],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn cmp_ops() {
+        let p = page();
+        let r0 = p.row(0);
+        assert!(Expr::eq(0, 5i64).eval(&r0));
+        assert!(Expr::lt(0, 6i64).eval(&r0));
+        assert!(Expr::ge(0, 5i64).eval(&r0));
+        assert!(!Expr::eq(0, 6i64).eval(&r0));
+        assert!(Expr::Cmp {
+            col: 3,
+            op: CmpOp::Eq,
+            lit: Value::Str("ab".into())
+        }
+        .eval(&r0));
+        assert!(Expr::Cmp {
+            col: 1,
+            op: CmpOp::Gt,
+            lit: Value::Float(1.0)
+        }
+        .eval(&r0));
+    }
+
+    #[test]
+    fn between_and_inlist() {
+        let p = page();
+        let r1 = p.row(1);
+        assert!(Expr::between(2, Value::Date(19980101), Value::Date(19981231)).eval(&r1));
+        assert!(!Expr::between(2, Value::Date(19970101), Value::Date(19971231)).eval(&r1));
+        assert!(Expr::InList {
+            col: 0,
+            items: vec![Value::Int(1), Value::Int(10)]
+        }
+        .eval(&r1));
+        assert!(!Expr::InList {
+            col: 0,
+            items: vec![]
+        }
+        .eval(&r1));
+    }
+
+    #[test]
+    fn boolean_combinators() {
+        let p = page();
+        let r0 = p.row(0);
+        let t = Expr::Const(true);
+        let f = Expr::Const(false);
+        assert!(Expr::And(vec![t.clone(), Expr::eq(0, 5i64)]).eval(&r0));
+        assert!(!Expr::And(vec![t.clone(), f.clone()]).eval(&r0));
+        assert!(Expr::Or(vec![f.clone(), Expr::eq(0, 5i64)]).eval(&r0));
+        assert!(Expr::Not(Box::new(f.clone())).eval(&r0));
+        assert!(Expr::And(vec![]).eval(&r0));
+        assert!(!Expr::Or(vec![]).eval(&r0));
+    }
+
+    #[test]
+    fn and_helper_flattens() {
+        assert_eq!(Expr::and(vec![]), Expr::Const(true));
+        assert_eq!(
+            Expr::and(vec![Expr::Const(true), Expr::eq(0, 1i64)]),
+            Expr::eq(0, 1i64)
+        );
+        assert!(matches!(
+            Expr::and(vec![Expr::eq(0, 1i64), Expr::eq(1, 2i64)]),
+            Expr::And(_)
+        ));
+    }
+
+    #[test]
+    fn validate_catches_bad_refs_and_types() {
+        let s = schema();
+        assert!(Expr::eq(0, 5i64).validate(&s).is_ok());
+        assert!(Expr::eq(9, 5i64).validate(&s).is_err());
+        assert!(Expr::eq(0, Value::Float(1.0)).validate(&s).is_err());
+        assert!(Expr::Cmp {
+            col: 3,
+            op: CmpOp::Eq,
+            lit: Value::Str("x".into())
+        }
+        .validate(&s)
+        .is_ok());
+    }
+
+    #[test]
+    fn remap_and_referenced_columns() {
+        let e = Expr::And(vec![Expr::eq(2, 1i64), Expr::between(0, 1i64, 2i64)]);
+        assert_eq!(e.referenced_columns(), vec![0, 2]);
+        let shifted = e.remap_columns(&|c| c + 10);
+        assert_eq!(shifted.referenced_columns(), vec![10, 12]);
+    }
+}

@@ -1,0 +1,1019 @@
+//! Rule-based plan optimizer.
+//!
+//! The SQL binder (and any front end) produces naive plans: joins in FROM
+//! order and the whole WHERE clause as one `Filter` above the join chain.
+//! This module rewrites them into the shape the execution engines expect:
+//!
+//! 1. **Predicate simplification** — constant folding, flattening,
+//!    empty-`IN` and inverted-`BETWEEN` elimination ([`simplify_expr`]).
+//! 2. **Predicate pushdown** — WHERE conjuncts move through `Sort`,
+//!    `Project` and `Aggregate` (group columns only), split across
+//!    `HashJoin` sides, and merge into `Scan` predicates. This is what
+//!    makes a bound plan *star-detectable*: CJOIN requires per-table
+//!    predicates, not a residual filter above the join.
+//! 3. **Projection pruning** — `Project` nodes merge with adjacent
+//!    `Project`s and fold into `Scan` projections; identity projections
+//!    disappear.
+//! 4. **Star join reordering** — for recognized star queries, dimension
+//!    joins reorder most-selective-first using sampled selectivity
+//!    estimates, with all column references above the join remapped.
+//!
+//! Every rewrite preserves the result *multiset* (order-sensitive
+//! operators are never reordered past); the root `tests/` tree checks this
+//! by executing optimized and unoptimized plans side by side.
+
+use crate::expr::Expr;
+use crate::plan::{AggSpec, LogicalPlan};
+use crate::star::{AboveOp, StarQuery};
+use crate::Result;
+use qs_storage::{Catalog, Table};
+
+/// Knobs for [`optimize_with`]. [`Default`] enables everything.
+#[derive(Debug, Clone)]
+pub struct OptimizerOptions {
+    /// Push WHERE conjuncts toward (and into) scans.
+    pub pushdown: bool,
+    /// Merge/eliminate projections.
+    pub prune_projections: bool,
+    /// Reorder star-query dimension joins most-selective-first.
+    pub reorder_joins: bool,
+    /// Fuse `Limit ∘ Sort` into the heap-based `TopK` operator.
+    pub fuse_topk: bool,
+    /// Rows sampled per table for selectivity estimation.
+    pub sample_rows: usize,
+}
+
+impl Default for OptimizerOptions {
+    fn default() -> Self {
+        OptimizerOptions {
+            pushdown: true,
+            prune_projections: true,
+            reorder_joins: true,
+            fuse_topk: true,
+            sample_rows: 1024,
+        }
+    }
+}
+
+/// Optimize `plan` with default options.
+pub fn optimize(plan: LogicalPlan, catalog: &Catalog) -> Result<LogicalPlan> {
+    optimize_with(plan, catalog, &OptimizerOptions::default())
+}
+
+/// Optimize `plan` with explicit options.
+pub fn optimize_with(
+    mut plan: LogicalPlan,
+    catalog: &Catalog,
+    opts: &OptimizerOptions,
+) -> Result<LogicalPlan> {
+    if opts.pushdown {
+        plan = pushdown(plan, catalog)?;
+    }
+    if opts.prune_projections {
+        plan = prune_projections(plan, catalog)?;
+    }
+    if opts.reorder_joins {
+        plan = reorder_star_joins(plan, catalog, opts.sample_rows);
+    }
+    if opts.fuse_topk {
+        plan = fuse_topk(plan)?;
+    }
+    Ok(plan)
+}
+
+/// Rewrite `Limit(n) ∘ Sort(keys)` into `TopK { keys, n }`: same rows in
+/// the same order, but the operator holds `n` rows instead of the whole
+/// input. Applied bottom-up so chains fuse at every level.
+fn fuse_topk(plan: LogicalPlan) -> Result<LogicalPlan> {
+    let plan = map_children(plan, &mut fuse_topk)?;
+    Ok(match plan {
+        LogicalPlan::Limit { input, n } => match *input {
+            LogicalPlan::Sort { input, keys } => LogicalPlan::TopK { input, keys, n },
+            other => LogicalPlan::Limit {
+                input: Box::new(other),
+                n,
+            },
+        },
+        other => other,
+    })
+}
+
+// ---------------------------------------------------------------------
+// 1. Expression simplification
+// ---------------------------------------------------------------------
+
+/// Simplify a predicate: flatten nested AND/OR, fold constants, drop
+/// `IN ()` to false and `BETWEEN lo..hi` with `lo > hi` to false, push
+/// `NOT` over constants. The result is logically equivalent row-by-row.
+pub fn simplify_expr(e: &Expr) -> Expr {
+    match e {
+        Expr::And(parts) => {
+            let mut out = Vec::new();
+            for p in parts {
+                match simplify_expr(p) {
+                    Expr::Const(true) => {}
+                    Expr::Const(false) => return Expr::Const(false),
+                    Expr::And(inner) => out.extend(inner),
+                    other => out.push(other),
+                }
+            }
+            match out.len() {
+                0 => Expr::Const(true),
+                1 => out.pop().expect("len checked"),
+                _ => Expr::And(out),
+            }
+        }
+        Expr::Or(parts) => {
+            let mut out = Vec::new();
+            for p in parts {
+                match simplify_expr(p) {
+                    Expr::Const(false) => {}
+                    Expr::Const(true) => return Expr::Const(true),
+                    Expr::Or(inner) => out.extend(inner),
+                    other => out.push(other),
+                }
+            }
+            match out.len() {
+                0 => Expr::Const(false),
+                1 => out.pop().expect("len checked"),
+                _ => Expr::Or(out),
+            }
+        }
+        Expr::Not(inner) => match simplify_expr(inner) {
+            Expr::Const(b) => Expr::Const(!b),
+            Expr::Not(inner2) => *inner2,
+            other => Expr::Not(Box::new(other)),
+        },
+        Expr::Between { lo, hi, .. } => {
+            if lo.total_cmp(hi) == std::cmp::Ordering::Greater {
+                Expr::Const(false)
+            } else {
+                e.clone()
+            }
+        }
+        Expr::InList { items, .. } if items.is_empty() => Expr::Const(false),
+        other => other.clone(),
+    }
+}
+
+/// Split a predicate into its top-level conjuncts.
+fn conjuncts(e: Expr) -> Vec<Expr> {
+    match e {
+        Expr::And(parts) => parts,
+        Expr::Const(true) => vec![],
+        other => vec![other],
+    }
+}
+
+// ---------------------------------------------------------------------
+// 2. Predicate pushdown
+// ---------------------------------------------------------------------
+
+fn pushdown(plan: LogicalPlan, catalog: &Catalog) -> Result<LogicalPlan> {
+    match plan {
+        LogicalPlan::Filter { input, predicate } => {
+            let input = pushdown(*input, catalog)?;
+            let pred = simplify_expr(&predicate);
+            push_conjuncts(input, conjuncts(pred), catalog)
+        }
+        other => map_children(other, &mut |c| pushdown(c, catalog)),
+    }
+}
+
+/// Push each conjunct as deep as it can go into `plan`; residual conjuncts
+/// wrap the result in a `Filter`.
+fn push_conjuncts(
+    plan: LogicalPlan,
+    conj: Vec<Expr>,
+    catalog: &Catalog,
+) -> Result<LogicalPlan> {
+    if conj.is_empty() {
+        return Ok(plan);
+    }
+    match plan {
+        LogicalPlan::Scan {
+            table,
+            predicate,
+            projection,
+        } => {
+            // Filter indices are post-projection; scan predicates are
+            // pre-projection — remap through the projection first.
+            let remapped: Vec<Expr> = match &projection {
+                None => conj,
+                Some(cols) => conj
+                    .iter()
+                    .map(|c| c.remap_columns(&|i| cols[i]))
+                    .collect(),
+            };
+            let mut all = Vec::new();
+            if let Some(p) = predicate {
+                all.push(p);
+            }
+            all.extend(remapped);
+            Ok(LogicalPlan::Scan {
+                table,
+                predicate: Some(Expr::and(all)),
+                projection,
+            })
+        }
+        LogicalPlan::Filter { input, predicate } => {
+            let mut all = conjuncts(simplify_expr(&predicate));
+            all.extend(conj);
+            push_conjuncts(*input, all, catalog)
+        }
+        LogicalPlan::HashJoin {
+            build,
+            probe,
+            build_key,
+            probe_key,
+        } => {
+            let probe_w = probe.output_schema(catalog)?.len();
+            let (mut to_probe, mut to_build, mut residual) = (Vec::new(), Vec::new(), Vec::new());
+            for c in conj {
+                let cols = c.referenced_columns();
+                if cols.iter().all(|&i| i < probe_w) {
+                    to_probe.push(c);
+                } else if cols.iter().all(|&i| i >= probe_w) {
+                    to_build.push(c.remap_columns(&|i| i - probe_w));
+                } else {
+                    residual.push(c);
+                }
+            }
+            let probe = push_conjuncts(*probe, to_probe, catalog)?;
+            let build = push_conjuncts(*build, to_build, catalog)?;
+            let join = LogicalPlan::HashJoin {
+                build: Box::new(build),
+                probe: Box::new(probe),
+                build_key,
+                probe_key,
+            };
+            Ok(wrap_filter(join, residual))
+        }
+        LogicalPlan::Project { input, columns } => {
+            let remapped: Vec<Expr> = conj
+                .iter()
+                .map(|c| c.remap_columns(&|i| columns[i]))
+                .collect();
+            let input = push_conjuncts(*input, remapped, catalog)?;
+            Ok(LogicalPlan::Project {
+                input: Box::new(input),
+                columns,
+            })
+        }
+        LogicalPlan::Aggregate {
+            input,
+            group_by,
+            aggs,
+        } => {
+            // Conjuncts over group columns (output indices < group count)
+            // select whole groups, so they commute with the aggregation.
+            let (mut below, mut residual) = (Vec::new(), Vec::new());
+            for c in conj {
+                if c.referenced_columns().iter().all(|&i| i < group_by.len()) {
+                    below.push(c.remap_columns(&|i| group_by[i]));
+                } else {
+                    residual.push(c);
+                }
+            }
+            let input = push_conjuncts(*input, below, catalog)?;
+            let agg = LogicalPlan::Aggregate {
+                input: Box::new(input),
+                group_by,
+                aggs,
+            };
+            Ok(wrap_filter(agg, residual))
+        }
+        LogicalPlan::Sort { input, keys } => {
+            // Filtering commutes with sorting.
+            let input = push_conjuncts(*input, conj, catalog)?;
+            Ok(LogicalPlan::Sort {
+                input: Box::new(input),
+                keys,
+            })
+        }
+        LogicalPlan::Distinct { input } => {
+            // Selection commutes with duplicate elimination (the predicate
+            // depends only on row content, which dedup preserves).
+            let input = push_conjuncts(*input, conj, catalog)?;
+            Ok(LogicalPlan::Distinct {
+                input: Box::new(input),
+            })
+        }
+        // Filtering does NOT commute with LIMIT or TopK (they cut the
+        // stream by position): keep the filter above.
+        limit @ (LogicalPlan::Limit { .. } | LogicalPlan::TopK { .. }) => {
+            Ok(wrap_filter(limit, conj))
+        }
+    }
+}
+
+fn wrap_filter(plan: LogicalPlan, conj: Vec<Expr>) -> LogicalPlan {
+    if conj.is_empty() {
+        plan
+    } else {
+        LogicalPlan::Filter {
+            input: Box::new(plan),
+            predicate: Expr::and(conj),
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// 3. Projection pruning
+// ---------------------------------------------------------------------
+
+fn prune_projections(plan: LogicalPlan, catalog: &Catalog) -> Result<LogicalPlan> {
+    let plan = map_children(plan, &mut |c| prune_projections(c, catalog))?;
+    Ok(match plan {
+        LogicalPlan::Project { input, columns } => match *input {
+            // Project ∘ Project composes.
+            LogicalPlan::Project {
+                input: inner,
+                columns: inner_cols,
+            } => {
+                let composed: Vec<usize> = columns.iter().map(|&i| inner_cols[i]).collect();
+                prune_projections(
+                    LogicalPlan::Project {
+                        input: inner,
+                        columns: composed,
+                    },
+                    catalog,
+                )?
+            }
+            // Project ∘ Scan folds into the scan's projection.
+            LogicalPlan::Scan {
+                table,
+                predicate,
+                projection,
+            } => {
+                let composed = match projection {
+                    None => columns,
+                    Some(scan_cols) => columns.iter().map(|&i| scan_cols[i]).collect(),
+                };
+                LogicalPlan::Scan {
+                    table,
+                    predicate,
+                    projection: Some(composed),
+                }
+            }
+            inner => {
+                // Identity projection disappears.
+                let in_w = inner.output_schema(catalog)?.len();
+                if columns.len() == in_w && columns.iter().enumerate().all(|(i, &c)| i == c) {
+                    inner
+                } else {
+                    LogicalPlan::Project {
+                        input: Box::new(inner),
+                        columns,
+                    }
+                }
+            }
+        },
+        other => other,
+    })
+}
+
+// ---------------------------------------------------------------------
+// 4. Star join reordering
+// ---------------------------------------------------------------------
+
+/// Estimate the fraction of `table` rows satisfying `pred` by evaluating
+/// it over up to `sample_rows` rows taken at a fixed stride across the
+/// whole table. Striding matters: dimension tables are often physically
+/// ordered by their key (the SSB `date` table is sorted by year), so a
+/// prefix sample would be badly biased for range predicates.
+/// `None` predicates estimate 1.0; empty tables estimate 1.0.
+pub fn estimate_selectivity(table: &Table, pred: Option<&Expr>, sample_rows: usize) -> f64 {
+    let Some(pred) = pred else { return 1.0 };
+    let total = table.row_count();
+    if total == 0 || sample_rows == 0 {
+        return 1.0;
+    }
+    let stride = (total / sample_rows).max(1);
+    let mut seen = 0usize;
+    let mut hit = 0usize;
+    let mut next = 0usize; // global row index of the next sample
+    let mut base = 0usize; // global row index of the current page's first row
+    for pno in 0..table.page_count() {
+        let page = table.raw_page(pno);
+        let rows = page.rows();
+        while next < base + rows {
+            if seen >= sample_rows {
+                return hit as f64 / seen as f64;
+            }
+            seen += 1;
+            if pred.eval(&page.row(next - base)) {
+                hit += 1;
+            }
+            next += stride;
+        }
+        base += rows;
+    }
+    if seen == 0 {
+        1.0
+    } else {
+        hit as f64 / seen as f64
+    }
+}
+
+/// If `plan` is a star query, reorder its dimension joins by ascending
+/// estimated selectivity (most selective first) and remap every column
+/// reference above the join accordingly. Non-star plans pass through.
+fn reorder_star_joins(plan: LogicalPlan, catalog: &Catalog, sample_rows: usize) -> LogicalPlan {
+    let Some(star) = StarQuery::detect(&plan, catalog) else {
+        return plan;
+    };
+    if star.dims.len() < 2 {
+        return plan;
+    }
+    // Reordering permutes the join output's column order. That is only
+    // invisible when an Aggregate or Project above the join re-establishes
+    // the output columns; a bare join (or one followed only by Sort/Limit)
+    // exposes the raw column order to the client, so leave it alone.
+    if !star
+        .above
+        .iter()
+        .any(|op| matches!(op, AboveOp::Aggregate { .. } | AboveOp::Project { .. }))
+    {
+        return plan;
+    }
+    // Dimension schemas' widths, for the column remap below.
+    let Ok(fact) = catalog.get(&star.fact_table) else {
+        return plan;
+    };
+    let fact_w = fact.schema().len();
+    let mut dim_widths = Vec::with_capacity(star.dims.len());
+    let mut sel = Vec::with_capacity(star.dims.len());
+    for d in &star.dims {
+        let Ok(t) = catalog.get(&d.table) else {
+            return plan;
+        };
+        dim_widths.push(t.schema().len());
+        sel.push(estimate_selectivity(&t, d.predicate.as_ref(), sample_rows));
+    }
+
+    // New order: ascending selectivity; stable for determinism.
+    let mut order: Vec<usize> = (0..star.dims.len()).collect();
+    order.sort_by(|&a, &b| sel[a].total_cmp(&sel[b]).then(a.cmp(&b)));
+    if order.iter().enumerate().all(|(i, &o)| i == o) {
+        return plan; // already optimal
+    }
+
+    // Old column index -> new column index over the join output
+    // (fact columns first, then each dim's block in join order).
+    let mut old_offsets = Vec::with_capacity(star.dims.len());
+    let mut off = fact_w;
+    for w in &dim_widths {
+        old_offsets.push(off);
+        off += w;
+    }
+    let total = off;
+    let mut remap = vec![0usize; total];
+    for (i, r) in remap.iter_mut().enumerate().take(fact_w) {
+        *r = i;
+    }
+    let mut new_off = fact_w;
+    for &old_pos in &order {
+        for k in 0..dim_widths[old_pos] {
+            remap[old_offsets[old_pos] + k] = new_off + k;
+        }
+        new_off += dim_widths[old_pos];
+    }
+
+    let dims = order.iter().map(|&i| star.dims[i].clone()).collect();
+    let above = remap_above_chain(&star.above, &remap);
+    let reordered = StarQuery {
+        fact_table: star.fact_table,
+        fact_predicate: star.fact_predicate,
+        dims,
+        above,
+    };
+    reordered.to_plan()
+}
+
+/// Remap column references in the operators above a reordered star join.
+/// Only operators that still see the join-output column space are
+/// remapped: `Aggregate` and `Project` replace the column space, so
+/// everything after the first of them is untouched; `Sort` and `Limit`
+/// pass the space through unchanged.
+fn remap_above_chain(above: &[AboveOp], remap: &[usize]) -> Vec<AboveOp> {
+    let mut out = Vec::with_capacity(above.len());
+    let mut in_join_space = true;
+    for op in above {
+        if !in_join_space {
+            out.push(op.clone());
+            continue;
+        }
+        match op {
+            AboveOp::Aggregate { group_by, aggs } => {
+                out.push(AboveOp::Aggregate {
+                    group_by: group_by.iter().map(|&c| remap[c]).collect(),
+                    aggs: aggs.iter().map(|a| remap_agg(a, remap)).collect(),
+                });
+                in_join_space = false;
+            }
+            AboveOp::Project { columns } => {
+                out.push(AboveOp::Project {
+                    columns: columns.iter().map(|&c| remap[c]).collect(),
+                });
+                in_join_space = false;
+            }
+            AboveOp::Sort { keys } => {
+                out.push(AboveOp::Sort {
+                    keys: keys.iter().map(|&(c, asc)| (remap[c], asc)).collect(),
+                });
+            }
+            AboveOp::Limit { n } => out.push(AboveOp::Limit { n: *n }),
+            AboveOp::Distinct => out.push(AboveOp::Distinct),
+            AboveOp::TopK { keys, n } => out.push(AboveOp::TopK {
+                keys: keys.iter().map(|&(c, asc)| (remap[c], asc)).collect(),
+                n: *n,
+            }),
+        }
+    }
+    out
+}
+
+fn remap_agg(spec: &AggSpec, remap: &[usize]) -> AggSpec {
+    use crate::plan::AggFunc;
+    let func = match spec.func {
+        AggFunc::Count => AggFunc::Count,
+        AggFunc::Sum(c) => AggFunc::Sum(remap[c]),
+        AggFunc::Avg(c) => AggFunc::Avg(remap[c]),
+        AggFunc::Min(c) => AggFunc::Min(remap[c]),
+        AggFunc::Max(c) => AggFunc::Max(remap[c]),
+        AggFunc::SumProd(a, b) => AggFunc::SumProd(remap[a], remap[b]),
+        AggFunc::SumDiff(a, b) => AggFunc::SumDiff(remap[a], remap[b]),
+    };
+    AggSpec::new(func, spec.name.clone())
+}
+
+// ---------------------------------------------------------------------
+// helpers
+// ---------------------------------------------------------------------
+
+/// Rebuild a node with its children transformed by `f` (identity on
+/// leaves). Used by the top-down rules to recurse.
+fn map_children(
+    plan: LogicalPlan,
+    f: &mut dyn FnMut(LogicalPlan) -> Result<LogicalPlan>,
+) -> Result<LogicalPlan> {
+    Ok(match plan {
+        s @ LogicalPlan::Scan { .. } => s,
+        LogicalPlan::Filter { input, predicate } => LogicalPlan::Filter {
+            input: Box::new(f(*input)?),
+            predicate,
+        },
+        LogicalPlan::HashJoin {
+            build,
+            probe,
+            build_key,
+            probe_key,
+        } => LogicalPlan::HashJoin {
+            build: Box::new(f(*build)?),
+            probe: Box::new(f(*probe)?),
+            build_key,
+            probe_key,
+        },
+        LogicalPlan::Aggregate {
+            input,
+            group_by,
+            aggs,
+        } => LogicalPlan::Aggregate {
+            input: Box::new(f(*input)?),
+            group_by,
+            aggs,
+        },
+        LogicalPlan::Sort { input, keys } => LogicalPlan::Sort {
+            input: Box::new(f(*input)?),
+            keys,
+        },
+        LogicalPlan::Project { input, columns } => LogicalPlan::Project {
+            input: Box::new(f(*input)?),
+            columns,
+        },
+        LogicalPlan::Limit { input, n } => LogicalPlan::Limit {
+            input: Box::new(f(*input)?),
+            n,
+        },
+        LogicalPlan::Distinct { input } => LogicalPlan::Distinct {
+            input: Box::new(f(*input)?),
+        },
+        LogicalPlan::TopK { input, keys, n } => LogicalPlan::TopK {
+            input: Box::new(f(*input)?),
+            keys,
+            n,
+        },
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::PlanBuilder;
+    use crate::plan::{AggFunc, AggSpec};
+    use qs_storage::{DataType, Schema, TableBuilder, Value};
+    use std::sync::Arc;
+
+    fn catalog() -> Arc<Catalog> {
+        let cat = Catalog::new();
+        let fact = Schema::from_pairs(&[
+            ("f_d1", DataType::Int),
+            ("f_d2", DataType::Int),
+            ("f_qty", DataType::Int),
+        ]);
+        let mut fb = TableBuilder::with_page_bytes("fact", fact, 4096);
+        for i in 0..100i64 {
+            fb.push_values(&[Value::Int(i % 10), Value::Int(i % 5), Value::Int(i)])
+                .unwrap();
+        }
+        cat.register(fb);
+        for (name, n) in [("dim1", 10i64), ("dim2", 5i64)] {
+            let ds = Schema::from_pairs(&[("k", DataType::Int), ("attr", DataType::Int)]);
+            let mut db = TableBuilder::with_page_bytes(name, ds, 4096);
+            for i in 0..n {
+                db.push_values(&[Value::Int(i), Value::Int(i * 100)]).unwrap();
+            }
+            cat.register(db);
+        }
+        cat
+    }
+
+    #[test]
+    fn simplify_folds_constants() {
+        assert_eq!(
+            simplify_expr(&Expr::And(vec![Expr::Const(true), Expr::eq(0, 1i64)])),
+            Expr::eq(0, 1i64)
+        );
+        assert_eq!(
+            simplify_expr(&Expr::And(vec![Expr::Const(false), Expr::eq(0, 1i64)])),
+            Expr::Const(false)
+        );
+        assert_eq!(
+            simplify_expr(&Expr::Or(vec![Expr::Const(true), Expr::eq(0, 1i64)])),
+            Expr::Const(true)
+        );
+        assert_eq!(
+            simplify_expr(&Expr::Not(Box::new(Expr::Const(false)))),
+            Expr::Const(true)
+        );
+        assert_eq!(
+            simplify_expr(&Expr::Not(Box::new(Expr::Not(Box::new(Expr::eq(0, 1i64)))))),
+            Expr::eq(0, 1i64)
+        );
+        assert_eq!(
+            simplify_expr(&Expr::InList {
+                col: 0,
+                items: vec![]
+            }),
+            Expr::Const(false)
+        );
+        assert_eq!(
+            simplify_expr(&Expr::Between {
+                col: 0,
+                lo: Value::Int(5),
+                hi: Value::Int(1)
+            }),
+            Expr::Const(false)
+        );
+        // Nested And flattening.
+        let nested = Expr::And(vec![
+            Expr::And(vec![Expr::eq(0, 1i64), Expr::eq(1, 2i64)]),
+            Expr::eq(2, 3i64),
+        ]);
+        match simplify_expr(&nested) {
+            Expr::And(parts) => assert_eq!(parts.len(), 3),
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn pushdown_filter_into_scan() {
+        let cat = catalog();
+        let plan = LogicalPlan::Filter {
+            input: Box::new(LogicalPlan::Scan {
+                table: "fact".into(),
+                predicate: None,
+                projection: None,
+            }),
+            predicate: Expr::eq(2, 7i64),
+        };
+        let opt = pushdown(plan, &cat).unwrap();
+        match opt {
+            LogicalPlan::Scan { predicate, .. } => {
+                assert_eq!(predicate, Some(Expr::eq(2, 7i64)));
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn pushdown_remaps_through_scan_projection() {
+        let cat = catalog();
+        // Scan projects [f_qty] (table col 2) as output col 0; the filter
+        // references output col 0, which must become table col 2.
+        let plan = LogicalPlan::Filter {
+            input: Box::new(LogicalPlan::Scan {
+                table: "fact".into(),
+                predicate: None,
+                projection: Some(vec![2]),
+            }),
+            predicate: Expr::eq(0, 7i64),
+        };
+        match pushdown(plan, &cat).unwrap() {
+            LogicalPlan::Scan {
+                predicate,
+                projection,
+                ..
+            } => {
+                assert_eq!(predicate, Some(Expr::eq(2, 7i64)));
+                assert_eq!(projection, Some(vec![2]));
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn pushdown_splits_across_join() {
+        let cat = catalog();
+        // fact(3 cols) JOIN dim1(2 cols): probe width 3. Conjuncts:
+        // probe-only (col 2), build-only (col 4 -> dim col 1), mixed.
+        let join = PlanBuilder::scan(&cat, "fact")
+            .unwrap()
+            .join_dim("dim1", "f_d1", "k", None)
+            .unwrap()
+            .build()
+            .unwrap();
+        let plan = LogicalPlan::Filter {
+            input: Box::new(join),
+            predicate: Expr::And(vec![
+                Expr::lt(2, 50i64),
+                Expr::eq(4, 300i64),
+                Expr::Or(vec![Expr::eq(0, 1i64), Expr::eq(3, 2i64)]),
+            ]),
+        };
+        let opt = pushdown(plan, &cat).unwrap();
+        // Residual (mixed) filter above the join; scan predicates below.
+        match opt {
+            LogicalPlan::Filter { input, predicate } => {
+                assert!(matches!(predicate, Expr::Or(_)));
+                match *input {
+                    LogicalPlan::HashJoin { build, probe, .. } => {
+                        match *probe {
+                            LogicalPlan::Scan { predicate, .. } => {
+                                assert_eq!(predicate, Some(Expr::lt(2, 50i64)))
+                            }
+                            other => panic!("probe: {other:?}"),
+                        }
+                        match *build {
+                            LogicalPlan::Scan { predicate, .. } => {
+                                assert_eq!(predicate, Some(Expr::eq(1, 300i64)))
+                            }
+                            other => panic!("build: {other:?}"),
+                        }
+                    }
+                    other => panic!("{other:?}"),
+                }
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn pushdown_through_aggregate_group_cols_only() {
+        let cat = catalog();
+        let agg = LogicalPlan::Aggregate {
+            input: Box::new(LogicalPlan::Scan {
+                table: "fact".into(),
+                predicate: None,
+                projection: None,
+            }),
+            group_by: vec![0],
+            aggs: vec![AggSpec::new(AggFunc::Sum(2), "s")],
+        };
+        let plan = LogicalPlan::Filter {
+            input: Box::new(agg),
+            predicate: Expr::And(vec![Expr::eq(0, 3i64), Expr::Cmp {
+                col: 1,
+                op: crate::CmpOp::Gt,
+                lit: Value::Int(10),
+            }]),
+        };
+        match pushdown(plan, &cat).unwrap() {
+            // HAVING-like conjunct on the agg output stays above...
+            LogicalPlan::Filter { input, predicate } => {
+                assert_eq!(predicate.referenced_columns(), vec![1]);
+                match *input {
+                    LogicalPlan::Aggregate { input, .. } => match *input {
+                        // ...while the group-column conjunct reaches the scan.
+                        LogicalPlan::Scan { predicate, .. } => {
+                            assert_eq!(predicate, Some(Expr::eq(0, 3i64)));
+                        }
+                        other => panic!("{other:?}"),
+                    },
+                    other => panic!("{other:?}"),
+                }
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn pushdown_stops_at_limit() {
+        let cat = catalog();
+        let plan = LogicalPlan::Filter {
+            input: Box::new(LogicalPlan::Limit {
+                input: Box::new(LogicalPlan::Scan {
+                    table: "fact".into(),
+                    predicate: None,
+                    projection: None,
+                }),
+                n: 5,
+            }),
+            predicate: Expr::eq(0, 1i64),
+        };
+        match pushdown(plan, &cat).unwrap() {
+            LogicalPlan::Filter { input, .. } => {
+                assert!(matches!(*input, LogicalPlan::Limit { .. }));
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn project_folds_into_scan() {
+        let cat = catalog();
+        let plan = LogicalPlan::Project {
+            input: Box::new(LogicalPlan::Project {
+                input: Box::new(LogicalPlan::Scan {
+                    table: "fact".into(),
+                    predicate: None,
+                    projection: None,
+                }),
+                columns: vec![2, 0],
+            }),
+            columns: vec![1],
+        };
+        match prune_projections(plan, &cat).unwrap() {
+            LogicalPlan::Scan { projection, .. } => assert_eq!(projection, Some(vec![0])),
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn identity_projection_removed() {
+        let cat = catalog();
+        let plan = LogicalPlan::Project {
+            input: Box::new(LogicalPlan::Aggregate {
+                input: Box::new(LogicalPlan::Scan {
+                    table: "fact".into(),
+                    predicate: None,
+                    projection: None,
+                }),
+                group_by: vec![0],
+                aggs: vec![AggSpec::new(AggFunc::Count, "n")],
+            }),
+            columns: vec![0, 1],
+        };
+        assert!(matches!(
+            prune_projections(plan, &cat).unwrap(),
+            LogicalPlan::Aggregate { .. }
+        ));
+    }
+
+    #[test]
+    fn fuse_limit_sort_into_topk() {
+        let cat = catalog();
+        let plan = PlanBuilder::scan(&cat, "fact")
+            .unwrap()
+            .sort(&[("f_qty", false)])
+            .unwrap()
+            .limit(5)
+            .build()
+            .unwrap();
+        match fuse_topk(plan).unwrap() {
+            LogicalPlan::TopK { keys, n, .. } => {
+                assert_eq!(n, 5);
+                assert_eq!(keys, vec![(2, false)]);
+            }
+            other => panic!("{other:?}"),
+        }
+        // Limit over a non-sort input is untouched.
+        let plain = LogicalPlan::Limit {
+            input: Box::new(LogicalPlan::Scan {
+                table: "fact".into(),
+                predicate: None,
+                projection: None,
+            }),
+            n: 3,
+        };
+        assert!(matches!(
+            fuse_topk(plain).unwrap(),
+            LogicalPlan::Limit { .. }
+        ));
+    }
+
+    #[test]
+    fn pushdown_commutes_with_distinct() {
+        let cat = catalog();
+        let plan = LogicalPlan::Filter {
+            input: Box::new(LogicalPlan::Distinct {
+                input: Box::new(LogicalPlan::Scan {
+                    table: "fact".into(),
+                    predicate: None,
+                    projection: None,
+                }),
+            }),
+            predicate: Expr::eq(0, 1i64),
+        };
+        match pushdown(plan, &cat).unwrap() {
+            LogicalPlan::Distinct { input } => match *input {
+                LogicalPlan::Scan { predicate, .. } => {
+                    assert_eq!(predicate, Some(Expr::eq(0, 1i64)))
+                }
+                other => panic!("{other:?}"),
+            },
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn star_reorder_puts_selective_dim_first_and_remaps() {
+        let cat = catalog();
+        // dim1 keeps 1 of 10 keys (sel 0.1); dim2 has no predicate (1.0).
+        // FROM order joins dim2 first; the optimizer must flip them.
+        let plan = PlanBuilder::scan(&cat, "fact")
+            .unwrap()
+            .join_dim("dim2", "f_d2", "k", None)
+            .unwrap()
+            .join_dim("dim1", "f_d1", "k", Some(Expr::eq(1, 300i64)))
+            .unwrap()
+            .aggregate(
+                &["attr"], // dim2.attr at joined index 4
+                vec![AggSpec::new(AggFunc::Sum(2), "s")],
+            )
+            .unwrap()
+            .build()
+            .unwrap();
+        let star = StarQuery::detect(&plan, &cat).expect("star");
+        assert_eq!(star.dims[0].table, "dim2");
+
+        let opt = reorder_star_joins(plan, &cat, 1000);
+        let star2 = StarQuery::detect(&opt, &cat).expect("still star");
+        assert_eq!(star2.dims[0].table, "dim1", "selective dim first");
+        assert_eq!(star2.dims[1].table, "dim2");
+        // dim2.attr moved from joined index 4 to 3 (fact) + 2 (dim1) + 1.
+        match &star2.above[0] {
+            AboveOp::Aggregate { group_by, .. } => assert_eq!(group_by, &vec![6]),
+            other => panic!("{other:?}"),
+        }
+        // The reordered plan still validates.
+        opt.validate(&cat).unwrap();
+    }
+
+    #[test]
+    fn reorder_noop_when_already_optimal_or_not_star() {
+        let cat = catalog();
+        let plan = PlanBuilder::scan(&cat, "fact")
+            .unwrap()
+            .join_dim("dim1", "f_d1", "k", Some(Expr::eq(1, 300i64)))
+            .unwrap()
+            .join_dim("dim2", "f_d2", "k", None)
+            .unwrap()
+            .build()
+            .unwrap();
+        let opt = reorder_star_joins(plan.clone(), &cat, 1000);
+        assert_eq!(opt, plan, "already most-selective-first");
+
+        let non_star = LogicalPlan::Scan {
+            table: "fact".into(),
+            predicate: None,
+            projection: None,
+        };
+        assert_eq!(
+            reorder_star_joins(non_star.clone(), &cat, 100),
+            non_star
+        );
+    }
+
+    #[test]
+    fn selectivity_estimation_counts_sample() {
+        let cat = catalog();
+        let t = cat.get("fact").unwrap();
+        // f_d1 = i % 10 == 3 → 10%; sample covers all 100 rows.
+        let s = estimate_selectivity(&t, Some(&Expr::eq(0, 3i64)), 1000);
+        assert!((s - 0.1).abs() < 1e-9, "{s}");
+        assert_eq!(estimate_selectivity(&t, None, 100), 1.0);
+    }
+
+    #[test]
+    fn selectivity_sampling_is_strided_not_prefix() {
+        // A key-sorted table (like the SSB date dimension): `f_qty` runs
+        // 0..100 in physical order. A 10-row prefix sample would estimate
+        // `f_qty >= 50` at 0%; the strided sample must land near 50%.
+        let cat = catalog();
+        let t = cat.get("fact").unwrap();
+        let s = estimate_selectivity(&t, Some(&Expr::ge(2, 50i64)), 10);
+        assert!((s - 0.5).abs() <= 0.11, "strided sample should see ~50%, got {s}");
+    }
+}

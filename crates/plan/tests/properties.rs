@@ -1,0 +1,249 @@
+//! Property-based tests for plan signatures and star detection:
+//! signatures must be injective over meaningful structural edits (no
+//! accidental sharing) and stable over clones (no missed sharing), and
+//! star round-tripping must be lossless.
+
+use proptest::prelude::*;
+use qs_plan::{signature, AggFunc, AggSpec, CmpOp, Expr, LogicalPlan, StarQuery};
+use qs_storage::{Catalog, DataType, Schema, TableBuilder, Value};
+
+
+fn cmp_op() -> impl Strategy<Value = CmpOp> {
+    prop_oneof![
+        Just(CmpOp::Eq),
+        Just(CmpOp::Ne),
+        Just(CmpOp::Lt),
+        Just(CmpOp::Le),
+        Just(CmpOp::Gt),
+        Just(CmpOp::Ge),
+    ]
+}
+
+fn leaf_expr(cols: usize) -> impl Strategy<Value = Expr> {
+    (0..cols, cmp_op(), any::<i32>()).prop_map(|(c, op, lit)| Expr::Cmp {
+        col: c,
+        op,
+        lit: Value::Int(lit as i64),
+    })
+}
+
+fn expr(cols: usize) -> impl Strategy<Value = Expr> {
+    leaf_expr(cols).prop_recursive(3, 12, 3, move |inner| {
+        prop_oneof![
+            prop::collection::vec(inner.clone(), 1..3).prop_map(Expr::And),
+            prop::collection::vec(inner.clone(), 1..3).prop_map(Expr::Or),
+            inner.prop_map(|e| Expr::Not(Box::new(e))),
+        ]
+    })
+}
+
+fn plan(cols: usize) -> impl Strategy<Value = LogicalPlan> {
+    let scan = prop::option::of(expr(cols)).prop_map(move |predicate| LogicalPlan::Scan {
+        table: "t".into(),
+        predicate,
+        projection: None,
+    });
+    scan.prop_recursive(3, 8, 2, move |inner| {
+        prop_oneof![
+            (inner.clone(), expr(cols)).prop_map(|(p, e)| LogicalPlan::Filter {
+                input: Box::new(p),
+                predicate: e,
+            }),
+            (inner.clone(), prop::collection::vec(0..cols, 0..2)).prop_map(
+                |(p, group_by)| LogicalPlan::Aggregate {
+                    input: Box::new(p),
+                    group_by,
+                    aggs: vec![AggSpec::new(AggFunc::Count, "n")],
+                }
+            ),
+            (inner, 0..cols, any::<bool>()).prop_map(|(p, c, asc)| LogicalPlan::Sort {
+                input: Box::new(p),
+                keys: vec![(c, asc)],
+            }),
+        ]
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// Clones share signatures (no missed sharing).
+    #[test]
+    fn clone_has_same_signature(p in plan(4)) {
+        prop_assert_eq!(signature(&p), signature(&p.clone()));
+    }
+
+    /// Changing any literal changes the signature (no false sharing, which
+    /// would silently return another query's results).
+    #[test]
+    fn literal_edit_changes_signature(p in plan(4), delta in 1i64..1000) {
+        fn bump_first_literal(e: &mut Expr, delta: i64) -> bool {
+            match e {
+                Expr::Cmp { lit: Value::Int(v), .. } => {
+                    *v = v.wrapping_add(delta);
+                    true
+                }
+                Expr::And(parts) | Expr::Or(parts) => {
+                    parts.iter_mut().any(|p| bump_first_literal(p, delta))
+                }
+                Expr::Not(inner) => bump_first_literal(inner, delta),
+                _ => false,
+            }
+        }
+        fn bump_plan(p: &mut LogicalPlan, delta: i64) -> bool {
+            match p {
+                LogicalPlan::Scan { predicate, .. } => predicate
+                    .as_mut()
+                    .map(|e| bump_first_literal(e, delta))
+                    .unwrap_or(false),
+                LogicalPlan::Filter { input, predicate } => {
+                    bump_first_literal(predicate, delta) || bump_plan(input, delta)
+                }
+                LogicalPlan::Aggregate { input, .. }
+                | LogicalPlan::Sort { input, .. }
+                | LogicalPlan::Project { input, .. }
+                | LogicalPlan::Limit { input, .. }
+                | LogicalPlan::Distinct { input }
+                | LogicalPlan::TopK { input, .. } => bump_plan(input, delta),
+                LogicalPlan::HashJoin { build, probe, .. } => {
+                    bump_plan(build, delta) || bump_plan(probe, delta)
+                }
+            }
+        }
+        let mut edited = p.clone();
+        if bump_plan(&mut edited, delta) {
+            prop_assert_ne!(signature(&p), signature(&edited));
+        }
+    }
+
+    /// Wrapping in another operator always changes the signature.
+    #[test]
+    fn wrapping_changes_signature(p in plan(4)) {
+        let wrapped = LogicalPlan::Limit {
+            input: Box::new(p.clone()),
+            n: 10,
+        };
+        prop_assert_ne!(signature(&p), signature(&wrapped));
+    }
+}
+
+// Star round-trip over random star shapes with a concrete catalog.
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn star_detection_roundtrips(
+        n_dims in 1usize..4,
+        preds in prop::collection::vec(prop::option::of((cmp_op(), 0i64..10)), 4),
+        fact_pred in prop::option::of(0i64..100),
+        group in 0usize..2,
+    ) {
+        let cat = Catalog::new();
+        for d in 0..n_dims {
+            let schema = Schema::from_pairs(&[("k", DataType::Int), ("a", DataType::Int)]);
+            let mut b = TableBuilder::new(format!("d{d}"), schema);
+            b.push_values(&[Value::Int(0), Value::Int(0)]).unwrap();
+            cat.register(b);
+        }
+        let mut cols: Vec<qs_storage::Column> = (0..n_dims)
+            .map(|d| qs_storage::Column::new(format!("fk{d}"), DataType::Int))
+            .collect();
+        cols.push(qs_storage::Column::new("val", DataType::Int));
+        let schema = Schema::new(cols);
+        let mut b = TableBuilder::new("fact", schema);
+        b.push_values(
+            &(0..=n_dims).map(|_| Value::Int(0)).collect::<Vec<_>>(),
+        )
+        .unwrap();
+        cat.register(b);
+
+        // Build: fact ⋈ d0 ⋈ d1 ... with per-dim predicates + aggregate.
+        let mut cur = LogicalPlan::Scan {
+            table: "fact".into(),
+            predicate: fact_pred.map(|v| Expr::Cmp {
+                col: n_dims,
+                op: CmpOp::Ge,
+                lit: Value::Int(v),
+            }),
+            projection: None,
+        };
+        for (d, pred) in preds.iter().take(n_dims).enumerate() {
+            cur = LogicalPlan::HashJoin {
+                build: Box::new(LogicalPlan::Scan {
+                    table: format!("d{d}"),
+                    predicate: pred.map(|(op, lit)| Expr::Cmp {
+                        col: 1,
+                        op,
+                        lit: Value::Int(lit),
+                    }),
+                    projection: None,
+                }),
+                probe: Box::new(cur),
+                build_key: 0,
+                probe_key: d,
+            };
+        }
+        let plan = LogicalPlan::Aggregate {
+            input: Box::new(cur),
+            group_by: vec![group],
+            aggs: vec![AggSpec::new(AggFunc::Sum(n_dims), "s")],
+        };
+
+        let sq = StarQuery::detect(&plan, &cat).expect("must detect");
+        prop_assert_eq!(sq.fact_table.as_str(), "fact");
+        prop_assert_eq!(sq.dims.len(), n_dims);
+        prop_assert_eq!(sq.to_plan(), plan);
+
+        // join signature must be insensitive to the aggregate above...
+        let mut other = sq.clone();
+        other.above.clear();
+        prop_assert_eq!(sq.join_signature(), other.join_signature());
+        // ...but sensitive to dim predicates.
+        if n_dims > 0 {
+            let mut edited = sq.clone();
+            edited.dims[0].predicate = Some(Expr::eq(1, 12345i64));
+            prop_assert_ne!(sq.join_signature(), edited.join_signature());
+        }
+    }
+}
+
+// Expression evaluation agrees with a boolean model for And/Or/Not trees.
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn expr_eval_matches_boolean_model(
+        e in expr(2),
+        v0 in any::<i32>(),
+        v1 in any::<i32>(),
+    ) {
+        fn model(e: &Expr, row: &[i64]) -> bool {
+            match e {
+                Expr::Cmp { col, op, lit } => {
+                    let l = row[*col];
+                    let r = lit.as_int().unwrap();
+                    op.matches(l.cmp(&r))
+                }
+                Expr::Between { col, lo, hi } => {
+                    let v = row[*col];
+                    v >= lo.as_int().unwrap() && v <= hi.as_int().unwrap()
+                }
+                Expr::InList { col, items } => {
+                    items.iter().any(|i| i.as_int() == Some(row[*col]))
+                }
+                Expr::And(parts) => parts.iter().all(|p| model(p, row)),
+                Expr::Or(parts) => parts.iter().any(|p| model(p, row)),
+                Expr::Not(inner) => !model(inner, row),
+                Expr::Const(b) => *b,
+            }
+        }
+        let schema = Schema::from_pairs(&[("a", DataType::Int), ("b", DataType::Int)]);
+        let page = qs_storage::Page::from_values(
+            &schema,
+            &[vec![Value::Int(v0 as i64), Value::Int(v1 as i64)]],
+        )
+        .unwrap();
+        let row = page.row(0);
+        prop_assert_eq!(e.eval(&row), model(&e, &[v0 as i64, v1 as i64]));
+    }
+}

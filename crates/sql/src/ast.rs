@@ -1,0 +1,495 @@
+//! Abstract syntax for the supported SQL subset.
+//!
+//! The grammar targets exactly what the paper's workloads need: single
+//! SELECT blocks over a star join, conjunctive/disjunctive predicates with
+//! comparisons, `BETWEEN` and `IN`, aggregate functions (including the SSB
+//! `SUM(a * b)` and `SUM(a - b)` forms), `GROUP BY`, `ORDER BY`, `LIMIT`
+//! and `SELECT DISTINCT`. Every node prints back to parseable SQL via
+//! [`std::fmt::Display`], which the property tests round-trip.
+
+use std::fmt;
+
+/// A (possibly qualified) column reference, e.g. `lo_quantity` or
+/// `lineorder.lo_quantity`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ColumnRef {
+    /// Optional table name or alias qualifier.
+    pub qualifier: Option<String>,
+    /// Column name.
+    pub name: String,
+}
+
+impl ColumnRef {
+    /// Unqualified reference.
+    pub fn bare(name: impl Into<String>) -> Self {
+        ColumnRef {
+            qualifier: None,
+            name: name.into(),
+        }
+    }
+
+    /// Qualified reference.
+    pub fn qualified(table: impl Into<String>, name: impl Into<String>) -> Self {
+        ColumnRef {
+            qualifier: Some(table.into()),
+            name: name.into(),
+        }
+    }
+}
+
+impl fmt::Display for ColumnRef {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match &self.qualifier {
+            Some(q) => write!(f, "{q}.{}", self.name),
+            None => write!(f, "{}", self.name),
+        }
+    }
+}
+
+/// Literal values in SQL text.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Literal {
+    /// Integer literal.
+    Int(i64),
+    /// Float literal.
+    Float(f64),
+    /// `'...'` string literal.
+    Str(String),
+    /// `DATE 'yyyy-mm-dd'` literal, held as `yyyymmdd`.
+    Date(u32),
+    /// `TRUE` / `FALSE`.
+    Bool(bool),
+}
+
+impl fmt::Display for Literal {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Literal::Int(v) => write!(f, "{v}"),
+            Literal::Float(v) => {
+                if v.fract() == 0.0 && v.is_finite() {
+                    write!(f, "{v:.1}")
+                } else {
+                    write!(f, "{v}")
+                }
+            }
+            Literal::Str(s) => write!(f, "'{}'", s.replace('\'', "''")),
+            Literal::Date(d) => {
+                let (y, m, dd) = (d / 10000, d / 100 % 100, d % 100);
+                write!(f, "DATE '{y:04}-{m:02}-{dd:02}'")
+            }
+            Literal::Bool(b) => write!(f, "{}", if *b { "TRUE" } else { "FALSE" }),
+        }
+    }
+}
+
+/// Comparison operator in the AST (mirrors `qs_plan::CmpOp`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AstCmpOp {
+    /// `=`
+    Eq,
+    /// `<>`
+    Ne,
+    /// `<`
+    Lt,
+    /// `<=`
+    Le,
+    /// `>`
+    Gt,
+    /// `>=`
+    Ge,
+}
+
+impl fmt::Display for AstCmpOp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            AstCmpOp::Eq => "=",
+            AstCmpOp::Ne => "<>",
+            AstCmpOp::Lt => "<",
+            AstCmpOp::Le => "<=",
+            AstCmpOp::Gt => ">",
+            AstCmpOp::Ge => ">=",
+        };
+        f.write_str(s)
+    }
+}
+
+/// Boolean/predicate expression.
+#[derive(Debug, Clone, PartialEq)]
+pub enum AstExpr {
+    /// `col <op> literal` (the binder requires the column on the left; the
+    /// parser normalizes `literal <op> col` by flipping the operator).
+    Cmp {
+        /// Column side.
+        col: ColumnRef,
+        /// Operator.
+        op: AstCmpOp,
+        /// Literal side.
+        lit: Literal,
+    },
+    /// `col BETWEEN lo AND hi`.
+    Between {
+        /// Column under test.
+        col: ColumnRef,
+        /// Lower bound (inclusive).
+        lo: Literal,
+        /// Upper bound (inclusive).
+        hi: Literal,
+    },
+    /// `col IN (a, b, ...)`.
+    InList {
+        /// Column under test.
+        col: ColumnRef,
+        /// Allowed values.
+        items: Vec<Literal>,
+    },
+    /// `col1 <op> col2` — only `=` is bindable, as a join predicate.
+    ColCmp {
+        /// Left column.
+        left: ColumnRef,
+        /// Operator.
+        op: AstCmpOp,
+        /// Right column.
+        right: ColumnRef,
+    },
+    /// Conjunction.
+    And(Vec<AstExpr>),
+    /// Disjunction.
+    Or(Vec<AstExpr>),
+    /// Negation.
+    Not(Box<AstExpr>),
+    /// `TRUE` / `FALSE`.
+    Const(bool),
+}
+
+impl fmt::Display for AstExpr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AstExpr::Cmp { col, op, lit } => write!(f, "{col} {op} {lit}"),
+            AstExpr::Between { col, lo, hi } => write!(f, "{col} BETWEEN {lo} AND {hi}"),
+            AstExpr::InList { col, items } => {
+                write!(f, "{col} IN (")?;
+                for (i, it) in items.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ", ")?;
+                    }
+                    write!(f, "{it}")?;
+                }
+                write!(f, ")")
+            }
+            AstExpr::ColCmp { left, op, right } => write!(f, "{left} {op} {right}"),
+            AstExpr::And(parts) => {
+                for (i, p) in parts.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, " AND ")?;
+                    }
+                    // Parenthesize ORs under AND to keep precedence.
+                    if matches!(p, AstExpr::Or(_)) {
+                        write!(f, "({p})")?;
+                    } else {
+                        write!(f, "{p}")?;
+                    }
+                }
+                Ok(())
+            }
+            AstExpr::Or(parts) => {
+                for (i, p) in parts.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, " OR ")?;
+                    }
+                    write!(f, "{p}")?;
+                }
+                Ok(())
+            }
+            AstExpr::Not(inner) => write!(f, "NOT ({inner})"),
+            AstExpr::Const(b) => write!(f, "{}", if *b { "TRUE" } else { "FALSE" }),
+        }
+    }
+}
+
+/// Aggregate function call in the select list.
+#[derive(Debug, Clone, PartialEq)]
+pub enum AstAgg {
+    /// `COUNT(*)`.
+    CountStar,
+    /// `SUM(col)`.
+    Sum(ColumnRef),
+    /// `SUM(a * b)` — the SSB revenue form.
+    SumProd(ColumnRef, ColumnRef),
+    /// `SUM(a - b)` — the SSB profit form.
+    SumDiff(ColumnRef, ColumnRef),
+    /// `AVG(col)`.
+    Avg(ColumnRef),
+    /// `MIN(col)`.
+    Min(ColumnRef),
+    /// `MAX(col)`.
+    Max(ColumnRef),
+}
+
+impl fmt::Display for AstAgg {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AstAgg::CountStar => write!(f, "COUNT(*)"),
+            AstAgg::Sum(c) => write!(f, "SUM({c})"),
+            AstAgg::SumProd(a, b) => write!(f, "SUM({a} * {b})"),
+            AstAgg::SumDiff(a, b) => write!(f, "SUM({a} - {b})"),
+            AstAgg::Avg(c) => write!(f, "AVG({c})"),
+            AstAgg::Min(c) => write!(f, "MIN({c})"),
+            AstAgg::Max(c) => write!(f, "MAX({c})"),
+        }
+    }
+}
+
+/// One item in the select list.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SelectItem {
+    /// `*` — all columns of the FROM result.
+    Wildcard,
+    /// Plain column, with optional `AS alias`.
+    Column {
+        /// The referenced column.
+        col: ColumnRef,
+        /// Optional output alias.
+        alias: Option<String>,
+    },
+    /// Aggregate call, with optional `AS alias`.
+    Agg {
+        /// The aggregate.
+        agg: AstAgg,
+        /// Optional output alias.
+        alias: Option<String>,
+    },
+}
+
+impl fmt::Display for SelectItem {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SelectItem::Wildcard => write!(f, "*"),
+            SelectItem::Column { col, alias } => match alias {
+                Some(a) => write!(f, "{col} AS {a}"),
+                None => write!(f, "{col}"),
+            },
+            SelectItem::Agg { agg, alias } => match alias {
+                Some(a) => write!(f, "{agg} AS {a}"),
+                None => write!(f, "{agg}"),
+            },
+        }
+    }
+}
+
+/// A table in the FROM clause, with optional alias.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TableRef {
+    /// Catalog table name.
+    pub table: String,
+    /// Optional alias (`FROM lineorder lo`).
+    pub alias: Option<String>,
+}
+
+impl TableRef {
+    /// The name this table binds to in scope (alias if present).
+    pub fn binding(&self) -> &str {
+        self.alias.as_deref().unwrap_or(&self.table)
+    }
+}
+
+impl fmt::Display for TableRef {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match &self.alias {
+            Some(a) => write!(f, "{} AS {a}", self.table),
+            None => write!(f, "{}", self.table),
+        }
+    }
+}
+
+/// `JOIN table ON left = right`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct JoinClause {
+    /// The joined (build-side) table.
+    pub table: TableRef,
+    /// Equality condition, `(left_col, right_col)` as written.
+    pub on: (ColumnRef, ColumnRef),
+}
+
+impl fmt::Display for JoinClause {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "JOIN {} ON {} = {}",
+            self.table, self.on.0, self.on.1
+        )
+    }
+}
+
+/// One `ORDER BY` key.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct OrderKey {
+    /// Output column name (select-list alias or column name).
+    pub column: String,
+    /// Ascending?
+    pub asc: bool,
+}
+
+impl fmt::Display for OrderKey {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}{}", self.column, if self.asc { "" } else { " DESC" })
+    }
+}
+
+/// A full SELECT statement.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Select {
+    /// `SELECT DISTINCT`?
+    pub distinct: bool,
+    /// Select list (non-empty).
+    pub items: Vec<SelectItem>,
+    /// First FROM table (the probe/fact side of the join chain).
+    pub from: TableRef,
+    /// `JOIN ... ON ...` clauses, in order.
+    pub joins: Vec<JoinClause>,
+    /// WHERE predicate.
+    pub selection: Option<AstExpr>,
+    /// GROUP BY columns.
+    pub group_by: Vec<ColumnRef>,
+    /// ORDER BY keys.
+    pub order_by: Vec<OrderKey>,
+    /// LIMIT row count.
+    pub limit: Option<usize>,
+}
+
+impl fmt::Display for Select {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "SELECT ")?;
+        if self.distinct {
+            write!(f, "DISTINCT ")?;
+        }
+        for (i, item) in self.items.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{item}")?;
+        }
+        write!(f, " FROM {}", self.from)?;
+        for j in &self.joins {
+            write!(f, " {j}")?;
+        }
+        if let Some(sel) = &self.selection {
+            write!(f, " WHERE {sel}")?;
+        }
+        if !self.group_by.is_empty() {
+            write!(f, " GROUP BY ")?;
+            for (i, g) in self.group_by.iter().enumerate() {
+                if i > 0 {
+                    write!(f, ", ")?;
+                }
+                write!(f, "{g}")?;
+            }
+        }
+        if !self.order_by.is_empty() {
+            write!(f, " ORDER BY ")?;
+            for (i, k) in self.order_by.iter().enumerate() {
+                if i > 0 {
+                    write!(f, ", ")?;
+                }
+                write!(f, "{k}")?;
+            }
+        }
+        if let Some(n) = self.limit {
+            write!(f, " LIMIT {n}")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_roundtrippable_shapes() {
+        let sel = Select {
+            distinct: false,
+            items: vec![
+                SelectItem::Column {
+                    col: ColumnRef::bare("d_year"),
+                    alias: None,
+                },
+                SelectItem::Agg {
+                    agg: AstAgg::SumProd(
+                        ColumnRef::bare("lo_extendedprice"),
+                        ColumnRef::bare("lo_discount"),
+                    ),
+                    alias: Some("revenue".into()),
+                },
+            ],
+            from: TableRef {
+                table: "lineorder".into(),
+                alias: None,
+            },
+            joins: vec![JoinClause {
+                table: TableRef {
+                    table: "date".into(),
+                    alias: Some("d".into()),
+                },
+                on: (
+                    ColumnRef::bare("lo_orderdate"),
+                    ColumnRef::qualified("d", "d_datekey"),
+                ),
+            }],
+            selection: Some(AstExpr::And(vec![
+                AstExpr::Cmp {
+                    col: ColumnRef::bare("d_year"),
+                    op: AstCmpOp::Eq,
+                    lit: Literal::Int(1993),
+                },
+                AstExpr::Between {
+                    col: ColumnRef::bare("lo_discount"),
+                    lo: Literal::Int(1),
+                    hi: Literal::Int(3),
+                },
+            ])),
+            group_by: vec![ColumnRef::bare("d_year")],
+            order_by: vec![OrderKey {
+                column: "revenue".into(),
+                asc: false,
+            }],
+            limit: Some(10),
+        };
+        let text = sel.to_string();
+        assert!(text.starts_with("SELECT d_year, SUM(lo_extendedprice * lo_discount) AS revenue"));
+        assert!(text.contains("JOIN date AS d ON lo_orderdate = d.d_datekey"));
+        assert!(text.contains("WHERE d_year = 1993 AND lo_discount BETWEEN 1 AND 3"));
+        assert!(text.ends_with("ORDER BY revenue DESC LIMIT 10"));
+    }
+
+    #[test]
+    fn literal_display() {
+        assert_eq!(Literal::Date(19970131).to_string(), "DATE '1997-01-31'");
+        assert_eq!(Literal::Str("it's".into()).to_string(), "'it''s'");
+        assert_eq!(Literal::Float(2.0).to_string(), "2.0");
+        assert_eq!(Literal::Float(2.5).to_string(), "2.5");
+    }
+
+    #[test]
+    fn expr_display_parenthesizes_or_under_and() {
+        let e = AstExpr::And(vec![
+            AstExpr::Or(vec![
+                AstExpr::Cmp {
+                    col: ColumnRef::bare("a"),
+                    op: AstCmpOp::Eq,
+                    lit: Literal::Int(1),
+                },
+                AstExpr::Cmp {
+                    col: ColumnRef::bare("a"),
+                    op: AstCmpOp::Eq,
+                    lit: Literal::Int(2),
+                },
+            ]),
+            AstExpr::Cmp {
+                col: ColumnRef::bare("b"),
+                op: AstCmpOp::Gt,
+                lit: Literal::Int(0),
+            },
+        ]);
+        assert_eq!(e.to_string(), "(a = 1 OR a = 2) AND b > 0");
+    }
+}

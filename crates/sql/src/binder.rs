@@ -1,0 +1,737 @@
+//! Name resolution: AST → [`qs_plan::LogicalPlan`].
+//!
+//! The binder lowers a parsed [`Select`] into the positional plan algebra:
+//!
+//! * the FROM table becomes the probe side of a left-deep hash-join chain,
+//!   each `JOIN ... ON a = b` adds a build-side dimension scan (matching
+//!   the star shape CJOIN expects);
+//! * the WHERE clause becomes a `Filter` directly above the join chain —
+//!   **no pushdown happens here**; `qs_plan::optimize` moves predicates
+//!   into the scans (keeping front-end and optimizer concerns separate);
+//! * aggregates/GROUP BY become an `Aggregate`, `SELECT DISTINCT` lowers
+//!   to a grouping on all output columns, ORDER BY to `Sort`, LIMIT to
+//!   `Limit`, and a final `Project` restores the select-list order.
+
+use crate::ast::*;
+use crate::error::{Result, SqlError};
+use qs_plan::{AggFunc, AggSpec, CmpOp, Expr, LogicalPlan};
+use qs_storage::{Catalog, DataType, Schema, Value};
+use std::sync::Arc;
+
+/// Bind a parsed statement against `catalog`.
+pub fn bind_select(sel: &Select, catalog: &Catalog) -> Result<LogicalPlan> {
+    Binder::new(catalog).bind(sel)
+}
+
+/// One table visible in the FROM scope.
+struct Binding {
+    /// Alias or table name used for qualification.
+    name: String,
+    /// The table's schema.
+    schema: Arc<Schema>,
+    /// Index of the table's first column in the joined row.
+    offset: usize,
+}
+
+struct Binder<'c> {
+    catalog: &'c Catalog,
+    scope: Vec<Binding>,
+    width: usize,
+}
+
+impl<'c> Binder<'c> {
+    fn new(catalog: &'c Catalog) -> Self {
+        Binder {
+            catalog,
+            scope: Vec::new(),
+            width: 0,
+        }
+    }
+
+    fn bind(&mut self, sel: &Select) -> Result<LogicalPlan> {
+        let mut plan = self.bind_from(&sel.from)?;
+        for join in &sel.joins {
+            plan = self.bind_join(plan, join)?;
+        }
+        if let Some(pred) = &sel.selection {
+            let expr = self.bind_predicate(pred)?;
+            plan = LogicalPlan::Filter {
+                input: Box::new(plan),
+                predicate: expr,
+            };
+        }
+        let (plan, out_names) = self.bind_projection(plan, sel)?;
+        let plan = self.bind_order_limit(plan, sel, &out_names)?;
+        Ok(plan)
+    }
+
+    fn bind_from(&mut self, from: &TableRef) -> Result<LogicalPlan> {
+        let table = self
+            .catalog
+            .get(&from.table)
+            .map_err(|e| SqlError::bind(e.to_string()))?;
+        self.push_scope(from.binding(), table.schema().clone())?;
+        Ok(LogicalPlan::Scan {
+            table: from.table.clone(),
+            predicate: None,
+            projection: None,
+        })
+    }
+
+    fn push_scope(&mut self, name: &str, schema: Arc<Schema>) -> Result<()> {
+        if self.scope.iter().any(|b| b.name == name) {
+            return Err(SqlError::bind(format!(
+                "duplicate table binding `{name}` (alias it with AS)"
+            )));
+        }
+        let offset = self.width;
+        self.width += schema.len();
+        self.scope.push(Binding {
+            name: name.to_string(),
+            schema,
+            offset,
+        });
+        Ok(())
+    }
+
+    fn bind_join(&mut self, probe: LogicalPlan, join: &JoinClause) -> Result<LogicalPlan> {
+        let build_table = self
+            .catalog
+            .get(&join.table.table)
+            .map_err(|e| SqlError::bind(e.to_string()))?;
+        let build_schema = build_table.schema().clone();
+        let binding = join.table.binding().to_string();
+
+        // One ON side must resolve in the existing scope (probe), the other
+        // in the newly joined table (build) — in either order.
+        let (l, r) = (&join.on.0, &join.on.1);
+        let in_build = |c: &ColumnRef| -> Option<usize> {
+            if let Some(q) = &c.qualifier {
+                if *q != binding {
+                    return None;
+                }
+            }
+            build_schema.index_of(&c.name).ok()
+        };
+        let (probe_ref, build_key) = match (self.resolve(l), in_build(r)) {
+            (Ok(p), Some(b)) => (p, b),
+            _ => match (self.resolve(r), in_build(l)) {
+                (Ok(p), Some(b)) => (p, b),
+                _ => {
+                    return Err(SqlError::bind(format!(
+                        "cannot resolve join condition {} = {} between the current \
+                         FROM scope and table `{}`",
+                        l, r, join.table.table
+                    )))
+                }
+            },
+        };
+        let probe_key = probe_ref.index;
+        if probe_ref.dtype != DataType::Int || build_schema.dtype(build_key) != DataType::Int {
+            return Err(SqlError::bind(format!(
+                "join keys {} = {} must both be Int columns",
+                l, r
+            )));
+        }
+        self.push_scope(&binding, build_schema)?;
+        Ok(LogicalPlan::HashJoin {
+            build: Box::new(LogicalPlan::Scan {
+                table: join.table.table.clone(),
+                predicate: None,
+                projection: None,
+            }),
+            probe: Box::new(probe),
+            build_key,
+            probe_key,
+        })
+    }
+
+    // ---- column resolution ----
+
+    fn resolve(&self, c: &ColumnRef) -> Result<Resolved> {
+        let mut found: Option<Resolved> = None;
+        for b in &self.scope {
+            if let Some(q) = &c.qualifier {
+                if *q != b.name {
+                    continue;
+                }
+            }
+            if let Ok(i) = b.schema.index_of(&c.name) {
+                let r = Resolved {
+                    index: b.offset + i,
+                    dtype: b.schema.dtype(i),
+                };
+                if found.is_some() {
+                    return Err(SqlError::bind(format!(
+                        "ambiguous column `{c}` (qualify it with a table name)"
+                    )));
+                }
+                found = Some(r);
+            }
+        }
+        found.ok_or_else(|| SqlError::bind(format!("unknown column `{c}`")))
+    }
+
+    // ---- predicates ----
+
+    fn bind_predicate(&self, e: &AstExpr) -> Result<Expr> {
+        Ok(match e {
+            AstExpr::Cmp { col, op, lit } => {
+                let r = self.resolve(col)?;
+                Expr::Cmp {
+                    col: r.index,
+                    op: bind_op(*op),
+                    lit: coerce(lit, r.dtype, col)?,
+                }
+            }
+            AstExpr::Between { col, lo, hi } => {
+                let r = self.resolve(col)?;
+                Expr::Between {
+                    col: r.index,
+                    lo: coerce(lo, r.dtype, col)?,
+                    hi: coerce(hi, r.dtype, col)?,
+                }
+            }
+            AstExpr::InList { col, items } => {
+                let r = self.resolve(col)?;
+                Expr::InList {
+                    col: r.index,
+                    items: items
+                        .iter()
+                        .map(|it| coerce(it, r.dtype, col))
+                        .collect::<Result<_>>()?,
+                }
+            }
+            AstExpr::ColCmp { left, op, right } => {
+                return Err(SqlError::bind(format!(
+                    "column-to-column comparison {left} {op} {right} is only \
+                     supported in JOIN ... ON clauses"
+                )))
+            }
+            AstExpr::And(parts) => Expr::And(
+                parts
+                    .iter()
+                    .map(|p| self.bind_predicate(p))
+                    .collect::<Result<_>>()?,
+            ),
+            AstExpr::Or(parts) => Expr::Or(
+                parts
+                    .iter()
+                    .map(|p| self.bind_predicate(p))
+                    .collect::<Result<_>>()?,
+            ),
+            AstExpr::Not(inner) => Expr::Not(Box::new(self.bind_predicate(inner)?)),
+            AstExpr::Const(b) => Expr::Const(*b),
+        })
+    }
+
+    // ---- select list / aggregation ----
+
+    /// Returns the plan plus the output column names (for ORDER BY).
+    fn bind_projection(
+        &self,
+        input: LogicalPlan,
+        sel: &Select,
+    ) -> Result<(LogicalPlan, Vec<String>)> {
+        let has_agg = sel
+            .items
+            .iter()
+            .any(|i| matches!(i, SelectItem::Agg { .. }));
+
+        if !has_agg && sel.group_by.is_empty() {
+            return self.bind_plain_projection(input, sel);
+        }
+
+        // Aggregation. Resolve group-by columns first.
+        let mut group_idx = Vec::new();
+        let mut group_names = Vec::new();
+        for g in &sel.group_by {
+            let r = self.resolve(g)?;
+            group_idx.push(r.index);
+            group_names.push(g.name.clone());
+        }
+
+        // Walk the select list: plain columns must be group-by columns;
+        // aggregates lower to AggSpecs. Remember each item's slot in the
+        // aggregate output (groups first, then aggs) to re-project later.
+        let mut aggs: Vec<AggSpec> = Vec::new();
+        let mut item_slots = Vec::new();
+        let mut out_names = Vec::new();
+        for item in &sel.items {
+            match item {
+                SelectItem::Wildcard => {
+                    return Err(SqlError::bind(
+                        "SELECT * cannot be combined with aggregates/GROUP BY",
+                    ))
+                }
+                SelectItem::Column { col, alias } => {
+                    let r = self.resolve(col)?;
+                    let slot = group_idx.iter().position(|&g| g == r.index).ok_or_else(|| {
+                        SqlError::bind(format!(
+                            "column `{col}` must appear in GROUP BY to be selected \
+                             alongside aggregates"
+                        ))
+                    })?;
+                    item_slots.push(slot);
+                    out_names.push(alias.clone().unwrap_or_else(|| col.name.clone()));
+                }
+                SelectItem::Agg { agg, alias } => {
+                    let name = alias.clone().unwrap_or_else(|| default_agg_name(agg));
+                    let func = self.bind_agg(agg)?;
+                    item_slots.push(group_idx.len() + aggs.len());
+                    aggs.push(AggSpec::new(func, name.clone()));
+                    out_names.push(name);
+                }
+            }
+        }
+
+        let plan = LogicalPlan::Aggregate {
+            input: Box::new(input),
+            group_by: group_idx.clone(),
+            aggs,
+        };
+
+        // Re-project to select-list order when it differs from the
+        // (groups ++ aggs) layout or some group column is unselected.
+        let natural: Vec<usize> = (0..item_slots.len()).collect();
+        let total_agg_cols = {
+            let max_slot = item_slots.iter().copied().max().unwrap_or(0);
+            max_slot + 1
+        };
+        let needs_project =
+            item_slots != natural || group_idx.len() + 1 > total_agg_cols && !group_idx.is_empty();
+        let plan = if needs_project || item_slots.len() < group_names.len() + 1 {
+            // Conservative: always safe to project.
+            LogicalPlan::Project {
+                input: Box::new(plan),
+                columns: item_slots,
+            }
+        } else {
+            plan
+        };
+        Ok((plan, out_names))
+    }
+
+    fn bind_plain_projection(
+        &self,
+        input: LogicalPlan,
+        sel: &Select,
+    ) -> Result<(LogicalPlan, Vec<String>)> {
+        let mut out_names = Vec::new();
+        let plan = if sel.items.len() == 1 && matches!(sel.items[0], SelectItem::Wildcard) {
+            for b in &self.scope {
+                for c in b.schema.columns() {
+                    out_names.push(c.name.clone());
+                }
+            }
+            input
+        } else {
+            let mut cols = Vec::new();
+            for item in &sel.items {
+                match item {
+                    SelectItem::Wildcard => {
+                        return Err(SqlError::bind(
+                            "`*` must be the only item in the select list",
+                        ))
+                    }
+                    SelectItem::Column { col, alias } => {
+                        let r = self.resolve(col)?;
+                        cols.push(r.index);
+                        out_names.push(alias.clone().unwrap_or_else(|| col.name.clone()));
+                    }
+                    SelectItem::Agg { .. } => unreachable!("caller checked"),
+                }
+            }
+            LogicalPlan::Project {
+                input: Box::new(input),
+                columns: cols,
+            }
+        };
+        let plan = if sel.distinct {
+            LogicalPlan::Distinct {
+                input: Box::new(plan),
+            }
+        } else {
+            plan
+        };
+        Ok((plan, out_names))
+    }
+
+    fn bind_agg(&self, agg: &AstAgg) -> Result<AggFunc> {
+        Ok(match agg {
+            AstAgg::CountStar => AggFunc::Count,
+            AstAgg::Sum(c) => AggFunc::Sum(self.numeric(c)?),
+            AstAgg::Avg(c) => AggFunc::Avg(self.numeric(c)?),
+            AstAgg::Min(c) => AggFunc::Min(self.resolve(c)?.index),
+            AstAgg::Max(c) => AggFunc::Max(self.resolve(c)?.index),
+            AstAgg::SumProd(a, b) => AggFunc::SumProd(self.numeric(a)?, self.numeric(b)?),
+            AstAgg::SumDiff(a, b) => AggFunc::SumDiff(self.numeric(a)?, self.numeric(b)?),
+        })
+    }
+
+    fn numeric(&self, c: &ColumnRef) -> Result<usize> {
+        let r = self.resolve(c)?;
+        match r.dtype {
+            DataType::Int | DataType::Float => Ok(r.index),
+            other => Err(SqlError::bind(format!(
+                "aggregate input `{c}` must be numeric, found {}",
+                other.name()
+            ))),
+        }
+    }
+
+    // ---- order by / limit ----
+
+    fn bind_order_limit(
+        &self,
+        mut plan: LogicalPlan,
+        sel: &Select,
+        out_names: &[String],
+    ) -> Result<LogicalPlan> {
+        if !sel.order_by.is_empty() {
+            let mut keys = Vec::new();
+            for k in &sel.order_by {
+                let idx = out_names
+                    .iter()
+                    .position(|n| *n == k.column)
+                    .ok_or_else(|| {
+                        SqlError::bind(format!(
+                            "ORDER BY column `{}` is not in the select list \
+                             (available: {})",
+                            k.column,
+                            out_names.join(", ")
+                        ))
+                    })?;
+                keys.push((idx, k.asc));
+            }
+            plan = LogicalPlan::Sort {
+                input: Box::new(plan),
+                keys,
+            };
+        }
+        if let Some(n) = sel.limit {
+            plan = LogicalPlan::Limit {
+                input: Box::new(plan),
+                n,
+            };
+        }
+        Ok(plan)
+    }
+}
+
+struct Resolved {
+    index: usize,
+    dtype: DataType,
+}
+
+fn bind_op(op: AstCmpOp) -> CmpOp {
+    match op {
+        AstCmpOp::Eq => CmpOp::Eq,
+        AstCmpOp::Ne => CmpOp::Ne,
+        AstCmpOp::Lt => CmpOp::Lt,
+        AstCmpOp::Le => CmpOp::Le,
+        AstCmpOp::Gt => CmpOp::Gt,
+        AstCmpOp::Ge => CmpOp::Ge,
+    }
+}
+
+/// Default output name for an unaliased aggregate, derived from its text
+/// form: `SUM(lo_revenue)` → `sum_lo_revenue`.
+fn default_agg_name(agg: &AstAgg) -> String {
+    match agg {
+        AstAgg::CountStar => "count".to_string(),
+        AstAgg::Sum(c) => format!("sum_{}", c.name),
+        AstAgg::SumProd(a, b) => format!("sum_{}_x_{}", a.name, b.name),
+        AstAgg::SumDiff(a, b) => format!("sum_{}_minus_{}", a.name, b.name),
+        AstAgg::Avg(c) => format!("avg_{}", c.name),
+        AstAgg::Min(c) => format!("min_{}", c.name),
+        AstAgg::Max(c) => format!("max_{}", c.name),
+    }
+}
+
+/// Coerce a literal to the column's storage type, or report a bind error.
+fn coerce(lit: &Literal, dtype: DataType, col: &ColumnRef) -> Result<Value> {
+    let v = match (lit, dtype) {
+        (Literal::Int(v), DataType::Int) => Value::Int(*v),
+        (Literal::Int(v), DataType::Float) => Value::Float(*v as f64),
+        // Bare `19970101`-style integers against Date columns.
+        (Literal::Int(v), DataType::Date) if (101..=99991231).contains(v) => {
+            Value::Date(*v as u32)
+        }
+        (Literal::Float(v), DataType::Float) => Value::Float(*v),
+        (Literal::Date(v), DataType::Date) => Value::Date(*v),
+        (Literal::Str(s), DataType::Char(n)) => {
+            if s.len() > n as usize {
+                return Err(SqlError::bind(format!(
+                    "string '{s}' does not fit column `{col}` of type Char({n})"
+                )));
+            }
+            Value::Str(s.clone())
+        }
+        _ => {
+            return Err(SqlError::bind(format!(
+                "literal {lit} is incompatible with column `{col}` of type {}",
+                dtype.name()
+            )))
+        }
+    };
+    Ok(v)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse_select;
+    use qs_storage::TableBuilder;
+
+    /// fact(f_key Int, f_dim Int, f_price Int, f_disc Int, f_date Date),
+    /// dim(d_key Int, d_year Int, d_name Char(8))
+    fn catalog() -> Arc<Catalog> {
+        let cat = Catalog::new();
+        let fact_schema = Schema::from_pairs(&[
+            ("f_key", DataType::Int),
+            ("f_dim", DataType::Int),
+            ("f_price", DataType::Int),
+            ("f_disc", DataType::Int),
+            ("f_date", DataType::Date),
+        ]);
+        let mut fb = TableBuilder::with_page_bytes("fact", fact_schema, 1024);
+        for i in 0..20i64 {
+            fb.push_values(&[
+                Value::Int(i),
+                Value::Int(i % 4),
+                Value::Int(100 + i),
+                Value::Int(i % 10),
+                Value::Date(19970101 + (i % 28) as u32),
+            ])
+            .unwrap();
+        }
+        cat.register(fb);
+        let dim_schema = Schema::from_pairs(&[
+            ("d_key", DataType::Int),
+            ("d_year", DataType::Int),
+            ("d_name", DataType::Char(8)),
+        ]);
+        let mut db = TableBuilder::with_page_bytes("dim", dim_schema, 1024);
+        for i in 0..4i64 {
+            db.push_values(&[
+                Value::Int(i),
+                Value::Int(1992 + i),
+                Value::Str(format!("dim{i}")),
+            ])
+            .unwrap();
+        }
+        cat.register(db);
+        cat
+    }
+
+    fn bind(sql: &str) -> Result<LogicalPlan> {
+        let cat = catalog();
+        let sel = parse_select(sql)?;
+        let plan = bind_select(&sel, &cat)?;
+        // Every bound plan must validate against the catalog.
+        plan.validate(&cat)
+            .map_err(|e| SqlError::bind(format!("bound plan failed validation: {e}")))?;
+        Ok(plan)
+    }
+
+    #[test]
+    fn select_star_is_bare_scan() {
+        let p = bind("SELECT * FROM fact").unwrap();
+        assert!(matches!(p, LogicalPlan::Scan { .. }));
+    }
+
+    #[test]
+    fn projection_resolves_names() {
+        let p = bind("SELECT f_price, f_key FROM fact").unwrap();
+        match p {
+            LogicalPlan::Project { columns, .. } => assert_eq!(columns, vec![2, 0]),
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn where_becomes_filter_above_scan() {
+        let p = bind("SELECT * FROM fact WHERE f_disc BETWEEN 1 AND 3").unwrap();
+        match p {
+            LogicalPlan::Filter { input, predicate } => {
+                assert!(matches!(*input, LogicalPlan::Scan { .. }));
+                assert_eq!(
+                    predicate,
+                    Expr::Between {
+                        col: 3,
+                        lo: Value::Int(1),
+                        hi: Value::Int(3)
+                    }
+                );
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn join_on_either_order() {
+        for sql in [
+            "SELECT * FROM fact JOIN dim ON f_dim = d_key",
+            "SELECT * FROM fact JOIN dim ON d_key = f_dim",
+            "SELECT * FROM fact JOIN dim AS d ON fact.f_dim = d.d_key",
+        ] {
+            let p = bind(sql).unwrap();
+            match p {
+                LogicalPlan::HashJoin {
+                    build_key,
+                    probe_key,
+                    ..
+                } => {
+                    assert_eq!(build_key, 0, "{sql}");
+                    assert_eq!(probe_key, 1, "{sql}");
+                }
+                other => panic!("{sql}: {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn join_key_offsets_after_first_join() {
+        // Second join's probe key indexes into the *joined* schema
+        // (fact ++ dim = 8 columns; joining again on f_dim = col 1).
+        let p = bind(
+            "SELECT * FROM fact JOIN dim AS d1 ON f_dim = d1.d_key \
+             JOIN dim AS d2 ON fact.f_key = d2.d_key",
+        )
+        .unwrap();
+        match p {
+            LogicalPlan::HashJoin { probe_key, .. } => assert_eq!(probe_key, 0),
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn qualified_disambiguation_required() {
+        let err = bind("SELECT d_year FROM fact JOIN dim AS a ON f_dim = a.d_key JOIN dim AS b ON f_key = b.d_key")
+            .unwrap_err();
+        assert!(err.to_string().contains("ambiguous"), "{err}");
+        // Qualifying fixes it.
+        bind("SELECT a.d_year FROM fact JOIN dim AS a ON f_dim = a.d_key JOIN dim AS b ON f_key = b.d_key")
+            .unwrap();
+    }
+
+    #[test]
+    fn aggregate_group_by_projection_order() {
+        // Select list order differs from (groups ++ aggs): needs Project.
+        let p = bind(
+            "SELECT SUM(f_price) AS total, d_year FROM fact \
+             JOIN dim ON f_dim = d_key GROUP BY d_year",
+        )
+        .unwrap();
+        match p {
+            LogicalPlan::Project { input, columns } => {
+                assert_eq!(columns, vec![1, 0]);
+                assert!(matches!(*input, LogicalPlan::Aggregate { .. }));
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn selected_column_must_be_grouped() {
+        let err = bind("SELECT f_price, COUNT(*) FROM fact GROUP BY f_key").unwrap_err();
+        assert!(err.to_string().contains("GROUP BY"), "{err}");
+    }
+
+    #[test]
+    fn order_by_alias_and_limit() {
+        let p = bind(
+            "SELECT d_year, COUNT(*) AS n FROM fact JOIN dim ON f_dim = d_key \
+             GROUP BY d_year ORDER BY n DESC LIMIT 2",
+        )
+        .unwrap();
+        match p {
+            LogicalPlan::Limit { input, n } => {
+                assert_eq!(n, 2);
+                match *input {
+                    LogicalPlan::Sort { keys, .. } => assert_eq!(keys, vec![(1, false)]),
+                    other => panic!("{other:?}"),
+                }
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn order_by_unknown_column_fails() {
+        let err = bind("SELECT f_key FROM fact ORDER BY nope").unwrap_err();
+        assert!(err.to_string().contains("ORDER BY"), "{err}");
+    }
+
+    #[test]
+    fn distinct_lowers_to_distinct_node() {
+        let p = bind("SELECT DISTINCT f_dim FROM fact").unwrap();
+        match p {
+            LogicalPlan::Distinct { input } => match *input {
+                LogicalPlan::Project { columns, .. } => assert_eq!(columns, vec![1]),
+                other => panic!("{other:?}"),
+            },
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn literal_coercion() {
+        // Int literal against Date column.
+        bind("SELECT * FROM fact WHERE f_date >= 19970110").unwrap();
+        // DATE literal against Date column.
+        bind("SELECT * FROM fact WHERE f_date >= DATE '1997-01-10'").unwrap();
+        // Str too long for Char(8).
+        let err = bind("SELECT * FROM dim WHERE d_name = 'way too long for char8'").unwrap_err();
+        assert!(err.to_string().contains("fit"), "{err}");
+        // Type mismatch.
+        assert!(bind("SELECT * FROM fact WHERE f_key = 'abc'").is_err());
+    }
+
+    #[test]
+    fn unknown_names_fail() {
+        assert!(bind("SELECT * FROM nope").is_err());
+        assert!(bind("SELECT nope FROM fact").is_err());
+        assert!(bind("SELECT * FROM fact JOIN dim ON f_dim = nope").is_err());
+    }
+
+    #[test]
+    fn join_keys_must_be_int() {
+        let err = bind("SELECT * FROM fact JOIN dim ON f_date = d_key").unwrap_err();
+        assert!(err.to_string().contains("Int"), "{err}");
+    }
+
+    #[test]
+    fn where_join_predicate_rejected_with_hint() {
+        let err = bind("SELECT * FROM fact JOIN dim ON f_dim = d_key WHERE f_key = d_key")
+            .unwrap_err();
+        assert!(err.to_string().contains("ON"), "{err}");
+    }
+
+    #[test]
+    fn duplicate_binding_rejected() {
+        let err = bind("SELECT * FROM fact JOIN fact ON f_dim = f_key").unwrap_err();
+        assert!(err.to_string().contains("duplicate"), "{err}");
+    }
+
+    #[test]
+    fn scalar_aggregate_without_group() {
+        let p = bind("SELECT COUNT(*), SUM(f_price) FROM fact").unwrap();
+        match p {
+            LogicalPlan::Aggregate {
+                group_by, aggs, ..
+            } => {
+                assert!(group_by.is_empty());
+                assert_eq!(aggs.len(), 2);
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn agg_input_must_be_numeric() {
+        let err = bind("SELECT SUM(d_name) FROM dim").unwrap_err();
+        assert!(err.to_string().contains("numeric"), "{err}");
+    }
+}

@@ -1,0 +1,64 @@
+//! SQL front-end errors.
+
+use std::fmt;
+
+/// An error produced while lexing, parsing or binding a SQL statement.
+///
+/// Every variant carries a character offset into the original statement so
+/// callers (the REPL example, tests) can point at the offending token.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SqlError {
+    /// A character the lexer does not understand.
+    Lex {
+        /// Byte offset of the offending character.
+        pos: usize,
+        /// Description of the problem.
+        msg: String,
+    },
+    /// The token stream does not match the grammar.
+    Parse {
+        /// Byte offset of the unexpected token.
+        pos: usize,
+        /// Description of what was expected.
+        msg: String,
+    },
+    /// The statement is grammatical but cannot be resolved against the
+    /// catalog (unknown table/column, ambiguous name, type mismatch,
+    /// unsupported construct).
+    Bind(String),
+}
+
+impl SqlError {
+    pub(crate) fn lex(pos: usize, msg: impl Into<String>) -> Self {
+        SqlError::Lex {
+            pos,
+            msg: msg.into(),
+        }
+    }
+
+    pub(crate) fn parse(pos: usize, msg: impl Into<String>) -> Self {
+        SqlError::Parse {
+            pos,
+            msg: msg.into(),
+        }
+    }
+
+    pub(crate) fn bind(msg: impl Into<String>) -> Self {
+        SqlError::Bind(msg.into())
+    }
+}
+
+impl fmt::Display for SqlError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SqlError::Lex { pos, msg } => write!(f, "lex error at offset {pos}: {msg}"),
+            SqlError::Parse { pos, msg } => write!(f, "parse error at offset {pos}: {msg}"),
+            SqlError::Bind(msg) => write!(f, "bind error: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for SqlError {}
+
+/// Convenience result alias for the SQL crate.
+pub type Result<T> = std::result::Result<T, SqlError>;

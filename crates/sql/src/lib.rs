@@ -1,0 +1,51 @@
+//! # qs-sql — SQL front-end for the sharing engine
+//!
+//! A small, dependency-free SQL layer over [`qs_plan`]: a lexer, a
+//! recursive-descent parser for single-block `SELECT` statements (the shape
+//! every SSB/TPC-H-style analytical query in the paper's workloads takes),
+//! and a binder that resolves names against a [`qs_storage::Catalog`] and
+//! emits a positional [`qs_plan::LogicalPlan`].
+//!
+//! The binder deliberately produces *naive* plans — joins in FROM order,
+//! the whole WHERE clause as one `Filter` above the join chain. Predicate
+//! pushdown, projection pruning and star-join ordering are the optimizer's
+//! job (`qs_plan::optimize`), mirroring how a query-centric DW optimizes
+//! each statement before the sharing layers see it.
+//!
+//! ```
+//! use qs_sql::plan_sql;
+//! use qs_storage::{Catalog, DataType, Schema, TableBuilder, Value};
+//!
+//! let catalog = Catalog::new();
+//! let schema = Schema::from_pairs(&[("k", DataType::Int), ("v", DataType::Int)]);
+//! let mut b = TableBuilder::with_page_bytes("t", schema, 1024);
+//! b.push_values(&[Value::Int(1), Value::Int(10)]).unwrap();
+//! catalog.register(b);
+//!
+//! let plan = plan_sql("SELECT SUM(v) AS total FROM t WHERE k >= 1", &catalog).unwrap();
+//! assert!(plan.validate(&catalog).is_ok());
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod ast;
+mod binder;
+mod error;
+mod parser;
+mod token;
+mod unparse;
+
+pub use binder::bind_select;
+pub use error::{Result, SqlError};
+pub use parser::parse_select;
+pub use unparse::star_to_sql;
+pub use token::{lex, Keyword, Token, TokenKind};
+
+use qs_plan::LogicalPlan;
+use qs_storage::Catalog;
+
+/// Parse and bind `sql` against `catalog` in one step.
+pub fn plan_sql(sql: &str, catalog: &Catalog) -> Result<LogicalPlan> {
+    let sel = parse_select(sql)?;
+    bind_select(&sel, catalog)
+}

@@ -1,0 +1,754 @@
+//! Recursive-descent parser for the SQL subset.
+//!
+//! Grammar (roughly):
+//!
+//! ```text
+//! select    := SELECT [DISTINCT] items FROM table_ref join* [WHERE expr]
+//!              [GROUP BY colrefs] [ORDER BY order_keys] [LIMIT int] [';']
+//! items     := '*' | item (',' item)*
+//! item      := agg [AS ident] | colref [AS ident]
+//! agg       := COUNT '(' '*' ')'
+//!            | SUM '(' colref (('*'|'-') colref)? ')'
+//!            | (AVG|MIN|MAX) '(' colref ')'
+//! table_ref := ident [AS? ident]
+//! join      := [INNER] JOIN table_ref ON colref '=' colref
+//! expr      := or_expr
+//! or_expr   := and_expr (OR and_expr)*
+//! and_expr  := not_expr (AND not_expr)*
+//! not_expr  := NOT not_expr | primary
+//! primary   := '(' expr ')' | TRUE | FALSE
+//!            | colref [NOT] BETWEEN literal AND literal
+//!            | colref [NOT] IN '(' literal (',' literal)* ')'
+//!            | colref cmp (literal | colref)
+//!            | literal cmp colref          -- normalized by flipping
+//! literal   := int | float | string | DATE string | [+-] number
+//! colref    := ident ['.' ident]
+//! ```
+
+use crate::ast::*;
+use crate::error::{Result, SqlError};
+use crate::token::{lex, Keyword, Token, TokenKind};
+
+/// Parse one SELECT statement. Trailing `;` is allowed; trailing garbage is
+/// an error.
+pub fn parse_select(sql: &str) -> Result<Select> {
+    let tokens = lex(sql)?;
+    let mut p = Parser { tokens, pos: 0 };
+    let sel = p.select()?;
+    p.eat_if(&TokenKind::Semicolon);
+    p.expect_eof()?;
+    Ok(sel)
+}
+
+struct Parser {
+    tokens: Vec<Token>,
+    pos: usize,
+}
+
+impl Parser {
+    fn peek(&self) -> &TokenKind {
+        &self.tokens[self.pos].kind
+    }
+
+    fn peek2(&self) -> &TokenKind {
+        &self.tokens[(self.pos + 1).min(self.tokens.len() - 1)].kind
+    }
+
+    fn here(&self) -> usize {
+        self.tokens[self.pos].pos
+    }
+
+    fn bump(&mut self) -> TokenKind {
+        let t = self.tokens[self.pos].kind.clone();
+        if self.pos + 1 < self.tokens.len() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn eat_if(&mut self, kind: &TokenKind) -> bool {
+        if self.peek() == kind {
+            self.bump();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn eat_kw(&mut self, kw: Keyword) -> bool {
+        self.eat_if(&TokenKind::Keyword(kw))
+    }
+
+    fn expect(&mut self, kind: TokenKind) -> Result<()> {
+        if self.peek() == &kind {
+            self.bump();
+            Ok(())
+        } else {
+            Err(SqlError::parse(
+                self.here(),
+                format!("expected {kind}, found {}", self.peek()),
+            ))
+        }
+    }
+
+    fn expect_kw(&mut self, kw: Keyword) -> Result<()> {
+        self.expect(TokenKind::Keyword(kw))
+    }
+
+    fn expect_eof(&mut self) -> Result<()> {
+        if matches!(self.peek(), TokenKind::Eof) {
+            Ok(())
+        } else {
+            Err(SqlError::parse(
+                self.here(),
+                format!("unexpected {} after statement", self.peek()),
+            ))
+        }
+    }
+
+    fn ident(&mut self) -> Result<String> {
+        match self.peek() {
+            TokenKind::Ident(_) => match self.bump() {
+                TokenKind::Ident(s) => Ok(s),
+                _ => unreachable!(),
+            },
+            // Allow non-reserved-feeling keywords as identifiers where they
+            // commonly appear as names in SSB (`date` table!).
+            TokenKind::Keyword(Keyword::Date) => {
+                self.bump();
+                Ok("date".to_string())
+            }
+            other => Err(SqlError::parse(
+                self.here(),
+                format!("expected identifier, found {other}"),
+            )),
+        }
+    }
+
+    fn colref(&mut self) -> Result<ColumnRef> {
+        let first = self.ident()?;
+        if self.eat_if(&TokenKind::Dot) {
+            let name = self.ident()?;
+            Ok(ColumnRef {
+                qualifier: Some(first),
+                name,
+            })
+        } else {
+            Ok(ColumnRef {
+                qualifier: None,
+                name: first,
+            })
+        }
+    }
+
+    fn select(&mut self) -> Result<Select> {
+        self.expect_kw(Keyword::Select)?;
+        let distinct = self.eat_kw(Keyword::Distinct);
+        let items = self.select_items()?;
+        self.expect_kw(Keyword::From)?;
+        let from = self.table_ref()?;
+        let mut joins = Vec::new();
+        loop {
+            let save = self.pos;
+            let inner = self.eat_kw(Keyword::Inner);
+            if self.eat_kw(Keyword::Join) {
+                joins.push(self.join_clause()?);
+            } else {
+                if inner {
+                    self.pos = save;
+                }
+                break;
+            }
+        }
+        let selection = if self.eat_kw(Keyword::Where) {
+            Some(self.expr()?)
+        } else {
+            None
+        };
+        let mut group_by = Vec::new();
+        if self.eat_kw(Keyword::Group) {
+            self.expect_kw(Keyword::By)?;
+            group_by.push(self.colref()?);
+            while self.eat_if(&TokenKind::Comma) {
+                group_by.push(self.colref()?);
+            }
+        }
+        if self.eat_kw(Keyword::Having) {
+            return Err(SqlError::parse(self.here(), "HAVING is not supported"));
+        }
+        let mut order_by = Vec::new();
+        if self.eat_kw(Keyword::Order) {
+            self.expect_kw(Keyword::By)?;
+            loop {
+                let column = self.ident()?;
+                let asc = if self.eat_kw(Keyword::Desc) {
+                    false
+                } else {
+                    self.eat_kw(Keyword::Asc);
+                    true
+                };
+                order_by.push(OrderKey { column, asc });
+                if !self.eat_if(&TokenKind::Comma) {
+                    break;
+                }
+            }
+        }
+        let limit = if self.eat_kw(Keyword::Limit) {
+            match self.bump() {
+                TokenKind::Int(n) if n >= 0 => Some(n as usize),
+                other => {
+                    return Err(SqlError::parse(
+                        self.here(),
+                        format!("expected row count after LIMIT, found {other}"),
+                    ))
+                }
+            }
+        } else {
+            None
+        };
+        Ok(Select {
+            distinct,
+            items,
+            from,
+            joins,
+            selection,
+            group_by,
+            order_by,
+            limit,
+        })
+    }
+
+    fn select_items(&mut self) -> Result<Vec<SelectItem>> {
+        if self.eat_if(&TokenKind::Star) {
+            return Ok(vec![SelectItem::Wildcard]);
+        }
+        let mut items = vec![self.select_item()?];
+        while self.eat_if(&TokenKind::Comma) {
+            items.push(self.select_item()?);
+        }
+        Ok(items)
+    }
+
+    fn select_item(&mut self) -> Result<SelectItem> {
+        let item = match self.peek() {
+            TokenKind::Keyword(
+                Keyword::Sum | Keyword::Count | Keyword::Avg | Keyword::Min | Keyword::Max,
+            ) => {
+                let agg = self.agg_call()?;
+                SelectItem::Agg { agg, alias: None }
+            }
+            _ => {
+                let col = self.colref()?;
+                SelectItem::Column { col, alias: None }
+            }
+        };
+        let alias = if self.eat_kw(Keyword::As) {
+            Some(self.ident()?)
+        } else {
+            None
+        };
+        Ok(match (item, alias) {
+            (SelectItem::Agg { agg, .. }, alias) => SelectItem::Agg { agg, alias },
+            (SelectItem::Column { col, .. }, alias) => SelectItem::Column { col, alias },
+            (w @ SelectItem::Wildcard, _) => w,
+        })
+    }
+
+    fn agg_call(&mut self) -> Result<AstAgg> {
+        let kw = match self.bump() {
+            TokenKind::Keyword(k) => k,
+            _ => unreachable!("caller checked"),
+        };
+        self.expect(TokenKind::LParen)?;
+        let agg = match kw {
+            Keyword::Count => {
+                self.expect(TokenKind::Star)?;
+                AstAgg::CountStar
+            }
+            Keyword::Sum => {
+                let a = self.colref()?;
+                if self.eat_if(&TokenKind::Star) {
+                    let b = self.colref()?;
+                    AstAgg::SumProd(a, b)
+                } else if self.eat_if(&TokenKind::Minus) {
+                    let b = self.colref()?;
+                    AstAgg::SumDiff(a, b)
+                } else {
+                    AstAgg::Sum(a)
+                }
+            }
+            Keyword::Avg => AstAgg::Avg(self.colref()?),
+            Keyword::Min => AstAgg::Min(self.colref()?),
+            Keyword::Max => AstAgg::Max(self.colref()?),
+            other => {
+                return Err(SqlError::parse(
+                    self.here(),
+                    format!("unsupported aggregate {other:?}"),
+                ))
+            }
+        };
+        self.expect(TokenKind::RParen)?;
+        Ok(agg)
+    }
+
+    fn table_ref(&mut self) -> Result<TableRef> {
+        let table = self.ident()?;
+        let alias = if self.eat_kw(Keyword::As) {
+            Some(self.ident()?)
+        } else if matches!(self.peek(), TokenKind::Ident(_)) {
+            // `FROM lineorder lo` — bare alias.
+            Some(self.ident()?)
+        } else {
+            None
+        };
+        Ok(TableRef { table, alias })
+    }
+
+    fn join_clause(&mut self) -> Result<JoinClause> {
+        let table = self.table_ref()?;
+        self.expect_kw(Keyword::On)?;
+        let left = self.colref()?;
+        self.expect(TokenKind::Eq)?;
+        let right = self.colref()?;
+        Ok(JoinClause {
+            table,
+            on: (left, right),
+        })
+    }
+
+    // ---- predicate expressions ----
+
+    fn expr(&mut self) -> Result<AstExpr> {
+        self.or_expr()
+    }
+
+    fn or_expr(&mut self) -> Result<AstExpr> {
+        let first = self.and_expr()?;
+        if !matches!(self.peek(), TokenKind::Keyword(Keyword::Or)) {
+            return Ok(first);
+        }
+        let mut parts = vec![first];
+        while self.eat_kw(Keyword::Or) {
+            parts.push(self.and_expr()?);
+        }
+        Ok(AstExpr::Or(parts))
+    }
+
+    fn and_expr(&mut self) -> Result<AstExpr> {
+        let first = self.not_expr()?;
+        if !matches!(self.peek(), TokenKind::Keyword(Keyword::And)) {
+            return Ok(first);
+        }
+        let mut parts = vec![first];
+        while self.eat_kw(Keyword::And) {
+            parts.push(self.not_expr()?);
+        }
+        Ok(AstExpr::And(parts))
+    }
+
+    fn not_expr(&mut self) -> Result<AstExpr> {
+        if self.eat_kw(Keyword::Not) {
+            Ok(AstExpr::Not(Box::new(self.not_expr()?)))
+        } else {
+            self.primary()
+        }
+    }
+
+    fn primary(&mut self) -> Result<AstExpr> {
+        match self.peek() {
+            TokenKind::LParen => {
+                self.bump();
+                let inner = self.expr()?;
+                self.expect(TokenKind::RParen)?;
+                Ok(inner)
+            }
+            TokenKind::Keyword(Keyword::True) => {
+                self.bump();
+                Ok(AstExpr::Const(true))
+            }
+            TokenKind::Keyword(Keyword::False) => {
+                self.bump();
+                Ok(AstExpr::Const(false))
+            }
+            // `literal cmp colref` — parse the literal then flip.
+            TokenKind::Int(_)
+            | TokenKind::Float(_)
+            | TokenKind::Str(_)
+            | TokenKind::Minus
+            | TokenKind::Plus => {
+                let lit = self.literal()?;
+                let op = self.cmp_op()?;
+                let col = self.colref()?;
+                Ok(AstExpr::Cmp {
+                    col,
+                    op: flip(op),
+                    lit,
+                })
+            }
+            // DATE '...' can start either a literal (flipped compare) or be
+            // the `date` table qualifier; disambiguate on the next token.
+            TokenKind::Keyword(Keyword::Date) if matches!(self.peek2(), TokenKind::Str(_)) => {
+                let lit = self.literal()?;
+                let op = self.cmp_op()?;
+                let col = self.colref()?;
+                Ok(AstExpr::Cmp {
+                    col,
+                    op: flip(op),
+                    lit,
+                })
+            }
+            _ => self.column_predicate(),
+        }
+    }
+
+    fn column_predicate(&mut self) -> Result<AstExpr> {
+        let col = self.colref()?;
+        let negated = self.eat_kw(Keyword::Not);
+        if self.eat_kw(Keyword::Between) {
+            let lo = self.literal()?;
+            self.expect_kw(Keyword::And)?;
+            let hi = self.literal()?;
+            let e = AstExpr::Between { col, lo, hi };
+            return Ok(if negated {
+                AstExpr::Not(Box::new(e))
+            } else {
+                e
+            });
+        }
+        if self.eat_kw(Keyword::In) {
+            self.expect(TokenKind::LParen)?;
+            let mut items = vec![self.literal()?];
+            while self.eat_if(&TokenKind::Comma) {
+                items.push(self.literal()?);
+            }
+            self.expect(TokenKind::RParen)?;
+            let e = AstExpr::InList { col, items };
+            return Ok(if negated {
+                AstExpr::Not(Box::new(e))
+            } else {
+                e
+            });
+        }
+        if negated {
+            return Err(SqlError::parse(
+                self.here(),
+                "expected BETWEEN or IN after NOT",
+            ));
+        }
+        let op = self.cmp_op()?;
+        // Right-hand side: literal or another column (join predicate).
+        match self.peek() {
+            TokenKind::Ident(_) => {
+                let right = self.colref()?;
+                Ok(AstExpr::ColCmp {
+                    left: col,
+                    op,
+                    right,
+                })
+            }
+            TokenKind::Keyword(Keyword::Date) if !matches!(self.peek2(), TokenKind::Str(_)) => {
+                let right = self.colref()?;
+                Ok(AstExpr::ColCmp {
+                    left: col,
+                    op,
+                    right,
+                })
+            }
+            _ => {
+                let lit = self.literal()?;
+                Ok(AstExpr::Cmp { col, op, lit })
+            }
+        }
+    }
+
+    fn cmp_op(&mut self) -> Result<AstCmpOp> {
+        let op = match self.peek() {
+            TokenKind::Eq => AstCmpOp::Eq,
+            TokenKind::Ne => AstCmpOp::Ne,
+            TokenKind::Lt => AstCmpOp::Lt,
+            TokenKind::Le => AstCmpOp::Le,
+            TokenKind::Gt => AstCmpOp::Gt,
+            TokenKind::Ge => AstCmpOp::Ge,
+            other => {
+                return Err(SqlError::parse(
+                    self.here(),
+                    format!("expected comparison operator, found {other}"),
+                ))
+            }
+        };
+        self.bump();
+        Ok(op)
+    }
+
+    fn literal(&mut self) -> Result<Literal> {
+        let neg = if self.eat_if(&TokenKind::Minus) {
+            true
+        } else {
+            self.eat_if(&TokenKind::Plus);
+            false
+        };
+        let lit = match self.bump() {
+            TokenKind::Int(v) => Literal::Int(if neg { -v } else { v }),
+            TokenKind::Float(v) => Literal::Float(if neg { -v } else { v }),
+            TokenKind::Str(s) if !neg => Literal::Str(s),
+            TokenKind::Keyword(Keyword::Date) if !neg => match self.bump() {
+                TokenKind::Str(s) => Literal::Date(parse_date(&s, self.here())?),
+                other => {
+                    return Err(SqlError::parse(
+                        self.here(),
+                        format!("expected date string after DATE, found {other}"),
+                    ))
+                }
+            },
+            TokenKind::Keyword(Keyword::True) if !neg => Literal::Bool(true),
+            TokenKind::Keyword(Keyword::False) if !neg => Literal::Bool(false),
+            other => {
+                return Err(SqlError::parse(
+                    self.here(),
+                    format!("expected literal, found {other}"),
+                ))
+            }
+        };
+        Ok(lit)
+    }
+}
+
+/// Flip a comparison for `literal op column` → `column op' literal`.
+fn flip(op: AstCmpOp) -> AstCmpOp {
+    match op {
+        AstCmpOp::Lt => AstCmpOp::Gt,
+        AstCmpOp::Le => AstCmpOp::Ge,
+        AstCmpOp::Gt => AstCmpOp::Lt,
+        AstCmpOp::Ge => AstCmpOp::Le,
+        eqne => eqne,
+    }
+}
+
+/// Parse `'yyyy-mm-dd'` (or bare `'yyyymmdd'`) into the storage encoding.
+fn parse_date(s: &str, pos: usize) -> Result<u32> {
+    let digits: String = s.chars().filter(|c| c.is_ascii_digit()).collect();
+    let dashes_ok = s.chars().all(|c| c.is_ascii_digit() || c == '-');
+    if !dashes_ok || digits.len() != 8 {
+        return Err(SqlError::parse(
+            pos,
+            format!("bad date literal '{s}' (expected 'yyyy-mm-dd')"),
+        ));
+    }
+    let v: u32 = digits
+        .parse()
+        .map_err(|e| SqlError::parse(pos, format!("bad date literal '{s}': {e}")))?;
+    let (m, d) = (v / 100 % 100, v % 100);
+    if !(1..=12).contains(&m) || !(1..=31).contains(&d) {
+        return Err(SqlError::parse(
+            pos,
+            format!("date literal '{s}' out of range"),
+        ));
+    }
+    Ok(v)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn minimal_select() {
+        let s = parse_select("SELECT * FROM t").unwrap();
+        assert_eq!(s.items, vec![SelectItem::Wildcard]);
+        assert_eq!(s.from.table, "t");
+        assert!(s.selection.is_none());
+    }
+
+    #[test]
+    fn full_ssb_q1_1_shape() {
+        let s = parse_select(
+            "SELECT SUM(lo_extendedprice * lo_discount) AS revenue \
+             FROM lineorder \
+             JOIN date ON lo_orderdate = d_datekey \
+             WHERE d_year = 1993 AND lo_discount BETWEEN 1 AND 3 AND lo_quantity < 25",
+        )
+        .unwrap();
+        assert_eq!(s.joins.len(), 1);
+        assert_eq!(s.joins[0].table.table, "date");
+        match &s.selection {
+            Some(AstExpr::And(parts)) => assert_eq!(parts.len(), 3),
+            other => panic!("expected AND, got {other:?}"),
+        }
+        match &s.items[0] {
+            SelectItem::Agg {
+                agg: AstAgg::SumProd(a, b),
+                alias,
+            } => {
+                assert_eq!(a.name, "lo_extendedprice");
+                assert_eq!(b.name, "lo_discount");
+                assert_eq!(alias.as_deref(), Some("revenue"));
+            }
+            other => panic!("expected SumProd, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn group_order_limit() {
+        let s = parse_select(
+            "SELECT d_year, COUNT(*) AS n FROM t JOIN d ON a = b \
+             GROUP BY d_year ORDER BY n DESC, d_year LIMIT 5;",
+        )
+        .unwrap();
+        assert_eq!(s.group_by.len(), 1);
+        assert_eq!(
+            s.order_by,
+            vec![
+                OrderKey {
+                    column: "n".into(),
+                    asc: false
+                },
+                OrderKey {
+                    column: "d_year".into(),
+                    asc: true
+                }
+            ]
+        );
+        assert_eq!(s.limit, Some(5));
+    }
+
+    #[test]
+    fn distinct_and_aliased_tables() {
+        let s = parse_select("SELECT DISTINCT c FROM t1 AS a JOIN t2 b ON a.x = b.y").unwrap();
+        assert!(s.distinct);
+        assert_eq!(s.from.binding(), "a");
+        assert_eq!(s.joins[0].table.binding(), "b");
+        assert_eq!(s.joins[0].on.0, ColumnRef::qualified("a", "x"));
+    }
+
+    #[test]
+    fn date_literals_and_date_table() {
+        // `date` as a table name and DATE '...' as a literal in one query.
+        let s = parse_select(
+            "SELECT * FROM date WHERE d_date >= DATE '1997-01-31' AND DATE '1998-01-01' > d_date",
+        )
+        .unwrap();
+        match &s.selection {
+            Some(AstExpr::And(parts)) => {
+                assert_eq!(
+                    parts[0],
+                    AstExpr::Cmp {
+                        col: ColumnRef::bare("d_date"),
+                        op: AstCmpOp::Ge,
+                        lit: Literal::Date(19970131),
+                    }
+                );
+                // Flipped: DATE '1998-01-01' > d_date  ==>  d_date < ...
+                assert_eq!(
+                    parts[1],
+                    AstExpr::Cmp {
+                        col: ColumnRef::bare("d_date"),
+                        op: AstCmpOp::Lt,
+                        lit: Literal::Date(19980101),
+                    }
+                );
+            }
+            other => panic!("expected AND, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn in_list_and_not() {
+        let s = parse_select("SELECT * FROM t WHERE a IN (1, 2, 3) AND b NOT IN (4) AND NOT c = 5")
+            .unwrap();
+        match &s.selection {
+            Some(AstExpr::And(parts)) => {
+                assert!(matches!(parts[0], AstExpr::InList { .. }));
+                assert!(matches!(parts[1], AstExpr::Not(_)));
+                assert!(matches!(parts[2], AstExpr::Not(_)));
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn or_precedence() {
+        let s = parse_select("SELECT * FROM t WHERE a = 1 OR b = 2 AND c = 3").unwrap();
+        // AND binds tighter: a=1 OR (b=2 AND c=3).
+        match s.selection.unwrap() {
+            AstExpr::Or(parts) => {
+                assert_eq!(parts.len(), 2);
+                assert!(matches!(parts[1], AstExpr::And(_)));
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn negative_literals() {
+        let s = parse_select("SELECT * FROM t WHERE a > -5 AND f <= -1.5").unwrap();
+        match s.selection.unwrap() {
+            AstExpr::And(parts) => {
+                assert_eq!(
+                    parts[0],
+                    AstExpr::Cmp {
+                        col: ColumnRef::bare("a"),
+                        op: AstCmpOp::Gt,
+                        lit: Literal::Int(-5)
+                    }
+                );
+                assert_eq!(
+                    parts[1],
+                    AstExpr::Cmp {
+                        col: ColumnRef::bare("f"),
+                        op: AstCmpOp::Le,
+                        lit: Literal::Float(-1.5)
+                    }
+                );
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn errors_have_positions() {
+        assert!(matches!(
+            parse_select("SELECT FROM t"),
+            Err(SqlError::Parse { .. })
+        ));
+        assert!(matches!(
+            parse_select("SELECT * FROM t WHERE"),
+            Err(SqlError::Parse { .. })
+        ));
+        assert!(matches!(
+            parse_select("SELECT * FROM t extra garbage"),
+            Err(SqlError::Parse { .. })
+        ));
+        assert!(matches!(
+            parse_select("SELECT * FROM t HAVING x = 1"),
+            Err(SqlError::Parse { .. })
+        ));
+        assert!(parse_select("SELECT * FROM t WHERE d = DATE '1997-13-40'").is_err());
+    }
+
+    #[test]
+    fn sum_forms() {
+        let s =
+            parse_select("SELECT SUM(a), SUM(a * b), SUM(a - b), AVG(c), MIN(d), MAX(e) FROM t")
+                .unwrap();
+        let aggs: Vec<_> = s
+            .items
+            .iter()
+            .map(|i| match i {
+                SelectItem::Agg { agg, .. } => agg.clone(),
+                other => panic!("{other:?}"),
+            })
+            .collect();
+        assert!(matches!(aggs[0], AstAgg::Sum(_)));
+        assert!(matches!(aggs[1], AstAgg::SumProd(_, _)));
+        assert!(matches!(aggs[2], AstAgg::SumDiff(_, _)));
+        assert!(matches!(aggs[3], AstAgg::Avg(_)));
+        assert!(matches!(aggs[4], AstAgg::Min(_)));
+        assert!(matches!(aggs[5], AstAgg::Max(_)));
+    }
+
+    #[test]
+    fn inner_join_keyword_accepted() {
+        let s = parse_select("SELECT * FROM a INNER JOIN b ON a.x = b.y").unwrap();
+        assert_eq!(s.joins.len(), 1);
+    }
+}

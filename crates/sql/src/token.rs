@@ -1,0 +1,420 @@
+//! SQL lexer.
+//!
+//! Hand-rolled scanner producing a flat `Vec<Token>`; the parser indexes
+//! into it with one token of lookahead. Keywords are case-insensitive,
+//! identifiers preserve case, strings use single quotes with `''` escaping.
+
+use crate::error::{Result, SqlError};
+use std::fmt;
+
+/// SQL keywords recognized by the grammar.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[allow(missing_docs)] // variants are the keywords themselves
+pub enum Keyword {
+    Select,
+    From,
+    Where,
+    Group,
+    Order,
+    By,
+    Having,
+    As,
+    And,
+    Or,
+    Not,
+    Between,
+    In,
+    Join,
+    Inner,
+    On,
+    Limit,
+    Asc,
+    Desc,
+    Sum,
+    Count,
+    Avg,
+    Min,
+    Max,
+    Date,
+    Distinct,
+    True,
+    False,
+}
+
+impl Keyword {
+    fn from_str(s: &str) -> Option<Keyword> {
+        let up = s.to_ascii_uppercase();
+        Some(match up.as_str() {
+            "SELECT" => Keyword::Select,
+            "FROM" => Keyword::From,
+            "WHERE" => Keyword::Where,
+            "GROUP" => Keyword::Group,
+            "ORDER" => Keyword::Order,
+            "BY" => Keyword::By,
+            "HAVING" => Keyword::Having,
+            "AS" => Keyword::As,
+            "AND" => Keyword::And,
+            "OR" => Keyword::Or,
+            "NOT" => Keyword::Not,
+            "BETWEEN" => Keyword::Between,
+            "IN" => Keyword::In,
+            "JOIN" => Keyword::Join,
+            "INNER" => Keyword::Inner,
+            "ON" => Keyword::On,
+            "LIMIT" => Keyword::Limit,
+            "ASC" => Keyword::Asc,
+            "DESC" => Keyword::Desc,
+            "SUM" => Keyword::Sum,
+            "COUNT" => Keyword::Count,
+            "AVG" => Keyword::Avg,
+            "MIN" => Keyword::Min,
+            "MAX" => Keyword::Max,
+            "DATE" => Keyword::Date,
+            "DISTINCT" => Keyword::Distinct,
+            "TRUE" => Keyword::True,
+            "FALSE" => Keyword::False,
+            _ => return None,
+        })
+    }
+}
+
+/// One lexical token.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TokenKind {
+    /// Keyword (case-insensitive in the source).
+    Keyword(Keyword),
+    /// Identifier (table, column or alias name).
+    Ident(String),
+    /// Integer literal.
+    Int(i64),
+    /// Float literal.
+    Float(f64),
+    /// Single-quoted string literal (quotes stripped, `''` unescaped).
+    Str(String),
+    /// `=`
+    Eq,
+    /// `<>` or `!=`
+    Ne,
+    /// `<`
+    Lt,
+    /// `<=`
+    Le,
+    /// `>`
+    Gt,
+    /// `>=`
+    Ge,
+    /// `(`
+    LParen,
+    /// `)`
+    RParen,
+    /// `,`
+    Comma,
+    /// `.`
+    Dot,
+    /// `*`
+    Star,
+    /// `-`
+    Minus,
+    /// `+`
+    Plus,
+    /// `;`
+    Semicolon,
+    /// End of input (always the final token).
+    Eof,
+}
+
+impl fmt::Display for TokenKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TokenKind::Keyword(k) => write!(f, "{k:?}"),
+            TokenKind::Ident(s) => write!(f, "identifier `{s}`"),
+            TokenKind::Int(v) => write!(f, "integer {v}"),
+            TokenKind::Float(v) => write!(f, "float {v}"),
+            TokenKind::Str(s) => write!(f, "string '{s}'"),
+            TokenKind::Eq => write!(f, "="),
+            TokenKind::Ne => write!(f, "<>"),
+            TokenKind::Lt => write!(f, "<"),
+            TokenKind::Le => write!(f, "<="),
+            TokenKind::Gt => write!(f, ">"),
+            TokenKind::Ge => write!(f, ">="),
+            TokenKind::LParen => write!(f, "("),
+            TokenKind::RParen => write!(f, ")"),
+            TokenKind::Comma => write!(f, ","),
+            TokenKind::Dot => write!(f, "."),
+            TokenKind::Star => write!(f, "*"),
+            TokenKind::Minus => write!(f, "-"),
+            TokenKind::Plus => write!(f, "+"),
+            TokenKind::Semicolon => write!(f, ";"),
+            TokenKind::Eof => write!(f, "end of input"),
+        }
+    }
+}
+
+/// A token plus its byte offset in the source, for error messages.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Token {
+    /// What was scanned.
+    pub kind: TokenKind,
+    /// Byte offset of the first character.
+    pub pos: usize,
+}
+
+/// Scan `sql` into tokens. The result always ends with [`TokenKind::Eof`].
+pub fn lex(sql: &str) -> Result<Vec<Token>> {
+    let bytes = sql.as_bytes();
+    let mut out = Vec::new();
+    let mut i = 0;
+    while i < bytes.len() {
+        let c = bytes[i] as char;
+        match c {
+            ' ' | '\t' | '\r' | '\n' => i += 1,
+            '-' => {
+                // `--` line comment or minus.
+                if bytes.get(i + 1) == Some(&b'-') {
+                    while i < bytes.len() && bytes[i] != b'\n' {
+                        i += 1;
+                    }
+                } else {
+                    out.push(Token {
+                        kind: TokenKind::Minus,
+                        pos: i,
+                    });
+                    i += 1;
+                }
+            }
+            '(' | ')' | ',' | '.' | '*' | '+' | ';' | '=' => {
+                let kind = match c {
+                    '(' => TokenKind::LParen,
+                    ')' => TokenKind::RParen,
+                    ',' => TokenKind::Comma,
+                    '.' => TokenKind::Dot,
+                    '*' => TokenKind::Star,
+                    '+' => TokenKind::Plus,
+                    ';' => TokenKind::Semicolon,
+                    _ => TokenKind::Eq,
+                };
+                out.push(Token { kind, pos: i });
+                i += 1;
+            }
+            '<' => {
+                let (kind, w) = match bytes.get(i + 1) {
+                    Some(b'=') => (TokenKind::Le, 2),
+                    Some(b'>') => (TokenKind::Ne, 2),
+                    _ => (TokenKind::Lt, 1),
+                };
+                out.push(Token { kind, pos: i });
+                i += w;
+            }
+            '>' => {
+                let (kind, w) = match bytes.get(i + 1) {
+                    Some(b'=') => (TokenKind::Ge, 2),
+                    _ => (TokenKind::Gt, 1),
+                };
+                out.push(Token { kind, pos: i });
+                i += w;
+            }
+            '!' => {
+                if bytes.get(i + 1) == Some(&b'=') {
+                    out.push(Token {
+                        kind: TokenKind::Ne,
+                        pos: i,
+                    });
+                    i += 2;
+                } else {
+                    return Err(SqlError::lex(i, "unexpected `!` (did you mean `!=`?)"));
+                }
+            }
+            '\'' => {
+                let start = i;
+                i += 1;
+                let mut s = String::new();
+                loop {
+                    match bytes.get(i) {
+                        None => return Err(SqlError::lex(start, "unterminated string literal")),
+                        Some(b'\'') => {
+                            if bytes.get(i + 1) == Some(&b'\'') {
+                                s.push('\'');
+                                i += 2;
+                            } else {
+                                i += 1;
+                                break;
+                            }
+                        }
+                        Some(&b) => {
+                            s.push(b as char);
+                            i += 1;
+                        }
+                    }
+                }
+                out.push(Token {
+                    kind: TokenKind::Str(s),
+                    pos: start,
+                });
+            }
+            '0'..='9' => {
+                let start = i;
+                while i < bytes.len() && bytes[i].is_ascii_digit() {
+                    i += 1;
+                }
+                let mut is_float = false;
+                // A fractional part only if the dot is followed by a digit
+                // (so `1.` parses as `1` `.` for qualified-name safety).
+                if i + 1 < bytes.len() && bytes[i] == b'.' && bytes[i + 1].is_ascii_digit() {
+                    is_float = true;
+                    i += 1;
+                    while i < bytes.len() && bytes[i].is_ascii_digit() {
+                        i += 1;
+                    }
+                }
+                let text = &sql[start..i];
+                let kind = if is_float {
+                    TokenKind::Float(
+                        text.parse::<f64>()
+                            .map_err(|e| SqlError::lex(start, format!("bad float: {e}")))?,
+                    )
+                } else {
+                    TokenKind::Int(
+                        text.parse::<i64>()
+                            .map_err(|e| SqlError::lex(start, format!("bad integer: {e}")))?,
+                    )
+                };
+                out.push(Token { kind, pos: start });
+            }
+            c if c.is_ascii_alphabetic() || c == '_' => {
+                let start = i;
+                while i < bytes.len()
+                    && ((bytes[i] as char).is_ascii_alphanumeric() || bytes[i] == b'_')
+                {
+                    i += 1;
+                }
+                let word = &sql[start..i];
+                let kind = match Keyword::from_str(word) {
+                    Some(kw) => TokenKind::Keyword(kw),
+                    None => TokenKind::Ident(word.to_string()),
+                };
+                out.push(Token { kind, pos: start });
+            }
+            other => {
+                return Err(SqlError::lex(i, format!("unexpected character `{other}`")));
+            }
+        }
+    }
+    out.push(Token {
+        kind: TokenKind::Eof,
+        pos: sql.len(),
+    });
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(sql: &str) -> Vec<TokenKind> {
+        lex(sql).unwrap().into_iter().map(|t| t.kind).collect()
+    }
+
+    #[test]
+    fn keywords_case_insensitive() {
+        assert_eq!(
+            kinds("select FROM Where"),
+            vec![
+                TokenKind::Keyword(Keyword::Select),
+                TokenKind::Keyword(Keyword::From),
+                TokenKind::Keyword(Keyword::Where),
+                TokenKind::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn identifiers_preserve_case() {
+        assert_eq!(
+            kinds("lo_quantity D_Year"),
+            vec![
+                TokenKind::Ident("lo_quantity".into()),
+                TokenKind::Ident("D_Year".into()),
+                TokenKind::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn numbers() {
+        assert_eq!(
+            kinds("42 3.25 19980101"),
+            vec![
+                TokenKind::Int(42),
+                TokenKind::Float(3.25),
+                TokenKind::Int(19980101),
+                TokenKind::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn dot_after_int_is_qualifier_not_float() {
+        // `t1.c` style qualification straight after a number must not eat
+        // the dot: `1.c` lexes as Int, Dot, Ident.
+        assert_eq!(
+            kinds("1.c"),
+            vec![
+                TokenKind::Int(1),
+                TokenKind::Dot,
+                TokenKind::Ident("c".into()),
+                TokenKind::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn strings_with_escapes() {
+        assert_eq!(
+            kinds("'abc' 'it''s'"),
+            vec![
+                TokenKind::Str("abc".into()),
+                TokenKind::Str("it's".into()),
+                TokenKind::Eof
+            ]
+        );
+        assert!(lex("'oops").is_err());
+    }
+
+    #[test]
+    fn operators() {
+        assert_eq!(
+            kinds("= <> != < <= > >="),
+            vec![
+                TokenKind::Eq,
+                TokenKind::Ne,
+                TokenKind::Ne,
+                TokenKind::Lt,
+                TokenKind::Le,
+                TokenKind::Gt,
+                TokenKind::Ge,
+                TokenKind::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn comments_skipped() {
+        assert_eq!(
+            kinds("select -- everything here is ignored\n 1"),
+            vec![
+                TokenKind::Keyword(Keyword::Select),
+                TokenKind::Int(1),
+                TokenKind::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn bad_chars_error_with_position() {
+        match lex("a @ b") {
+            Err(SqlError::Lex { pos, .. }) => assert_eq!(pos, 2),
+            other => panic!("expected lex error, got {other:?}"),
+        }
+        assert!(lex("a ! b").is_err());
+    }
+}

@@ -1,0 +1,386 @@
+//! Star-query → SQL unparser.
+//!
+//! Renders a detected [`StarQuery`] back into a SQL `SELECT` the parser
+//! and binder accept. This closes the loop `plan → SQL → plan`: the
+//! round-tripped statement, after binding and optimization, must return
+//! the original plan's rows (tested over every SSB template in
+//! `tests/unparse_roundtrip.rs`).
+//!
+//! Scope matches the star shape CJOIN evaluates: a fact scan with a
+//! conjunctive predicate, dimension equi-joins with per-dimension
+//! predicates, and an operator chain above the join drawn from
+//! `Aggregate? → Sort? → Limit?`. Anything else returns
+//! [`SqlError::Bind`] (`"unsupported"`), never a wrong statement.
+
+use crate::error::{Result, SqlError};
+use qs_plan::star::AboveOp;
+use qs_plan::{AggFunc, CmpOp, Expr, StarQuery};
+use qs_storage::{Catalog, Schema, Value};
+use std::fmt::Write as _;
+use std::sync::Arc;
+
+/// Maps joined-space column indices back to qualified SQL names.
+struct NameSpace {
+    /// `(qualifier, schema, offset)` for the fact table then each dim.
+    blocks: Vec<(String, Arc<Schema>, usize)>,
+}
+
+impl NameSpace {
+    fn qualified(&self, joined_idx: usize) -> Result<String> {
+        for (qual, schema, offset) in &self.blocks {
+            if joined_idx >= *offset && joined_idx < offset + schema.len() {
+                return Ok(format!("{qual}.{}", schema.column(joined_idx - offset).name));
+            }
+        }
+        Err(SqlError::bind(format!(
+            "unsupported: column {joined_idx} outside the joined star schema"
+        )))
+    }
+
+    /// Bare output name (for GROUP BY select items and ORDER BY keys).
+    fn bare(&self, joined_idx: usize) -> Result<String> {
+        self.qualified(joined_idx)
+            .map(|q| q.split('.').next_back().expect("qualified").to_string())
+    }
+}
+
+/// Render `star` as a SQL `SELECT` statement.
+pub fn star_to_sql(star: &StarQuery, catalog: &Catalog) -> Result<String> {
+    let fact = catalog
+        .get(&star.fact_table)
+        .map_err(|e| SqlError::bind(e.to_string()))?;
+    let mut ns = NameSpace {
+        blocks: vec![(star.fact_table.clone(), fact.schema().clone(), 0)],
+    };
+    let mut offset = fact.schema().len();
+
+    // FROM / JOIN clauses. Dims get aliases t1..tn so the same dimension
+    // table may appear twice.
+    let mut from = star.fact_table.clone();
+    let mut where_parts: Vec<String> = Vec::new();
+    if let Some(p) = &star.fact_predicate {
+        where_parts.push(expr_to_sql(p, fact.schema(), &star.fact_table)?);
+    }
+    for (i, d) in star.dims.iter().enumerate() {
+        let dim = catalog
+            .get(&d.table)
+            .map_err(|e| SqlError::bind(e.to_string()))?;
+        let alias = format!("t{}", i + 1);
+        write!(
+            from,
+            " JOIN {} AS {alias} ON {}.{} = {alias}.{}",
+            d.table,
+            star.fact_table,
+            fact.schema().column(d.fact_key).name,
+            dim.schema().column(d.dim_key).name,
+        )
+        .expect("write to String");
+        if let Some(p) = &d.predicate {
+            where_parts.push(expr_to_sql(p, dim.schema(), &alias)?);
+        }
+        ns.blocks.push((alias, dim.schema().clone(), offset));
+        offset += dim.schema().len();
+    }
+
+    // Operator chain above the join: Aggregate? → Sort? → Limit?.
+    let mut aggregate: Option<&AboveOp> = None;
+    let mut sort_keys: Option<&[(usize, bool)]> = None;
+    let mut limit: Option<usize> = None;
+    for op in &star.above {
+        match op {
+            AboveOp::Aggregate { .. } if aggregate.is_none() && sort_keys.is_none() => {
+                aggregate = Some(op);
+            }
+            AboveOp::Sort { keys } if sort_keys.is_none() && limit.is_none() => {
+                sort_keys = Some(keys);
+            }
+            AboveOp::Limit { n } if limit.is_none() => limit = Some(*n),
+            AboveOp::TopK { keys, n } if sort_keys.is_none() && limit.is_none() => {
+                sort_keys = Some(keys);
+                limit = Some(*n);
+            }
+            other => {
+                return Err(SqlError::bind(format!(
+                    "unsupported: operator {other:?} in SQL unparse chain"
+                )))
+            }
+        }
+    }
+
+    // Select list + the output-column names ORDER BY refers to.
+    let mut out = String::from("SELECT ");
+    let mut out_names: Vec<String> = Vec::new();
+    match aggregate {
+        Some(AboveOp::Aggregate { group_by, aggs }) => {
+            let mut items: Vec<String> = Vec::new();
+            for &g in group_by {
+                items.push(ns.qualified(g)?);
+                out_names.push(ns.bare(g)?);
+            }
+            for a in aggs {
+                items.push(format!("{} AS {}", agg_to_sql(&a.func, &ns)?, a.name));
+                out_names.push(a.name.clone());
+            }
+            if items.is_empty() {
+                return Err(SqlError::bind(
+                    "unsupported: aggregate with no outputs".to_string(),
+                ));
+            }
+            out.push_str(&items.join(", "));
+        }
+        _ => {
+            // No aggregation: the join output itself. `SELECT *` keeps the
+            // fact-then-dims column order of the star plan.
+            out.push('*');
+            for (qual, schema, _) in &ns.blocks {
+                let _ = qual;
+                for c in schema.columns() {
+                    out_names.push(c.name.clone());
+                }
+            }
+        }
+    }
+
+    write!(out, " FROM {from}").expect("write to String");
+    if !where_parts.is_empty() {
+        write!(out, " WHERE {}", where_parts.join(" AND ")).expect("write to String");
+    }
+    if let Some(AboveOp::Aggregate { group_by, .. }) = aggregate {
+        if !group_by.is_empty() {
+            let names: Result<Vec<String>> =
+                group_by.iter().map(|&g| ns.qualified(g)).collect();
+            write!(out, " GROUP BY {}", names?.join(", ")).expect("write to String");
+        }
+    }
+    if let Some(keys) = sort_keys {
+        let mut parts = Vec::new();
+        for &(col, asc) in keys {
+            let name = out_names.get(col).ok_or_else(|| {
+                SqlError::bind(format!("unsupported: sort key {col} outside output"))
+            })?;
+            parts.push(format!("{name}{}", if asc { "" } else { " DESC" }));
+        }
+        write!(out, " ORDER BY {}", parts.join(", ")).expect("write to String");
+    }
+    if let Some(n) = limit {
+        write!(out, " LIMIT {n}").expect("write to String");
+    }
+    Ok(out)
+}
+
+fn agg_to_sql(func: &AggFunc, ns: &NameSpace) -> Result<String> {
+    Ok(match func {
+        AggFunc::Count => "COUNT(*)".to_string(),
+        AggFunc::Sum(c) => format!("SUM({})", ns.qualified(*c)?),
+        AggFunc::Avg(c) => format!("AVG({})", ns.qualified(*c)?),
+        AggFunc::Min(c) => format!("MIN({})", ns.qualified(*c)?),
+        AggFunc::Max(c) => format!("MAX({})", ns.qualified(*c)?),
+        AggFunc::SumProd(a, b) => {
+            format!("SUM({} * {})", ns.qualified(*a)?, ns.qualified(*b)?)
+        }
+        AggFunc::SumDiff(a, b) => {
+            format!("SUM({} - {})", ns.qualified(*a)?, ns.qualified(*b)?)
+        }
+    })
+}
+
+/// Render a predicate over one table's schema, qualifying columns with
+/// `qual`.
+fn expr_to_sql(e: &Expr, schema: &Schema, qual: &str) -> Result<String> {
+    let col = |c: usize| -> Result<String> {
+        if c >= schema.len() {
+            return Err(SqlError::bind(format!(
+                "unsupported: column {c} out of range in predicate"
+            )));
+        }
+        Ok(format!("{qual}.{}", schema.column(c).name))
+    };
+    Ok(match e {
+        Expr::Cmp { col: c, op, lit } => {
+            format!("{} {} {}", col(*c)?, cmp_sql(*op), value_sql(lit))
+        }
+        Expr::Between { col: c, lo, hi } => {
+            format!("{} BETWEEN {} AND {}", col(*c)?, value_sql(lo), value_sql(hi))
+        }
+        Expr::InList { col: c, items } => {
+            if items.is_empty() {
+                // `IN ()` is not grammatical; an empty list is `FALSE`.
+                "FALSE".to_string()
+            } else {
+                let vals: Vec<String> = items.iter().map(value_sql).collect();
+                format!("{} IN ({})", col(*c)?, vals.join(", "))
+            }
+        }
+        Expr::And(parts) => {
+            if parts.is_empty() {
+                return Ok("TRUE".to_string());
+            }
+            let rendered: Result<Vec<String>> = parts
+                .iter()
+                .map(|p| {
+                    let s = expr_to_sql(p, schema, qual)?;
+                    Ok(if matches!(p, Expr::Or(_)) {
+                        format!("({s})")
+                    } else {
+                        s
+                    })
+                })
+                .collect();
+            rendered?.join(" AND ")
+        }
+        Expr::Or(parts) => {
+            if parts.is_empty() {
+                return Ok("FALSE".to_string());
+            }
+            let rendered: Result<Vec<String>> =
+                parts.iter().map(|p| expr_to_sql(p, schema, qual)).collect();
+            rendered?.join(" OR ")
+        }
+        Expr::Not(inner) => format!("NOT ({})", expr_to_sql(inner, schema, qual)?),
+        Expr::Const(b) => if *b { "TRUE" } else { "FALSE" }.to_string(),
+    })
+}
+
+fn cmp_sql(op: CmpOp) -> &'static str {
+    match op {
+        CmpOp::Eq => "=",
+        CmpOp::Ne => "<>",
+        CmpOp::Lt => "<",
+        CmpOp::Le => "<=",
+        CmpOp::Gt => ">",
+        CmpOp::Ge => ">=",
+    }
+}
+
+fn value_sql(v: &Value) -> String {
+    match v {
+        Value::Int(i) => i.to_string(),
+        Value::Float(f) => {
+            if f.fract() == 0.0 && f.is_finite() {
+                format!("{f:.1}")
+            } else {
+                f.to_string()
+            }
+        }
+        Value::Date(d) => {
+            format!("DATE '{:04}-{:02}-{:02}'", d / 10000, d / 100 % 100, d % 100)
+        }
+        Value::Str(s) => format!("'{}'", s.replace('\'', "''")),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qs_plan::{AggSpec, LogicalPlan, PlanBuilder};
+    use qs_storage::{DataType, TableBuilder};
+
+    fn catalog() -> Arc<Catalog> {
+        let cat = Catalog::new();
+        let fact = Schema::from_pairs(&[
+            ("fk", DataType::Int),
+            ("v", DataType::Int),
+            ("dt", DataType::Date),
+        ]);
+        let mut fb = TableBuilder::with_page_bytes("fact", fact, 1024);
+        for i in 0..10i64 {
+            fb.push_values(&[
+                Value::Int(i % 3),
+                Value::Int(i * 10),
+                Value::Date(19970101 + i as u32),
+            ])
+            .unwrap();
+        }
+        cat.register(fb);
+        let dim = Schema::from_pairs(&[("k", DataType::Int), ("name", DataType::Char(8))]);
+        let mut db = TableBuilder::with_page_bytes("dim", dim, 1024);
+        for i in 0..3i64 {
+            db.push_values(&[Value::Int(i), Value::Str(format!("n{i}"))])
+                .unwrap();
+        }
+        cat.register(db);
+        cat
+    }
+
+    #[test]
+    fn renders_full_star_statement() {
+        let cat = catalog();
+        let plan = PlanBuilder::scan(&cat, "fact")
+            .unwrap()
+            .filter(Expr::and(vec![
+                Expr::lt(1, 70i64),
+                Expr::ge(2, Value::Date(19970102)),
+            ]))
+            .unwrap()
+            .join_dim("dim", "fk", "k", Some(Expr::eq(1, Value::Str("n1".into()))))
+            .unwrap()
+            .aggregate(&["name"], vec![AggSpec::new(AggFunc::Sum(1), "total")])
+            .unwrap()
+            .sort(&[("total", false)])
+            .unwrap()
+            .build()
+            .unwrap();
+        let star = StarQuery::detect(&plan, &cat).unwrap();
+        let sql = star_to_sql(&star, &cat).unwrap();
+        assert_eq!(
+            sql,
+            "SELECT t1.name, SUM(fact.v) AS total \
+             FROM fact JOIN dim AS t1 ON fact.fk = t1.k \
+             WHERE fact.v < 70 AND fact.dt >= DATE '1997-01-02' AND t1.name = 'n1' \
+             GROUP BY t1.name ORDER BY total DESC"
+        );
+        // And it must re-parse and re-bind.
+        crate::plan_sql(&sql, &cat).unwrap();
+    }
+
+    #[test]
+    fn renders_join_only_star_as_select_star() {
+        let cat = catalog();
+        let plan = PlanBuilder::scan(&cat, "fact")
+            .unwrap()
+            .join_dim("dim", "fk", "k", None)
+            .unwrap()
+            .build()
+            .unwrap();
+        let star = StarQuery::detect(&plan, &cat).unwrap();
+        let sql = star_to_sql(&star, &cat).unwrap();
+        assert_eq!(sql, "SELECT * FROM fact JOIN dim AS t1 ON fact.fk = t1.k");
+        crate::plan_sql(&sql, &cat).unwrap();
+    }
+
+    #[test]
+    fn unsupported_shapes_error_not_garbage() {
+        let cat = catalog();
+        // Project above the join is outside the unparser's scope.
+        let plan = LogicalPlan::Project {
+            input: Box::new(
+                PlanBuilder::scan(&cat, "fact")
+                    .unwrap()
+                    .join_dim("dim", "fk", "k", None)
+                    .unwrap()
+                    .build()
+                    .unwrap(),
+            ),
+            columns: vec![0],
+        };
+        let star = StarQuery::detect(&plan, &cat).unwrap();
+        let err = star_to_sql(&star, &cat).unwrap_err();
+        assert!(err.to_string().contains("unsupported"), "{err}");
+    }
+
+    #[test]
+    fn empty_in_list_renders_false() {
+        let cat = catalog();
+        let fact = cat.get("fact").unwrap();
+        let sql = expr_to_sql(
+            &Expr::InList {
+                col: 1,
+                items: vec![],
+            },
+            fact.schema(),
+            "fact",
+        )
+        .unwrap();
+        assert_eq!(sql, "FALSE");
+    }
+}

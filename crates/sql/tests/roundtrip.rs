@@ -1,0 +1,184 @@
+//! Property test: pretty-printing any AST and re-parsing it yields the
+//! same AST (`parse ∘ print = id`). This pins the printer and the parser
+//! to one grammar and catches precedence/escaping bugs in either.
+
+use proptest::prelude::*;
+use qs_sql::ast::*;
+use qs_sql::parse_select;
+
+fn ident() -> impl Strategy<Value = String> {
+    // Lowercase identifiers that cannot collide with keywords.
+    "[a-z][a-z0-9_]{0,10}"
+        .prop_filter("not a keyword", |s| {
+            ![
+                "select", "from", "where", "group", "order", "by", "having", "as", "and", "or",
+                "not", "between", "in", "join", "inner", "on", "limit", "asc", "desc", "sum",
+                "count", "avg", "min", "max", "date", "distinct", "true", "false",
+            ]
+            .contains(&s.as_str())
+        })
+        .prop_map(|s| s.to_string())
+}
+
+fn colref() -> impl Strategy<Value = ColumnRef> {
+    (proptest::option::of(ident()), ident()).prop_map(|(qualifier, name)| ColumnRef {
+        qualifier,
+        name,
+    })
+}
+
+fn literal() -> impl Strategy<Value = Literal> {
+    prop_oneof![
+        any::<i64>().prop_map(Literal::Int),
+        // Finite, non-sign-tricky floats that print and re-parse exactly.
+        (-1_000_000i64..1_000_000, 1u32..100).prop_map(|(m, d)| Literal::Float(
+            m as f64 + 1.0 / d as f64
+        )),
+        "[a-zA-Z0-9 ']{0,12}".prop_map(Literal::Str),
+        (1970u32..2100, 1u32..13, 1u32..29)
+            .prop_map(|(y, m, d)| Literal::Date(y * 10000 + m * 100 + d)),
+    ]
+}
+
+fn cmp_op() -> impl Strategy<Value = AstCmpOp> {
+    prop_oneof![
+        Just(AstCmpOp::Eq),
+        Just(AstCmpOp::Ne),
+        Just(AstCmpOp::Lt),
+        Just(AstCmpOp::Le),
+        Just(AstCmpOp::Gt),
+        Just(AstCmpOp::Ge),
+    ]
+}
+
+fn leaf_expr() -> impl Strategy<Value = AstExpr> {
+    prop_oneof![
+        (colref(), cmp_op(), literal()).prop_map(|(col, op, lit)| AstExpr::Cmp { col, op, lit }),
+        (colref(), literal(), literal())
+            .prop_map(|(col, lo, hi)| AstExpr::Between { col, lo, hi }),
+        (colref(), proptest::collection::vec(literal(), 1..4))
+            .prop_map(|(col, items)| AstExpr::InList { col, items }),
+        Just(AstExpr::Const(true)),
+        Just(AstExpr::Const(false)),
+    ]
+}
+
+fn expr() -> impl Strategy<Value = AstExpr> {
+    leaf_expr().prop_recursive(3, 24, 4, |inner| {
+        prop_oneof![
+            proptest::collection::vec(inner.clone(), 2..4).prop_map(AstExpr::And),
+            proptest::collection::vec(inner.clone(), 2..4).prop_map(AstExpr::Or),
+            inner.prop_map(|e| AstExpr::Not(Box::new(e))),
+        ]
+    })
+}
+
+fn agg() -> impl Strategy<Value = AstAgg> {
+    prop_oneof![
+        Just(AstAgg::CountStar),
+        colref().prop_map(AstAgg::Sum),
+        colref().prop_map(AstAgg::Avg),
+        colref().prop_map(AstAgg::Min),
+        colref().prop_map(AstAgg::Max),
+        (colref(), colref()).prop_map(|(a, b)| AstAgg::SumProd(a, b)),
+        (colref(), colref()).prop_map(|(a, b)| AstAgg::SumDiff(a, b)),
+    ]
+}
+
+fn select_item() -> impl Strategy<Value = SelectItem> {
+    prop_oneof![
+        (colref(), proptest::option::of(ident()))
+            .prop_map(|(col, alias)| SelectItem::Column { col, alias }),
+        (agg(), proptest::option::of(ident()))
+            .prop_map(|(agg, alias)| SelectItem::Agg { agg, alias }),
+    ]
+}
+
+fn table_ref() -> impl Strategy<Value = TableRef> {
+    (ident(), proptest::option::of(ident())).prop_map(|(table, alias)| TableRef { table, alias })
+}
+
+fn join() -> impl Strategy<Value = JoinClause> {
+    (table_ref(), colref(), colref()).prop_map(|(table, l, r)| JoinClause { table, on: (l, r) })
+}
+
+fn select() -> impl Strategy<Value = Select> {
+    (
+        any::<bool>(),
+        proptest::collection::vec(select_item(), 1..4),
+        table_ref(),
+        proptest::collection::vec(join(), 0..3),
+        proptest::option::of(expr()),
+        proptest::collection::vec(colref(), 0..3),
+        proptest::collection::vec(
+            (ident(), any::<bool>()).prop_map(|(column, asc)| OrderKey { column, asc }),
+            0..3,
+        ),
+        proptest::option::of(0usize..10_000),
+    )
+        .prop_map(
+            |(distinct, items, from, joins, selection, group_by, order_by, limit)| Select {
+                distinct,
+                items,
+                from,
+                joins,
+                selection,
+                group_by,
+                order_by,
+                limit,
+            },
+        )
+}
+
+/// The printer emits `AND` chains without parentheses, so `And(a, And(b,
+/// c))` prints identically to `And(a, b, c)` and the parser returns the
+/// flat form. Flatten both sides before comparing — flattening is the
+/// only print/parse difference, and it is semantics-preserving.
+fn normalize(e: &AstExpr) -> AstExpr {
+    match e {
+        AstExpr::And(parts) => {
+            let mut out = Vec::new();
+            for p in parts {
+                match normalize(p) {
+                    AstExpr::And(inner) => out.extend(inner),
+                    other => out.push(other),
+                }
+            }
+            AstExpr::And(out)
+        }
+        AstExpr::Or(parts) => {
+            let mut out = Vec::new();
+            for p in parts {
+                match normalize(p) {
+                    AstExpr::Or(inner) => out.extend(inner),
+                    other => out.push(other),
+                }
+            }
+            AstExpr::Or(out)
+        }
+        AstExpr::Not(inner) => AstExpr::Not(Box::new(normalize(inner))),
+        other => other.clone(),
+    }
+}
+
+fn normalize_select(mut sel: Select) -> Select {
+    sel.selection = sel.selection.as_ref().map(normalize);
+    sel
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn print_then_parse_is_identity(sel in select()) {
+        let text = sel.to_string();
+        let reparsed = parse_select(&text)
+            .unwrap_or_else(|e| panic!("could not re-parse `{text}`: {e}"));
+        prop_assert_eq!(normalize_select(reparsed), normalize_select(sel), "{}", text);
+    }
+
+    #[test]
+    fn parse_never_panics_on_arbitrary_input(s in "\\PC{0,60}") {
+        let _ = parse_select(&s);
+    }
+}

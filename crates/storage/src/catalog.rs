@@ -1,0 +1,127 @@
+//! Table catalog: name → table resolution and id assignment.
+
+use crate::error::StorageError;
+use crate::table::{Table, TableBuilder, TableId};
+use crate::Result;
+use parking_lot::RwLock;
+use std::collections::HashMap;
+use std::sync::Arc;
+
+#[derive(Default)]
+struct CatalogInner {
+    tables: Vec<Arc<Table>>,
+    by_name: HashMap<String, TableId>,
+}
+
+/// Thread-safe registry of tables. Shared as `Arc<Catalog>` by the engine,
+/// the CJOIN pipeline and the workload generators.
+#[derive(Default)]
+pub struct Catalog {
+    inner: RwLock<CatalogInner>,
+}
+
+impl Catalog {
+    /// Empty catalog.
+    pub fn new() -> Arc<Self> {
+        Arc::new(Catalog::default())
+    }
+
+    /// Finish a [`TableBuilder`] and register the table, assigning its id.
+    /// Replaces any existing table with the same name (the old `Arc` stays
+    /// valid for readers that already hold it).
+    pub fn register(&self, builder: TableBuilder) -> Arc<Table> {
+        let (name, schema, pages) = builder.into_parts();
+        let mut inner = self.inner.write();
+        let id = inner.tables.len() as TableId;
+        let table = Arc::new(Table::new(id, name.clone(), schema, pages));
+        inner.tables.push(table.clone());
+        inner.by_name.insert(name, id);
+        table
+    }
+
+    /// Look up a table by name.
+    pub fn get(&self, name: &str) -> Result<Arc<Table>> {
+        let inner = self.inner.read();
+        inner
+            .by_name
+            .get(name)
+            .map(|&id| inner.tables[id as usize].clone())
+            .ok_or_else(|| StorageError::TableNotFound(name.to_string()))
+    }
+
+    /// Look up a table by id.
+    pub fn get_by_id(&self, id: TableId) -> Result<Arc<Table>> {
+        let inner = self.inner.read();
+        inner
+            .tables
+            .get(id as usize)
+            .cloned()
+            .ok_or(StorageError::OutOfRange {
+                what: "table id",
+                index: id as usize,
+                len: inner.tables.len(),
+            })
+    }
+
+    /// Names of all registered tables, in registration order.
+    pub fn table_names(&self) -> Vec<String> {
+        let inner = self.inner.read();
+        inner.tables.iter().map(|t| t.name().to_string()).collect()
+    }
+
+    /// Total pages across all tables (used to size "memory-resident"
+    /// buffer pools).
+    pub fn total_pages(&self) -> usize {
+        let inner = self.inner.read();
+        inner.tables.iter().map(|t| t.page_count()).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::Schema;
+    use crate::value::{DataType, Value};
+
+    fn builder(name: &str, rows: i64) -> TableBuilder {
+        let schema = Schema::from_pairs(&[("k", DataType::Int)]);
+        let mut b = TableBuilder::with_page_bytes(name, schema, 32);
+        for i in 0..rows {
+            b.push_values(&[Value::Int(i)]).unwrap();
+        }
+        b
+    }
+
+    #[test]
+    fn register_and_lookup() {
+        let cat = Catalog::new();
+        let t = cat.register(builder("a", 4));
+        assert_eq!(t.id(), 0);
+        assert_eq!(cat.get("a").unwrap().id(), 0);
+        assert_eq!(cat.get_by_id(0).unwrap().name(), "a");
+        assert!(matches!(
+            cat.get("missing"),
+            Err(StorageError::TableNotFound(_))
+        ));
+        assert!(cat.get_by_id(9).is_err());
+    }
+
+    #[test]
+    fn names_and_pages() {
+        let cat = Catalog::new();
+        cat.register(builder("a", 4)); // 1 page
+        cat.register(builder("b", 8)); // 2 pages
+        assert_eq!(cat.table_names(), vec!["a".to_string(), "b".to_string()]);
+        assert_eq!(cat.total_pages(), 3);
+    }
+
+    #[test]
+    fn replace_keeps_old_arc_valid() {
+        let cat = Catalog::new();
+        let old = cat.register(builder("a", 4));
+        let new = cat.register(builder("a", 8));
+        assert_eq!(old.row_count(), 4);
+        assert_eq!(new.row_count(), 8);
+        assert_eq!(cat.get("a").unwrap().row_count(), 8);
+    }
+}

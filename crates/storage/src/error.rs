@@ -1,0 +1,118 @@
+//! Error type shared by all storage operations.
+
+use std::fmt;
+
+/// Errors surfaced by the storage layer.
+///
+/// The storage layer is deliberately strict: schema mismatches and
+/// out-of-range accesses are programming errors in the layers above, so we
+/// report them with enough context to locate the bug instead of panicking
+/// deep inside page code.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum StorageError {
+    /// A value did not match the column type declared in the schema.
+    TypeMismatch {
+        /// Column the caller attempted to read or write.
+        column: String,
+        /// Type declared by the schema.
+        expected: String,
+        /// Type actually supplied or found.
+        found: String,
+    },
+    /// A row had a different arity than its schema.
+    ArityMismatch {
+        /// Number of columns in the schema.
+        expected: usize,
+        /// Number of values supplied.
+        found: usize,
+    },
+    /// A `Char(n)` value exceeded the declared width.
+    StringTooLong {
+        /// Declared maximum width.
+        max: usize,
+        /// Actual byte length supplied.
+        len: usize,
+    },
+    /// Lookup of a table that is not registered in the catalog.
+    TableNotFound(String),
+    /// Lookup of a column that does not exist in a schema.
+    ColumnNotFound(String),
+    /// A page or slot index was out of range.
+    OutOfRange {
+        /// Description of what was being indexed.
+        what: &'static str,
+        /// Index requested.
+        index: usize,
+        /// Number of valid entries.
+        len: usize,
+    },
+    /// The buffer pool could not find an evictable frame (all pinned).
+    PoolExhausted,
+}
+
+impl fmt::Display for StorageError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StorageError::TypeMismatch {
+                column,
+                expected,
+                found,
+            } => write!(
+                f,
+                "type mismatch on column `{column}`: expected {expected}, found {found}"
+            ),
+            StorageError::ArityMismatch { expected, found } => {
+                write!(f, "row arity mismatch: schema has {expected} columns, row has {found}")
+            }
+            StorageError::StringTooLong { max, len } => {
+                write!(f, "string of {len} bytes exceeds Char({max})")
+            }
+            StorageError::TableNotFound(name) => write!(f, "table `{name}` not found"),
+            StorageError::ColumnNotFound(name) => write!(f, "column `{name}` not found"),
+            StorageError::OutOfRange { what, index, len } => {
+                write!(f, "{what} index {index} out of range (len {len})")
+            }
+            StorageError::PoolExhausted => {
+                write!(f, "buffer pool exhausted: every frame is pinned")
+            }
+        }
+    }
+}
+
+impl std::error::Error for StorageError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_are_informative() {
+        let e = StorageError::TypeMismatch {
+            column: "lo_revenue".into(),
+            expected: "Int".into(),
+            found: "Float".into(),
+        };
+        assert!(e.to_string().contains("lo_revenue"));
+        assert!(e.to_string().contains("Int"));
+
+        let e = StorageError::OutOfRange {
+            what: "slot",
+            index: 9,
+            len: 4,
+        };
+        assert!(e.to_string().contains("slot"));
+        assert!(e.to_string().contains('9'));
+    }
+
+    #[test]
+    fn errors_are_comparable() {
+        assert_eq!(
+            StorageError::TableNotFound("x".into()),
+            StorageError::TableNotFound("x".into())
+        );
+        assert_ne!(
+            StorageError::TableNotFound("x".into()),
+            StorageError::TableNotFound("y".into())
+        );
+    }
+}

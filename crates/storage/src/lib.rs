@@ -1,0 +1,45 @@
+//! # qs-storage — Shore-MT-lite storage substrate
+//!
+//! The SIGMOD'14 demo runs QPipe and CJOIN on top of the Shore-MT storage
+//! manager. This crate is the equivalent substrate for the reproduction:
+//!
+//! * fixed-width row codec over typed schemas ([`schema`], [`row`]),
+//! * slotted pages holding encoded rows ([`page`]),
+//! * append-only heap tables ([`table`]) registered in a [`catalog`],
+//! * a simulated disk with a bounded number of spindles and a per-page
+//!   read latency ([`disk`]) — the stand-in for the paper's seven 15kRPM
+//!   SAS drives,
+//! * a buffer pool with clock eviction, pin counts and single-flight page
+//!   loads ([`bufferpool`]) so that memory-resident vs disk-resident
+//!   databases behave differently, exactly the knob the demo GUI exposes,
+//! * circular (shared) scans ([`scan`]) — the I/O-layer sharing primitive
+//!   both QPipe and CJOIN rely on.
+//!
+//! Everything is deterministic and in-process; "disk" pages are retained in
+//! memory but every buffer-pool miss pays the simulated I/O cost, which
+//! preserves the performance *shape* the paper's experiments depend on.
+
+pub mod bufferpool;
+pub mod catalog;
+pub mod disk;
+pub mod error;
+pub mod page;
+pub mod row;
+pub mod scan;
+pub mod schema;
+pub mod table;
+pub mod value;
+
+pub use bufferpool::{BufferPool, BufferPoolConfig, BufferPoolStats};
+pub use catalog::Catalog;
+pub use disk::{DiskConfig, DiskModel, DiskStats};
+pub use error::StorageError;
+pub use page::{Page, PageBuilder, PageId, DEFAULT_PAGE_BYTES};
+pub use row::{RowCursor, RowRef};
+pub use scan::CircularCursor;
+pub use schema::{Column, Schema};
+pub use table::{Table, TableBuilder, TableId};
+pub use value::{DataType, Value};
+
+/// Convenient result alias used across the crate.
+pub type Result<T> = std::result::Result<T, StorageError>;

@@ -1,0 +1,306 @@
+//! Slotted fixed-width pages — the unit of I/O, buffering and exchange.
+//!
+//! Pages serve double duty in this system, as in QPipe: they are the disk
+//! block read through the buffer pool *and* the unit of data flow between
+//! pipelined operators. Cloning a `Page` copies its byte arena; this is the
+//! physical cost push-based SP pays once per attached consumer, while the
+//! pull-based Shared Pages List shares `Arc<Page>`s and pays nothing.
+
+use crate::row::{RowCursor, RowRef};
+use crate::schema::Schema;
+use crate::value::Value;
+use crate::Result;
+use std::sync::Arc;
+
+/// Default page size: 64 KiB, large enough that per-page overheads are
+/// amortized but page copies are measurably expensive (matching the paper's
+/// observation that the copy dominates push-based SP).
+pub const DEFAULT_PAGE_BYTES: usize = 64 * 1024;
+
+/// Identifies a page of a table on "disk" (for the buffer pool).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct PageId {
+    /// Owning table.
+    pub table: u32,
+    /// Page number within the table, `0..page_count`.
+    pub page_no: u32,
+}
+
+/// An immutable page of encoded rows.
+///
+/// Layout: `rows` encoded rows of `schema.row_size()` bytes packed
+/// back-to-back in one arena. Constructed via [`PageBuilder`]; immutable
+/// afterwards and shared as `Arc<Page>`.
+#[derive(Debug, Clone)]
+pub struct Page {
+    schema: Arc<Schema>,
+    data: Box<[u8]>,
+    rows: usize,
+}
+
+impl Page {
+    /// Schema the rows are encoded against.
+    #[inline]
+    pub fn schema(&self) -> &Arc<Schema> {
+        &self.schema
+    }
+
+    /// Number of rows stored.
+    #[inline]
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Whether the page holds no rows.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.rows == 0
+    }
+
+    /// Size of the backing arena in bytes (actual, not capacity).
+    #[inline]
+    pub fn byte_len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// Borrow row `i`.
+    #[inline]
+    pub fn row(&self, i: usize) -> RowRef<'_> {
+        let sz = self.schema.row_size();
+        RowRef::new(&self.data[i * sz..(i + 1) * sz], &self.schema)
+    }
+
+    /// Iterate all rows.
+    #[inline]
+    pub fn iter(&self) -> RowCursor<'_> {
+        RowCursor::new(&self.data, &self.schema, self.rows)
+    }
+
+    /// Deep copy of this page (a real `memcpy` of the arena). This is what
+    /// push-based SP does once per attached consumer per page.
+    pub fn deep_copy(&self) -> Page {
+        self.clone()
+    }
+
+    /// Decode every row into values (test/boundary use).
+    pub fn to_values(&self) -> Vec<Vec<Value>> {
+        self.iter().map(|r| r.values()).collect()
+    }
+
+    /// Build a single page directly from rows of values. Panics if the rows
+    /// exceed `DEFAULT_PAGE_BYTES`; intended for tests and small results.
+    pub fn from_values(schema: &Arc<Schema>, rows: &[Vec<Value>]) -> Result<Page> {
+        let mut b = PageBuilder::with_capacity(schema.clone(), rows.len().max(1));
+        for r in rows {
+            assert!(b.push_values(r)?, "rows exceed a single page");
+        }
+        Ok(b.finish())
+    }
+}
+
+/// Incrementally fills a page arena; produces an immutable [`Page`].
+pub struct PageBuilder {
+    schema: Arc<Schema>,
+    data: Vec<u8>,
+    rows: usize,
+    capacity_rows: usize,
+}
+
+impl PageBuilder {
+    /// Builder for a page with the default byte budget.
+    pub fn new(schema: Arc<Schema>) -> Self {
+        Self::with_bytes(schema, DEFAULT_PAGE_BYTES)
+    }
+
+    /// Builder sized to hold at most `bytes` of row data (at least 1 row).
+    pub fn with_bytes(schema: Arc<Schema>, bytes: usize) -> Self {
+        let rs = schema.row_size().max(1);
+        let capacity_rows = (bytes / rs).max(1);
+        Self::with_capacity(schema, capacity_rows)
+    }
+
+    /// Builder with an explicit row capacity.
+    pub fn with_capacity(schema: Arc<Schema>, capacity_rows: usize) -> Self {
+        let rs = schema.row_size();
+        PageBuilder {
+            schema,
+            data: Vec::with_capacity(rs * capacity_rows),
+            rows: 0,
+            capacity_rows,
+        }
+    }
+
+    /// Rows currently in the builder.
+    #[inline]
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Whether the builder cannot take another row.
+    #[inline]
+    pub fn is_full(&self) -> bool {
+        self.rows >= self.capacity_rows
+    }
+
+    /// Whether no rows have been added.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.rows == 0
+    }
+
+    /// Append an already-encoded row (must match the schema width).
+    /// Returns `false` if the page was full (row not added).
+    #[inline]
+    pub fn push_encoded(&mut self, row: &[u8]) -> bool {
+        debug_assert_eq!(row.len(), self.schema.row_size());
+        if self.is_full() {
+            return false;
+        }
+        self.data.extend_from_slice(row);
+        self.rows += 1;
+        true
+    }
+
+    /// Append a row of values. Returns `Ok(false)` if the page was full.
+    pub fn push_values(&mut self, values: &[Value]) -> Result<bool> {
+        if self.is_full() {
+            return Ok(false);
+        }
+        let rs = self.schema.row_size();
+        let start = self.data.len();
+        self.data.resize(start + rs, 0);
+        // On error, roll back the reservation so the builder stays valid.
+        if let Err(e) = crate::row::encode_row(&mut self.data[start..], &self.schema, values) {
+            self.data.truncate(start);
+            return Err(e);
+        }
+        self.rows += 1;
+        Ok(true)
+    }
+
+    /// Append a row borrowed from another page (byte copy, no decode).
+    #[inline]
+    pub fn push_row(&mut self, row: RowRef<'_>) -> bool {
+        self.push_encoded(row.bytes())
+    }
+
+    /// Freeze into an immutable page.
+    pub fn finish(self) -> Page {
+        Page {
+            schema: self.schema,
+            data: self.data.into_boxed_slice(),
+            rows: self.rows,
+        }
+    }
+
+    /// Freeze and reset: returns the filled page and a fresh builder with
+    /// the same schema and capacity. Used by streaming operators.
+    pub fn finish_and_reset(&mut self) -> Page {
+        let data = std::mem::take(&mut self.data).into_boxed_slice();
+        let rows = self.rows;
+        self.rows = 0;
+        self.data = Vec::with_capacity(self.schema.row_size() * self.capacity_rows);
+        Page {
+            schema: self.schema.clone(),
+            data,
+            rows,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::value::DataType;
+
+    fn schema() -> Arc<Schema> {
+        Schema::from_pairs(&[("k", DataType::Int), ("s", DataType::Char(4))])
+    }
+
+    #[test]
+    fn builder_fills_and_freezes() {
+        let s = schema();
+        let mut b = PageBuilder::with_capacity(s.clone(), 3);
+        assert!(b.push_values(&[Value::Int(1), Value::Str("a".into())]).unwrap());
+        assert!(b.push_values(&[Value::Int(2), Value::Str("b".into())]).unwrap());
+        assert_eq!(b.rows(), 2);
+        let p = b.finish();
+        assert_eq!(p.rows(), 2);
+        assert_eq!(p.row(1).i64_col(0), 2);
+        assert_eq!(p.row(1).str_col(1), "b");
+    }
+
+    #[test]
+    fn builder_rejects_when_full() {
+        let s = schema();
+        let mut b = PageBuilder::with_capacity(s, 1);
+        assert!(b.push_values(&[Value::Int(1), Value::Str("a".into())]).unwrap());
+        assert!(!b.push_values(&[Value::Int(2), Value::Str("b".into())]).unwrap());
+        assert!(b.is_full());
+        assert_eq!(b.rows(), 1);
+    }
+
+    #[test]
+    fn builder_rolls_back_failed_encode() {
+        let s = schema();
+        let mut b = PageBuilder::with_capacity(s, 4);
+        assert!(b
+            .push_values(&[Value::Int(1), Value::Str("toolong".into())])
+            .is_err());
+        assert_eq!(b.rows(), 0);
+        assert!(b.push_values(&[Value::Int(1), Value::Str("ok".into())]).unwrap());
+        let p = b.finish();
+        assert_eq!(p.rows(), 1);
+        assert_eq!(p.row(0).str_col(1), "ok");
+    }
+
+    #[test]
+    fn with_bytes_capacity_math() {
+        let s = schema(); // row_size = 12
+        let b = PageBuilder::with_bytes(s.clone(), 120);
+        assert!(!b.is_full());
+        let mut b = PageBuilder::with_bytes(s, 5); // less than one row -> min 1
+        assert!(b.push_encoded(&[0u8; 12]));
+        assert!(b.is_full());
+    }
+
+    #[test]
+    fn deep_copy_is_independent_equal_data() {
+        let s = schema();
+        let p = Page::from_values(
+            &s,
+            &[vec![Value::Int(1), Value::Str("x".into())]],
+        )
+        .unwrap();
+        let c = p.deep_copy();
+        assert_eq!(c.rows(), p.rows());
+        assert_eq!(c.to_values(), p.to_values());
+        assert_ne!(c.data.as_ptr(), p.data.as_ptr());
+    }
+
+    #[test]
+    fn finish_and_reset_streams_pages() {
+        let s = schema();
+        let mut b = PageBuilder::with_capacity(s, 2);
+        b.push_values(&[Value::Int(1), Value::Str("a".into())]).unwrap();
+        b.push_values(&[Value::Int(2), Value::Str("b".into())]).unwrap();
+        let p1 = b.finish_and_reset();
+        assert_eq!(p1.rows(), 2);
+        assert!(b.is_empty());
+        b.push_values(&[Value::Int(3), Value::Str("c".into())]).unwrap();
+        let p2 = b.finish_and_reset();
+        assert_eq!(p2.rows(), 1);
+        assert_eq!(p2.row(0).i64_col(0), 3);
+    }
+
+    #[test]
+    fn row_iteration_matches_contents() {
+        let s = schema();
+        let rows: Vec<Vec<Value>> = (0..10)
+            .map(|i| vec![Value::Int(i), Value::Str("r".into())])
+            .collect();
+        let p = Page::from_values(&s, &rows).unwrap();
+        let keys: Vec<i64> = p.iter().map(|r| r.i64_col(0)).collect();
+        assert_eq!(keys, (0..10).collect::<Vec<_>>());
+    }
+}

@@ -1,0 +1,345 @@
+//! Fixed-width row encoding and zero-copy row accessors.
+//!
+//! A row is `schema.row_size()` bytes: each column occupies a fixed slot
+//! (`Int`/`Float` 8 bytes LE, `Date` 4 bytes LE, `Char(n)` n bytes padded
+//! with spaces). Hot operator paths read typed columns via [`RowRef`]
+//! without materializing [`Value`]s.
+
+use crate::error::StorageError;
+use crate::schema::Schema;
+use crate::value::{DataType, Value};
+use crate::Result;
+
+/// Encode one value into its column slot. `buf` must be the full row slice.
+pub fn encode_value(buf: &mut [u8], schema: &Schema, col: usize, v: &Value) -> Result<()> {
+    let dt = schema.dtype(col);
+    if !v.fits(dt) {
+        if let (Value::Str(s), DataType::Char(n)) = (v, dt) {
+            if s.len() > n as usize {
+                return Err(StorageError::StringTooLong {
+                    max: n as usize,
+                    len: s.len(),
+                });
+            }
+        }
+        return Err(StorageError::TypeMismatch {
+            column: schema.column(col).name.clone(),
+            expected: dt.name(),
+            found: v.type_name(),
+        });
+    }
+    let off = schema.offset(col);
+    match (v, dt) {
+        (Value::Int(x), DataType::Int) => {
+            buf[off..off + 8].copy_from_slice(&x.to_le_bytes());
+        }
+        (Value::Float(x), DataType::Float) => {
+            buf[off..off + 8].copy_from_slice(&x.to_le_bytes());
+        }
+        (Value::Date(x), DataType::Date) => {
+            buf[off..off + 4].copy_from_slice(&x.to_le_bytes());
+        }
+        (Value::Str(s), DataType::Char(n)) => {
+            let n = n as usize;
+            buf[off..off + s.len()].copy_from_slice(s.as_bytes());
+            for b in &mut buf[off + s.len()..off + n] {
+                *b = b' ';
+            }
+        }
+        _ => unreachable!("fits() checked above"),
+    }
+    Ok(())
+}
+
+/// Encode a full row of values into `buf` (must be `row_size` bytes).
+pub fn encode_row(buf: &mut [u8], schema: &Schema, values: &[Value]) -> Result<()> {
+    if values.len() != schema.len() {
+        return Err(StorageError::ArityMismatch {
+            expected: schema.len(),
+            found: values.len(),
+        });
+    }
+    for (i, v) in values.iter().enumerate() {
+        encode_value(buf, schema, i, v)?;
+    }
+    Ok(())
+}
+
+/// Decode column `col` of the row in `buf` into a [`Value`].
+pub fn decode_value(buf: &[u8], schema: &Schema, col: usize) -> Value {
+    let off = schema.offset(col);
+    match schema.dtype(col) {
+        DataType::Int => {
+            let mut b = [0u8; 8];
+            b.copy_from_slice(&buf[off..off + 8]);
+            Value::Int(i64::from_le_bytes(b))
+        }
+        DataType::Float => {
+            let mut b = [0u8; 8];
+            b.copy_from_slice(&buf[off..off + 8]);
+            Value::Float(f64::from_le_bytes(b))
+        }
+        DataType::Date => {
+            let mut b = [0u8; 4];
+            b.copy_from_slice(&buf[off..off + 4]);
+            Value::Date(u32::from_le_bytes(b))
+        }
+        DataType::Char(n) => {
+            let raw = &buf[off..off + n as usize];
+            let end = raw.iter().rposition(|&b| b != b' ').map_or(0, |p| p + 1);
+            Value::Str(String::from_utf8_lossy(&raw[..end]).into_owned())
+        }
+    }
+}
+
+/// Decode the full row into values.
+pub fn decode_row(buf: &[u8], schema: &Schema) -> Vec<Value> {
+    (0..schema.len())
+        .map(|i| decode_value(buf, schema, i))
+        .collect()
+}
+
+/// Borrowed view of one encoded row, with typed column accessors.
+///
+/// The accessors are the hot path for predicate evaluation and aggregation:
+/// they read the raw bytes directly and never allocate (except `str_col`
+/// which borrows).
+#[derive(Clone, Copy)]
+pub struct RowRef<'a> {
+    bytes: &'a [u8],
+    schema: &'a Schema,
+}
+
+impl<'a> RowRef<'a> {
+    /// Wrap an encoded row slice. `bytes.len()` must equal
+    /// `schema.row_size()`.
+    #[inline]
+    pub fn new(bytes: &'a [u8], schema: &'a Schema) -> Self {
+        debug_assert_eq!(bytes.len(), schema.row_size());
+        RowRef { bytes, schema }
+    }
+
+    /// Raw encoded bytes of the row.
+    #[inline]
+    pub fn bytes(&self) -> &'a [u8] {
+        self.bytes
+    }
+
+    /// Schema this row is encoded against.
+    #[inline]
+    pub fn schema(&self) -> &'a Schema {
+        self.schema
+    }
+
+    /// Read an `Int` column.
+    #[inline]
+    pub fn i64_col(&self, col: usize) -> i64 {
+        debug_assert_eq!(self.schema.dtype(col), DataType::Int);
+        let off = self.schema.offset(col);
+        let mut b = [0u8; 8];
+        b.copy_from_slice(&self.bytes[off..off + 8]);
+        i64::from_le_bytes(b)
+    }
+
+    /// Read a `Float` column.
+    #[inline]
+    pub fn f64_col(&self, col: usize) -> f64 {
+        debug_assert_eq!(self.schema.dtype(col), DataType::Float);
+        let off = self.schema.offset(col);
+        let mut b = [0u8; 8];
+        b.copy_from_slice(&self.bytes[off..off + 8]);
+        f64::from_le_bytes(b)
+    }
+
+    /// Read a `Date` column.
+    #[inline]
+    pub fn date_col(&self, col: usize) -> u32 {
+        debug_assert_eq!(self.schema.dtype(col), DataType::Date);
+        let off = self.schema.offset(col);
+        let mut b = [0u8; 4];
+        b.copy_from_slice(&self.bytes[off..off + 4]);
+        u32::from_le_bytes(b)
+    }
+
+    /// Read a `Char(n)` column with trailing padding trimmed. Borrows the
+    /// underlying bytes; invalid UTF-8 is impossible for generated data but
+    /// handled defensively at decode boundaries.
+    #[inline]
+    pub fn str_col(&self, col: usize) -> &'a str {
+        let off = self.schema.offset(col);
+        let n = match self.schema.dtype(col) {
+            DataType::Char(n) => n as usize,
+            other => panic!("str_col on non-Char column of type {}", other.name()),
+        };
+        let raw = &self.bytes[off..off + n];
+        let end = raw.iter().rposition(|&b| b != b' ').map_or(0, |p| p + 1);
+        std::str::from_utf8(&raw[..end]).unwrap_or("")
+    }
+
+    /// Raw bytes of column `col` (padded width for `Char`).
+    #[inline]
+    pub fn col_bytes(&self, col: usize) -> &'a [u8] {
+        let off = self.schema.offset(col);
+        &self.bytes[off..off + self.schema.dtype(col).width()]
+    }
+
+    /// Decode column into a [`Value`] (boundary use only).
+    pub fn value(&self, col: usize) -> Value {
+        decode_value(self.bytes, self.schema, col)
+    }
+
+    /// Decode the whole row (boundary use only).
+    pub fn values(&self) -> Vec<Value> {
+        decode_row(self.bytes, self.schema)
+    }
+
+    /// Generic numeric read: `Int` and `Date` widen to `f64`, `Float` reads
+    /// directly. Used by aggregates like `SUM` over either type.
+    #[inline]
+    pub fn numeric(&self, col: usize) -> f64 {
+        match self.schema.dtype(col) {
+            DataType::Int => self.i64_col(col) as f64,
+            DataType::Float => self.f64_col(col),
+            DataType::Date => self.date_col(col) as f64,
+            DataType::Char(_) => panic!("numeric() on Char column"),
+        }
+    }
+}
+
+/// Iterator-style cursor over encoded rows packed back-to-back in a byte
+/// slice (the layout used by [`crate::page::Page`]).
+pub struct RowCursor<'a> {
+    data: &'a [u8],
+    schema: &'a Schema,
+    row_size: usize,
+    idx: usize,
+    rows: usize,
+}
+
+impl<'a> RowCursor<'a> {
+    /// Create a cursor over `rows` rows stored contiguously in `data`.
+    pub fn new(data: &'a [u8], schema: &'a Schema, rows: usize) -> Self {
+        RowCursor {
+            data,
+            schema,
+            row_size: schema.row_size(),
+            idx: 0,
+            rows,
+        }
+    }
+}
+
+impl<'a> Iterator for RowCursor<'a> {
+    type Item = RowRef<'a>;
+
+    #[inline]
+    fn next(&mut self) -> Option<RowRef<'a>> {
+        if self.idx >= self.rows {
+            return None;
+        }
+        let off = self.idx * self.row_size;
+        self.idx += 1;
+        Some(RowRef::new(&self.data[off..off + self.row_size], self.schema))
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        let rem = self.rows - self.idx;
+        (rem, Some(rem))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::Schema;
+
+    fn schema() -> std::sync::Arc<Schema> {
+        Schema::from_pairs(&[
+            ("k", DataType::Int),
+            ("v", DataType::Float),
+            ("d", DataType::Date),
+            ("s", DataType::Char(6)),
+        ])
+    }
+
+    #[test]
+    fn roundtrip() {
+        let s = schema();
+        let mut buf = vec![0u8; s.row_size()];
+        let vals = vec![
+            Value::Int(-42),
+            Value::Float(3.25),
+            Value::Date(19970101),
+            Value::Str("ab".into()),
+        ];
+        encode_row(&mut buf, &s, &vals).unwrap();
+        assert_eq!(decode_row(&buf, &s), vals);
+    }
+
+    #[test]
+    fn typed_accessors() {
+        let s = schema();
+        let mut buf = vec![0u8; s.row_size()];
+        encode_row(
+            &mut buf,
+            &s,
+            &[
+                Value::Int(7),
+                Value::Float(1.5),
+                Value::Date(20200229),
+                Value::Str("xyz".into()),
+            ],
+        )
+        .unwrap();
+        let r = RowRef::new(&buf, &s);
+        assert_eq!(r.i64_col(0), 7);
+        assert_eq!(r.f64_col(1), 1.5);
+        assert_eq!(r.date_col(2), 20200229);
+        assert_eq!(r.str_col(3), "xyz");
+        assert_eq!(r.numeric(0), 7.0);
+        assert_eq!(r.numeric(1), 1.5);
+    }
+
+    #[test]
+    fn char_padding_trimmed_and_preserved() {
+        let s = Schema::from_pairs(&[("s", DataType::Char(4))]);
+        let mut buf = vec![0u8; 4];
+        encode_row(&mut buf, &s, &[Value::Str("a".into())]).unwrap();
+        assert_eq!(&buf, b"a   ");
+        assert_eq!(decode_value(&buf, &s, 0), Value::Str("a".into()));
+        // empty string round-trips
+        encode_row(&mut buf, &s, &[Value::Str(String::new())]).unwrap();
+        assert_eq!(decode_value(&buf, &s, 0), Value::Str(String::new()));
+    }
+
+    #[test]
+    fn arity_and_type_errors() {
+        let s = schema();
+        let mut buf = vec![0u8; s.row_size()];
+        assert!(matches!(
+            encode_row(&mut buf, &s, &[Value::Int(1)]),
+            Err(StorageError::ArityMismatch { .. })
+        ));
+        assert!(matches!(
+            encode_value(&mut buf, &s, 0, &Value::Float(1.0)),
+            Err(StorageError::TypeMismatch { .. })
+        ));
+        assert!(matches!(
+            encode_value(&mut buf, &s, 3, &Value::Str("toolong".into())),
+            Err(StorageError::StringTooLong { .. })
+        ));
+    }
+
+    #[test]
+    fn cursor_iterates_all_rows() {
+        let s = Schema::from_pairs(&[("k", DataType::Int)]);
+        let mut data = vec![0u8; 8 * 5];
+        for i in 0..5 {
+            encode_row(&mut data[i * 8..(i + 1) * 8], &s, &[Value::Int(i as i64)]).unwrap();
+        }
+        let got: Vec<i64> = RowCursor::new(&data, &s, 5).map(|r| r.i64_col(0)).collect();
+        assert_eq!(got, vec![0, 1, 2, 3, 4]);
+        let c = RowCursor::new(&data, &s, 5);
+        assert_eq!(c.size_hint(), (5, Some(5)));
+    }
+}

@@ -1,0 +1,203 @@
+//! Table schemas: named, typed, fixed-width columns with precomputed
+//! byte offsets.
+
+use crate::error::StorageError;
+use crate::value::DataType;
+use serde::{Deserialize, Serialize};
+use std::sync::Arc;
+
+/// A single column definition.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Column {
+    /// Column name (unique within a schema).
+    pub name: String,
+    /// Physical type.
+    pub dtype: DataType,
+}
+
+impl Column {
+    /// Construct a column.
+    pub fn new(name: impl Into<String>, dtype: DataType) -> Self {
+        Column {
+            name: name.into(),
+            dtype,
+        }
+    }
+}
+
+/// An ordered set of columns with precomputed row layout.
+///
+/// Rows are encoded as fixed-width concatenations of the column encodings,
+/// so `offsets[i]` gives the byte offset of column `i` and `row_size` the
+/// total width. Schemas are immutable once built and shared via `Arc`.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Schema {
+    columns: Vec<Column>,
+    offsets: Vec<usize>,
+    row_size: usize,
+}
+
+impl Schema {
+    /// Build a schema from columns, computing the layout.
+    pub fn new(columns: Vec<Column>) -> Arc<Self> {
+        let mut offsets = Vec::with_capacity(columns.len());
+        let mut off = 0usize;
+        for c in &columns {
+            offsets.push(off);
+            off += c.dtype.width();
+        }
+        Arc::new(Schema {
+            columns,
+            offsets,
+            row_size: off,
+        })
+    }
+
+    /// Convenience builder from `(name, type)` pairs.
+    pub fn from_pairs(pairs: &[(&str, DataType)]) -> Arc<Self> {
+        Schema::new(
+            pairs
+                .iter()
+                .map(|(n, t)| Column::new(*n, *t))
+                .collect::<Vec<_>>(),
+        )
+    }
+
+    /// Number of columns.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.columns.len()
+    }
+
+    /// Whether the schema has no columns.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.columns.is_empty()
+    }
+
+    /// Total encoded row width in bytes.
+    #[inline]
+    pub fn row_size(&self) -> usize {
+        self.row_size
+    }
+
+    /// Byte offset of column `i` within an encoded row.
+    #[inline]
+    pub fn offset(&self, i: usize) -> usize {
+        self.offsets[i]
+    }
+
+    /// Column definition at index `i`.
+    #[inline]
+    pub fn column(&self, i: usize) -> &Column {
+        &self.columns[i]
+    }
+
+    /// All columns in order.
+    #[inline]
+    pub fn columns(&self) -> &[Column] {
+        &self.columns
+    }
+
+    /// Type of column `i`.
+    #[inline]
+    pub fn dtype(&self, i: usize) -> DataType {
+        self.columns[i].dtype
+    }
+
+    /// Index of the column with the given name.
+    pub fn index_of(&self, name: &str) -> Result<usize, StorageError> {
+        self.columns
+            .iter()
+            .position(|c| c.name == name)
+            .ok_or_else(|| StorageError::ColumnNotFound(name.to_string()))
+    }
+
+    /// Build a new schema containing only the given column indices, in the
+    /// given order (projection).
+    pub fn project(&self, indices: &[usize]) -> Arc<Schema> {
+        Schema::new(
+            indices
+                .iter()
+                .map(|&i| self.columns[i].clone())
+                .collect::<Vec<_>>(),
+        )
+    }
+
+    /// Concatenate two schemas (e.g. for join outputs). Duplicate names are
+    /// disambiguated with a `.r` suffix on the right side.
+    pub fn join(&self, right: &Schema) -> Arc<Schema> {
+        let mut cols = self.columns.clone();
+        for c in &right.columns {
+            let name = if cols.iter().any(|l| l.name == c.name) {
+                format!("{}.r", c.name)
+            } else {
+                c.name.clone()
+            };
+            cols.push(Column::new(name, c.dtype));
+        }
+        Schema::new(cols)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Arc<Schema> {
+        Schema::from_pairs(&[
+            ("k", DataType::Int),
+            ("price", DataType::Float),
+            ("d", DataType::Date),
+            ("name", DataType::Char(10)),
+        ])
+    }
+
+    #[test]
+    fn layout_offsets_and_row_size() {
+        let s = sample();
+        assert_eq!(s.len(), 4);
+        assert_eq!(s.offset(0), 0);
+        assert_eq!(s.offset(1), 8);
+        assert_eq!(s.offset(2), 16);
+        assert_eq!(s.offset(3), 20);
+        assert_eq!(s.row_size(), 30);
+    }
+
+    #[test]
+    fn index_of_finds_and_errors() {
+        let s = sample();
+        assert_eq!(s.index_of("price").unwrap(), 1);
+        assert!(matches!(
+            s.index_of("nope"),
+            Err(StorageError::ColumnNotFound(_))
+        ));
+    }
+
+    #[test]
+    fn projection_preserves_order_and_layout() {
+        let s = sample();
+        let p = s.project(&[3, 0]);
+        assert_eq!(p.len(), 2);
+        assert_eq!(p.column(0).name, "name");
+        assert_eq!(p.column(1).name, "k");
+        assert_eq!(p.row_size(), 18);
+        assert_eq!(p.offset(1), 10);
+    }
+
+    #[test]
+    fn join_disambiguates_duplicate_names() {
+        let s = sample();
+        let j = s.join(&s);
+        assert_eq!(j.len(), 8);
+        assert_eq!(j.column(4).name, "k.r");
+        assert_eq!(j.row_size(), 60);
+    }
+
+    #[test]
+    fn empty_schema() {
+        let s = Schema::new(vec![]);
+        assert!(s.is_empty());
+        assert_eq!(s.row_size(), 0);
+    }
+}

@@ -1,0 +1,264 @@
+//! Append-only heap tables.
+//!
+//! A [`Table`] is the authoritative "disk image" of a relation: an ordered
+//! list of immutable pages. Readers never touch it directly — they go
+//! through the [`crate::BufferPool`], which charges simulated I/O for
+//! misses. The table also carries the global circular-scan clock used by
+//! shared scans (see [`crate::scan`]).
+
+use crate::page::{Page, PageBuilder, PageId};
+use crate::schema::Schema;
+use crate::value::Value;
+use crate::Result;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+
+/// Identifier assigned by the catalog.
+pub type TableId = u32;
+
+/// An immutable heap table: schema + pages + shared-scan clock.
+pub struct Table {
+    id: TableId,
+    name: String,
+    schema: Arc<Schema>,
+    pages: Vec<Arc<Page>>,
+    rows: usize,
+    /// Circular-scan clock: the page number the most recent shared scan
+    /// reader started from. New readers attach here so their reads overlap
+    /// with in-progress scans (QPipe/CJOIN "circular scans").
+    scan_clock: AtomicUsize,
+}
+
+impl Table {
+    pub(crate) fn new(id: TableId, name: String, schema: Arc<Schema>, pages: Vec<Arc<Page>>) -> Self {
+        let rows = pages.iter().map(|p| p.rows()).sum();
+        Table {
+            id,
+            name,
+            schema,
+            pages,
+            rows,
+            scan_clock: AtomicUsize::new(0),
+        }
+    }
+
+    /// Catalog-assigned id.
+    #[inline]
+    pub fn id(&self) -> TableId {
+        self.id
+    }
+
+    /// Table name.
+    #[inline]
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Row schema.
+    #[inline]
+    pub fn schema(&self) -> &Arc<Schema> {
+        &self.schema
+    }
+
+    /// Number of pages.
+    #[inline]
+    pub fn page_count(&self) -> usize {
+        self.pages.len()
+    }
+
+    /// Total number of rows across all pages.
+    #[inline]
+    pub fn row_count(&self) -> usize {
+        self.rows
+    }
+
+    /// Direct access to a page *bypassing* the buffer pool. Only the buffer
+    /// pool itself (on a miss) and tests should call this.
+    pub fn raw_page(&self, page_no: usize) -> &Arc<Page> {
+        &self.pages[page_no]
+    }
+
+    /// The [`PageId`] of page `page_no`.
+    #[inline]
+    pub fn page_id(&self, page_no: usize) -> PageId {
+        PageId {
+            table: self.id,
+            page_no: page_no as u32,
+        }
+    }
+
+    /// Advance and fetch the circular-scan clock: returns the page where a
+    /// newly attaching scan should start. See [`crate::CircularCursor`].
+    /// Public for alternative scan implementations (e.g. CJOIN's
+    /// preprocessor, which manages its own revolution bookkeeping).
+    pub fn attach_scan(&self) -> usize {
+        if self.pages.is_empty() {
+            return 0;
+        }
+        // Each attach starts where the previous reader started; the clock
+        // itself is advanced by readers as they progress.
+        self.scan_clock.load(Ordering::Relaxed) % self.pages.len()
+    }
+
+    /// Called by scan cursors as they move, keeping the clock near the
+    /// hottest (most recently read, hence buffered) position.
+    pub fn advance_clock(&self, page_no: usize) {
+        self.scan_clock.store(page_no, Ordering::Relaxed);
+    }
+
+    /// Sum of encoded bytes across pages (for memory accounting and buffer
+    /// pool sizing).
+    pub fn byte_size(&self) -> usize {
+        self.pages.iter().map(|p| p.byte_len()).sum()
+    }
+}
+
+impl std::fmt::Debug for Table {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Table")
+            .field("id", &self.id)
+            .field("name", &self.name)
+            .field("pages", &self.pages.len())
+            .field("rows", &self.rows)
+            .finish()
+    }
+}
+
+/// Streams rows into pages to build a [`Table`] (used by the data
+/// generators and `CREATE TABLE AS` style loads).
+pub struct TableBuilder {
+    name: String,
+    schema: Arc<Schema>,
+    pages: Vec<Arc<Page>>,
+    builder: PageBuilder,
+    page_bytes: usize,
+}
+
+impl TableBuilder {
+    /// Start building a table with the default page size.
+    pub fn new(name: impl Into<String>, schema: Arc<Schema>) -> Self {
+        Self::with_page_bytes(name, schema, crate::page::DEFAULT_PAGE_BYTES)
+    }
+
+    /// Start building with an explicit page byte budget (tests use small
+    /// pages to exercise multi-page paths cheaply).
+    pub fn with_page_bytes(name: impl Into<String>, schema: Arc<Schema>, page_bytes: usize) -> Self {
+        TableBuilder {
+            name: name.into(),
+            schema: schema.clone(),
+            pages: Vec::new(),
+            builder: PageBuilder::with_bytes(schema, page_bytes),
+            page_bytes,
+        }
+    }
+
+    /// Append one row of values.
+    pub fn push_values(&mut self, values: &[Value]) -> Result<()> {
+        if !self.builder.push_values(values)? {
+            self.seal_page();
+            let pushed = self.builder.push_values(values)?;
+            debug_assert!(pushed, "fresh page must accept a row");
+        }
+        Ok(())
+    }
+
+    /// Append one pre-encoded row.
+    pub fn push_encoded(&mut self, row: &[u8]) {
+        if !self.builder.push_encoded(row) {
+            self.seal_page();
+            let pushed = self.builder.push_encoded(row);
+            debug_assert!(pushed, "fresh page must accept a row");
+        }
+    }
+
+    fn seal_page(&mut self) {
+        if !self.builder.is_empty() {
+            let page = self.builder.finish_and_reset();
+            self.pages.push(Arc::new(page));
+        }
+    }
+
+    /// Rows added so far.
+    pub fn row_count(&self) -> usize {
+        self.pages.iter().map(|p| p.rows()).sum::<usize>() + self.builder.rows()
+    }
+
+    /// Finish, producing the pages. The catalog assigns the id (see
+    /// [`crate::Catalog::register`]).
+    pub(crate) fn into_parts(mut self) -> (String, Arc<Schema>, Vec<Arc<Page>>) {
+        self.seal_page();
+        (self.name, self.schema, self.pages)
+    }
+
+    /// Page byte budget this builder was configured with.
+    pub fn page_bytes(&self) -> usize {
+        self.page_bytes
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::value::DataType;
+
+    fn schema() -> Arc<Schema> {
+        Schema::from_pairs(&[("k", DataType::Int)])
+    }
+
+    #[test]
+    fn builder_splits_pages_at_budget() {
+        // 8-byte rows, 32-byte pages -> 4 rows per page.
+        let mut b = TableBuilder::with_page_bytes("t", schema(), 32);
+        for i in 0..10 {
+            b.push_values(&[Value::Int(i)]).unwrap();
+        }
+        assert_eq!(b.row_count(), 10);
+        let (_, _, pages) = b.into_parts();
+        assert_eq!(pages.len(), 3);
+        assert_eq!(pages[0].rows(), 4);
+        assert_eq!(pages[1].rows(), 4);
+        assert_eq!(pages[2].rows(), 2);
+    }
+
+    #[test]
+    fn table_counts_and_pages() {
+        let mut b = TableBuilder::with_page_bytes("t", schema(), 32);
+        for i in 0..9 {
+            b.push_values(&[Value::Int(i)]).unwrap();
+        }
+        let (name, sch, pages) = b.into_parts();
+        let t = Table::new(7, name, sch, pages);
+        assert_eq!(t.id(), 7);
+        assert_eq!(t.name(), "t");
+        assert_eq!(t.page_count(), 3);
+        assert_eq!(t.row_count(), 9);
+        assert_eq!(t.byte_size(), 9 * 8);
+        assert_eq!(t.page_id(2), PageId { table: 7, page_no: 2 });
+        assert_eq!(t.raw_page(1).row(0).i64_col(0), 4);
+    }
+
+    #[test]
+    fn empty_table() {
+        let b = TableBuilder::new("e", schema());
+        let (name, sch, pages) = b.into_parts();
+        let t = Table::new(0, name, sch, pages);
+        assert_eq!(t.page_count(), 0);
+        assert_eq!(t.row_count(), 0);
+        assert_eq!(t.attach_scan(), 0);
+    }
+
+    #[test]
+    fn scan_clock_wraps() {
+        let mut b = TableBuilder::with_page_bytes("t", schema(), 32);
+        for i in 0..8 {
+            b.push_values(&[Value::Int(i)]).unwrap();
+        }
+        let (name, sch, pages) = b.into_parts();
+        let t = Table::new(0, name, sch, pages); // 2 pages
+        assert_eq!(t.attach_scan(), 0);
+        t.advance_clock(1);
+        assert_eq!(t.attach_scan(), 1);
+        t.advance_clock(5); // clock stores raw, attach reduces mod pages
+        assert_eq!(t.attach_scan(), 1);
+    }
+}

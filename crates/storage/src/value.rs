@@ -1,0 +1,227 @@
+//! Column data types and dynamically-typed values.
+//!
+//! The reproduction uses the four types the Star Schema Benchmark needs:
+//! 64-bit integers, 64-bit floats, 32-bit dates (encoded `yyyymmdd`), and
+//! fixed-width `Char(n)` strings (classic DW CHAR columns). Fixed widths
+//! keep rows at a constant byte size, which makes pages slotted arrays and
+//! page copies honest `memcpy`s — the cost model push-based SP depends on.
+
+use serde::{Deserialize, Serialize};
+use std::cmp::Ordering;
+use std::fmt;
+
+/// Physical type of a column.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum DataType {
+    /// 64-bit signed integer (8 bytes).
+    Int,
+    /// 64-bit IEEE float (8 bytes).
+    Float,
+    /// Date encoded as `yyyymmdd` in a `u32` (4 bytes).
+    Date,
+    /// Fixed-width string, space padded (n bytes).
+    Char(u16),
+}
+
+impl DataType {
+    /// Byte width of a value of this type inside a row.
+    #[inline]
+    pub fn width(self) -> usize {
+        match self {
+            DataType::Int | DataType::Float => 8,
+            DataType::Date => 4,
+            DataType::Char(n) => n as usize,
+        }
+    }
+
+    /// Human-readable type name (for error messages).
+    pub fn name(self) -> String {
+        match self {
+            DataType::Int => "Int".to_string(),
+            DataType::Float => "Float".to_string(),
+            DataType::Date => "Date".to_string(),
+            DataType::Char(n) => format!("Char({n})"),
+        }
+    }
+}
+
+/// A dynamically typed value.
+///
+/// `Value` is used at the boundaries (loading data, returning results,
+/// evaluating literals in predicates). Hot paths read typed fields straight
+/// out of encoded rows via [`crate::row::RowRef`] and never materialize a
+/// `Value`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum Value {
+    /// 64-bit signed integer.
+    Int(i64),
+    /// 64-bit float.
+    Float(f64),
+    /// Date as `yyyymmdd`.
+    Date(u32),
+    /// String (must fit the target `Char(n)` column when stored).
+    Str(String),
+}
+
+impl Value {
+    /// The [`DataType`] family this value belongs to. `Str` reports the
+    /// actual byte length which must be `<=` the column width to store.
+    pub fn type_name(&self) -> String {
+        match self {
+            Value::Int(_) => "Int".to_string(),
+            Value::Float(_) => "Float".to_string(),
+            Value::Date(_) => "Date".to_string(),
+            Value::Str(s) => format!("Str(len {})", s.len()),
+        }
+    }
+
+    /// Whether the value can be stored in a column of type `dt`.
+    pub fn fits(&self, dt: DataType) -> bool {
+        match (self, dt) {
+            (Value::Int(_), DataType::Int) => true,
+            (Value::Float(_), DataType::Float) => true,
+            (Value::Date(_), DataType::Date) => true,
+            (Value::Str(s), DataType::Char(n)) => s.len() <= n as usize,
+            _ => false,
+        }
+    }
+
+    /// Integer payload, if this is an `Int`.
+    pub fn as_int(&self) -> Option<i64> {
+        match self {
+            Value::Int(v) => Some(*v),
+            _ => None,
+        }
+    }
+
+    /// Float payload, if this is a `Float`.
+    pub fn as_float(&self) -> Option<f64> {
+        match self {
+            Value::Float(v) => Some(*v),
+            _ => None,
+        }
+    }
+
+    /// Date payload, if this is a `Date`.
+    pub fn as_date(&self) -> Option<u32> {
+        match self {
+            Value::Date(v) => Some(*v),
+            _ => None,
+        }
+    }
+
+    /// String payload, if this is a `Str`.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// Total order across same-typed values; cross-type comparisons order
+    /// by type tag so sorting mixed columns is still deterministic.
+    pub fn total_cmp(&self, other: &Value) -> Ordering {
+        fn rank(v: &Value) -> u8 {
+            match v {
+                Value::Int(_) => 0,
+                Value::Float(_) => 1,
+                Value::Date(_) => 2,
+                Value::Str(_) => 3,
+            }
+        }
+        match (self, other) {
+            (Value::Int(a), Value::Int(b)) => a.cmp(b),
+            (Value::Float(a), Value::Float(b)) => a.total_cmp(b),
+            (Value::Date(a), Value::Date(b)) => a.cmp(b),
+            (Value::Str(a), Value::Str(b)) => a.cmp(b),
+            (a, b) => rank(a).cmp(&rank(b)),
+        }
+    }
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Value::Int(v) => write!(f, "{v}"),
+            Value::Float(v) => write!(f, "{v:.4}"),
+            Value::Date(v) => write!(f, "{:04}-{:02}-{:02}", v / 10000, v / 100 % 100, v % 100),
+            Value::Str(s) => write!(f, "{s}"),
+        }
+    }
+}
+
+impl From<i64> for Value {
+    fn from(v: i64) -> Self {
+        Value::Int(v)
+    }
+}
+impl From<f64> for Value {
+    fn from(v: f64) -> Self {
+        Value::Float(v)
+    }
+}
+impl From<&str> for Value {
+    fn from(v: &str) -> Self {
+        Value::Str(v.to_string())
+    }
+}
+impl From<String> for Value {
+    fn from(v: String) -> Self {
+        Value::Str(v)
+    }
+}
+
+/// Build a `Date` value from components. `month` and `day` are 1-based.
+pub fn date(year: u32, month: u32, day: u32) -> Value {
+    Value::Date(year * 10000 + month * 100 + day)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn widths() {
+        assert_eq!(DataType::Int.width(), 8);
+        assert_eq!(DataType::Float.width(), 8);
+        assert_eq!(DataType::Date.width(), 4);
+        assert_eq!(DataType::Char(15).width(), 15);
+    }
+
+    #[test]
+    fn fits_checks_type_and_width() {
+        assert!(Value::Int(3).fits(DataType::Int));
+        assert!(!Value::Int(3).fits(DataType::Float));
+        assert!(Value::Str("abc".into()).fits(DataType::Char(3)));
+        assert!(!Value::Str("abcd".into()).fits(DataType::Char(3)));
+    }
+
+    #[test]
+    fn date_helper_encodes_yyyymmdd() {
+        assert_eq!(date(1997, 3, 9), Value::Date(19970309));
+        assert_eq!(date(1997, 3, 9).to_string(), "1997-03-09");
+    }
+
+    #[test]
+    fn total_cmp_orders_within_and_across_types() {
+        assert_eq!(Value::Int(1).total_cmp(&Value::Int(2)), Ordering::Less);
+        assert_eq!(
+            Value::Float(2.0).total_cmp(&Value::Float(1.0)),
+            Ordering::Greater
+        );
+        assert_eq!(
+            Value::Str("a".into()).total_cmp(&Value::Str("a".into())),
+            Ordering::Equal
+        );
+        // cross-type: Int < Float by tag rank
+        assert_eq!(Value::Int(99).total_cmp(&Value::Float(0.0)), Ordering::Less);
+    }
+
+    #[test]
+    fn accessors() {
+        assert_eq!(Value::Int(7).as_int(), Some(7));
+        assert_eq!(Value::Int(7).as_float(), None);
+        assert_eq!(Value::Str("x".into()).as_str(), Some("x"));
+        assert_eq!(Value::Date(20200101).as_date(), Some(20200101));
+    }
+}

@@ -1,0 +1,25 @@
+//! # qs-workload — benchmark data and query generators
+//!
+//! The demo drives its scenarios with two workloads:
+//!
+//! * **Scenario I** uses identical TPC-H Q1 instances over `lineitem`
+//!   (scan + selection + small-group aggregation) — see [`tpch`].
+//! * **Scenarios II–IV** use the Star Schema Benchmark: the `lineorder`
+//!   fact table with `date`, `customer`, `supplier` and `part` dimensions,
+//!   queried through parameterized instantiations of the 13 SSB templates
+//!   Q1.1–Q4.3 — see [`ssb`].
+//!
+//! Both generators are deterministic (seeded) and scale-factor driven, and
+//! expose the demo GUI's workload knobs: *selectivity* (predicate ranges),
+//! *number of possible different plans* (parameter-space size, which
+//! controls how many common sub-plans a concurrent mix contains) and the
+//! SSB template to instantiate — see [`mix`].
+
+pub mod mix;
+pub mod ssb;
+pub mod tpch;
+
+pub use mix::{QueryMix, WorkloadKnobs};
+pub use ssb::data::{generate_ssb, SsbConfig, SsbSizes};
+pub use ssb::queries::SsbTemplate;
+pub use tpch::{generate_lineitem, tpch_q1_plan, TpchConfig};

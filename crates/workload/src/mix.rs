@@ -1,0 +1,173 @@
+//! Concurrent query mixes — the demo GUI's workload pane.
+//!
+//! A [`QueryMix`] produces the stream of plans a set of concurrent clients
+//! submits. Its knobs mirror the GUI exactly:
+//!
+//! * `template` — which SSB template the clients instantiate,
+//! * `num_plans` — size of the parameter space ("number of possible
+//!   different plans", Scenario IV's x-axis): variants are drawn uniformly
+//!   from `0..num_plans`, so smaller values yield more identical plans and
+//!   more SP opportunities,
+//! * `selectivity` — optional fact-selection selectivity override
+//!   (Scenario III's x-axis),
+//! * `seed` — reproducibility.
+
+use crate::ssb::queries::{SsbTemplate, TemplateParams};
+use qs_plan::{LogicalPlan, Result};
+use qs_storage::Catalog;
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+/// Workload parameters (the demo GUI's configuration pane).
+#[derive(Debug, Clone, Copy)]
+pub struct WorkloadKnobs {
+    /// SSB template to instantiate.
+    pub template: SsbTemplate,
+    /// Number of possible distinct plans (≥ 1).
+    pub num_plans: usize,
+    /// Optional selectivity override in `(0, 1]`.
+    pub selectivity: Option<f64>,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl WorkloadKnobs {
+    /// Knobs for `template` with a wide-open parameter space (randomized
+    /// parameters, as Scenarios II and III use to *decrease* SP
+    /// efficiency).
+    pub fn randomized(template: SsbTemplate, seed: u64) -> Self {
+        WorkloadKnobs {
+            template,
+            num_plans: u32::MAX as usize,
+            selectivity: None,
+            seed,
+        }
+    }
+
+    /// Knobs restricted to `num_plans` variants (Scenario IV).
+    pub fn restricted(template: SsbTemplate, num_plans: usize, seed: u64) -> Self {
+        WorkloadKnobs {
+            template,
+            num_plans: num_plans.max(1),
+            selectivity: None,
+            seed,
+        }
+    }
+}
+
+/// A deterministic stream of template instantiations.
+pub struct QueryMix {
+    knobs: WorkloadKnobs,
+    rng: StdRng,
+}
+
+impl QueryMix {
+    /// Create the mix.
+    pub fn new(knobs: WorkloadKnobs) -> Self {
+        QueryMix {
+            rng: StdRng::seed_from_u64(knobs.seed),
+            knobs,
+        }
+    }
+
+    /// The knobs this mix was built with.
+    pub fn knobs(&self) -> &WorkloadKnobs {
+        &self.knobs
+    }
+
+    /// Draw the next plan.
+    pub fn next_plan(&mut self, catalog: &Catalog) -> Result<LogicalPlan> {
+        let variant = self.rng.random_range(0..self.knobs.num_plans as u64);
+        self.knobs.template.plan(
+            catalog,
+            &TemplateParams {
+                variant,
+                selectivity: self.knobs.selectivity,
+            },
+        )
+    }
+
+    /// Build the plan for an explicit variant (used by batched submission
+    /// where every client in a wave runs the same instantiation).
+    pub fn plan_for_variant(&self, catalog: &Catalog, variant: u64) -> Result<LogicalPlan> {
+        self.knobs.template.plan(
+            catalog,
+            &TemplateParams {
+                variant: variant % self.knobs.num_plans as u64,
+                selectivity: self.knobs.selectivity,
+            },
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ssb::data::{generate_ssb, SsbConfig};
+    use qs_plan::signature;
+    use std::collections::HashSet;
+
+    fn catalog() -> std::sync::Arc<Catalog> {
+        let cat = Catalog::new();
+        generate_ssb(
+            &cat,
+            &SsbConfig {
+                scale: 0.0005,
+                seed: 11,
+                page_bytes: 8192,
+            },
+        );
+        cat
+    }
+
+    #[test]
+    fn single_plan_space_yields_identical_plans() {
+        let cat = catalog();
+        let mut mix = QueryMix::new(WorkloadKnobs::restricted(SsbTemplate::Q2_1, 1, 3));
+        let sigs: HashSet<u64> = (0..10)
+            .map(|_| signature(&mix.next_plan(&cat).unwrap()))
+            .collect();
+        assert_eq!(sigs.len(), 1);
+    }
+
+    #[test]
+    fn wider_space_yields_more_distinct_plans() {
+        let cat = catalog();
+        let mut narrow = QueryMix::new(WorkloadKnobs::restricted(SsbTemplate::Q3_2, 2, 3));
+        let mut wide = QueryMix::new(WorkloadKnobs::restricted(SsbTemplate::Q3_2, 64, 3));
+        let count = |mix: &mut QueryMix| -> usize {
+            (0..40)
+                .map(|_| signature(&mix.next_plan(&cat).unwrap()))
+                .collect::<HashSet<_>>()
+                .len()
+        };
+        let n_narrow = count(&mut narrow);
+        let n_wide = count(&mut wide);
+        assert!(n_narrow <= 2);
+        assert!(n_wide > n_narrow, "wide {n_wide} vs narrow {n_narrow}");
+    }
+
+    #[test]
+    fn mix_is_deterministic_per_seed() {
+        let cat = catalog();
+        let knobs = WorkloadKnobs::restricted(SsbTemplate::Q4_1, 16, 9);
+        let a: Vec<u64> = {
+            let mut m = QueryMix::new(knobs);
+            (0..8).map(|_| signature(&m.next_plan(&cat).unwrap())).collect()
+        };
+        let b: Vec<u64> = {
+            let mut m = QueryMix::new(knobs);
+            (0..8).map(|_| signature(&m.next_plan(&cat).unwrap())).collect()
+        };
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn plan_for_variant_wraps_modulo() {
+        let cat = catalog();
+        let mix = QueryMix::new(WorkloadKnobs::restricted(SsbTemplate::Q1_1, 4, 1));
+        let a = mix.plan_for_variant(&cat, 1).unwrap();
+        let b = mix.plan_for_variant(&cat, 5).unwrap();
+        assert_eq!(signature(&a), signature(&b));
+    }
+}

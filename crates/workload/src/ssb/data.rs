@@ -1,0 +1,443 @@
+//! Star Schema Benchmark data generator.
+//!
+//! Follows the SSB specification (O'Neil et al.) in schema, key domains,
+//! and the value distributions the 13 query templates filter on; row
+//! counts scale linearly with the scale factor (`SF = 1` is the paper's
+//! 6M-row `lineorder`). Text columns carry exactly the categorical values
+//! the templates select on (regions, nations, cities, `MFGR#...`
+//! hierarchies), so template selectivities match the SSB design.
+
+use qs_storage::{Catalog, DataType, Schema, Table, TableBuilder, Value};
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+use std::sync::Arc;
+
+/// The five SSB regions.
+pub const REGIONS: [&str; 5] = ["AFRICA", "AMERICA", "ASIA", "EUROPE", "MIDDLE EAST"];
+
+/// Five nations per region (25 total), in region-major order.
+pub const NATIONS: [&str; 25] = [
+    // AFRICA
+    "ALGERIA", "ETHIOPIA", "KENYA", "MOROCCO", "MOZAMBIQUE",
+    // AMERICA
+    "ARGENTINA", "BRAZIL", "CANADA", "PERU", "UNITED STATES",
+    // ASIA
+    "INDIA", "INDONESIA", "CHINA", "JAPAN", "VIETNAM",
+    // EUROPE
+    "FRANCE", "GERMANY", "ROMANIA", "RUSSIA", "UNITED KINGDOM",
+    // MIDDLE EAST
+    "EGYPT", "IRAN", "IRAQ", "JORDAN", "SAUDI ARABIA",
+];
+
+/// SSB city ids: first 9 chars of the nation + digit 0-9 (250 cities).
+pub fn city_name(nation_idx: usize, city_no: usize) -> String {
+    let nation = NATIONS[nation_idx];
+    let mut prefix: String = nation.chars().take(9).collect();
+    while prefix.len() < 9 {
+        prefix.push(' ');
+    }
+    format!("{prefix}{city_no}")
+}
+
+/// Region of nation `nation_idx`.
+pub fn region_of(nation_idx: usize) -> &'static str {
+    REGIONS[nation_idx / 5]
+}
+
+/// Generator configuration.
+#[derive(Debug, Clone)]
+pub struct SsbConfig {
+    /// Scale factor; `1.0` is the full-size benchmark (6M line orders).
+    /// Tests use `0.001`–`0.01`.
+    pub scale: f64,
+    /// RNG seed for reproducible datasets.
+    pub seed: u64,
+    /// Page byte budget for the generated tables.
+    pub page_bytes: usize,
+}
+
+impl Default for SsbConfig {
+    fn default() -> Self {
+        SsbConfig {
+            scale: 0.01,
+            seed: 42,
+            page_bytes: qs_storage::DEFAULT_PAGE_BYTES,
+        }
+    }
+}
+
+impl SsbConfig {
+    /// Config with the given scale and default seed/page size.
+    pub fn with_scale(scale: f64) -> Self {
+        SsbConfig {
+            scale,
+            ..Default::default()
+        }
+    }
+
+    /// Row counts implied by the scale factor.
+    pub fn sizes(&self) -> SsbSizes {
+        let s = self.scale;
+        SsbSizes {
+            lineorder: ((6_000_000.0 * s) as usize).max(100),
+            customer: ((30_000.0 * s) as usize).max(50),
+            supplier: ((2_000.0 * s) as usize).max(20),
+            part: ((200_000.0 * s) as usize).clamp(200, 200_000),
+            // The date dimension is fixed: 1992-01-01 .. 1998-12-31.
+            date: date_keys().len(),
+        }
+    }
+}
+
+/// Row counts of the generated tables.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SsbSizes {
+    /// Fact rows.
+    pub lineorder: usize,
+    /// Customer rows.
+    pub customer: usize,
+    /// Supplier rows.
+    pub supplier: usize,
+    /// Part rows.
+    pub part: usize,
+    /// Date rows (fixed 7-year calendar).
+    pub date: usize,
+}
+
+/// Handles to the five generated tables.
+pub struct SsbTables {
+    /// `lineorder` fact table.
+    pub lineorder: Arc<Table>,
+    /// `date` dimension.
+    pub date: Arc<Table>,
+    /// `customer` dimension.
+    pub customer: Arc<Table>,
+    /// `supplier` dimension.
+    pub supplier: Arc<Table>,
+    /// `part` dimension.
+    pub part: Arc<Table>,
+}
+
+fn days_in_month(year: u32, month: u32) -> u32 {
+    match month {
+        1 | 3 | 5 | 7 | 8 | 10 | 12 => 31,
+        4 | 6 | 9 | 11 => 30,
+        2 => {
+            if year.is_multiple_of(4) && (!year.is_multiple_of(100) || year.is_multiple_of(400)) {
+                29
+            } else {
+                28
+            }
+        }
+        _ => unreachable!("month 1..=12"),
+    }
+}
+
+/// All `yyyymmdd` keys of the SSB calendar (1992-1998), in order.
+pub fn date_keys() -> Vec<u32> {
+    let mut keys = Vec::with_capacity(2557);
+    for y in 1992..=1998u32 {
+        for m in 1..=12u32 {
+            for d in 1..=days_in_month(y, m) {
+                keys.push(y * 10000 + m * 100 + d);
+            }
+        }
+    }
+    keys
+}
+
+/// `date` dimension schema.
+pub fn date_schema() -> Arc<Schema> {
+    Schema::from_pairs(&[
+        ("d_datekey", DataType::Int),
+        ("d_year", DataType::Int),
+        ("d_yearmonthnum", DataType::Int),
+        ("d_weeknuminyear", DataType::Int),
+        ("d_daynuminweek", DataType::Int),
+    ])
+}
+
+/// `customer` dimension schema.
+pub fn customer_schema() -> Arc<Schema> {
+    Schema::from_pairs(&[
+        ("c_custkey", DataType::Int),
+        ("c_city", DataType::Char(10)),
+        ("c_nation", DataType::Char(15)),
+        ("c_region", DataType::Char(12)),
+        ("c_mktsegment", DataType::Char(10)),
+    ])
+}
+
+/// `supplier` dimension schema.
+pub fn supplier_schema() -> Arc<Schema> {
+    Schema::from_pairs(&[
+        ("s_suppkey", DataType::Int),
+        ("s_city", DataType::Char(10)),
+        ("s_nation", DataType::Char(15)),
+        ("s_region", DataType::Char(12)),
+    ])
+}
+
+/// `part` dimension schema.
+pub fn part_schema() -> Arc<Schema> {
+    Schema::from_pairs(&[
+        ("p_partkey", DataType::Int),
+        ("p_mfgr", DataType::Char(6)),
+        ("p_category", DataType::Char(7)),
+        ("p_brand1", DataType::Char(9)),
+        ("p_size", DataType::Int),
+    ])
+}
+
+/// `lineorder` fact schema.
+pub fn lineorder_schema() -> Arc<Schema> {
+    Schema::from_pairs(&[
+        ("lo_orderkey", DataType::Int),
+        ("lo_custkey", DataType::Int),
+        ("lo_partkey", DataType::Int),
+        ("lo_suppkey", DataType::Int),
+        ("lo_orderdate", DataType::Int),
+        ("lo_quantity", DataType::Int),
+        ("lo_extendedprice", DataType::Int),
+        ("lo_discount", DataType::Int),
+        ("lo_revenue", DataType::Int),
+        ("lo_supplycost", DataType::Int),
+    ])
+}
+
+/// Generate the five SSB tables and register them in `catalog` under their
+/// standard names (`lineorder`, `date`, `customer`, `supplier`, `part`).
+pub fn generate_ssb(catalog: &Catalog, cfg: &SsbConfig) -> SsbTables {
+    let sizes = cfg.sizes();
+    let mut rng = StdRng::seed_from_u64(cfg.seed);
+
+    // --- date: the full 1992-1998 calendar ----------------------------
+    let mut b = TableBuilder::with_page_bytes("date", date_schema(), cfg.page_bytes);
+    let keys = date_keys();
+    let mut day_of_year = 0u32;
+    let mut prev_year = 0u32;
+    for (i, &key) in keys.iter().enumerate() {
+        let year = key / 10000;
+        if year != prev_year {
+            day_of_year = 0;
+            prev_year = year;
+        }
+        day_of_year += 1;
+        b.push_values(&[
+            Value::Int(key as i64),
+            Value::Int(year as i64),
+            Value::Int((key / 100) as i64),
+            Value::Int(((day_of_year - 1) / 7 + 1) as i64),
+            Value::Int((i % 7) as i64 + 1),
+        ])
+        .expect("date row");
+    }
+    let date = catalog.register(b);
+
+    // --- customer ------------------------------------------------------
+    let mut b = TableBuilder::with_page_bytes("customer", customer_schema(), cfg.page_bytes);
+    let segments = ["AUTOMOBILE", "BUILDING", "FURNITURE", "MACHINERY", "HOUSEHOLD"];
+    for k in 1..=sizes.customer {
+        let nation = rng.random_range(0..25);
+        let city = rng.random_range(0..10);
+        b.push_values(&[
+            Value::Int(k as i64),
+            Value::Str(city_name(nation, city)),
+            Value::Str(NATIONS[nation].to_string()),
+            Value::Str(region_of(nation).to_string()),
+            Value::Str(segments[rng.random_range(0..segments.len())].to_string()),
+        ])
+        .expect("customer row");
+    }
+    let customer = catalog.register(b);
+
+    // --- supplier ------------------------------------------------------
+    let mut b = TableBuilder::with_page_bytes("supplier", supplier_schema(), cfg.page_bytes);
+    for k in 1..=sizes.supplier {
+        let nation = rng.random_range(0..25);
+        let city = rng.random_range(0..10);
+        b.push_values(&[
+            Value::Int(k as i64),
+            Value::Str(city_name(nation, city)),
+            Value::Str(NATIONS[nation].to_string()),
+            Value::Str(region_of(nation).to_string()),
+        ])
+        .expect("supplier row");
+    }
+    let supplier = catalog.register(b);
+
+    // --- part ------------------------------------------------------------
+    // SSB hierarchy: mfgr MFGR#1-5, category MFGR#<m><1-5>, brand1
+    // MFGR#<m><c><1-40>.
+    let mut b = TableBuilder::with_page_bytes("part", part_schema(), cfg.page_bytes);
+    for k in 1..=sizes.part {
+        let m = rng.random_range(1..=5u32);
+        let c = rng.random_range(1..=5u32);
+        let br = rng.random_range(1..=40u32);
+        b.push_values(&[
+            Value::Int(k as i64),
+            Value::Str(format!("MFGR#{m}")),
+            Value::Str(format!("MFGR#{m}{c}")),
+            Value::Str(format!("MFGR#{m}{c}{br}")),
+            Value::Int(rng.random_range(1..=50) as i64),
+        ])
+        .expect("part row");
+    }
+    let part = catalog.register(b);
+
+    // --- lineorder -------------------------------------------------------
+    let mut b = TableBuilder::with_page_bytes("lineorder", lineorder_schema(), cfg.page_bytes);
+    let n_dates = keys.len();
+    for k in 1..=sizes.lineorder {
+        let quantity = rng.random_range(1..=50i64);
+        let extendedprice = rng.random_range(90_000..=1_049_450i64) / 100 * 100;
+        let discount = rng.random_range(0..=10i64);
+        let revenue = extendedprice * (100 - discount) / 100;
+        let supplycost = extendedprice * 6 / 10;
+        b.push_values(&[
+            Value::Int(k as i64),
+            Value::Int(rng.random_range(1..=sizes.customer) as i64),
+            Value::Int(rng.random_range(1..=sizes.part) as i64),
+            Value::Int(rng.random_range(1..=sizes.supplier) as i64),
+            Value::Int(keys[rng.random_range(0..n_dates)] as i64),
+            Value::Int(quantity),
+            Value::Int(extendedprice),
+            Value::Int(discount),
+            Value::Int(revenue),
+            Value::Int(supplycost),
+        ])
+        .expect("lineorder row");
+    }
+    let lineorder = catalog.register(b);
+
+    SsbTables {
+        lineorder,
+        date,
+        customer,
+        supplier,
+        part,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn calendar_is_complete() {
+        let keys = date_keys();
+        // 1992-1998: 1992 & 1996 are leap years -> 5*365 + 2*366 = 2557
+        assert_eq!(keys.len(), 2557);
+        assert_eq!(keys[0], 19920101);
+        assert_eq!(*keys.last().unwrap(), 19981231);
+        assert!(keys.windows(2).all(|w| w[0] < w[1]));
+    }
+
+    #[test]
+    fn sizes_scale_linearly_with_floors() {
+        let s = SsbConfig::with_scale(0.01).sizes();
+        assert_eq!(s.lineorder, 60_000);
+        assert_eq!(s.customer, 300);
+        assert_eq!(s.supplier, 20);
+        assert_eq!(s.part, 2000);
+        let tiny = SsbConfig::with_scale(0.0001).sizes();
+        assert_eq!(tiny.lineorder, 600);
+        assert_eq!(tiny.supplier, 20); // floor
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let cfg = SsbConfig {
+            scale: 0.001,
+            seed: 7,
+            page_bytes: 4096,
+        };
+        let c1 = Catalog::new();
+        let t1 = generate_ssb(&c1, &cfg);
+        let c2 = Catalog::new();
+        let t2 = generate_ssb(&c2, &cfg);
+        assert_eq!(t1.lineorder.row_count(), t2.lineorder.row_count());
+        let p1 = t1.lineorder.raw_page(0);
+        let p2 = t2.lineorder.raw_page(0);
+        assert_eq!(p1.to_values(), p2.to_values());
+    }
+
+    #[test]
+    fn foreign_keys_are_in_domain() {
+        let cfg = SsbConfig {
+            scale: 0.001,
+            seed: 1,
+            page_bytes: 8192,
+        };
+        let cat = Catalog::new();
+        let t = generate_ssb(&cat, &cfg);
+        let sizes = cfg.sizes();
+        let dates: std::collections::HashSet<i64> =
+            date_keys().iter().map(|&k| k as i64).collect();
+        for pno in 0..t.lineorder.page_count() {
+            for r in t.lineorder.raw_page(pno).iter() {
+                assert!((1..=sizes.customer as i64).contains(&r.i64_col(1)));
+                assert!((1..=sizes.part as i64).contains(&r.i64_col(2)));
+                assert!((1..=sizes.supplier as i64).contains(&r.i64_col(3)));
+                assert!(dates.contains(&r.i64_col(4)));
+                let disc = r.i64_col(7);
+                assert!((0..=10).contains(&disc));
+                // revenue consistent with price and discount
+                assert_eq!(r.i64_col(8), r.i64_col(6) * (100 - disc) / 100);
+            }
+        }
+    }
+
+    #[test]
+    fn dimension_values_match_template_domains() {
+        let cfg = SsbConfig {
+            scale: 0.001,
+            seed: 2,
+            page_bytes: 8192,
+        };
+        let cat = Catalog::new();
+        let t = generate_ssb(&cat, &cfg);
+        let regions: std::collections::HashSet<&str> = REGIONS.iter().copied().collect();
+        for pno in 0..t.customer.page_count() {
+            for r in t.customer.raw_page(pno).iter() {
+                assert!(regions.contains(r.str_col(3)));
+                assert!(NATIONS.contains(&r.str_col(2)));
+                assert_eq!(r.str_col(1).len(), 10);
+            }
+        }
+        for pno in 0..t.part.page_count() {
+            for r in t.part.raw_page(pno).iter() {
+                let mfgr = r.str_col(1);
+                let cat_ = r.str_col(2);
+                let brand = r.str_col(3);
+                assert!(mfgr.starts_with("MFGR#"));
+                assert!(cat_.starts_with(mfgr));
+                assert!(brand.starts_with(cat_));
+            }
+        }
+    }
+
+    #[test]
+    fn tables_registered_under_standard_names() {
+        let cat = Catalog::new();
+        generate_ssb(
+            &cat,
+            &SsbConfig {
+                scale: 0.0005,
+                seed: 3,
+                page_bytes: 8192,
+            },
+        );
+        for name in ["lineorder", "date", "customer", "supplier", "part"] {
+            assert!(cat.get(name).is_ok(), "{name} missing");
+        }
+    }
+
+    #[test]
+    fn city_name_format() {
+        assert_eq!(city_name(9, 3), "UNITED ST3"); // UNITED STATES -> 9 chars
+        assert_eq!(city_name(0, 0), "ALGERIA  0"); // padded to 9 + digit
+        assert_eq!(region_of(9), "AMERICA");
+        assert_eq!(region_of(12), "ASIA");
+    }
+}

@@ -1,0 +1,4 @@
+//! Star Schema Benchmark: data generation and query templates.
+
+pub mod data;
+pub mod queries;

@@ -1,0 +1,556 @@
+//! The 13 SSB query templates, parameterized the way the demo GUI
+//! parameterizes them.
+//!
+//! Each template is instantiated from a `variant` number that
+//! deterministically selects the template's literal parameters (year,
+//! region, brand, …). The *number of possible different plans* knob of the
+//! demo (Scenario IV's x-axis) is implemented by drawing variants from
+//! `0..num_plans`: a smaller space yields more identical plans in a
+//! concurrent mix and therefore more SP opportunities.
+//!
+//! The *selectivity* knob (Scenario III's x-axis) overrides the fact-side
+//! predicate with a **variant-rotated quantity window**
+//! `lo_quantity BETWEEN lo AND lo+w-1` where `w = ceil(50·s)` —
+//! `lo_quantity` is uniform on `1..=50`, so `s` is (to quantization) the
+//! fraction of fact tuples that survive, while the window *position*
+//! depends on the variant. Same selectivity, different literals: the
+//! override controls output cardinality without creating artificial
+//! common sub-plans (the demo randomizes parameters exactly to keep SP
+//! out of the selectivity and concurrency sweeps).
+
+use super::data::{city_name, REGIONS};
+use qs_plan::{AggFunc, AggSpec, Expr, LogicalPlan, PlanBuilder, Result};
+use qs_storage::{Catalog, Value};
+
+/// The 13 Star Schema Benchmark query templates.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[allow(missing_docs)]
+pub enum SsbTemplate {
+    Q1_1,
+    Q1_2,
+    Q1_3,
+    Q2_1,
+    Q2_2,
+    Q2_3,
+    Q3_1,
+    Q3_2,
+    Q3_3,
+    Q3_4,
+    Q4_1,
+    Q4_2,
+    Q4_3,
+}
+
+/// Parameters of one template instantiation.
+#[derive(Debug, Clone, Copy)]
+pub struct TemplateParams {
+    /// Deterministically selects the literal parameters.
+    pub variant: u64,
+    /// Optional selectivity override in `(0, 1]` (see module docs).
+    pub selectivity: Option<f64>,
+}
+
+impl TemplateParams {
+    /// Parameters for variant `v` with the template's default selectivity.
+    pub fn variant(v: u64) -> Self {
+        TemplateParams {
+            variant: v,
+            selectivity: None,
+        }
+    }
+}
+
+/// Split a variant into independent small indices (SplitMix64 steps), so
+/// different parameter dimensions do not change in lockstep.
+fn mixes(variant: u64) -> [u64; 4] {
+    let mut z = variant.wrapping_add(0x9e3779b97f4a7c15);
+    let mut out = [0u64; 4];
+    for o in &mut out {
+        z = z.wrapping_add(0x9e3779b97f4a7c15);
+        let mut x = z;
+        x = (x ^ (x >> 30)).wrapping_mul(0xbf58476d1ce4e5b9);
+        x = (x ^ (x >> 27)).wrapping_mul(0x94d049bb133111eb);
+        *o = x ^ (x >> 31);
+    }
+    out
+}
+
+fn quantity_cap(selectivity: f64) -> i64 {
+    ((50.0 * selectivity).ceil() as i64).clamp(1, 50)
+}
+
+/// The selectivity-override predicate: a quantity window of width
+/// `ceil(50·s)` whose position rotates with the variant.
+fn quantity_window(variant: u64, selectivity: f64) -> Expr {
+    let w = quantity_cap(selectivity);
+    let lo = 1 + (variant % (51 - w) as u64) as i64;
+    Expr::between(5 /* lo_quantity */, lo, lo + w - 1)
+}
+
+impl SsbTemplate {
+    /// All templates in flight order.
+    pub fn all() -> [SsbTemplate; 13] {
+        use SsbTemplate::*;
+        [
+            Q1_1, Q1_2, Q1_3, Q2_1, Q2_2, Q2_3, Q3_1, Q3_2, Q3_3, Q3_4, Q4_1, Q4_2, Q4_3,
+        ]
+    }
+
+    /// Template name as in the SSB spec.
+    pub fn name(&self) -> &'static str {
+        match self {
+            SsbTemplate::Q1_1 => "Q1.1",
+            SsbTemplate::Q1_2 => "Q1.2",
+            SsbTemplate::Q1_3 => "Q1.3",
+            SsbTemplate::Q2_1 => "Q2.1",
+            SsbTemplate::Q2_2 => "Q2.2",
+            SsbTemplate::Q2_3 => "Q2.3",
+            SsbTemplate::Q3_1 => "Q3.1",
+            SsbTemplate::Q3_2 => "Q3.2",
+            SsbTemplate::Q3_3 => "Q3.3",
+            SsbTemplate::Q3_4 => "Q3.4",
+            SsbTemplate::Q4_1 => "Q4.1",
+            SsbTemplate::Q4_2 => "Q4.2",
+            SsbTemplate::Q4_3 => "Q4.3",
+        }
+    }
+
+    /// Number of dimension tables the template joins.
+    pub fn dim_count(&self) -> usize {
+        match self {
+            SsbTemplate::Q1_1 | SsbTemplate::Q1_2 | SsbTemplate::Q1_3 => 1,
+            SsbTemplate::Q2_1 | SsbTemplate::Q2_2 | SsbTemplate::Q2_3 => 3,
+            SsbTemplate::Q3_1 | SsbTemplate::Q3_2 | SsbTemplate::Q3_3 | SsbTemplate::Q3_4 => 3,
+            SsbTemplate::Q4_1 | SsbTemplate::Q4_2 | SsbTemplate::Q4_3 => 4,
+        }
+    }
+
+    /// The template instantiated as SQL text (the `qgen` equivalent).
+    ///
+    /// The statement is derived from the template's own plan — built,
+    /// star-detected and unparsed — so it is consistent with
+    /// [`SsbTemplate::plan`] by construction: binding and optimizing the
+    /// returned SQL yields a plan with the same answer and the same
+    /// CJOIN-admissible star structure.
+    pub fn sql(&self, catalog: &Catalog, params: &TemplateParams) -> Result<String> {
+        let plan = self.plan(catalog, params)?;
+        let star = crate::ssb::queries::detect_star(&plan, catalog)?;
+        qs_sql::star_to_sql(&star, catalog)
+            .map_err(|e| qs_plan::PlanError::Invalid(format!("unparse: {e}")))
+    }
+
+    /// Build the logical plan for this template under `params`.
+    pub fn plan(&self, catalog: &Catalog, params: &TemplateParams) -> Result<LogicalPlan> {
+        let [m0, m1, m2, m3] = mixes(params.variant);
+        let year = 1992 + (m0 % 7) as i64;
+
+        // Fact-side predicate: the template's own, or the selectivity
+        // override.
+        let fact_pred = |default: Expr| -> Expr {
+            match params.selectivity {
+                Some(s) => quantity_window(params.variant, s),
+                None => default,
+            }
+        };
+
+        let b = PlanBuilder::scan(catalog, "lineorder")?;
+        let lo_quantity = b.col("lo_quantity")?;
+        let lo_discount = b.col("lo_discount")?;
+
+        match self {
+            // ---------------- Q1.x: lineorder ⋈ date --------------------
+            SsbTemplate::Q1_1 => {
+                let d = 1 + (m1 % 8) as i64; // discount in d..d+2
+                let pred = fact_pred(Expr::and(vec![
+                    Expr::between(lo_discount, d, d + 2),
+                    Expr::lt(lo_quantity, 25i64),
+                ]));
+                b.filter(pred)?
+                    .join_dim("date", "lo_orderdate", "d_datekey", Some(Expr::eq(1, year)))?
+                    .aggregate(
+                        &[],
+                        vec![AggSpec::new(AggFunc::SumProd(6, 7), "revenue")],
+                    )?
+                    .build()
+            }
+            SsbTemplate::Q1_2 => {
+                let ym = year * 100 + 1 + (m1 % 12) as i64;
+                let d = 4 + (m2 % 4) as i64;
+                let pred = fact_pred(Expr::and(vec![
+                    Expr::between(lo_discount, d, d + 2),
+                    Expr::between(lo_quantity, 26i64, 35i64),
+                ]));
+                b.filter(pred)?
+                    .join_dim(
+                        "date",
+                        "lo_orderdate",
+                        "d_datekey",
+                        Some(Expr::eq(2, ym)), // d_yearmonthnum
+                    )?
+                    .aggregate(
+                        &[],
+                        vec![AggSpec::new(AggFunc::SumProd(6, 7), "revenue")],
+                    )?
+                    .build()
+            }
+            SsbTemplate::Q1_3 => {
+                let week = 1 + (m1 % 52) as i64;
+                let pred = fact_pred(Expr::and(vec![
+                    Expr::between(lo_discount, 5i64, 7i64),
+                    Expr::between(lo_quantity, 26i64, 35i64),
+                ]));
+                b.filter(pred)?
+                    .join_dim(
+                        "date",
+                        "lo_orderdate",
+                        "d_datekey",
+                        Some(Expr::and(vec![
+                            Expr::eq(3, week), // d_weeknuminyear
+                            Expr::eq(1, year), // d_year
+                        ])),
+                    )?
+                    .aggregate(
+                        &[],
+                        vec![AggSpec::new(AggFunc::SumProd(6, 7), "revenue")],
+                    )?
+                    .build()
+            }
+
+            // ------- Q2.x: lineorder ⋈ date ⋈ part ⋈ supplier ------------
+            SsbTemplate::Q2_1 | SsbTemplate::Q2_2 | SsbTemplate::Q2_3 => {
+                let region = REGIONS[(m1 % 5) as usize].to_string();
+                let part_pred = match self {
+                    SsbTemplate::Q2_1 => {
+                        // p_category = MFGR#<m><c>
+                        let cat = format!("MFGR#{}{}", 1 + m2 % 5, 1 + m3 % 5);
+                        Expr::eq(2, Value::Str(cat))
+                    }
+                    SsbTemplate::Q2_2 => {
+                        // p_brand1 in 8 consecutive brands of one category
+                        let (mm, cc) = (1 + m2 % 5, 1 + m3 % 5);
+                        let start = 1 + (m0 % 33); // 1..=33 so start+7 <= 40
+                        Expr::InList {
+                            col: 3,
+                            items: (start..start + 8)
+                                .map(|x| Value::Str(format!("MFGR#{mm}{cc}{x}")))
+                                .collect(),
+                        }
+                    }
+                    _ => {
+                        // Q2.3: single brand
+                        let brand =
+                            format!("MFGR#{}{}{}", 1 + m2 % 5, 1 + m3 % 5, 1 + m0 % 40);
+                        Expr::eq(3, Value::Str(brand))
+                    }
+                };
+                let mut builder = b;
+                if let Some(s) = params.selectivity {
+                    builder = builder.filter(quantity_window(params.variant, s))?;
+                }
+                builder
+                    .join_dim("date", "lo_orderdate", "d_datekey", None)?
+                    .join_dim("part", "lo_partkey", "p_partkey", Some(part_pred))?
+                    .join_dim(
+                        "supplier",
+                        "lo_suppkey",
+                        "s_suppkey",
+                        Some(Expr::eq(3, Value::Str(region))), // s_region
+                    )?
+                    .aggregate(
+                        &["d_year", "p_brand1"],
+                        vec![AggSpec::new(AggFunc::Sum(8), "revenue")], // lo_revenue
+                    )?
+                    .sort(&[("d_year", true), ("p_brand1", true)])?
+                    .build()
+            }
+
+            // ------ Q3.x: lineorder ⋈ customer ⋈ supplier ⋈ date ---------
+            SsbTemplate::Q3_1 | SsbTemplate::Q3_2 | SsbTemplate::Q3_3 | SsbTemplate::Q3_4 => {
+                let nation_idx = (m1 % 25) as usize;
+                let (cust_pred, supp_pred, group): (Expr, Expr, [&str; 2]) = match self {
+                    SsbTemplate::Q3_1 => {
+                        let region = REGIONS[(m1 % 5) as usize].to_string();
+                        (
+                            Expr::eq(3, Value::Str(region.clone())), // c_region
+                            Expr::eq(3, Value::Str(region)),         // s_region
+                            ["c_nation", "s_nation"],
+                        )
+                    }
+                    SsbTemplate::Q3_2 => {
+                        let nation = super::data::NATIONS[nation_idx].to_string();
+                        (
+                            Expr::eq(2, Value::Str(nation.clone())), // c_nation
+                            Expr::eq(2, Value::Str(nation)),         // s_nation
+                            ["c_city", "s_city"],
+                        )
+                    }
+                    _ => {
+                        // Q3.3 / Q3.4: two specific cities of one nation
+                        let c1 = city_name(nation_idx, (m2 % 10) as usize);
+                        let c2 = city_name(nation_idx, (m3 % 10) as usize);
+                        (
+                            Expr::InList {
+                                col: 1, // c_city
+                                items: vec![Value::Str(c1.clone()), Value::Str(c2.clone())],
+                            },
+                            Expr::InList {
+                                col: 1, // s_city
+                                items: vec![Value::Str(c1), Value::Str(c2)],
+                            },
+                            ["c_city", "s_city"],
+                        )
+                    }
+                };
+                let date_pred = if *self == SsbTemplate::Q3_4 {
+                    Expr::eq(2, year * 100 + 12) // d_yearmonthnum = Dec<year>
+                } else {
+                    Expr::between(1, 1992i64, 1997i64) // d_year
+                };
+                let mut builder = b;
+                if let Some(s) = params.selectivity {
+                    builder = builder.filter(quantity_window(params.variant, s))?;
+                }
+                builder
+                    .join_dim("customer", "lo_custkey", "c_custkey", Some(cust_pred))?
+                    .join_dim("supplier", "lo_suppkey", "s_suppkey", Some(supp_pred))?
+                    .join_dim("date", "lo_orderdate", "d_datekey", Some(date_pred))?
+                    .aggregate(
+                        &[group[0], group[1], "d_year"],
+                        vec![AggSpec::new(AggFunc::Sum(8), "revenue")],
+                    )?
+                    .sort(&[("d_year", true), ("revenue", false)])?
+                    .build()
+            }
+
+            // -- Q4.x: lineorder ⋈ date ⋈ customer ⋈ supplier ⋈ part ------
+            SsbTemplate::Q4_1 | SsbTemplate::Q4_2 | SsbTemplate::Q4_3 => {
+                let region = REGIONS[(m1 % 5) as usize].to_string();
+                let mfgr_a = format!("MFGR#{}", 1 + m2 % 5);
+                let mfgr_b = format!("MFGR#{}", 1 + m3 % 5);
+                let mut builder = b;
+                if let Some(s) = params.selectivity {
+                    builder = builder.filter(quantity_window(params.variant, s))?;
+                }
+                let date_pred = if *self == SsbTemplate::Q4_1 {
+                    None
+                } else {
+                    Some(Expr::InList {
+                        col: 1, // d_year
+                        items: vec![Value::Int(year), Value::Int(year.min(1997) + 1)],
+                    })
+                };
+                let (cust_pred, supp_pred, part_pred) = match self {
+                    SsbTemplate::Q4_1 | SsbTemplate::Q4_2 => (
+                        Expr::eq(3, Value::Str(region.clone())), // c_region
+                        Expr::eq(3, Value::Str(region.clone())), // s_region
+                        Expr::InList {
+                            col: 1, // p_mfgr
+                            items: vec![Value::Str(mfgr_a), Value::Str(mfgr_b)],
+                        },
+                    ),
+                    _ => (
+                        Expr::eq(3, Value::Str(region.clone())), // c_region
+                        Expr::eq(
+                            2, // s_nation
+                            Value::Str(super::data::NATIONS[(m2 % 25) as usize].to_string()),
+                        ),
+                        Expr::eq(2, Value::Str(format!("MFGR#{}{}", 1 + m3 % 5, 1 + m0 % 5))),
+                    ),
+                };
+                let group: [&str; 2] = match self {
+                    SsbTemplate::Q4_1 => ["d_year", "c_nation"],
+                    SsbTemplate::Q4_2 => ["d_year", "s_nation"],
+                    _ => ["d_year", "s_city"],
+                };
+                builder
+                    .join_dim("date", "lo_orderdate", "d_datekey", date_pred)?
+                    .join_dim("customer", "lo_custkey", "c_custkey", Some(cust_pred))?
+                    .join_dim("supplier", "lo_suppkey", "s_suppkey", Some(supp_pred))?
+                    .join_dim("part", "lo_partkey", "p_partkey", Some(part_pred))?
+                    .aggregate(
+                        &[group[0], group[1]],
+                        vec![AggSpec::new(AggFunc::SumDiff(8, 9), "profit")],
+                    )?
+                    .sort(&[("d_year", true), (group[1], true)])?
+                    .build()
+            }
+        }
+    }
+}
+
+
+/// Star-detect `plan`, reporting a [`qs_plan::PlanError`] if it is not a
+/// star (every SSB template is; this guards future template edits).
+fn detect_star(
+    plan: &LogicalPlan,
+    catalog: &Catalog,
+) -> Result<qs_plan::StarQuery> {
+    qs_plan::StarQuery::detect(plan, catalog).ok_or_else(|| {
+        qs_plan::PlanError::Invalid("SSB template is not star-shaped".to_string())
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ssb::data::{generate_ssb, SsbConfig};
+    use qs_plan::{signature, StarQuery};
+
+    fn catalog() -> std::sync::Arc<Catalog> {
+        let cat = Catalog::new();
+        generate_ssb(
+            &cat,
+            &SsbConfig {
+                scale: 0.0005,
+                seed: 11,
+                page_bytes: 8192,
+            },
+        );
+        cat
+    }
+
+    #[test]
+    fn all_templates_build_and_validate() {
+        let cat = catalog();
+        for t in SsbTemplate::all() {
+            for v in 0..3 {
+                let plan = t
+                    .plan(&cat, &TemplateParams::variant(v))
+                    .unwrap_or_else(|e| panic!("{} v{v}: {e}", t.name()));
+                plan.validate(&cat)
+                    .unwrap_or_else(|e| panic!("{} v{v} invalid: {e}", t.name()));
+            }
+        }
+    }
+
+    #[test]
+    fn all_templates_are_star_queries() {
+        let cat = catalog();
+        for t in SsbTemplate::all() {
+            let plan = t.plan(&cat, &TemplateParams::variant(0)).unwrap();
+            let sq = StarQuery::detect(&plan, &cat)
+                .unwrap_or_else(|| panic!("{} not detected as star", t.name()));
+            assert_eq!(sq.fact_table, "lineorder");
+            assert_eq!(sq.dims.len(), t.dim_count(), "{}", t.name());
+        }
+    }
+
+    #[test]
+    fn same_variant_same_plan_different_variant_differs() {
+        let cat = catalog();
+        for t in SsbTemplate::all() {
+            let a = t.plan(&cat, &TemplateParams::variant(1)).unwrap();
+            let b = t.plan(&cat, &TemplateParams::variant(1)).unwrap();
+            assert_eq!(signature(&a), signature(&b), "{}", t.name());
+            // at least one of the first 8 variants must differ from v1
+            let distinct = (0..8).any(|v| {
+                signature(&t.plan(&cat, &TemplateParams::variant(v)).unwrap())
+                    != signature(&a)
+            });
+            assert!(distinct, "{} has no parameter variation", t.name());
+        }
+    }
+
+    #[test]
+    fn selectivity_override_changes_fact_predicate() {
+        let cat = catalog();
+        let p_lo = SsbTemplate::Q2_1
+            .plan(
+                &cat,
+                &TemplateParams {
+                    variant: 0,
+                    selectivity: Some(0.1),
+                },
+            )
+            .unwrap();
+        let p_hi = SsbTemplate::Q2_1
+            .plan(
+                &cat,
+                &TemplateParams {
+                    variant: 0,
+                    selectivity: Some(0.9),
+                },
+            )
+            .unwrap();
+        assert_ne!(signature(&p_lo), signature(&p_hi));
+        // override applies on the fact scan
+        let sq = StarQuery::detect(&p_lo, &cat).unwrap();
+        assert!(sq.fact_predicate.is_some());
+    }
+
+    #[test]
+    fn quantity_cap_clamps() {
+        assert_eq!(quantity_cap(0.0), 1);
+        assert_eq!(quantity_cap(0.5), 25);
+        assert_eq!(quantity_cap(1.0), 50);
+        assert_eq!(quantity_cap(2.0), 50);
+    }
+
+    #[test]
+    fn q2_2_brand_range_is_eight_brands() {
+        let cat = catalog();
+        let plan = SsbTemplate::Q2_2
+            .plan(&cat, &TemplateParams::variant(3))
+            .unwrap();
+        let sq = StarQuery::detect(&plan, &cat).unwrap();
+        let part_dim = sq.dims.iter().find(|d| d.table == "part").unwrap();
+        match part_dim.predicate.as_ref().unwrap() {
+            Expr::InList { items, .. } => assert_eq!(items.len(), 8),
+            other => panic!("expected InList, got {other:?}"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod sql_tests {
+    use super::*;
+    use crate::ssb::data::{generate_ssb, SsbConfig};
+
+    #[test]
+    fn every_template_emits_bindable_sql() {
+        let cat = Catalog::new();
+        generate_ssb(
+            &cat,
+            &SsbConfig {
+                scale: 0.0005,
+                seed: 3,
+                page_bytes: 8 * 1024,
+            },
+        );
+        for t in SsbTemplate::all() {
+            let sql = t.sql(&cat, &TemplateParams::variant(2)).unwrap();
+            assert!(sql.starts_with("SELECT "), "{}: {sql}", t.name());
+            assert!(sql.contains("FROM lineorder"), "{}: {sql}", t.name());
+            // The SQL must round-trip through the front end.
+            qs_sql::plan_sql(&sql, &cat)
+                .unwrap_or_else(|e| panic!("{}: `{sql}`: {e}", t.name()));
+        }
+    }
+
+    #[test]
+    fn sql_reflects_template_parameters() {
+        let cat = Catalog::new();
+        generate_ssb(
+            &cat,
+            &SsbConfig {
+                scale: 0.0005,
+                seed: 3,
+                page_bytes: 8 * 1024,
+            },
+        );
+        let a = SsbTemplate::Q1_1.sql(&cat, &TemplateParams::variant(0)).unwrap();
+        let b = SsbTemplate::Q1_1.sql(&cat, &TemplateParams::variant(1)).unwrap();
+        assert_ne!(a, b, "different variants must yield different literals");
+        // The selectivity override replaces the fact predicate.
+        let s = SsbTemplate::Q1_1
+            .sql(
+                &cat,
+                &TemplateParams {
+                    selectivity: Some(0.2),
+                    ..TemplateParams::variant(0)
+                },
+            )
+            .unwrap();
+        assert!(s.contains("lo_quantity BETWEEN"), "{s}");
+    }
+}

@@ -1,0 +1,186 @@
+//! TPC-H-style `lineitem` table and the Q1 template used by Scenario I.
+//!
+//! Scenario I submits *identical TPC-H Q1 instances at the same time* and
+//! measures response time as concurrency grows, contrasting query-centric
+//! execution, push-based SP and pull-based SP at the table-scan stage.
+//! Q1 is ideal for this: one scan-heavy pass over `lineitem` feeding a
+//! tiny (4-group) aggregation, so the scan's output stream — and who pays
+//! for distributing it — dominates.
+
+use qs_plan::{AggFunc, AggSpec, Expr, LogicalPlan, PlanBuilder, Result};
+use qs_storage::{Catalog, DataType, Schema, Table, TableBuilder, Value};
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+use std::sync::Arc;
+
+/// Generator configuration for `lineitem`.
+#[derive(Debug, Clone)]
+pub struct TpchConfig {
+    /// Scale factor; `1.0` ≈ 6M rows.
+    pub scale: f64,
+    /// RNG seed.
+    pub seed: u64,
+    /// Page byte budget.
+    pub page_bytes: usize,
+}
+
+impl Default for TpchConfig {
+    fn default() -> Self {
+        TpchConfig {
+            scale: 0.01,
+            seed: 42,
+            page_bytes: qs_storage::DEFAULT_PAGE_BYTES,
+        }
+    }
+}
+
+impl TpchConfig {
+    /// Config with the given scale.
+    pub fn with_scale(scale: f64) -> Self {
+        TpchConfig {
+            scale,
+            ..Default::default()
+        }
+    }
+
+    /// Number of rows implied by the scale factor.
+    pub fn rows(&self) -> usize {
+        ((6_000_000.0 * self.scale) as usize).max(100)
+    }
+}
+
+/// `lineitem` schema (the columns Q1 touches).
+pub fn lineitem_schema() -> Arc<Schema> {
+    Schema::from_pairs(&[
+        ("l_orderkey", DataType::Int),
+        ("l_quantity", DataType::Int),
+        ("l_extendedprice", DataType::Int),
+        ("l_discount", DataType::Int),
+        ("l_tax", DataType::Int),
+        ("l_returnflag", DataType::Char(1)),
+        ("l_linestatus", DataType::Char(1)),
+        ("l_shipdate", DataType::Date),
+    ])
+}
+
+/// Generate `lineitem` and register it in the catalog.
+pub fn generate_lineitem(catalog: &Catalog, cfg: &TpchConfig) -> Arc<Table> {
+    let mut rng = StdRng::seed_from_u64(cfg.seed);
+    let mut b = TableBuilder::with_page_bytes("lineitem", lineitem_schema(), cfg.page_bytes);
+    let flags = ["A", "N", "R"];
+    let statuses = ["F", "O"];
+    let dates = crate::ssb::data::date_keys();
+    for k in 1..=cfg.rows() {
+        let flag = flags[rng.random_range(0..3)];
+        // TPC-H correlation: R/A lines are mostly 'F', N lines mostly 'O'.
+        let status = if flag == "N" {
+            statuses[usize::from(rng.random_range(0..10) == 0)]
+        } else {
+            "F"
+        };
+        b.push_values(&[
+            Value::Int(k as i64),
+            Value::Int(rng.random_range(1..=50)),
+            Value::Int(rng.random_range(90_000..=1_000_000)),
+            Value::Int(rng.random_range(0..=10)),
+            Value::Int(rng.random_range(0..=8)),
+            Value::Str(flag.to_string()),
+            Value::Str(status.to_string()),
+            Value::Date(dates[rng.random_range(0..dates.len())]),
+        ])
+        .expect("lineitem row");
+    }
+    catalog.register(b)
+}
+
+/// Build a TPC-H Q1-style plan:
+///
+/// ```sql
+/// SELECT l_returnflag, l_linestatus,
+///        SUM(l_quantity), SUM(l_extendedprice),
+///        SUM(l_extendedprice * l_discount),
+///        AVG(l_quantity), COUNT(*)
+/// FROM lineitem WHERE l_shipdate <= :cutoff
+/// GROUP BY l_returnflag, l_linestatus
+/// ```
+///
+/// `cutoff` is the standard `1998-09-02`; Scenario I always uses the same
+/// cutoff so all instances are identical (maximal SP opportunity).
+pub fn tpch_q1_plan(catalog: &Catalog, cutoff: u32) -> Result<LogicalPlan> {
+    let b = PlanBuilder::scan(catalog, "lineitem")?;
+    let shipdate = b.col("l_shipdate")?;
+    b.filter(Expr::Cmp {
+        col: shipdate,
+        op: qs_plan::CmpOp::Le,
+        lit: Value::Date(cutoff),
+    })?
+    .aggregate(
+        &["l_returnflag", "l_linestatus"],
+        vec![
+            AggSpec::new(AggFunc::Sum(1), "sum_qty"),
+            AggSpec::new(AggFunc::Sum(2), "sum_base_price"),
+            AggSpec::new(AggFunc::SumProd(2, 3), "sum_disc_price"),
+            AggSpec::new(AggFunc::Avg(1), "avg_qty"),
+            AggSpec::new(AggFunc::Count, "count_order"),
+        ],
+    )?
+    .sort(&[("l_returnflag", true), ("l_linestatus", true)])?
+    .build()
+}
+
+/// The standard Q1 cutoff date.
+pub const Q1_CUTOFF: u32 = 19980902;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qs_plan::signature;
+
+    #[test]
+    fn lineitem_generates_at_scale() {
+        let cat = Catalog::new();
+        let cfg = TpchConfig {
+            scale: 0.001,
+            seed: 5,
+            page_bytes: 8192,
+        };
+        let t = generate_lineitem(&cat, &cfg);
+        assert_eq!(t.row_count(), 6000);
+        assert!(t.page_count() > 1);
+        assert!(cat.get("lineitem").is_ok());
+    }
+
+    #[test]
+    fn q1_plan_validates_and_is_stable() {
+        let cat = Catalog::new();
+        generate_lineitem(&cat, &TpchConfig::with_scale(0.0005));
+        let p1 = tpch_q1_plan(&cat, Q1_CUTOFF).unwrap();
+        p1.validate(&cat).unwrap();
+        let p2 = tpch_q1_plan(&cat, Q1_CUTOFF).unwrap();
+        assert_eq!(signature(&p1), signature(&p2), "identical Q1 instances share");
+        let p3 = tpch_q1_plan(&cat, 19950101).unwrap();
+        assert_ne!(signature(&p1), signature(&p3));
+    }
+
+    #[test]
+    fn returnflag_status_domain() {
+        let cat = Catalog::new();
+        let t = generate_lineitem(
+            &cat,
+            &TpchConfig {
+                scale: 0.0005,
+                seed: 9,
+                page_bytes: 8192,
+            },
+        );
+        for pno in 0..t.page_count() {
+            for r in t.raw_page(pno).iter() {
+                assert!(["A", "N", "R"].contains(&r.str_col(5)));
+                assert!(["F", "O"].contains(&r.str_col(6)));
+                if r.str_col(5) != "N" {
+                    assert_eq!(r.str_col(6), "F");
+                }
+            }
+        }
+    }
+}

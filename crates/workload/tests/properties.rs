@@ -1,0 +1,143 @@
+//! Property-based tests for the workload generators: the selectivity
+//! override must deliver (approximately) the requested fraction of fact
+//! rows, template instantiation must be deterministic in the variant, and
+//! every instantiation must stay a valid star query.
+
+use proptest::prelude::*;
+use qs_plan::{signature, LogicalPlan, StarQuery};
+use qs_storage::Catalog;
+use qs_workload::ssb::data::{generate_ssb, SsbConfig};
+use qs_workload::ssb::queries::{SsbTemplate, TemplateParams};
+use std::sync::Arc;
+use std::sync::OnceLock;
+
+/// One shared dataset for the whole file (generation is the slow part).
+fn catalog() -> Arc<Catalog> {
+    static CAT: OnceLock<Arc<Catalog>> = OnceLock::new();
+    CAT.get_or_init(|| {
+        let cat = Catalog::new();
+        generate_ssb(
+            &cat,
+            &SsbConfig {
+                scale: 0.002,
+                seed: 99,
+                page_bytes: 16 * 1024,
+            },
+        );
+        cat
+    })
+    .clone()
+}
+
+fn any_template() -> impl Strategy<Value = SsbTemplate> {
+    prop::sample::select(SsbTemplate::all().to_vec())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn templates_are_deterministic_and_star(
+        template in any_template(),
+        variant in 0u64..1_000_000,
+        selectivity in prop::option::of(0.01f64..1.0),
+    ) {
+        let cat = catalog();
+        let params = TemplateParams { variant, selectivity };
+        let a = template.plan(&cat, &params).unwrap();
+        let b = template.plan(&cat, &params).unwrap();
+        prop_assert_eq!(signature(&a), signature(&b));
+        a.validate(&cat).unwrap();
+        let sq = StarQuery::detect(&a, &cat).expect("every template is a star query");
+        prop_assert_eq!(sq.dims.len(), template.dim_count());
+    }
+
+    #[test]
+    fn selectivity_override_hits_the_target_fraction(
+        s in 0.05f64..1.0,
+        variant in 0u64..1000,
+    ) {
+        let cat = catalog();
+        let plan = SsbTemplate::Q2_1
+            .plan(&cat, &TemplateParams { variant, selectivity: Some(s) })
+            .unwrap();
+        // Extract the fact predicate and measure its true selectivity.
+        let sq = StarQuery::detect(&plan, &cat).unwrap();
+        let pred = sq.fact_predicate.expect("override sets a fact predicate");
+        let lineorder = cat.get("lineorder").unwrap();
+        let mut pass = 0usize;
+        let mut total = 0usize;
+        for p in 0..lineorder.page_count() {
+            for row in lineorder.raw_page(p).iter() {
+                total += 1;
+                if pred.eval(&row) {
+                    pass += 1;
+                }
+            }
+        }
+        let actual = pass as f64 / total as f64;
+        // Quantization: the window width is ceil(50 s)/50; allow sampling
+        // noise on top.
+        let target = (50.0 * s).ceil() / 50.0;
+        prop_assert!(
+            (actual - target).abs() < 0.05,
+            "target {target:.3}, actual {actual:.3}"
+        );
+    }
+
+    #[test]
+    fn same_selectivity_different_variants_differ(
+        s in 0.05f64..0.8,
+        v1 in 0u64..500,
+        v2 in 500u64..1000,
+    ) {
+        let cat = catalog();
+        let mk = |v| {
+            SsbTemplate::Q3_2
+                .plan(&cat, &TemplateParams { variant: v, selectivity: Some(s) })
+                .unwrap()
+        };
+        // Not a strict guarantee for every pair (window positions can
+        // collide), but plans must not be forced equal by the override:
+        // at least one of several distinct variants must differ.
+        let base = signature(&mk(v1));
+        let distinct = (0..8).any(|d| signature(&mk(v2 + d)) != base);
+        prop_assert!(distinct);
+    }
+
+    #[test]
+    fn q1_variants_cover_multiple_years(variant in 0u64..64) {
+        let cat = catalog();
+        let plan = SsbTemplate::Q1_1
+            .plan(&cat, &TemplateParams::variant(variant))
+            .unwrap();
+        // The date-dim predicate must be a d_year equality within range.
+        let sq = StarQuery::detect(&plan, &cat).unwrap();
+        let date_dim = sq.dims.iter().find(|d| d.table == "date").unwrap();
+        match date_dim.predicate.as_ref().unwrap() {
+            qs_plan::Expr::Cmp { col: 1, lit, .. } => {
+                let y = lit.as_int().unwrap();
+                prop_assert!((1992..=1998).contains(&y));
+            }
+            other => prop_assert!(false, "unexpected predicate {other:?}"),
+        }
+    }
+}
+
+/// Non-property regression: all 13 templates instantiate against a tiny
+/// dataset without panicking for a spread of variants, and the oracle can
+/// evaluate them (sanity for the harnesses).
+#[test]
+fn all_templates_evaluable_by_oracle() {
+    let cat = catalog();
+    for t in SsbTemplate::all() {
+        for v in [0u64, 7, 123456] {
+            let plan: LogicalPlan = t.plan(&cat, &TemplateParams::variant(v)).unwrap();
+            let rows = qs_engine::reference::eval(&plan, &cat).unwrap();
+            // Most variants return small aggregates; just require sane arity.
+            if let Some(first) = rows.first() {
+                assert_eq!(first.len(), plan.output_schema(&cat).unwrap().len());
+            }
+        }
+    }
+}

@@ -1,0 +1,77 @@
+//! A miniature of the demo's interactive sensitivity analysis: sweep the
+//! workload knobs the GUI exposes (concurrency, selectivity, plan
+//! diversity) and print the throughput of reactive (QPipe+SP) vs
+//! proactive (CJOIN) sharing side by side — the text-mode equivalent of
+//! the paper's Figure 5.
+//!
+//! ```sh
+//! cargo run --release --example sensitivity
+//! ```
+//!
+//! (Uses small scale factors and windows so it finishes in tens of
+//! seconds; the `qs-bench` scenario binaries run the full-size sweeps.)
+
+use sharing_repro::core::scenarios::{
+    format_throughput_table, scenario2, scenario3, scenario4, Scenario2Config, Scenario3Config,
+    Scenario4Config,
+};
+use std::time::Duration;
+
+fn main() {
+    let window = Duration::from_millis(600);
+
+    // Concurrency sweep (Scenario II shape).
+    let rows = scenario2(&Scenario2Config {
+        scale: 0.002,
+        clients: vec![1, 4, 8, 16],
+        window,
+        disk_resident: true,
+        cores: 4,
+        ..Default::default()
+    })
+    .expect("scenario 2");
+    println!(
+        "{}",
+        format_throughput_table("Impact of concurrency (SSB Q3.2, disk-resident)", "clients", &rows)
+    );
+
+    // Selectivity sweep (Scenario III shape).
+    let rows = scenario3(&Scenario3Config {
+        scale: 0.002,
+        clients: 2,
+        selectivities: vec![0.05, 0.25, 0.75],
+        window,
+        cores: 4,
+        ..Default::default()
+    })
+    .expect("scenario 3");
+    println!(
+        "{}",
+        format_throughput_table(
+            "Impact of selectivity (SSB Q1.1, memory-resident, 2 clients)",
+            "selectivity",
+            &rows
+        )
+    );
+
+    // Plan-diversity sweep (Scenario IV shape).
+    let rows = scenario4(&Scenario4Config {
+        scale: 0.002,
+        clients: 8,
+        num_plans: vec![1, 4, 16],
+        window,
+        disk_resident: true,
+        cores: 4,
+        ..Default::default()
+    })
+    .expect("scenario 4");
+    println!(
+        "{}",
+        format_throughput_table(
+            "Impact of similarity (SSB Q2.1, batched, 8 clients)",
+            "num_plans",
+            &rows
+        )
+    );
+    println!("Note: with fewer possible plans, GQP+SP converts admissions into cjoin_sp_hits.");
+}

@@ -1,0 +1,151 @@
+//! Interactive SQL shell over the sharing system.
+//!
+//! ```text
+//! cargo run --release --example sql_repl            # SP-SPL mode, SF 0.01
+//! cargo run --release --example sql_repl -- gqp 0.02
+//! ```
+//!
+//! Reads one SQL `SELECT` per line, runs it through the full stack
+//! (parse → bind → optimize → submit under the chosen execution mode) and
+//! prints the rows plus the sharing metrics the demo GUI displays.
+//! Meta-commands: `\mode`, `\explain <sql>`, `\tables`, `\metrics`, `\q`.
+
+use sharing_repro::prelude::*;
+use std::io::{BufRead, Write};
+
+fn parse_mode(s: &str) -> Option<ExecutionMode> {
+    Some(match s.to_ascii_lowercase().as_str() {
+        "qc" | "querycentric" => ExecutionMode::QueryCentric,
+        "push" | "sppush" => ExecutionMode::SpPush,
+        "pull" | "sppull" | "spl" => ExecutionMode::SpPull,
+        "gqp" | "cjoin" => ExecutionMode::Gqp,
+        "gqpsp" | "gqp+sp" => ExecutionMode::GqpSp,
+        _ => return None,
+    })
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mode = args
+        .first()
+        .and_then(|s| parse_mode(s))
+        .unwrap_or(ExecutionMode::SpPull);
+    let scale: f64 = args.get(1).and_then(|s| s.parse().ok()).unwrap_or(0.01);
+
+    eprintln!("loading SSB (scale factor {scale}) ...");
+    let catalog = Catalog::new();
+    generate_ssb(
+        &catalog,
+        &SsbConfig {
+            scale,
+            seed: 42,
+            page_bytes: 16 * 1024,
+        },
+    );
+    let db = SharingDb::new(catalog.clone(), DbConfig::new(mode)).expect("build db");
+    eprintln!(
+        "ready — mode {} over tables: {}",
+        db.mode().label(),
+        catalog.table_names().join(", ")
+    );
+    eprintln!("type a SELECT, `\\explain <sql>`, `\\tables`, `\\metrics`, or `\\q`");
+
+    let stdin = std::io::stdin();
+    let mut out = std::io::stdout();
+    loop {
+        eprint!("sql> ");
+        let mut line = String::new();
+        if stdin.lock().read_line(&mut line).unwrap_or(0) == 0 {
+            break; // EOF
+        }
+        let line = line.trim();
+        if line.is_empty() {
+            continue;
+        }
+        if line == "\\q" || line == "exit" || line == "quit" {
+            break;
+        }
+        if line == "\\tables" {
+            for name in catalog.table_names() {
+                let t = catalog.get(&name).expect("listed table");
+                writeln!(
+                    out,
+                    "  {name}: {} rows, {} pages, columns: {}",
+                    t.row_count(),
+                    t.page_count(),
+                    t.schema()
+                        .columns()
+                        .iter()
+                        .map(|c| c.name.as_str())
+                        .collect::<Vec<_>>()
+                        .join(", ")
+                )
+                .expect("stdout");
+            }
+            continue;
+        }
+        if line == "\\metrics" {
+            let m = db.metrics();
+            writeln!(
+                out,
+                "  sp_hits={} pages_copied={} pages_shared={} rows_scanned={} rows_joined={}",
+                m.total_sp_hits(),
+                m.pages_copied,
+                m.pages_shared,
+                m.rows_scanned,
+                m.rows_joined
+            )
+            .expect("stdout");
+            if let Some(cs) = db.cjoin_stats() {
+                writeln!(out, "  cjoin: {cs:?}").expect("stdout");
+            }
+            continue;
+        }
+        if let Some(rest) = line.strip_prefix("\\explain ") {
+            match db.plan_sql(rest) {
+                Ok(plan) => write!(out, "{}", plan.explain()).expect("stdout"),
+                Err(e) => eprintln!("error: {e}"),
+            }
+            continue;
+        }
+        if line == "\\mode" {
+            writeln!(out, "  {}", db.mode().label()).expect("stdout");
+            continue;
+        }
+
+        let started = std::time::Instant::now();
+        match db.submit_sql(line) {
+            Ok(ticket) => {
+                let schema = ticket.schema().clone();
+                match ticket.collect_rows() {
+                    Ok(rows) => {
+                        let header: Vec<&str> = schema
+                            .columns()
+                            .iter()
+                            .map(|c| c.name.as_str())
+                            .collect();
+                        writeln!(out, "  {}", header.join(" | ")).expect("stdout");
+                        let shown = rows.len().min(40);
+                        for row in rows.iter().take(shown) {
+                            let cells: Vec<String> =
+                                row.iter().map(|v| v.to_string()).collect();
+                            writeln!(out, "  {}", cells.join(" | ")).expect("stdout");
+                        }
+                        if rows.len() > shown {
+                            writeln!(out, "  ... ({} rows total)", rows.len()).expect("stdout");
+                        }
+                        writeln!(
+                            out,
+                            "  {} row(s) in {:.1} ms",
+                            rows.len(),
+                            started.elapsed().as_secs_f64() * 1e3
+                        )
+                        .expect("stdout");
+                    }
+                    Err(e) => eprintln!("execution error: {e}"),
+                }
+            }
+            Err(e) => eprintln!("error: {e}"),
+        }
+    }
+}

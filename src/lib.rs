@@ -1,0 +1,69 @@
+//! # sharing-repro
+//!
+//! Reproduction of *"Reactive and Proactive Sharing Across Concurrent
+//! Analytical Queries"* (Psaroudakis, Athanassoulis, Olma, Ailamaki,
+//! SIGMOD 2014): the QPipe staged execution engine with Simultaneous
+//! Pipelining (reactive sharing, push- and pull-based), the CJOIN global
+//! query plan operator (proactive sharing), their integration, and the
+//! demo's four scenarios as reproducible experiments.
+//!
+//! This crate is a facade over the workspace:
+//!
+//! * [`storage`] — Shore-MT-lite substrate (pages, buffer pool, simulated
+//!   disk, circular scans),
+//! * [`plan`] — logical plans, expressions, signatures, star detection,
+//!   and the rule-based optimizer,
+//! * [`sql`] — the SQL front-end (lexer, parser, binder),
+//! * [`workload`] — SSB and TPC-H-lite generators and templates,
+//! * [`engine`] — the QPipe engine (stages, packets, FIFO, SPL, SP),
+//! * [`cjoin`] — the CJOIN pipeline (bitmaps, shared hash joins),
+//! * [`core`] — the unified system, driver and scenario harnesses.
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use sharing_repro::prelude::*;
+//!
+//! // Generate a small SSB dataset.
+//! let catalog = Catalog::new();
+//! generate_ssb(&catalog, &SsbConfig { scale: 0.001, seed: 1, page_bytes: 8192 });
+//!
+//! // Evaluate one SSB query in every execution mode; all agree.
+//! let plan = SsbTemplate::Q2_1.plan(&catalog, &TemplateParams::variant(0)).unwrap();
+//! let mut answers = Vec::new();
+//! for mode in ExecutionMode::all() {
+//!     let db = SharingDb::new(catalog.clone(), DbConfig::new(mode)).unwrap();
+//!     let rows = db.submit(&plan).unwrap().collect_rows().unwrap();
+//!     answers.push(sharing_repro::engine::reference::canon(rows));
+//! }
+//! assert!(answers.windows(2).all(|w| w[0] == w[1]));
+//! ```
+
+pub use qs_cjoin as cjoin;
+pub use qs_core as core;
+pub use qs_engine as engine;
+pub use qs_plan as plan;
+pub use qs_sql as sql;
+pub use qs_storage as storage;
+pub use qs_workload as workload;
+
+/// The most common imports in one place.
+pub mod prelude {
+    pub use qs_cjoin::{CjoinPipeline, CjoinStats, DimSpec, PipelineSpec};
+    pub use qs_core::{
+        run_response_time, run_throughput, DbConfig, DriverConfig, ExecutionMode, SharingDb,
+    };
+    pub use qs_engine::{
+        EngineConfig, QpipeEngine, QueryTicket, ShareMode, SharingPolicy, StageKind,
+    };
+    pub use qs_plan::{
+        optimize, AggFunc, AggSpec, Expr, LogicalPlan, OptimizerOptions, PlanBuilder, StarQuery,
+    };
+    pub use qs_sql::plan_sql;
+    pub use qs_storage::{Catalog, DataType, DiskConfig, Schema, TableBuilder, Value};
+    pub use qs_workload::ssb::data::{generate_ssb, SsbConfig};
+    pub use qs_workload::ssb::queries::TemplateParams;
+    pub use qs_workload::{
+        generate_lineitem, tpch_q1_plan, QueryMix, SsbTemplate, TpchConfig, WorkloadKnobs,
+    };
+}

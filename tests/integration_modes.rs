@@ -1,0 +1,194 @@
+//! Cross-crate integration: every execution mode must return the oracle's
+//! answer for every SSB template — the paper's core correctness claim
+//! (sharing must be transparent).
+
+use sharing_repro::engine::reference;
+use sharing_repro::prelude::*;
+use std::sync::Arc;
+
+fn ssb(scale: f64, seed: u64) -> Arc<Catalog> {
+    let catalog = Catalog::new();
+    generate_ssb(
+        &catalog,
+        &SsbConfig {
+            scale,
+            seed,
+            page_bytes: 16 * 1024,
+        },
+    );
+    catalog
+}
+
+#[test]
+fn every_mode_agrees_on_every_template() {
+    let catalog = ssb(0.001, 17);
+    for template in SsbTemplate::all() {
+        let plan = template
+            .plan(&catalog, &TemplateParams::variant(1))
+            .unwrap();
+        let expected = reference::eval(&plan, &catalog).unwrap();
+        for mode in ExecutionMode::all() {
+            let db = SharingDb::new(catalog.clone(), DbConfig::new(mode)).unwrap();
+            let got = db.submit(&plan).unwrap().collect_rows().unwrap();
+            reference::assert_rows_match(got, expected.clone(), 1e-9);
+        }
+    }
+}
+
+#[test]
+fn concurrent_identical_queries_agree_across_modes() {
+    let catalog = ssb(0.001, 23);
+    let plan = SsbTemplate::Q4_1
+        .plan(&catalog, &TemplateParams::variant(0))
+        .unwrap();
+    let expected = reference::eval(&plan, &catalog).unwrap();
+    for mode in ExecutionMode::all() {
+        let db = SharingDb::new(catalog.clone(), DbConfig::new(mode)).unwrap();
+        let tickets = db.submit_batch(&vec![plan.clone(); 5]).unwrap();
+        for t in tickets {
+            reference::assert_rows_match(
+                t.collect_rows().unwrap(),
+                expected.clone(),
+                1e-9,
+            );
+        }
+    }
+}
+
+#[test]
+fn mixed_plan_batch_agrees_across_modes() {
+    let catalog = ssb(0.001, 29);
+    let plans: Vec<LogicalPlan> = (0..6)
+        .map(|v| {
+            SsbTemplate::Q3_3
+                .plan(&catalog, &TemplateParams::variant(v % 3))
+                .unwrap()
+        })
+        .collect();
+    let expected: Vec<_> = plans
+        .iter()
+        .map(|p| reference::eval(p, &catalog).unwrap())
+        .collect();
+    for mode in ExecutionMode::all() {
+        let db = SharingDb::new(catalog.clone(), DbConfig::new(mode)).unwrap();
+        let tickets = db.submit_batch(&plans).unwrap();
+        for (t, exp) in tickets.into_iter().zip(&expected) {
+            reference::assert_rows_match(t.collect_rows().unwrap(), exp.clone(), 1e-9);
+        }
+    }
+}
+
+#[test]
+fn non_star_plan_falls_back_in_gqp_mode() {
+    // A plain scan+aggregate (no join) is not a star query; GQP modes must
+    // transparently evaluate it with query-centric operators.
+    let catalog = ssb(0.001, 31);
+    let plan = PlanBuilder::scan(&catalog, "lineorder")
+        .unwrap()
+        .aggregate(
+            &[],
+            vec![
+                AggSpec::new(AggFunc::Sum(8), "rev"),
+                AggSpec::new(AggFunc::Count, "n"),
+            ],
+        )
+        .unwrap()
+        .build()
+        .unwrap();
+    let expected = reference::eval(&plan, &catalog).unwrap();
+    for mode in [ExecutionMode::Gqp, ExecutionMode::GqpSp] {
+        let db = SharingDb::new(catalog.clone(), DbConfig::new(mode)).unwrap();
+        let got = db.submit(&plan).unwrap().collect_rows().unwrap();
+        reference::assert_rows_match(got, expected.clone(), 1e-9);
+        // No admission happened.
+        assert_eq!(db.cjoin_stats().unwrap().admissions, 0);
+    }
+}
+
+#[test]
+fn disk_resident_and_memory_resident_agree() {
+    let catalog = ssb(0.001, 37);
+    let plan = SsbTemplate::Q2_3
+        .plan(&catalog, &TemplateParams::variant(2))
+        .unwrap();
+    let expected = reference::eval(&plan, &catalog).unwrap();
+    for mode in [ExecutionMode::SpPull, ExecutionMode::Gqp] {
+        let db = SharingDb::new(
+            catalog.clone(),
+            DbConfig {
+                disk: DiskConfig {
+                    spindles: 2,
+                    latency: std::time::Duration::from_micros(80),
+                },
+                buffer_pool_pages: Some(8),
+                ..DbConfig::new(mode)
+            },
+        )
+        .unwrap();
+        let got = db.submit(&plan).unwrap().collect_rows().unwrap();
+        reference::assert_rows_match(got, expected.clone(), 1e-9);
+        assert!(db.pool().disk().stats().reads > 0);
+    }
+}
+
+#[test]
+fn restricted_cores_agree() {
+    let catalog = ssb(0.001, 41);
+    let plan = SsbTemplate::Q1_2
+        .plan(&catalog, &TemplateParams::variant(1))
+        .unwrap();
+    let expected = reference::eval(&plan, &catalog).unwrap();
+    for cores in [1, 2] {
+        let db = SharingDb::new(
+            catalog.clone(),
+            DbConfig {
+                cores,
+                ..DbConfig::new(ExecutionMode::SpPush)
+            },
+        )
+        .unwrap();
+        let tickets = db.submit_batch(&vec![plan.clone(); 3]).unwrap();
+        for t in tickets {
+            reference::assert_rows_match(t.collect_rows().unwrap(), expected.clone(), 1e-9);
+        }
+    }
+}
+
+#[test]
+fn tpch_q1_agrees_across_sp_configurations() {
+    let catalog = Catalog::new();
+    generate_lineitem(
+        &catalog,
+        &TpchConfig {
+            scale: 0.001,
+            seed: 5,
+            page_bytes: 16 * 1024,
+        },
+    );
+    let plan = tpch_q1_plan(&catalog, sharing_repro::workload::tpch::Q1_CUTOFF).unwrap();
+    let expected = reference::eval(&plan, &catalog).unwrap();
+    for (mode, policy) in [
+        (ExecutionMode::QueryCentric, None),
+        (
+            ExecutionMode::SpPush,
+            Some(SharingPolicy::scan_only(ShareMode::Push)),
+        ),
+        (
+            ExecutionMode::SpPull,
+            Some(SharingPolicy::scan_only(ShareMode::Pull)),
+        ),
+    ] {
+        let db = SharingDb::new(
+            catalog.clone(),
+            DbConfig {
+                sharing_override: policy,
+                ..DbConfig::new(mode)
+            },
+        )
+        .unwrap();
+        let tickets = db.submit_batch(&vec![plan.clone(); 4]).unwrap();
+        for t in tickets {
+            reference::assert_rows_match(t.collect_rows().unwrap(), expected.clone(), 1e-9);
+        }
+    }
+}

@@ -1,0 +1,222 @@
+//! Property tests for the optimizer: for random predicates and plan
+//! shapes over a random mini star schema, every optimizer configuration
+//! must preserve the reference evaluator's answer, and pushdown must
+//! always produce star-detectable plans from filter-above-join shapes.
+
+use proptest::prelude::*;
+use sharing_repro::engine::reference;
+use sharing_repro::plan::{
+    optimize_with, signature, AggFunc, AggSpec, CmpOp, Expr, LogicalPlan, OptimizerOptions,
+    StarQuery,
+};
+use sharing_repro::prelude::{Catalog, DataType, Schema, TableBuilder, Value};
+use std::sync::Arc;
+
+/// fact(fk1, fk2, v) with `rows` rows; dim1/dim2 (k, attr).
+fn mini_star(rows: &[(i64, i64, i64)], dim_card: i64) -> Arc<Catalog> {
+    let cat = Catalog::new();
+    let fact = Schema::from_pairs(&[
+        ("fk1", DataType::Int),
+        ("fk2", DataType::Int),
+        ("v", DataType::Int),
+    ]);
+    let mut fb = TableBuilder::with_page_bytes("fact", fact, 512);
+    for &(a, b, v) in rows {
+        fb.push_values(&[
+            Value::Int(a.rem_euclid(dim_card)),
+            Value::Int(b.rem_euclid(dim_card)),
+            Value::Int(v),
+        ])
+        .unwrap();
+    }
+    cat.register(fb);
+    for name in ["dim1", "dim2"] {
+        let ds = Schema::from_pairs(&[("k", DataType::Int), ("attr", DataType::Int)]);
+        let mut db = TableBuilder::with_page_bytes(name, ds, 512);
+        for i in 0..dim_card {
+            db.push_values(&[Value::Int(i), Value::Int(i % 7)]).unwrap();
+        }
+        cat.register(db);
+    }
+    cat
+}
+
+fn cmp_op() -> impl Strategy<Value = CmpOp> {
+    prop_oneof![
+        Just(CmpOp::Eq),
+        Just(CmpOp::Ne),
+        Just(CmpOp::Lt),
+        Just(CmpOp::Le),
+        Just(CmpOp::Gt),
+        Just(CmpOp::Ge),
+    ]
+}
+
+/// Predicates over the joined schema fact(0..3) ++ dim1(3..5) ++ dim2(5..7).
+fn joined_pred() -> impl Strategy<Value = Expr> {
+    let leaf = prop_oneof![
+        (0usize..7, cmp_op(), -2i64..10).prop_map(|(col, op, lit)| Expr::Cmp {
+            col,
+            op,
+            lit: Value::Int(lit),
+        }),
+        (0usize..7, -2i64..6, 0i64..10).prop_map(|(col, lo, hi)| Expr::Between {
+            col,
+            lo: Value::Int(lo),
+            hi: Value::Int(hi),
+        }),
+        (0usize..7, proptest::collection::vec(-2i64..10, 0..3)).prop_map(|(col, items)| {
+            Expr::InList {
+                col,
+                items: items.into_iter().map(Value::Int).collect(),
+            }
+        }),
+    ];
+    leaf.prop_recursive(2, 12, 3, |inner| {
+        prop_oneof![
+            proptest::collection::vec(inner.clone(), 1..3).prop_map(Expr::And),
+            proptest::collection::vec(inner.clone(), 1..3).prop_map(Expr::Or),
+            inner.prop_map(|e| Expr::Not(Box::new(e))),
+        ]
+    })
+}
+
+fn join_chain() -> LogicalPlan {
+    LogicalPlan::HashJoin {
+        build: Box::new(LogicalPlan::Scan {
+            table: "dim2".into(),
+            predicate: None,
+            projection: None,
+        }),
+        probe: Box::new(LogicalPlan::HashJoin {
+            build: Box::new(LogicalPlan::Scan {
+                table: "dim1".into(),
+                predicate: None,
+                projection: None,
+            }),
+            probe: Box::new(LogicalPlan::Scan {
+                table: "fact".into(),
+                predicate: None,
+                projection: None,
+            }),
+            build_key: 0,
+            probe_key: 0,
+        }),
+        build_key: 0,
+        probe_key: 1,
+    }
+}
+
+fn all_option_combos() -> Vec<OptimizerOptions> {
+    let mut out = Vec::new();
+    for pushdown in [false, true] {
+        for prune in [false, true] {
+            for reorder in [false, true] {
+                for fuse in [false, true] {
+                    out.push(OptimizerOptions {
+                        pushdown,
+                        prune_projections: prune,
+                        reorder_joins: reorder,
+                        fuse_topk: fuse,
+                        sample_rows: 64,
+                    });
+                }
+            }
+        }
+    }
+    out
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Filter(join chain) + aggregate: every optimizer configuration
+    /// returns the unoptimized plan's answer.
+    #[test]
+    fn optimizer_preserves_star_query_semantics(
+        rows in proptest::collection::vec((any::<i64>(), any::<i64>(), 0i64..100), 1..60),
+        pred in joined_pred(),
+        group_on_dim in any::<bool>(),
+    ) {
+        let cat = mini_star(&rows, 5);
+        let plan = LogicalPlan::Aggregate {
+            input: Box::new(LogicalPlan::Filter {
+                input: Box::new(join_chain()),
+                predicate: pred,
+            }),
+            group_by: vec![if group_on_dim { 4 } else { 0 }],
+            aggs: vec![
+                AggSpec::new(AggFunc::Sum(2), "s"),
+                AggSpec::new(AggFunc::Count, "n"),
+            ],
+        };
+        prop_assume!(plan.validate(&cat).is_ok());
+        let expected = reference::eval(&plan, &cat).unwrap();
+        for opts in all_option_combos() {
+            let opt = optimize_with(plan.clone(), &cat, &opts).unwrap();
+            opt.validate(&cat).unwrap();
+            let got = reference::eval(&opt, &cat).unwrap();
+            reference::assert_rows_match(got, expected.clone(), 1e-9);
+        }
+    }
+
+    /// Order-sensitive tail (sort + limit): optimization (including topk
+    /// fusion) preserves the exact row sequence.
+    #[test]
+    fn optimizer_preserves_order_sensitive_results(
+        rows in proptest::collection::vec((any::<i64>(), any::<i64>(), 0i64..100), 1..60),
+        pred in joined_pred(),
+        n in 0usize..20,
+        asc in any::<bool>(),
+    ) {
+        let cat = mini_star(&rows, 5);
+        let plan = LogicalPlan::Limit {
+            input: Box::new(LogicalPlan::Sort {
+                // Secondary keys make the order total, so `Limit` is
+                // deterministic and comparable row-by-row.
+                keys: vec![(2, asc), (0, true), (1, true), (3, true), (5, true)],
+                input: Box::new(LogicalPlan::Filter {
+                    input: Box::new(join_chain()),
+                    predicate: pred,
+                }),
+            }),
+            n,
+        };
+        prop_assume!(plan.validate(&cat).is_ok());
+        let expected = reference::eval(&plan, &cat).unwrap();
+        for opts in all_option_combos() {
+            let opt = optimize_with(plan.clone(), &cat, &opts).unwrap();
+            let got = reference::eval(&opt, &cat).unwrap();
+            prop_assert_eq!(&got, &expected, "options {:?}", opts);
+        }
+    }
+
+    /// Conjunctive per-table predicates above a join chain always become
+    /// star-detectable after pushdown, and the signature of the optimized
+    /// plan is deterministic (same input → same signature, the property SP
+    /// sharing rests on).
+    #[test]
+    fn pushdown_yields_star_and_deterministic_signatures(
+        fact_lit in 0i64..100,
+        dim_lit in 0i64..7,
+    ) {
+        let cat = mini_star(&[(1, 2, 3), (4, 0, 1)], 5);
+        let pred = Expr::And(vec![
+            Expr::lt(2, fact_lit),          // fact.v
+            Expr::eq(4, dim_lit),           // dim1.attr
+            Expr::ge(6, dim_lit),           // dim2.attr
+        ]);
+        let plan = LogicalPlan::Filter {
+            input: Box::new(join_chain()),
+            predicate: pred,
+        };
+        let opts = OptimizerOptions { reorder_joins: false, ..OptimizerOptions::default() };
+        let a = optimize_with(plan.clone(), &cat, &opts).unwrap();
+        let b = optimize_with(plan, &cat, &opts).unwrap();
+        prop_assert_eq!(signature(&a), signature(&b));
+        let star = StarQuery::detect(&a, &cat).expect("pushdown must produce a star");
+        prop_assert_eq!(star.dims.len(), 2);
+        prop_assert!(star.fact_predicate.is_some());
+        prop_assert!(star.dims.iter().all(|d| d.predicate.is_some()));
+    }
+}

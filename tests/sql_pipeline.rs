@@ -1,0 +1,167 @@
+//! End-to-end SQL front-end: text → parse → bind → optimize → execute in
+//! every execution mode, checked against the reference evaluator of the
+//! *unoptimized* plan (so the optimizer's semantics preservation and the
+//! engines' correctness are both on the hook).
+
+use sharing_repro::engine::reference;
+use sharing_repro::plan::{optimize, StarQuery};
+use sharing_repro::prelude::*;
+use std::sync::Arc;
+
+fn ssb(scale: f64, seed: u64) -> Arc<Catalog> {
+    let catalog = Catalog::new();
+    generate_ssb(
+        &catalog,
+        &SsbConfig {
+            scale,
+            seed,
+            page_bytes: 16 * 1024,
+        },
+    );
+    catalog
+}
+
+/// SQL statements covering the SSB query shapes plus the new operators.
+fn statements() -> Vec<&'static str> {
+    vec![
+        // Q1.1-style: one dimension join, conjunctive fact predicate.
+        "SELECT SUM(lo_extendedprice * lo_discount) AS revenue \
+         FROM lineorder JOIN date ON lo_orderdate = d_datekey \
+         WHERE d_year = 1993 AND lo_discount BETWEEN 1 AND 3 AND lo_quantity < 25",
+        // Multi-dimension star with group-by and order-by.
+        "SELECT d_year, c_nation, SUM(lo_revenue - lo_supplycost) AS profit \
+         FROM lineorder \
+         JOIN date ON lo_orderdate = d_datekey \
+         JOIN customer ON lo_custkey = c_custkey \
+         JOIN supplier ON lo_suppkey = s_suppkey \
+         WHERE c_region = 'AMERICA' AND s_region = 'AMERICA' \
+         GROUP BY d_year, c_nation ORDER BY d_year, c_nation",
+        // Select-list order differs from (groups ++ aggs).
+        "SELECT SUM(lo_revenue) AS rev, d_year \
+         FROM lineorder JOIN date ON lo_orderdate = d_datekey \
+         GROUP BY d_year ORDER BY rev DESC",
+        // DISTINCT lowering.
+        "SELECT DISTINCT lo_discount FROM lineorder WHERE lo_quantity < 10",
+        // TopK fusion (ORDER BY + LIMIT).
+        "SELECT lo_orderkey, lo_revenue FROM lineorder \
+         WHERE lo_discount >= 5 ORDER BY lo_revenue DESC, lo_orderkey LIMIT 7",
+        // IN-list and OR predicates.
+        "SELECT COUNT(*) AS n FROM lineorder \
+         WHERE lo_discount IN (1, 3, 5) OR lo_quantity = 50",
+        // Scalar aggregates without GROUP BY.
+        "SELECT COUNT(*), SUM(lo_quantity), MIN(lo_revenue), MAX(lo_revenue), AVG(lo_quantity) \
+         FROM lineorder WHERE lo_orderdate < 19940101",
+    ]
+}
+
+#[test]
+fn sql_statements_agree_across_modes_and_optimizer() {
+    let catalog = ssb(0.001, 41);
+    for sql in statements() {
+        let naive = sharing_repro::sql::plan_sql(sql, &catalog)
+            .unwrap_or_else(|e| panic!("{sql}: {e}"));
+        naive.validate(&catalog).unwrap();
+        let expected = reference::eval(&naive, &catalog).unwrap();
+
+        let optimized = optimize(naive.clone(), &catalog).unwrap();
+        optimized.validate(&catalog).unwrap();
+        // The optimizer must preserve results exactly (order-sensitive
+        // plans keep their Sort above everything the rules touch).
+        let opt_rows = reference::eval(&optimized, &catalog).unwrap();
+        reference::assert_rows_match(opt_rows, expected.clone(), 1e-9);
+
+        for mode in ExecutionMode::all() {
+            let db = SharingDb::new(catalog.clone(), DbConfig::new(mode)).unwrap();
+            let got = db.submit(&optimized).unwrap().collect_rows().unwrap();
+            reference::assert_rows_match(got, expected.clone(), 1e-9);
+        }
+    }
+}
+
+#[test]
+fn submit_sql_runs_the_whole_front_end() {
+    let catalog = ssb(0.001, 42);
+    let db = SharingDb::new(catalog.clone(), DbConfig::new(ExecutionMode::SpPull)).unwrap();
+    let rows = db
+        .submit_sql(
+            "SELECT d_year, COUNT(*) AS n \
+             FROM lineorder JOIN date ON lo_orderdate = d_datekey \
+             GROUP BY d_year ORDER BY d_year",
+        )
+        .unwrap()
+        .collect_rows()
+        .unwrap();
+    assert!(!rows.is_empty());
+    // Years ascending, counts positive.
+    for w in rows.windows(2) {
+        assert!(w[0][0].as_int().unwrap() < w[1][0].as_int().unwrap());
+    }
+    let total: i64 = rows.iter().map(|r| r[1].as_int().unwrap()).sum();
+    assert_eq!(
+        total as usize,
+        catalog.get("lineorder").unwrap().row_count(),
+        "every lineorder row joins exactly one date row"
+    );
+}
+
+#[test]
+fn optimized_sql_star_queries_are_cjoin_admissible() {
+    let catalog = ssb(0.001, 43);
+    let sql = "SELECT d_year, SUM(lo_revenue) AS rev \
+               FROM lineorder \
+               JOIN date ON lo_orderdate = d_datekey \
+               JOIN part ON lo_partkey = p_partkey \
+               WHERE d_year >= 1995 AND p_size < 20 \
+               GROUP BY d_year";
+    let naive = sharing_repro::sql::plan_sql(sql, &catalog).unwrap();
+    // The naive plan has a residual Filter above the joins: not a star.
+    assert!(
+        StarQuery::detect(&naive, &catalog).is_none(),
+        "naive bound plan should not be star-detectable"
+    );
+    let optimized = optimize(naive, &catalog).unwrap();
+    let star = StarQuery::detect(&optimized, &catalog)
+        .expect("pushdown must make the SQL star query CJOIN-admissible");
+    assert_eq!(star.fact_table, "lineorder");
+    assert_eq!(star.dims.len(), 2);
+    // Every dimension got its own predicate pushed down.
+    assert!(star.dims.iter().all(|d| d.predicate.is_some()));
+
+    // And the GQP modes actually evaluate it through CJOIN.
+    let expected = reference::eval(&optimized, &catalog).unwrap();
+    for mode in [ExecutionMode::Gqp, ExecutionMode::GqpSp] {
+        let db = SharingDb::new(catalog.clone(), DbConfig::new(mode)).unwrap();
+        let got = db.submit(&optimized).unwrap().collect_rows().unwrap();
+        reference::assert_rows_match(got, expected.clone(), 1e-9);
+        let m = db.metrics();
+        assert!(
+            m.packets[StageKind::Cjoin as usize] > 0,
+            "{mode:?} must route the star query through the CJOIN stage"
+        );
+    }
+}
+
+#[test]
+fn sql_errors_are_reported_with_context() {
+    let catalog = ssb(0.0005, 44);
+    let db = SharingDb::new(catalog, DbConfig::new(ExecutionMode::QueryCentric)).unwrap();
+    for (sql, needle) in [
+        ("SELECT * FROM nope", "nope"),
+        ("SELECT nope FROM lineorder", "nope"),
+        ("SELECT * FROM lineorder WHERE", "parse error"),
+        ("FROM lineorder", "parse error"),
+        (
+            "SELECT lo_quantity, COUNT(*) FROM lineorder GROUP BY lo_discount",
+            "GROUP BY",
+        ),
+    ] {
+        let err = match db.submit_sql(sql) {
+            Err(e) => e,
+            Ok(_) => panic!("{sql}: expected an error"),
+        };
+        assert!(
+            err.to_string().contains(needle),
+            "{sql}: expected `{needle}` in `{err}`"
+        );
+    }
+}

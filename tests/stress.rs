@@ -1,0 +1,226 @@
+//! Failure injection and concurrency soak tests across the whole system:
+//! random cancellations mid-sharing, tiny buffer pools under disk latency,
+//! and concurrent clients hammering the GQP admission path.
+
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+use sharing_repro::engine::reference;
+use sharing_repro::prelude::*;
+use std::sync::Arc;
+
+fn ssb(scale: f64, seed: u64) -> Arc<Catalog> {
+    let catalog = Catalog::new();
+    generate_ssb(
+        &catalog,
+        &SsbConfig {
+            scale,
+            seed,
+            page_bytes: 8 * 1024,
+        },
+    );
+    catalog
+}
+
+/// Drop a random subset of a shared batch's tickets *before* draining the
+/// rest (the paper Fig. 1a "cancel" arrow, fuzzed): survivors must still
+/// return the oracle's rows, in every mode.
+#[test]
+fn random_cancellations_leave_survivors_intact() {
+    let catalog = ssb(0.001, 61);
+    let plan = SsbTemplate::Q2_1
+        .plan(&catalog, &TemplateParams::variant(0))
+        .unwrap();
+    let expected = reference::eval(&plan, &catalog).unwrap();
+    let mut rng = StdRng::seed_from_u64(99);
+
+    for mode in ExecutionMode::all() {
+        for round in 0..4 {
+            let db = SharingDb::new(catalog.clone(), DbConfig::new(mode)).unwrap();
+            let k = 6;
+            let tickets = db.submit_batch(&vec![plan.clone(); k]).unwrap();
+            let keep: Vec<bool> = (0..k).map(|_| rng.random_bool(0.5)).collect();
+            // Ensure at least one survivor so the assertion has a subject.
+            let keep = if keep.iter().any(|&b| b) {
+                keep
+            } else {
+                vec![true; k]
+            };
+            let mut survivors = Vec::new();
+            for (t, keep) in tickets.into_iter().zip(&keep) {
+                if *keep {
+                    survivors.push(t);
+                } else {
+                    drop(t); // cancel before any draining
+                }
+            }
+            let handles: Vec<_> = survivors
+                .into_iter()
+                .map(|t| std::thread::spawn(move || t.collect_rows()))
+                .collect();
+            for h in handles {
+                let rows = h
+                    .join()
+                    .expect("no panic")
+                    .unwrap_or_else(|e| panic!("{mode:?} round {round}: {e}"));
+                reference::assert_rows_match(rows, expected.clone(), 1e-9);
+            }
+        }
+    }
+}
+
+/// A 4-frame buffer pool with real (simulated) disk latency must not
+/// change any result, only its speed — in every mode, under concurrency.
+#[test]
+fn tiny_buffer_pool_under_disk_latency_is_correct() {
+    let catalog = ssb(0.0005, 62);
+    let plan = SsbTemplate::Q1_1
+        .plan(&catalog, &TemplateParams::variant(3))
+        .unwrap();
+    let expected = reference::eval(&plan, &catalog).unwrap();
+
+    for mode in ExecutionMode::all() {
+        let mut cfg = DbConfig::new(mode);
+        cfg.disk = DiskConfig::disk_resident();
+        cfg.buffer_pool_pages = Some(4);
+        let db = SharingDb::new(catalog.clone(), cfg).unwrap();
+        let tickets = db.submit_batch(&vec![plan.clone(); 3]).unwrap();
+        let handles: Vec<_> = tickets
+            .into_iter()
+            .map(|t| std::thread::spawn(move || t.collect_rows().unwrap()))
+            .collect();
+        for h in handles {
+            reference::assert_rows_match(h.join().unwrap(), expected.clone(), 1e-9);
+        }
+        let io = db.pool().disk().stats();
+        assert!(
+            io.reads > 0,
+            "{mode:?}: a 4-frame pool must actually hit the disk"
+        );
+    }
+}
+
+/// Concurrent clients hammer GqpSp with a mix of identical star queries
+/// (exercising CJOIN-stage SP), distinct star queries (concurrent
+/// admissions) and a non-star query (query-centric fallback), with random
+/// early cancellations.
+#[test]
+fn gqp_sp_concurrent_admission_and_cancellation_soak() {
+    let catalog = ssb(0.001, 63);
+    let db = Arc::new(SharingDb::new(catalog.clone(), DbConfig::new(ExecutionMode::GqpSp)).unwrap());
+
+    // Plans: two star variants (same template, different literals), and a
+    // non-star single-table aggregate.
+    let star_a = SsbTemplate::Q2_1
+        .plan(&catalog, &TemplateParams::variant(0))
+        .unwrap();
+    let star_b = SsbTemplate::Q2_1
+        .plan(&catalog, &TemplateParams::variant(5))
+        .unwrap();
+    // A single-table aggregate: not a star query, so GqpSp must fall back
+    // to query-centric operators for it.
+    let non_star = LogicalPlan::Aggregate {
+        input: Box::new(LogicalPlan::Scan {
+            table: "lineorder".into(),
+            predicate: Some(Expr::lt(5, 25i64)), // lo_quantity < 25
+            projection: None,
+        }),
+        group_by: vec![7], // lo_discount
+        aggs: vec![AggSpec::new(AggFunc::Count, "n")],
+    };
+    let plans = [star_a, star_b, non_star];
+    let oracles: Vec<_> = plans
+        .iter()
+        .map(|p| reference::eval(p, &catalog).unwrap())
+        .collect();
+
+    let clients = 8;
+    let per_client = 6;
+    std::thread::scope(|s| {
+        for c in 0..clients {
+            let db = db.clone();
+            let plans = &plans;
+            let oracles = &oracles;
+            s.spawn(move || {
+                let mut rng = StdRng::seed_from_u64(1000 + c as u64);
+                for _ in 0..per_client {
+                    let which = rng.random_range(0..plans.len());
+                    let ticket = db.submit(&plans[which]).expect("submit");
+                    if rng.random_bool(0.25) {
+                        drop(ticket); // cancel
+                        continue;
+                    }
+                    let rows = ticket.collect_rows().expect("drain");
+                    reference::assert_rows_match(rows, oracles[which].clone(), 1e-9);
+                }
+            });
+        }
+    });
+
+    // The CJOIN stage must have been used, and SP must have fired at
+    // least once across 8 clients × 6 queries over 2 star plans.
+    let m = db.metrics();
+    assert!(m.packets[StageKind::Cjoin as usize] > 0, "CJOIN used");
+}
+
+/// Sequentially submitted (not batched) identical queries in pull mode:
+/// later submissions may subscribe mid-flight; all answers must agree.
+/// Runs the submission loop from several threads at once.
+#[test]
+fn pull_mode_mid_flight_subscription_race_is_safe() {
+    let catalog = ssb(0.002, 64);
+    let plan = SsbTemplate::Q1_2
+        .plan(&catalog, &TemplateParams::variant(2))
+        .unwrap();
+    let expected = reference::eval(&plan, &catalog).unwrap();
+    let db = Arc::new(SharingDb::new(catalog.clone(), DbConfig::new(ExecutionMode::SpPull)).unwrap());
+
+    std::thread::scope(|s| {
+        for _ in 0..6 {
+            let db = db.clone();
+            let plan = plan.clone();
+            let expected = expected.clone();
+            s.spawn(move || {
+                for _ in 0..4 {
+                    let rows = db.submit(&plan).unwrap().collect_rows().unwrap();
+                    reference::assert_rows_match(rows, expected.clone(), 1e-9);
+                }
+            });
+        }
+    });
+}
+
+/// DISTINCT and TopK under sharing and concurrency (the new operators run
+/// through the same SP machinery as the original seven).
+#[test]
+fn new_operators_survive_concurrent_shared_execution() {
+    let catalog = ssb(0.001, 65);
+    let topk_sql = "SELECT lo_orderkey, lo_revenue FROM lineorder \
+                    ORDER BY lo_revenue DESC, lo_orderkey LIMIT 25";
+    let distinct_sql = "SELECT DISTINCT lo_discount FROM lineorder";
+    for mode in [
+        ExecutionMode::QueryCentric,
+        ExecutionMode::SpPush,
+        ExecutionMode::SpPull,
+    ] {
+        let db = Arc::new(SharingDb::new(catalog.clone(), DbConfig::new(mode)).unwrap());
+        let topk_plan = db.plan_sql(topk_sql).unwrap();
+        let distinct_plan = db.plan_sql(distinct_sql).unwrap();
+        let topk_expected = reference::eval(&topk_plan, &catalog).unwrap();
+        let distinct_expected = reference::eval(&distinct_plan, &catalog).unwrap();
+
+        std::thread::scope(|s| {
+            for i in 0..6 {
+                let db = db.clone();
+                let (plan, expected) = if i % 2 == 0 {
+                    (topk_plan.clone(), topk_expected.clone())
+                } else {
+                    (distinct_plan.clone(), distinct_expected.clone())
+                };
+                s.spawn(move || {
+                    let rows = db.submit(&plan).unwrap().collect_rows().unwrap();
+                    reference::assert_rows_match(rows, expected, 1e-9);
+                });
+            }
+        });
+    }
+}

@@ -1,0 +1,100 @@
+//! Plan → SQL → plan round-trip over the full SSB template suite: the
+//! unparser (`qs_sql::star_to_sql`), the parser/binder, the optimizer and
+//! the star detector must all agree on every workload query — each
+//! template's round-tripped statement returns the original plan's rows,
+//! and (after optimization) is star-detectable again with the same join
+//! signature class.
+
+use sharing_repro::engine::reference;
+use sharing_repro::plan::{optimize, StarQuery};
+use sharing_repro::prelude::*;
+use sharing_repro::sql::{plan_sql, star_to_sql};
+use std::sync::Arc;
+
+fn ssb(scale: f64, seed: u64) -> Arc<Catalog> {
+    let catalog = Catalog::new();
+    generate_ssb(
+        &catalog,
+        &SsbConfig {
+            scale,
+            seed,
+            page_bytes: 16 * 1024,
+        },
+    );
+    catalog
+}
+
+#[test]
+fn every_ssb_template_roundtrips_through_sql() {
+    let catalog = ssb(0.001, 71);
+    for template in SsbTemplate::all() {
+        for variant in [0u64, 3, 9] {
+            let plan = template
+                .plan(&catalog, &TemplateParams::variant(variant))
+                .unwrap();
+            let star = StarQuery::detect(&plan, &catalog)
+                .unwrap_or_else(|| panic!("{} v{variant} must be a star", template.name()));
+            let sql = star_to_sql(&star, &catalog)
+                .unwrap_or_else(|e| panic!("{} v{variant}: {e}", template.name()));
+
+            let bound = plan_sql(&sql, &catalog)
+                .unwrap_or_else(|e| panic!("{} v{variant}: `{sql}`: {e}", template.name()));
+            let optimized = optimize(bound, &catalog).unwrap();
+            optimized.validate(&catalog).unwrap();
+
+            let expected = reference::eval(&plan, &catalog).unwrap();
+            let got = reference::eval(&optimized, &catalog).unwrap();
+            reference::assert_rows_match(got, expected, 1e-9);
+
+            // The round-tripped, optimized statement is CJOIN-admissible
+            // again with the same star structure.
+            let star2 = StarQuery::detect(&optimized, &catalog).unwrap_or_else(|| {
+                panic!("{} v{variant} round-trip lost star shape", template.name())
+            });
+            let tables: Vec<&str> = star.dims.iter().map(|d| d.table.as_str()).collect();
+            let mut tables2: Vec<&str> = star2.dims.iter().map(|d| d.table.as_str()).collect();
+            // The optimizer may reorder dims; compare as sets.
+            let mut tables_sorted = tables.clone();
+            tables_sorted.sort_unstable();
+            tables2.sort_unstable();
+            assert_eq!(tables2, tables_sorted, "{} v{variant}", template.name());
+        }
+    }
+}
+
+#[test]
+fn roundtripped_sql_executes_in_all_modes() {
+    let catalog = ssb(0.001, 72);
+    // One representative per join depth.
+    for template in [SsbTemplate::Q1_1, SsbTemplate::Q2_1, SsbTemplate::Q4_2] {
+        let plan = template
+            .plan(&catalog, &TemplateParams::variant(1))
+            .unwrap();
+        let star = StarQuery::detect(&plan, &catalog).unwrap();
+        let sql = star_to_sql(&star, &catalog).unwrap();
+        let expected = reference::eval(&plan, &catalog).unwrap();
+        for mode in ExecutionMode::all() {
+            let db = SharingDb::new(catalog.clone(), DbConfig::new(mode)).unwrap();
+            let got = db.submit_sql(&sql).unwrap().collect_rows().unwrap();
+            reference::assert_rows_match(got, expected.clone(), 1e-9);
+        }
+    }
+}
+
+#[test]
+fn selectivity_override_roundtrips_too() {
+    // The demo GUI's selectivity knob injects a quantity-window predicate;
+    // it must survive the SQL round-trip like any other predicate.
+    let catalog = ssb(0.001, 73);
+    let params = TemplateParams {
+        selectivity: Some(0.10),
+        ..TemplateParams::variant(4)
+    };
+    let plan = SsbTemplate::Q3_2.plan(&catalog, &params).unwrap();
+    let star = StarQuery::detect(&plan, &catalog).unwrap();
+    let sql = star_to_sql(&star, &catalog).unwrap();
+    let optimized = optimize(plan_sql(&sql, &catalog).unwrap(), &catalog).unwrap();
+    let expected = reference::eval(&plan, &catalog).unwrap();
+    let got = reference::eval(&optimized, &catalog).unwrap();
+    reference::assert_rows_match(got, expected, 1e-9);
+}
