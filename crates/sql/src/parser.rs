@@ -195,7 +195,9 @@ impl Parser {
         }
         let limit = if self.eat_kw(Keyword::Limit) {
             match self.bump() {
-                TokenKind::Int(n) if n >= 0 => Some(n as usize),
+                TokenKind::Int(n) => Some(usize::try_from(n).map_err(|_| {
+                    SqlError::parse(self.here(), format!("LIMIT {n} out of range"))
+                })?),
                 other => {
                     return Err(SqlError::parse(
                         self.here(),
@@ -488,7 +490,17 @@ impl Parser {
             false
         };
         let lit = match self.bump() {
-            TokenKind::Int(v) => Literal::Int(if neg { -v } else { v }),
+            TokenKind::Int(mag) => {
+                let v = if neg {
+                    0i64.checked_sub_unsigned(mag)
+                } else {
+                    i64::try_from(mag).ok()
+                };
+                Literal::Int(v.ok_or_else(|| {
+                    let sign = if neg { "-" } else { "" };
+                    SqlError::parse(self.here(), format!("integer {sign}{mag} out of range"))
+                })?)
+            }
             TokenKind::Float(v) => Literal::Float(if neg { -v } else { v }),
             TokenKind::Str(s) if !neg => Literal::Str(s),
             TokenKind::Keyword(Keyword::Date) if !neg => match self.bump() {

@@ -85,8 +85,10 @@ pub enum TokenKind {
     Keyword(Keyword),
     /// Identifier (table, column or alias name).
     Ident(String),
-    /// Integer literal.
-    Int(i64),
+    /// Integer literal: the unsigned magnitude. The parser folds a
+    /// preceding `-` into the value, so `-9223372036854775808`
+    /// (`i64::MIN`, whose magnitude exceeds `i64::MAX`) lexes cleanly.
+    Int(u64),
     /// Float literal.
     Float(f64),
     /// Single-quoted string literal (quotes stripped, `''` unescaped).
@@ -274,7 +276,7 @@ pub fn lex(sql: &str) -> Result<Vec<Token>> {
                     )
                 } else {
                     TokenKind::Int(
-                        text.parse::<i64>()
+                        text.parse::<u64>()
                             .map_err(|e| SqlError::lex(start, format!("bad integer: {e}")))?,
                     )
                 };

@@ -71,7 +71,7 @@ pub fn generate_lineitem(catalog: &Catalog, cfg: &TpchConfig) -> Arc<Table> {
     let statuses = ["F", "O"];
     let dates = crate::ssb::data::date_keys();
     for k in 1..=cfg.rows() {
-        let flag = flags[rng.random_range(0..3)];
+        let flag = flags[rng.random_range(0..3usize)];
         // TPC-H correlation: R/A lines are mostly 'F', N lines mostly 'O'.
         let status = if flag == "N" {
             statuses[usize::from(rng.random_range(0..10) == 0)]

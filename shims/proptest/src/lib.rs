@@ -1,0 +1,902 @@
+//! Offline stand-in for `proptest`.
+//!
+//! Implements the slice of the proptest API this workspace's property
+//! tests use: `proptest!`, strategies for primitives / ranges / tuples /
+//! collections, the `prop_map` / `prop_flat_map` / `prop_filter` /
+//! `prop_recursive` combinators, `prop_oneof!`, `Just`, `any`,
+//! `sample::select`, a tiny `string_regex`, and the `prop_assert*` macros.
+//!
+//! Design deltas from real proptest, chosen for zero dependencies:
+//!
+//! * **No shrinking.** A failing case panics with the generated inputs'
+//!   `Debug` rendering (via the assert message) but is not minimized.
+//! * **Deterministic seeding.** Each test derives its RNG seed from the
+//!   test's name, so failures reproduce across runs by default.
+
+pub mod test_runner {
+    /// Execution parameters for a `proptest!` block.
+    #[derive(Debug, Clone)]
+    pub struct ProptestConfig {
+        pub cases: u32,
+    }
+
+    impl ProptestConfig {
+        pub fn with_cases(cases: u32) -> Self {
+            ProptestConfig { cases }
+        }
+    }
+
+    impl Default for ProptestConfig {
+        fn default() -> Self {
+            ProptestConfig { cases: 256 }
+        }
+    }
+
+    /// Why a single generated case did not pass.
+    #[derive(Debug)]
+    pub enum TestCaseError {
+        /// `prop_assume!` failed — generate a replacement case.
+        Reject,
+        /// `prop_assert*!` failed — the property is violated.
+        Fail(String),
+    }
+
+    impl TestCaseError {
+        pub fn fail(msg: String) -> Self {
+            TestCaseError::Fail(msg)
+        }
+
+        pub fn reject() -> Self {
+            TestCaseError::Reject
+        }
+    }
+
+    /// Deterministic per-test random source.
+    pub struct TestRng {
+        rng: rand::rngs::StdRng,
+    }
+
+    impl TestRng {
+        /// Seeds from the test's fully qualified name (FNV-1a), so each
+        /// test gets a distinct but reproducible stream.
+        pub fn for_test(name: &str) -> Self {
+            let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+            for b in name.bytes() {
+                h ^= b as u64;
+                h = h.wrapping_mul(0x0000_0100_0000_01B3);
+            }
+            use rand::SeedableRng;
+            TestRng { rng: rand::rngs::StdRng::seed_from_u64(h) }
+        }
+    }
+
+    impl rand::RngCore for TestRng {
+        fn next_u64(&mut self) -> u64 {
+            self.rng.next_u64()
+        }
+    }
+}
+
+pub mod strategy {
+    use crate::test_runner::TestRng;
+    use rand::RngExt;
+    use std::ops::{Range, RangeInclusive};
+    use std::rc::Rc;
+
+    /// A recipe for generating values of one type.
+    ///
+    /// Unlike real proptest there is no value tree / shrinking: a strategy
+    /// is just a deterministic function of the RNG stream.
+    pub trait Strategy: Clone + 'static {
+        type Value: 'static;
+
+        fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+        fn prop_map<O: 'static, F>(self, f: F) -> Map<Self, F>
+        where
+            F: Fn(Self::Value) -> O + Clone + 'static,
+        {
+            Map { inner: self, f }
+        }
+
+        fn prop_flat_map<S2, F>(self, f: F) -> FlatMap<Self, F>
+        where
+            S2: Strategy,
+            F: Fn(Self::Value) -> S2 + Clone + 'static,
+        {
+            FlatMap { inner: self, f }
+        }
+
+        fn prop_filter<F>(self, reason: &'static str, f: F) -> Filter<Self, F>
+        where
+            F: Fn(&Self::Value) -> bool + Clone + 'static,
+        {
+            Filter { inner: self, reason, f }
+        }
+
+        /// Expands `self` (the leaf strategy) `depth` times through `f`,
+        /// mixing leaves back in at every level so generation terminates.
+        /// `_desired_size` and `_expected_branch` are accepted for API
+        /// compatibility but unused.
+        fn prop_recursive<S2, F>(
+            self,
+            depth: u32,
+            _desired_size: u32,
+            _expected_branch: u32,
+            f: F,
+        ) -> BoxedStrategy<Self::Value>
+        where
+            S2: Strategy<Value = Self::Value>,
+            F: Fn(BoxedStrategy<Self::Value>) -> S2 + Clone + 'static,
+        {
+            let base = self.boxed();
+            let mut current = base.clone();
+            for _ in 0..depth {
+                let expanded = f(current).boxed();
+                current = Union {
+                    arms: vec![(1, base.clone()), (3, expanded)],
+                }
+                .boxed();
+            }
+            current
+        }
+
+        fn boxed(self) -> BoxedStrategy<Self::Value> {
+            BoxedStrategy { inner: Rc::new(self) }
+        }
+    }
+
+    trait GenerateDyn<T> {
+        fn generate_dyn(&self, rng: &mut TestRng) -> T;
+    }
+
+    impl<S: Strategy> GenerateDyn<S::Value> for S {
+        fn generate_dyn(&self, rng: &mut TestRng) -> S::Value {
+            self.generate(rng)
+        }
+    }
+
+    /// Type-erased strategy; cheap to clone.
+    pub struct BoxedStrategy<T> {
+        inner: Rc<dyn GenerateDyn<T>>,
+    }
+
+    impl<T> Clone for BoxedStrategy<T> {
+        fn clone(&self) -> Self {
+            BoxedStrategy { inner: Rc::clone(&self.inner) }
+        }
+    }
+
+    impl<T: 'static> Strategy for BoxedStrategy<T> {
+        type Value = T;
+        fn generate(&self, rng: &mut TestRng) -> T {
+            self.inner.generate_dyn(rng)
+        }
+    }
+
+    /// Always yields a clone of the wrapped value.
+    #[derive(Clone)]
+    pub struct Just<T: Clone>(pub T);
+
+    impl<T: Clone + 'static> Strategy for Just<T> {
+        type Value = T;
+        fn generate(&self, _rng: &mut TestRng) -> T {
+            self.0.clone()
+        }
+    }
+
+    #[derive(Clone)]
+    pub struct Map<S, F> {
+        inner: S,
+        f: F,
+    }
+
+    impl<S, O, F> Strategy for Map<S, F>
+    where
+        S: Strategy,
+        O: 'static,
+        F: Fn(S::Value) -> O + Clone + 'static,
+    {
+        type Value = O;
+        fn generate(&self, rng: &mut TestRng) -> O {
+            (self.f)(self.inner.generate(rng))
+        }
+    }
+
+    #[derive(Clone)]
+    pub struct FlatMap<S, F> {
+        inner: S,
+        f: F,
+    }
+
+    impl<S, S2, F> Strategy for FlatMap<S, F>
+    where
+        S: Strategy,
+        S2: Strategy,
+        F: Fn(S::Value) -> S2 + Clone + 'static,
+    {
+        type Value = S2::Value;
+        fn generate(&self, rng: &mut TestRng) -> S2::Value {
+            (self.f)(self.inner.generate(rng)).generate(rng)
+        }
+    }
+
+    #[derive(Clone)]
+    pub struct Filter<S, F> {
+        inner: S,
+        reason: &'static str,
+        f: F,
+    }
+
+    impl<S, F> Strategy for Filter<S, F>
+    where
+        S: Strategy,
+        F: Fn(&S::Value) -> bool + Clone + 'static,
+    {
+        type Value = S::Value;
+        fn generate(&self, rng: &mut TestRng) -> S::Value {
+            for _ in 0..10_000 {
+                let v = self.inner.generate(rng);
+                if (self.f)(&v) {
+                    return v;
+                }
+            }
+            panic!("prop_filter gave up after 10000 tries: {}", self.reason);
+        }
+    }
+
+    /// Weighted choice between same-valued strategies (`prop_oneof!`).
+    pub struct Union<T> {
+        arms: Vec<(u32, BoxedStrategy<T>)>,
+    }
+
+    impl<T> Clone for Union<T> {
+        fn clone(&self) -> Self {
+            Union { arms: self.arms.clone() }
+        }
+    }
+
+    impl<T: 'static> Strategy for Union<T> {
+        type Value = T;
+        fn generate(&self, rng: &mut TestRng) -> T {
+            let total: u32 = self.arms.iter().map(|(w, _)| *w).sum();
+            let mut pick = rng.random_range(0..total);
+            for (w, arm) in &self.arms {
+                if pick < *w {
+                    return arm.generate(rng);
+                }
+                pick -= w;
+            }
+            unreachable!("weighted pick out of range")
+        }
+    }
+
+    pub fn union<T>(arms: Vec<BoxedStrategy<T>>) -> Union<T> {
+        assert!(!arms.is_empty(), "prop_oneof! needs at least one arm");
+        Union { arms: arms.into_iter().map(|a| (1, a)).collect() }
+    }
+
+    pub fn union_weighted<T>(arms: Vec<(u32, BoxedStrategy<T>)>) -> Union<T> {
+        assert!(!arms.is_empty(), "prop_oneof! needs at least one arm");
+        Union { arms }
+    }
+
+    macro_rules! impl_range_strategy {
+        ($($t:ty),*) => {$(
+            impl Strategy for Range<$t> {
+                type Value = $t;
+                fn generate(&self, rng: &mut TestRng) -> $t {
+                    rng.random_range(self.clone())
+                }
+            }
+            impl Strategy for RangeInclusive<$t> {
+                type Value = $t;
+                fn generate(&self, rng: &mut TestRng) -> $t {
+                    rng.random_range(self.clone())
+                }
+            }
+        )*};
+    }
+
+    impl_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    impl Strategy for Range<f64> {
+        type Value = f64;
+        fn generate(&self, rng: &mut TestRng) -> f64 {
+            assert!(self.start < self.end, "cannot sample empty range");
+            let unit = (rng.random_range(0..=u32::MAX) as f64) / (u32::MAX as f64 + 1.0);
+            self.start + unit * (self.end - self.start)
+        }
+    }
+
+    impl Strategy for RangeInclusive<f64> {
+        type Value = f64;
+        fn generate(&self, rng: &mut TestRng) -> f64 {
+            assert!(self.start() <= self.end(), "cannot sample empty range");
+            let unit = (rng.random_range(0..=u32::MAX) as f64) / (u32::MAX as f64);
+            self.start() + unit * (self.end() - self.start())
+        }
+    }
+
+    macro_rules! impl_tuple_strategy {
+        ($(($($s:ident . $idx:tt),+))*) => {$(
+            impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+                type Value = ($($s::Value,)+);
+                fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                    ($(self.$idx.generate(rng),)+)
+                }
+            }
+        )*};
+    }
+
+    impl_tuple_strategy! {
+        (A.0)
+        (A.0, B.1)
+        (A.0, B.1, C.2)
+        (A.0, B.1, C.2, D.3)
+        (A.0, B.1, C.2, D.3, E.4)
+        (A.0, B.1, C.2, D.3, E.4, F.5)
+        (A.0, B.1, C.2, D.3, E.4, F.5, G.6)
+        (A.0, B.1, C.2, D.3, E.4, F.5, G.6, H.7)
+        (A.0, B.1, C.2, D.3, E.4, F.5, G.6, H.7, I.8)
+        (A.0, B.1, C.2, D.3, E.4, F.5, G.6, H.7, I.8, J.9)
+        (A.0, B.1, C.2, D.3, E.4, F.5, G.6, H.7, I.8, J.9, K.10)
+        (A.0, B.1, C.2, D.3, E.4, F.5, G.6, H.7, I.8, J.9, K.10, L.11)
+    }
+
+    /// A `&'static str` is interpreted as a regex pattern, as in real
+    /// proptest. Panics on patterns outside the supported subset.
+    impl Strategy for &'static str {
+        type Value = String;
+        fn generate(&self, rng: &mut TestRng) -> String {
+            crate::string::string_regex(self)
+                .expect("unsupported regex pattern used as strategy")
+                .generate(rng)
+        }
+    }
+
+    /// A `Vec` of strategies generates element-wise (used by tests that
+    /// `.collect::<Vec<_>>().boxed()` per-column strategies into a row).
+    impl<S: Strategy> Strategy for Vec<S> {
+        type Value = Vec<S::Value>;
+        fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            self.iter().map(|s| s.generate(rng)).collect()
+        }
+    }
+}
+
+pub mod arbitrary {
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+    use rand::{RngCore, RngExt};
+
+    pub struct ArbitraryStrategy<T> {
+        f: fn(&mut TestRng) -> T,
+    }
+
+    impl<T> Clone for ArbitraryStrategy<T> {
+        fn clone(&self) -> Self {
+            ArbitraryStrategy { f: self.f }
+        }
+    }
+
+    impl<T: 'static> Strategy for ArbitraryStrategy<T> {
+        type Value = T;
+        fn generate(&self, rng: &mut TestRng) -> T {
+            (self.f)(rng)
+        }
+    }
+
+    pub trait Arbitrary: Sized + 'static {
+        fn arbitrary() -> ArbitraryStrategy<Self>;
+    }
+
+    pub fn any<A: Arbitrary>() -> ArbitraryStrategy<A> {
+        A::arbitrary()
+    }
+
+    impl Arbitrary for bool {
+        fn arbitrary() -> ArbitraryStrategy<bool> {
+            ArbitraryStrategy { f: |rng| rng.random_bool(0.5) }
+        }
+    }
+
+    macro_rules! impl_arbitrary_int {
+        ($($t:ty),*) => {$(
+            impl Arbitrary for $t {
+                fn arbitrary() -> ArbitraryStrategy<$t> {
+                    ArbitraryStrategy {
+                        // Mostly uniform bits, with boundary values mixed
+                        // in so edge cases actually come up.
+                        f: |rng| match rng.random_range(0..8u32) {
+                            0 => <$t>::MIN,
+                            1 => <$t>::MAX,
+                            2 => 0,
+                            3 => 1 as $t,
+                            _ => rng.next_u64() as $t,
+                        },
+                    }
+                }
+            }
+        )*};
+    }
+
+    impl_arbitrary_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    impl Arbitrary for f64 {
+        fn arbitrary() -> ArbitraryStrategy<f64> {
+            ArbitraryStrategy {
+                f: |rng| match rng.random_range(0..8u32) {
+                    0 => 0.0,
+                    1 => -0.0,
+                    2 => 1.0,
+                    3 => -1.0,
+                    _ => {
+                        // Arbitrary finite double: clamp the exponent away
+                        // from 0x7FF (inf/NaN) so comparisons stay total.
+                        let mut bits = rng.next_u64();
+                        if bits & 0x7FF0_0000_0000_0000 == 0x7FF0_0000_0000_0000 {
+                            bits &= !0x0010_0000_0000_0000;
+                        }
+                        f64::from_bits(bits)
+                    }
+                },
+            }
+        }
+    }
+}
+
+pub mod collection {
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+    use rand::RngExt;
+    use std::ops::{Range, RangeInclusive};
+
+    /// Inclusive bounds on a generated collection's length.
+    #[derive(Debug, Clone, Copy)]
+    pub struct SizeRange {
+        lo: usize,
+        hi: usize,
+    }
+
+    impl From<Range<usize>> for SizeRange {
+        fn from(r: Range<usize>) -> Self {
+            assert!(r.start < r.end, "empty size range");
+            SizeRange { lo: r.start, hi: r.end - 1 }
+        }
+    }
+
+    impl From<RangeInclusive<usize>> for SizeRange {
+        fn from(r: RangeInclusive<usize>) -> Self {
+            SizeRange { lo: *r.start(), hi: *r.end() }
+        }
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(n: usize) -> Self {
+            SizeRange { lo: n, hi: n }
+        }
+    }
+
+    #[derive(Clone)]
+    pub struct VecStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let len = rng.random_range(self.size.lo..=self.size.hi);
+            (0..len).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy { element, size: size.into() }
+    }
+}
+
+pub mod option {
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+    use rand::RngExt;
+
+    #[derive(Clone)]
+    pub struct OptionStrategy<S> {
+        inner: S,
+    }
+
+    impl<S: Strategy> Strategy for OptionStrategy<S> {
+        type Value = Option<S::Value>;
+        fn generate(&self, rng: &mut TestRng) -> Option<S::Value> {
+            if rng.random_bool(0.5) {
+                Some(self.inner.generate(rng))
+            } else {
+                None
+            }
+        }
+    }
+
+    pub fn of<S: Strategy>(inner: S) -> OptionStrategy<S> {
+        OptionStrategy { inner }
+    }
+}
+
+pub mod sample {
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+    use rand::RngExt;
+
+    #[derive(Clone)]
+    pub struct Select<T: Clone> {
+        choices: Vec<T>,
+    }
+
+    impl<T: Clone + 'static> Strategy for Select<T> {
+        type Value = T;
+        fn generate(&self, rng: &mut TestRng) -> T {
+            self.choices[rng.random_range(0..self.choices.len())].clone()
+        }
+    }
+
+    /// Uniform choice from a non-empty list.
+    pub fn select<T: Clone + 'static>(choices: Vec<T>) -> Select<T> {
+        assert!(!choices.is_empty(), "sample::select on empty list");
+        Select { choices }
+    }
+}
+
+pub mod string {
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+    use rand::RngExt;
+    use std::fmt;
+
+    #[derive(Debug, Clone)]
+    pub struct Error(String);
+
+    impl fmt::Display for Error {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            write!(f, "unsupported regex: {}", self.0)
+        }
+    }
+
+    #[derive(Clone)]
+    enum Atom {
+        /// Characters from a `[...]` class (expanded).
+        Class(Vec<char>),
+        Literal(char),
+    }
+
+    #[derive(Clone)]
+    struct Piece {
+        atom: Atom,
+        min: usize,
+        max: usize,
+    }
+
+    #[derive(Clone)]
+    pub struct RegexStrategy {
+        pieces: Vec<Piece>,
+    }
+
+    impl Strategy for RegexStrategy {
+        type Value = String;
+        fn generate(&self, rng: &mut TestRng) -> String {
+            let mut out = String::new();
+            for piece in &self.pieces {
+                let n = rng.random_range(piece.min..=piece.max);
+                for _ in 0..n {
+                    match &piece.atom {
+                        Atom::Literal(c) => out.push(*c),
+                        Atom::Class(cs) => out.push(cs[rng.random_range(0..cs.len())]),
+                    }
+                }
+            }
+            out
+        }
+    }
+
+    /// Generator for the simple-regex subset the tests use: sequences of
+    /// literal chars or `[a-z...]` classes, each with an optional
+    /// `{m}`/`{m,n}`/`?`/`*`/`+` quantifier (unbounded repeats capped at 8).
+    pub fn string_regex(pattern: &str) -> Result<RegexStrategy, Error> {
+        let chars: Vec<char> = pattern.chars().collect();
+        let mut i = 0;
+        let mut pieces = Vec::new();
+        while i < chars.len() {
+            let atom = match chars[i] {
+                '[' => {
+                    let mut class = Vec::new();
+                    i += 1;
+                    while i < chars.len() && chars[i] != ']' {
+                        let lo = if chars[i] == '\\' {
+                            i += 1;
+                            *chars.get(i).ok_or_else(|| Error(pattern.into()))?
+                        } else {
+                            chars[i]
+                        };
+                        if chars.get(i + 1) == Some(&'-') && chars.get(i + 2).is_some_and(|c| *c != ']') {
+                            let hi = chars[i + 2];
+                            if (hi as u32) < (lo as u32) {
+                                return Err(Error(pattern.into()));
+                            }
+                            for c in lo as u32..=hi as u32 {
+                                class.extend(char::from_u32(c));
+                            }
+                            i += 3;
+                        } else {
+                            class.push(lo);
+                            i += 1;
+                        }
+                    }
+                    if i >= chars.len() {
+                        return Err(Error(pattern.into()));
+                    }
+                    i += 1; // consume ']'
+                    if class.is_empty() {
+                        return Err(Error(pattern.into()));
+                    }
+                    Atom::Class(class)
+                }
+                '\\' => {
+                    i += 1;
+                    let c = *chars.get(i).ok_or_else(|| Error(pattern.into()))?;
+                    i += 1;
+                    // `\PC` — "not a control character". Approximated by
+                    // printable ASCII, which is what the parsers under
+                    // test ultimately accept or reject anyway.
+                    if c == 'P' && chars.get(i) == Some(&'C') {
+                        i += 1;
+                        Atom::Class((' '..='~').collect())
+                    } else {
+                        Atom::Literal(c)
+                    }
+                }
+                '(' | ')' | '|' | '.' | '^' | '$' => return Err(Error(pattern.into())),
+                c => {
+                    i += 1;
+                    Atom::Literal(c)
+                }
+            };
+            let (min, max) = match chars.get(i) {
+                Some('{') => {
+                    let close = chars[i..]
+                        .iter()
+                        .position(|&c| c == '}')
+                        .ok_or_else(|| Error(pattern.into()))?
+                        + i;
+                    let body: String = chars[i + 1..close].iter().collect();
+                    i = close + 1;
+                    let parts: Vec<&str> = body.split(',').collect();
+                    match parts.as_slice() {
+                        [n] => {
+                            let n = n.trim().parse().map_err(|_| Error(pattern.into()))?;
+                            (n, n)
+                        }
+                        [m, n] => (
+                            m.trim().parse().map_err(|_| Error(pattern.into()))?,
+                            n.trim().parse().map_err(|_| Error(pattern.into()))?,
+                        ),
+                        _ => return Err(Error(pattern.into())),
+                    }
+                }
+                Some('?') => {
+                    i += 1;
+                    (0, 1)
+                }
+                Some('*') => {
+                    i += 1;
+                    (0, 8)
+                }
+                Some('+') => {
+                    i += 1;
+                    (1, 8)
+                }
+                _ => (1, 1),
+            };
+            if max < min {
+                return Err(Error(pattern.into()));
+            }
+            pieces.push(Piece { atom, min, max });
+        }
+        Ok(RegexStrategy { pieces })
+    }
+}
+
+pub mod prelude {
+    pub use crate::arbitrary::{any, Arbitrary};
+    pub use crate::strategy::{BoxedStrategy, Just, Strategy};
+    pub use crate::test_runner::{ProptestConfig, TestCaseError};
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, prop_oneof, proptest};
+
+    /// Mirror of `proptest::prelude::prop`.
+    pub mod prop {
+        pub use crate::{collection, option, sample, strategy, string};
+    }
+}
+
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, concat!("assertion failed: ", stringify!($cond)))
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                format!($($fmt)+),
+            ));
+        }
+    };
+}
+
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($lhs:expr, $rhs:expr $(,)?) => {{
+        let (lhs, rhs) = (&$lhs, &$rhs);
+        $crate::prop_assert!(
+            lhs == rhs,
+            "assertion failed: `{}` == `{}`\n  left: {:?}\n right: {:?}",
+            stringify!($lhs), stringify!($rhs), lhs, rhs
+        );
+    }};
+    ($lhs:expr, $rhs:expr, $($fmt:tt)+) => {{
+        let (lhs, rhs) = (&$lhs, &$rhs);
+        $crate::prop_assert!(
+            lhs == rhs,
+            "assertion failed: `{}` == `{}`\n  left: {:?}\n right: {:?}\n {}",
+            stringify!($lhs), stringify!($rhs), lhs, rhs, format!($($fmt)+)
+        );
+    }};
+}
+
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($lhs:expr, $rhs:expr $(,)?) => {{
+        let (lhs, rhs) = (&$lhs, &$rhs);
+        $crate::prop_assert!(
+            lhs != rhs,
+            "assertion failed: `{}` != `{}`\n  both: {:?}",
+            stringify!($lhs), stringify!($rhs), lhs
+        );
+    }};
+}
+
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::reject());
+        }
+    };
+}
+
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($weight:expr => $strat:expr),+ $(,)?) => {
+        $crate::strategy::union_weighted(vec![
+            $(($weight, $crate::strategy::Strategy::boxed($strat))),+
+        ])
+    };
+    ($($strat:expr),+ $(,)?) => {
+        $crate::strategy::union(vec![
+            $($crate::strategy::Strategy::boxed($strat)),+
+        ])
+    };
+}
+
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl! { cfg = ($cfg); $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl! { cfg = ($crate::test_runner::ProptestConfig::default()); $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    (cfg = ($cfg:expr);) => {};
+    (
+        cfg = ($cfg:expr);
+        $(#[$meta:meta])*
+        fn $name:ident($($pat:pat_param in $strat:expr),+ $(,)?) $body:block
+        $($rest:tt)*
+    ) => {
+        $(#[$meta])*
+        fn $name() {
+            let config = $cfg;
+            let mut rng = $crate::test_runner::TestRng::for_test(
+                concat!(module_path!(), "::", stringify!($name)),
+            );
+            let mut accepted = 0u32;
+            let mut rejected = 0u32;
+            while accepted < config.cases {
+                let result: ::std::result::Result<(), $crate::test_runner::TestCaseError> =
+                    (|| {
+                        $(let $pat = $crate::strategy::Strategy::generate(&($strat), &mut rng);)+
+                        $body
+                        ::std::result::Result::Ok(())
+                    })();
+                match result {
+                    ::std::result::Result::Ok(()) => accepted += 1,
+                    ::std::result::Result::Err($crate::test_runner::TestCaseError::Reject) => {
+                        rejected += 1;
+                        if rejected > config.cases.saturating_mul(100) {
+                            panic!(
+                                "proptest '{}': too many prop_assume! rejections ({})",
+                                stringify!($name), rejected
+                            );
+                        }
+                    }
+                    ::std::result::Result::Err($crate::test_runner::TestCaseError::Fail(msg)) => {
+                        panic!(
+                            "proptest '{}' failed after {} passing case(s)\n{}",
+                            stringify!($name), accepted, msg
+                        );
+                    }
+                }
+            }
+        }
+        $crate::__proptest_impl! { cfg = ($cfg); $($rest)* }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    fn small_tree() -> impl Strategy<Value = Vec<i64>> {
+        prop::collection::vec(any::<i64>(), 0..8)
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        #[test]
+        fn sort_is_idempotent(mut v in small_tree()) {
+            v.sort_unstable();
+            let once = v.clone();
+            v.sort_unstable();
+            prop_assert_eq!(once, v);
+        }
+
+        #[test]
+        fn oneof_and_ranges(x in prop_oneof![Just(0u32), 1u32..10, 10u32..=20], flag in any::<bool>()) {
+            // Exercise the reject path on roughly half the cases.
+            prop_assume!(flag);
+            prop_assert!(x <= 20);
+        }
+
+        #[test]
+        fn regex_subset(s in prop::string::string_regex("[ -~]{0,12}").expect("regex")) {
+            prop_assert!(s.len() <= 12);
+            prop_assert!(s.chars().all(|c| (' '..='~').contains(&c)));
+        }
+    }
+
+    #[test]
+    fn recursive_terminates() {
+        #[derive(Clone, Debug)]
+        enum T {
+            Leaf(#[allow(dead_code)] i64),
+            Node(Vec<T>),
+        }
+        fn depth(t: &T) -> usize {
+            match t {
+                T::Leaf(_) => 1,
+                T::Node(cs) => 1 + cs.iter().map(depth).max().unwrap_or(0),
+            }
+        }
+        let strat = any::<i64>().prop_map(T::Leaf).prop_recursive(3, 12, 3, |inner| {
+            prop::collection::vec(inner, 1..3).prop_map(T::Node)
+        });
+        let mut rng = crate::test_runner::TestRng::for_test("recursive_terminates");
+        for _ in 0..200 {
+            assert!(depth(&strat.generate(&mut rng)) <= 4);
+        }
+    }
+}

@@ -1,0 +1,135 @@
+//! Offline stand-in for the `rand` crate.
+//!
+//! The build environment has no registry access, so this in-tree crate
+//! provides exactly the surface the workspace uses: a seedable
+//! deterministic [`rngs::StdRng`] plus the [`RngExt`] extension trait with
+//! `random_range` / `random_bool`. The generator is SplitMix64 — not
+//! cryptographic, but high-quality enough for data generation and tests.
+
+use std::ops::{Range, RangeInclusive};
+
+/// Core trait: a source of uniformly distributed `u64`s.
+pub trait RngCore {
+    fn next_u64(&mut self) -> u64;
+
+    fn next_u32(&mut self) -> u32 {
+        (self.next_u64() >> 32) as u32
+    }
+}
+
+/// Construction of an RNG from seed material.
+pub trait SeedableRng: Sized {
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+/// A half-open or inclusive integer range that can be sampled uniformly.
+///
+/// Bounds are widened to `i128` so every primitive integer type shares one
+/// implementation.
+pub trait SampleRange<T> {
+    /// Inclusive (low, high) bounds. Panics if the range is empty.
+    fn bounds(&self) -> (i128, i128);
+    fn from_i128(v: i128) -> T;
+}
+
+macro_rules! impl_sample_range {
+    ($($t:ty),*) => {$(
+        impl SampleRange<$t> for Range<$t> {
+            fn bounds(&self) -> (i128, i128) {
+                assert!(self.start < self.end, "cannot sample empty range");
+                (self.start as i128, self.end as i128 - 1)
+            }
+            fn from_i128(v: i128) -> $t { v as $t }
+        }
+        impl SampleRange<$t> for RangeInclusive<$t> {
+            fn bounds(&self) -> (i128, i128) {
+                assert!(self.start() <= self.end(), "cannot sample empty range");
+                (*self.start() as i128, *self.end() as i128)
+            }
+            fn from_i128(v: i128) -> $t { v as $t }
+        }
+    )*};
+}
+
+impl_sample_range!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+/// Extension methods over any [`RngCore`]; mirrors rand 0.9's `Rng` trait
+/// for the subset the workspace uses.
+pub trait RngExt: RngCore {
+    /// Uniform sample from an integer range (`a..b` or `a..=b`).
+    fn random_range<T, R: SampleRange<T>>(&mut self, range: R) -> T {
+        let (lo, hi) = range.bounds();
+        let span = (hi - lo + 1) as u128;
+        // Widened modulo reduction: bias is < 2^-64 for any span that fits
+        // in u64, which is far below anything these workloads can observe.
+        let wide = ((self.next_u64() as u128) << 64) | self.next_u64() as u128;
+        R::from_i128(lo + (wide % span) as i128)
+    }
+
+    /// Returns `true` with probability `p`.
+    fn random_bool(&mut self, p: f64) -> bool {
+        assert!((0.0..=1.0).contains(&p), "probability out of range");
+        ((self.next_u64() >> 11) as f64) * (1.0 / (1u64 << 53) as f64) < p
+    }
+}
+
+impl<R: RngCore + ?Sized> RngExt for R {}
+
+pub mod rngs {
+    use super::{RngCore, SeedableRng};
+
+    /// Deterministic 64-bit generator (SplitMix64).
+    #[derive(Debug, Clone)]
+    pub struct StdRng {
+        state: u64,
+    }
+
+    impl RngCore for StdRng {
+        fn next_u64(&mut self) -> u64 {
+            self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = self.state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        }
+    }
+
+    impl SeedableRng for StdRng {
+        fn seed_from_u64(seed: u64) -> Self {
+            StdRng { state: seed }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::StdRng;
+    use super::{RngExt, SeedableRng};
+
+    #[test]
+    fn deterministic_for_seed() {
+        let mut a = StdRng::seed_from_u64(7);
+        let mut b = StdRng::seed_from_u64(7);
+        for _ in 0..100 {
+            assert_eq!(a.random_range(0..1_000_000u64), b.random_range(0..1_000_000u64));
+        }
+    }
+
+    #[test]
+    fn range_bounds_respected() {
+        let mut rng = StdRng::seed_from_u64(42);
+        for _ in 0..10_000 {
+            let v = rng.random_range(5..=9i64);
+            assert!((5..=9).contains(&v));
+            let w = rng.random_range(0..3usize);
+            assert!(w < 3);
+        }
+    }
+
+    #[test]
+    fn bool_probability_sane() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let hits = (0..10_000).filter(|_| rng.random_bool(0.25)).count();
+        assert!((2000..3000).contains(&hits), "got {hits}");
+    }
+}

@@ -1,0 +1,12 @@
+//! Offline stand-in for `serde`: marker traits plus the derive macros.
+//!
+//! Nothing in the workspace serializes through serde's data model (the
+//! scenario drivers hand-roll their JSON), so the traits carry no methods;
+//! deriving them simply records the intent and keeps trait bounds
+//! satisfiable.
+
+pub use serde_derive::{Deserialize, Serialize};
+
+pub trait Serialize {}
+
+pub trait Deserialize {}

@@ -1,0 +1,60 @@
+//! Offline stand-in for `serde_derive`.
+//!
+//! The workspace only ever *derives* `Serialize`/`Deserialize`; nothing
+//! actually serializes through serde (JSON output is hand-rolled). The
+//! derives therefore emit only a marker impl so `serde::Serialize` bounds
+//! stay satisfiable, without pulling in syn/quote.
+
+use proc_macro::{TokenStream, TokenTree};
+
+/// Extracts the name of the struct/enum a derive is attached to.
+/// Returns `None` for generic types (none exist in this workspace); the
+/// derive then degrades to emitting nothing.
+fn type_name(input: TokenStream) -> Option<String> {
+    let mut iter = input.into_iter().peekable();
+    while let Some(tt) = iter.next() {
+        match tt {
+            TokenTree::Punct(p) if p.as_char() == '#' => {
+                // Skip the attribute group that follows.
+                let _ = iter.next();
+            }
+            TokenTree::Ident(id) => {
+                let s = id.to_string();
+                if s == "struct" || s == "enum" || s == "union" {
+                    if let Some(TokenTree::Ident(name)) = iter.next() {
+                        if matches!(
+                            iter.peek(),
+                            Some(TokenTree::Punct(p)) if p.as_char() == '<'
+                        ) {
+                            return None;
+                        }
+                        return Some(name.to_string());
+                    }
+                    return None;
+                }
+                // `pub`, `pub(crate)`, doc idents etc. — keep scanning.
+            }
+            _ => {}
+        }
+    }
+    None
+}
+
+fn marker_impl(input: TokenStream, trait_name: &str) -> TokenStream {
+    match type_name(input) {
+        Some(name) => format!("impl ::serde::{trait_name} for {name} {{}}")
+            .parse()
+            .unwrap_or_else(|_| TokenStream::new()),
+        None => TokenStream::new(),
+    }
+}
+
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    marker_impl(input, "Serialize")
+}
+
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    marker_impl(input, "Deserialize")
+}
