@@ -1,0 +1,207 @@
+//! Offline stand-in for `criterion`.
+//!
+//! Implements the subset of the criterion API the bench targets use —
+//! groups, `bench_function` / `bench_with_input`, `iter` / `iter_batched`,
+//! throughput annotations — over a plain wall-clock loop. Statistical
+//! machinery (outlier analysis, HTML reports) is intentionally absent; the
+//! harness prints one `name ... median time` line per benchmark so the
+//! perf trajectory can still be eyeballed and scraped.
+
+use std::fmt;
+use std::time::{Duration, Instant};
+
+/// Re-export for convenience; real criterion also offers one.
+pub use std::hint::black_box;
+
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    Elements(u64),
+    Bytes(u64),
+}
+
+#[derive(Debug, Clone, Copy)]
+pub enum BatchSize {
+    SmallInput,
+    LargeInput,
+    PerIteration,
+}
+
+pub struct BenchmarkId {
+    function: String,
+    parameter: String,
+}
+
+impl BenchmarkId {
+    pub fn new(function: impl Into<String>, parameter: impl fmt::Display) -> Self {
+        BenchmarkId { function: function.into(), parameter: parameter.to_string() }
+    }
+
+    pub fn from_parameter(parameter: impl fmt::Display) -> Self {
+        BenchmarkId { function: String::new(), parameter: parameter.to_string() }
+    }
+
+    fn label(&self) -> String {
+        if self.function.is_empty() {
+            self.parameter.clone()
+        } else {
+            format!("{}/{}", self.function, self.parameter)
+        }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        BenchmarkId { function: s.to_string(), parameter: String::new() }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(s: String) -> Self {
+        BenchmarkId { function: s, parameter: String::new() }
+    }
+}
+
+pub struct Criterion {
+    /// Upper bound on measured iterations per benchmark.
+    sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion { sample_size: 20 }
+    }
+}
+
+impl Criterion {
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            sample_size: self.sample_size,
+            throughput: None,
+            _criterion: self,
+        }
+    }
+
+    pub fn bench_function<F>(&mut self, name: &str, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let sample_size = self.sample_size;
+        let mut group = self.benchmark_group(name.to_string());
+        group.sample_size = sample_size;
+        group.run(name.to_string(), f);
+        group.finish();
+        self
+    }
+}
+
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    sample_size: usize,
+    throughput: Option<Throughput>,
+    _criterion: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(2);
+        self
+    }
+
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        self.run(id.label(), f);
+        self
+    }
+
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        self.run(id.label(), |b| f(b, input));
+        self
+    }
+
+    pub fn finish(self) {}
+
+    fn run<F: FnMut(&mut Bencher)>(&mut self, label: String, mut f: F) {
+        let mut bencher = Bencher { iters: self.sample_size as u64, samples: Vec::new() };
+        f(&mut bencher);
+        bencher.samples.sort_unstable();
+        let median = bencher
+            .samples
+            .get(bencher.samples.len() / 2)
+            .copied()
+            .unwrap_or(Duration::ZERO);
+        let rate = match self.throughput {
+            Some(Throughput::Elements(n)) if median > Duration::ZERO => {
+                format!("  {:>12.0} elem/s", n as f64 / median.as_secs_f64())
+            }
+            Some(Throughput::Bytes(n)) if median > Duration::ZERO => {
+                format!("  {:>12.0} B/s", n as f64 / median.as_secs_f64())
+            }
+            _ => String::new(),
+        };
+        println!("{}/{:<40} median {:>12.3?}{}", self.name, label, median, rate);
+    }
+}
+
+pub struct Bencher {
+    iters: u64,
+    samples: Vec<Duration>,
+}
+
+impl Bencher {
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut routine: F) {
+        for _ in 0..self.iters {
+            let start = Instant::now();
+            black_box(routine());
+            self.samples.push(start.elapsed());
+        }
+    }
+
+    pub fn iter_batched<S, O, FS, FR>(&mut self, mut setup: FS, mut routine: FR, _size: BatchSize)
+    where
+        FS: FnMut() -> S,
+        FR: FnMut(S) -> O,
+    {
+        for _ in 0..self.iters {
+            let input = setup();
+            let start = Instant::now();
+            black_box(routine(input));
+            self.samples.push(start.elapsed());
+        }
+    }
+}
+
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
