@@ -1,0 +1,140 @@
+//! Predicate-evaluation throughput: interpreted (`Expr::eval` tree walk)
+//! vs compiled (`CompiledPred::eval_row`) vs compiled+batch
+//! (`ColumnBatch` decode once + `eval_batch` column-wise), at 1/8/32/64
+//! concurrent predicates over one fact page — the preprocessor's inner
+//! loop, isolated. PR 2's acceptance bar: compiled+batch ≥ 2× interpreted
+//! at 32 concurrent predicates.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use qs_plan::compiled::iter_ones;
+use qs_plan::{CompiledPred, Expr, PredScratch};
+use qs_storage::{ColumnBatch, DataType, Page, Schema, Value};
+use std::hint::black_box;
+use std::sync::Arc;
+
+const ROWS: usize = 4096;
+
+fn schema() -> Arc<Schema> {
+    // lineorder-shaped: keys, a measure, a date and a flag column.
+    Schema::from_pairs(&[
+        ("orderkey", DataType::Int),
+        ("custkey", DataType::Int),
+        ("quantity", DataType::Int),
+        ("extendedprice", DataType::Float),
+        ("discount", DataType::Int),
+        ("orderdate", DataType::Date),
+        ("shipmode", DataType::Char(4)),
+    ])
+}
+
+fn page(schema: &Arc<Schema>) -> Page {
+    let modes = ["AIR", "SHIP", "RAIL", "MAIL"];
+    Page::from_values(
+        schema,
+        &(0..ROWS)
+            .map(|i| {
+                vec![
+                    Value::Int(i as i64),
+                    Value::Int((i as i64 * 7) % 3000),
+                    Value::Int((i as i64 * 13) % 50),
+                    Value::Float((i as f64 * 0.37) % 10_000.0),
+                    Value::Int((i as i64 * 3) % 11),
+                    Value::Date(19970101 + (i as u32 % 28)),
+                    Value::Str(modes[i % modes.len()].to_string()),
+                ]
+            })
+            .collect::<Vec<_>>(),
+    )
+    .expect("one page")
+}
+
+/// `n` distinct star-query-shaped fact predicates (range + equality
+/// conjunctions with varying constants, as the workload generators emit).
+fn predicates(n: usize) -> Vec<Expr> {
+    (0..n)
+        .map(|q| {
+            let lo = (q as i64 * 5) % 40;
+            Expr::And(vec![
+                Expr::between(2, lo, lo + 10),
+                Expr::ge(4, (q as i64) % 9),
+                Expr::between(
+                    5,
+                    Value::Date(19970101 + (q as u32 % 10)),
+                    Value::Date(19970115 + (q as u32 % 10)),
+                ),
+            ])
+        })
+        .collect()
+}
+
+fn bench_pred_eval(c: &mut Criterion) {
+    let schema = schema();
+    let page = page(&schema);
+    let mut group = c.benchmark_group("pred_eval");
+    for npreds in [1usize, 8, 32, 64] {
+        let preds = predicates(npreds);
+        let compiled: Vec<CompiledPred> = preds
+            .iter()
+            .map(|p| CompiledPred::compile(p, &schema))
+            .collect();
+        // Work per iteration = every predicate over every row.
+        group.throughput(Throughput::Elements((ROWS * npreds) as u64));
+
+        group.bench_with_input(
+            BenchmarkId::new("interpreted", npreds),
+            &npreds,
+            |b, _| {
+                b.iter(|| {
+                    let mut hits = 0u64;
+                    for row in page.iter() {
+                        for p in &preds {
+                            hits += p.eval(&row) as u64;
+                        }
+                    }
+                    black_box(hits)
+                })
+            },
+        );
+
+        group.bench_with_input(BenchmarkId::new("compiled", npreds), &npreds, |b, _| {
+            b.iter(|| {
+                let mut hits = 0u64;
+                for row in page.iter() {
+                    for c in &compiled {
+                        hits += c.eval_row(&row) as u64;
+                    }
+                }
+                black_box(hits)
+            })
+        });
+
+        // Union of referenced columns, as the preprocessor decodes it.
+        let mut cols: Vec<usize> = compiled
+            .iter()
+            .flat_map(|c| c.columns().iter().copied())
+            .collect();
+        cols.sort_unstable();
+        cols.dedup();
+        group.bench_with_input(
+            BenchmarkId::new("compiled_batch", npreds),
+            &npreds,
+            |b, _| {
+                let mut scratch = PredScratch::new();
+                let mut mask: Vec<u64> = Vec::new();
+                b.iter(|| {
+                    let batch = ColumnBatch::from_page(&page, &cols);
+                    let mut hits = 0u64;
+                    for c in &compiled {
+                        c.eval_batch(&batch, &mut scratch, &mut mask);
+                        hits += iter_ones(&mask).count() as u64;
+                    }
+                    black_box(hits)
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_pred_eval);
+criterion_main!(benches);

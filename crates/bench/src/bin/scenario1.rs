@@ -7,27 +7,39 @@
 //! cargo run --release -p qs-bench --bin scenario1 -- \
 //!     --scale 0.02 --cores 8 --disk 0
 //! ```
+//!
+//! `--quick 1` runs the test-sized configuration; `--json PATH` merges
+//! the measured points into a machine-readable perf file.
 
-use qs_bench::{arg, arg_list};
+use qs_bench::{arg, arg_list, json_path, perf, quick_mode};
 use qs_core::scenarios::{format_scenario1_table, scenario1, Scenario1Config};
 
 fn main() {
-    let cfg = Scenario1Config {
-        scale: arg("scale", 0.02),
-        clients: arg_list("clients", &[1, 2, 4, 8, 16, 32]),
-        cores: arg("cores", 8),
-        disk_resident: arg("disk", 0usize) != 0,
-        buffer_pool_pages: {
-            let p = arg("pool-pages", 0usize);
-            if p == 0 {
-                None
-            } else {
-                Some(p)
-            }
-        },
-        seed: arg("seed", 42),
+    let cfg = if quick_mode() {
+        Scenario1Config::quick()
+    } else {
+        Scenario1Config {
+            scale: arg("scale", 0.02),
+            clients: arg_list("clients", &[1, 2, 4, 8, 16, 32]),
+            cores: arg("cores", 8),
+            disk_resident: arg("disk", 0usize) != 0,
+            buffer_pool_pages: {
+                let p = arg("pool-pages", 0usize);
+                if p == 0 {
+                    None
+                } else {
+                    Some(p)
+                }
+            },
+            seed: arg("seed", 42),
+        }
     };
     eprintln!("scenario1 config: {cfg:?}");
     let rows = scenario1(&cfg).expect("scenario 1");
     println!("{}", format_scenario1_table(&rows));
+    if let Some(path) = json_path() {
+        perf::write_points(&path, "scenario1", &perf::scenario1_points(&rows))
+            .expect("write perf points");
+        eprintln!("scenario1 points merged into {path}");
+    }
 }

@@ -5,21 +5,28 @@
 //! ```sh
 //! cargo run --release -p qs-bench --bin scenario2 -- --scale 0.01 --window-ms 2000
 //! ```
+//!
+//! `--quick 1` runs the test-sized configuration; `--json PATH` merges
+//! the measured points into a machine-readable perf file.
 
-use qs_bench::{arg, arg_list};
+use qs_bench::{arg, arg_list, json_path, perf, quick_mode};
 use qs_core::scenarios::{format_throughput_table, scenario2, Scenario2Config};
 use std::time::Duration;
 
 fn main() {
-    let cfg = Scenario2Config {
-        scale: arg("scale", 0.01),
-        clients: arg_list("clients", &[1, 2, 4, 8, 16, 32]),
-        selectivity: arg("selectivity", 0.01),
-        window: Duration::from_millis(arg("window-ms", 2000)),
-        disk_resident: arg("disk", 1usize) != 0,
-        cores: arg("cores", 8),
-        seed: arg("seed", 42),
-        ..Default::default()
+    let cfg = if quick_mode() {
+        Scenario2Config::quick()
+    } else {
+        Scenario2Config {
+            scale: arg("scale", 0.01),
+            clients: arg_list("clients", &[1, 2, 4, 8, 16, 32]),
+            selectivity: arg("selectivity", 0.01),
+            window: Duration::from_millis(arg("window-ms", 2000)),
+            disk_resident: arg("disk", 1usize) != 0,
+            cores: arg("cores", 8),
+            seed: arg("seed", 42),
+            ..Default::default()
+        }
     };
     eprintln!("scenario2 config: {cfg:?}");
     let rows = scenario2(&cfg).expect("scenario 2");
@@ -31,4 +38,9 @@ fn main() {
             &rows
         )
     );
+    if let Some(path) = json_path() {
+        perf::write_points(&path, "scenario2", &perf::throughput_points(&rows))
+            .expect("write perf points");
+        eprintln!("scenario2 points merged into {path}");
+    }
 }

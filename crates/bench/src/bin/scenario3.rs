@@ -5,24 +5,31 @@
 //! ```sh
 //! cargo run --release -p qs-bench --bin scenario3 -- --scale 0.01 --clients 2
 //! ```
+//!
+//! `--quick 1` runs the test-sized configuration; `--json PATH` merges
+//! the measured points into a machine-readable perf file.
 
-use qs_bench::arg;
+use qs_bench::{arg, json_path, perf, quick_mode};
 use qs_core::scenarios::{format_throughput_table, scenario3, Scenario3Config};
 use std::time::Duration;
 
 fn main() {
-    let cfg = Scenario3Config {
-        scale: arg("scale", 0.01),
-        clients: arg("clients", 2),
-        selectivities: {
-            // --selectivities 1,5,10 given in percent
-            let pct = qs_bench::arg_list("selectivities", &[1, 5, 10, 25, 50, 90]);
-            pct.into_iter().map(|p| p as f64 / 100.0).collect()
-        },
-        window: Duration::from_millis(arg("window-ms", 2000)),
-        cores: arg("cores", 8),
-        seed: arg("seed", 42),
-        ..Default::default()
+    let cfg = if quick_mode() {
+        Scenario3Config::quick()
+    } else {
+        Scenario3Config {
+            scale: arg("scale", 0.01),
+            clients: arg("clients", 2),
+            selectivities: {
+                // --selectivities 1,5,10 given in percent
+                let pct = qs_bench::arg_list("selectivities", &[1, 5, 10, 25, 50, 90]);
+                pct.into_iter().map(|p| p as f64 / 100.0).collect()
+            },
+            window: Duration::from_millis(arg("window-ms", 2000)),
+            cores: arg("cores", 8),
+            seed: arg("seed", 42),
+            ..Default::default()
+        }
     };
     eprintln!("scenario3 config: {cfg:?}");
     let rows = scenario3(&cfg).expect("scenario 3");
@@ -34,4 +41,9 @@ fn main() {
             &rows
         )
     );
+    if let Some(path) = json_path() {
+        perf::write_points(&path, "scenario3", &perf::throughput_points(&rows))
+            .expect("write perf points");
+        eprintln!("scenario3 points merged into {path}");
+    }
 }

@@ -6,21 +6,28 @@
 //! ```sh
 //! cargo run --release -p qs-bench --bin scenario4 -- --scale 0.01 --clients 16
 //! ```
+//!
+//! `--quick 1` runs the test-sized configuration; `--json PATH` merges
+//! the measured points into a machine-readable perf file.
 
-use qs_bench::{arg, arg_list};
+use qs_bench::{arg, arg_list, json_path, perf, quick_mode};
 use qs_core::scenarios::{format_throughput_table, scenario4, Scenario4Config};
 use std::time::Duration;
 
 fn main() {
-    let cfg = Scenario4Config {
-        scale: arg("scale", 0.01),
-        clients: arg("clients", 16),
-        num_plans: arg_list("num-plans", &[1, 2, 4, 8, 16, 32]),
-        window: Duration::from_millis(arg("window-ms", 2000)),
-        disk_resident: arg("disk", 1usize) != 0,
-        cores: arg("cores", 8),
-        seed: arg("seed", 42),
-        ..Default::default()
+    let cfg = if quick_mode() {
+        Scenario4Config::quick()
+    } else {
+        Scenario4Config {
+            scale: arg("scale", 0.01),
+            clients: arg("clients", 16),
+            num_plans: arg_list("num-plans", &[1, 2, 4, 8, 16, 32]),
+            window: Duration::from_millis(arg("window-ms", 2000)),
+            disk_resident: arg("disk", 1usize) != 0,
+            cores: arg("cores", 8),
+            seed: arg("seed", 42),
+            ..Default::default()
+        }
     };
     eprintln!("scenario4 config: {cfg:?}");
     let rows = scenario4(&cfg).expect("scenario 4");
@@ -32,4 +39,9 @@ fn main() {
             &rows
         )
     );
+    if let Some(path) = json_path() {
+        perf::write_points(&path, "scenario4", &perf::throughput_points(&rows))
+            .expect("write perf points");
+        eprintln!("scenario4 points merged into {path}");
+    }
 }

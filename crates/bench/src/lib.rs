@@ -10,7 +10,26 @@
 //!   exchange, bitmap operations, shared scans, CJOIN probe overhead vs a
 //!   plain hash join, and scaled-down scenario sweeps.
 
+pub mod perf;
+
 use std::env;
+
+/// `true` when the binary was invoked with `--quick 1` (CI smoke mode:
+/// the scenario runs its test-sized configuration).
+pub fn quick_mode() -> bool {
+    arg("quick", 0usize) != 0
+}
+
+/// The `--json PATH` override: where to merge this scenario's perf
+/// points, if anywhere.
+pub fn json_path() -> Option<String> {
+    let p: String = arg("json", String::new());
+    if p.is_empty() {
+        None
+    } else {
+        Some(p)
+    }
+}
 
 /// Parse `--key value`-style overrides from a binary's argument list.
 /// Returns the value for `key` parsed as `T`, or `default`.

@@ -1,0 +1,172 @@
+//! Machine-readable perf points: the scenario binaries append their
+//! measured series to a single JSON file (`BENCH_PR2.json` in CI and in
+//! the repo root) so the perf trajectory is diffable across PRs.
+//!
+//! The file is a JSON object with one key per scenario, each an array of
+//! point objects. The writer owns the format end to end: each scenario's
+//! array is serialized onto its own line, and merging re-parses only
+//! those lines — no general JSON parser needed (the offline build has no
+//! serde_json).
+
+use std::fmt::Write as _;
+use std::fs;
+use std::io;
+use std::path::Path;
+
+/// One measured perf point of a scenario sweep.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PerfPoint {
+    /// Execution-mode label (`QC`, `SP-SPL`, `CJOIN`, …).
+    pub mode: String,
+    /// Swept x value (clients / selectivity / #plans).
+    pub x: f64,
+    /// Queries per second.
+    pub qps: f64,
+    /// Queries completed in the window.
+    pub completed: u64,
+    /// CJOIN dimension-entry predicate evaluations at admission.
+    pub admission_evals: u64,
+    /// Pages shared via SPLs.
+    pub pages_shared: u64,
+    /// Total SP hits.
+    pub sp_hits: u64,
+}
+
+impl PerfPoint {
+    fn to_json(&self) -> String {
+        format!(
+            "{{\"mode\":\"{}\",\"x\":{},\"qps\":{:.3},\"completed\":{},\"admission_evals\":{},\"pages_shared\":{},\"sp_hits\":{}}}",
+            self.mode, self.x, self.qps, self.completed, self.admission_evals,
+            self.pages_shared, self.sp_hits
+        )
+    }
+}
+
+/// Convert throughput rows (Scenarios II–IV) into perf points.
+pub fn throughput_points(rows: &[qs_core::scenarios::ThroughputRow]) -> Vec<PerfPoint> {
+    rows.iter()
+        .map(|r| PerfPoint {
+            mode: r.mode.clone(),
+            x: r.x,
+            qps: r.qps,
+            completed: r.completed,
+            admission_evals: r.admission_evals,
+            pages_shared: r.pages_shared,
+            sp_hits: r.sp_hits,
+        })
+        .collect()
+}
+
+/// Convert Scenario I response-time rows into perf points (`qps` is the
+/// workload rate implied by the response time: clients / response).
+pub fn scenario1_points(rows: &[qs_core::scenarios::Scenario1Row]) -> Vec<PerfPoint> {
+    rows.iter()
+        .map(|r| PerfPoint {
+            mode: r.mode.clone(),
+            x: r.clients as f64,
+            qps: if r.response_ms > 0.0 {
+                r.clients as f64 / (r.response_ms / 1e3)
+            } else {
+                0.0
+            },
+            completed: r.clients as u64,
+            admission_evals: 0,
+            pages_shared: r.pages_shared,
+            sp_hits: 0,
+        })
+        .collect()
+}
+
+/// Read the per-scenario lines of an existing points file. Lines are
+/// `  "<name>": [<points>],?` — exactly what [`write_points`] emits.
+fn read_existing(path: &Path) -> Vec<(String, String)> {
+    let Ok(text) = fs::read_to_string(path) else {
+        return Vec::new();
+    };
+    let mut out = Vec::new();
+    for line in text.lines() {
+        let trimmed = line.trim();
+        let Some(rest) = trimmed.strip_prefix('"') else {
+            continue;
+        };
+        let Some((name, value)) = rest.split_once("\": ") else {
+            continue;
+        };
+        let value = value.trim_end_matches(',').to_string();
+        out.push((name.to_string(), value));
+    }
+    out
+}
+
+/// Merge `points` for `scenario` into the JSON file at `path`, replacing
+/// any previous series for the same scenario and preserving the others.
+pub fn write_points(
+    path: impl AsRef<Path>,
+    scenario: &str,
+    points: &[PerfPoint],
+) -> io::Result<()> {
+    let path = path.as_ref();
+    let mut entries = read_existing(path);
+    let rendered = format!(
+        "[{}]",
+        points
+            .iter()
+            .map(|p| p.to_json())
+            .collect::<Vec<_>>()
+            .join(", ")
+    );
+    match entries.iter_mut().find(|(n, _)| n == scenario) {
+        Some((_, v)) => *v = rendered,
+        None => entries.push((scenario.to_string(), rendered)),
+    }
+    entries.sort_by(|a, b| a.0.cmp(&b.0));
+    let mut out = String::from("{\n");
+    for (i, (name, value)) in entries.iter().enumerate() {
+        let comma = if i + 1 < entries.len() { "," } else { "" };
+        writeln!(out, "\"{name}\": {value}{comma}").expect("string write");
+    }
+    out.push_str("}\n");
+    fs::write(path, out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn point(mode: &str, x: f64) -> PerfPoint {
+        PerfPoint {
+            mode: mode.to_string(),
+            x,
+            qps: 12.345678,
+            completed: 42,
+            admission_evals: 7,
+            pages_shared: 3,
+            sp_hits: 1,
+        }
+    }
+
+    #[test]
+    fn write_then_merge_preserves_other_scenarios() {
+        let dir = std::env::temp_dir().join(format!("qs_perf_{}", std::process::id()));
+        fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("points.json");
+        write_points(&path, "scenario2", &[point("CJOIN", 4.0)]).unwrap();
+        write_points(&path, "scenario1", &[point("QC", 1.0), point("SP-SPL", 1.0)]).unwrap();
+        // Overwrite scenario2's series.
+        write_points(&path, "scenario2", &[point("CJOIN", 8.0)]).unwrap();
+
+        let entries = read_existing(&path);
+        let names: Vec<&str> = entries.iter().map(|(n, _)| n.as_str()).collect();
+        assert_eq!(names, vec!["scenario1", "scenario2"]);
+        assert!(entries[1].1.contains("\"x\":8"));
+        assert!(!entries[1].1.contains("\"x\":4"));
+        assert!(entries[0].1.contains("SP-SPL"));
+
+        // The file stays structurally a JSON object.
+        let text = fs::read_to_string(&path).unwrap();
+        assert!(text.starts_with("{\n"));
+        assert!(text.ends_with("}\n"));
+        assert_eq!(text.matches("\"qps\":12.346").count(), 3);
+        fs::remove_dir_all(&dir).unwrap();
+    }
+}

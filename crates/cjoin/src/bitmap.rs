@@ -10,49 +10,109 @@
 
 use std::sync::atomic::{AtomicU64, Ordering};
 
+/// Words stored inline before spilling to the heap. Two words cover 128
+/// query slots — comfortably above the default `max_queries = 64` — so
+/// the per-tuple bitmaps the preprocessor mints by the million are
+/// allocation-free.
+const INLINE_WORDS: usize = 2;
+
 /// A fixed-width bitmap over query slots.
+///
+/// Small-inline representation: up to [`INLINE_WORDS`]·64 slots live in
+/// the struct itself; wider bitmaps spill to a heap vector. The invariant
+/// is canonical (inline words zeroed when spilled, spill empty when
+/// inline), so derived equality is structural equality.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Bitmap {
-    words: Vec<u64>,
+    nwords: u32,
+    inline: [u64; INLINE_WORDS],
+    spill: Vec<u64>,
 }
 
 impl Bitmap {
     /// All-zero bitmap able to hold `nbits` query slots.
     pub fn zeros(nbits: usize) -> Self {
+        let nwords = nbits.div_ceil(64).max(1);
         Bitmap {
-            words: vec![0; nbits.div_ceil(64).max(1)],
+            nwords: nwords as u32,
+            inline: [0; INLINE_WORDS],
+            spill: if nwords > INLINE_WORDS {
+                vec![0; nwords]
+            } else {
+                Vec::new()
+            },
+        }
+    }
+
+    /// Build from explicit words (used by [`AtomicBitmap::snapshot`]).
+    fn from_words(words: Vec<u64>) -> Self {
+        let nwords = words.len().max(1);
+        if nwords > INLINE_WORDS {
+            Bitmap {
+                nwords: nwords as u32,
+                inline: [0; INLINE_WORDS],
+                spill: words,
+            }
+        } else {
+            let mut inline = [0; INLINE_WORDS];
+            inline[..words.len()].copy_from_slice(&words);
+            Bitmap {
+                nwords: nwords as u32,
+                inline,
+                spill: Vec::new(),
+            }
+        }
+    }
+
+    /// The backing words.
+    #[inline]
+    pub fn words(&self) -> &[u64] {
+        if self.nwords as usize <= INLINE_WORDS {
+            &self.inline[..self.nwords as usize]
+        } else {
+            &self.spill
+        }
+    }
+
+    /// The backing words, mutable.
+    #[inline]
+    pub fn words_mut(&mut self) -> &mut [u64] {
+        if self.nwords as usize <= INLINE_WORDS {
+            &mut self.inline[..self.nwords as usize]
+        } else {
+            &mut self.spill
         }
     }
 
     /// Number of 64-bit words.
     #[inline]
     pub fn word_count(&self) -> usize {
-        self.words.len()
+        self.nwords as usize
     }
 
     /// Set bit `i`.
     #[inline]
     pub fn set(&mut self, i: usize) {
-        self.words[i / 64] |= 1u64 << (i % 64);
+        self.words_mut()[i / 64] |= 1u64 << (i % 64);
     }
 
     /// Clear bit `i`.
     #[inline]
     pub fn clear(&mut self, i: usize) {
-        self.words[i / 64] &= !(1u64 << (i % 64));
+        self.words_mut()[i / 64] &= !(1u64 << (i % 64));
     }
 
     /// Read bit `i`.
     #[inline]
     pub fn get(&self, i: usize) -> bool {
-        self.words[i / 64] & (1u64 << (i % 64)) != 0
+        self.words()[i / 64] & (1u64 << (i % 64)) != 0
     }
 
     /// `self &= other` (the shared hash-join step).
     #[inline]
     pub fn and_assign(&mut self, other: &Bitmap) {
-        debug_assert_eq!(self.words.len(), other.words.len());
-        for (a, b) in self.words.iter_mut().zip(&other.words) {
+        debug_assert_eq!(self.nwords, other.nwords);
+        for (a, b) in self.words_mut().iter_mut().zip(other.words()) {
             *a &= *b;
         }
     }
@@ -61,9 +121,14 @@ impl Bitmap {
     /// bypass mask for queries that do not join this dimension.
     #[inline]
     pub fn and_or_assign(&mut self, other: &Bitmap, mask: &Bitmap) {
-        debug_assert_eq!(self.words.len(), other.words.len());
-        debug_assert_eq!(self.words.len(), mask.words.len());
-        for ((a, b), m) in self.words.iter_mut().zip(&other.words).zip(&mask.words) {
+        debug_assert_eq!(self.nwords, other.nwords);
+        debug_assert_eq!(self.nwords, mask.nwords);
+        for ((a, b), m) in self
+            .words_mut()
+            .iter_mut()
+            .zip(other.words())
+            .zip(mask.words())
+        {
             *a &= *b | *m;
         }
     }
@@ -72,7 +137,7 @@ impl Bitmap {
     /// only bypassing queries survive).
     #[inline]
     pub fn and_mask(&mut self, mask: &Bitmap) {
-        for (a, m) in self.words.iter_mut().zip(&mask.words) {
+        for (a, m) in self.words_mut().iter_mut().zip(mask.words()) {
             *a &= *m;
         }
     }
@@ -80,28 +145,17 @@ impl Bitmap {
     /// Any bit set?
     #[inline]
     pub fn any(&self) -> bool {
-        self.words.iter().any(|&w| w != 0)
+        self.words().iter().any(|&w| w != 0)
     }
 
     /// Number of set bits.
     pub fn count_ones(&self) -> usize {
-        self.words.iter().map(|w| w.count_ones() as usize).sum()
+        self.words().iter().map(|w| w.count_ones() as usize).sum()
     }
 
     /// Iterate the indices of set bits, ascending.
     pub fn iter_ones(&self) -> impl Iterator<Item = usize> + '_ {
-        self.words.iter().enumerate().flat_map(|(wi, &w)| {
-            let mut w = w;
-            std::iter::from_fn(move || {
-                if w == 0 {
-                    None
-                } else {
-                    let b = w.trailing_zeros() as usize;
-                    w &= w - 1;
-                    Some(wi * 64 + b)
-                }
-            })
-        })
+        qs_plan::compiled::iter_ones(self.words())
     }
 }
 
@@ -153,15 +207,13 @@ impl AtomicBitmap {
 
     /// Snapshot into a plain bitmap.
     pub fn snapshot(&self) -> Bitmap {
-        Bitmap {
-            words: self.words.iter().map(|w| w.load(Ordering::Acquire)).collect(),
-        }
+        Bitmap::from_words(self.words.iter().map(|w| w.load(Ordering::Acquire)).collect())
     }
 
     /// `dst &= (self | mask)` without allocating (hot join path).
     #[inline]
     pub fn and_or_into(&self, mask: &AtomicBitmap, dst: &mut Bitmap) {
-        for (i, d) in dst.words.iter_mut().enumerate() {
+        for (i, d) in dst.words_mut().iter_mut().enumerate() {
             let w = self.words[i].load(Ordering::Acquire);
             let m = mask.words[i].load(Ordering::Acquire);
             *d &= w | m;
@@ -171,7 +223,7 @@ impl AtomicBitmap {
     /// `dst &= self` without allocating.
     #[inline]
     pub fn and_into(&self, dst: &mut Bitmap) {
-        for (i, d) in dst.words.iter_mut().enumerate() {
+        for (i, d) in dst.words_mut().iter_mut().enumerate() {
             *d &= self.words[i].load(Ordering::Acquire);
         }
     }
@@ -194,6 +246,36 @@ mod tests {
         b.clear(64);
         assert!(!b.get(64));
         assert_eq!(b.count_ones(), 3);
+    }
+
+    #[test]
+    fn small_widths_stay_inline_wide_ones_spill() {
+        // ≤128 slots: no heap allocation behind the bitmap.
+        let mut b = Bitmap::zeros(64);
+        assert!(b.spill.is_empty());
+        b.set(63);
+        assert!(b.get(63));
+        let b = Bitmap::zeros(128);
+        assert!(b.spill.is_empty());
+        assert_eq!(b.word_count(), 2);
+        // >128 slots: spilled, still fully functional.
+        let mut b = Bitmap::zeros(129);
+        assert_eq!(b.spill.len(), 3);
+        b.set(128);
+        assert!(b.get(128) && !b.get(1));
+        assert_eq!(b.iter_ones().collect::<Vec<_>>(), vec![128]);
+    }
+
+    #[test]
+    fn snapshot_roundtrips_both_representations() {
+        for bits in [64usize, 200] {
+            let a = AtomicBitmap::zeros(bits);
+            a.set(0);
+            a.set(bits - 1);
+            let snap = a.snapshot();
+            assert_eq!(snap.iter_ones().collect::<Vec<_>>(), vec![0, bits - 1]);
+            assert_eq!(snap.word_count(), bits.div_ceil(64));
+        }
     }
 
     #[test]

@@ -12,10 +12,13 @@
 //!            └────────┘
 //! ```
 //!
-//! * The **preprocessor** runs a circular scan of the fact table. For each
-//!   fact tuple it evaluates every active query's fact-side predicate and
-//!   attaches the resulting query bitmap; a query is complete after one
-//!   full revolution from its admission point.
+//! * The **preprocessor** runs a circular scan of the fact table,
+//!   page-at-a-time: the columns referenced by any active query are
+//!   decoded once per page into a column batch, every active query's
+//!   *compiled* fact predicate ([`CompiledPred`]) runs column-wise into a
+//!   per-query selection mask, and the masks are transposed into the
+//!   per-row query bitmaps the joins consume. A query is complete after
+//!   one full revolution from its admission point.
 //! * Each **shared hash-join** holds the dimension's hash table, with a
 //!   per-entry bitmap maintained online by admissions (bit q = the entry
 //!   satisfies query q's dimension predicate) and a per-stage *bypass
@@ -38,8 +41,9 @@ use crate::stats::{CjoinMetrics, CjoinStats};
 use crossbeam::channel::{bounded, Receiver, Sender};
 use parking_lot::Mutex;
 use qs_engine::{ExecCtx, OutputHub, PageSource, ShareMode, StageKind};
-use qs_plan::{Expr, StarQuery};
-use qs_storage::{Catalog, Page, PageBuilder, RowRef, Schema, Table};
+use qs_plan::compiled::{iter_ones, mask_words};
+use qs_plan::{CompiledPred, Expr, PredScratch, StarQuery};
+use qs_storage::{Catalog, ColumnBatch, Page, PageBuilder, Schema, Table};
 use std::collections::HashMap;
 use std::fmt;
 use std::sync::atomic::Ordering;
@@ -104,9 +108,10 @@ pub struct PipelineSpec {
     /// materialization work the way the CJOIN prototype parallelizes its
     /// pipeline.
     pub dist_shards: usize,
-    /// Preprocessor workers: fact-predicate evaluation (one eval per
-    /// active query per tuple) is chunked across this many helper threads
-    /// per page — the preprocessor parallelism of the CJOIN prototype.
+    /// Preprocessor workers: vectorized fact-predicate evaluation (one
+    /// batch decode + one compiled program per active query per chunk) is
+    /// spread across this many helper threads per page — the preprocessor
+    /// parallelism of the CJOIN prototype.
     pub preproc_workers: usize,
 }
 
@@ -174,7 +179,9 @@ enum DistMsg {
 enum Ctl {
     Admit {
         slot: u32,
-        fact_pred: Option<Expr>,
+        /// Fact predicate, compiled once at admission; shared by every
+        /// page-of-rows snapshot for the query's whole revolution.
+        fact_pred: Option<Arc<CompiledPred>>,
         output: Box<QueryOutput>,
     },
     /// Early removal (cancellation): stop feeding the query and finish its
@@ -526,16 +533,7 @@ impl CjoinPipeline {
                                 dedup_hits += 1;
                             }
                             _ => {
-                                for e in &dim.entries {
-                                    let keep = match &pred {
-                                        Some(p) => {
-                                            p.eval(&RowRef::new(&e.row, &dim.schema))
-                                        }
-                                        None => true,
-                                    };
-                                    e.bitmap.write(slot as usize, keep);
-                                    evals += 1;
-                                }
+                                evals += admission_scan(dim, &pred, slot);
                                 cache[idx].insert(key, (pred, slot));
                             }
                         }
@@ -576,10 +574,14 @@ impl CjoinPipeline {
             out_schema: out_schema.clone(),
         });
         self.metrics.admissions.fetch_add(1, Ordering::Relaxed);
+        let fact_pred = star
+            .fact_predicate
+            .as_ref()
+            .map(|e| Arc::new(CompiledPred::compile(e, &self.fact_schema)));
         self.ctl_tx
             .send(Ctl::Admit {
                 slot,
-                fact_pred: star.fact_predicate.clone(),
+                fact_pred,
                 output,
             })
             .expect("preprocessor alive");
@@ -607,51 +609,144 @@ impl Drop for CjoinPipeline {
     }
 }
 
+/// Entry chunk size of the batched dimension-admission scan: large enough
+/// to amortize the batch decode, small enough to stay cache-resident.
+const ADMIT_BATCH_ROWS: usize = 4096;
+
+/// Evaluate a (possibly absent) dimension predicate for `slot` over every
+/// hash-table entry, page-at-a-time: the referenced columns of a chunk of
+/// entries are decoded once and the compiled predicate runs column-wise,
+/// instead of tree-walking `Expr::eval` per entry. Returns the number of
+/// entry evaluations performed (the admission-cost metric).
+fn admission_scan(dim: &DimData, pred: &Option<Expr>, slot: u32) -> u64 {
+    let slot = slot as usize;
+    let Some(pred) = pred else {
+        for e in &dim.entries {
+            e.bitmap.write(slot, true);
+        }
+        return dim.entries.len() as u64;
+    };
+    let compiled = CompiledPred::compile(pred, &dim.schema);
+    let mut scratch = PredScratch::new();
+    let mut mask: Vec<u64> = Vec::new();
+    let mut slices: Vec<&[u8]> = Vec::with_capacity(ADMIT_BATCH_ROWS.min(dim.entries.len()));
+    for chunk in dim.entries.chunks(ADMIT_BATCH_ROWS) {
+        slices.clear();
+        slices.extend(chunk.iter().map(|e| &*e.row));
+        let batch = ColumnBatch::from_rows(&dim.schema, &slices, compiled.columns());
+        compiled.eval_batch(&batch, &mut scratch, &mut mask);
+        for (i, e) in chunk.iter().enumerate() {
+            e.bitmap.write(slot, mask[i / 64] & (1u64 << (i % 64)) != 0);
+        }
+    }
+    dim.entries.len() as u64
+}
+
 // ---------------------------------------------------------------------
 // Stage bodies
 // ---------------------------------------------------------------------
 
 struct ActiveQuery {
     slot: u32,
-    fact_pred: Option<Expr>,
+    fact_pred: Option<Arc<CompiledPred>>,
     remaining_pages: usize,
 }
 
 /// A unit of parallel fact-predicate evaluation: rows `range` of `page`
-/// against the predicate snapshot; passing rows and their bitmaps are
-/// replied with the chunk id so the preprocessor can reassemble in order.
+/// against the compiled-predicate snapshot; passing rows and their
+/// bitmaps are replied with the chunk id so the preprocessor can
+/// reassemble in order.
 struct ChunkJob {
     page: Arc<Page>,
     range: std::ops::Range<usize>,
-    preds: Arc<Vec<(u32, Option<Expr>)>>,
+    preds: Arc<Vec<(u32, Option<Arc<CompiledPred>>)>>,
+    /// Union of the columns referenced by any active predicate — the set
+    /// the batch decodes once for all queries.
+    cols: Arc<Vec<usize>>,
     max_queries: usize,
     chunk_id: usize,
     reply: Sender<(usize, Vec<u32>, Vec<Bitmap>)>,
 }
 
-fn eval_chunk(job: &ChunkJob) -> (Vec<u32>, Vec<Bitmap>) {
-    let mut rows = Vec::with_capacity(job.range.len());
-    let mut bitmaps = Vec::with_capacity(job.range.len());
-    for i in job.range.clone() {
-        let row = job.page.row(i);
-        let mut bm = Bitmap::zeros(job.max_queries);
-        for (slot, pred) in job.preds.iter() {
-            let pass = pred.as_ref().map(|p| p.eval(&row)).unwrap_or(true);
-            if pass {
-                bm.set(*slot as usize);
+/// Reusable buffers for [`eval_chunk`], held per worker thread so
+/// steady-state chunk evaluation allocates only the outgoing
+/// rows/bitmaps vectors.
+#[derive(Default)]
+struct ChunkScratch {
+    pred: PredScratch,
+    /// Flat `nq × words` per-query selection masks.
+    masks: Vec<u64>,
+    /// OR of all query masks: rows any active query still wants.
+    any: Vec<u64>,
+    /// Per-query evaluation output before it lands in `masks`.
+    qmask: Vec<u64>,
+    /// Chunk-row index → survivor index (`u32::MAX` = dropped).
+    sel_index: Vec<u32>,
+}
+
+/// Page-at-a-time preprocessor step: decode the referenced columns of the
+/// chunk once, run every active query's compiled predicate column-wise
+/// into a per-query selection mask, then transpose the masks into the
+/// per-row query bitmaps the shared joins consume. Dead rows (no query
+/// bit set) never materialize a bitmap.
+fn eval_chunk(job: &ChunkJob, scratch: &mut ChunkScratch) -> (Vec<u32>, Vec<Bitmap>) {
+    let n = job.range.len();
+    if n == 0 {
+        return (Vec::new(), Vec::new());
+    }
+    let words = mask_words(n);
+    let nq = job.preds.len();
+    let batch = ColumnBatch::from_page_range(&job.page, job.range.clone(), &job.cols);
+
+    scratch.masks.clear();
+    scratch.masks.resize(nq * words, 0);
+    scratch.any.clear();
+    scratch.any.resize(words, 0);
+    for (qi, (_, pred)) in job.preds.iter().enumerate() {
+        let dst = &mut scratch.masks[qi * words..(qi + 1) * words];
+        match pred {
+            Some(p) => {
+                p.eval_batch(&batch, &mut scratch.pred, &mut scratch.qmask);
+                dst.copy_from_slice(&scratch.qmask);
+            }
+            None => {
+                // No predicate: the query wants every row.
+                dst.fill(u64::MAX);
+                if !n.is_multiple_of(64) {
+                    dst[words - 1] = (1u64 << (n % 64)) - 1;
+                }
             }
         }
-        if bm.any() {
-            rows.push(i as u32);
-            bitmaps.push(bm);
+        for (a, m) in scratch.any.iter_mut().zip(dst.iter()) {
+            *a |= *m;
+        }
+    }
+
+    // Survivors: rows at least one query wants.
+    let mut rows: Vec<u32> = Vec::new();
+    scratch.sel_index.clear();
+    scratch.sel_index.resize(n, u32::MAX);
+    for i in iter_ones(&scratch.any) {
+        scratch.sel_index[i] = rows.len() as u32;
+        rows.push((job.range.start + i) as u32);
+    }
+    // Transpose the per-query masks into per-row bitmaps. The bitmaps are
+    // inline (≤ 2 words) for the default 64-slot pipeline, so this mints
+    // no per-tuple heap allocations.
+    let mut bitmaps: Vec<Bitmap> = vec![Bitmap::zeros(job.max_queries); rows.len()];
+    for (qi, (slot, _)) in job.preds.iter().enumerate() {
+        let m = &scratch.masks[qi * words..(qi + 1) * words];
+        for i in iter_ones(m) {
+            bitmaps[scratch.sel_index[i] as usize].set(*slot as usize);
         }
     }
     (rows, bitmaps)
 }
 
 fn preproc_worker_loop(job_rx: Receiver<ChunkJob>, ctx: Arc<ExecCtx>) {
+    let mut scratch = ChunkScratch::default();
     while let Ok(job) = job_rx.recv() {
-        let (rows, bitmaps) = ctx.governor.run(|| eval_chunk(&job));
+        let (rows, bitmaps) = ctx.governor.run(|| eval_chunk(&job, &mut scratch));
         let _ = job.reply.send((job.chunk_id, rows, bitmaps));
     }
 }
@@ -668,6 +763,15 @@ fn preprocessor_loop(
     let mut active: Vec<ActiveQuery> = Vec::new();
     let mut pos = 0usize;
     let pages = fact.page_count();
+    let mut inline_scratch = ChunkScratch::default();
+    // Predicate snapshot shared with the worker pool, plus the union of
+    // referenced columns; invariant between admissions/removals, so it is
+    // rebuilt only when `active` changes, not per page.
+    type PredSnapshot = (
+        Arc<Vec<(u32, Option<Arc<CompiledPred>>)>>,
+        Arc<Vec<usize>>,
+    );
+    let mut snapshot: Option<PredSnapshot> = None;
     'outer: loop {
         // Apply pending control messages; block when idle.
         loop {
@@ -703,6 +807,7 @@ fn preprocessor_loop(
                             fact_pred,
                             remaining_pages: pages,
                         });
+                        snapshot = None;
                     }
                 }
                 Ctl::Remove(slot) => {
@@ -712,8 +817,11 @@ fn preprocessor_loop(
                     // the slot must not be double-freed).
                     let before = active.len();
                     active.retain(|q| q.slot != slot);
-                    if active.len() < before && out.send(Msg::QueryDone(slot)).is_err() {
-                        break 'outer;
+                    if active.len() < before {
+                        snapshot = None;
+                        if out.send(Msg::QueryDone(slot)).is_err() {
+                            break 'outer;
+                        }
                     }
                 }
                 Ctl::Shutdown => break 'outer,
@@ -731,14 +839,29 @@ fn preprocessor_loop(
         metrics.fact_pages.fetch_add(1, Ordering::Relaxed);
 
         // Evaluate every active query's fact predicate on every row —
-        // chunked across the preprocessor worker pool when the page and
-        // query count justify the fan-out.
-        let preds: Arc<Vec<(u32, Option<Expr>)>> = Arc::new(
-            active
-                .iter()
-                .map(|q| (q.slot, q.fact_pred.clone()))
-                .collect(),
-        );
+        // page-at-a-time over one shared column batch, chunked across the
+        // preprocessor worker pool when the page and query count justify
+        // the fan-out. Predicates were compiled at admission and the
+        // snapshot survives until the active set changes, so the per-page
+        // cost is two `Arc` bumps.
+        let (preds, cols) = snapshot
+            .get_or_insert_with(|| {
+                let preds: Arc<Vec<(u32, Option<Arc<CompiledPred>>)>> = Arc::new(
+                    active
+                        .iter()
+                        .map(|q| (q.slot, q.fact_pred.clone()))
+                        .collect(),
+                );
+                let mut cols: Vec<usize> = preds
+                    .iter()
+                    .filter_map(|(_, p)| p.as_ref())
+                    .flat_map(|p| p.columns().iter().copied())
+                    .collect();
+                cols.sort_unstable();
+                cols.dedup();
+                (preds, Arc::new(cols))
+            })
+            .clone();
         let n_rows = page.rows();
         let parallel = n_rows * active.len() >= 512;
         let (mut rows, mut bitmaps) = if parallel {
@@ -751,6 +874,7 @@ fn preprocessor_loop(
                     page: page.clone(),
                     range: start..(start + step).min(n_rows),
                     preds: preds.clone(),
+                    cols: cols.clone(),
                     max_queries,
                     chunk_id: cid,
                     reply: reply_tx.clone(),
@@ -773,18 +897,22 @@ fn preprocessor_loop(
             (rows, bitmaps)
         } else {
             ctx.governor.run(|| {
-                eval_chunk(&ChunkJob {
-                    page: page.clone(),
-                    range: 0..n_rows,
-                    preds: preds.clone(),
-                    max_queries,
-                    chunk_id: 0,
-                    reply: {
-                        // unused for the inline path
-                        let (tx, _rx) = bounded(1);
-                        tx
+                eval_chunk(
+                    &ChunkJob {
+                        page: page.clone(),
+                        range: 0..n_rows,
+                        preds: preds.clone(),
+                        cols: cols.clone(),
+                        max_queries,
+                        chunk_id: 0,
+                        reply: {
+                            // unused for the inline path
+                            let (tx, _rx) = bounded(1);
+                            tx
+                        },
                     },
-                })
+                    &mut inline_scratch,
+                )
             })
         };
         rows.shrink_to_fit();
@@ -815,6 +943,9 @@ fn preprocessor_loop(
                 true
             }
         });
+        if !done.is_empty() {
+            snapshot = None;
+        }
         for slot in done {
             if out.send(Msg::QueryDone(slot)).is_err() {
                 break 'outer;

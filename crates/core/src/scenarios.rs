@@ -78,6 +78,8 @@ pub struct Scenario1Row {
     pub bytes_copied: u64,
     /// Bytes shared via SPLs.
     pub bytes_shared: u64,
+    /// Pages shared via SPLs (the perf-trajectory sharing metric).
+    pub pages_shared: u64,
     /// Simulated disk reads (I/O plot, disk-resident runs).
     pub disk_reads: u64,
 }
@@ -148,6 +150,7 @@ pub fn scenario1(cfg: &Scenario1Config) -> Result<Vec<Scenario1Row>, EngineError
                 cpu_busy_ms: m.busy_nanos as f64 / 1e6,
                 bytes_copied: m.bytes_copied,
                 bytes_shared: m.bytes_shared,
+                pages_shared: m.pages_shared,
                 disk_reads: db.pool().disk().stats().reads,
             });
         }
@@ -217,6 +220,12 @@ pub struct ThroughputRow {
     pub cjoin_sp_hits: u64,
     /// Total SP hits across QPipe stages.
     pub sp_hits: u64,
+    /// Dimension-entry predicate evaluations performed by CJOIN
+    /// admissions (0 for non-GQP modes) — the admission-cost metric the
+    /// vectorized admission scan drives down per wall-clock second.
+    pub admission_evals: u64,
+    /// Pages shared via SPLs across QPipe stages.
+    pub pages_shared: u64,
 }
 
 /// Scenario II configuration: impact of concurrency (§4.4).
@@ -298,6 +307,8 @@ pub fn scenario2(cfg: &Scenario2Config) -> Result<Vec<ThroughputRow>, EngineErro
                 completed: r.completed,
                 cjoin_sp_hits: m.sp_hits_for(StageKind::Cjoin),
                 sp_hits: m.total_sp_hits(),
+                admission_evals: db.cjoin_stats().map(|s| s.admission_evals).unwrap_or(0),
+                pages_shared: m.pages_shared,
             });
         }
     }
@@ -382,6 +393,8 @@ pub fn scenario3(cfg: &Scenario3Config) -> Result<Vec<ThroughputRow>, EngineErro
                 completed: r.completed,
                 cjoin_sp_hits: m.sp_hits_for(StageKind::Cjoin),
                 sp_hits: m.total_sp_hits(),
+                admission_evals: db.cjoin_stats().map(|s| s.admission_evals).unwrap_or(0),
+                pages_shared: m.pages_shared,
             });
         }
     }
@@ -467,6 +480,8 @@ pub fn scenario4(cfg: &Scenario4Config) -> Result<Vec<ThroughputRow>, EngineErro
                 completed: r.completed,
                 cjoin_sp_hits: m.sp_hits_for(StageKind::Cjoin),
                 sp_hits: m.total_sp_hits(),
+                admission_evals: db.cjoin_stats().map(|s| s.admission_evals).unwrap_or(0),
+                pages_shared: m.pages_shared,
             });
         }
     }
@@ -479,13 +494,20 @@ pub fn format_throughput_table(title: &str, xlabel: &str, rows: &[ThroughputRow]
     let mut s = String::new();
     s.push_str(&format!("# {title}\n"));
     s.push_str(&format!(
-        "{:<10} {:>10} {:>10} {:>10} {:>14} {:>10}\n",
-        "mode", xlabel, "qps", "completed", "cjoin_sp_hits", "sp_hits"
+        "{:<10} {:>10} {:>10} {:>10} {:>14} {:>10} {:>12} {:>12}\n",
+        "mode", xlabel, "qps", "completed", "cjoin_sp_hits", "sp_hits", "adm_evals", "pg_shared"
     ));
     for r in rows {
         s.push_str(&format!(
-            "{:<10} {:>10.3} {:>10.2} {:>10} {:>14} {:>10}\n",
-            r.mode, r.x, r.qps, r.completed, r.cjoin_sp_hits, r.sp_hits
+            "{:<10} {:>10.3} {:>10.2} {:>10} {:>14} {:>10} {:>12} {:>12}\n",
+            r.mode,
+            r.x,
+            r.qps,
+            r.completed,
+            r.cjoin_sp_hits,
+            r.sp_hits,
+            r.admission_evals,
+            r.pages_shared
         ));
     }
     s

@@ -10,9 +10,10 @@ use crate::fifo::PageSource;
 use crate::governor::CoreGovernor;
 use crate::hub::OutputHub;
 use crate::metrics::Metrics;
-use qs_plan::{AggSpec, Expr};
+use qs_plan::compiled::iter_ones;
+use qs_plan::{AggSpec, CompiledPred, Expr, PredScratch};
 use qs_storage::{
-    BufferPool, CircularCursor, DataType, Page, PageBuilder, RowRef, Schema, Table,
+    BufferPool, CircularCursor, ColumnBatch, DataType, Page, PageBuilder, Schema, Table,
 };
 use std::collections::HashMap;
 use std::sync::atomic::Ordering;
@@ -155,14 +156,22 @@ pub fn execute(
     }
 }
 
-/// Copy the projected columns of `row` into `buf` laid out as `out_schema`.
+/// Precompute the `(byte offset, width)` span of each column — hoists the
+/// repeated `schema.offset`/`dtype` lookups out of per-row loops.
+fn column_spans(schema: &Schema, columns: &[usize]) -> Vec<(usize, usize)> {
+    columns
+        .iter()
+        .map(|&c| (schema.offset(c), schema.dtype(c).width()))
+        .collect()
+}
+
+/// Copy precomputed column spans of an encoded row into `buf`.
 #[inline]
-fn project_into(row: &RowRef<'_>, columns: &[usize], out_schema: &Schema, buf: &mut Vec<u8>) {
+fn project_spans_into(row: &[u8], spans: &[(usize, usize)], buf: &mut Vec<u8>) {
     buf.clear();
-    for &c in columns {
-        buf.extend_from_slice(row.col_bytes(c));
+    for &(off, w) in spans {
+        buf.extend_from_slice(&row[off..off + w]);
     }
-    debug_assert_eq!(buf.len(), out_schema.row_size());
 }
 
 fn flush_if_full(
@@ -195,6 +204,12 @@ fn run_scan(
     let mut cursor = CircularCursor::new(table.clone());
     let mut builder = PageBuilder::with_bytes(out_schema.clone(), ctx.out_page_bytes);
     let mut rowbuf: Vec<u8> = Vec::with_capacity(out_schema.row_size());
+    // Predicate compiled once per scan, evaluated column-wise per page;
+    // projection spans hoisted out of the per-row loop.
+    let compiled = predicate.map(|p| CompiledPred::compile(p, table.schema()));
+    let spans = projection.map(|cols| column_spans(table.schema(), cols));
+    let mut scratch = PredScratch::new();
+    let mut mask: Vec<u64> = Vec::new();
     // Fast path: no selection, no projection — forward table pages as-is
     // (zero copy; the whole point of page-based exchange).
     let passthrough = predicate.is_none() && projection.is_none();
@@ -210,23 +225,32 @@ fn run_scan(
         // Process the page under a core permit, flushing outside of it.
         let mut pending: Vec<Arc<Page>> = Vec::new();
         ctx.governor.run(|| {
-            for row in page.iter() {
-                if let Some(p) = predicate {
-                    if !p.eval(&row) {
-                        continue;
-                    }
-                }
+            let mut emit = |row: usize| {
                 emitted += 1;
-                let ok = match projection {
-                    Some(cols) => {
-                        project_into(&row, cols, out_schema, &mut rowbuf);
+                let ok = match &spans {
+                    Some(spans) => {
+                        project_spans_into(page.row(row).bytes(), spans, &mut rowbuf);
                         builder.push_encoded(&rowbuf)
                     }
-                    None => builder.push_row(row),
+                    None => builder.push_row(page.row(row)),
                 };
                 debug_assert!(ok);
                 if builder.is_full() {
                     pending.push(Arc::new(builder.finish_and_reset()));
+                }
+            };
+            match &compiled {
+                Some(c) => {
+                    let batch = ColumnBatch::from_page(&page, c.columns());
+                    c.eval_batch(&batch, &mut scratch, &mut mask);
+                    for i in iter_ones(&mask) {
+                        emit(i);
+                    }
+                }
+                None => {
+                    for i in 0..page.rows() {
+                        emit(i);
+                    }
                 }
             }
         });
@@ -245,19 +269,26 @@ fn run_filter(
     ctx: &ExecCtx,
 ) -> Result<(), EngineError> {
     let mut builder: Option<PageBuilder> = None;
+    // Compiled lazily against the first page's schema (identical for the
+    // whole stream), then evaluated column-wise page-at-a-time.
+    let mut compiled: Option<CompiledPred> = None;
+    let mut scratch = PredScratch::new();
+    let mut mask: Vec<u64> = Vec::new();
     while let Some(page) = input.next_page()? {
         let b = builder.get_or_insert_with(|| {
             PageBuilder::with_bytes(page.schema().clone(), ctx.out_page_bytes)
         });
+        let c = compiled
+            .get_or_insert_with(|| CompiledPred::compile(predicate, page.schema()));
         let mut pending: Vec<Arc<Page>> = Vec::new();
         ctx.governor.run(|| {
-            for row in page.iter() {
-                if predicate.eval(&row) {
-                    let ok = b.push_row(row);
-                    debug_assert!(ok);
-                    if b.is_full() {
-                        pending.push(Arc::new(b.finish_and_reset()));
-                    }
+            let batch = ColumnBatch::from_page(&page, c.columns());
+            c.eval_batch(&batch, &mut scratch, &mut mask);
+            for i in iter_ones(&mask) {
+                let ok = b.push_row(page.row(i));
+                debug_assert!(ok);
+                if b.is_full() {
+                    pending.push(Arc::new(b.finish_and_reset()));
                 }
             }
         });
@@ -338,15 +369,19 @@ fn run_aggregate(
 ) -> Result<(), EngineError> {
     // Group key = concatenated raw bytes of the group columns; insertion
     // order is preserved so output is deterministic given input order.
+    // Column spans are hoisted so the per-row loop of the aggregation
+    // input does no schema lookups.
+    let group_spans = column_spans(in_schema, group_by);
+    let key_size: usize = group_spans.iter().map(|&(_, w)| w).sum();
     let mut groups: HashMap<Vec<u8>, (u64, Vec<Acc>)> = HashMap::new();
     let mut order: Vec<Vec<u8>> = Vec::new();
     let mut seq = 0u64;
     while let Some(page) = input.next_page()? {
         ctx.governor.run(|| {
             for row in page.iter() {
-                let mut key = Vec::with_capacity(16);
-                for &g in group_by {
-                    key.extend_from_slice(row.col_bytes(g));
+                let mut key = Vec::with_capacity(key_size);
+                for &(off, w) in &group_spans {
+                    key.extend_from_slice(&row.bytes()[off..off + w]);
                 }
                 let entry = groups.entry(key.clone()).or_insert_with(|| {
                     order.push(key);
@@ -392,15 +427,29 @@ fn run_aggregate(
     flush_rest(&mut builder, hub)
 }
 
-/// Compare two encoded rows on the sort keys.
-fn cmp_rows(a: &RowRef<'_>, b: &RowRef<'_>, keys: &[(usize, bool)]) -> std::cmp::Ordering {
+/// Sort-key layout resolved once per operator: `(byte offset, type,
+/// ascending)` per key, so row comparisons do no schema lookups.
+type KeySpec = Vec<(usize, DataType, bool)>;
+
+fn key_spec(schema: &Schema, keys: &[(usize, bool)]) -> KeySpec {
+    keys.iter()
+        .map(|&(c, asc)| (schema.offset(c), schema.dtype(c), asc))
+        .collect()
+}
+
+/// Compare two encoded rows on a precomputed key spec.
+fn cmp_encoded(a: &[u8], b: &[u8], keys: &KeySpec) -> std::cmp::Ordering {
+    use qs_storage::row::{read_date_at, read_f64_at, read_i64_at, trim_char};
     use std::cmp::Ordering as O;
-    for &(col, asc) in keys {
-        let ord = match a.schema().dtype(col) {
-            DataType::Int => a.i64_col(col).cmp(&b.i64_col(col)),
-            DataType::Float => a.f64_col(col).total_cmp(&b.f64_col(col)),
-            DataType::Date => a.date_col(col).cmp(&b.date_col(col)),
-            DataType::Char(_) => a.str_col(col).cmp(b.str_col(col)),
+    for &(off, dt, asc) in keys {
+        let ord = match dt {
+            DataType::Int => read_i64_at(a, off).cmp(&read_i64_at(b, off)),
+            DataType::Float => read_f64_at(a, off).total_cmp(&read_f64_at(b, off)),
+            DataType::Date => read_date_at(a, off).cmp(&read_date_at(b, off)),
+            DataType::Char(n) => {
+                let n = n as usize;
+                trim_char(&a[off..off + n]).cmp(trim_char(&b[off..off + n]))
+            }
         };
         let ord = if asc { ord } else { ord.reverse() };
         if ord != O::Equal {
@@ -426,11 +475,12 @@ fn run_sort(
         }
         pages.push(page);
     }
+    let spec = key_spec(schema, keys);
     ctx.governor.run(|| {
         index.sort_by(|&(pa, ra), &(pb, rb)| {
             let a = pages[pa as usize].row(ra as usize);
             let b = pages[pb as usize].row(rb as usize);
-            cmp_rows(&a, &b, keys)
+            cmp_encoded(a.bytes(), b.bytes(), &spec)
         });
     });
     let mut builder = PageBuilder::with_bytes(schema.clone(), ctx.out_page_bytes);
@@ -452,11 +502,14 @@ fn run_project(
 ) -> Result<(), EngineError> {
     let mut builder = PageBuilder::with_bytes(out_schema.clone(), ctx.out_page_bytes);
     let mut rowbuf: Vec<u8> = Vec::with_capacity(out_schema.row_size());
+    let mut spans: Option<Vec<(usize, usize)>> = None;
     while let Some(page) = input.next_page()? {
+        let spans = spans.get_or_insert_with(|| column_spans(page.schema(), columns));
         let mut pending: Vec<Arc<Page>> = Vec::new();
         ctx.governor.run(|| {
             for row in page.iter() {
-                project_into(&row, columns, out_schema, &mut rowbuf);
+                project_spans_into(row.bytes(), spans, &mut rowbuf);
+                debug_assert_eq!(rowbuf.len(), out_schema.row_size());
                 let ok = builder.push_encoded(&rowbuf);
                 debug_assert!(ok);
                 if builder.is_full() {
@@ -517,22 +570,23 @@ fn run_topk(
     // sorted insertion buffer is O(n) per displacing row but n is small
     // (LIMIT clauses); it keeps the common non-displacing row at one
     // comparison against the current cutoff.
+    let spec = key_spec(schema, keys);
     let mut best: Vec<Vec<u8>> = Vec::with_capacity(n + 1);
     while let Some(page) = input.next_page()? {
         ctx.governor.run(|| {
             for row in page.iter() {
+                let bytes = row.bytes();
                 let full = best.len() == n;
                 if full {
-                    let worst = RowRef::new(best.last().expect("n > 0"), schema);
-                    if cmp_rows(&row, &worst, keys) != std::cmp::Ordering::Less {
+                    let worst = best.last().expect("n > 0");
+                    if cmp_encoded(bytes, worst, &spec) != std::cmp::Ordering::Less {
                         continue;
                     }
                 }
-                let encoded = row.bytes().to_vec();
                 let pos = best.partition_point(|b| {
-                    cmp_rows(&RowRef::new(b, schema), &row, keys) != std::cmp::Ordering::Greater
+                    cmp_encoded(b, bytes, &spec) != std::cmp::Ordering::Greater
                 });
-                best.insert(pos, encoded);
+                best.insert(pos, bytes.to_vec());
                 if best.len() > n {
                     best.pop();
                 }

@@ -1,0 +1,905 @@
+//! Compiled predicates — flat, typed, interpretation-free programs.
+//!
+//! [`Expr::eval`] walks a boxed tree and re-matches on `DataType`/`Value`
+//! enum tags for every (tuple × predicate-node) pair. That per-tuple
+//! interpretation overhead is exactly what the CJOIN prototype avoids and
+//! what dominates a GQP serving many concurrent queries. [`CompiledPred`]
+//! lowers an `Expr` once, at admission/plan time, into a flat postfix
+//! program of *typed* operations: every comparison op carries its column
+//! index and a pre-typed constant (`i64`/`f64`/`u32`/`str`), so evaluation
+//! never touches a `Value` and never branches on a type tag.
+//!
+//! Two evaluation modes share the program:
+//!
+//! * [`CompiledPred::eval_row`] — per-row stack machine over a
+//!   [`RowRef`], a strictly cheaper drop-in for `Expr::eval`;
+//! * [`CompiledPred::eval_batch`] — column-wise over a
+//!   [`ColumnBatch`]: each leaf fills a `u64` selection mask for the whole
+//!   batch in a tight auto-vectorizable loop, and the boolean combinators
+//!   become word-wise AND/OR/NOT over masks. One batch decode is shared
+//!   by every concurrent predicate evaluated over the page.
+//!
+//! Compilation performs and/or/between fusion (nested conjunctions and
+//! disjunctions are flattened into n-ary ops; `BETWEEN` stays one fused
+//! range check) and folds mistyped literals to constants — a comparison
+//! between a column and a literal of another type is row-independent
+//! under [`Value::total_cmp`]'s type-rank ordering, which keeps
+//! `CompiledPred` exactly equivalent to `Expr::eval` on *every* input,
+//! well-typed or not (the equivalence proptests rely on this).
+
+use crate::expr::{CmpOp, Expr};
+use qs_storage::{ColumnBatch, ColumnData, DataType, RowRef, Schema, Value};
+use std::cmp::Ordering;
+
+/// One instruction of a compiled predicate program (postfix order).
+#[derive(Debug, Clone, PartialEq)]
+enum PredOp {
+    /// Push a constant (folded subtree).
+    Const(bool),
+    /// `col <op> lit` over an `Int` column.
+    CmpI { col: u32, op: CmpOp, lit: i64 },
+    /// `col <op> lit` over a `Float` column (total order, NaN-safe).
+    CmpF { col: u32, op: CmpOp, lit: f64 },
+    /// `col <op> lit` over a `Date` column.
+    CmpD { col: u32, op: CmpOp, lit: u32 },
+    /// `col <op> lit` over a `Char` column.
+    CmpS { col: u32, op: CmpOp, lit: Box<str> },
+    /// Fused inclusive range over an `Int` column.
+    BetweenI { col: u32, lo: i64, hi: i64 },
+    /// Fused inclusive range over a `Float` column.
+    BetweenF { col: u32, lo: f64, hi: f64 },
+    /// Fused inclusive range over a `Date` column.
+    BetweenD { col: u32, lo: u32, hi: u32 },
+    /// Fused inclusive range over a `Char` column.
+    BetweenS { col: u32, lo: Box<str>, hi: Box<str> },
+    /// Membership in a sorted list over an `Int` column.
+    InI { col: u32, items: Box<[i64]> },
+    /// Membership in a sorted (total order) list over a `Float` column.
+    InF { col: u32, items: Box<[f64]> },
+    /// Membership in a sorted list over a `Date` column.
+    InD { col: u32, items: Box<[u32]> },
+    /// Membership in a sorted list over a `Char` column.
+    InS { col: u32, items: Box<[Box<str>]> },
+    /// Pop `n` operands, push their conjunction.
+    And(u32),
+    /// Pop `n` operands, push their disjunction.
+    Or(u32),
+    /// Negate the top operand.
+    Not,
+}
+
+/// A predicate lowered into a flat typed program.
+///
+/// Construction is infallible: subtrees whose literals cannot be typed
+/// against the schema fold to constants with semantics identical to the
+/// interpreter's deterministic fallback.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CompiledPred {
+    ops: Vec<PredOp>,
+    /// Referenced columns, sorted and deduplicated — the set a
+    /// [`ColumnBatch`] must decode for [`Self::eval_batch`].
+    cols: Vec<usize>,
+    /// Peak operand-stack depth of the program.
+    max_stack: usize,
+}
+
+/// Reusable buffers for [`CompiledPred::eval_batch`]: one mask per live
+/// stack slot, recycled across pages so steady-state batch evaluation
+/// performs no heap allocation.
+#[derive(Debug, Default)]
+pub struct PredScratch {
+    stack: Vec<Vec<u64>>,
+    pool: Vec<Vec<u64>>,
+}
+
+impl PredScratch {
+    /// Fresh scratch space.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    fn take(&mut self, words: usize) -> Vec<u64> {
+        let mut m = self.pool.pop().unwrap_or_default();
+        m.clear();
+        m.resize(words, 0);
+        m
+    }
+}
+
+/// Iterate the set bit positions of a selection mask, ascending.
+pub fn iter_ones(words: &[u64]) -> impl Iterator<Item = usize> + '_ {
+    words.iter().enumerate().flat_map(|(wi, &w)| {
+        let mut w = w;
+        std::iter::from_fn(move || {
+            if w == 0 {
+                None
+            } else {
+                let b = w.trailing_zeros() as usize;
+                w &= w - 1;
+                Some(wi * 64 + b)
+            }
+        })
+    })
+}
+
+/// Number of `u64` words a selection mask over `rows` rows needs.
+#[inline]
+pub fn mask_words(rows: usize) -> usize {
+    rows.div_ceil(64)
+}
+
+/// Fill a selection mask from a typed column slice: bit `i` of `out` is
+/// `pred(data[i])`. The inner loop is branch-free and auto-vectorizable.
+#[inline]
+fn fill_mask<T: Copy>(data: &[T], out: &mut [u64], pred: impl Fn(T) -> bool) {
+    for (w, chunk) in data.chunks(64).enumerate() {
+        let mut word = 0u64;
+        for (b, &v) in chunk.iter().enumerate() {
+            word |= (pred(v) as u64) << b;
+        }
+        out[w] = word;
+    }
+}
+
+/// Dispatch a comparison op once, then run the tight loop.
+#[inline]
+fn cmp_mask<T: Copy>(
+    data: &[T],
+    op: CmpOp,
+    out: &mut [u64],
+    cmp: impl Fn(T) -> Ordering,
+) {
+    match op {
+        CmpOp::Eq => fill_mask(data, out, |v| cmp(v) == Ordering::Equal),
+        CmpOp::Ne => fill_mask(data, out, |v| cmp(v) != Ordering::Equal),
+        CmpOp::Lt => fill_mask(data, out, |v| cmp(v) == Ordering::Less),
+        CmpOp::Le => fill_mask(data, out, |v| cmp(v) != Ordering::Greater),
+        CmpOp::Gt => fill_mask(data, out, |v| cmp(v) == Ordering::Greater),
+        CmpOp::Ge => fill_mask(data, out, |v| cmp(v) != Ordering::Less),
+    }
+}
+
+fn i64_data<'a>(batch: &'a ColumnBatch<'_>, col: u32) -> &'a [i64] {
+    match batch.col(col as usize) {
+        ColumnData::I64(v) => v,
+        other => panic!("compiled Int op over {other:?}"),
+    }
+}
+
+fn f64_data<'a>(batch: &'a ColumnBatch<'_>, col: u32) -> &'a [f64] {
+    match batch.col(col as usize) {
+        ColumnData::F64(v) => v,
+        other => panic!("compiled Float op over {other:?}"),
+    }
+}
+
+fn date_data<'a>(batch: &'a ColumnBatch<'_>, col: u32) -> &'a [u32] {
+    match batch.col(col as usize) {
+        ColumnData::Date(v) => v,
+        other => panic!("compiled Date op over {other:?}"),
+    }
+}
+
+fn str_data<'a, 'b>(batch: &'a ColumnBatch<'b>, col: u32) -> &'a [&'b str] {
+    match batch.col(col as usize) {
+        ColumnData::Str(v) => v,
+        other => panic!("compiled Char op over {other:?}"),
+    }
+}
+
+/// Type-rank of a [`Value`], mirroring `Value::total_cmp`'s cross-type
+/// ordering (Int < Float < Date < Str).
+fn value_rank(v: &Value) -> u8 {
+    match v {
+        Value::Int(_) => 0,
+        Value::Float(_) => 1,
+        Value::Date(_) => 2,
+        Value::Str(_) => 3,
+    }
+}
+
+/// Type-rank of the [`Value`] a column of type `dt` decodes to.
+fn dtype_rank(dt: DataType) -> u8 {
+    match dt {
+        DataType::Int => 0,
+        DataType::Float => 1,
+        DataType::Date => 2,
+        DataType::Char(_) => 3,
+    }
+}
+
+impl CompiledPred {
+    /// Lower `expr` against `schema`. Column indices out of range panic
+    /// (callers validate plans before execution, as `Expr::eval` itself
+    /// would panic on an out-of-range column).
+    pub fn compile(expr: &Expr, schema: &Schema) -> CompiledPred {
+        let mut ops = Vec::new();
+        emit(expr, schema, &mut ops);
+        // Peak stack depth by abstract execution.
+        let mut depth = 0usize;
+        let mut max_stack = 0usize;
+        for op in &ops {
+            match op {
+                PredOp::And(n) | PredOp::Or(n) => depth = depth - *n as usize + 1,
+                PredOp::Not => {}
+                _ => depth += 1,
+            }
+            max_stack = max_stack.max(depth);
+        }
+        let cols = expr.referenced_columns();
+        CompiledPred {
+            ops,
+            cols,
+            max_stack,
+        }
+    }
+
+    /// Columns the program reads — the set to decode into a
+    /// [`ColumnBatch`] before calling [`Self::eval_batch`].
+    pub fn columns(&self) -> &[usize] {
+        &self.cols
+    }
+
+    /// Number of instructions (diagnostics / tests).
+    pub fn len(&self) -> usize {
+        self.ops.len()
+    }
+
+    /// Whether the program is empty (never: `compile` always emits at
+    /// least one op).
+    pub fn is_empty(&self) -> bool {
+        self.ops.is_empty()
+    }
+
+    /// Evaluate against one row. Exactly equivalent to `Expr::eval` on
+    /// the source expression, without per-node type dispatch.
+    pub fn eval_row(&self, row: &RowRef<'_>) -> bool {
+        let mut inline = [false; 32];
+        if self.max_stack <= inline.len() {
+            self.eval_row_on(row, &mut inline)
+        } else {
+            let mut spill = vec![false; self.max_stack];
+            self.eval_row_on(row, &mut spill)
+        }
+    }
+
+    fn eval_row_on(&self, row: &RowRef<'_>, stack: &mut [bool]) -> bool {
+        let mut sp = 0usize;
+        for op in &self.ops {
+            match op {
+                PredOp::Const(b) => {
+                    stack[sp] = *b;
+                    sp += 1;
+                }
+                PredOp::CmpI { col, op, lit } => {
+                    stack[sp] = op.matches(row.i64_col(*col as usize).cmp(lit));
+                    sp += 1;
+                }
+                PredOp::CmpF { col, op, lit } => {
+                    stack[sp] = op.matches(row.f64_col(*col as usize).total_cmp(lit));
+                    sp += 1;
+                }
+                PredOp::CmpD { col, op, lit } => {
+                    stack[sp] = op.matches(row.date_col(*col as usize).cmp(lit));
+                    sp += 1;
+                }
+                PredOp::CmpS { col, op, lit } => {
+                    stack[sp] = op.matches(row.str_col(*col as usize).cmp(lit));
+                    sp += 1;
+                }
+                PredOp::BetweenI { col, lo, hi } => {
+                    let v = row.i64_col(*col as usize);
+                    stack[sp] = v >= *lo && v <= *hi;
+                    sp += 1;
+                }
+                PredOp::BetweenF { col, lo, hi } => {
+                    let v = row.f64_col(*col as usize);
+                    stack[sp] = v.total_cmp(lo) != Ordering::Less
+                        && v.total_cmp(hi) != Ordering::Greater;
+                    sp += 1;
+                }
+                PredOp::BetweenD { col, lo, hi } => {
+                    let v = row.date_col(*col as usize);
+                    stack[sp] = v >= *lo && v <= *hi;
+                    sp += 1;
+                }
+                PredOp::BetweenS { col, lo, hi } => {
+                    let v = row.str_col(*col as usize);
+                    stack[sp] = v >= &**lo && v <= &**hi;
+                    sp += 1;
+                }
+                PredOp::InI { col, items } => {
+                    let v = row.i64_col(*col as usize);
+                    stack[sp] = items.binary_search(&v).is_ok();
+                    sp += 1;
+                }
+                PredOp::InF { col, items } => {
+                    let v = row.f64_col(*col as usize);
+                    stack[sp] = items.binary_search_by(|it| it.total_cmp(&v)).is_ok();
+                    sp += 1;
+                }
+                PredOp::InD { col, items } => {
+                    let v = row.date_col(*col as usize);
+                    stack[sp] = items.binary_search(&v).is_ok();
+                    sp += 1;
+                }
+                PredOp::InS { col, items } => {
+                    let v = row.str_col(*col as usize);
+                    stack[sp] = items.binary_search_by(|it| (**it).cmp(v)).is_ok();
+                    sp += 1;
+                }
+                PredOp::And(n) => {
+                    let base = sp - *n as usize;
+                    let mut acc = true;
+                    for b in &stack[base..sp] {
+                        acc &= *b;
+                    }
+                    stack[base] = acc;
+                    sp = base + 1;
+                }
+                PredOp::Or(n) => {
+                    let base = sp - *n as usize;
+                    let mut acc = false;
+                    for b in &stack[base..sp] {
+                        acc |= *b;
+                    }
+                    stack[base] = acc;
+                    sp = base + 1;
+                }
+                PredOp::Not => stack[sp - 1] = !stack[sp - 1],
+            }
+        }
+        debug_assert_eq!(sp, 1);
+        stack[0]
+    }
+
+    /// Evaluate over a whole batch: `out` is resized to
+    /// `mask_words(batch.rows())` and bit `i` is set iff the predicate
+    /// holds on row `i`. `batch` must have every column in
+    /// [`Self::columns`] decoded. `scratch` buffers are reused across
+    /// calls, so steady state allocates nothing.
+    pub fn eval_batch(
+        &self,
+        batch: &ColumnBatch<'_>,
+        scratch: &mut PredScratch,
+        out: &mut Vec<u64>,
+    ) {
+        let rows = batch.rows();
+        let words = mask_words(rows);
+        debug_assert!(scratch.stack.is_empty());
+        for op in &self.ops {
+            match op {
+                PredOp::Const(b) => {
+                    let mut m = scratch.take(words);
+                    if *b {
+                        set_all(&mut m, rows);
+                    }
+                    scratch.stack.push(m);
+                }
+                PredOp::CmpI { col, op, lit } => {
+                    let mut m = scratch.take(words);
+                    let lit = *lit;
+                    cmp_mask(i64_data(batch, *col), *op, &mut m, move |v| v.cmp(&lit));
+                    scratch.stack.push(m);
+                }
+                PredOp::CmpF { col, op, lit } => {
+                    let mut m = scratch.take(words);
+                    let lit = *lit;
+                    cmp_mask(f64_data(batch, *col), *op, &mut m, move |v| {
+                        v.total_cmp(&lit)
+                    });
+                    scratch.stack.push(m);
+                }
+                PredOp::CmpD { col, op, lit } => {
+                    let mut m = scratch.take(words);
+                    let lit = *lit;
+                    cmp_mask(date_data(batch, *col), *op, &mut m, move |v| v.cmp(&lit));
+                    scratch.stack.push(m);
+                }
+                PredOp::CmpS { col, op, lit } => {
+                    let mut m = scratch.take(words);
+                    cmp_mask(str_data(batch, *col), *op, &mut m, |v| v.cmp(lit));
+                    scratch.stack.push(m);
+                }
+                PredOp::BetweenI { col, lo, hi } => {
+                    let mut m = scratch.take(words);
+                    let (lo, hi) = (*lo, *hi);
+                    fill_mask(i64_data(batch, *col), &mut m, move |v| v >= lo && v <= hi);
+                    scratch.stack.push(m);
+                }
+                PredOp::BetweenF { col, lo, hi } => {
+                    let mut m = scratch.take(words);
+                    let (lo, hi) = (*lo, *hi);
+                    fill_mask(f64_data(batch, *col), &mut m, move |v| {
+                        v.total_cmp(&lo) != Ordering::Less && v.total_cmp(&hi) != Ordering::Greater
+                    });
+                    scratch.stack.push(m);
+                }
+                PredOp::BetweenD { col, lo, hi } => {
+                    let mut m = scratch.take(words);
+                    let (lo, hi) = (*lo, *hi);
+                    fill_mask(date_data(batch, *col), &mut m, move |v| v >= lo && v <= hi);
+                    scratch.stack.push(m);
+                }
+                PredOp::BetweenS { col, lo, hi } => {
+                    let mut m = scratch.take(words);
+                    fill_mask(str_data(batch, *col), &mut m, |v| v >= &**lo && v <= &**hi);
+                    scratch.stack.push(m);
+                }
+                PredOp::InI { col, items } => {
+                    let mut m = scratch.take(words);
+                    fill_mask(i64_data(batch, *col), &mut m, |v| {
+                        items.binary_search(&v).is_ok()
+                    });
+                    scratch.stack.push(m);
+                }
+                PredOp::InF { col, items } => {
+                    let mut m = scratch.take(words);
+                    fill_mask(f64_data(batch, *col), &mut m, |v| {
+                        items.binary_search_by(|it| it.total_cmp(&v)).is_ok()
+                    });
+                    scratch.stack.push(m);
+                }
+                PredOp::InD { col, items } => {
+                    let mut m = scratch.take(words);
+                    fill_mask(date_data(batch, *col), &mut m, |v| {
+                        items.binary_search(&v).is_ok()
+                    });
+                    scratch.stack.push(m);
+                }
+                PredOp::InS { col, items } => {
+                    let mut m = scratch.take(words);
+                    fill_mask(str_data(batch, *col), &mut m, |v| {
+                        items.binary_search_by(|it| (**it).cmp(v)).is_ok()
+                    });
+                    scratch.stack.push(m);
+                }
+                PredOp::And(n) => {
+                    let base = scratch.stack.len() - *n as usize;
+                    let mut acc = scratch.stack.swap_remove(base);
+                    while scratch.stack.len() > base {
+                        let m = scratch.stack.pop().expect("operand");
+                        for (a, b) in acc.iter_mut().zip(&m) {
+                            *a &= *b;
+                        }
+                        scratch.pool.push(m);
+                    }
+                    scratch.stack.push(acc);
+                }
+                PredOp::Or(n) => {
+                    let base = scratch.stack.len() - *n as usize;
+                    let mut acc = scratch.stack.swap_remove(base);
+                    while scratch.stack.len() > base {
+                        let m = scratch.stack.pop().expect("operand");
+                        for (a, b) in acc.iter_mut().zip(&m) {
+                            *a |= *b;
+                        }
+                        scratch.pool.push(m);
+                    }
+                    scratch.stack.push(acc);
+                }
+                PredOp::Not => {
+                    let m = scratch.stack.last_mut().expect("operand");
+                    for w in m.iter_mut() {
+                        *w = !*w;
+                    }
+                    mask_tail(m, rows);
+                }
+            }
+        }
+        let result = scratch.stack.pop().expect("program leaves one operand");
+        debug_assert!(scratch.stack.is_empty());
+        out.clear();
+        out.extend_from_slice(&result);
+        scratch.pool.push(result);
+    }
+}
+
+/// Set bits `0..rows` of the mask.
+fn set_all(m: &mut [u64], rows: usize) {
+    for w in m.iter_mut() {
+        *w = u64::MAX;
+    }
+    mask_tail(m, rows);
+}
+
+/// Clear bits `rows..` of the final word so combinators never see ghost
+/// rows.
+#[inline]
+fn mask_tail(m: &mut [u64], rows: usize) {
+    if !rows.is_multiple_of(64) {
+        if let Some(last) = m.last_mut() {
+            *last &= (1u64 << (rows % 64)) - 1;
+        }
+    }
+}
+
+/// Compile one comparison leaf, folding mistyped literals: under
+/// `Value::total_cmp` a column/literal type mismatch orders purely by
+/// type rank, independent of the row.
+fn emit_cmp(col: usize, op: CmpOp, lit: &Value, schema: &Schema, ops: &mut Vec<PredOp>) {
+    let dt = schema.dtype(col);
+    let col32 = col as u32;
+    match (dt, lit) {
+        (DataType::Int, Value::Int(x)) => ops.push(PredOp::CmpI {
+            col: col32,
+            op,
+            lit: *x,
+        }),
+        (DataType::Float, Value::Float(x)) => ops.push(PredOp::CmpF {
+            col: col32,
+            op,
+            lit: *x,
+        }),
+        (DataType::Date, Value::Date(x)) => ops.push(PredOp::CmpD {
+            col: col32,
+            op,
+            lit: *x,
+        }),
+        (DataType::Char(_), Value::Str(x)) => ops.push(PredOp::CmpS {
+            col: col32,
+            op,
+            lit: x.as_str().into(),
+        }),
+        _ => ops.push(PredOp::Const(
+            op.matches(dtype_rank(dt).cmp(&value_rank(lit))),
+        )),
+    }
+}
+
+fn emit(expr: &Expr, schema: &Schema, ops: &mut Vec<PredOp>) {
+    match expr {
+        Expr::Const(b) => ops.push(PredOp::Const(*b)),
+        Expr::Cmp { col, op, lit } => emit_cmp(*col, *op, lit, schema, ops),
+        Expr::Between { col, lo, hi } => {
+            let dt = schema.dtype(*col);
+            let col32 = *col as u32;
+            match (dt, lo, hi) {
+                (DataType::Int, Value::Int(lo), Value::Int(hi)) => ops.push(PredOp::BetweenI {
+                    col: col32,
+                    lo: *lo,
+                    hi: *hi,
+                }),
+                (DataType::Float, Value::Float(lo), Value::Float(hi)) => {
+                    ops.push(PredOp::BetweenF {
+                        col: col32,
+                        lo: *lo,
+                        hi: *hi,
+                    })
+                }
+                (DataType::Date, Value::Date(lo), Value::Date(hi)) => ops.push(PredOp::BetweenD {
+                    col: col32,
+                    lo: *lo,
+                    hi: *hi,
+                }),
+                (DataType::Char(_), Value::Str(lo), Value::Str(hi)) => ops.push(PredOp::BetweenS {
+                    col: col32,
+                    lo: lo.as_str().into(),
+                    hi: hi.as_str().into(),
+                }),
+                // Mixed/mistyped bounds: decompose into the two half-open
+                // comparisons, each folding independently.
+                _ => {
+                    let parts = [
+                        Expr::Cmp {
+                            col: *col,
+                            op: CmpOp::Ge,
+                            lit: lo.clone(),
+                        },
+                        Expr::Cmp {
+                            col: *col,
+                            op: CmpOp::Le,
+                            lit: hi.clone(),
+                        },
+                    ];
+                    emit_nary(&parts, schema, ops, true);
+                }
+            }
+        }
+        Expr::InList { col, items } => {
+            let dt = schema.dtype(*col);
+            let col32 = *col as u32;
+            // Mistyped items can never compare Equal; drop them.
+            match dt {
+                DataType::Int => {
+                    let mut xs: Vec<i64> =
+                        items.iter().filter_map(|v| v.as_int()).collect();
+                    xs.sort_unstable();
+                    if xs.is_empty() {
+                        ops.push(PredOp::Const(false));
+                    } else {
+                        ops.push(PredOp::InI {
+                            col: col32,
+                            items: xs.into_boxed_slice(),
+                        });
+                    }
+                }
+                DataType::Float => {
+                    let mut xs: Vec<f64> =
+                        items.iter().filter_map(|v| v.as_float()).collect();
+                    xs.sort_unstable_by(|a, b| a.total_cmp(b));
+                    if xs.is_empty() {
+                        ops.push(PredOp::Const(false));
+                    } else {
+                        ops.push(PredOp::InF {
+                            col: col32,
+                            items: xs.into_boxed_slice(),
+                        });
+                    }
+                }
+                DataType::Date => {
+                    let mut xs: Vec<u32> =
+                        items.iter().filter_map(|v| v.as_date()).collect();
+                    xs.sort_unstable();
+                    if xs.is_empty() {
+                        ops.push(PredOp::Const(false));
+                    } else {
+                        ops.push(PredOp::InD {
+                            col: col32,
+                            items: xs.into_boxed_slice(),
+                        });
+                    }
+                }
+                DataType::Char(_) => {
+                    let mut xs: Vec<Box<str>> = items
+                        .iter()
+                        .filter_map(|v| v.as_str().map(Into::into))
+                        .collect();
+                    xs.sort_unstable();
+                    if xs.is_empty() {
+                        ops.push(PredOp::Const(false));
+                    } else {
+                        ops.push(PredOp::InS {
+                            col: col32,
+                            items: xs.into_boxed_slice(),
+                        });
+                    }
+                }
+            }
+        }
+        Expr::And(parts) => emit_nary(parts, schema, ops, true),
+        Expr::Or(parts) => emit_nary(parts, schema, ops, false),
+        Expr::Not(inner) => {
+            let start = ops.len();
+            emit(inner, schema, ops);
+            // A valid postfix program ending in `Const` must be exactly
+            // that one op (a trailing push would otherwise leave two
+            // operands), so folding on the tail is safe.
+            if ops.len() == start + 1 {
+                if let Some(PredOp::Const(b)) = ops.last_mut() {
+                    *b = !*b;
+                    return;
+                }
+            }
+            ops.push(PredOp::Not);
+        }
+    }
+}
+
+/// Emit an n-ary And/Or: each operand is compiled into its own segment,
+/// neutral constants are dropped, absorbing constants (false in And, true
+/// in Or) fold the whole combinator, and directly nested combinators of
+/// the same kind are flattened into the parent (and/or fusion).
+fn emit_nary(parts: &[Expr], schema: &Schema, ops: &mut Vec<PredOp>, is_and: bool) {
+    let start = ops.len();
+    let mut operands: u32 = 0;
+    for p in parts {
+        let mut seg = Vec::new();
+        emit(p, schema, &mut seg);
+        if seg.len() == 1 {
+            if let PredOp::Const(b) = seg[0] {
+                if b == is_and {
+                    continue; // neutral element
+                }
+                ops.truncate(start);
+                ops.push(PredOp::Const(!is_and));
+                return; // absorbing element
+            }
+        }
+        match seg.last() {
+            // `And(a, And(b, c))` fuses to `And(a, b, c)` (same for Or):
+            // the nested close is dropped and its operands join ours.
+            Some(PredOp::And(m)) if is_and => {
+                operands += *m;
+                seg.pop();
+            }
+            Some(PredOp::Or(m)) if !is_and => {
+                operands += *m;
+                seg.pop();
+            }
+            _ => operands += 1,
+        }
+        ops.extend(seg);
+    }
+    match operands {
+        0 => ops.push(PredOp::Const(is_and)),
+        1 => {}
+        n => ops.push(if is_and { PredOp::And(n) } else { PredOp::Or(n) }),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qs_storage::Page;
+    use std::sync::Arc;
+
+    fn schema() -> Arc<Schema> {
+        Schema::from_pairs(&[
+            ("k", DataType::Int),
+            ("p", DataType::Float),
+            ("d", DataType::Date),
+            ("s", DataType::Char(4)),
+        ])
+    }
+
+    fn page() -> Page {
+        Page::from_values(
+            &schema(),
+            &(0..100)
+                .map(|i| {
+                    vec![
+                        Value::Int(i - 50),
+                        Value::Float((i as f64) * 0.25 - 10.0),
+                        Value::Date(19970000 + (i as u32 % 28) + 1),
+                        Value::Str(format!("s{:02}", i % 50)),
+                    ]
+                })
+                .collect::<Vec<_>>(),
+        )
+        .unwrap()
+    }
+
+    /// Assert compiled row and batch evaluation both agree with the
+    /// interpreter on every row of the test page.
+    fn assert_equiv(e: &Expr) {
+        let s = schema();
+        let p = page();
+        let c = CompiledPred::compile(e, &s);
+        let batch = ColumnBatch::from_page(&p, c.columns());
+        let mut scratch = PredScratch::new();
+        let mut mask = Vec::new();
+        c.eval_batch(&batch, &mut scratch, &mut mask);
+        for (i, row) in p.iter().enumerate() {
+            let want = e.eval(&row);
+            assert_eq!(c.eval_row(&row), want, "row {i}: eval_row vs interpreter");
+            let got = mask[i / 64] & (1 << (i % 64)) != 0;
+            assert_eq!(got, want, "row {i}: eval_batch vs interpreter");
+        }
+    }
+
+    #[test]
+    fn leaves_all_types() {
+        assert_equiv(&Expr::eq(0, 7i64));
+        assert_equiv(&Expr::lt(0, -10i64));
+        assert_equiv(&Expr::ge(1, 0.0));
+        assert_equiv(&Expr::Cmp {
+            col: 2,
+            op: CmpOp::Ne,
+            lit: Value::Date(19970005),
+        });
+        assert_equiv(&Expr::Cmp {
+            col: 3,
+            op: CmpOp::Gt,
+            lit: Value::Str("s25".into()),
+        });
+    }
+
+    #[test]
+    fn between_and_inlist() {
+        assert_equiv(&Expr::between(0, -5i64, 20i64));
+        assert_equiv(&Expr::between(2, Value::Date(19970003), Value::Date(19970010)));
+        assert_equiv(&Expr::Between {
+            col: 3,
+            lo: Value::Str("s10".into()),
+            hi: Value::Str("s30".into()),
+        });
+        assert_equiv(&Expr::InList {
+            col: 0,
+            items: vec![Value::Int(-3), Value::Int(14), Value::Int(9999)],
+        });
+        assert_equiv(&Expr::InList {
+            col: 3,
+            items: vec![Value::Str("s07".into()), Value::Str("zz".into())],
+        });
+        assert_equiv(&Expr::InList { col: 1, items: vec![] });
+    }
+
+    #[test]
+    fn combinators_and_fusion() {
+        let e = Expr::And(vec![
+            Expr::ge(0, -20i64),
+            Expr::Or(vec![
+                Expr::lt(1, 0.0),
+                Expr::Not(Box::new(Expr::eq(0, 3i64))),
+            ]),
+            Expr::between(2, Value::Date(19970001), Value::Date(19970020)),
+        ]);
+        assert_equiv(&e);
+        assert_equiv(&Expr::And(vec![]));
+        assert_equiv(&Expr::Or(vec![]));
+        assert_equiv(&Expr::Not(Box::new(Expr::Const(false))));
+    }
+
+    #[test]
+    fn constant_folding() {
+        // Neutral / absorbing constants fold away.
+        let c = CompiledPred::compile(
+            &Expr::And(vec![Expr::Const(true), Expr::eq(0, 1i64)]),
+            &schema(),
+        );
+        assert_eq!(c.len(), 1);
+        let c = CompiledPred::compile(
+            &Expr::And(vec![Expr::Const(false), Expr::eq(0, 1i64)]),
+            &schema(),
+        );
+        assert_eq!(c.len(), 1);
+        assert_equiv(&Expr::And(vec![Expr::Const(false), Expr::eq(0, 1i64)]));
+        assert_equiv(&Expr::Or(vec![Expr::Const(true), Expr::eq(0, 1i64)]));
+    }
+
+    #[test]
+    fn mistyped_literals_match_interpreter_fallback() {
+        // Int column vs Float literal: constant by type rank.
+        assert_equiv(&Expr::Cmp {
+            col: 0,
+            op: CmpOp::Lt,
+            lit: Value::Float(0.0),
+        });
+        assert_equiv(&Expr::Cmp {
+            col: 3,
+            op: CmpOp::Le,
+            lit: Value::Int(5),
+        });
+        // Mixed-typed BETWEEN bounds.
+        assert_equiv(&Expr::Between {
+            col: 0,
+            lo: Value::Int(-10),
+            hi: Value::Float(10.0),
+        });
+        // Mistyped IN items are unreachable.
+        assert_equiv(&Expr::InList {
+            col: 0,
+            items: vec![Value::Float(1.0), Value::Int(0)],
+        });
+    }
+
+    #[test]
+    fn referenced_columns_drive_batch_decode() {
+        let e = Expr::And(vec![Expr::eq(0, 1i64), Expr::lt(2, Value::Date(19970009))]);
+        let c = CompiledPred::compile(&e, &schema());
+        assert_eq!(c.columns(), &[0, 2]);
+    }
+
+    #[test]
+    fn scratch_reuse_allocates_once() {
+        let s = schema();
+        let p = page();
+        let e = Expr::And(vec![Expr::ge(0, 0i64), Expr::lt(1, 5.0)]);
+        let c = CompiledPred::compile(&e, &s);
+        let batch = ColumnBatch::from_page(&p, c.columns());
+        let mut scratch = PredScratch::new();
+        let mut mask = Vec::new();
+        for _ in 0..3 {
+            c.eval_batch(&batch, &mut scratch, &mut mask);
+        }
+        assert!(scratch.stack.is_empty());
+        // Pool retains the two operand masks for reuse.
+        assert!(!scratch.pool.is_empty());
+    }
+
+    #[test]
+    fn tail_rows_are_masked() {
+        // 100 rows -> the last word has ghost bits; Not must not set them.
+        let e = Expr::Not(Box::new(Expr::eq(0, 12345i64)));
+        let s = schema();
+        let p = page();
+        let c = CompiledPred::compile(&e, &s);
+        let batch = ColumnBatch::from_page(&p, c.columns());
+        let mut scratch = PredScratch::new();
+        let mut mask = Vec::new();
+        c.eval_batch(&batch, &mut scratch, &mut mask);
+        assert_eq!(iter_ones(&mask).count(), 100);
+        assert!(iter_ones(&mask).all(|i| i < 100));
+    }
+}

@@ -6,6 +6,10 @@
 //! shared plan vocabulary:
 //!
 //! * [`expr`]: predicate/scalar expressions evaluated against encoded rows,
+//! * [`compiled`]: predicates lowered into flat typed programs
+//!   ([`CompiledPred`]) evaluated row-wise or column-wise over
+//!   `qs_storage::ColumnBatch` — the vectorized hot path shared by the
+//!   CJOIN preprocessor, admissions and the engine's scan/filter,
 //! * [`plan`]: the logical operator tree (`Scan`, `HashJoin`, `Aggregate`,
 //!   `Sort`, `Project`, `Limit`) with schema derivation,
 //! * [`signature`]: stable structural hashes of sub-plans — the key SP uses
@@ -19,6 +23,7 @@
 //!   CJOIN admission work on.
 
 pub mod builder;
+pub mod compiled;
 pub mod expr;
 pub mod optimize;
 pub mod plan;
@@ -26,6 +31,7 @@ pub mod signature;
 pub mod star;
 
 pub use builder::PlanBuilder;
+pub use compiled::{CompiledPred, PredScratch};
 pub use expr::{CmpOp, Expr};
 pub use optimize::{
     estimate_selectivity, optimize, optimize_with, simplify_expr, OptimizerOptions,

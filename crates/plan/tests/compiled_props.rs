@@ -1,0 +1,230 @@
+//! Property-based equivalence of compiled predicates: on arbitrary
+//! schemas, rows and predicate trees (including mistyped literals and
+//! non-finite floats), `CompiledPred::eval_row` and
+//! `CompiledPred::eval_batch` must agree with the tree-walking
+//! `Expr::eval` on every row — the vectorized layer may be faster, never
+//! different.
+
+use proptest::prelude::*;
+use qs_plan::{CmpOp, CompiledPred, Expr, PredScratch};
+use qs_storage::{ColumnBatch, DataType, Page, Schema, Value};
+use std::sync::Arc;
+
+/// Literal/value pool for `Char` columns: short strings over a tiny
+/// alphabet so equality and ranges actually hit.
+const STRINGS: [&str; 8] = ["", "a", "ab", "abc", "b", "ba", "c", "zz"];
+
+fn dtype() -> impl Strategy<Value = DataType> {
+    prop_oneof![
+        Just(DataType::Int),
+        Just(DataType::Float),
+        Just(DataType::Date),
+        (1u16..6).prop_map(DataType::Char),
+    ]
+}
+
+fn cmp_op() -> impl Strategy<Value = CmpOp> {
+    prop_oneof![
+        Just(CmpOp::Eq),
+        Just(CmpOp::Ne),
+        Just(CmpOp::Lt),
+        Just(CmpOp::Le),
+        Just(CmpOp::Gt),
+        Just(CmpOp::Ge),
+    ]
+}
+
+/// One generic cell: seeds for every column type, narrowed by `dtype` at
+/// build time. Small ranges keep predicates selective-but-not-empty.
+type Cell = (i64, i64, u32, usize);
+
+fn cell() -> impl Strategy<Value = Cell> {
+    (-40i64..40, -400i64..=400, 19970101u32..19970160, 0usize..STRINGS.len())
+}
+
+/// Turn a cell into a `Value` of type `dt`. Float seed ±400 maps to the
+/// non-finite values so `total_cmp` corner cases are exercised.
+fn cell_value(dt: DataType, c: Cell) -> Value {
+    match dt {
+        DataType::Int => Value::Int(c.0),
+        DataType::Float => Value::Float(match c.1 {
+            400 => f64::NAN,
+            -400 => f64::NEG_INFINITY,
+            s => s as f64 / 4.0,
+        }),
+        DataType::Date => Value::Date(c.2),
+        DataType::Char(n) => {
+            let s = STRINGS[c.3];
+            Value::Str(s[..s.len().min(n as usize)].to_string())
+        }
+    }
+}
+
+/// A literal of some type other than `dt` (the interpreter falls back to
+/// type-rank comparison; compilation must fold identically).
+fn mistyped_value(dt: DataType, c: Cell) -> Value {
+    let other = match dt {
+        DataType::Int => DataType::Float,
+        DataType::Float => DataType::Date,
+        DataType::Date => DataType::Char(3),
+        DataType::Char(_) => DataType::Int,
+    };
+    cell_value(other, c)
+}
+
+fn leaf(dts: Vec<DataType>) -> BoxedStrategy<Expr> {
+    let ncols = dts.len();
+    (
+        0..ncols,
+        cmp_op(),
+        cell(),
+        cell(),
+        prop::collection::vec(cell(), 0..4),
+        0u8..8,
+    )
+        .prop_map(move |(col, op, c1, c2, items, kind)| {
+            let dt = dts[col];
+            match kind {
+                // Well-typed comparison (the common case).
+                0..=2 => Expr::Cmp {
+                    col,
+                    op,
+                    lit: cell_value(dt, c1),
+                },
+                // Mistyped comparison: must fold to the interpreter's
+                // type-rank constant.
+                3 => Expr::Cmp {
+                    col,
+                    op,
+                    lit: mistyped_value(dt, c1),
+                },
+                4 => Expr::Between {
+                    col,
+                    lo: cell_value(dt, c1),
+                    hi: cell_value(dt, c2),
+                },
+                // Mixed-typed BETWEEN bounds (decomposed at compile time).
+                5 => Expr::Between {
+                    col,
+                    lo: cell_value(dt, c1),
+                    hi: mistyped_value(dt, c2),
+                },
+                6 => Expr::InList {
+                    col,
+                    items: items.iter().map(|&c| cell_value(dt, c)).collect(),
+                },
+                // IN with a mistyped (unreachable) item mixed in.
+                _ => {
+                    let mut vals: Vec<Value> =
+                        items.iter().map(|&c| cell_value(dt, c)).collect();
+                    vals.push(mistyped_value(dt, c1));
+                    Expr::InList { col, items: vals }
+                }
+            }
+        })
+        .boxed()
+}
+
+fn expr(dts: Vec<DataType>) -> BoxedStrategy<Expr> {
+    let base = prop_oneof![
+        4 => leaf(dts),
+        1 => prop_oneof![Just(Expr::Const(true)), Just(Expr::Const(false))],
+    ]
+    .boxed();
+    base.prop_recursive(3, 16, 3, |inner| {
+        prop_oneof![
+            prop::collection::vec(inner.clone(), 0..4).prop_map(Expr::And),
+            prop::collection::vec(inner.clone(), 0..4).prop_map(Expr::Or),
+            inner.prop_map(|e| Expr::Not(Box::new(e))),
+        ]
+    })
+}
+
+/// One complete scenario: a schema, a pile of rows, a predicate tree.
+#[derive(Debug, Clone)]
+struct Scenario {
+    schema: Arc<Schema>,
+    rows: Vec<Vec<Value>>,
+    expr: Expr,
+}
+
+fn scenario() -> impl Strategy<Value = Scenario> {
+    prop::collection::vec(dtype(), 1..5).prop_flat_map(|dts| {
+        let schema = Schema::new(
+            dts.iter()
+                .enumerate()
+                .map(|(i, &dt)| qs_storage::Column::new(format!("c{i}"), dt))
+                .collect(),
+        );
+        // Per-column cell strategies generate whole rows element-wise.
+        let row = dts.iter().map(|_| cell()).collect::<Vec<_>>();
+        let rows = prop::collection::vec(row, 0..48);
+        let dts2 = dts.clone();
+        (rows, expr(dts.clone())).prop_map(move |(raw_rows, expr)| Scenario {
+            schema: schema.clone(),
+            rows: raw_rows
+                .into_iter()
+                .map(|r| {
+                    r.into_iter()
+                        .zip(&dts2)
+                        .map(|(c, &dt)| cell_value(dt, c))
+                        .collect()
+                })
+                .collect(),
+            expr,
+        })
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(160))]
+
+    /// Row-wise and batch-wise compiled evaluation agree with the
+    /// interpreter on every generated row.
+    #[test]
+    fn compiled_pred_equivalent_to_interpreter(sc in scenario()) {
+        let page = Page::from_values(&sc.schema, &sc.rows).expect("rows fit one page");
+        let compiled = CompiledPred::compile(&sc.expr, &sc.schema);
+
+        // Batch over the page arena.
+        let batch = ColumnBatch::from_page(&page, compiled.columns());
+        let mut scratch = PredScratch::new();
+        let mut mask: Vec<u64> = Vec::new();
+        compiled.eval_batch(&batch, &mut scratch, &mut mask);
+
+        // Batch over independently allocated row slices (the
+        // dimension-admission path).
+        let slices: Vec<&[u8]> = (0..page.rows()).map(|i| page.row(i).bytes()).collect();
+        let row_batch = ColumnBatch::from_rows(&sc.schema, &slices, compiled.columns());
+        let mut mask2: Vec<u64> = Vec::new();
+        compiled.eval_batch(&row_batch, &mut scratch, &mut mask2);
+
+        for (i, row) in page.iter().enumerate() {
+            let want = sc.expr.eval(&row);
+            prop_assert_eq!(
+                compiled.eval_row(&row), want,
+                "eval_row diverged at row {} for {:?}", i, &sc.expr
+            );
+            let got = mask[i / 64] & (1u64 << (i % 64)) != 0;
+            prop_assert_eq!(
+                got, want,
+                "eval_batch (page) diverged at row {} for {:?}", i, &sc.expr
+            );
+            let got2 = mask2[i / 64] & (1u64 << (i % 64)) != 0;
+            prop_assert_eq!(
+                got2, want,
+                "eval_batch (rows) diverged at row {} for {:?}", i, &sc.expr
+            );
+        }
+        // No ghost bits past the last row.
+        let set_bits = qs_plan::compiled::iter_ones(&mask).filter(|&b| b >= page.rows()).count();
+        prop_assert_eq!(set_bits, 0);
+    }
+
+    /// The compiled program's column set matches the expression's.
+    #[test]
+    fn compiled_columns_match_referenced(sc in scenario()) {
+        let compiled = CompiledPred::compile(&sc.expr, &sc.schema);
+        prop_assert_eq!(compiled.columns().to_vec(), sc.expr.referenced_columns());
+    }
+}

@@ -13,12 +13,16 @@
 //!   loads ([`bufferpool`]) so that memory-resident vs disk-resident
 //!   databases behave differently, exactly the knob the demo GUI exposes,
 //! * circular (shared) scans ([`scan`]) — the I/O-layer sharing primitive
-//!   both QPipe and CJOIN rely on.
+//!   both QPipe and CJOIN rely on,
+//! * page-at-a-time column batches ([`batch`]) — decode the referenced
+//!   columns of a page once into typed vectors, the substrate for
+//!   vectorized (compiled) predicate evaluation in `qs-plan`.
 //!
 //! Everything is deterministic and in-process; "disk" pages are retained in
 //! memory but every buffer-pool miss pays the simulated I/O cost, which
 //! preserves the performance *shape* the paper's experiments depend on.
 
+pub mod batch;
 pub mod bufferpool;
 pub mod catalog;
 pub mod disk;
@@ -30,6 +34,7 @@ pub mod schema;
 pub mod table;
 pub mod value;
 
+pub use batch::{ColumnBatch, ColumnData};
 pub use bufferpool::{BufferPool, BufferPoolConfig, BufferPoolStats};
 pub use catalog::Catalog;
 pub use disk::{DiskConfig, DiskModel, DiskStats};

@@ -63,6 +63,14 @@ impl Page {
         self.data.len()
     }
 
+    /// Raw arena bytes: `rows` encoded rows of `schema.row_size()` bytes
+    /// packed back-to-back. Used by the column-batch decoder to stride
+    /// through a column without constructing per-row views.
+    #[inline]
+    pub fn raw(&self) -> &[u8] {
+        &self.data
+    }
+
     /// Borrow row `i`.
     #[inline]
     pub fn row(&self, i: usize) -> RowRef<'_> {

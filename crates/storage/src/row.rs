@@ -10,6 +10,39 @@ use crate::schema::Schema;
 use crate::value::{DataType, Value};
 use crate::Result;
 
+/// Read the `Int` slot at byte offset `off` of an encoded row.
+#[inline]
+pub fn read_i64_at(buf: &[u8], off: usize) -> i64 {
+    let mut b = [0u8; 8];
+    b.copy_from_slice(&buf[off..off + 8]);
+    i64::from_le_bytes(b)
+}
+
+/// Read the `Float` slot at byte offset `off` of an encoded row.
+#[inline]
+pub fn read_f64_at(buf: &[u8], off: usize) -> f64 {
+    let mut b = [0u8; 8];
+    b.copy_from_slice(&buf[off..off + 8]);
+    f64::from_le_bytes(b)
+}
+
+/// Read the `Date` slot at byte offset `off` of an encoded row.
+#[inline]
+pub fn read_date_at(buf: &[u8], off: usize) -> u32 {
+    let mut b = [0u8; 4];
+    b.copy_from_slice(&buf[off..off + 4]);
+    u32::from_le_bytes(b)
+}
+
+/// View a padded `Char` slot as its trimmed `&str` — the single home of
+/// the trailing-space-trim rule shared by [`RowRef::str_col`], the
+/// column-batch decoder and the engine's encoded-row comparators.
+#[inline]
+pub fn trim_char(raw: &[u8]) -> &str {
+    let end = raw.iter().rposition(|&b| b != b' ').map_or(0, |p| p + 1);
+    std::str::from_utf8(&raw[..end]).unwrap_or("")
+}
+
 /// Encode one value into its column slot. `buf` must be the full row slice.
 pub fn encode_value(buf: &mut [u8], schema: &Schema, col: usize, v: &Value) -> Result<()> {
     let dt = schema.dtype(col);
@@ -135,30 +168,21 @@ impl<'a> RowRef<'a> {
     #[inline]
     pub fn i64_col(&self, col: usize) -> i64 {
         debug_assert_eq!(self.schema.dtype(col), DataType::Int);
-        let off = self.schema.offset(col);
-        let mut b = [0u8; 8];
-        b.copy_from_slice(&self.bytes[off..off + 8]);
-        i64::from_le_bytes(b)
+        read_i64_at(self.bytes, self.schema.offset(col))
     }
 
     /// Read a `Float` column.
     #[inline]
     pub fn f64_col(&self, col: usize) -> f64 {
         debug_assert_eq!(self.schema.dtype(col), DataType::Float);
-        let off = self.schema.offset(col);
-        let mut b = [0u8; 8];
-        b.copy_from_slice(&self.bytes[off..off + 8]);
-        f64::from_le_bytes(b)
+        read_f64_at(self.bytes, self.schema.offset(col))
     }
 
     /// Read a `Date` column.
     #[inline]
     pub fn date_col(&self, col: usize) -> u32 {
         debug_assert_eq!(self.schema.dtype(col), DataType::Date);
-        let off = self.schema.offset(col);
-        let mut b = [0u8; 4];
-        b.copy_from_slice(&self.bytes[off..off + 4]);
-        u32::from_le_bytes(b)
+        read_date_at(self.bytes, self.schema.offset(col))
     }
 
     /// Read a `Char(n)` column with trailing padding trimmed. Borrows the
@@ -171,9 +195,7 @@ impl<'a> RowRef<'a> {
             DataType::Char(n) => n as usize,
             other => panic!("str_col on non-Char column of type {}", other.name()),
         };
-        let raw = &self.bytes[off..off + n];
-        let end = raw.iter().rposition(|&b| b != b' ').map_or(0, |p| p + 1);
-        std::str::from_utf8(&raw[..end]).unwrap_or("")
+        trim_char(&self.bytes[off..off + n])
     }
 
     /// Raw bytes of column `col` (padded width for `Char`).
@@ -184,6 +206,7 @@ impl<'a> RowRef<'a> {
     }
 
     /// Decode column into a [`Value`] (boundary use only).
+    #[inline]
     pub fn value(&self, col: usize) -> Value {
         decode_value(self.bytes, self.schema, col)
     }
