@@ -1,0 +1,71 @@
+//! Perf-trajectory gate: compare a freshly measured scenario points file
+//! against the previous PR's committed baseline (`BENCH_PR<N>.json`) and
+//! fail on material throughput regressions.
+//!
+//! ```sh
+//! cargo run --release -p qs-bench --bin perfdiff -- \
+//!     --base BENCH_PR2.json --new BENCH_CI.json --max-drop-pct 20
+//! ```
+//!
+//! Per (scenario, mode) series the geometric-mean qps over the shared x
+//! points is compared; any series dropping more than `--max-drop-pct`
+//! (default 20%) fails the gate with exit code 1. Quick-mode CI points
+//! are noisy, which is exactly why the threshold is a wide 20% and the
+//! comparison is a geomean rather than point-by-point.
+
+use qs_bench::{arg, perf};
+
+fn main() {
+    let base_path: String = arg("base", String::new());
+    let new_path: String = arg("new", String::new());
+    let max_drop_pct: f64 = arg("max-drop-pct", 20.0);
+    if base_path.is_empty() || new_path.is_empty() {
+        eprintln!("usage: perfdiff --base BASE.json --new NEW.json [--max-drop-pct 20]");
+        std::process::exit(2);
+    }
+    let base = perf::read_points(&base_path);
+    let new = perf::read_points(&new_path);
+    if base.is_empty() {
+        eprintln!("perfdiff: no series in baseline {base_path}");
+        std::process::exit(2);
+    }
+    if new.is_empty() {
+        eprintln!("perfdiff: no series in {new_path}");
+        std::process::exit(2);
+    }
+
+    let deltas = perf::compare_points(&base, &new);
+    if deltas.is_empty() {
+        eprintln!("perfdiff: no comparable (scenario, mode) series between files");
+        std::process::exit(2);
+    }
+    println!(
+        "{:<12} {:<10} {:>12} {:>12} {:>8}",
+        "scenario", "mode", "base q/s", "new q/s", "delta"
+    );
+    let mut failures = 0usize;
+    for d in &deltas {
+        let flag = if d.delta * 100.0 < -max_drop_pct {
+            failures += 1;
+            "  << REGRESSION"
+        } else {
+            ""
+        };
+        println!(
+            "{:<12} {:<10} {:>12.1} {:>12.1} {:>+7.1}%{}",
+            d.scenario,
+            d.mode,
+            d.base_qps,
+            d.new_qps,
+            d.delta * 100.0,
+            flag
+        );
+    }
+    if failures > 0 {
+        eprintln!(
+            "perfdiff: {failures} series regressed more than {max_drop_pct}% vs {base_path}"
+        );
+        std::process::exit(1);
+    }
+    println!("perfdiff: all {} series within {max_drop_pct}% of {base_path}", deltas.len());
+}

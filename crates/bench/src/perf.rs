@@ -129,6 +129,126 @@ pub fn write_points(
     fs::write(path, out)
 }
 
+/// Parse one `{"mode":"QC","x":1,...}` object as written by
+/// [`PerfPoint::to_json`]. Returns `None` on malformed input.
+fn parse_point(obj: &str) -> Option<PerfPoint> {
+    // Mode labels contain neither ',' nor '}', so the first of either
+    // terminates any field value in this format.
+    let field = |name: &str| -> Option<&str> {
+        let tag = format!("\"{name}\":");
+        let start = obj.find(&tag)? + tag.len();
+        let rest = &obj[start..];
+        let end = rest.find([',', '}']).unwrap_or(rest.len());
+        Some(rest[..end].trim())
+    };
+    Some(PerfPoint {
+        mode: field("mode")?.trim_matches('"').to_string(),
+        x: field("x")?.parse().ok()?,
+        qps: field("qps")?.parse().ok()?,
+        completed: field("completed")?.parse().ok()?,
+        admission_evals: field("admission_evals")?.parse().ok()?,
+        pages_shared: field("pages_shared")?.parse().ok()?,
+        sp_hits: field("sp_hits")?.parse().ok()?,
+    })
+}
+
+/// Read a perf points file back into `(scenario, points)` series — the
+/// inverse of [`write_points`] for the format this module owns.
+pub fn read_points(path: impl AsRef<Path>) -> Vec<(String, Vec<PerfPoint>)> {
+    read_existing(path.as_ref())
+        .into_iter()
+        .map(|(name, value)| {
+            let inner = value.trim().trim_start_matches('[').trim_end_matches(']');
+            let points = inner
+                .split("}, {")
+                .filter(|s| !s.trim().is_empty())
+                .filter_map(parse_point)
+                .collect();
+            (name, points)
+        })
+        .collect()
+}
+
+/// One (scenario, mode) comparison of a perf series against a baseline.
+#[derive(Debug, Clone)]
+pub struct SeriesDelta {
+    /// Scenario name.
+    pub scenario: String,
+    /// Execution-mode label.
+    pub mode: String,
+    /// Geometric-mean qps of the baseline over the shared x points.
+    pub base_qps: f64,
+    /// Geometric-mean qps of the new run over the shared x points.
+    pub new_qps: f64,
+    /// `new/base - 1` (negative = regression).
+    pub delta: f64,
+}
+
+/// Compare two points files per (scenario, mode): the geometric mean of
+/// qps over the x values present in both series (geomean, so one noisy
+/// point cannot mask a broad regression and sweeps of different
+/// magnitudes weigh equally). Series missing from either side are
+/// skipped — the gate guards regressions, not coverage.
+pub fn compare_points(
+    base: &[(String, Vec<PerfPoint>)],
+    new: &[(String, Vec<PerfPoint>)],
+) -> Vec<SeriesDelta> {
+    let mut out = Vec::new();
+    for (scenario, base_points) in base {
+        let Some((_, new_points)) = new.iter().find(|(n, _)| n == scenario) else {
+            continue;
+        };
+        let mut modes: Vec<&str> = base_points.iter().map(|p| p.mode.as_str()).collect();
+        modes.sort_unstable();
+        modes.dedup();
+        for mode in modes {
+            let mut logs_base = Vec::new();
+            let mut logs_new = Vec::new();
+            // A new-side point at zero qps is the worst possible
+            // regression, not a comparison to skip: it zeroes the whole
+            // series so the gate fires.
+            let mut new_died = false;
+            for bp in base_points.iter().filter(|p| p.mode == mode) {
+                let Some(np) = new_points
+                    .iter()
+                    .find(|p| p.mode == mode && p.x == bp.x)
+                else {
+                    continue;
+                };
+                if bp.qps <= 0.0 {
+                    continue; // baseline never ran this point
+                }
+                logs_base.push(bp.qps.ln());
+                if np.qps > 0.0 {
+                    logs_new.push(np.qps.ln());
+                } else {
+                    new_died = true;
+                }
+            }
+            if logs_base.is_empty() {
+                continue;
+            }
+            let gm = |logs: &[f64]| {
+                if logs.is_empty() {
+                    0.0
+                } else {
+                    (logs.iter().sum::<f64>() / logs.len() as f64).exp()
+                }
+            };
+            let base_qps = gm(&logs_base);
+            let new_qps = if new_died { 0.0 } else { gm(&logs_new) };
+            out.push(SeriesDelta {
+                scenario: scenario.clone(),
+                mode: mode.to_string(),
+                base_qps,
+                new_qps,
+                delta: new_qps / base_qps - 1.0,
+            });
+        }
+    }
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -168,5 +288,75 @@ mod tests {
         assert!(text.ends_with("}\n"));
         assert_eq!(text.matches("\"qps\":12.346").count(), 3);
         fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn points_roundtrip_through_the_parser() {
+        let dir = std::env::temp_dir().join(format!("qs_perf_rt_{}", std::process::id()));
+        fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("points.json");
+        let written = vec![point("SP-SPL", 1.0), point("CJOIN", 16.0)];
+        write_points(&path, "scenario2", &written).unwrap();
+        let read = read_points(&path);
+        assert_eq!(read.len(), 1);
+        assert_eq!(read[0].0, "scenario2");
+        let got = &read[0].1;
+        assert_eq!(got.len(), 2);
+        assert_eq!(got[0].mode, "SP-SPL");
+        assert_eq!(got[1].mode, "CJOIN");
+        assert_eq!(got[1].x, 16.0);
+        assert!((got[0].qps - 12.346).abs() < 1e-9); // written with %.3f
+        assert_eq!(got[0].completed, 42);
+        assert_eq!(got[0].admission_evals, 7);
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn compare_detects_regressions_per_mode() {
+        let series = |qps_a: f64, qps_b: f64| {
+            vec![(
+                "s2".to_string(),
+                vec![
+                    PerfPoint { qps: qps_a, ..point("QC", 1.0) },
+                    PerfPoint { qps: qps_b, ..point("QC", 4.0) },
+                    PerfPoint { qps: 100.0, ..point("CJOIN", 1.0) },
+                ],
+            )]
+        };
+        let base = series(100.0, 400.0);
+        // QC halves at both points, CJOIN unchanged.
+        let new = series(50.0, 200.0);
+        let deltas = compare_points(&base, &new);
+        assert_eq!(deltas.len(), 2);
+        let qc = deltas.iter().find(|d| d.mode == "QC").unwrap();
+        assert!((qc.delta + 0.5).abs() < 1e-9, "geomean halved: {qc:?}");
+        let cj = deltas.iter().find(|d| d.mode == "CJOIN").unwrap();
+        assert!(cj.delta.abs() < 1e-9);
+        // Missing series on either side are skipped, not failed.
+        let deltas = compare_points(&base, &[("other".into(), Vec::new())]);
+        assert!(deltas.is_empty());
+    }
+
+    #[test]
+    fn zero_qps_new_point_is_a_total_regression_not_a_skip() {
+        let base = vec![(
+            "s2".to_string(),
+            vec![
+                PerfPoint { qps: 100.0, ..point("QC", 1.0) },
+                PerfPoint { qps: 200.0, ..point("QC", 4.0) },
+            ],
+        )];
+        // The mode deadlocked at x=4: zero completions in the window.
+        let new = vec![(
+            "s2".to_string(),
+            vec![
+                PerfPoint { qps: 100.0, ..point("QC", 1.0) },
+                PerfPoint { qps: 0.0, ..point("QC", 4.0) },
+            ],
+        )];
+        let deltas = compare_points(&base, &new);
+        assert_eq!(deltas.len(), 1);
+        assert_eq!(deltas[0].new_qps, 0.0);
+        assert!((deltas[0].delta + 1.0).abs() < 1e-9, "-100%: {:?}", deltas[0]);
     }
 }

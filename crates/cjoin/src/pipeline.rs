@@ -43,7 +43,7 @@ use parking_lot::Mutex;
 use qs_engine::{ExecCtx, OutputHub, PageSource, ShareMode, StageKind};
 use qs_plan::compiled::{iter_ones, mask_words};
 use qs_plan::{CompiledPred, Expr, PredScratch, StarQuery};
-use qs_storage::{Catalog, ColumnBatch, Page, PageBuilder, Schema, Table};
+use qs_storage::{Catalog, ColumnBatch, FactBatch, Page, PageBuilder, Schema, Table};
 use std::collections::HashMap;
 use std::fmt;
 use std::sync::atomic::Ordering;
@@ -153,9 +153,11 @@ struct QueryOutput {
 }
 
 struct Batch {
-    page: Arc<Page>,
-    rows: Vec<u32>,
-    bitmaps: Vec<Bitmap>,
+    /// The surviving tuples of one fact page: selection + per-tuple query
+    /// bitmaps over the shared page, the system-wide post-predicate
+    /// currency. The fan-out stage materializes the surviving rows' bytes
+    /// once before the distributor shards fan them out per query.
+    fact: FactBatch,
     /// `dim_hits[d][i]`: matched entry index at pipeline dim `d` for tuple
     /// `i` (`u32::MAX` = no match, survived via bypass). Filled stage by
     /// stage.
@@ -386,7 +388,10 @@ impl CjoinPipeline {
             );
         }
         // Fan-out thread: broadcasts batches to every shard, routes
-        // admissions/completions to the owning shard.
+        // admissions/completions to the owning shard. Surviving tuples'
+        // fact-row bytes are materialized here, once per batch, so the
+        // shards fan out from a contiguous buffer instead of each
+        // re-reading the page per (tuple × query).
         {
             threads.push(
                 std::thread::Builder::new()
@@ -394,7 +399,8 @@ impl CjoinPipeline {
                     .spawn(move || {
                         while let Ok(msg) = prev_rx.recv() {
                             match msg {
-                                Msg::Batch(b) => {
+                                Msg::Batch(mut b) => {
+                                    b.fact.materialize_rows();
                                     let b = Arc::new(b);
                                     for tx in &shard_txs {
                                         if tx.send(DistMsg::Batch(b.clone())).is_err() {
@@ -922,9 +928,7 @@ fn preprocessor_loop(
             .fetch_add(rows.len() as u64, Ordering::Relaxed);
         if out
             .send(Msg::Batch(Batch {
-                page,
-                rows,
-                bitmaps,
+                fact: FactBatch::new(page, rows, bitmaps),
                 dim_hits: Vec::new(),
             }))
             .is_err()
@@ -964,28 +968,31 @@ fn dim_stage_loop(
     out: Sender<Msg>,
 ) {
     let dim = &dims[dim_idx];
+    // Join-key scratch, reused across batches: the key column of the
+    // surviving tuples is gathered once per batch into a typed slice and
+    // the hash map is probed in a tight loop — no per-tuple row views.
+    let mut keys: Vec<i64> = Vec::new();
     while let Ok(msg) = in_rx.recv() {
         match msg {
             Msg::Batch(mut batch) => {
-                let before = batch.rows.len();
+                let before = batch.fact.len();
                 let mut hits: Vec<u32> = vec![u32::MAX; before];
                 let mut keep: Vec<bool> = vec![false; before];
                 ctx.governor.run(|| {
-                    for (t, &row_idx) in batch.rows.iter().enumerate() {
-                        let row = batch.page.row(row_idx as usize);
-                        let key = row.i64_col(dim.spec.fact_key);
+                    batch.fact.gather_i64_into(dim.spec.fact_key, &mut keys);
+                    let bitmaps = batch.fact.bitmaps_mut();
+                    for (t, &key) in keys.iter().enumerate() {
                         match dim.by_key.get(&key) {
                             Some(&eidx) => {
                                 let e = &dim.entries[eidx as usize];
-                                e.bitmap
-                                    .and_or_into(&dim.bypass, &mut batch.bitmaps[t]);
+                                e.bitmap.and_or_into(&dim.bypass, &mut bitmaps[t]);
                                 hits[t] = eidx;
                             }
                             None => {
-                                dim.bypass.and_into(&mut batch.bitmaps[t]);
+                                dim.bypass.and_into(&mut bitmaps[t]);
                             }
                         }
-                        keep[t] = batch.bitmaps[t].any();
+                        keep[t] = bitmaps[t].any();
                     }
                 });
                 // Compact the batch, dropping dead tuples.
@@ -994,18 +1001,7 @@ fn dim_stage_loop(
                     metrics
                         .tuples_dropped
                         .fetch_add((before - survivors) as u64, Ordering::Relaxed);
-                    let mut idx = 0usize;
-                    batch.rows.retain(|_| {
-                        let k = keep[idx];
-                        idx += 1;
-                        k
-                    });
-                    let mut idx = 0usize;
-                    batch.bitmaps.retain(|_| {
-                        let k = keep[idx];
-                        idx += 1;
-                        k
-                    });
+                    batch.fact.retain(&keep);
                     for col in &mut batch.dim_hits {
                         let mut idx = 0usize;
                         col.retain(|_| {
@@ -1022,7 +1018,7 @@ fn dim_stage_loop(
                     });
                 }
                 batch.dim_hits.push(hits);
-                if !batch.rows.is_empty() && out.send(Msg::Batch(batch)).is_err() {
+                if !batch.fact.is_empty() && out.send(Msg::Batch(batch)).is_err() {
                     return;
                 }
             }
@@ -1074,14 +1070,17 @@ fn distributor_loop(
                 }
                 let mut flushes: Vec<(u32, Arc<Page>)> = Vec::new();
                 ctx.governor.run(|| {
-                    for (t, &row_idx) in batch.rows.iter().enumerate() {
-                        let fact_row = batch.page.row(row_idx as usize);
-                        for q in batch.bitmaps[t].iter_ones() {
+                    for (t, bm) in batch.fact.bitmaps().iter().enumerate() {
+                        // Fact bytes were gathered once per batch at
+                        // fan-out; the per-(tuple × query) loop only
+                        // concatenates slices.
+                        let fact_bytes = batch.fact.row_bytes(t);
+                        for q in bm.iter_ones() {
                             let Some(out) = outputs.get_mut(&(q as u32)) else {
                                 continue;
                             };
                             rowbuf.clear();
-                            rowbuf.extend_from_slice(fact_row.bytes());
+                            rowbuf.extend_from_slice(fact_bytes);
                             for &d in &out.dim_order {
                                 let eidx = batch.dim_hits[d as usize][t];
                                 debug_assert_ne!(

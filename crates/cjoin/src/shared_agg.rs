@@ -6,28 +6,30 @@
 //! and every query then aggregates its stream with a query-centric
 //! operator: `Q` queries touch each joined tuple `Q` times. A shared
 //! aggregation instead consumes the *annotated* tuple stream once,
-//! **before** routing: for each tuple it extracts each distinct grouping
-//! key once and folds the tuple into the accumulator tables of exactly
-//! the queries whose bitmap bit survived the join chain.
-//!
-//! Sharing structure:
+//! **before** routing, batch-at-a-time:
 //!
 //! * Queries with the same `group_by` columns form a **grouping class**;
-//!   the (byte-encoded) group key is computed once per class per tuple,
-//!   no matter how many queries share it.
-//! * Within a class, each query keeps its own accumulator row (its
-//!   aggregates may differ), keyed by the shared group key.
+//!   the (byte-encoded) group key is extracted and resolved to a dense
+//!   group slot once per class per tuple in a *class-level registry*, no
+//!   matter how many queries share the class.
+//! * Per batch, each query's relevant tuples are routed by bitmap bit
+//!   into `(row, group)` pair lists (grouped classes) or a selection
+//!   mask (scalar classes), and every aggregate then folds the whole
+//!   batch through a typed kernel (`qs_engine::kernels`) over the
+//!   decoded column batch — no per-row `(Acc, AggFunc)` dispatch and no
+//!   per-tuple column decode.
 //!
 //! The trade-off mirrors the paper's shared-operator rule of thumb: one
 //! pass over the joined stream (wins at high query counts) versus
-//! per-tuple bitmap iteration and hash-map indirection per query
-//! (book-keeping that loses at low counts). The `shared_agg` bench
-//! regenerates exactly this crossover.
+//! per-tuple bitmap iteration and routing book-keeping per query. The
+//! `shared_agg` bench regenerates exactly this crossover, and the
+//! `agg_kernels` bench isolates the kernel layer against the
+//! row-at-a-time `update_acc` baseline.
 
 use crate::bitmap::Bitmap;
-use qs_engine::agg::{finalize_acc, make_acc, update_acc, Acc};
+use qs_engine::kernels::{update_grouped, update_masked, AccVec, AggKernel};
 use qs_plan::AggSpec;
-use qs_storage::{Page, Schema, Value};
+use qs_storage::{mask_words, ColumnBatch, FactBatch, Page, Schema, Value};
 use std::collections::HashMap;
 use std::sync::Arc;
 
@@ -40,35 +42,60 @@ pub struct AggPlan {
     pub aggs: Vec<AggSpec>,
 }
 
-/// Per-query accumulator table.
+/// Per-query accumulator state: typed kernels plus structure-of-arrays
+/// accumulators indexed by the *class-level* group slot.
 struct QueryState {
     /// Query slot (bitmap bit) this state belongs to.
     slot: u32,
-    /// Grouping class index (shared key extraction).
+    /// Grouping class index (shared key extraction + group registry).
     class: usize,
-    aggs: Vec<AggSpec>,
-    /// group key bytes → accumulators, insertion-ordered via `order`.
-    groups: HashMap<Vec<u8>, Vec<Acc>>,
-    order: Vec<Vec<u8>>,
+    kernels: Vec<AggKernel>,
+    accs: Vec<AccVec>,
+    /// Class group slots this query touched, in first-touch order (the
+    /// output row order, matching the old per-query insertion order).
+    touched_order: Vec<u32>,
+    touched: Vec<bool>,
+    /// Per-batch routing scratch.
+    rows_scratch: Vec<u32>,
+    groups_scratch: Vec<u32>,
+    mask_scratch: Vec<u64>,
 }
 
-/// One distinct `group_by` column set.
+/// One distinct `group_by` column set, with the group registry every
+/// member query shares.
 struct GroupClass {
     group_by: Vec<usize>,
+    /// Precomputed `(byte offset, width)` spans of the group columns.
+    spans: Vec<(usize, usize)>,
     /// Queries in this class (indices into `queries`).
     members: Vec<usize>,
-    /// Scratch buffer for the current tuple's key.
+    /// OR of the member query slots: a tuple is relevant to the class iff
+    /// its bitmap intersects this mask.
+    member_mask: Bitmap,
+    /// Group key bytes → dense group slot, shared by all members.
+    lookup: HashMap<Vec<u8>, u32>,
+    /// Group slot → key bytes (for decoding results at finish).
+    keys: Vec<Vec<u8>>,
+    /// Per-batch scratch: relevant batch rows and their group slots.
+    rel_rows: Vec<u32>,
+    rel_groups: Vec<u32>,
+    /// Current tuple's key bytes (reused across rows and batches).
     key_buf: Vec<u8>,
 }
 
-/// Shared aggregation operator: single pass over annotated tuples, one
-/// accumulator table per admitted query.
+/// Shared aggregation operator: single batch-at-a-time pass over
+/// annotated tuples, one accumulator table per admitted query.
 pub struct SharedAggregator {
     in_schema: Arc<Schema>,
     queries: Vec<QueryState>,
     classes: Vec<GroupClass>,
     /// slot → query index (dense map; slots are small integers).
     by_slot: HashMap<u32, usize>,
+    /// Sorted union of the columns any registered kernel reads — the set
+    /// decoded once per batch.
+    agg_cols: Vec<usize>,
+    /// Selection scratch: batch rows with any query bit set.
+    sel_scratch: Vec<u32>,
     tuples_seen: u64,
     updates_applied: u64,
 }
@@ -82,6 +109,8 @@ impl SharedAggregator {
             queries: Vec::new(),
             classes: Vec::new(),
             by_slot: HashMap::new(),
+            agg_cols: Vec::new(),
+            sel_scratch: Vec::new(),
             tuples_seen: 0,
             updates_applied: 0,
         }
@@ -89,7 +118,7 @@ impl SharedAggregator {
 
     /// Register the aggregation of query `slot`. Queries registering a
     /// `group_by` already seen join that grouping class and share its key
-    /// extraction work.
+    /// extraction and group registry.
     pub fn register(&mut self, slot: u32, plan: AggPlan) {
         let class = match self
             .classes
@@ -98,24 +127,67 @@ impl SharedAggregator {
         {
             Some(i) => i,
             None => {
+                let spans: Vec<(usize, usize)> = plan
+                    .group_by
+                    .iter()
+                    .map(|&c| (self.in_schema.offset(c), self.in_schema.dtype(c).width()))
+                    .collect();
                 self.classes.push(GroupClass {
                     group_by: plan.group_by.clone(),
+                    spans,
                     members: Vec::new(),
+                    member_mask: Bitmap::zeros(64),
+                    lookup: HashMap::new(),
+                    keys: Vec::new(),
+                    rel_rows: Vec::new(),
+                    rel_groups: Vec::new(),
                     key_buf: Vec::new(),
                 });
                 self.classes.len() - 1
             }
         };
         let qidx = self.queries.len();
-        self.classes[class].members.push(qidx);
+        let cls = &mut self.classes[class];
+        cls.members.push(qidx);
+        if slot as usize >= cls.member_mask.word_count() * 64 {
+            // Widen the mask to cover the new slot.
+            let mut words = cls.member_mask.words().to_vec();
+            words.resize(mask_words(slot as usize + 1), 0);
+            cls.member_mask = Bitmap::from_words(words);
+        }
+        cls.member_mask.set(slot as usize);
         self.by_slot.insert(slot, qidx);
+        let kernels: Vec<AggKernel> = plan
+            .aggs
+            .iter()
+            .map(|a| AggKernel::compile(&a.func, &self.in_schema))
+            .collect();
+        let mut accs: Vec<AccVec> = kernels.iter().map(AccVec::for_kernel).collect();
+        if plan.group_by.is_empty() {
+            // Scalar aggregates fold into group slot 0 from the start.
+            for a in &mut accs {
+                a.resize(1);
+            }
+        }
         self.queries.push(QueryState {
             slot,
             class,
-            aggs: plan.aggs,
-            groups: HashMap::new(),
-            order: Vec::new(),
+            kernels,
+            accs,
+            touched_order: Vec::new(),
+            touched: Vec::new(),
+            rows_scratch: Vec::new(),
+            groups_scratch: Vec::new(),
+            mask_scratch: Vec::new(),
         });
+        // Maintain the union of kernel input columns.
+        let mut cols = std::mem::take(&mut self.agg_cols);
+        for k in &self.queries[qidx].kernels {
+            k.input_columns(&mut cols);
+        }
+        cols.sort_unstable();
+        cols.dedup();
+        self.agg_cols = cols;
     }
 
     /// Number of distinct grouping classes (shared key extractions per
@@ -144,55 +216,132 @@ impl SharedAggregator {
     /// row `i`.
     pub fn push_page(&mut self, page: &Page, bitmaps: &[Bitmap]) {
         debug_assert_eq!(page.rows(), bitmaps.len());
-        // Disjoint field borrows: classes hold the shared key scratch,
-        // queries hold the accumulator tables.
+        let mut sel = std::mem::take(&mut self.sel_scratch);
+        sel.clear();
+        let mut bms: Vec<&Bitmap> = Vec::with_capacity(bitmaps.len());
+        for (i, bm) in bitmaps.iter().enumerate() {
+            if bm.any() {
+                sel.push(i as u32);
+                bms.push(bm);
+            }
+        }
+        self.fold(page, &sel, &bms);
+        self.sel_scratch = sel;
+    }
+
+    /// Fold a [`FactBatch`] — the post-predicate batch representation the
+    /// CJOIN pipeline carries — without re-deriving the selection.
+    pub fn push_batch(&mut self, batch: &FactBatch) {
+        let bms: Vec<&Bitmap> = batch.bitmaps().iter().collect();
+        self.fold(batch.page(), batch.sel(), &bms);
+    }
+
+    /// Batch core: `sel` are the page rows with any query bit set and
+    /// `bms[i]` annotates page row `sel[i]`.
+    fn fold(&mut self, page: &Page, sel: &[u32], bms: &[&Bitmap]) {
+        if sel.is_empty() {
+            return;
+        }
+        self.tuples_seen += sel.len() as u64;
+        // Decode the union of kernel input columns once for the whole
+        // batch (batch row i = page row sel[i]).
+        let batch = ColumnBatch::gather(page, sel, &self.agg_cols);
+        let raw = page.raw();
+        let rs = self.in_schema.row_size();
+        // Disjoint field borrows: classes hold the shared registries,
+        // queries hold the accumulators.
         let classes = &mut self.classes;
         let queries = &mut self.queries;
-        let in_schema = &self.in_schema;
-        for (i, row) in page.iter().enumerate() {
-            let bm = &bitmaps[i];
-            if !bm.any() {
-                continue;
-            }
-            self.tuples_seen += 1;
-            // Key extraction once per class that has a relevant member.
-            for class in classes.iter_mut() {
-                let relevant = class
-                    .members
-                    .iter()
-                    .any(|&q| bm.get(queries[q].slot as usize));
-                if !relevant {
+        let mut updates = 0u64;
+        for class in classes.iter_mut() {
+            // Key resolution, once per class per relevant tuple: batch
+            // row → dense group slot in the shared registry.
+            class.rel_rows.clear();
+            class.rel_groups.clear();
+            for (bi, bm) in bms.iter().enumerate() {
+                if !bm.intersects(&class.member_mask) {
                     continue;
                 }
+                let row = &raw[sel[bi] as usize * rs..(sel[bi] as usize + 1) * rs];
                 class.key_buf.clear();
-                for &g in &class.group_by {
-                    class.key_buf.extend_from_slice(row.col_bytes(g));
+                for &(off, w) in &class.spans {
+                    class.key_buf.extend_from_slice(&row[off..off + w]);
                 }
-                let key = &class.key_buf;
-                for &q in &class.members {
-                    let state = &mut queries[q];
-                    if !bm.get(state.slot as usize) {
+                let slot = match class.lookup.get(class.key_buf.as_slice()) {
+                    Some(&s) => s,
+                    None => {
+                        let s = class.keys.len() as u32;
+                        class.keys.push(class.key_buf.clone());
+                        class.lookup.insert(class.key_buf.clone(), s);
+                        s
+                    }
+                };
+                class.rel_rows.push(bi as u32);
+                class.rel_groups.push(slot);
+            }
+            if class.rel_rows.is_empty() {
+                continue;
+            }
+            let ngroups = class.keys.len();
+            let scalar = class.group_by.is_empty();
+            for &q in &class.members {
+                let state = &mut queries[q];
+                if scalar {
+                    // Route into a selection mask over batch rows, then
+                    // fold each aggregate through its masked kernel.
+                    state.mask_scratch.clear();
+                    state.mask_scratch.resize(mask_words(batch.rows()), 0);
+                    let mut routed = 0u64;
+                    for &bi in &class.rel_rows {
+                        if bms[bi as usize].get(state.slot as usize) {
+                            state.mask_scratch[bi as usize / 64] |= 1u64 << (bi % 64);
+                            routed += 1;
+                        }
+                    }
+                    if routed == 0 {
                         continue;
                     }
-                    let entry = match state.groups.get_mut(key.as_slice()) {
-                        Some(e) => e,
-                        None => {
-                            state.order.push(key.clone());
-                            let accs: Vec<Acc> = state
-                                .aggs
-                                .iter()
-                                .map(|a| make_acc(&a.func, in_schema))
-                                .collect();
-                            state.groups.entry(key.clone()).or_insert(accs)
-                        }
-                    };
-                    for (acc, spec) in entry.iter_mut().zip(&state.aggs) {
-                        update_acc(acc, &spec.func, &row);
+                    updates += routed;
+                    for (kernel, acc) in state.kernels.iter().zip(&mut state.accs) {
+                        update_masked(kernel, acc, &batch, &state.mask_scratch);
                     }
-                    self.updates_applied += 1;
+                } else {
+                    // Route into (row, group) pair lists, then fold each
+                    // aggregate through its grouped kernel.
+                    state.rows_scratch.clear();
+                    state.groups_scratch.clear();
+                    if state.touched.len() < ngroups {
+                        state.touched.resize(ngroups, false);
+                    }
+                    for (&bi, &g) in class.rel_rows.iter().zip(&class.rel_groups) {
+                        if !bms[bi as usize].get(state.slot as usize) {
+                            continue;
+                        }
+                        state.rows_scratch.push(bi);
+                        state.groups_scratch.push(g);
+                        if !state.touched[g as usize] {
+                            state.touched[g as usize] = true;
+                            state.touched_order.push(g);
+                        }
+                    }
+                    if state.rows_scratch.is_empty() {
+                        continue;
+                    }
+                    updates += state.rows_scratch.len() as u64;
+                    for (kernel, acc) in state.kernels.iter().zip(&mut state.accs) {
+                        acc.resize(ngroups);
+                        update_grouped(
+                            kernel,
+                            acc,
+                            &batch,
+                            &state.rows_scratch,
+                            &state.groups_scratch,
+                        );
+                    }
                 }
             }
         }
+        self.updates_applied += updates;
     }
 
     /// Finish query `slot`: its result rows (group values then aggregate
@@ -202,41 +351,59 @@ impl SharedAggregator {
         let qidx = self.by_slot.remove(&slot)?;
         // Swap out the state; leave a tombstone so indices stay stable.
         let class_idx = self.queries[qidx].class;
+        // Retire the query from its class: later pushes must neither
+        // route tuples to the tombstone nor consider the slot relevant
+        // (the slot number may be reused by a future admission).
+        let cls = &mut self.classes[class_idx];
+        cls.members.retain(|&q| q != qidx);
+        cls.member_mask.clear(slot as usize);
+        // Shrink the per-batch decode set back to the live queries'
+        // kernels, so long-lived aggregators never keep decoding columns
+        // only finished queries read.
+        let mut cols = std::mem::take(&mut self.agg_cols);
+        cols.clear();
+        for &q in self.by_slot.values() {
+            for k in &self.queries[q].kernels {
+                k.input_columns(&mut cols);
+            }
+        }
+        cols.sort_unstable();
+        cols.dedup();
+        self.agg_cols = cols;
         let state = std::mem::replace(
             &mut self.queries[qidx],
             QueryState {
                 slot: u32::MAX,
                 class: class_idx,
-                aggs: Vec::new(),
-                groups: HashMap::new(),
-                order: Vec::new(),
+                kernels: Vec::new(),
+                accs: Vec::new(),
+                touched_order: Vec::new(),
+                touched: Vec::new(),
+                rows_scratch: Vec::new(),
+                groups_scratch: Vec::new(),
+                mask_scratch: Vec::new(),
             },
         );
         let class = &self.classes[state.class];
-        let group_by = class.group_by.clone();
-        let mut out = Vec::with_capacity(state.order.len().max(1));
-        // A scalar aggregate over zero tuples still yields one row.
-        if group_by.is_empty() && state.order.is_empty() {
-            let accs: Vec<Acc> = state
-                .aggs
-                .iter()
-                .map(|a| make_acc(&a.func, &self.in_schema))
-                .collect();
-            out.push(accs.iter().map(finalize_acc).collect());
-            return Some(out);
+        // A scalar aggregate always yields exactly one row, even over
+        // zero tuples (the accumulators were sized at registration).
+        if class.group_by.is_empty() {
+            return Some(vec![state.accs.iter().map(|a| a.finalize(0)).collect()]);
         }
-        for key in &state.order {
-            let accs = &state.groups[key];
-            let mut row: Vec<Value> = Vec::with_capacity(group_by.len() + accs.len());
+        let mut out = Vec::with_capacity(state.touched_order.len());
+        for &g in &state.touched_order {
+            let key = &class.keys[g as usize];
+            let mut row: Vec<Value> =
+                Vec::with_capacity(class.group_by.len() + state.accs.len());
             // Decode the group key bytes back into values.
             let mut off = 0usize;
-            for &g in &group_by {
-                let w = self.in_schema.dtype(g).width();
-                row.push(decode_col(&key[off..off + w], self.in_schema.dtype(g)));
+            for &gc in &class.group_by {
+                let w = self.in_schema.dtype(gc).width();
+                row.push(decode_col(&key[off..off + w], self.in_schema.dtype(gc)));
                 off += w;
             }
-            for acc in accs {
-                row.push(finalize_acc(acc));
+            for acc in &state.accs {
+                row.push(acc.finalize(g as usize));
             }
             out.push(row);
         }
@@ -455,5 +622,86 @@ mod tests {
         agg.push_page(&p, &[bm(4, &[0, 2])]);
         assert_eq!(agg.tuples_seen(), 1);
         assert_eq!(agg.updates_applied(), 2);
+    }
+
+    #[test]
+    fn push_batch_matches_push_page() {
+        use std::sync::Arc as StdArc;
+        let p = StdArc::new(page(&[(1, 10, 0.5), (2, 20, 1.5), (1, 30, 2.5), (2, 5, 0.0)]));
+        let bitmaps = vec![bm(4, &[0]), bm(4, &[]), bm(4, &[0, 1]), bm(4, &[1])];
+        let plan = || AggPlan {
+            group_by: vec![0],
+            aggs: vec![
+                AggSpec::new(AggFunc::Sum(1), "s"),
+                AggSpec::new(AggFunc::Max(2), "m"),
+            ],
+        };
+        let mut via_page = SharedAggregator::new(schema());
+        via_page.register(0, plan());
+        via_page.register(1, plan());
+        via_page.push_page(&p, &bitmaps);
+
+        // The FactBatch form pre-drops dead tuples (as the pipeline does).
+        let sel: Vec<u32> = vec![0, 2, 3];
+        let bms: Vec<Bitmap> = sel.iter().map(|&i| bitmaps[i as usize].clone()).collect();
+        let fact = FactBatch::new(p.clone(), sel, bms);
+        let mut via_batch = SharedAggregator::new(schema());
+        via_batch.register(0, plan());
+        via_batch.register(1, plan());
+        via_batch.push_batch(&fact);
+
+        for slot in [0u32, 1] {
+            assert_eq!(via_page.finish(slot), via_batch.finish(slot), "slot {slot}");
+        }
+    }
+
+    #[test]
+    fn push_after_finish_leaves_remaining_queries_correct() {
+        let mut agg = SharedAggregator::new(schema());
+        let plan = || AggPlan {
+            group_by: vec![0],
+            aggs: vec![AggSpec::new(AggFunc::Count, "n")],
+        };
+        agg.register(0, plan());
+        agg.register(1, plan());
+        let p = page(&[(1, 1, 0.0)]);
+        agg.push_page(&p, &[bm(4, &[0, 1])]);
+        assert_eq!(
+            agg.finish(0).unwrap(),
+            vec![vec![Value::Int(1), Value::Int(1)]]
+        );
+        // Tuples still carrying the finished slot's bit must not reach
+        // its retired state; the surviving query keeps accumulating.
+        agg.push_page(&p, &[bm(4, &[0, 1])]);
+        agg.push_page(&p, &[bm(4, &[1])]);
+        assert_eq!(
+            agg.finish(1).unwrap(),
+            vec![vec![Value::Int(1), Value::Int(3)]]
+        );
+    }
+
+    #[test]
+    fn high_slot_queries_route_correctly() {
+        // Slots beyond the initial 64-bit member mask must widen it.
+        let mut agg = SharedAggregator::new(schema());
+        agg.register(
+            70,
+            AggPlan {
+                group_by: vec![0],
+                aggs: vec![AggSpec::new(AggFunc::Count, "n")],
+            },
+        );
+        let p = page(&[(5, 1, 0.0), (5, 2, 0.0), (6, 3, 0.0)]);
+        // Row 1 carries only an unregistered query's bit: it must not
+        // reach slot 70's accumulators.
+        let bms = vec![bm(128, &[70]), bm(128, &[3]), bm(128, &[70, 3])];
+        agg.push_page(&p, &bms);
+        assert_eq!(
+            agg.finish(70).unwrap(),
+            vec![
+                vec![Value::Int(5), Value::Int(1)],
+                vec![Value::Int(6), Value::Int(1)]
+            ]
+        );
     }
 }

@@ -17,7 +17,10 @@
 //! * a **core governor** ([`governor`]) reproduces the demo's "bind the
 //!   server to N cores" knob,
 //! * a serial **reference evaluator** ([`reference`]) serves as the
-//!   testing oracle for all execution modes.
+//!   testing oracle for all execution modes,
+//! * **aggregation kernels** ([`kernels`]) — typed, schema-resolved
+//!   batch folds over `qs_storage::ColumnBatch` shared by the engine's
+//!   `Aggregate` operator and `qs-cjoin`'s shared aggregation.
 
 pub mod agg;
 pub mod engine;
@@ -25,6 +28,7 @@ pub mod error;
 pub mod fifo;
 pub mod governor;
 pub mod hub;
+pub mod kernels;
 pub mod metrics;
 pub mod ops;
 pub mod reference;
@@ -36,6 +40,7 @@ pub use error::EngineError;
 pub use fifo::{FifoBuffer, FifoReader, PageSource};
 pub use governor::CoreGovernor;
 pub use hub::{OutputHub, ShareMode};
+pub use kernels::{AccVec, AggKernel};
 pub use metrics::{Metrics, MetricsSnapshot, StageKind, ALL_STAGES, NUM_STAGES};
 pub use ops::{ExecCtx, PhysicalOp};
 pub use spl::{SharedPagesList, SplReader};

@@ -4,11 +4,11 @@
 //! per-page work runs under a core permit from the [`CoreGovernor`]; waits
 //! on inputs, outputs and simulated disk do not hold a permit.
 
-use crate::agg::{finalize_acc, make_acc, update_acc, Acc};
 use crate::error::EngineError;
 use crate::fifo::PageSource;
 use crate::governor::CoreGovernor;
 use crate::hub::OutputHub;
+use crate::kernels::{kernel_columns, update_grouped, AccVec, AggKernel};
 use crate::metrics::Metrics;
 use qs_plan::compiled::iter_ones;
 use qs_plan::{AggSpec, CompiledPred, Expr, PredScratch};
@@ -204,9 +204,11 @@ fn run_scan(
     let mut cursor = CircularCursor::new(table.clone());
     let mut builder = PageBuilder::with_bytes(out_schema.clone(), ctx.out_page_bytes);
     let mut rowbuf: Vec<u8> = Vec::with_capacity(out_schema.row_size());
-    // Predicate compiled once per scan, evaluated column-wise per page;
-    // projection spans hoisted out of the per-row loop.
-    let compiled = predicate.map(|p| CompiledPred::compile(p, table.schema()));
+    // Predicate fetched from the shared program cache (compiled at most
+    // once process-wide per (predicate, schema) — concurrent identical
+    // scans share it), evaluated column-wise per page; projection spans
+    // hoisted out of the per-row loop.
+    let compiled = predicate.map(|p| CompiledPred::cached(p, table.schema()));
     let spans = projection.map(|cols| column_spans(table.schema(), cols));
     let mut scratch = PredScratch::new();
     let mut mask: Vec<u64> = Vec::new();
@@ -269,9 +271,11 @@ fn run_filter(
     ctx: &ExecCtx,
 ) -> Result<(), EngineError> {
     let mut builder: Option<PageBuilder> = None;
-    // Compiled lazily against the first page's schema (identical for the
-    // whole stream), then evaluated column-wise page-at-a-time.
-    let mut compiled: Option<CompiledPred> = None;
+    // Fetched lazily from the shared program cache against the first
+    // page's schema (identical for the whole stream), then evaluated
+    // column-wise page-at-a-time; concurrent packets with the identical
+    // predicate share one program.
+    let mut compiled: Option<Arc<CompiledPred>> = None;
     let mut scratch = PredScratch::new();
     let mut mask: Vec<u64> = Vec::new();
     while let Some(page) = input.next_page()? {
@@ -279,7 +283,7 @@ fn run_filter(
             PageBuilder::with_bytes(page.schema().clone(), ctx.out_page_bytes)
         });
         let c = compiled
-            .get_or_insert_with(|| CompiledPred::compile(predicate, page.schema()));
+            .get_or_insert_with(|| CompiledPred::cached(predicate, page.schema()));
         let mut pending: Vec<Arc<Page>> = Vec::new();
         ctx.governor.run(|| {
             let batch = ColumnBatch::from_page(&page, c.columns());
@@ -311,41 +315,54 @@ fn run_hash_join(
     hub: &OutputHub,
     ctx: &ExecCtx,
 ) -> Result<(), EngineError> {
-    // Build phase: hash the (dimension) side.
+    // Build phase: hash the (dimension) side. The key column is decoded
+    // once per page into a typed slice; the insert loop never touches row
+    // views.
     let mut build_pages: Vec<Arc<Page>> = Vec::new();
     let mut ht: HashMap<i64, Vec<(u32, u32)>> = HashMap::new();
     while let Some(page) = build.next_page()? {
         let page_idx = build_pages.len() as u32;
         ctx.governor.run(|| {
-            for (i, row) in page.iter().enumerate() {
-                ht.entry(row.i64_col(build_key))
-                    .or_default()
-                    .push((page_idx, i as u32));
+            let batch = ColumnBatch::from_page(&page, &[build_key]);
+            for (i, &k) in batch.col(build_key).i64s().iter().enumerate() {
+                ht.entry(k).or_default().push((page_idx, i as u32));
             }
         });
         build_pages.push(page);
     }
+    let build_rs = build_pages
+        .first()
+        .map_or(0, |p| p.schema().row_size());
 
-    // Probe phase: stream the (fact) side.
+    // Probe phase: stream the (fact) side. Keys are batch-extracted per
+    // page and probed in a tight loop; matched row bytes are sliced
+    // straight out of the page arenas.
     let mut builder = PageBuilder::with_bytes(out_schema.clone(), ctx.out_page_bytes);
     let mut rowbuf: Vec<u8> = Vec::with_capacity(out_schema.row_size());
     let mut joined = 0u64;
     while let Some(page) = probe.next_page()? {
         let mut pending: Vec<Arc<Page>> = Vec::new();
         ctx.governor.run(|| {
-            for row in page.iter() {
-                if let Some(matches) = ht.get(&row.i64_col(probe_key)) {
-                    for &(pidx, ridx) in matches {
-                        let brow = build_pages[pidx as usize].row(ridx as usize);
-                        rowbuf.clear();
-                        rowbuf.extend_from_slice(row.bytes());
-                        rowbuf.extend_from_slice(brow.bytes());
-                        let ok = builder.push_encoded(&rowbuf);
-                        debug_assert!(ok);
-                        joined += 1;
-                        if builder.is_full() {
-                            pending.push(Arc::new(builder.finish_and_reset()));
-                        }
+            let batch = ColumnBatch::from_page(&page, &[probe_key]);
+            let probe_raw = page.raw();
+            let probe_rs = page.schema().row_size();
+            for (i, &k) in batch.col(probe_key).i64s().iter().enumerate() {
+                let Some(matches) = ht.get(&k) else {
+                    continue;
+                };
+                let probe_bytes = &probe_raw[i * probe_rs..(i + 1) * probe_rs];
+                for &(pidx, ridx) in matches {
+                    let ridx = ridx as usize;
+                    let build_bytes =
+                        &build_pages[pidx as usize].raw()[ridx * build_rs..(ridx + 1) * build_rs];
+                    rowbuf.clear();
+                    rowbuf.extend_from_slice(probe_bytes);
+                    rowbuf.extend_from_slice(build_bytes);
+                    let ok = builder.push_encoded(&rowbuf);
+                    debug_assert!(ok);
+                    joined += 1;
+                    if builder.is_full() {
+                        pending.push(Arc::new(builder.finish_and_reset()));
                     }
                 }
             }
@@ -369,51 +386,76 @@ fn run_aggregate(
 ) -> Result<(), EngineError> {
     // Group key = concatenated raw bytes of the group columns; insertion
     // order is preserved so output is deterministic given input order.
-    // Column spans are hoisted so the per-row loop of the aggregation
-    // input does no schema lookups.
+    //
+    // Batch shape: per page, the key-resolution pass maps every row to a
+    // dense group slot (one hash probe per row — the irreducible cost of
+    // hash aggregation), then each aggregate folds the whole page through
+    // its typed kernel over the decoded column batch. No per-row
+    // `(Acc, AggFunc)` dispatch and no per-row schema lookups survive.
     let group_spans = column_spans(in_schema, group_by);
     let key_size: usize = group_spans.iter().map(|&(_, w)| w).sum();
-    let mut groups: HashMap<Vec<u8>, (u64, Vec<Acc>)> = HashMap::new();
+    let kernels: Vec<AggKernel> = aggs
+        .iter()
+        .map(|a| AggKernel::compile(&a.func, in_schema))
+        .collect();
+    let agg_cols = kernel_columns(&kernels);
+    let mut accs: Vec<AccVec> = kernels.iter().map(AccVec::for_kernel).collect();
+    let mut groups: HashMap<Vec<u8>, u32> = HashMap::new();
     let mut order: Vec<Vec<u8>> = Vec::new();
-    let mut seq = 0u64;
+    // Per-page scratch: row → group slot, plus the identity row list the
+    // grouped kernels consume.
+    let mut gidx: Vec<u32> = Vec::new();
+    let mut rows_idx: Vec<u32> = Vec::new();
     while let Some(page) = input.next_page()? {
         ctx.governor.run(|| {
-            for row in page.iter() {
+            let n = page.rows();
+            let raw = page.raw();
+            let rs = in_schema.row_size();
+            gidx.clear();
+            for i in 0..n {
+                let row = &raw[i * rs..(i + 1) * rs];
                 let mut key = Vec::with_capacity(key_size);
                 for &(off, w) in &group_spans {
-                    key.extend_from_slice(&row.bytes()[off..off + w]);
+                    key.extend_from_slice(&row[off..off + w]);
                 }
-                let entry = groups.entry(key.clone()).or_insert_with(|| {
-                    order.push(key);
-                    seq += 1;
-                    (seq, aggs.iter().map(|a| make_acc(&a.func, in_schema)).collect())
-                });
-                for (acc, spec) in entry.1.iter_mut().zip(aggs) {
-                    update_acc(acc, &spec.func, &row);
-                }
+                let slot = match groups.get(key.as_slice()) {
+                    Some(&s) => s,
+                    None => {
+                        let s = order.len() as u32;
+                        order.push(key.clone());
+                        groups.insert(key, s);
+                        s
+                    }
+                };
+                gidx.push(slot);
+            }
+            rows_idx.clear();
+            rows_idx.extend(0..n as u32);
+            let batch = ColumnBatch::from_page(&page, &agg_cols);
+            for (kernel, acc) in kernels.iter().zip(&mut accs) {
+                acc.resize(order.len());
+                update_grouped(kernel, acc, &batch, &rows_idx, &gidx);
             }
         });
     }
 
     // Global aggregate over empty input still emits one row of zeroes.
-    if group_by.is_empty() && groups.is_empty() {
-        groups.insert(
-            Vec::new(),
-            (0, aggs.iter().map(|a| make_acc(&a.func, in_schema)).collect()),
-        );
+    if group_by.is_empty() && order.is_empty() {
         order.push(Vec::new());
+        for acc in &mut accs {
+            acc.resize(1);
+        }
     }
 
     let mut builder = PageBuilder::with_bytes(out_schema.clone(), ctx.out_page_bytes);
     let mut rowbuf: Vec<u8> = vec![0u8; out_schema.row_size()];
-    for key in &order {
-        let (_, accs) = &groups[key];
+    for (g, key) in order.iter().enumerate() {
         // Group columns occupy the prefix of the output row with identical
         // widths, so the key bytes land directly.
         rowbuf[..key.len()].copy_from_slice(key);
         for (i, acc) in accs.iter().enumerate() {
             let col = group_by.len() + i;
-            let v = finalize_acc(acc);
+            let v = acc.finalize(g);
             qs_storage::row::encode_value(&mut rowbuf, out_schema, col, &v)
                 .map_err(EngineError::Storage)?;
         }

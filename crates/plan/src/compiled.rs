@@ -28,7 +28,7 @@
 //! well-typed or not (the equivalence proptests rely on this).
 
 use crate::expr::{CmpOp, Expr};
-use qs_storage::{ColumnBatch, ColumnData, DataType, RowRef, Schema, Value};
+use qs_storage::{ColumnBatch, DataType, RowRef, Schema, Value};
 use std::cmp::Ordering;
 
 /// One instruction of a compiled predicate program (postfix order).
@@ -106,38 +106,47 @@ impl PredScratch {
     }
 }
 
-/// Iterate the set bit positions of a selection mask, ascending.
-pub fn iter_ones(words: &[u64]) -> impl Iterator<Item = usize> + '_ {
-    words.iter().enumerate().flat_map(|(wi, &w)| {
-        let mut w = w;
-        std::iter::from_fn(move || {
-            if w == 0 {
-                None
-            } else {
-                let b = w.trailing_zeros() as usize;
-                w &= w - 1;
-                Some(wi * 64 + b)
-            }
-        })
-    })
-}
-
-/// Number of `u64` words a selection mask over `rows` rows needs.
-#[inline]
-pub fn mask_words(rows: usize) -> usize {
-    rows.div_ceil(64)
-}
+// Selection-mask helpers live in `qs_storage::bitmap` since FactBatch
+// made masks a storage-level currency; re-exported here because every
+// consumer of `eval_batch` needs them alongside `CompiledPred`.
+pub use qs_storage::bitmap::{iter_ones, mask_words};
 
 /// Fill a selection mask from a typed column slice: bit `i` of `out` is
-/// `pred(data[i])`. The inner loop is branch-free and auto-vectorizable.
+/// `pred(data[i])`.
+///
+/// The body is hand-unrolled into 4×64-lane blocks: four mask words are
+/// accumulated in independent registers per pass, mirroring a `u64x4`
+/// (`std::simd`) layout so the port is mechanical once `std::simd`
+/// lands in-tree. Lane loops have a compile-time-known trip count of 64,
+/// which LLVM unrolls and vectorizes without bounds checks.
 #[inline]
 fn fill_mask<T: Copy>(data: &[T], out: &mut [u64], pred: impl Fn(T) -> bool) {
-    for (w, chunk) in data.chunks(64).enumerate() {
+    let mut blocks = data.chunks_exact(256);
+    let mut w = 0usize;
+    for block in &mut blocks {
+        let (b0, rest) = block.split_at(64);
+        let (b1, rest) = rest.split_at(64);
+        let (b2, b3) = rest.split_at(64);
+        let (mut w0, mut w1, mut w2, mut w3) = (0u64, 0u64, 0u64, 0u64);
+        for b in 0..64 {
+            w0 |= (pred(b0[b]) as u64) << b;
+            w1 |= (pred(b1[b]) as u64) << b;
+            w2 |= (pred(b2[b]) as u64) << b;
+            w3 |= (pred(b3[b]) as u64) << b;
+        }
+        out[w] = w0;
+        out[w + 1] = w1;
+        out[w + 2] = w2;
+        out[w + 3] = w3;
+        w += 4;
+    }
+    for chunk in blocks.remainder().chunks(64) {
         let mut word = 0u64;
         for (b, &v) in chunk.iter().enumerate() {
             word |= (pred(v) as u64) << b;
         }
         out[w] = word;
+        w += 1;
     }
 }
 
@@ -160,31 +169,19 @@ fn cmp_mask<T: Copy>(
 }
 
 fn i64_data<'a>(batch: &'a ColumnBatch<'_>, col: u32) -> &'a [i64] {
-    match batch.col(col as usize) {
-        ColumnData::I64(v) => v,
-        other => panic!("compiled Int op over {other:?}"),
-    }
+    batch.col(col as usize).i64s()
 }
 
 fn f64_data<'a>(batch: &'a ColumnBatch<'_>, col: u32) -> &'a [f64] {
-    match batch.col(col as usize) {
-        ColumnData::F64(v) => v,
-        other => panic!("compiled Float op over {other:?}"),
-    }
+    batch.col(col as usize).f64s()
 }
 
 fn date_data<'a>(batch: &'a ColumnBatch<'_>, col: u32) -> &'a [u32] {
-    match batch.col(col as usize) {
-        ColumnData::Date(v) => v,
-        other => panic!("compiled Date op over {other:?}"),
-    }
+    batch.col(col as usize).dates()
 }
 
 fn str_data<'a, 'b>(batch: &'a ColumnBatch<'b>, col: u32) -> &'a [&'b str] {
-    match batch.col(col as usize) {
-        ColumnData::Str(v) => v,
-        other => panic!("compiled Char op over {other:?}"),
-    }
+    batch.col(col as usize).strs()
 }
 
 /// Type-rank of a [`Value`], mirroring `Value::total_cmp`'s cross-type
@@ -492,6 +489,81 @@ impl CompiledPred {
         out.clear();
         out.extend_from_slice(&result);
         scratch.pool.push(result);
+    }
+}
+
+/// Process-wide compiled-program cache, keyed by (expression signature,
+/// schema fingerprint).
+///
+/// `run_filter`/`run_scan` used to lower the same predicate once per
+/// packet: 32 concurrent identical scans each paid a full compile. The
+/// cache shares one `Arc<CompiledPred>` across them, mirroring the CJOIN
+/// admission predicate-sharing cache at the engine layer. Entries are
+/// verified by full expression *and* schema equality on hit, so a
+/// collision in either hash degrades to an uncached compile, never a
+/// wrong program.
+mod pred_cache {
+    use super::CompiledPred;
+    use crate::expr::Expr;
+    use crate::signature::expr_signature;
+    use qs_storage::Schema;
+    use std::collections::HashMap;
+    use std::sync::atomic::{AtomicU64, Ordering};
+    use std::sync::{Arc, Mutex, OnceLock};
+
+    type Cache = Mutex<HashMap<(u64, u64), (Expr, Schema, Arc<CompiledPred>)>>;
+    static CACHE: OnceLock<Cache> = OnceLock::new();
+    static HITS: AtomicU64 = AtomicU64::new(0);
+    static MISSES: AtomicU64 = AtomicU64::new(0);
+
+    /// Bound on resident programs; the map is cleared wholesale beyond it
+    /// (compiles are cheap — the cache exists to dedupe *concurrent*
+    /// identical work, not to persist history).
+    const CAP: usize = 1024;
+
+    pub(super) fn get_or_compile(expr: &Expr, schema: &Schema) -> Arc<CompiledPred> {
+        let key = (expr_signature(expr), schema.fingerprint());
+        let cache = CACHE.get_or_init(Default::default);
+        if let Some((resident_expr, resident_schema, program)) =
+            cache.lock().expect("pred cache").get(&key)
+        {
+            // Both halves are verified structurally: a collision in
+            // either 64-bit hash serves a one-off compile, never a
+            // program lowered against a different row layout.
+            if resident_expr == expr && resident_schema == schema {
+                HITS.fetch_add(1, Ordering::Relaxed);
+                return program.clone();
+            }
+            MISSES.fetch_add(1, Ordering::Relaxed);
+            return Arc::new(CompiledPred::compile(expr, schema));
+        }
+        MISSES.fetch_add(1, Ordering::Relaxed);
+        let program = Arc::new(CompiledPred::compile(expr, schema));
+        let mut guard = cache.lock().expect("pred cache");
+        if guard.len() >= CAP {
+            guard.clear();
+        }
+        guard.insert(key, (expr.clone(), schema.clone(), program.clone()));
+        program
+    }
+
+    pub(super) fn stats() -> (u64, u64) {
+        (HITS.load(Ordering::Relaxed), MISSES.load(Ordering::Relaxed))
+    }
+}
+
+impl CompiledPred {
+    /// [`Self::compile`] through the process-wide program cache:
+    /// concurrent packets carrying the identical predicate over the same
+    /// schema share one compiled program instead of each lowering their
+    /// own.
+    pub fn cached(expr: &Expr, schema: &Schema) -> std::sync::Arc<CompiledPred> {
+        pred_cache::get_or_compile(expr, schema)
+    }
+
+    /// Lifetime (hits, misses) of the shared program cache.
+    pub fn cache_stats() -> (u64, u64) {
+        pred_cache::stats()
     }
 }
 
@@ -886,6 +958,69 @@ mod tests {
         assert!(scratch.stack.is_empty());
         // Pool retains the two operand masks for reuse.
         assert!(!scratch.pool.is_empty());
+    }
+
+    #[test]
+    fn cached_compile_shares_programs() {
+        let s = schema();
+        let e = Expr::And(vec![Expr::ge(0, -3i64), Expr::lt(1, 2.5)]);
+        let a = CompiledPred::cached(&e, &s);
+        let (h0, _) = CompiledPred::cache_stats();
+        let b = CompiledPred::cached(&e, &s);
+        let (h1, _) = CompiledPred::cache_stats();
+        assert!(Arc::ptr_eq(&a, &b), "identical predicate must share one program");
+        assert!(h1 > h0, "second lookup is a hit");
+        assert_eq!(*a, CompiledPred::compile(&e, &s));
+        // Same expression over a structurally different schema is a
+        // different program identity.
+        let other = Schema::from_pairs(&[
+            ("k", DataType::Int),
+            ("p", DataType::Int), // column 1 retyped
+            ("d", DataType::Date),
+            ("s", DataType::Char(4)),
+        ]);
+        let c = CompiledPred::cached(&e, &other);
+        assert!(!Arc::ptr_eq(&a, &c));
+        assert_eq!(*c, CompiledPred::compile(&e, &other));
+    }
+
+    #[test]
+    fn fill_mask_unrolled_block_boundaries() {
+        // Exercise the 256-lane unrolled path plus the scalar remainder:
+        // lengths straddling block and word boundaries must agree with a
+        // bit-by-bit oracle.
+        let s = Schema::from_pairs(&[("k", DataType::Int)]);
+        let e = Expr::eq(0, 1i64);
+        let c = CompiledPred::compile(&e, &s);
+        for rows in [0usize, 1, 63, 64, 65, 255, 256, 257, 511, 512, 700] {
+            let vals: Vec<Vec<Value>> = (0..rows)
+                .map(|i| vec![Value::Int((i % 3 == 0) as i64)])
+                .collect();
+            let p = crate::compiled::tests::page_from(&s, &vals);
+            let batch = ColumnBatch::from_page(&p, c.columns());
+            let mut scratch = PredScratch::new();
+            let mut mask = Vec::new();
+            c.eval_batch(&batch, &mut scratch, &mut mask);
+            assert_eq!(mask.len(), mask_words(rows));
+            for i in 0..rows {
+                let want = i % 3 == 0;
+                let got = mask[i / 64] & (1 << (i % 64)) != 0;
+                assert_eq!(got, want, "rows={rows} i={i}");
+            }
+            // No ghost bits above `rows`.
+            assert_eq!(iter_ones(&mask).count(), rows.div_ceil(3));
+        }
+    }
+
+    fn page_from(s: &Arc<Schema>, vals: &[Vec<Value>]) -> Page {
+        let mut b = qs_storage::PageBuilder::with_bytes(
+            s.clone(),
+            (vals.len().max(1)) * s.row_size() + 64,
+        );
+        for r in vals {
+            assert!(b.push_values(r).unwrap());
+        }
+        b.finish()
     }
 
     #[test]

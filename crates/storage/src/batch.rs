@@ -1,5 +1,5 @@
 //! Page-at-a-time column batches — the decode-once substrate for
-//! vectorized predicate evaluation.
+//! vectorized execution.
 //!
 //! Interpreted predicate evaluation decodes the referenced columns from
 //! row bytes once per *predicate node per row*: with 32 concurrent
@@ -9,16 +9,27 @@
 //! into a typed vector; every compiled predicate
 //! (`qs_plan::CompiledPred`) then runs column-wise over plain `i64`/
 //! `f64`/`u32`/`&str` slices, which the compiler auto-vectorizes and the
-//! cache prefetches.
+//! cache prefetches. Aggregation kernels (`qs_engine::kernels`) fold the
+//! same typed slices under selection masks.
 //!
 //! Batches borrow the underlying page: `Char` columns are exposed as
 //! trimmed `&str` slices into the page arena, so decoding allocates only
 //! the per-column vectors (nothing per row for numeric columns).
+//!
+//! [`FactBatch`] is the owned, channel-crossing sibling: the unit of
+//! post-predicate dataflow (page + surviving-row selection + per-tuple
+//! query bitmaps). Because a `ColumnBatch` borrows its page, a
+//! `FactBatch` carries the page by `Arc` and *gathers* decoded column
+//! views ([`FactBatch::columns`], [`FactBatch::gather_i64_into`]) and
+//! materialized row bytes ([`FactBatch::materialize_rows`]) once per
+//! batch for whichever stage needs them.
 
+use crate::bitmap::Bitmap;
 use crate::page::Page;
 use crate::row::{read_date_at, read_f64_at, read_i64_at, trim_char};
 use crate::schema::Schema;
 use crate::value::DataType;
+use std::sync::Arc;
 
 /// One decoded column of a batch.
 #[derive(Debug, Clone, PartialEq)]
@@ -48,6 +59,46 @@ impl ColumnData<'_> {
     /// Whether the column holds no rows.
     pub fn is_empty(&self) -> bool {
         self.len() == 0
+    }
+}
+
+impl<'a> ColumnData<'a> {
+    /// `Int` values. Panics on any other type (a compiled program or
+    /// kernel referencing a column under the wrong type is a planner
+    /// bug).
+    #[inline]
+    pub fn i64s(&self) -> &[i64] {
+        match self {
+            ColumnData::I64(v) => v,
+            other => panic!("Int column view over {other:?}"),
+        }
+    }
+
+    /// `Float` values. Panics on any other type.
+    #[inline]
+    pub fn f64s(&self) -> &[f64] {
+        match self {
+            ColumnData::F64(v) => v,
+            other => panic!("Float column view over {other:?}"),
+        }
+    }
+
+    /// `Date` values. Panics on any other type.
+    #[inline]
+    pub fn dates(&self) -> &[u32] {
+        match self {
+            ColumnData::Date(v) => v,
+            other => panic!("Date column view over {other:?}"),
+        }
+    }
+
+    /// Trimmed `Char` values. Panics on any other type.
+    #[inline]
+    pub fn strs(&self) -> &[&'a str] {
+        match self {
+            ColumnData::Str(v) => v,
+            other => panic!("Char column view over {other:?}"),
+        }
     }
 }
 
@@ -165,6 +216,51 @@ impl<'a> ColumnBatch<'a> {
         }
     }
 
+    /// Decode columns `cols` of the page rows selected by `sel` (page row
+    /// indices, any order). Row `i` of the batch is page row `sel[i]` —
+    /// the decoded view of a [`FactBatch`]'s surviving tuples.
+    pub fn gather(page: &'a Page, sel: &[u32], cols: &[usize]) -> ColumnBatch<'a> {
+        let schema = page.schema();
+        let rs = schema.row_size();
+        let data = page.raw();
+        let mut out = vec![None; schema.len()];
+        for &c in cols {
+            if out[c].is_some() {
+                continue;
+            }
+            let off = schema.offset(c);
+            out[c] = Some(match schema.dtype(c) {
+                DataType::Int => ColumnData::I64(
+                    sel.iter()
+                        .map(|&r| read_i64_at(data, r as usize * rs + off))
+                        .collect(),
+                ),
+                DataType::Float => ColumnData::F64(
+                    sel.iter()
+                        .map(|&r| read_f64_at(data, r as usize * rs + off))
+                        .collect(),
+                ),
+                DataType::Date => ColumnData::Date(
+                    sel.iter()
+                        .map(|&r| read_date_at(data, r as usize * rs + off))
+                        .collect(),
+                ),
+                DataType::Char(n) => ColumnData::Str(
+                    sel.iter()
+                        .map(|&r| {
+                            let p = r as usize * rs + off;
+                            trim_char(&data[p..p + n as usize])
+                        })
+                        .collect(),
+                ),
+            });
+        }
+        ColumnBatch {
+            rows: sel.len(),
+            cols: out,
+        }
+    }
+
     /// Number of rows in the batch.
     #[inline]
     pub fn rows(&self) -> usize {
@@ -187,11 +283,179 @@ impl<'a> ColumnBatch<'a> {
     }
 }
 
+/// The unit of post-predicate dataflow: the surviving tuples of one fact
+/// page, as (selection vector, per-tuple query bitmaps) over the shared
+/// page.
+///
+/// Downstream operators never walk rows tuple-at-a-time again; they ask
+/// the batch for what they need, once per batch:
+///
+/// * a shared hash-join gathers the join-key column into a typed slice
+///   ([`Self::gather_i64_into`]) and probes in a tight loop,
+/// * the distributor materializes every surviving tuple's encoded row
+///   bytes in one pass ([`Self::materialize_rows`]) before fanning out to
+///   queries,
+/// * a shared aggregation decodes the columns its kernels fold
+///   ([`Self::columns`]).
+///
+/// The page travels by `Arc`, so a `FactBatch` is `Send` and crosses
+/// pipeline channels; decoded views borrow the batch locally.
+#[derive(Debug)]
+pub struct FactBatch {
+    page: Arc<Page>,
+    /// Page row indices of surviving tuples, ascending.
+    sel: Vec<u32>,
+    /// Per-tuple query bitmaps, parallel to `sel`.
+    bitmaps: Vec<Bitmap>,
+    /// Encoded row bytes of the selected tuples, gathered back-to-back at
+    /// `row_size` stride. Empty until [`Self::materialize_rows`].
+    rows: Vec<u8>,
+}
+
+impl FactBatch {
+    /// Wrap the surviving tuples of `page`. `bitmaps[i]` annotates page
+    /// row `sel[i]`.
+    pub fn new(page: Arc<Page>, sel: Vec<u32>, bitmaps: Vec<Bitmap>) -> FactBatch {
+        debug_assert_eq!(sel.len(), bitmaps.len());
+        FactBatch {
+            page,
+            sel,
+            bitmaps,
+            rows: Vec::new(),
+        }
+    }
+
+    /// The underlying page.
+    #[inline]
+    pub fn page(&self) -> &Arc<Page> {
+        &self.page
+    }
+
+    /// Number of surviving tuples.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.sel.len()
+    }
+
+    /// Whether no tuples survive.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.sel.is_empty()
+    }
+
+    /// Page row indices of the surviving tuples.
+    #[inline]
+    pub fn sel(&self) -> &[u32] {
+        &self.sel
+    }
+
+    /// Per-tuple query bitmaps.
+    #[inline]
+    pub fn bitmaps(&self) -> &[Bitmap] {
+        &self.bitmaps
+    }
+
+    /// Per-tuple query bitmaps, mutable (the shared joins AND into them).
+    #[inline]
+    pub fn bitmaps_mut(&mut self) -> &mut [Bitmap] {
+        &mut self.bitmaps
+    }
+
+    /// Gather an `Int` column of the surviving tuples into `out`
+    /// (cleared first). Scratch-reusable form of [`Self::columns`] for
+    /// the join-key hot path.
+    pub fn gather_i64_into(&self, col: usize, out: &mut Vec<i64>) {
+        let schema = self.page.schema();
+        debug_assert_eq!(schema.dtype(col), DataType::Int);
+        let rs = schema.row_size();
+        let off = schema.offset(col);
+        let data = self.page.raw();
+        out.clear();
+        out.extend(
+            self.sel
+                .iter()
+                .map(|&r| read_i64_at(data, r as usize * rs + off)),
+        );
+    }
+
+    /// Decode `cols` of the surviving tuples into a typed column view
+    /// (row `i` of the view is tuple `i` of the batch).
+    pub fn columns(&self, cols: &[usize]) -> ColumnBatch<'_> {
+        ColumnBatch::gather(&self.page, &self.sel, cols)
+    }
+
+    /// Gather every surviving tuple's encoded row bytes back-to-back, one
+    /// pass over the page. Idempotent; must run before
+    /// [`Self::row_bytes`].
+    pub fn materialize_rows(&mut self) {
+        if !self.rows.is_empty() || self.sel.is_empty() {
+            return;
+        }
+        let rs = self.page.schema().row_size();
+        let data = self.page.raw();
+        self.rows.reserve_exact(self.sel.len() * rs);
+        for &r in &self.sel {
+            let p = r as usize * rs;
+            self.rows.extend_from_slice(&data[p..p + rs]);
+        }
+    }
+
+    /// Whether [`Self::materialize_rows`] has run (and found tuples).
+    #[inline]
+    pub fn is_materialized(&self) -> bool {
+        !self.rows.is_empty()
+    }
+
+    /// Encoded row bytes of tuple `t` (batch index, not page row).
+    /// Panics unless materialized.
+    #[inline]
+    pub fn row_bytes(&self, t: usize) -> &[u8] {
+        assert!(
+            !self.rows.is_empty(),
+            "FactBatch::materialize_rows must run before row_bytes"
+        );
+        let rs = self.page.schema().row_size();
+        &self.rows[t * rs..(t + 1) * rs]
+    }
+
+    /// Drop tuples where `keep[t]` is false, compacting the selection,
+    /// the bitmaps and (if materialized) the gathered row bytes in
+    /// place. Returns the number of surviving tuples.
+    pub fn retain(&mut self, keep: &[bool]) -> usize {
+        debug_assert_eq!(keep.len(), self.sel.len());
+        let mut idx = 0usize;
+        self.sel.retain(|_| {
+            let k = keep[idx];
+            idx += 1;
+            k
+        });
+        let mut idx = 0usize;
+        self.bitmaps.retain(|_| {
+            let k = keep[idx];
+            idx += 1;
+            k
+        });
+        if !self.rows.is_empty() {
+            let rs = self.page.schema().row_size();
+            let mut w = 0usize;
+            for (t, &k) in keep.iter().enumerate() {
+                if k {
+                    if w != t {
+                        self.rows.copy_within(t * rs..(t + 1) * rs, w * rs);
+                    }
+                    w += 1;
+                }
+            }
+            self.rows.truncate(w * rs);
+        }
+        self.sel.len()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
     use crate::value::Value;
-    use std::sync::Arc;
 
     fn schema() -> Arc<Schema> {
         Schema::from_pairs(&[
@@ -292,5 +556,69 @@ mod tests {
         let batch = ColumnBatch::from_page(&b, &[0]);
         assert_eq!(batch.rows(), 0);
         assert!(batch.col(0).is_empty());
+    }
+
+    #[test]
+    fn gather_reorders_and_subsets() {
+        let p = page();
+        let b = ColumnBatch::gather(&p, &[7, 0, 3], &[0, 3]);
+        assert_eq!(b.rows(), 3);
+        assert_eq!(b.col(0).i64s(), &[4, -3, 0]);
+        assert_eq!(b.col(3).strs(), &["s7", "s0", "s3"]);
+    }
+
+    fn fact_batch(sel: &[u32]) -> FactBatch {
+        let p = Arc::new(page());
+        let bitmaps = sel
+            .iter()
+            .map(|&r| {
+                let mut bm = Bitmap::zeros(8);
+                bm.set(r as usize % 8);
+                bm
+            })
+            .collect();
+        FactBatch::new(p, sel.to_vec(), bitmaps)
+    }
+
+    #[test]
+    fn fact_batch_gathers_keys_and_columns() {
+        let fb = fact_batch(&[1, 4, 9]);
+        let mut keys = vec![0i64; 99]; // pre-dirtied scratch
+        fb.gather_i64_into(0, &mut keys);
+        assert_eq!(keys, vec![-2, 1, 6]);
+        let view = fb.columns(&[2]);
+        assert_eq!(view.col(2).dates(), &[19970001, 19970004, 19970009]);
+    }
+
+    #[test]
+    fn fact_batch_materializes_and_retains() {
+        let mut fb = fact_batch(&[0, 2, 5, 8]);
+        fb.materialize_rows();
+        assert!(fb.is_materialized());
+        let rs = fb.page().schema().row_size();
+        for t in 0..fb.len() {
+            let want = fb.page().row(fb.sel()[t] as usize).bytes().to_vec();
+            assert_eq!(fb.row_bytes(t), &want[..]);
+            assert_eq!(fb.row_bytes(t).len(), rs);
+        }
+        // Drop tuples 0 and 2; survivors keep their bytes and bitmaps.
+        let survivors = fb.retain(&[false, true, false, true]);
+        assert_eq!(survivors, 2);
+        assert_eq!(fb.sel(), &[2, 8]);
+        assert_eq!(fb.bitmaps().len(), 2);
+        assert!(fb.bitmaps()[0].get(2) && fb.bitmaps()[1].get(0));
+        assert_eq!(fb.row_bytes(1), fb.page().row(8).bytes());
+    }
+
+    #[test]
+    fn empty_fact_batch_is_harmless() {
+        let mut fb = fact_batch(&[]);
+        assert!(fb.is_empty());
+        fb.materialize_rows();
+        assert!(!fb.is_materialized());
+        assert_eq!(fb.retain(&[]), 0);
+        let mut keys = Vec::new();
+        fb.gather_i64_into(0, &mut keys);
+        assert!(keys.is_empty());
     }
 }

@@ -1,0 +1,329 @@
+//! Query bitmaps and selection masks — the tuple/query correlation
+//! currency of batch-at-a-time dataflow.
+//!
+//! Two closely related bit-level representations live here because every
+//! layer above storage consumes them:
+//!
+//! * **Selection masks** (`&[u64]` + [`mask_words`]/[`iter_ones`]): bit
+//!   `i` = "row `i` of the batch is selected". Compiled predicates
+//!   (`qs_plan::CompiledPred::eval_batch`) produce them; aggregation
+//!   kernels and operators consume them.
+//! * **[`Bitmap`]** — a per-tuple bitmap over *query slots*: bit `q` =
+//!   "this tuple is (still) relevant to query `q`". The CJOIN global
+//!   query plan ANDs these through its shared joins and the shared
+//!   aggregation extension routes accumulator updates by them.
+//!
+//! `Bitmap` was born in `qs-cjoin`; it moved down here when
+//! [`crate::batch::FactBatch`] made (selection, bitmaps) the post-predicate
+//! batch representation shared by every downstream operator.
+
+/// Number of `u64` words a selection mask over `rows` rows needs.
+#[inline]
+pub fn mask_words(rows: usize) -> usize {
+    rows.div_ceil(64)
+}
+
+/// Iterate the set bit positions of a selection mask, ascending.
+pub fn iter_ones(words: &[u64]) -> impl Iterator<Item = usize> + '_ {
+    words.iter().enumerate().flat_map(|(wi, &w)| {
+        let mut w = w;
+        std::iter::from_fn(move || {
+            if w == 0 {
+                None
+            } else {
+                let b = w.trailing_zeros() as usize;
+                w &= w - 1;
+                Some(wi * 64 + b)
+            }
+        })
+    })
+}
+
+/// Words stored inline before spilling to the heap. Two words cover 128
+/// query slots — comfortably above the default `max_queries = 64` — so
+/// the per-tuple bitmaps the preprocessor mints by the million are
+/// allocation-free.
+const INLINE_WORDS: usize = 2;
+
+/// A fixed-width bitmap over query slots.
+///
+/// Small-inline representation: up to [`INLINE_WORDS`]·64 slots live in
+/// the struct itself; wider bitmaps spill to a heap vector. The invariant
+/// is canonical (inline words zeroed when spilled, spill empty when
+/// inline), so derived equality is structural equality.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Bitmap {
+    nwords: u32,
+    inline: [u64; INLINE_WORDS],
+    spill: Vec<u64>,
+}
+
+impl Bitmap {
+    /// All-zero bitmap able to hold `nbits` query slots.
+    pub fn zeros(nbits: usize) -> Self {
+        let nwords = nbits.div_ceil(64).max(1);
+        Bitmap {
+            nwords: nwords as u32,
+            inline: [0; INLINE_WORDS],
+            spill: if nwords > INLINE_WORDS {
+                vec![0; nwords]
+            } else {
+                Vec::new()
+            },
+        }
+    }
+
+    /// Build from explicit words (used by `AtomicBitmap::snapshot` in
+    /// `qs-cjoin`).
+    pub fn from_words(words: Vec<u64>) -> Self {
+        let nwords = words.len().max(1);
+        if nwords > INLINE_WORDS {
+            Bitmap {
+                nwords: nwords as u32,
+                inline: [0; INLINE_WORDS],
+                spill: words,
+            }
+        } else {
+            let mut inline = [0; INLINE_WORDS];
+            inline[..words.len()].copy_from_slice(&words);
+            Bitmap {
+                nwords: nwords as u32,
+                inline,
+                spill: Vec::new(),
+            }
+        }
+    }
+
+    /// The backing words.
+    #[inline]
+    pub fn words(&self) -> &[u64] {
+        if self.nwords as usize <= INLINE_WORDS {
+            &self.inline[..self.nwords as usize]
+        } else {
+            &self.spill
+        }
+    }
+
+    /// The backing words, mutable.
+    #[inline]
+    pub fn words_mut(&mut self) -> &mut [u64] {
+        if self.nwords as usize <= INLINE_WORDS {
+            &mut self.inline[..self.nwords as usize]
+        } else {
+            &mut self.spill
+        }
+    }
+
+    /// Number of 64-bit words.
+    #[inline]
+    pub fn word_count(&self) -> usize {
+        self.nwords as usize
+    }
+
+    /// Set bit `i`.
+    #[inline]
+    pub fn set(&mut self, i: usize) {
+        self.words_mut()[i / 64] |= 1u64 << (i % 64);
+    }
+
+    /// Clear bit `i`.
+    #[inline]
+    pub fn clear(&mut self, i: usize) {
+        self.words_mut()[i / 64] &= !(1u64 << (i % 64));
+    }
+
+    /// Read bit `i`.
+    #[inline]
+    pub fn get(&self, i: usize) -> bool {
+        self.words()[i / 64] & (1u64 << (i % 64)) != 0
+    }
+
+    /// `self &= other` (the shared hash-join step).
+    #[inline]
+    pub fn and_assign(&mut self, other: &Bitmap) {
+        debug_assert_eq!(self.nwords, other.nwords);
+        for (a, b) in self.words_mut().iter_mut().zip(other.words()) {
+            *a &= *b;
+        }
+    }
+
+    /// `self &= (other | mask)` in one pass — the join step with a
+    /// bypass mask for queries that do not join this dimension.
+    #[inline]
+    pub fn and_or_assign(&mut self, other: &Bitmap, mask: &Bitmap) {
+        debug_assert_eq!(self.nwords, other.nwords);
+        debug_assert_eq!(self.nwords, mask.nwords);
+        for ((a, b), m) in self
+            .words_mut()
+            .iter_mut()
+            .zip(other.words())
+            .zip(mask.words())
+        {
+            *a &= *b | *m;
+        }
+    }
+
+    /// `self &= mask` (join step when the key found no dimension match:
+    /// only bypassing queries survive).
+    #[inline]
+    pub fn and_mask(&mut self, mask: &Bitmap) {
+        for (a, m) in self.words_mut().iter_mut().zip(mask.words()) {
+            *a &= *m;
+        }
+    }
+
+    /// Any bit set?
+    #[inline]
+    pub fn any(&self) -> bool {
+        self.words().iter().any(|&w| w != 0)
+    }
+
+    /// Whether `self & other` has any bit set (class-relevance test of
+    /// the shared aggregator: does any member query still want this
+    /// tuple?).
+    #[inline]
+    pub fn intersects(&self, other: &Bitmap) -> bool {
+        self.words()
+            .iter()
+            .zip(other.words())
+            .any(|(a, b)| a & b != 0)
+    }
+
+    /// Number of set bits.
+    pub fn count_ones(&self) -> usize {
+        self.words().iter().map(|w| w.count_ones() as usize).sum()
+    }
+
+    /// Iterate the indices of set bits, ascending.
+    pub fn iter_ones(&self) -> impl Iterator<Item = usize> + '_ {
+        iter_ones(self.words())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn set_get_clear() {
+        let mut b = Bitmap::zeros(130);
+        assert_eq!(b.word_count(), 3);
+        b.set(0);
+        b.set(63);
+        b.set(64);
+        b.set(129);
+        assert!(b.get(0) && b.get(63) && b.get(64) && b.get(129));
+        assert!(!b.get(1) && !b.get(128));
+        b.clear(64);
+        assert!(!b.get(64));
+        assert_eq!(b.count_ones(), 3);
+    }
+
+    #[test]
+    fn small_widths_stay_inline_wide_ones_spill() {
+        // ≤128 slots: no heap allocation behind the bitmap.
+        let mut b = Bitmap::zeros(64);
+        assert!(b.spill.is_empty());
+        b.set(63);
+        assert!(b.get(63));
+        let b = Bitmap::zeros(128);
+        assert!(b.spill.is_empty());
+        assert_eq!(b.word_count(), 2);
+        // >128 slots: spilled, still fully functional.
+        let mut b = Bitmap::zeros(129);
+        assert_eq!(b.spill.len(), 3);
+        b.set(128);
+        assert!(b.get(128) && !b.get(1));
+        assert_eq!(b.iter_ones().collect::<Vec<_>>(), vec![128]);
+    }
+
+    #[test]
+    fn and_assign_intersects() {
+        let mut a = Bitmap::zeros(64);
+        let mut b = Bitmap::zeros(64);
+        a.set(1);
+        a.set(2);
+        b.set(2);
+        b.set(3);
+        assert!(a.intersects(&b));
+        a.and_assign(&b);
+        assert_eq!(a.iter_ones().collect::<Vec<_>>(), vec![2]);
+        let empty = Bitmap::zeros(64);
+        assert!(!a.intersects(&empty));
+    }
+
+    #[test]
+    fn and_or_assign_respects_bypass() {
+        // q0 joins the dim (match bit set), q1 bypasses it.
+        let mut tuple = Bitmap::zeros(64);
+        tuple.set(0);
+        tuple.set(1);
+        let mut dim = Bitmap::zeros(64);
+        dim.set(0);
+        let mut bypass = Bitmap::zeros(64);
+        bypass.set(1);
+        tuple.and_or_assign(&dim, &bypass);
+        assert_eq!(tuple.iter_ones().collect::<Vec<_>>(), vec![0, 1]);
+
+        // Dim entry NOT matching q0: q0 dies, q1 survives via bypass.
+        let mut tuple = Bitmap::zeros(64);
+        tuple.set(0);
+        tuple.set(1);
+        let dim0 = Bitmap::zeros(64);
+        tuple.and_or_assign(&dim0, &bypass);
+        assert_eq!(tuple.iter_ones().collect::<Vec<_>>(), vec![1]);
+    }
+
+    #[test]
+    fn and_mask_for_missing_key() {
+        let mut tuple = Bitmap::zeros(64);
+        tuple.set(0);
+        tuple.set(5);
+        let mut bypass = Bitmap::zeros(64);
+        bypass.set(5);
+        tuple.and_mask(&bypass);
+        assert_eq!(tuple.iter_ones().collect::<Vec<_>>(), vec![5]);
+        assert!(tuple.any());
+    }
+
+    #[test]
+    fn iter_ones_across_words() {
+        let mut b = Bitmap::zeros(200);
+        for i in [0, 63, 64, 127, 128, 199] {
+            b.set(i);
+        }
+        assert_eq!(
+            b.iter_ones().collect::<Vec<_>>(),
+            vec![0, 63, 64, 127, 128, 199]
+        );
+    }
+
+    #[test]
+    fn empty_bitmap_any_false() {
+        let b = Bitmap::zeros(64);
+        assert!(!b.any());
+        assert_eq!(b.iter_ones().count(), 0);
+    }
+
+    #[test]
+    fn mask_helpers() {
+        assert_eq!(mask_words(0), 0);
+        assert_eq!(mask_words(1), 1);
+        assert_eq!(mask_words(64), 1);
+        assert_eq!(mask_words(65), 2);
+        let words = [0b101u64, 1u64 << 63, 1u64];
+        assert_eq!(iter_ones(&words).collect::<Vec<_>>(), vec![0, 2, 127, 128]);
+    }
+
+    #[test]
+    fn from_words_roundtrips_both_representations() {
+        for n in [1usize, 2, 3] {
+            let mut words = vec![0u64; n];
+            words[0] = 0b1001;
+            words[n - 1] |= 1u64 << 40;
+            let b = Bitmap::from_words(words.clone());
+            assert_eq!(b.words(), &words[..]);
+            assert_eq!(b.word_count(), n);
+        }
+    }
+}

@@ -16,13 +16,18 @@
 //!   both QPipe and CJOIN rely on,
 //! * page-at-a-time column batches ([`batch`]) — decode the referenced
 //!   columns of a page once into typed vectors, the substrate for
-//!   vectorized (compiled) predicate evaluation in `qs-plan`.
+//!   vectorized (compiled) predicate evaluation in `qs-plan` and the
+//!   aggregation kernels in `qs-engine`,
+//! * selection masks and per-tuple query bitmaps ([`bitmap`]) plus the
+//!   [`batch::FactBatch`] that pairs them with a page — the
+//!   batch-at-a-time currency every post-predicate operator consumes.
 //!
 //! Everything is deterministic and in-process; "disk" pages are retained in
 //! memory but every buffer-pool miss pays the simulated I/O cost, which
 //! preserves the performance *shape* the paper's experiments depend on.
 
 pub mod batch;
+pub mod bitmap;
 pub mod bufferpool;
 pub mod catalog;
 pub mod disk;
@@ -34,7 +39,8 @@ pub mod schema;
 pub mod table;
 pub mod value;
 
-pub use batch::{ColumnBatch, ColumnData};
+pub use batch::{ColumnBatch, ColumnData, FactBatch};
+pub use bitmap::{iter_ones, mask_words, Bitmap};
 pub use bufferpool::{BufferPool, BufferPoolConfig, BufferPoolStats};
 pub use catalog::Catalog;
 pub use disk::{DiskConfig, DiskModel, DiskStats};

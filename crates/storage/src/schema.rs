@@ -124,6 +124,34 @@ impl Schema {
         )
     }
 
+    /// Stable structural fingerprint of the schema (FNV-1a over column
+    /// names and types). Two schemas with identical layout hash
+    /// identically across processes — the key half the compiled-predicate
+    /// cache pairs with an expression signature.
+    pub fn fingerprint(&self) -> u64 {
+        const FNV_OFFSET: u64 = 0xcbf29ce484222325;
+        const FNV_PRIME: u64 = 0x100000001b3;
+        let mut h = FNV_OFFSET;
+        let mut feed = |bytes: &[u8]| {
+            for &b in bytes {
+                h ^= b as u64;
+                h = h.wrapping_mul(FNV_PRIME);
+            }
+        };
+        for c in &self.columns {
+            feed(&(c.name.len() as u64).to_le_bytes());
+            feed(c.name.as_bytes());
+            let tag: u64 = match c.dtype {
+                DataType::Int => 1,
+                DataType::Float => 2,
+                DataType::Date => 3,
+                DataType::Char(n) => 4 | ((n as u64) << 8),
+            };
+            feed(&tag.to_le_bytes());
+        }
+        h
+    }
+
     /// Concatenate two schemas (e.g. for join outputs). Duplicate names are
     /// disambiguated with a `.r` suffix on the right side.
     pub fn join(&self, right: &Schema) -> Arc<Schema> {
@@ -199,5 +227,25 @@ mod tests {
         let s = Schema::new(vec![]);
         assert!(s.is_empty());
         assert_eq!(s.row_size(), 0);
+    }
+
+    #[test]
+    fn fingerprint_discriminates_structure() {
+        let a = sample();
+        let b = sample();
+        assert_eq!(a.fingerprint(), b.fingerprint());
+        // Different name, type, char width or order all change it.
+        let renamed = Schema::from_pairs(&[("x", DataType::Int)]);
+        let base = Schema::from_pairs(&[("k", DataType::Int)]);
+        assert_ne!(base.fingerprint(), renamed.fingerprint());
+        let retyped = Schema::from_pairs(&[("k", DataType::Float)]);
+        assert_ne!(base.fingerprint(), retyped.fingerprint());
+        let narrow = Schema::from_pairs(&[("k", DataType::Char(4))]);
+        let wide = Schema::from_pairs(&[("k", DataType::Char(5))]);
+        assert_ne!(narrow.fingerprint(), wide.fingerprint());
+        assert_ne!(
+            Schema::from_pairs(&[("a", DataType::Int), ("b", DataType::Float)]).fingerprint(),
+            Schema::from_pairs(&[("b", DataType::Float), ("a", DataType::Int)]).fingerprint()
+        );
     }
 }
