@@ -1,0 +1,34 @@
+//! Engine inter-operator currency: `FactBatch` (page + selection) flowing
+//! between Filter and Aggregate vs the materializing baseline that copies
+//! surviving rows into fresh intermediate pages — at 1/8/32 concurrent
+//! queries over one shared fact scan.
+//!
+//! PR 4's acceptance bar: the batch currency ≥ 1.5× the materializing
+//! baseline's qps at 32 concurrent queries. The scenario-style bin
+//! (`cargo run -p qs-bench --bin engine_batch`) measures the same two
+//! pipelines windowed and feeds the `perfdiff` CI gate.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use qs_bench::engine_batch::{make_pages, make_queries, pass_factbatch, pass_materialize};
+use std::hint::black_box;
+
+fn bench_currencies(c: &mut Criterion) {
+    let pages = make_pages(24, 256, 42);
+    let total_rows: usize = pages.iter().map(|p| p.rows()).sum();
+    let mut group = c.benchmark_group("engine_batch");
+    group.throughput(Throughput::Elements(total_rows as u64));
+
+    for &q in &[1usize, 8, 32] {
+        let queries = make_queries(q, 0.5, 7);
+        group.bench_with_input(BenchmarkId::new("factbatch", q), &q, |b, _| {
+            b.iter(|| black_box(pass_factbatch(&pages, &queries)))
+        });
+        group.bench_with_input(BenchmarkId::new("materialize", q), &q, |b, _| {
+            b.iter(|| black_box(pass_materialize(&pages, &queries, 8 * 1024)))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_currencies);
+criterion_main!(benches);

@@ -1,15 +1,19 @@
-//! M1: the mechanism behind Scenario I — distributing one producer's page
-//! stream to K consumers with per-consumer FIFOs + deep copies (push-based
-//! SP) vs one Shared Pages List (pull-based SP).
+//! M1: the mechanism behind Scenario I — distributing one producer's
+//! batch stream to K consumers with per-consumer FIFOs + deep page copies
+//! (push-based SP) vs one Shared Pages List (pull-based SP).
 //!
 //! The push cost grows linearly with K on the *producer* thread (the
 //! serialization point); the pull cost is flat.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
-use qs_engine::{CoreGovernor, FifoBuffer, Metrics, OutputHub, PageSource, ShareMode, StageKind};
-use qs_storage::{DataType, Page, PageBuilder, Schema, Value};
+use qs_engine::{BatchSource, CoreGovernor, EngineBatch, FifoBuffer, Metrics, OutputHub, ShareMode, StageKind};
+use qs_storage::{DataType, FactBatch, Page, PageBuilder, Schema, Value};
 use std::hint::black_box;
 use std::sync::Arc;
+
+fn big_batch() -> EngineBatch {
+    Arc::new(FactBatch::all(big_page()))
+}
 
 fn big_page() -> Arc<Page> {
     let schema = Schema::from_pairs(&[("a", DataType::Int), ("b", DataType::Int)]);
@@ -29,10 +33,10 @@ fn big_page() -> Arc<Page> {
 
 /// Producer-side cost of emitting `pages` pages to `k` consumers.
 fn bench_hub(c: &mut Criterion) {
-    let page = big_page();
+    let batch = big_batch();
     let pages = 16usize;
     let mut group = c.benchmark_group("hub_distribution");
-    group.throughput(Throughput::Bytes((page.byte_len() * pages) as u64));
+    group.throughput(Throughput::Bytes((batch.page().byte_len() * pages) as u64));
     for k in [1usize, 2, 4, 8] {
         for (label, mode) in [("push", ShareMode::Push), ("pull", ShareMode::Pull)] {
             group.bench_with_input(
@@ -60,7 +64,7 @@ fn bench_hub(c: &mut Criterion) {
                             // Producer work only: consumers drain afterwards
                             // (outside the producer's critical path).
                             for _ in 0..pages {
-                                hub.push(page.clone()).expect("push");
+                                hub.push(batch.clone()).expect("push");
                             }
                             hub.finish();
                             black_box(subs);
@@ -76,23 +80,23 @@ fn bench_hub(c: &mut Criterion) {
 
 /// Raw single-producer/single-consumer transport: FIFO vs SPL.
 fn bench_transport(c: &mut Criterion) {
-    let page = big_page();
+    let batch = big_batch();
     let pages = 64usize;
     let mut group = c.benchmark_group("spsc_transport");
-    group.throughput(Throughput::Bytes((page.byte_len() * pages) as u64));
+    group.throughput(Throughput::Bytes((batch.page().byte_len() * pages) as u64));
     group.bench_function("fifo", |b| {
         b.iter(|| {
             let (fifo, mut reader) = FifoBuffer::channel(8);
             std::thread::scope(|s| {
                 s.spawn(|| {
                     for _ in 0..pages {
-                        fifo.push(page.clone()).unwrap();
+                        fifo.push(batch.clone()).unwrap();
                     }
                     fifo.finish();
                 });
                 let mut n = 0;
-                while let Some(p) = reader.next_page().unwrap() {
-                    n += p.rows();
+                while let Some(b) = reader.next_batch().unwrap() {
+                    n += b.len();
                 }
                 black_box(n);
             });
@@ -105,13 +109,13 @@ fn bench_transport(c: &mut Criterion) {
             std::thread::scope(|s| {
                 s.spawn(|| {
                     for _ in 0..pages {
-                        spl.append(page.clone()).unwrap();
+                        spl.append(batch.clone()).unwrap();
                     }
                     spl.finish();
                 });
                 let mut n = 0;
-                while let Some(p) = reader.next_page().unwrap() {
-                    n += p.rows();
+                while let Some(b) = reader.next_batch().unwrap() {
+                    n += b.len();
                 }
                 black_box(n);
             });

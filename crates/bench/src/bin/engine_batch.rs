@@ -1,0 +1,99 @@
+//! Windowed throughput of the engine's two inter-operator currencies
+//! (PR 4's tentpole): `FactBatch` selection dataflow vs materialized
+//! intermediate pages, swept over concurrent query counts. Emits the
+//! `engine_batch` perf series consumed by the `perfdiff` CI gate.
+//!
+//! ```sh
+//! cargo run --release -p qs-bench --bin engine_batch -- --queries 1,8,32
+//! ```
+//!
+//! `--quick 1` runs the test-sized configuration; `--json PATH` merges
+//! the measured points into a machine-readable perf file.
+
+use qs_bench::engine_batch::{make_pages, make_queries, pass_factbatch, pass_materialize};
+use qs_bench::perf::PerfPoint;
+use qs_bench::{arg, arg_list, json_path, perf, quick_mode};
+use std::hint::black_box;
+use std::time::{Duration, Instant};
+
+fn main() {
+    let (pages_n, rows_per_page, window, queries) = if quick_mode() {
+        (8usize, 128usize, Duration::from_millis(250), vec![1usize, 8, 32])
+    } else {
+        (
+            arg("pages", 24usize),
+            arg("rows-per-page", 256usize),
+            Duration::from_millis(arg("window-ms", 2000)),
+            arg_list("queries", &[1, 8, 32]),
+        )
+    };
+    let sel = arg("sel", 0.5f64);
+    let out_bytes = arg("out-page-bytes", 8 * 1024usize);
+    let seed = arg("seed", 42u64);
+    eprintln!(
+        "engine_batch config: pages={pages_n} rows_per_page={rows_per_page} \
+         window={window:?} queries={queries:?} sel={sel} seed={seed}"
+    );
+
+    let pages = make_pages(pages_n, rows_per_page, seed);
+    let mut points: Vec<PerfPoint> = Vec::new();
+    println!("engine_batch: FactBatch currency vs materializing baseline");
+    println!("{:>8} {:>14} {:>12} {:>12}", "queries", "mode", "qps", "passes");
+    for &q in &queries {
+        let specs = make_queries(q, sel, seed.wrapping_add(7));
+        // The two currencies alternate pass-by-pass inside one shared
+        // window, so machine-level interference (shared CI runners)
+        // lands on both sides roughly equally and the *ratio* stays
+        // meaningful even when absolute qps wobbles.
+        let mut spent = [Duration::ZERO; 2];
+        let mut passes = [0u64; 2];
+        let start = Instant::now();
+        while start.elapsed() < window {
+            let t = Instant::now();
+            black_box(pass_factbatch(&pages, &specs));
+            spent[0] += t.elapsed();
+            passes[0] += 1;
+            let t = Instant::now();
+            black_box(pass_materialize(&pages, &specs, out_bytes));
+            spent[1] += t.elapsed();
+            passes[1] += 1;
+        }
+        for (i, mode) in ["FactBatch", "PageMaterialize"].into_iter().enumerate() {
+            // Each pass evaluates every concurrent query once over the
+            // whole table; a "query" completion is one query × one pass.
+            let completed = passes[i] * q as u64;
+            let qps = completed as f64 / spent[i].as_secs_f64();
+            println!("{q:>8} {mode:>14} {qps:>12.1} {:>12}", passes[i]);
+            points.push(PerfPoint {
+                mode: mode.to_string(),
+                x: q as f64,
+                qps,
+                completed,
+                admission_evals: 0,
+                pages_shared: 0,
+                sp_hits: 0,
+            });
+        }
+    }
+    // The acceptance ratio at the highest sweep point, for the log.
+    if let Some(&qmax) = queries.iter().max() {
+        let at = |mode: &str| {
+            points
+                .iter()
+                .find(|p| p.mode == mode && p.x == qmax as f64)
+                .map(|p| p.qps)
+                .unwrap_or(0.0)
+        };
+        let (fb, mat) = (at("FactBatch"), at("PageMaterialize"));
+        if mat > 0.0 {
+            eprintln!(
+                "engine_batch: FactBatch/PageMaterialize at {qmax} queries = {:.2}x",
+                fb / mat
+            );
+        }
+    }
+    if let Some(path) = json_path() {
+        perf::write_points(&path, "engine_batch", &points).expect("write perf points");
+        eprintln!("engine_batch points merged into {path}");
+    }
+}

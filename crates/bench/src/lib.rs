@@ -10,6 +10,7 @@
 //!   exchange, bitmap operations, shared scans, CJOIN probe overhead vs a
 //!   plain hash join, and scaled-down scenario sweeps.
 
+pub mod engine_batch;
 pub mod perf;
 
 use std::env;

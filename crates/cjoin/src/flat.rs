@@ -1,0 +1,162 @@
+//! Flat open-addressing `i64 → u32` table for the dimension probe path.
+//!
+//! `dim_stage_loop` probes the dimension key map once per surviving tuple
+//! per batch — the hottest lookup in the GQP. `std::collections::HashMap`
+//! pays SipHash plus a bucket indirection per probe; this table stores
+//! `(key, value)` pairs inline in one power-of-two array with linear
+//! probing, so the batched probe loop is a multiply-shift hash and a
+//! cache-linear scan. Semantics match `HashMap<i64, u32>` for the two
+//! operations the pipeline uses (`insert` last-wins, `get`), which the
+//! property tests in `crates/cjoin/tests/properties.rs` pin against the
+//! `HashMap` oracle.
+
+/// Sentinel marking an empty slot. Values must be below it — dimension
+/// entry indices are, by construction (a table with `u32::MAX` rows would
+/// not fit in memory).
+const EMPTY: u32 = u32::MAX;
+
+/// SplitMix64 finalizer: full-avalanche mix of the key into a table index.
+#[inline]
+fn mix(key: i64) -> u64 {
+    let mut z = (key as u64).wrapping_add(0x9e37_79b9_7f4a_7c15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+/// Open-addressing `i64 → u32` map with linear probing.
+#[derive(Debug, Clone)]
+pub struct FlatMap {
+    /// Keys, parallel to `vals`; meaningful only where `vals != EMPTY`.
+    keys: Vec<i64>,
+    /// Values; `EMPTY` marks a free slot.
+    vals: Vec<u32>,
+    /// `capacity - 1` (capacity is a power of two).
+    mask: usize,
+    len: usize,
+}
+
+impl FlatMap {
+    /// An empty map sized for `n` insertions without growing (load factor
+    /// kept under ~0.7).
+    pub fn with_capacity(n: usize) -> FlatMap {
+        let cap = (n.max(4) * 10 / 7 + 1).next_power_of_two();
+        FlatMap {
+            keys: vec![0; cap],
+            vals: vec![EMPTY; cap],
+            mask: cap - 1,
+            len: 0,
+        }
+    }
+
+    /// Number of occupied slots.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether the map holds no entries.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Insert `key → value`, overwriting an existing entry (last wins,
+    /// like `HashMap::insert`). `value` must not be `u32::MAX` (reserved
+    /// as the empty-slot sentinel).
+    pub fn insert(&mut self, key: i64, value: u32) {
+        assert_ne!(value, EMPTY, "u32::MAX is the empty-slot sentinel");
+        if (self.len + 1) * 10 > (self.mask + 1) * 7 {
+            self.grow();
+        }
+        let mut i = mix(key) as usize & self.mask;
+        loop {
+            if self.vals[i] == EMPTY {
+                self.keys[i] = key;
+                self.vals[i] = value;
+                self.len += 1;
+                return;
+            }
+            if self.keys[i] == key {
+                self.vals[i] = value;
+                return;
+            }
+            i = (i + 1) & self.mask;
+        }
+    }
+
+    /// Look up `key`.
+    #[inline]
+    pub fn get(&self, key: i64) -> Option<u32> {
+        let mut i = mix(key) as usize & self.mask;
+        loop {
+            let v = self.vals[i];
+            if v == EMPTY {
+                return None;
+            }
+            if self.keys[i] == key {
+                return Some(v);
+            }
+            i = (i + 1) & self.mask;
+        }
+    }
+
+    fn grow(&mut self) {
+        let old_keys = std::mem::replace(&mut self.keys, vec![0; (self.mask + 1) * 2]);
+        let old_vals =
+            std::mem::replace(&mut self.vals, vec![EMPTY; (self.mask + 1) * 2]);
+        self.mask = self.keys.len() - 1;
+        self.len = 0;
+        for (k, v) in old_keys.into_iter().zip(old_vals) {
+            if v != EMPTY {
+                self.insert(k, v);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn insert_get_overwrite() {
+        let mut m = FlatMap::with_capacity(2);
+        assert!(m.is_empty());
+        m.insert(7, 1);
+        m.insert(-3, 2);
+        m.insert(i64::MIN, 3);
+        assert_eq!(m.len(), 3);
+        assert_eq!(m.get(7), Some(1));
+        assert_eq!(m.get(-3), Some(2));
+        assert_eq!(m.get(i64::MIN), Some(3));
+        assert_eq!(m.get(8), None);
+        m.insert(7, 9); // last wins
+        assert_eq!(m.get(7), Some(9));
+        assert_eq!(m.len(), 3);
+    }
+
+    #[test]
+    fn grows_past_initial_capacity() {
+        let mut m = FlatMap::with_capacity(1);
+        for k in 0..10_000i64 {
+            m.insert(k * 31, (k % 1000) as u32);
+        }
+        assert_eq!(m.len(), 10_000);
+        for k in 0..10_000i64 {
+            assert_eq!(m.get(k * 31), Some((k % 1000) as u32));
+        }
+        assert_eq!(m.get(-1), None);
+    }
+
+    #[test]
+    fn colliding_keys_probe_linearly() {
+        // Keys engineered to collide in a tiny table still resolve.
+        let mut m = FlatMap::with_capacity(4);
+        let keys: Vec<i64> = (0..6).map(|i| i * 1_000_003).collect();
+        for (i, &k) in keys.iter().enumerate() {
+            m.insert(k, i as u32);
+        }
+        for (i, &k) in keys.iter().enumerate() {
+            assert_eq!(m.get(k), Some(i as u32), "key {k}");
+        }
+    }
+}

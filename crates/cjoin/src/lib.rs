@@ -8,16 +8,20 @@
 //! whose bit survived.
 //!
 //! * [`bitmap`] — tuple/query correlation bitmaps (plain + atomic).
+//! * [`flat`] — the open-addressing dimension key table the shared joins
+//!   probe batch-at-a-time.
 //! * [`pipeline`] — the pipeline threads, online query admission, and the
 //!   per-query output streams.
 //! * [`stats`] — the GQP's book-keeping counters.
 
 pub mod bitmap;
+pub mod flat;
 pub mod pipeline;
 pub mod shared_agg;
 pub mod stats;
 
 pub use bitmap::{AtomicBitmap, Bitmap};
+pub use flat::FlatMap;
 pub use pipeline::{CjoinCancel, CjoinError, CjoinPipeline, CjoinQuery, DimSpec, PipelineSpec};
 pub use shared_agg::{AggPlan, SharedAggregator};
 pub use stats::{CjoinMetrics, CjoinStats};

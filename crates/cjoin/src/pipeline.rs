@@ -37,10 +37,11 @@
 //! and finished after its last.
 
 use crate::bitmap::{AtomicBitmap, Bitmap};
+use crate::flat::FlatMap;
 use crate::stats::{CjoinMetrics, CjoinStats};
 use crossbeam::channel::{bounded, Receiver, Sender};
 use parking_lot::Mutex;
-use qs_engine::{ExecCtx, OutputHub, PageSource, ShareMode, StageKind};
+use qs_engine::{BatchSource, ExecCtx, OutputHub, ShareMode, StageKind};
 use qs_plan::compiled::{iter_ones, mask_words};
 use qs_plan::{CompiledPred, Expr, PredScratch, StarQuery};
 use qs_storage::{Catalog, ColumnBatch, FactBatch, Page, PageBuilder, Schema, Table};
@@ -139,7 +140,9 @@ struct DimData {
     spec: DimSpec,
     schema: Arc<Schema>,
     entries: Vec<DimEntry>,
-    by_key: HashMap<i64, u32>,
+    /// Open-addressing key → entry-index table: the batched probe loop in
+    /// [`dim_stage_loop`] is a mix-hash plus a cache-linear scan per key.
+    by_key: FlatMap,
     bypass: AtomicBitmap,
 }
 
@@ -213,7 +216,7 @@ impl CjoinCancel {
 pub struct CjoinQuery {
     /// Stream of joined pages for this query (fact cols ++ dim cols in the
     /// query's join order). Ends after one full fact revolution.
-    pub reader: Box<dyn PageSource>,
+    pub reader: Box<dyn BatchSource>,
     /// The output hub (pull mode) — `qs-core` registers it for SP so a
     /// second identical CJOIN sub-plan can subscribe instead of being
     /// admitted.
@@ -289,7 +292,7 @@ impl CjoinPipeline {
                 )));
             }
             let mut entries = Vec::with_capacity(table.row_count());
-            let mut by_key = HashMap::with_capacity(table.row_count());
+            let mut by_key = FlatMap::with_capacity(table.row_count());
             let mut cursor = qs_storage::CircularCursor::from_position(table.clone(), 0);
             while let Some(page) = cursor.next_page(&ctx.pool) {
                 for row in page.iter() {
@@ -982,8 +985,8 @@ fn dim_stage_loop(
                     batch.fact.gather_i64_into(dim.spec.fact_key, &mut keys);
                     let bitmaps = batch.fact.bitmaps_mut();
                     for (t, &key) in keys.iter().enumerate() {
-                        match dim.by_key.get(&key) {
-                            Some(&eidx) => {
+                        match dim.by_key.get(key) {
+                            Some(eidx) => {
                                 let e = &dim.entries[eidx as usize];
                                 e.bitmap.and_or_into(&dim.bypass, &mut bitmaps[t]);
                                 hits[t] = eidx;
@@ -1050,7 +1053,7 @@ fn distributor_loop(
                 if let Some(mut out) = outputs.remove(&slot) {
                     if !out.builder.is_empty() {
                         let page = out.builder.finish_and_reset();
-                        let _ = out.hub.push(Arc::new(page));
+                        let _ = out.hub.push_page(Arc::new(page));
                     }
                     out.hub.finish();
                     metrics.completions.fetch_add(1, Ordering::Relaxed);
@@ -1106,7 +1109,7 @@ fn distributor_loop(
                 for (q, page) in flushes {
                     if let Some(out) = outputs.get(&q) {
                         // A dropped reader is fine: the SPL keeps accepting.
-                        let _ = out.hub.push(page);
+                        let _ = out.hub.push_page(page);
                     }
                 }
             }

@@ -5,7 +5,7 @@
 
 use qs_cjoin::{CjoinError, CjoinPipeline, DimSpec, PipelineSpec};
 use qs_engine::reference::{assert_rows_match, eval};
-use qs_engine::{CoreGovernor, ExecCtx, Metrics, PageSource};
+use qs_engine::{BatchSource, CoreGovernor, ExecCtx, Metrics};
 use qs_plan::{Expr, LogicalPlan, PlanBuilder, StarQuery};
 use qs_storage::{
     BufferPool, BufferPoolConfig, Catalog, DataType, DiskConfig, DiskModel, Schema, TableBuilder,
@@ -87,10 +87,12 @@ fn star_plan(cat: &Catalog, p1: Option<Expr>, p2: Option<Option<Expr>>) -> Logic
     b.build().unwrap()
 }
 
-fn drain(mut r: Box<dyn PageSource>) -> Vec<Vec<Value>> {
+fn drain(mut r: Box<dyn BatchSource>) -> Vec<Vec<Value>> {
     let mut out = Vec::new();
-    while let Some(p) = r.next_page().unwrap() {
-        out.extend(p.to_values());
+    while let Some(b) = r.next_batch().unwrap() {
+        for t in 0..b.len() {
+            out.push(b.page().row(b.sel()[t] as usize).values());
+        }
     }
     out
 }
@@ -264,7 +266,7 @@ fn pipeline_shutdown_aborts_open_queries() {
     let mut r = q.reader;
     // Either we get pages that were already produced, then an abort/EOS.
     loop {
-        match r.next_page() {
+        match r.next_batch() {
             Ok(Some(_)) => continue,
             Ok(None) => break,                    // finished before shutdown
             Err(qs_engine::EngineError::Aborted(_)) => break,

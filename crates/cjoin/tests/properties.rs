@@ -6,7 +6,7 @@
 use proptest::prelude::*;
 use qs_cjoin::{Bitmap, CjoinPipeline, DimSpec, PipelineSpec};
 use qs_engine::reference::{assert_rows_match, eval};
-use qs_engine::{CoreGovernor, ExecCtx, Metrics, PageSource};
+use qs_engine::{BatchSource, CoreGovernor, ExecCtx, Metrics};
 use qs_plan::{CmpOp, Expr, LogicalPlan, StarQuery};
 use qs_storage::{
     BufferPool, BufferPoolConfig, Catalog, DataType, DiskConfig, DiskModel, Schema, TableBuilder,
@@ -134,10 +134,12 @@ fn star_plan(star: &MiniStar, choice: &[Option<(CmpOp, i64)>], fact_pred: Option
     cur
 }
 
-fn drain(mut r: Box<dyn PageSource>) -> Vec<Vec<Value>> {
+fn drain(mut r: Box<dyn BatchSource>) -> Vec<Vec<Value>> {
     let mut out = Vec::new();
-    while let Some(p) = r.next_page().unwrap() {
-        out.extend(p.to_values());
+    while let Some(b) = r.next_batch().unwrap() {
+        for t in 0..b.len() {
+            out.push(b.page().row(b.sel()[t] as usize).values());
+        }
     }
     out
 }
@@ -222,5 +224,61 @@ proptest! {
             prop_assert_eq!(x.get(i), a[i] && (b[i] || m[i]), "bit {}", i);
         }
         prop_assert_eq!(x.count_ones(), x.iter_ones().count());
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// The open-addressing dimension key table (`qs_cjoin::FlatMap`, the
+    /// probe table of `dim_stage_loop`) behaves exactly like the
+    /// `HashMap<i64, u32>` it replaced: same last-wins insert semantics,
+    /// same lookups for present and absent keys, same length — on
+    /// arbitrary insert sequences with duplicate and adversarial keys.
+    #[test]
+    fn flat_map_matches_hashmap_oracle(
+        inserts in prop::collection::vec((any::<i64>(), 0u32..1_000_000), 0..500),
+        probes in prop::collection::vec(any::<i64>(), 0..100),
+        cap_hint in 0usize..64,
+    ) {
+        let mut flat = qs_cjoin::FlatMap::with_capacity(cap_hint);
+        let mut oracle: std::collections::HashMap<i64, u32> =
+            std::collections::HashMap::new();
+        for &(k, v) in &inserts {
+            flat.insert(k, v);
+            oracle.insert(k, v);
+            // interleaved read-back: the entry just written is visible
+            prop_assert_eq!(flat.get(k), Some(v));
+        }
+        prop_assert_eq!(flat.len(), oracle.len());
+        prop_assert_eq!(flat.is_empty(), oracle.is_empty());
+        // every oracle entry present with the same value
+        for (&k, &v) in &oracle {
+            prop_assert_eq!(flat.get(k), Some(v), "key {}", k);
+        }
+        // random probes (mostly absent keys) agree too
+        for &k in &probes {
+            prop_assert_eq!(flat.get(k), oracle.get(&k).copied(), "probe {}", k);
+        }
+    }
+
+    /// Clustered keys (the SSB case: dense surrogate ints) and colliding
+    /// hash slots still resolve identically to the oracle.
+    #[test]
+    fn flat_map_dense_surrogate_keys(
+        n in 1usize..2000,
+        stride in prop_oneof![Just(1i64), Just(2), Just(64), Just(4096)],
+        base in -1000i64..1000,
+    ) {
+        let mut flat = qs_cjoin::FlatMap::with_capacity(n);
+        for i in 0..n {
+            flat.insert(base + i as i64 * stride, i as u32);
+        }
+        prop_assert_eq!(flat.len(), n);
+        for i in 0..n {
+            prop_assert_eq!(flat.get(base + i as i64 * stride), Some(i as u32));
+        }
+        prop_assert_eq!(flat.get(base - stride), None);
+        prop_assert_eq!(flat.get(base + n as i64 * stride), None);
     }
 }

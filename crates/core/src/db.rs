@@ -322,7 +322,7 @@ impl SharingDb {
         };
 
         let metrics = self.engine.metrics_handle();
-        let source: Box<dyn qs_engine::PageSource> = if self.config.mode
+        let source: Box<dyn qs_engine::BatchSource> = if self.config.mode
             == ExecutionMode::GqpSp
         {
             let sig = star.join_signature();

@@ -1,6 +1,6 @@
 //! The QPipe engine facade: plan → packets → stages → result stream.
 
-use crate::fifo::PageSource;
+use crate::fifo::{BatchSource, EngineBatch};
 use crate::governor::CoreGovernor;
 use crate::hub::{OutputHub, ShareMode};
 use crate::metrics::{Metrics, MetricsSnapshot, StageKind, NUM_STAGES};
@@ -8,7 +8,7 @@ use crate::ops::{ExecCtx, PhysicalOp};
 use crate::stage::{Packet, Stage};
 use crate::EngineError;
 use qs_plan::{signature, LogicalPlan};
-use qs_storage::{BufferPool, Catalog, Page, Schema, Value};
+use qs_storage::{BufferPool, Catalog, Page, PageBuilder, Schema, Value};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
@@ -135,11 +135,13 @@ impl Default for EngineConfig {
     }
 }
 
-/// Handle to a submitted query: a stream of result pages.
+/// Handle to a submitted query: a stream of result batches, materialized
+/// into dense pages at this boundary (the query's *final output* — the
+/// one place a sparse selection becomes fresh row bytes for the client).
 pub struct QueryTicket {
     query_id: u64,
     schema: Arc<Schema>,
-    source: Box<dyn PageSource>,
+    source: Box<dyn BatchSource>,
     metrics: Arc<Metrics>,
 }
 
@@ -154,15 +156,34 @@ impl QueryTicket {
         &self.schema
     }
 
-    /// Pull the next result page (pipelined consumption).
+    /// Pull the next result batch without materializing (zero-copy
+    /// consumption for clients that understand selections).
+    pub fn next_batch(&mut self) -> Result<Option<EngineBatch>, EngineError> {
+        self.source.next_batch()
+    }
+
+    /// Pull the next result page (pipelined consumption). A full batch
+    /// hands back its page as-is; a sparse one is compacted here.
     pub fn next_page(&mut self) -> Result<Option<Arc<Page>>, EngineError> {
-        self.source.next_page()
+        match self.source.next_batch()? {
+            None => Ok(None),
+            Some(b) if b.is_full() => Ok(Some(b.page().clone())),
+            Some(b) => {
+                let mut builder =
+                    PageBuilder::with_capacity(b.page().schema().clone(), b.len());
+                for t in 0..b.len() {
+                    let ok = builder.push_encoded(b.tuple_bytes(t));
+                    debug_assert!(ok);
+                }
+                Ok(Some(Arc::new(builder.finish())))
+            }
+        }
     }
 
     /// Drain the query to completion, returning all result pages.
     pub fn collect_pages(mut self) -> Result<Vec<Arc<Page>>, EngineError> {
         let mut out = Vec::new();
-        while let Some(p) = self.source.next_page()? {
+        while let Some(p) = self.next_page()? {
             out.push(p);
         }
         self.metrics
@@ -289,7 +310,7 @@ impl QpipeEngine {
     pub fn submit_consumer(
         &self,
         above_plan: &LogicalPlan,
-        input: Box<dyn PageSource>,
+        input: Box<dyn BatchSource>,
     ) -> Result<QueryTicket, EngineError> {
         let schema = above_plan.output_schema(&self.catalog)?;
         let query_id = self.next_query_id.fetch_add(1, Ordering::Relaxed);
@@ -388,7 +409,7 @@ impl QpipeEngine {
         query_id: u64,
         pending: &mut Vec<(StageKind, Packet)>,
         root: bool,
-    ) -> Result<Box<dyn PageSource>, EngineError> {
+    ) -> Result<Box<dyn BatchSource>, EngineError> {
         let kind = Self::stage_kind(plan);
         let stage = &self.stages[kind as usize];
         let sharing = self.config.sharing.enabled(kind);
@@ -449,9 +470,9 @@ impl QpipeEngine {
     fn build_above(
         &self,
         plan: &LogicalPlan,
-        input: Box<dyn PageSource>,
+        input: Box<dyn BatchSource>,
         query_id: u64,
-    ) -> Result<Box<dyn PageSource>, EngineError> {
+    ) -> Result<Box<dyn BatchSource>, EngineError> {
         // Collect the unary chain top-down, then build bottom-up from the
         // external input.
         let mut chain: Vec<&LogicalPlan> = Vec::new();

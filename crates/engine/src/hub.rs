@@ -1,18 +1,20 @@
 //! The output hub: one producer, N subscribers, in either sharing mode.
 //!
-//! Every packet writes its output through an [`OutputHub`]. The hub is
+//! Every packet writes its output through an [`OutputHub`]. The currency
+//! is the [`EngineBatch`] — a shared page plus the selection of surviving
+//! rows — so forwarding a filter's output costs no row copies. The hub is
 //! where the paper's two SP mechanics diverge:
 //!
 //! * **Push mode** (original QPipe): each subscriber has its own bounded
-//!   FIFO. The producer hands the original page to the first live
-//!   subscriber and **deep-copies** it for every additional one — on the
-//!   producer's own thread, under a core permit, because the copy is real
-//!   CPU work. This loop is the serialization point of push-based SP.
-//!   Subscription is only possible before the first page is produced
+//!   FIFO. The producer hands the original batch to the first live
+//!   subscriber and **deep-copies** its page for every additional one — on
+//!   the producer's own thread, under a core permit, because the copy is
+//!   real CPU work. This loop is the serialization point of push-based SP.
+//!   Subscription is only possible before the first batch is produced
 //!   (the strict sharing window of push-based SP).
 //!
 //! * **Pull mode** (SPL): all subscribers share one [`SharedPagesList`];
-//!   the producer appends each page exactly once and subscription is
+//!   the producer appends each batch exactly once and subscription is
 //!   possible at any time until the producer finishes.
 //!
 //! With a single subscriber the push-mode hub degenerates to QPipe's plain
@@ -20,12 +22,12 @@
 //! engine — query-centric execution is simply "nobody else subscribed".
 
 use crate::error::EngineError;
-use crate::fifo::{FifoBuffer, FifoReader, PageSource};
+use crate::fifo::{BatchSource, EngineBatch, FifoBuffer, FifoReader};
 use crate::governor::CoreGovernor;
 use crate::metrics::{Metrics, StageKind};
 use crate::spl::SharedPagesList;
 use parking_lot::Mutex;
-use qs_storage::Page;
+use qs_storage::{FactBatch, Page};
 use std::sync::atomic::Ordering;
 use std::sync::Arc;
 
@@ -68,7 +70,7 @@ impl OutputHub {
         fifo_capacity: usize,
         metrics: Arc<Metrics>,
         governor: Arc<CoreGovernor>,
-    ) -> (Arc<OutputHub>, Box<dyn PageSource>) {
+    ) -> (Arc<OutputHub>, Box<dyn BatchSource>) {
         match mode {
             ShareMode::Pull => {
                 let spl = SharedPagesList::new();
@@ -103,7 +105,7 @@ impl OutputHub {
                         push_subs: vec![fifo],
                     }),
                 });
-                (hub, Box::new(reader) as Box<FifoReader> as Box<dyn PageSource>)
+                (hub, Box::new(reader) as Box<FifoReader> as Box<dyn BatchSource>)
             }
         }
     }
@@ -122,9 +124,9 @@ impl OutputHub {
     /// hub's own FIFO capacity.
     ///
     /// Pull mode accepts until the producer has finished; push mode only
-    /// before the first page is produced. `None` means the sharing window
+    /// before the first batch is produced. `None` means the sharing window
     /// has closed and the caller must evaluate its own packet.
-    pub fn subscribe(&self) -> Option<Box<dyn PageSource>> {
+    pub fn subscribe(&self) -> Option<Box<dyn BatchSource>> {
         self.subscribe_with_capacity(self.fifo_capacity)
     }
 
@@ -138,7 +140,7 @@ impl OutputHub {
     /// deadlocking two queries that share a packet. Operator-input
     /// consumers have dedicated stage workers that always drain, so they
     /// keep bounded FIFOs (pipeline backpressure).
-    pub fn subscribe_with_capacity(&self, cap: usize) -> Option<Box<dyn PageSource>> {
+    pub fn subscribe_with_capacity(&self, cap: usize) -> Option<Box<dyn BatchSource>> {
         let mut st = self.state.lock();
         match self.mode {
             ShareMode::Pull => {
@@ -146,7 +148,7 @@ impl OutputHub {
                 // SPL retains the full history, so late sharing is correct.
                 self.spl
                     .as_ref()
-                    .map(|spl| Box::new(spl.reader()) as Box<dyn PageSource>)
+                    .map(|spl| Box::new(spl.reader()) as Box<dyn BatchSource>)
             }
             ShareMode::Push => {
                 if st.started || st.finished {
@@ -167,22 +169,37 @@ impl OutputHub {
         }
     }
 
-    /// Producer: emit one page to every consumer.
-    pub fn push(&self, page: Arc<Page>) -> Result<(), EngineError> {
+    /// Producer convenience: emit a dense page as a full-selection batch
+    /// (operators whose output is freshly built pages — aggregates, joins,
+    /// sorts — and the CJOIN distributor).
+    pub fn push_page(&self, page: Arc<Page>) -> Result<(), EngineError> {
+        self.push(Arc::new(FactBatch::all(page)))
+    }
+
+    /// Producer: emit a group of batches to every consumer under one
+    /// channel synchronization (the group form of [`Self::push`]).
+    /// Sparse scans/filters buffer tiny batches and flush them through
+    /// here so consumers are not woken once per table page. Drains
+    /// `batches`; a no-op when empty.
+    pub fn push_many(&self, batches: &mut Vec<EngineBatch>) -> Result<(), EngineError> {
+        if batches.is_empty() {
+            return Ok(());
+        }
         match self.mode {
             ShareMode::Pull => {
                 {
                     let mut st = self.state.lock();
                     st.started = true;
                 }
-                self.metrics.pages_shared.fetch_add(1, Ordering::Relaxed);
+                let bytes: u64 = batches.iter().map(|b| b.page().byte_len() as u64).sum();
                 self.metrics
-                    .bytes_shared
-                    .fetch_add(page.byte_len() as u64, Ordering::Relaxed);
+                    .pages_shared
+                    .fetch_add(batches.len() as u64, Ordering::Relaxed);
+                self.metrics.bytes_shared.fetch_add(bytes, Ordering::Relaxed);
                 self.spl
                     .as_ref()
                     .expect("pull hub has an SPL")
-                    .append(page)
+                    .append_many(batches)
             }
             ShareMode::Push => {
                 let subs: Vec<Arc<FifoBuffer>> = {
@@ -197,20 +214,28 @@ impl OutputHub {
                         dead.push(i);
                         continue;
                     }
-                    // First live consumer receives the original page; every
-                    // further one costs a deep copy on this (producer)
-                    // thread — the push-based SP serialization point.
-                    let to_send = if delivered == 0 {
-                        page.clone()
+                    // First live consumer receives the original batches;
+                    // every further one costs a deep page copy per batch
+                    // on this thread (the push-based SP serialization
+                    // point, unchanged by grouping).
+                    let mut to_send: Vec<EngineBatch> = if delivered == 0 {
+                        batches.clone()
                     } else {
-                        let copy = self.governor.run(|| Arc::new(page.deep_copy()));
-                        self.metrics.pages_copied.fetch_add(1, Ordering::Relaxed);
+                        let copies = self.governor.run(|| {
+                            batches
+                                .iter()
+                                .map(|b| Arc::new(b.deep_copy()))
+                                .collect::<Vec<_>>()
+                        });
+                        let bytes: u64 =
+                            copies.iter().map(|b| b.page().byte_len() as u64).sum();
                         self.metrics
-                            .bytes_copied
-                            .fetch_add(copy.byte_len() as u64, Ordering::Relaxed);
-                        copy
+                            .pages_copied
+                            .fetch_add(copies.len() as u64, Ordering::Relaxed);
+                        self.metrics.bytes_copied.fetch_add(bytes, Ordering::Relaxed);
+                        copies
                     };
-                    match fifo.push(to_send) {
+                    match fifo.push_many(&mut to_send) {
                         Ok(()) => delivered += 1,
                         Err(EngineError::Cancelled) => dead.push(i),
                         Err(e) => return Err(e),
@@ -218,16 +243,28 @@ impl OutputHub {
                 }
                 if !dead.is_empty() {
                     let mut st = self.state.lock();
-                    // Retain only live FIFOs (compare by Arc identity).
-                    st.push_subs
-                        .retain(|f| !subs.iter().enumerate().any(|(i, s)| dead.contains(&i) && Arc::ptr_eq(f, s)));
+                    st.push_subs.retain(|f| {
+                        !subs
+                            .iter()
+                            .enumerate()
+                            .any(|(i, s)| dead.contains(&i) && Arc::ptr_eq(f, s))
+                    });
                 }
+                batches.clear();
                 if delivered == 0 {
                     return Err(EngineError::Cancelled);
                 }
                 Ok(())
             }
         }
+    }
+
+    /// Producer: emit one batch to every consumer (the one-element form
+    /// of [`Self::push_many`] — a single delivery path keeps the copy
+    /// metering and dead-subscriber pruning in one place).
+    pub fn push(&self, batch: EngineBatch) -> Result<(), EngineError> {
+        let mut one = vec![batch];
+        self.push_many(&mut one)
     }
 
     /// Producer: end of stream.
@@ -267,22 +304,23 @@ mod tests {
     use super::*;
     use qs_storage::{DataType, Schema, Value};
 
-    fn page(k: i64) -> Arc<Page> {
+    fn batch(k: i64) -> EngineBatch {
         let s = Schema::from_pairs(&[("k", DataType::Int)]);
-        Arc::new(Page::from_values(&s, &[vec![Value::Int(k)]]).unwrap())
+        let page = Arc::new(Page::from_values(&s, &[vec![Value::Int(k)]]).unwrap());
+        Arc::new(FactBatch::all(page))
     }
 
-    fn hub(mode: ShareMode) -> (Arc<OutputHub>, Box<dyn PageSource>, Arc<Metrics>) {
+    fn hub(mode: ShareMode) -> (Arc<OutputHub>, Box<dyn BatchSource>, Arc<Metrics>) {
         let m = Metrics::new();
         let g = CoreGovernor::new(0, m.clone());
         let (h, r) = OutputHub::new(mode, StageKind::Scan, 8, m.clone(), g);
         (h, r, m)
     }
 
-    fn drain(mut src: Box<dyn PageSource>) -> Vec<i64> {
+    fn drain(mut src: Box<dyn BatchSource>) -> Vec<i64> {
         let mut out = Vec::new();
-        while let Some(p) = src.next_page().unwrap() {
-            out.push(p.row(0).i64_col(0));
+        while let Some(b) = src.next_batch().unwrap() {
+            out.push(b.page().row(b.sel()[0] as usize).i64_col(0));
         }
         out
     }
@@ -291,8 +329,8 @@ mod tests {
     fn pull_mode_shares_without_copying() {
         let (h, primary, m) = hub(ShareMode::Pull);
         let sub = h.subscribe().expect("pull subscribe");
-        h.push(page(1)).unwrap();
-        h.push(page(2)).unwrap();
+        h.push(batch(1)).unwrap();
+        h.push(batch(2)).unwrap();
         h.finish();
         assert_eq!(drain(primary), vec![1, 2]);
         assert_eq!(drain(sub), vec![1, 2]);
@@ -304,9 +342,9 @@ mod tests {
     #[test]
     fn pull_mode_allows_mid_stream_subscription() {
         let (h, primary, _) = hub(ShareMode::Pull);
-        h.push(page(1)).unwrap();
+        h.push(batch(1)).unwrap();
         let late = h.subscribe().expect("late pull subscribe");
-        h.push(page(2)).unwrap();
+        h.push(batch(2)).unwrap();
         h.finish();
         assert_eq!(drain(primary), vec![1, 2]);
         assert_eq!(drain(late), vec![1, 2]);
@@ -320,8 +358,8 @@ mod tests {
         let producer = {
             let h = h.clone();
             std::thread::spawn(move || {
-                h.push(page(1)).unwrap();
-                h.push(page(2)).unwrap();
+                h.push(batch(1)).unwrap();
+                h.push(batch(2)).unwrap();
                 h.finish();
             })
         };
@@ -333,18 +371,33 @@ mod tests {
         assert_eq!(b, a);
         assert_eq!(c, a);
         let s = m.snapshot();
-        // 2 pages × 2 extra consumers = 4 deep copies
+        // 2 batches × 2 extra consumers = 4 deep page copies
         assert_eq!(s.pages_copied, 4);
         assert_eq!(s.pages_shared, 0);
     }
 
     #[test]
-    fn push_mode_window_closes_at_first_page() {
+    fn push_mode_window_closes_at_first_batch() {
         let (h, primary, _) = hub(ShareMode::Push);
-        h.push(page(1)).unwrap();
+        h.push(batch(1)).unwrap();
         assert!(h.subscribe().is_none(), "window must be closed");
         h.finish();
         assert_eq!(drain(primary), vec![1]);
+    }
+
+    #[test]
+    fn push_page_wraps_dense_pages() {
+        let (h, mut primary, _) = hub(ShareMode::Push);
+        let s = Schema::from_pairs(&[("k", DataType::Int)]);
+        let page = Arc::new(
+            Page::from_values(&s, &[vec![Value::Int(3)], vec![Value::Int(4)]]).unwrap(),
+        );
+        h.push_page(page.clone()).unwrap();
+        h.finish();
+        let b = primary.next_batch().unwrap().unwrap();
+        assert!(b.is_full());
+        assert_eq!(b.len(), 2);
+        assert!(Arc::ptr_eq(b.page(), &page));
     }
 
     #[test]
@@ -353,7 +406,7 @@ mod tests {
             let (h, mut primary, _) = hub(mode);
             h.abort("nope");
             assert!(matches!(
-                primary.next_page(),
+                primary.next_batch(),
                 Err(EngineError::Aborted(_))
             ));
         }
@@ -367,7 +420,7 @@ mod tests {
         let producer = {
             let h = h.clone();
             std::thread::spawn(move || {
-                h.push(page(5)).unwrap();
+                h.push(batch(5)).unwrap();
                 h.finish();
             })
         };
@@ -379,6 +432,6 @@ mod tests {
     fn push_mode_all_consumers_gone_cancels_producer() {
         let (h, primary, _) = hub(ShareMode::Push);
         drop(primary);
-        assert!(matches!(h.push(page(1)), Err(EngineError::Cancelled)));
+        assert!(matches!(h.push(batch(1)), Err(EngineError::Cancelled)));
     }
 }

@@ -6,7 +6,9 @@
 //! * every relational operator is a **stage** with a work queue and an
 //!   elastic local thread pool ([`stage`]),
 //! * a query plan becomes a tree of **packets** whose data flows through
-//!   page-based exchange — bounded FIFO buffers in the original push-only
+//!   batch-based exchange — every channel carries an [`EngineBatch`]
+//!   (`Arc<qs_storage::FactBatch>`: shared page + surviving-row
+//!   selection), over bounded FIFO buffers in the original push-only
 //!   model ([`fifo`]),
 //! * **Simultaneous Pipelining (SP)**: when a packet arrives at a stage
 //!   while an identical one (same sub-plan signature) is in flight, it
@@ -37,7 +39,7 @@ pub mod stage;
 
 pub use engine::{EngineConfig, QpipeEngine, QueryTicket, SharingPolicy};
 pub use error::EngineError;
-pub use fifo::{FifoBuffer, FifoReader, PageSource};
+pub use fifo::{BatchSource, EngineBatch, FifoBuffer, FifoReader};
 pub use governor::CoreGovernor;
 pub use hub::{OutputHub, ShareMode};
 pub use kernels::{AccVec, AggKernel};

@@ -1,19 +1,30 @@
 //! Physical operators: the bodies of stage packets.
 //!
-//! Each operator is a blocking pull(inputs)/push(hub) loop. CPU-bound
-//! per-page work runs under a core permit from the [`CoreGovernor`]; waits
-//! on inputs, outputs and simulated disk do not hold a permit.
+//! Each operator is a blocking pull(inputs)/push(hub) loop over
+//! [`EngineBatch`]es — shared pages annotated with the selection of
+//! surviving rows. Selections flow; row bytes do not: `Scan` and `Filter`
+//! emit `(page, selection)` without building intermediate pages, and
+//! downstream operators read the tuples they need through gathered views
+//! ([`FactBatch::columns`], [`FactBatch::gather_i64_into`],
+//! [`FactBatch::tuple_bytes`]). Fresh pages are built only where rows are
+//! genuinely new or long-lived: aggregate/join/sort/projection *output*,
+//! the join build side, and the client-facing final output.
+//!
+//! CPU-bound per-batch work runs under a core permit from the
+//! [`CoreGovernor`]; waits on inputs, outputs and simulated disk do not
+//! hold a permit.
 
 use crate::error::EngineError;
-use crate::fifo::PageSource;
+use crate::fifo::{BatchSource, EngineBatch};
 use crate::governor::CoreGovernor;
 use crate::hub::OutputHub;
 use crate::kernels::{kernel_columns, update_grouped, AccVec, AggKernel};
 use crate::metrics::Metrics;
-use qs_plan::compiled::iter_ones;
+use qs_plan::compiled::{refine_selection, selection_from_mask};
 use qs_plan::{AggSpec, CompiledPred, Expr, PredScratch};
 use qs_storage::{
-    BufferPool, CircularCursor, ColumnBatch, DataType, Page, PageBuilder, Schema, Table,
+    BufferPool, CircularCursor, ColumnBatch, DataType, FactBatch, Page, PageBuilder, Schema,
+    Table,
 };
 use std::collections::HashMap;
 use std::sync::atomic::Ordering;
@@ -110,7 +121,7 @@ pub enum PhysicalOp {
 /// (stage worker) is responsible for `hub.finish()` / `hub.abort()`.
 pub fn execute(
     op: &PhysicalOp,
-    inputs: &mut [Box<dyn PageSource>],
+    inputs: &mut [Box<dyn BatchSource>],
     hub: &OutputHub,
     ctx: &ExecCtx,
 ) -> Result<(), EngineError> {
@@ -174,13 +185,66 @@ fn project_spans_into(row: &[u8], spans: &[(usize, usize)], buf: &mut Vec<u8>) {
     }
 }
 
+/// Flush the emit buffer once the buffered survivors amount to a dense
+/// page's worth of tuples…
+const EMIT_ROWS: usize = 256;
+/// …or once this many batches are buffered (bounds how many upstream
+/// pages a selective producer retains before its consumer sees them).
+const EMIT_BATCHES: usize = 32;
+
+/// Producer-side grouping of sparse batches.
+///
+/// A selective scan emits one tiny batch per table page; pushing each one
+/// through the hub costs a consumer wakeup that dwarfs the batch's own
+/// processing. The buffer accumulates batches until they amount to
+/// [`EMIT_ROWS`] survivors (or [`EMIT_BATCHES`] pages) and hands the
+/// group to [`OutputHub::push_many`] — one lock, one wakeup. Dense
+/// batches meet the row threshold alone and flow through unbuffered.
+struct EmitBuffer {
+    batches: Vec<EngineBatch>,
+    rows: usize,
+}
+
+impl EmitBuffer {
+    fn new() -> EmitBuffer {
+        EmitBuffer {
+            batches: Vec::new(),
+            rows: 0,
+        }
+    }
+
+    fn push(&mut self, batch: FactBatch, hub: &OutputHub) -> Result<(), EngineError> {
+        self.rows += batch.len();
+        self.batches.push(Arc::new(batch));
+        if self.rows >= EMIT_ROWS || self.batches.len() >= EMIT_BATCHES {
+            self.flush(hub)?;
+        }
+        Ok(())
+    }
+
+    fn flush(&mut self, hub: &OutputHub) -> Result<(), EngineError> {
+        self.rows = 0;
+        hub.push_many(&mut self.batches)
+    }
+}
+
+/// Decode the columns a kernel set needs from the batch's surviving
+/// tuples: dense pages decode by stride, sparse selections gather.
+fn batch_view<'a>(batch: &'a FactBatch, cols: &[usize]) -> ColumnBatch<'a> {
+    if batch.is_full() {
+        ColumnBatch::from_page(batch.page(), cols)
+    } else {
+        batch.columns(cols)
+    }
+}
+
 fn flush_if_full(
     builder: &mut PageBuilder,
     hub: &OutputHub,
 ) -> Result<(), EngineError> {
     if builder.is_full() {
         let page = builder.finish_and_reset();
-        hub.push(Arc::new(page))?;
+        hub.push_page(Arc::new(page))?;
     }
     Ok(())
 }
@@ -188,7 +252,7 @@ fn flush_if_full(
 fn flush_rest(builder: &mut PageBuilder, hub: &OutputHub) -> Result<(), EngineError> {
     if !builder.is_empty() {
         let page = builder.finish_and_reset();
-        hub.push(Arc::new(page))?;
+        hub.push_page(Arc::new(page))?;
     }
     Ok(())
 }
@@ -202,159 +266,167 @@ fn run_scan(
     ctx: &ExecCtx,
 ) -> Result<(), EngineError> {
     let mut cursor = CircularCursor::new(table.clone());
-    let mut builder = PageBuilder::with_bytes(out_schema.clone(), ctx.out_page_bytes);
-    let mut rowbuf: Vec<u8> = Vec::with_capacity(out_schema.row_size());
     // Predicate fetched from the shared program cache (compiled at most
     // once process-wide per (predicate, schema) — concurrent identical
-    // scans share it), evaluated column-wise per page; projection spans
-    // hoisted out of the per-row loop.
+    // scans share it), evaluated column-wise per page into a selection
+    // vector. Only a projecting scan builds fresh rows; a plain selection
+    // forwards the table page with the selection attached.
     let compiled = predicate.map(|p| CompiledPred::cached(p, table.schema()));
     let spans = projection.map(|cols| column_spans(table.schema(), cols));
+    let mut builder = spans
+        .as_ref()
+        .map(|_| PageBuilder::with_bytes(out_schema.clone(), ctx.out_page_bytes));
+    let mut rowbuf: Vec<u8> = Vec::with_capacity(out_schema.row_size());
     let mut scratch = PredScratch::new();
     let mut mask: Vec<u64> = Vec::new();
-    // Fast path: no selection, no projection — forward table pages as-is
-    // (zero copy; the whole point of page-based exchange).
-    let passthrough = predicate.is_none() && projection.is_none();
+    let mut sel: Vec<u32> = Vec::new();
+    let mut emit = EmitBuffer::new();
     while let Some(page) = cursor.next_page(&ctx.pool) {
-        if passthrough {
+        // Fast path: no selection, no projection — forward table pages
+        // as-is under an identity selection (zero copy; the whole point of
+        // batch-based exchange).
+        if compiled.is_none() && spans.is_none() {
             ctx.metrics
                 .rows_scanned
                 .fetch_add(page.rows() as u64, Ordering::Relaxed);
-            hub.push(page)?;
+            hub.push(Arc::new(FactBatch::all(page)))?;
             continue;
         }
-        let mut emitted = 0u64;
-        // Process the page under a core permit, flushing outside of it.
+        // Process the page under a core permit, pushing outside of it.
         let mut pending: Vec<Arc<Page>> = Vec::new();
         ctx.governor.run(|| {
-            let mut emit = |row: usize| {
-                emitted += 1;
-                let ok = match &spans {
-                    Some(spans) => {
-                        project_spans_into(page.row(row).bytes(), spans, &mut rowbuf);
-                        builder.push_encoded(&rowbuf)
-                    }
-                    None => builder.push_row(page.row(row)),
-                };
-                debug_assert!(ok);
-                if builder.is_full() {
-                    pending.push(Arc::new(builder.finish_and_reset()));
-                }
-            };
             match &compiled {
                 Some(c) => {
-                    let batch = ColumnBatch::from_page(&page, c.columns());
-                    c.eval_batch(&batch, &mut scratch, &mut mask);
-                    for i in iter_ones(&mask) {
-                        emit(i);
-                    }
+                    let view = ColumnBatch::from_page(&page, c.columns());
+                    c.eval_batch(&view, &mut scratch, &mut mask);
+                    selection_from_mask(&mask, &mut sel);
                 }
                 None => {
-                    for i in 0..page.rows() {
-                        emit(i);
+                    sel.clear();
+                    sel.extend(0..page.rows() as u32);
+                }
+            }
+            if let (Some(spans), Some(b)) = (&spans, &mut builder) {
+                // Projecting scan: the output rows are new (narrower)
+                // rows, so this is a materialization point.
+                for &r in &sel {
+                    project_spans_into(page.row(r as usize).bytes(), spans, &mut rowbuf);
+                    let ok = b.push_encoded(&rowbuf);
+                    debug_assert!(ok);
+                    if b.is_full() {
+                        pending.push(Arc::new(b.finish_and_reset()));
                     }
                 }
             }
         });
-        ctx.metrics.rows_scanned.fetch_add(emitted, Ordering::Relaxed);
-        for p in pending {
-            hub.push(p)?;
-        }
-    }
-    flush_rest(&mut builder, hub)
-}
-
-fn run_filter(
-    predicate: &Expr,
-    input: &mut Box<dyn PageSource>,
-    hub: &OutputHub,
-    ctx: &ExecCtx,
-) -> Result<(), EngineError> {
-    let mut builder: Option<PageBuilder> = None;
-    // Fetched lazily from the shared program cache against the first
-    // page's schema (identical for the whole stream), then evaluated
-    // column-wise page-at-a-time; concurrent packets with the identical
-    // predicate share one program.
-    let mut compiled: Option<Arc<CompiledPred>> = None;
-    let mut scratch = PredScratch::new();
-    let mut mask: Vec<u64> = Vec::new();
-    while let Some(page) = input.next_page()? {
-        let b = builder.get_or_insert_with(|| {
-            PageBuilder::with_bytes(page.schema().clone(), ctx.out_page_bytes)
-        });
-        let c = compiled
-            .get_or_insert_with(|| CompiledPred::cached(predicate, page.schema()));
-        let mut pending: Vec<Arc<Page>> = Vec::new();
-        ctx.governor.run(|| {
-            let batch = ColumnBatch::from_page(&page, c.columns());
-            c.eval_batch(&batch, &mut scratch, &mut mask);
-            for i in iter_ones(&mask) {
-                let ok = b.push_row(page.row(i));
-                debug_assert!(ok);
-                if b.is_full() {
-                    pending.push(Arc::new(b.finish_and_reset()));
-                }
+        ctx.metrics
+            .rows_scanned
+            .fetch_add(sel.len() as u64, Ordering::Relaxed);
+        if spans.is_none() {
+            if !sel.is_empty() {
+                emit.push(
+                    FactBatch::new(page, std::mem::take(&mut sel), Vec::new()),
+                    hub,
+                )?;
             }
-        });
-        for p in pending {
-            hub.push(p)?;
+        } else {
+            for p in pending {
+                hub.push_page(p)?;
+            }
         }
     }
+    emit.flush(hub)?;
     if let Some(mut b) = builder {
         flush_rest(&mut b, hub)?;
     }
     Ok(())
 }
 
+fn run_filter(
+    predicate: &Expr,
+    input: &mut Box<dyn BatchSource>,
+    hub: &OutputHub,
+    ctx: &ExecCtx,
+) -> Result<(), EngineError> {
+    // Fetched lazily from the shared program cache against the first
+    // batch's schema (identical for the whole stream), then evaluated
+    // column-wise over the batch's surviving tuples; the output is the
+    // same page with a refined selection — no rows are copied here.
+    let mut compiled: Option<Arc<CompiledPred>> = None;
+    let mut scratch = PredScratch::new();
+    let mut mask: Vec<u64> = Vec::new();
+    let mut sel: Vec<u32> = Vec::new();
+    let mut emit = EmitBuffer::new();
+    while let Some(batch) = input.next_batch()? {
+        let c = compiled
+            .get_or_insert_with(|| CompiledPred::cached(predicate, batch.page().schema()));
+        ctx.governor.run(|| {
+            let view = batch_view(&batch, c.columns());
+            c.eval_batch(&view, &mut scratch, &mut mask);
+            // Mask bit i refers to batch tuple i = page row sel[i]: the
+            // mask → selection handoff composes the two.
+            refine_selection(&mask, batch.sel(), &mut sel);
+        });
+        if !sel.is_empty() {
+            emit.push(
+                FactBatch::new(batch.page().clone(), std::mem::take(&mut sel), Vec::new()),
+                hub,
+            )?;
+        }
+    }
+    emit.flush(hub)
+}
+
 fn run_hash_join(
     build_key: usize,
     probe_key: usize,
     out_schema: &Arc<Schema>,
-    build: &mut Box<dyn PageSource>,
-    probe: &mut Box<dyn PageSource>,
+    build: &mut Box<dyn BatchSource>,
+    probe: &mut Box<dyn BatchSource>,
     hub: &OutputHub,
     ctx: &ExecCtx,
 ) -> Result<(), EngineError> {
-    // Build phase: hash the (dimension) side. The key column is decoded
-    // once per page into a typed slice; the insert loop never touches row
-    // views.
-    let mut build_pages: Vec<Arc<Page>> = Vec::new();
-    let mut ht: HashMap<i64, Vec<(u32, u32)>> = HashMap::new();
-    while let Some(page) = build.next_page()? {
-        let page_idx = build_pages.len() as u32;
+    // Build phase: hash the (dimension) side. This is a true
+    // materialization point — build tuples must outlive their batches, so
+    // their encoded bytes are gathered once into a contiguous arena. The
+    // key column is gathered per batch into a typed slice; the insert
+    // loop never touches row views.
+    let mut arena: Vec<u8> = Vec::new();
+    let mut build_rs = 0usize;
+    let mut ht: HashMap<i64, Vec<u32>> = HashMap::new();
+    let mut keys: Vec<i64> = Vec::new();
+    while let Some(batch) = build.next_batch()? {
         ctx.governor.run(|| {
-            let batch = ColumnBatch::from_page(&page, &[build_key]);
-            for (i, &k) in batch.col(build_key).i64s().iter().enumerate() {
-                ht.entry(k).or_default().push((page_idx, i as u32));
+            build_rs = batch.page().schema().row_size();
+            let base = (arena.len() / build_rs) as u32;
+            batch.gather_i64_into(build_key, &mut keys);
+            for (i, &k) in keys.iter().enumerate() {
+                ht.entry(k).or_default().push(base + i as u32);
+            }
+            for t in 0..batch.len() {
+                arena.extend_from_slice(batch.tuple_bytes(t));
             }
         });
-        build_pages.push(page);
     }
-    let build_rs = build_pages
-        .first()
-        .map_or(0, |p| p.schema().row_size());
 
-    // Probe phase: stream the (fact) side. Keys are batch-extracted per
-    // page and probed in a tight loop; matched row bytes are sliced
-    // straight out of the page arenas.
+    // Probe phase: stream the (fact) side. Keys are batch-gathered from
+    // the surviving tuples and probed in a tight loop; matched row bytes
+    // are sliced straight out of the shared page and the build arena.
     let mut builder = PageBuilder::with_bytes(out_schema.clone(), ctx.out_page_bytes);
     let mut rowbuf: Vec<u8> = Vec::with_capacity(out_schema.row_size());
     let mut joined = 0u64;
-    while let Some(page) = probe.next_page()? {
+    while let Some(batch) = probe.next_batch()? {
         let mut pending: Vec<Arc<Page>> = Vec::new();
         ctx.governor.run(|| {
-            let batch = ColumnBatch::from_page(&page, &[probe_key]);
-            let probe_raw = page.raw();
-            let probe_rs = page.schema().row_size();
-            for (i, &k) in batch.col(probe_key).i64s().iter().enumerate() {
+            batch.gather_i64_into(probe_key, &mut keys);
+            for (t, &k) in keys.iter().enumerate() {
                 let Some(matches) = ht.get(&k) else {
                     continue;
                 };
-                let probe_bytes = &probe_raw[i * probe_rs..(i + 1) * probe_rs];
-                for &(pidx, ridx) in matches {
-                    let ridx = ridx as usize;
-                    let build_bytes =
-                        &build_pages[pidx as usize].raw()[ridx * build_rs..(ridx + 1) * build_rs];
+                let probe_bytes = batch.tuple_bytes(t);
+                for &bidx in matches {
+                    let bidx = bidx as usize;
+                    let build_bytes = &arena[bidx * build_rs..(bidx + 1) * build_rs];
                     rowbuf.clear();
                     rowbuf.extend_from_slice(probe_bytes);
                     rowbuf.extend_from_slice(build_bytes);
@@ -368,7 +440,7 @@ fn run_hash_join(
             }
         });
         for p in pending {
-            hub.push(p)?;
+            hub.push_page(p)?;
         }
     }
     ctx.metrics.rows_joined.fetch_add(joined, Ordering::Relaxed);
@@ -380,18 +452,19 @@ fn run_aggregate(
     aggs: &[AggSpec],
     in_schema: &Arc<Schema>,
     out_schema: &Arc<Schema>,
-    input: &mut Box<dyn PageSource>,
+    input: &mut Box<dyn BatchSource>,
     hub: &OutputHub,
     ctx: &ExecCtx,
 ) -> Result<(), EngineError> {
     // Group key = concatenated raw bytes of the group columns; insertion
     // order is preserved so output is deterministic given input order.
     //
-    // Batch shape: per page, the key-resolution pass maps every row to a
-    // dense group slot (one hash probe per row — the irreducible cost of
-    // hash aggregation), then each aggregate folds the whole page through
-    // its typed kernel over the decoded column batch. No per-row
-    // `(Acc, AggFunc)` dispatch and no per-row schema lookups survive.
+    // Batch shape: per batch, the key-resolution pass maps every surviving
+    // tuple to a dense group slot (one hash probe per tuple — the
+    // irreducible cost of hash aggregation), then each aggregate folds the
+    // whole batch through its typed kernel over the gathered column view.
+    // Key bytes are read in place from the shared page; no intermediate
+    // pages are built.
     let group_spans = column_spans(in_schema, group_by);
     let key_size: usize = group_spans.iter().map(|&(_, w)| w).sum();
     let kernels: Vec<AggKernel> = aggs
@@ -402,18 +475,17 @@ fn run_aggregate(
     let mut accs: Vec<AccVec> = kernels.iter().map(AccVec::for_kernel).collect();
     let mut groups: HashMap<Vec<u8>, u32> = HashMap::new();
     let mut order: Vec<Vec<u8>> = Vec::new();
-    // Per-page scratch: row → group slot, plus the identity row list the
-    // grouped kernels consume.
+    // Per-batch scratch: tuple → group slot, plus the identity tuple list
+    // the grouped kernels consume.
     let mut gidx: Vec<u32> = Vec::new();
     let mut rows_idx: Vec<u32> = Vec::new();
-    while let Some(page) = input.next_page()? {
+    while let Some(batch) = input.next_batch()? {
         ctx.governor.run(|| {
-            let n = page.rows();
-            let raw = page.raw();
+            let raw = batch.page().raw();
             let rs = in_schema.row_size();
             gidx.clear();
-            for i in 0..n {
-                let row = &raw[i * rs..(i + 1) * rs];
+            for &r in batch.sel() {
+                let row = &raw[r as usize * rs..(r + 1) as usize * rs];
                 let mut key = Vec::with_capacity(key_size);
                 for &(off, w) in &group_spans {
                     key.extend_from_slice(&row[off..off + w]);
@@ -430,11 +502,11 @@ fn run_aggregate(
                 gidx.push(slot);
             }
             rows_idx.clear();
-            rows_idx.extend(0..n as u32);
-            let batch = ColumnBatch::from_page(&page, &agg_cols);
+            rows_idx.extend(0..batch.len() as u32);
+            let view = batch_view(&batch, &agg_cols);
             for (kernel, acc) in kernels.iter().zip(&mut accs) {
                 acc.resize(order.len());
-                update_grouped(kernel, acc, &batch, &rows_idx, &gidx);
+                update_grouped(kernel, acc, &view, &rows_idx, &gidx);
             }
         });
     }
@@ -460,7 +532,7 @@ fn run_aggregate(
                 .map_err(EngineError::Storage)?;
         }
         if !builder.push_encoded(&rowbuf) {
-            hub.push(Arc::new(builder.finish_and_reset()))?;
+            hub.push_page(Arc::new(builder.finish_and_reset()))?;
             let ok = builder.push_encoded(&rowbuf);
             debug_assert!(ok);
         }
@@ -504,18 +576,22 @@ fn cmp_encoded(a: &[u8], b: &[u8], keys: &KeySpec) -> std::cmp::Ordering {
 fn run_sort(
     keys: &[(usize, bool)],
     schema: &Arc<Schema>,
-    input: &mut Box<dyn PageSource>,
+    input: &mut Box<dyn BatchSource>,
     hub: &OutputHub,
     ctx: &ExecCtx,
 ) -> Result<(), EngineError> {
+    // The sort buffer is a true materialization point, but even here no
+    // row bytes move on ingest: the buffer is (page handle, row) pairs
+    // over the shared input pages; rows are copied once, in sorted order,
+    // into the output pages.
     let mut pages: Vec<Arc<Page>> = Vec::new();
     let mut index: Vec<(u32, u32)> = Vec::new();
-    while let Some(page) = input.next_page()? {
+    while let Some(batch) = input.next_batch()? {
         let pidx = pages.len() as u32;
-        for i in 0..page.rows() {
-            index.push((pidx, i as u32));
+        for &r in batch.sel() {
+            index.push((pidx, r));
         }
-        pages.push(page);
+        pages.push(batch.page().clone());
     }
     let spec = key_spec(schema, keys);
     ctx.governor.run(|| {
@@ -538,19 +614,20 @@ fn run_sort(
 fn run_project(
     columns: &[usize],
     out_schema: &Arc<Schema>,
-    input: &mut Box<dyn PageSource>,
+    input: &mut Box<dyn BatchSource>,
     hub: &OutputHub,
     ctx: &ExecCtx,
 ) -> Result<(), EngineError> {
     let mut builder = PageBuilder::with_bytes(out_schema.clone(), ctx.out_page_bytes);
     let mut rowbuf: Vec<u8> = Vec::with_capacity(out_schema.row_size());
     let mut spans: Option<Vec<(usize, usize)>> = None;
-    while let Some(page) = input.next_page()? {
-        let spans = spans.get_or_insert_with(|| column_spans(page.schema(), columns));
+    while let Some(batch) = input.next_batch()? {
+        let spans =
+            spans.get_or_insert_with(|| column_spans(batch.page().schema(), columns));
         let mut pending: Vec<Arc<Page>> = Vec::new();
         ctx.governor.run(|| {
-            for row in page.iter() {
-                project_spans_into(row.bytes(), spans, &mut rowbuf);
+            for t in 0..batch.len() {
+                project_spans_into(batch.tuple_bytes(t), spans, &mut rowbuf);
                 debug_assert_eq!(rowbuf.len(), out_schema.row_size());
                 let ok = builder.push_encoded(&rowbuf);
                 debug_assert!(ok);
@@ -560,7 +637,7 @@ fn run_project(
             }
         });
         for p in pending {
-            hub.push(p)?;
+            hub.push_page(p)?;
         }
     }
     flush_rest(&mut builder, hub)
@@ -568,19 +645,21 @@ fn run_project(
 
 fn run_distinct(
     schema: &Arc<Schema>,
-    input: &mut Box<dyn PageSource>,
+    input: &mut Box<dyn BatchSource>,
     hub: &OutputHub,
     ctx: &ExecCtx,
 ) -> Result<(), EngineError> {
-    // Rows are fixed-width encoded, so whole-row dedup is byte equality.
+    // Rows are fixed-width encoded, so whole-row dedup is byte equality
+    // over tuple bytes read in place from the shared page.
     let mut seen: std::collections::HashSet<Vec<u8>> = std::collections::HashSet::new();
     let mut builder = PageBuilder::with_bytes(schema.clone(), ctx.out_page_bytes);
-    while let Some(page) = input.next_page()? {
+    while let Some(batch) = input.next_batch()? {
         let mut pending: Vec<Arc<Page>> = Vec::new();
         ctx.governor.run(|| {
-            for row in page.iter() {
-                if seen.insert(row.bytes().to_vec()) {
-                    let ok = builder.push_row(row);
+            for t in 0..batch.len() {
+                let bytes = batch.tuple_bytes(t);
+                if seen.insert(bytes.to_vec()) {
+                    let ok = builder.push_encoded(bytes);
                     debug_assert!(ok);
                     if builder.is_full() {
                         pending.push(Arc::new(builder.finish_and_reset()));
@@ -589,7 +668,7 @@ fn run_distinct(
             }
         });
         for p in pending {
-            hub.push(p)?;
+            hub.push_page(p)?;
         }
     }
     flush_rest(&mut builder, hub)
@@ -599,25 +678,26 @@ fn run_topk(
     keys: &[(usize, bool)],
     n: usize,
     schema: &Arc<Schema>,
-    input: &mut Box<dyn PageSource>,
+    input: &mut Box<dyn BatchSource>,
     hub: &OutputHub,
     ctx: &ExecCtx,
 ) -> Result<(), EngineError> {
     if n == 0 {
         // Still drain the input so the producer is not blocked forever.
-        while input.next_page()?.is_some() {}
+        while input.next_batch()?.is_some() {}
         return Ok(());
     }
     // Bounded selection: keep the n best encoded rows seen so far. A
     // sorted insertion buffer is O(n) per displacing row but n is small
     // (LIMIT clauses); it keeps the common non-displacing row at one
-    // comparison against the current cutoff.
+    // comparison against the current cutoff. Only displacing rows are
+    // copied out of the shared page.
     let spec = key_spec(schema, keys);
     let mut best: Vec<Vec<u8>> = Vec::with_capacity(n + 1);
-    while let Some(page) = input.next_page()? {
+    while let Some(batch) = input.next_batch()? {
         ctx.governor.run(|| {
-            for row in page.iter() {
-                let bytes = row.bytes();
+            for t in 0..batch.len() {
+                let bytes = batch.tuple_bytes(t);
                 let full = best.len() == n;
                 if full {
                     let worst = best.last().expect("n > 0");
@@ -646,27 +726,27 @@ fn run_topk(
 
 fn run_limit(
     n: usize,
-    schema: &Arc<Schema>,
-    input: &mut Box<dyn PageSource>,
+    _schema: &Arc<Schema>,
+    input: &mut Box<dyn BatchSource>,
     hub: &OutputHub,
     ctx: &ExecCtx,
 ) -> Result<(), EngineError> {
+    // Limit is pure selection slicing: whole batches are forwarded by
+    // `Arc` clone, and the boundary batch is trimmed with
+    // [`FactBatch::prefix`] — no builder, no row copies.
+    let _ = ctx;
     let mut remaining = n;
-    while let Some(page) = input.next_page()? {
+    while let Some(batch) = input.next_batch()? {
         if remaining == 0 {
             break;
         }
-        if page.rows() <= remaining {
-            remaining -= page.rows();
-            hub.push(page)?;
+        if batch.len() <= remaining {
+            remaining -= batch.len();
+            hub.push(batch)?;
         } else {
-            let mut builder = PageBuilder::with_bytes(schema.clone(), ctx.out_page_bytes);
-            for row in page.iter().take(remaining) {
-                let ok = builder.push_row(row);
-                debug_assert!(ok);
-            }
+            let trimmed = batch.prefix(remaining);
             remaining = 0;
-            flush_rest(&mut builder, hub)?;
+            hub.push(Arc::new(trimmed))?;
         }
     }
     Ok(())

@@ -1,33 +1,33 @@
 //! The Shared Pages List — the paper's pull-based SP data structure.
 //!
 //! The SPL replaces per-consumer FIFO buffers with one shared,
-//! reference-counted list of pages: the single producer *appends* each
-//! page once, and every consumer advances its own cursor over the list at
-//! its own pace. Sharing a page is an `Arc` clone, not a copy, so adding a
-//! consumer adds no work to the producer — this eliminates the
-//! serialization point of push-based SP (paper §3, "Shared Pages List").
+//! reference-counted list of batches: the single producer *appends* each
+//! [`EngineBatch`] once, and every consumer advances its own cursor over
+//! the list at its own pace. Sharing a batch is an `Arc` clone, not a
+//! copy, so adding a consumer adds no work to the producer — this
+//! eliminates the serialization point of push-based SP (paper §3, "Shared
+//! Pages List").
 //!
 //! Consumers can attach at any time before the producer finishes and
-//! always see the *complete* stream (the list retains all pages while
+//! always see the *complete* stream (the list retains all batches while
 //! readers may still need them), which also widens the SP window compared
 //! with the strict push-mode window.
 //!
 //! Trade-off, as in the paper: the SPL is unbounded — a slow consumer
-//! does not throttle the producer, it just keeps pages alive longer.
+//! does not throttle the producer, it just keeps batches (and their
+//! underlying pages) alive longer.
 
 use crate::error::EngineError;
-use crate::fifo::PageSource;
+use crate::fifo::{BatchSource, EngineBatch};
 use parking_lot::{Condvar, Mutex};
-use qs_storage::Page;
-use std::sync::Arc;
 
 struct SplState {
-    pages: Vec<Arc<Page>>,
+    batches: Vec<EngineBatch>,
     finished: bool,
     aborted: Option<String>,
 }
 
-/// Single-producer, multi-consumer shared list of pages.
+/// Single-producer, multi-consumer shared list of batches.
 pub struct SharedPagesList {
     state: Mutex<SplState>,
     appended: Condvar,
@@ -35,10 +35,10 @@ pub struct SharedPagesList {
 
 impl SharedPagesList {
     /// New, empty list.
-    pub fn new() -> Arc<Self> {
-        Arc::new(SharedPagesList {
+    pub fn new() -> std::sync::Arc<Self> {
+        std::sync::Arc::new(SharedPagesList {
             state: Mutex::new(SplState {
-                pages: Vec::new(),
+                batches: Vec::new(),
                 finished: false,
                 aborted: None,
             }),
@@ -46,14 +46,29 @@ impl SharedPagesList {
         })
     }
 
-    /// Append a page (producer side). A no-op error after abort.
-    pub fn append(&self, page: Arc<Page>) -> Result<(), EngineError> {
+    /// Append a batch (producer side). A no-op error after abort.
+    pub fn append(&self, batch: EngineBatch) -> Result<(), EngineError> {
         let mut st = self.state.lock();
         if let Some(msg) = &st.aborted {
             return Err(EngineError::Aborted(msg.clone()));
         }
         debug_assert!(!st.finished, "append after finish");
-        st.pages.push(page);
+        st.batches.push(batch);
+        self.appended.notify_all();
+        Ok(())
+    }
+
+    /// Append a group of batches under one lock acquisition and one
+    /// reader broadcast (the group form of [`Self::append`]; sparse scans
+    /// buffer tiny batches so readers are not woken per page). Drains
+    /// `batches`.
+    pub fn append_many(&self, batches: &mut Vec<EngineBatch>) -> Result<(), EngineError> {
+        let mut st = self.state.lock();
+        if let Some(msg) = &st.aborted {
+            return Err(EngineError::Aborted(msg.clone()));
+        }
+        debug_assert!(!st.finished, "append after finish");
+        st.batches.append(batches);
         self.appended.notify_all();
         Ok(())
     }
@@ -73,19 +88,19 @@ impl SharedPagesList {
     }
 
     /// Attach a reader positioned at the start of the list.
-    pub fn reader(self: &Arc<Self>) -> SplReader {
+    pub fn reader(self: &std::sync::Arc<Self>) -> SplReader {
         SplReader {
             spl: self.clone(),
             cursor: 0,
         }
     }
 
-    /// Number of pages currently in the list.
+    /// Number of batches currently in the list.
     pub fn len(&self) -> usize {
-        self.state.lock().pages.len()
+        self.state.lock().batches.len()
     }
 
-    /// Whether no page has been appended yet.
+    /// Whether no batch has been appended yet.
     pub fn is_empty(&self) -> bool {
         self.len() == 0
     }
@@ -98,28 +113,28 @@ impl SharedPagesList {
 
 /// A consumer cursor over a [`SharedPagesList`].
 pub struct SplReader {
-    spl: Arc<SharedPagesList>,
+    spl: std::sync::Arc<SharedPagesList>,
     cursor: usize,
 }
 
 impl SplReader {
-    /// Pages this reader has consumed so far.
+    /// Batches this reader has consumed so far.
     pub fn position(&self) -> usize {
         self.cursor
     }
 }
 
-impl PageSource for SplReader {
-    fn next_page(&mut self) -> Result<Option<Arc<Page>>, EngineError> {
+impl BatchSource for SplReader {
+    fn next_batch(&mut self) -> Result<Option<EngineBatch>, EngineError> {
         let mut st = self.spl.state.lock();
         loop {
             if let Some(msg) = &st.aborted {
                 return Err(EngineError::Aborted(msg.clone()));
             }
-            if self.cursor < st.pages.len() {
-                let p = st.pages[self.cursor].clone();
+            if self.cursor < st.batches.len() {
+                let b = st.batches[self.cursor].clone();
                 self.cursor += 1;
-                return Ok(Some(p));
+                return Ok(Some(b));
             }
             if st.finished {
                 return Ok(None);
@@ -132,18 +147,24 @@ impl PageSource for SplReader {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use qs_storage::{DataType, Schema, Value};
+    use qs_storage::{DataType, FactBatch, Page, Schema, Value};
+    use std::sync::Arc;
     use std::time::Duration;
 
-    fn page(k: i64) -> Arc<Page> {
+    fn batch(k: i64) -> EngineBatch {
         let s = Schema::from_pairs(&[("k", DataType::Int)]);
-        Arc::new(Page::from_values(&s, &[vec![Value::Int(k)]]).unwrap())
+        let page = Arc::new(Page::from_values(&s, &[vec![Value::Int(k)]]).unwrap());
+        Arc::new(FactBatch::all(page))
+    }
+
+    fn key(b: &EngineBatch) -> i64 {
+        b.page().row(b.sel()[0] as usize).i64_col(0)
     }
 
     fn drain(mut r: SplReader) -> Vec<i64> {
         let mut out = Vec::new();
-        while let Some(p) = r.next_page().unwrap() {
-            out.push(p.row(0).i64_col(0));
+        while let Some(b) = r.next_batch().unwrap() {
+            out.push(key(&b));
         }
         out
     }
@@ -153,28 +174,30 @@ mod tests {
         let spl = SharedPagesList::new();
         let r1 = spl.reader();
         let r2 = spl.reader();
-        let p1 = page(1);
-        let p2 = page(2);
-        spl.append(p1.clone()).unwrap();
-        spl.append(p2.clone()).unwrap();
+        let b1 = batch(1);
+        let b2 = batch(2);
+        spl.append(b1.clone()).unwrap();
+        spl.append(b2.clone()).unwrap();
         spl.finish();
         let a = drain(r1);
         let b = drain(r2);
         assert_eq!(a, vec![1, 2]);
         assert_eq!(a, b);
-        // Zero copies: 1 in each list slot + our p1 handle = same allocation
+        // Zero copies: every reader sees the same batch allocation (and
+        // therefore the same underlying page).
         let mut r3 = spl.reader();
-        let got = r3.next_page().unwrap().unwrap();
-        assert!(Arc::ptr_eq(&got, &p1));
+        let got = r3.next_batch().unwrap().unwrap();
+        assert!(Arc::ptr_eq(&got, &b1));
+        assert!(Arc::ptr_eq(got.page(), b1.page()));
     }
 
     #[test]
     fn late_attach_sees_full_history() {
         let spl = SharedPagesList::new();
-        spl.append(page(1)).unwrap();
-        spl.append(page(2)).unwrap();
-        let late = spl.reader(); // attaches after 2 pages produced
-        spl.append(page(3)).unwrap();
+        spl.append(batch(1)).unwrap();
+        spl.append(batch(2)).unwrap();
+        let late = spl.reader(); // attaches after 2 batches produced
+        spl.append(batch(3)).unwrap();
         spl.finish();
         assert_eq!(drain(late), vec![1, 2, 3]);
     }
@@ -184,17 +207,17 @@ mod tests {
         let spl = SharedPagesList::new();
         let mut fast = spl.reader();
         let mut slow = spl.reader();
-        spl.append(page(1)).unwrap();
-        spl.append(page(2)).unwrap();
-        assert_eq!(fast.next_page().unwrap().unwrap().row(0).i64_col(0), 1);
-        assert_eq!(fast.next_page().unwrap().unwrap().row(0).i64_col(0), 2);
+        spl.append(batch(1)).unwrap();
+        spl.append(batch(2)).unwrap();
+        assert_eq!(key(&fast.next_batch().unwrap().unwrap()), 1);
+        assert_eq!(key(&fast.next_batch().unwrap().unwrap()), 2);
         assert_eq!(fast.position(), 2);
         assert_eq!(slow.position(), 0);
-        assert_eq!(slow.next_page().unwrap().unwrap().row(0).i64_col(0), 1);
+        assert_eq!(key(&slow.next_batch().unwrap().unwrap()), 1);
         spl.finish();
-        assert!(fast.next_page().unwrap().is_none());
-        assert_eq!(slow.next_page().unwrap().unwrap().row(0).i64_col(0), 2);
-        assert!(slow.next_page().unwrap().is_none());
+        assert!(fast.next_batch().unwrap().is_none());
+        assert_eq!(key(&slow.next_batch().unwrap().unwrap()), 2);
+        assert!(slow.next_batch().unwrap().is_none());
     }
 
     #[test]
@@ -202,9 +225,10 @@ mod tests {
         let spl = SharedPagesList::new();
         let mut r = spl.reader();
         let spl2 = spl.clone();
-        let h = std::thread::spawn(move || r.next_page().unwrap().unwrap().row(0).i64_col(0));
+        let h =
+            std::thread::spawn(move || key(&r.next_batch().unwrap().unwrap()));
         std::thread::sleep(Duration::from_millis(10));
-        spl2.append(page(9)).unwrap();
+        spl2.append(batch(9)).unwrap();
         assert_eq!(h.join().unwrap(), 9);
     }
 
@@ -213,11 +237,14 @@ mod tests {
         let spl = SharedPagesList::new();
         let mut r1 = spl.reader();
         let mut r2 = spl.reader();
-        spl.append(page(1)).unwrap();
+        spl.append(batch(1)).unwrap();
         spl.abort("boom");
-        assert!(matches!(r1.next_page(), Err(EngineError::Aborted(_))));
-        assert!(matches!(r2.next_page(), Err(EngineError::Aborted(_))));
-        assert!(matches!(spl.append(page(2)), Err(EngineError::Aborted(_))));
+        assert!(matches!(r1.next_batch(), Err(EngineError::Aborted(_))));
+        assert!(matches!(r2.next_batch(), Err(EngineError::Aborted(_))));
+        assert!(matches!(
+            spl.append(batch(2)),
+            Err(EngineError::Aborted(_))
+        ));
     }
 
     #[test]
@@ -228,7 +255,7 @@ mod tests {
             let spl = spl.clone();
             std::thread::spawn(move || {
                 for i in 0..100 {
-                    spl.append(page(i)).unwrap();
+                    spl.append(batch(i)).unwrap();
                 }
                 spl.finish();
             })

@@ -12,7 +12,7 @@
 //! is still open, the new packet is never executed — it subscribes to the
 //! existing output instead (Simultaneous Pipelining).
 
-use crate::fifo::PageSource;
+use crate::fifo::BatchSource;
 use crate::hub::OutputHub;
 use crate::metrics::StageKind;
 use crate::ops::{execute, ExecCtx, PhysicalOp};
@@ -30,7 +30,7 @@ pub struct Packet {
     /// Operator to run.
     pub op: PhysicalOp,
     /// Input streams (join: `[build, probe]`).
-    pub inputs: Vec<Box<dyn PageSource>>,
+    pub inputs: Vec<Box<dyn BatchSource>>,
     /// Output fan-out point.
     pub hub: Arc<OutputHub>,
 }
@@ -47,7 +47,7 @@ impl SpRegistry {
     /// `cap` is the new consumer's FIFO capacity (push mode): bounded for
     /// operator inputs, [`crate::hub::UNBOUNDED_CAPACITY`] for root
     /// tickets — see [`OutputHub::subscribe_with_capacity`].
-    pub fn try_subscribe(&self, sig: u64, cap: usize) -> Option<Box<dyn PageSource>> {
+    pub fn try_subscribe(&self, sig: u64, cap: usize) -> Option<Box<dyn BatchSource>> {
         let mut map = self.inner.lock();
         if let Some(weak) = map.get(&sig) {
             if let Some(hub) = weak.upgrade() {
@@ -240,7 +240,7 @@ mod tests {
         )
     }
 
-    fn scan_packet(ctx: &Arc<ExecCtx>, catalog: &Catalog) -> (Packet, Box<dyn PageSource>) {
+    fn scan_packet(ctx: &Arc<ExecCtx>, catalog: &Catalog) -> (Packet, Box<dyn BatchSource>) {
         let table = catalog.get("t").unwrap();
         let out_schema = table.schema().clone();
         let (hub, reader) = OutputHub::new(
@@ -273,8 +273,8 @@ mod tests {
         let (pkt, mut reader) = scan_packet(&ctx, &catalog);
         stage.dispatch(pkt);
         let mut rows = 0;
-        while let Some(p) = reader.next_page().unwrap() {
-            rows += p.rows();
+        while let Some(b) = reader.next_batch().unwrap() {
+            rows += b.len();
         }
         assert_eq!(rows, 100);
     }
@@ -293,8 +293,8 @@ mod tests {
         // (the FIFO capacity of 8 pages < 25 pages forces real pipelining).
         for mut r in readers {
             let mut rows = 0;
-            while let Some(p) = r.next_page().unwrap() {
-                rows += p.rows();
+            while let Some(b) = r.next_batch().unwrap() {
+                rows += b.len();
             }
             assert_eq!(rows, 100);
         }
@@ -334,7 +334,7 @@ mod tests {
         );
         reg.register(42, &hub);
         let s = Schema::from_pairs(&[("k", DataType::Int)]);
-        hub.push(Arc::new(
+        hub.push_page(Arc::new(
             qs_storage::Page::from_values(&s, &[vec![Value::Int(1)]]).unwrap(),
         ))
         .unwrap();

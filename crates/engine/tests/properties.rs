@@ -5,18 +5,21 @@
 use proptest::prelude::*;
 use qs_engine::reference::{assert_rows_match, eval};
 use qs_engine::{
-    EngineConfig, PageSource, QpipeEngine, ShareMode, SharedPagesList, SharingPolicy,
+    BatchSource, EngineBatch, EngineConfig, QpipeEngine, ShareMode, SharedPagesList,
+    SharingPolicy,
 };
 use qs_plan::{AggFunc, AggSpec, CmpOp, Expr, LogicalPlan};
 use qs_storage::{
-    BufferPool, BufferPoolConfig, Catalog, DataType, DiskConfig, DiskModel, Page, Schema,
-    TableBuilder, Value,
+    BufferPool, BufferPoolConfig, Catalog, DataType, DiskConfig, DiskModel, FactBatch, Page,
+    Schema, TableBuilder, Value,
 };
 use std::sync::Arc;
 
-fn page(k: i64) -> Arc<Page> {
+fn batch(k: i64) -> EngineBatch {
     let s = Schema::from_pairs(&[("k", DataType::Int)]);
-    Arc::new(Page::from_values(&s, &[vec![Value::Int(k)]]).unwrap())
+    let page: Arc<Page> =
+        Arc::new(Page::from_values(&s, &[vec![Value::Int(k)]]).unwrap());
+    Arc::new(FactBatch::all(page))
 }
 
 proptest! {
@@ -37,7 +40,7 @@ proptest! {
             let spl = spl.clone();
             std::thread::spawn(move || {
                 for i in 0..n_pages {
-                    spl.append(page(i as i64)).unwrap();
+                    spl.append(batch(i as i64)).unwrap();
                 }
                 spl.finish();
             })
@@ -49,8 +52,8 @@ proptest! {
                 let spin = delays[r % delays.len()];
                 std::thread::spawn(move || {
                     let mut got = Vec::new();
-                    while let Some(p) = reader.next_page().unwrap() {
-                        got.push(p.row(0).i64_col(0));
+                    while let Some(b) = reader.next_batch().unwrap() {
+                        got.push(b.page().row(0).i64_col(0));
                         for _ in 0..spin {
                             std::hint::spin_loop();
                         }
@@ -217,7 +220,7 @@ proptest! {
     }
 }
 
-/// One non-proptest regression: a PageSource chain across push and pull
+/// One non-proptest regression: a BatchSource chain across push and pull
 /// hubs must interoperate (pull producer feeding push consumer).
 #[test]
 fn mixed_mode_plan_works() {

@@ -111,6 +111,27 @@ impl PredScratch {
 // consumer of `eval_batch` needs them alongside `CompiledPred`.
 pub use qs_storage::bitmap::{iter_ones, mask_words};
 
+/// Mask → selection handoff: fill `out` with the page row indices whose
+/// mask bit is set, translated through `base` — the selection of the
+/// batch the mask was evaluated over. Bit `i` of `mask` refers to batch
+/// tuple `i`, i.e. page row `base[i]`, so the result composes a filter's
+/// mask with its input batch's selection in one pass. `out` is cleared
+/// first and stays ascending when `base` is.
+#[inline]
+pub fn refine_selection(mask: &[u64], base: &[u32], out: &mut Vec<u32>) {
+    out.clear();
+    out.extend(iter_ones(mask).map(|i| base[i]));
+}
+
+/// Mask → selection handoff over an identity base: fill `out` with the
+/// indices of set mask bits — the selection vector of a predicate
+/// evaluated over a whole page.
+#[inline]
+pub fn selection_from_mask(mask: &[u64], out: &mut Vec<u32>) {
+    out.clear();
+    out.extend(iter_ones(mask).map(|i| i as u32));
+}
+
 /// Fill a selection mask from a typed column slice: bit `i` of `out` is
 /// `pred(data[i])`.
 ///

@@ -283,29 +283,36 @@ impl<'a> ColumnBatch<'a> {
     }
 }
 
-/// The unit of post-predicate dataflow: the surviving tuples of one fact
-/// page, as (selection vector, per-tuple query bitmaps) over the shared
-/// page.
+/// The unit of post-predicate dataflow: the surviving tuples of one
+/// page, as (selection vector, optional per-tuple query bitmaps) over the
+/// shared page — the packet type of both the CJOIN pipeline and the QPipe
+/// engine's inter-operator channels.
 ///
 /// Downstream operators never walk rows tuple-at-a-time again; they ask
 /// the batch for what they need, once per batch:
 ///
-/// * a shared hash-join gathers the join-key column into a typed slice
+/// * a hash-join gathers the join-key column into a typed slice
 ///   ([`Self::gather_i64_into`]) and probes in a tight loop,
 /// * the distributor materializes every surviving tuple's encoded row
 ///   bytes in one pass ([`Self::materialize_rows`]) before fanning out to
 ///   queries,
-/// * a shared aggregation decodes the columns its kernels fold
-///   ([`Self::columns`]).
+/// * an aggregation decodes the columns its kernels fold
+///   ([`Self::columns`]),
+/// * operators that truly need a tuple's encoded bytes (sort buffers,
+///   join build sides, final output) slice them straight out of the page
+///   arena ([`Self::tuple_bytes`]) without building intermediate pages.
 ///
 /// The page travels by `Arc`, so a `FactBatch` is `Send` and crosses
-/// pipeline channels; decoded views borrow the batch locally.
+/// pipeline channels; decoded views borrow the batch locally. The CJOIN
+/// side annotates tuples with query bitmaps; engine batches leave
+/// `bitmaps` empty (no per-tuple sharing metadata).
 #[derive(Debug)]
 pub struct FactBatch {
     page: Arc<Page>,
-    /// Page row indices of surviving tuples, ascending.
+    /// Page row indices of surviving tuples, strictly ascending.
     sel: Vec<u32>,
-    /// Per-tuple query bitmaps, parallel to `sel`.
+    /// Per-tuple query bitmaps, parallel to `sel` — or empty when the
+    /// batch carries no per-tuple annotations (QPipe engine packets).
     bitmaps: Vec<Bitmap>,
     /// Encoded row bytes of the selected tuples, gathered back-to-back at
     /// `row_size` stride. Empty until [`Self::materialize_rows`].
@@ -314,14 +321,63 @@ pub struct FactBatch {
 
 impl FactBatch {
     /// Wrap the surviving tuples of `page`. `bitmaps[i]` annotates page
-    /// row `sel[i]`.
+    /// row `sel[i]`; an empty `bitmaps` means "no per-tuple annotations".
     pub fn new(page: Arc<Page>, sel: Vec<u32>, bitmaps: Vec<Bitmap>) -> FactBatch {
-        debug_assert_eq!(sel.len(), bitmaps.len());
+        debug_assert!(bitmaps.is_empty() || sel.len() == bitmaps.len());
         FactBatch {
             page,
             sel,
             bitmaps,
             rows: Vec::new(),
+        }
+    }
+
+    /// Wrap every row of `page` (identity selection, no bitmaps) — the
+    /// constructor for scan passthrough and for dense operator output
+    /// pages entering the batch dataflow.
+    pub fn all(page: Arc<Page>) -> FactBatch {
+        let n = page.rows() as u32;
+        FactBatch {
+            page,
+            sel: (0..n).collect(),
+            bitmaps: Vec::new(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Whether the selection covers every page row (identity selection —
+    /// `sel` is strictly ascending, so full length implies identity).
+    /// Consumers use this to take dense fast paths, e.g. decoding columns
+    /// by stride instead of gathering.
+    #[inline]
+    pub fn is_full(&self) -> bool {
+        self.sel.len() == self.page.rows()
+    }
+
+    /// A new batch over the same page keeping only the first `n` tuples
+    /// (selection slicing — how `Limit` trims a batch without copying any
+    /// row bytes).
+    pub fn prefix(&self, n: usize) -> FactBatch {
+        FactBatch {
+            page: self.page.clone(),
+            sel: self.sel[..n].to_vec(),
+            bitmaps: if self.bitmaps.is_empty() {
+                Vec::new()
+            } else {
+                self.bitmaps[..n].to_vec()
+            },
+            rows: Vec::new(),
+        }
+    }
+
+    /// Deep copy: the underlying page bytes are duplicated (push-mode SP
+    /// charges the producer one real page copy per extra consumer).
+    pub fn deep_copy(&self) -> FactBatch {
+        FactBatch {
+            page: Arc::new(self.page.deep_copy()),
+            sel: self.sel.clone(),
+            bitmaps: self.bitmaps.clone(),
+            rows: self.rows.clone(),
         }
     }
 
@@ -404,6 +460,18 @@ impl FactBatch {
     #[inline]
     pub fn is_materialized(&self) -> bool {
         !self.rows.is_empty()
+    }
+
+    /// Encoded row bytes of tuple `t` (batch index, not page row), sliced
+    /// straight out of the shared page arena — no materialization. The
+    /// per-tuple form for true materialization points (sort buffers, join
+    /// builds, final output); fan-out loops that touch each tuple many
+    /// times should [`Self::materialize_rows`] once instead.
+    #[inline]
+    pub fn tuple_bytes(&self, t: usize) -> &[u8] {
+        let rs = self.page.schema().row_size();
+        let p = self.sel[t] as usize * rs;
+        &self.page.raw()[p..p + rs]
     }
 
     /// Encoded row bytes of tuple `t` (batch index, not page row).

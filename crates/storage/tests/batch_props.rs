@@ -1,0 +1,224 @@
+//! Property tests for [`FactBatch`] selection invariants: every view the
+//! batch hands out — gathered key slices (`gather_i64_into`), typed
+//! column views (`columns`), materialized row bytes (`materialize_rows` /
+//! `row_bytes`), in-place tuple bytes (`tuple_bytes`) — must agree with a
+//! naive per-row oracle that decodes `page.row(sel[t])` directly, under
+//! arbitrary selections including the empty and the full one, and must
+//! keep agreeing across `retain` compactions and `prefix` slices.
+
+use proptest::prelude::*;
+use qs_storage::{
+    Bitmap, ColumnData, DataType, FactBatch, Page, PageBuilder, Schema, Value,
+};
+use std::sync::Arc;
+
+fn schema() -> Arc<Schema> {
+    Schema::from_pairs(&[
+        ("k", DataType::Int),
+        ("f", DataType::Float),
+        ("d", DataType::Date),
+        ("s", DataType::Char(5)),
+    ])
+}
+
+fn build_page(rows: &[(i64, f64, u32, String)]) -> Arc<Page> {
+    let s = schema();
+    let mut b = PageBuilder::with_bytes(s.clone(), rows.len().max(1) * s.row_size() + 64);
+    for (k, f, d, st) in rows {
+        let ok = b
+            .push_values(&[
+                Value::Int(*k),
+                Value::Float(*f),
+                Value::Date(*d),
+                Value::Str(st.clone()),
+            ])
+            .unwrap();
+        assert!(ok);
+    }
+    Arc::new(b.finish())
+}
+
+fn arb_rows() -> impl Strategy<Value = Vec<(i64, f64, u32, String)>> {
+    prop::collection::vec(
+        (
+            any::<i64>(),
+            (-5000i32..5000).prop_map(|x| x as f64 / 16.0),
+            19920101u32..19990101,
+            "[a-z]{0,5}",
+        ),
+        1..120,
+    )
+}
+
+fn batch_with(page: &Arc<Page>, sel: &[u32]) -> FactBatch {
+    let bitmaps = sel
+        .iter()
+        .map(|&r| {
+            let mut bm = Bitmap::zeros(16);
+            bm.set(r as usize % 16);
+            bm
+        })
+        .collect();
+    FactBatch::new(page.clone(), sel.to_vec(), bitmaps)
+}
+
+/// The oracle: decode tuple `t`'s column `c` through the page row view.
+fn oracle_value(page: &Page, sel: &[u32], t: usize, c: usize) -> Value {
+    page.row(sel[t] as usize).value(c)
+}
+
+fn check_views(page: &Arc<Page>, sel: &[u32]) {
+    let mut fb = batch_with(page, sel);
+    assert_eq!(fb.len(), sel.len());
+    assert_eq!(fb.is_empty(), sel.is_empty());
+    assert_eq!(fb.is_full(), sel.len() == page.rows());
+
+    // gather_i64_into over the Int column vs per-row oracle (scratch
+    // pre-dirtied to catch missing clears).
+    let mut keys = vec![77i64; 3];
+    fb.gather_i64_into(0, &mut keys);
+    assert_eq!(keys.len(), sel.len());
+    for (t, &k) in keys.iter().enumerate() {
+        assert_eq!(Value::Int(k), oracle_value(page, sel, t, 0));
+    }
+
+    // columns() typed views vs per-row oracle, every column type.
+    let view = fb.columns(&[0, 1, 2, 3]);
+    assert_eq!(view.rows(), sel.len());
+    for t in 0..sel.len() {
+        match view.col(0) {
+            ColumnData::I64(v) => assert_eq!(Value::Int(v[t]), oracle_value(page, sel, t, 0)),
+            other => panic!("col 0: {other:?}"),
+        }
+        match view.col(1) {
+            ColumnData::F64(v) => {
+                assert_eq!(Value::Float(v[t]), oracle_value(page, sel, t, 1))
+            }
+            other => panic!("col 1: {other:?}"),
+        }
+        match view.col(2) {
+            ColumnData::Date(v) => {
+                assert_eq!(Value::Date(v[t]), oracle_value(page, sel, t, 2))
+            }
+            other => panic!("col 2: {other:?}"),
+        }
+        match view.col(3) {
+            ColumnData::Str(v) => {
+                assert_eq!(Value::Str(v[t].to_string()), oracle_value(page, sel, t, 3))
+            }
+            other => panic!("col 3: {other:?}"),
+        }
+    }
+
+    // tuple_bytes (in-place) and row_bytes (materialized) both equal the
+    // page row's encoded bytes.
+    for (t, &r) in sel.iter().enumerate() {
+        assert_eq!(fb.tuple_bytes(t), page.row(r as usize).bytes());
+    }
+    fb.materialize_rows();
+    assert_eq!(fb.is_materialized(), !sel.is_empty());
+    for (t, &r) in sel.iter().enumerate() {
+        assert_eq!(fb.row_bytes(t), page.row(r as usize).bytes());
+        assert_eq!(fb.row_bytes(t), fb.tuple_bytes(t));
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Every batch view agrees with the per-row oracle on an arbitrary
+    /// ascending selection.
+    #[test]
+    fn views_match_row_oracle(rows in arb_rows(), selbits in prop::collection::vec(any::<bool>(), 120)) {
+        let page = build_page(&rows);
+        let sel: Vec<u32> = (0..rows.len())
+            .filter(|&i| selbits[i])
+            .map(|i| i as u32)
+            .collect();
+        check_views(&page, &sel);
+    }
+
+    /// The two extremes: the empty selection yields empty views and no
+    /// materialization; the full selection is the identity.
+    #[test]
+    fn empty_and_full_selections(rows in arb_rows()) {
+        let page = build_page(&rows);
+        check_views(&page, &[]);
+        let full: Vec<u32> = (0..rows.len() as u32).collect();
+        check_views(&page, &full);
+        assert!(FactBatch::new(page.clone(), full, Vec::new()).is_full());
+        assert!(FactBatch::all(page.clone()).is_full());
+        assert_eq!(FactBatch::all(page.clone()).len(), rows.len());
+    }
+
+    /// `retain` compacts selection, bitmaps and materialized rows
+    /// consistently: the survivors' views still match the oracle.
+    #[test]
+    fn retain_preserves_survivor_views(
+        rows in arb_rows(),
+        selbits in prop::collection::vec(any::<bool>(), 120),
+        keepbits in prop::collection::vec(any::<bool>(), 120),
+        materialize_first in any::<bool>(),
+    ) {
+        let page = build_page(&rows);
+        let sel: Vec<u32> = (0..rows.len())
+            .filter(|&i| selbits[i])
+            .map(|i| i as u32)
+            .collect();
+        let mut fb = batch_with(&page, &sel);
+        if materialize_first {
+            fb.materialize_rows();
+        }
+        let keep: Vec<bool> = (0..sel.len()).map(|t| keepbits[t]).collect();
+        let survivors = fb.retain(&keep);
+        let expect: Vec<u32> = sel
+            .iter()
+            .zip(&keep)
+            .filter(|(_, &k)| k)
+            .map(|(&r, _)| r)
+            .collect();
+        prop_assert_eq!(survivors, expect.len());
+        prop_assert_eq!(fb.sel(), &expect[..]);
+        prop_assert_eq!(fb.bitmaps().len(), expect.len());
+        for (t, &r) in expect.iter().enumerate() {
+            prop_assert_eq!(fb.tuple_bytes(t), page.row(r as usize).bytes());
+            if materialize_first && !expect.is_empty() {
+                prop_assert_eq!(fb.row_bytes(t), page.row(r as usize).bytes());
+            }
+            // the bitmap that annotated page row r traveled with it
+            prop_assert!(fb.bitmaps()[t].get(r as usize % 16));
+        }
+        // independent fresh views over the compacted batch still agree
+        check_views(&page, &expect);
+    }
+
+    /// `prefix` is selection slicing: the first n tuples, same page, no
+    /// bytes moved.
+    #[test]
+    fn prefix_is_selection_slicing(
+        rows in arb_rows(),
+        selbits in prop::collection::vec(any::<bool>(), 120),
+        cut in 0usize..1000,
+    ) {
+        let page = build_page(&rows);
+        let sel: Vec<u32> = (0..rows.len())
+            .filter(|&i| selbits[i])
+            .map(|i| i as u32)
+            .collect();
+        let fb = batch_with(&page, &sel);
+        let n = cut % (sel.len() + 1);
+        let p = fb.prefix(n);
+        prop_assert_eq!(p.len(), n);
+        prop_assert_eq!(p.sel(), &sel[..n]);
+        prop_assert_eq!(p.bitmaps().len(), n);
+        prop_assert!(Arc::ptr_eq(p.page(), fb.page()));
+        for t in 0..n {
+            prop_assert_eq!(p.tuple_bytes(t), fb.tuple_bytes(t));
+        }
+        // prefix of a bitmap-free batch stays bitmap-free
+        let bare = FactBatch::new(page.clone(), sel.clone(), Vec::new());
+        let bp = bare.prefix(n);
+        prop_assert!(bp.bitmaps().is_empty());
+        prop_assert_eq!(bp.len(), n);
+    }
+}

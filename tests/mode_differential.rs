@@ -1,0 +1,293 @@
+//! Differential five-mode fuzzer: a seeded random plan generator
+//! (filters × joins × group-bys over the SSB star schema) asserting that
+//! every execution mode — QueryCentric, SP-push, SP-pull, GQP, GQP+SP —
+//! produces identical (sorted) results, pinned to the serial reference
+//! evaluator. This is the acceptance harness for the batch-currency
+//! engine dataflow: any operator that mishandles a selection vector
+//! diverges from the oracle on some seed.
+//!
+//! Budget: `MODE_DIFF_CASES` seeds (default 50), base seed
+//! `MODE_DIFF_SEED` (default below) — both env-overridable, and every
+//! failure message names the seed that produced the plan.
+
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+use sharing_repro::engine::reference;
+use sharing_repro::prelude::*;
+use std::sync::Arc;
+
+/// `(dimension table, fact FK column name)` pairs of the SSB star.
+const DIMS: [(&str, &str); 4] = [
+    ("date", "lo_orderdate"),
+    ("customer", "lo_custkey"),
+    ("supplier", "lo_suppkey"),
+    ("part", "lo_partkey"),
+];
+
+fn env_u64(name: &str, default: u64) -> u64 {
+    match std::env::var(name) {
+        Ok(v) => v
+            .parse()
+            .unwrap_or_else(|_| panic!("{name} must be a u64, got `{v}`")),
+        Err(_) => default,
+    }
+}
+
+/// Decoded rows of every table, sampled for predicate literals so random
+/// predicates always sit inside the data's value domain (non-degenerate
+/// selectivities instead of constant-true/false).
+struct Samples {
+    catalog: Arc<Catalog>,
+    tables: Vec<(String, Vec<Vec<Value>>)>,
+}
+
+impl Samples {
+    fn new(catalog: Arc<Catalog>) -> Samples {
+        let mut tables = Vec::new();
+        for name in ["lineorder", "date", "customer", "supplier", "part"] {
+            let scan = LogicalPlan::Scan {
+                table: name.into(),
+                predicate: None,
+                projection: None,
+            };
+            let rows = reference::eval(&scan, &catalog).expect("table scan");
+            tables.push((name.to_string(), rows));
+        }
+        Samples { catalog, tables }
+    }
+
+    fn rows(&self, table: &str) -> &[Vec<Value>] {
+        &self.tables.iter().find(|(n, _)| n == table).expect("table").1
+    }
+
+    fn schema(&self, table: &str) -> Arc<Schema> {
+        self.catalog.get(table).expect("table").schema().clone()
+    }
+
+    /// A literal sampled from column `col` of `table`.
+    fn sample(&self, rng: &mut StdRng, table: &str, col: usize) -> Value {
+        let rows = self.rows(table);
+        rows[rng.random_range(0..rows.len())][col].clone()
+    }
+}
+
+/// One random comparison/range term over a sampled-literal domain.
+fn gen_term(rng: &mut StdRng, samples: &Samples, table: &str, schema: &Schema) -> Expr {
+    let col = rng.random_range(0..schema.len());
+    let a = samples.sample(rng, table, col);
+    match rng.random_range(0..4) {
+        0 => Expr::eq(col, a),
+        1 => Expr::lt(col, a),
+        2 => Expr::ge(col, a),
+        _ => {
+            let b = samples.sample(rng, table, col);
+            let (lo, hi) = if a.total_cmp(&b) != std::cmp::Ordering::Greater {
+                (a, b)
+            } else {
+                (b, a)
+            };
+            Expr::between(col, lo, hi)
+        }
+    }
+}
+
+/// A random predicate: 1–2 terms under AND, or none.
+fn gen_pred(
+    rng: &mut StdRng,
+    samples: &Samples,
+    table: &str,
+    p_some: f64,
+) -> Option<Expr> {
+    if !rng.random_bool(p_some) {
+        return None;
+    }
+    let schema = samples.schema(table);
+    let terms: Vec<Expr> = (0..rng.random_range(1..=2))
+        .map(|_| gen_term(rng, samples, table, &schema))
+        .collect();
+    Some(Expr::and(terms))
+}
+
+/// A random star-shaped plan: fact scan (+filter) ⋈ 0–3 dims (+filters),
+/// topped by a random aggregate / distinct-project / sort.
+fn gen_plan(rng: &mut StdRng, samples: &Samples) -> LogicalPlan {
+    let fact_schema = samples.schema("lineorder");
+
+    // Random distinct dimension subset, in random order.
+    let mut dims: Vec<usize> = (0..DIMS.len()).collect();
+    for i in (1..dims.len()).rev() {
+        let j = rng.random_range(0..=i);
+        dims.swap(i, j);
+    }
+    let n_dims = rng.random_range(0..=3usize);
+    dims.truncate(n_dims);
+
+    let mut plan = LogicalPlan::Scan {
+        table: "lineorder".into(),
+        predicate: gen_pred(rng, samples, "lineorder", 0.7),
+        projection: None,
+    };
+    // Joined-schema column inventory: (global index, dtype) as fact cols
+    // then each dim's cols in join order.
+    let mut joined: Vec<DataType> =
+        (0..fact_schema.len()).map(|c| fact_schema.dtype(c)).collect();
+    for &d in &dims {
+        let (table, fk) = DIMS[d];
+        let dim_schema = samples.schema(table);
+        plan = LogicalPlan::HashJoin {
+            build: Box::new(LogicalPlan::Scan {
+                table: table.into(),
+                predicate: gen_pred(rng, samples, table, 0.6),
+                projection: None,
+            }),
+            probe: Box::new(plan),
+            build_key: 0, // SSB dim keys are the first column
+            probe_key: fact_schema.index_of(fk).expect("fact FK"),
+        };
+        joined.extend((0..dim_schema.len()).map(|c| dim_schema.dtype(c)));
+    }
+
+    let int_cols: Vec<usize> = joined
+        .iter()
+        .enumerate()
+        .filter(|(_, dt)| **dt == DataType::Int)
+        .map(|(i, _)| i)
+        .collect();
+
+    match rng.random_range(0..10) {
+        // Aggregate: 0–2 group-by columns, 1–3 aggregates (the common
+        // case; the one that exercises the kernels).
+        0..=6 => {
+            let n_groups = rng.random_range(0..=2usize);
+            let mut group_by = Vec::new();
+            for _ in 0..n_groups {
+                let c = rng.random_range(0..joined.len());
+                if !group_by.contains(&c) {
+                    group_by.push(c);
+                }
+            }
+            let mut aggs = vec![AggSpec::new(AggFunc::Count, "n")];
+            for (i, _) in (0..rng.random_range(1..=2usize)).enumerate() {
+                let func = match rng.random_range(0..5) {
+                    0 => AggFunc::Sum(int_cols[rng.random_range(0..int_cols.len())]),
+                    1 => AggFunc::Avg(int_cols[rng.random_range(0..int_cols.len())]),
+                    2 => AggFunc::Min(rng.random_range(0..joined.len())),
+                    3 => AggFunc::Max(rng.random_range(0..joined.len())),
+                    _ => AggFunc::SumProd(
+                        int_cols[rng.random_range(0..int_cols.len())],
+                        int_cols[rng.random_range(0..int_cols.len())],
+                    ),
+                };
+                aggs.push(AggSpec::new(func, format!("a{i}")));
+            }
+            LogicalPlan::Aggregate {
+                input: Box::new(plan),
+                group_by,
+                aggs,
+            }
+        }
+        // Distinct over a narrow projection (duplicate elimination over
+        // a batch-projected stream).
+        7..=8 => {
+            let n_cols = rng.random_range(1..=3usize);
+            let mut columns = Vec::new();
+            for _ in 0..n_cols {
+                let c = rng.random_range(0..joined.len());
+                if !columns.contains(&c) {
+                    columns.push(c);
+                }
+            }
+            LogicalPlan::Distinct {
+                input: Box::new(LogicalPlan::Project {
+                    input: Box::new(plan),
+                    columns,
+                }),
+            }
+        }
+        // Full sort of the joined stream (order is canonicalized away by
+        // the comparison, but sort must not lose or duplicate tuples).
+        _ => LogicalPlan::Sort {
+            input: Box::new(plan),
+            keys: vec![(rng.random_range(0..joined.len()), rng.random_bool(0.5))],
+        },
+    }
+}
+
+#[test]
+fn five_modes_agree_on_seeded_random_plans() {
+    let cases = env_u64("MODE_DIFF_CASES", 50);
+    let base_seed = env_u64("MODE_DIFF_SEED", 0xD1FF_2026);
+    eprintln!(
+        "mode_differential: MODE_DIFF_CASES={cases} MODE_DIFF_SEED={base_seed}"
+    );
+
+    let catalog = Catalog::new();
+    generate_ssb(
+        &catalog,
+        &SsbConfig {
+            scale: 0.0005,
+            seed: base_seed ^ 0x55B,
+            page_bytes: 4 * 1024,
+        },
+    );
+    let samples = Samples::new(catalog.clone());
+
+    // One database per mode, built once and reused across every seed (the
+    // GQP pipelines stay warm, as they would in the demo).
+    let dbs: Vec<(ExecutionMode, SharingDb)> = ExecutionMode::all()
+        .into_iter()
+        .map(|mode| {
+            (
+                mode,
+                SharingDb::new(catalog.clone(), DbConfig::new(mode)).expect("db"),
+            )
+        })
+        .collect();
+
+    let mut stars = 0usize;
+    for case in 0..cases {
+        let seed = base_seed.wrapping_add(case);
+        let mut rng = StdRng::seed_from_u64(seed);
+        let plan = gen_plan(&mut rng, &samples);
+        if StarQuery::detect(&plan, &catalog).is_some() {
+            stars += 1;
+        }
+        let expected = reference::eval(&plan, &catalog)
+            .unwrap_or_else(|e| panic!("oracle failed (seed {seed}): {e}\n{plan:?}"));
+        for (mode, db) in &dbs {
+            let rows = db
+                .submit(&plan)
+                .and_then(|t| t.collect_rows())
+                .unwrap_or_else(|e| {
+                    panic!("{mode:?} failed (seed {seed}): {e}\n{plan:?}")
+                });
+            // assert_rows_match canonicalizes (sorts) both sides, so this
+            // is the "identical sorted results" check; it panics with the
+            // first differing cell. Wrap to name the seed.
+            let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                reference::assert_rows_match(rows, expected.clone(), 1e-9);
+            }));
+            if let Err(p) = result {
+                panic!(
+                    "{mode:?} diverged from the oracle (seed {seed}):\n{plan:?}\n{:?}",
+                    p.downcast_ref::<String>()
+                );
+            }
+        }
+    }
+
+    // The generator must actually exercise the GQP path: a healthy share
+    // of plans are CJOIN-admissible star queries.
+    assert!(
+        stars * 4 >= cases as usize,
+        "only {stars}/{cases} generated plans were star queries"
+    );
+    let (_, gqp_db) = dbs
+        .iter()
+        .find(|(m, _)| *m == ExecutionMode::Gqp)
+        .expect("GQP db");
+    assert!(
+        gqp_db.metrics().packets[StageKind::Cjoin as usize] > 0,
+        "no plan ever reached the CJOIN stage"
+    );
+}
