@@ -1,0 +1,43 @@
+//! Group-slot resolution: the tiered `GroupTable` (dense-int flat
+//! probe, packed-u128, byte-key fallback) vs the per-tuple byte-key
+//! `HashMap` registry it replaced — at 1/8/32 concurrent grouped
+//! queries over one shared fact scan.
+//!
+//! PR 5's acceptance bar: the dense-int tier ≥ 2× the byte-key
+//! baseline's qps at 32 concurrent queries. The scenario-style bin
+//! (`cargo run -p qs-bench --bin group_resolve`) measures the same
+//! passes windowed and feeds the `perfdiff` CI gate.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use qs_bench::group_resolve::{
+    make_pages, pass_bytekey, pass_grouptable, SHAPE_DENSE, SHAPE_PACKED, SHAPE_WIDE,
+};
+use std::hint::black_box;
+
+fn bench_resolution(c: &mut Criterion) {
+    let pages = make_pages(24, 256, 64, 42);
+    let total_rows: usize = pages.iter().map(|p| p.rows()).sum();
+    let mut group = c.benchmark_group("group_resolve");
+    group.throughput(Throughput::Elements(total_rows as u64));
+
+    for &q in &[1usize, 8, 32] {
+        for (name, shape) in
+            [("dense", SHAPE_DENSE), ("packed", SHAPE_PACKED), ("wide", SHAPE_WIDE)]
+        {
+            group.bench_with_input(
+                BenchmarkId::new(format!("grouptable-{name}"), q),
+                &q,
+                |b, _| b.iter(|| black_box(pass_grouptable(&pages, q, shape))),
+            );
+            group.bench_with_input(
+                BenchmarkId::new(format!("bytekey-{name}"), q),
+                &q,
+                |b, _| b.iter(|| black_box(pass_bytekey(&pages, q, shape))),
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_resolution);
+criterion_main!(benches);

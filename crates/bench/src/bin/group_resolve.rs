@@ -1,0 +1,115 @@
+//! Windowed throughput of group-slot resolution (PR 5's tentpole):
+//! the tiered `GroupTable` vs the per-tuple byte-key registry it
+//! replaced, swept over concurrent query counts and key shapes. Emits
+//! the `group_resolve` perf series consumed by the `perfdiff` CI gate.
+//!
+//! ```sh
+//! cargo run --release -p qs-bench --bin group_resolve -- --queries 1,8,32
+//! ```
+//!
+//! `--quick 1` runs the test-sized configuration; `--json PATH` merges
+//! the measured points into a machine-readable perf file.
+
+use qs_bench::group_resolve::{
+    make_pages, pass_bytekey, pass_grouptable, SHAPE_DENSE, SHAPE_PACKED, SHAPE_WIDE,
+};
+use qs_bench::perf::PerfPoint;
+use qs_bench::{arg, arg_list, json_path, perf, quick_mode};
+use std::hint::black_box;
+use std::time::{Duration, Instant};
+
+fn main() {
+    let (pages_n, rows_per_page, window, queries) = if quick_mode() {
+        (8usize, 128usize, Duration::from_millis(250), vec![1usize, 8, 32])
+    } else {
+        (
+            arg("pages", 24usize),
+            arg("rows-per-page", 256usize),
+            Duration::from_millis(arg("window-ms", 2000)),
+            arg_list("queries", &[1, 8, 32]),
+        )
+    };
+    let groups = arg("groups", 64usize);
+    let seed = arg("seed", 42u64);
+    eprintln!(
+        "group_resolve config: pages={pages_n} rows_per_page={rows_per_page} \
+         window={window:?} queries={queries:?} groups={groups} seed={seed}"
+    );
+
+    let pages = make_pages(pages_n, rows_per_page, groups, seed);
+    // (mode, shape, tiered?) — each tier against the byte-key registry
+    // over the *same* key shape, so every ratio compares equal work.
+    let sides: [(&str, &[usize], bool); 6] = [
+        ("dense", SHAPE_DENSE, true),
+        ("dense-bytekey", SHAPE_DENSE, false),
+        ("packed", SHAPE_PACKED, true),
+        ("packed-bytekey", SHAPE_PACKED, false),
+        ("wide", SHAPE_WIDE, true),
+        ("wide-bytekey", SHAPE_WIDE, false),
+    ];
+    let mut points: Vec<PerfPoint> = Vec::new();
+    println!("group_resolve: tiered GroupTable vs byte-key registry");
+    println!("{:>8} {:>16} {:>12} {:>12}", "queries", "mode", "qps", "passes");
+    for &q in &queries {
+        // All sides alternate pass-by-pass inside one shared window, so
+        // machine-level interference (shared CI runners) lands on every
+        // side roughly equally and the *ratios* stay meaningful even
+        // when absolute qps wobbles.
+        let mut spent = [Duration::ZERO; 6];
+        let mut passes = [0u64; 6];
+        let start = Instant::now();
+        while start.elapsed() < window {
+            for (i, &(_, shape, tiered)) in sides.iter().enumerate() {
+                let t = Instant::now();
+                if tiered {
+                    black_box(pass_grouptable(&pages, q, shape));
+                } else {
+                    black_box(pass_bytekey(&pages, q, shape));
+                }
+                spent[i] += t.elapsed();
+                passes[i] += 1;
+            }
+        }
+        for (i, &(mode, _, _)) in sides.iter().enumerate() {
+            // Each pass resolves every concurrent query once over the
+            // whole table; a "query" completion is one query × one pass.
+            let completed = passes[i] * q as u64;
+            let qps = completed as f64 / spent[i].as_secs_f64();
+            println!("{q:>8} {mode:>16} {qps:>12.1} {:>12}", passes[i]);
+            points.push(PerfPoint {
+                mode: mode.to_string(),
+                x: q as f64,
+                qps,
+                completed,
+                admission_evals: 0,
+                pages_shared: 0,
+                sp_hits: 0,
+            });
+        }
+    }
+    // The acceptance ratio at the highest sweep point, for the log.
+    if let Some(&qmax) = queries.iter().max() {
+        let at = |mode: &str| {
+            points
+                .iter()
+                .find(|p| p.mode == mode && p.x == qmax as f64)
+                .map(|p| p.qps)
+                .unwrap_or(0.0)
+        };
+        for (tiered, baseline) in
+            [("dense", "dense-bytekey"), ("packed", "packed-bytekey"), ("wide", "wide-bytekey")]
+        {
+            let (t, b) = (at(tiered), at(baseline));
+            if b > 0.0 {
+                eprintln!(
+                    "group_resolve: {tiered}/{baseline} at {qmax} queries = {:.2}x",
+                    t / b
+                );
+            }
+        }
+    }
+    if let Some(path) = json_path() {
+        perf::write_points(&path, "group_resolve", &points).expect("write perf points");
+        eprintln!("group_resolve points merged into {path}");
+    }
+}

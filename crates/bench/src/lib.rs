@@ -11,6 +11,7 @@
 //!   plain hash join, and scaled-down scenario sweeps.
 
 pub mod engine_batch;
+pub mod group_resolve;
 pub mod perf;
 
 use std::env;

@@ -9,19 +9,20 @@
 //!
 //! * [`bitmap`] — tuple/query correlation bitmaps (plain + atomic).
 //! * [`flat`] — the open-addressing dimension key table the shared joins
-//!   probe batch-at-a-time.
+//!   probe batch-at-a-time (re-exported from `qs_storage::flat`, its
+//!   shared home since group-slot resolution in `qs-engine` adopted it).
 //! * [`pipeline`] — the pipeline threads, online query admission, and the
 //!   per-query output streams.
 //! * [`stats`] — the GQP's book-keeping counters.
 
 pub mod bitmap;
-pub mod flat;
 pub mod pipeline;
 pub mod shared_agg;
 pub mod stats;
 
 pub use bitmap::{AtomicBitmap, Bitmap};
-pub use flat::FlatMap;
+pub use qs_storage::flat;
+pub use qs_storage::FlatMap;
 pub use pipeline::{CjoinCancel, CjoinError, CjoinPipeline, CjoinQuery, DimSpec, PipelineSpec};
 pub use shared_agg::{AggPlan, SharedAggregator};
 pub use stats::{CjoinMetrics, CjoinStats};

@@ -27,6 +27,7 @@
 //! row-at-a-time `update_acc` baseline.
 
 use crate::bitmap::Bitmap;
+use qs_engine::group::GroupTable;
 use qs_engine::kernels::{update_grouped, update_masked, AccVec, AggKernel};
 use qs_plan::AggSpec;
 use qs_storage::{mask_words, ColumnBatch, FactBatch, Page, Schema, Value};
@@ -65,22 +66,22 @@ struct QueryState {
 /// member query shares.
 struct GroupClass {
     group_by: Vec<usize>,
-    /// Precomputed `(byte offset, width)` spans of the group columns.
-    spans: Vec<(usize, usize)>,
     /// Queries in this class (indices into `queries`).
     members: Vec<usize>,
     /// OR of the member query slots: a tuple is relevant to the class iff
     /// its bitmap intersects this mask.
     member_mask: Bitmap,
-    /// Group key bytes → dense group slot, shared by all members.
-    lookup: HashMap<Vec<u8>, u32>,
-    /// Group slot → key bytes (for decoding results at finish).
-    keys: Vec<Vec<u8>>,
-    /// Per-batch scratch: relevant batch rows and their group slots.
+    /// Group key → dense group slot, shared by all members — the tiered
+    /// resolver (`qs_engine::group`): single-`Int` and ≤16-byte keys
+    /// probe flat open-addressing tables with zero per-tuple allocation,
+    /// arbitrary shapes fall back to the byte-key `HashMap`. Slots stay
+    /// first-touch ordered, so member result ordering is unchanged.
+    table: GroupTable,
+    /// Per-batch scratch: relevant batch rows, the matching page rows
+    /// (the resolver's input), and the resolved group slots.
     rel_rows: Vec<u32>,
+    rel_pagerows: Vec<u32>,
     rel_groups: Vec<u32>,
-    /// Current tuple's key bytes (reused across rows and batches).
-    key_buf: Vec<u8>,
 }
 
 /// Shared aggregation operator: single batch-at-a-time pass over
@@ -127,21 +128,14 @@ impl SharedAggregator {
         {
             Some(i) => i,
             None => {
-                let spans: Vec<(usize, usize)> = plan
-                    .group_by
-                    .iter()
-                    .map(|&c| (self.in_schema.offset(c), self.in_schema.dtype(c).width()))
-                    .collect();
                 self.classes.push(GroupClass {
+                    table: GroupTable::compile(&plan.group_by, &self.in_schema),
                     group_by: plan.group_by.clone(),
-                    spans,
                     members: Vec::new(),
                     member_mask: Bitmap::zeros(64),
-                    lookup: HashMap::new(),
-                    keys: Vec::new(),
                     rel_rows: Vec::new(),
+                    rel_pagerows: Vec::new(),
                     rel_groups: Vec::new(),
-                    key_buf: Vec::new(),
                 });
                 self.classes.len() - 1
             }
@@ -246,43 +240,31 @@ impl SharedAggregator {
         // Decode the union of kernel input columns once for the whole
         // batch (batch row i = page row sel[i]).
         let batch = ColumnBatch::gather(page, sel, &self.agg_cols);
-        let raw = page.raw();
-        let rs = self.in_schema.row_size();
         // Disjoint field borrows: classes hold the shared registries,
         // queries hold the accumulators.
         let classes = &mut self.classes;
         let queries = &mut self.queries;
         let mut updates = 0u64;
         for class in classes.iter_mut() {
-            // Key resolution, once per class per relevant tuple: batch
-            // row → dense group slot in the shared registry.
+            // Key resolution, once per class per relevant tuple: gather
+            // the page rows any member query touches, then resolve them
+            // batch-at-a-time to dense slots in the shared registry.
             class.rel_rows.clear();
-            class.rel_groups.clear();
+            class.rel_pagerows.clear();
             for (bi, bm) in bms.iter().enumerate() {
                 if !bm.intersects(&class.member_mask) {
                     continue;
                 }
-                let row = &raw[sel[bi] as usize * rs..(sel[bi] as usize + 1) * rs];
-                class.key_buf.clear();
-                for &(off, w) in &class.spans {
-                    class.key_buf.extend_from_slice(&row[off..off + w]);
-                }
-                let slot = match class.lookup.get(class.key_buf.as_slice()) {
-                    Some(&s) => s,
-                    None => {
-                        let s = class.keys.len() as u32;
-                        class.keys.push(class.key_buf.clone());
-                        class.lookup.insert(class.key_buf.clone(), s);
-                        s
-                    }
-                };
                 class.rel_rows.push(bi as u32);
-                class.rel_groups.push(slot);
+                class.rel_pagerows.push(sel[bi]);
             }
             if class.rel_rows.is_empty() {
                 continue;
             }
-            let ngroups = class.keys.len();
+            class
+                .table
+                .resolve_rows(page, &class.rel_pagerows, &mut class.rel_groups);
+            let ngroups = class.table.len();
             let scalar = class.group_by.is_empty();
             for &q in &class.members {
                 let state = &mut queries[q];
@@ -392,7 +374,7 @@ impl SharedAggregator {
         }
         let mut out = Vec::with_capacity(state.touched_order.len());
         for &g in &state.touched_order {
-            let key = &class.keys[g as usize];
+            let key = class.table.key_bytes(g as usize);
             let mut row: Vec<Value> =
                 Vec::with_capacity(class.group_by.len() + state.accs.len());
             // Decode the group key bytes back into values.

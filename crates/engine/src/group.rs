@@ -1,0 +1,511 @@
+//! Group-key → dense-slot resolution, compiled once per grouping spec —
+//! the shared registry behind the engine's `Aggregate` operator and the
+//! CJOIN `SharedAggregator`'s grouping classes.
+//!
+//! Hash aggregation's irreducible cost is one key probe per surviving
+//! tuple. What is *not* irreducible is paying a `Vec<u8>` allocation and
+//! a SipHash bucket walk for every probe, which is what the byte-key
+//! `HashMap<Vec<u8>, u32>` registries both consumers used until PR 5. A
+//! [`GroupTable`] compiles the group-by column set against the input
+//! schema once and picks the cheapest resolution tier the key shape
+//! admits:
+//!
+//! * [`GroupTier::DenseInt`] — a single `Int` group column. The key is
+//!   read in place from the row bytes and probed through a flat
+//!   open-addressing [`FlatMap<i64>`] (SplitMix64 + linear probing): no
+//!   key bytes are ever built per tuple.
+//! * [`GroupTier::Packed`] — any fixed-width column combination whose
+//!   concatenated key fits 16 bytes (e.g. two `Int`s, `Int`+`Date`,
+//!   short `Char`s). Key bytes are packed into one `u128` on the stack
+//!   and probed through a [`FlatMap<u128>`] — again zero allocation per
+//!   tuple.
+//! * [`GroupTier::ByteKey`] — the arbitrary-shape fallback: the familiar
+//!   `HashMap<Vec<u8>, u32>`, but extracting into one reused scratch
+//!   buffer; allocation happens only when a *new group* is interned.
+//!
+//! All three tiers assign slots in **first-touch order**, so every
+//! consumer's output row order is bit-identical to the pre-PR-5
+//! registries — pinned by the oracle proptests in
+//! `crates/engine/tests/group_props.rs` and the extended five-mode
+//! differential fuzzer.
+//!
+//! Resolution is batch-at-a-time ([`GroupTable::resolve_batch`] /
+//! [`GroupTable::resolve_rows`]) with caller-owned scratch, and
+//! [`GroupTable::radix_partition`] lays a batch out as hash-radix
+//! buckets — the partitioned-grouping layout the ROADMAP's parallel
+//! resolution follow-on will fan out across workers (each bucket's keys
+//! land in disjoint table regions), without this PR committing to the
+//! extra threads yet.
+
+use qs_storage::flat::{mix64, FlatKey, FlatMap};
+use qs_storage::row::read_i64_at;
+use qs_storage::{DataType, FactBatch, Page, Schema};
+use std::collections::HashMap;
+
+/// The resolution strategy a [`GroupTable`] compiled to — exposed so
+/// tests (and the differential fuzzer) can assert which tier a grouping
+/// shape exercises.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum GroupTier {
+    /// Single `Int` group column probed as a raw `i64`.
+    DenseInt,
+    /// Fixed-width multi-column key packed into a `u128` (≤ 16 bytes).
+    Packed,
+    /// Arbitrary key shape through the byte-key `HashMap` fallback.
+    ByteKey,
+}
+
+/// Widest concatenated key (bytes) the packed tier can hold.
+const PACK_BYTES: usize = 16;
+
+enum TierState {
+    DenseInt {
+        /// Byte offset of the group column within a row.
+        off: usize,
+        map: FlatMap<i64>,
+    },
+    Packed {
+        map: FlatMap<u128>,
+    },
+    ByteKey {
+        map: HashMap<Vec<u8>, u32>,
+        /// Per-tuple extraction scratch — the fallback's own fix for the
+        /// old per-tuple `Vec::with_capacity(key_size)`.
+        key_buf: Vec<u8>,
+    },
+}
+
+/// A group-by spec compiled against its input schema: key extraction
+/// spans plus the tier-specific probe table. Slots are dense `u32`s in
+/// first-touch order; [`Self::key_bytes`] recovers the encoded key of a
+/// slot for result emission.
+pub struct GroupTable {
+    /// `(byte offset, width)` of each group column within a row.
+    spans: Vec<(usize, usize)>,
+    key_size: usize,
+    state: TierState,
+    /// Slot → encoded key bytes, in first-touch order.
+    keys: Vec<Vec<u8>>,
+}
+
+impl GroupTable {
+    /// The tier [`Self::compile`] picks for `group_by` over `schema` —
+    /// pure classification, usable by tests and plan generators to know
+    /// which resolution path a grouping shape lands on.
+    pub fn tier_for(group_by: &[usize], schema: &Schema) -> GroupTier {
+        if group_by.len() == 1 && schema.dtype(group_by[0]) == DataType::Int {
+            return GroupTier::DenseInt;
+        }
+        let key_size: usize = group_by.iter().map(|&c| schema.dtype(c).width()).sum();
+        if key_size <= PACK_BYTES {
+            GroupTier::Packed
+        } else {
+            GroupTier::ByteKey
+        }
+    }
+
+    /// Compile `group_by` against `schema`. Every page later resolved
+    /// must carry exactly this schema.
+    pub fn compile(group_by: &[usize], schema: &Schema) -> GroupTable {
+        let spans: Vec<(usize, usize)> = group_by
+            .iter()
+            .map(|&c| (schema.offset(c), schema.dtype(c).width()))
+            .collect();
+        let key_size = spans.iter().map(|&(_, w)| w).sum();
+        let state = match Self::tier_for(group_by, schema) {
+            GroupTier::DenseInt => TierState::DenseInt {
+                off: spans[0].0,
+                map: FlatMap::with_capacity(64),
+            },
+            GroupTier::Packed => TierState::Packed {
+                map: FlatMap::with_capacity(64),
+            },
+            GroupTier::ByteKey => TierState::ByteKey {
+                map: HashMap::new(),
+                key_buf: Vec::with_capacity(key_size),
+            },
+        };
+        GroupTable {
+            spans,
+            key_size,
+            state,
+            keys: Vec::new(),
+        }
+    }
+
+    /// The tier this table resolves through.
+    pub fn tier(&self) -> GroupTier {
+        match self.state {
+            TierState::DenseInt { .. } => GroupTier::DenseInt,
+            TierState::Packed { .. } => GroupTier::Packed,
+            TierState::ByteKey { .. } => GroupTier::ByteKey,
+        }
+    }
+
+    /// Number of distinct groups interned so far.
+    pub fn len(&self) -> usize {
+        self.keys.len()
+    }
+
+    /// Whether no group has been interned yet.
+    pub fn is_empty(&self) -> bool {
+        self.keys.is_empty()
+    }
+
+    /// Concatenated key bytes (kept in first-touch order).
+    pub fn key_size(&self) -> usize {
+        self.key_size
+    }
+
+    /// Encoded key bytes of group `slot` — the raw column bytes in
+    /// group-by order, exactly what result emission copies into the
+    /// output row prefix.
+    #[inline]
+    pub fn key_bytes(&self, slot: usize) -> &[u8] {
+        &self.keys[slot]
+    }
+
+    /// Resolve every surviving tuple of `batch` to its dense group slot:
+    /// `out[i]` is the slot of batch tuple `i`. `out` is cleared first
+    /// and reused across batches; tiers [`GroupTier::DenseInt`] and
+    /// [`GroupTier::Packed`] allocate nothing per tuple, the fallback
+    /// allocates only when a new group is interned.
+    pub fn resolve_batch(&mut self, batch: &FactBatch, out: &mut Vec<u32>) {
+        self.resolve_rows(batch.page(), batch.sel(), out);
+    }
+
+    /// Resolve page rows `rows` (any order, any subset) to dense group
+    /// slots — the form the CJOIN shared-aggregation classes use, where
+    /// each class resolves only the tuples relevant to its member
+    /// queries.
+    pub fn resolve_rows(&mut self, page: &Page, rows: &[u32], out: &mut Vec<u32>) {
+        let data = page.raw();
+        let rs = page.schema().row_size();
+        out.clear();
+        out.reserve(rows.len());
+        let keys = &mut self.keys;
+        match &mut self.state {
+            TierState::DenseInt { off, map } => {
+                let off = *off;
+                for &r in rows {
+                    let k = read_i64_at(data, r as usize * rs + off);
+                    let slot = map.get_or_insert_with(k, || {
+                        keys.push(k.to_le_bytes().to_vec());
+                        (keys.len() - 1) as u32
+                    });
+                    out.push(slot);
+                }
+            }
+            TierState::Packed { map } => {
+                let spans = &self.spans;
+                let key_size = self.key_size;
+                for &r in rows {
+                    let row = &data[r as usize * rs..(r as usize + 1) * rs];
+                    let mut buf = [0u8; PACK_BYTES];
+                    let mut p = 0usize;
+                    for &(off, w) in spans {
+                        buf[p..p + w].copy_from_slice(&row[off..off + w]);
+                        p += w;
+                    }
+                    let k = u128::from_le_bytes(buf);
+                    let slot = map.get_or_insert_with(k, || {
+                        keys.push(buf[..key_size].to_vec());
+                        (keys.len() - 1) as u32
+                    });
+                    out.push(slot);
+                }
+            }
+            TierState::ByteKey { map, key_buf } => {
+                let spans = &self.spans;
+                for &r in rows {
+                    let row = &data[r as usize * rs..(r as usize + 1) * rs];
+                    key_buf.clear();
+                    for &(off, w) in spans {
+                        key_buf.extend_from_slice(&row[off..off + w]);
+                    }
+                    let slot = match map.get(key_buf.as_slice()) {
+                        Some(&s) => s,
+                        None => {
+                            let s = keys.len() as u32;
+                            let owned = key_buf.clone();
+                            keys.push(owned.clone());
+                            map.insert(owned, s);
+                            s
+                        }
+                    };
+                    out.push(slot);
+                }
+            }
+        }
+    }
+
+    /// Intern an already-encoded key (concatenated group-column bytes,
+    /// exactly [`Self::key_size`] long) and return its slot — the entry
+    /// point for the scalar-aggregate bootstrap (empty key over empty
+    /// input) and for oracles that replay recorded keys.
+    pub fn intern_key(&mut self, key: &[u8]) -> u32 {
+        debug_assert_eq!(key.len(), self.key_size);
+        let keys = &mut self.keys;
+        match &mut self.state {
+            TierState::DenseInt { map, .. } => {
+                let k = i64::from_le_bytes(key.try_into().expect("8-byte Int key"));
+                map.get_or_insert_with(k, || {
+                    keys.push(key.to_vec());
+                    (keys.len() - 1) as u32
+                })
+            }
+            TierState::Packed { map } => {
+                let mut buf = [0u8; PACK_BYTES];
+                buf[..key.len()].copy_from_slice(key);
+                map.get_or_insert_with(u128::from_le_bytes(buf), || {
+                    keys.push(key.to_vec());
+                    (keys.len() - 1) as u32
+                })
+            }
+            TierState::ByteKey { map, .. } => match map.get(key) {
+                Some(&s) => s,
+                None => {
+                    let s = keys.len() as u32;
+                    map.insert(key.to_vec(), s);
+                    keys.push(key.to_vec());
+                    s
+                }
+            },
+        }
+    }
+
+    /// Hash-radix layout of one batch: bucket the rows of `rows` by the
+    /// top [`RadixScratch::BITS`] bits of their key hash into
+    /// `scratch.buckets`. Rows with equal keys always land in the same
+    /// bucket, so each bucket could be resolved by an independent worker
+    /// against a private table — the parallel-resolution layout the
+    /// ROADMAP files as a follow-on. Resolution itself stays sequential
+    /// (and first-touch ordering untouched) until that lands.
+    pub fn radix_partition(&self, page: &Page, rows: &[u32], scratch: &mut RadixScratch) {
+        let data = page.raw();
+        let rs = page.schema().row_size();
+        scratch.hashes.clear();
+        scratch.hashes.reserve(rows.len());
+        match &self.state {
+            TierState::DenseInt { off, .. } => {
+                for &r in rows {
+                    scratch
+                        .hashes
+                        .push(read_i64_at(data, r as usize * rs + off).mix());
+                }
+            }
+            TierState::Packed { .. } => {
+                for &r in rows {
+                    let row = &data[r as usize * rs..(r as usize + 1) * rs];
+                    let mut buf = [0u8; PACK_BYTES];
+                    let mut p = 0usize;
+                    for &(off, w) in &self.spans {
+                        buf[p..p + w].copy_from_slice(&row[off..off + w]);
+                        p += w;
+                    }
+                    scratch.hashes.push(u128::from_le_bytes(buf).mix());
+                }
+            }
+            TierState::ByteKey { .. } => {
+                for &r in rows {
+                    let row = &data[r as usize * rs..(r as usize + 1) * rs];
+                    // FNV-1a over the key spans, SplitMix-finished so the
+                    // top radix bits avalanche like the flat tiers'.
+                    let mut h = 0xcbf2_9ce4_8422_2325u64;
+                    for &(off, w) in &self.spans {
+                        for &b in &row[off..off + w] {
+                            h = (h ^ b as u64).wrapping_mul(0x100_0000_01b3);
+                        }
+                    }
+                    scratch.hashes.push(mix64(h));
+                }
+            }
+        }
+        for b in &mut scratch.buckets {
+            b.clear();
+        }
+        for (i, &h) in scratch.hashes.iter().enumerate() {
+            let part = (h >> (64 - RadixScratch::BITS)) as usize;
+            scratch.buckets[part].push(rows[i]);
+        }
+    }
+}
+
+/// Reusable buckets for [`GroupTable::radix_partition`].
+pub struct RadixScratch {
+    /// Per-row key hashes of the last partitioned batch.
+    pub hashes: Vec<u64>,
+    /// Row buckets, `1 << BITS` of them.
+    pub buckets: Vec<Vec<u32>>,
+}
+
+impl RadixScratch {
+    /// Radix width: 16 buckets — enough fan-out for the core counts this
+    /// container family sees, small enough that per-batch bucket clears
+    /// stay free.
+    pub const BITS: usize = 4;
+
+    /// Empty scratch with all buckets allocated.
+    pub fn new() -> RadixScratch {
+        RadixScratch {
+            hashes: Vec::new(),
+            buckets: (0..1usize << Self::BITS).map(|_| Vec::new()).collect(),
+        }
+    }
+}
+
+impl Default for RadixScratch {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qs_storage::Value;
+    use std::sync::Arc;
+
+    fn schema() -> Arc<Schema> {
+        Schema::from_pairs(&[
+            ("i", DataType::Int),
+            ("d", DataType::Date),
+            ("c", DataType::Char(3)),
+            ("wide", DataType::Char(20)),
+            ("j", DataType::Int),
+        ])
+    }
+
+    fn page(rows: &[(i64, u32, &str, &str, i64)]) -> Page {
+        let vals: Vec<Vec<Value>> = rows
+            .iter()
+            .map(|&(i, d, c, w, j)| {
+                vec![
+                    Value::Int(i),
+                    Value::Date(d),
+                    Value::Str(c.into()),
+                    Value::Str(w.into()),
+                    Value::Int(j),
+                ]
+            })
+            .collect();
+        Page::from_values(&schema(), &vals).unwrap()
+    }
+
+    #[test]
+    fn tier_selection_by_shape() {
+        let s = schema();
+        assert_eq!(GroupTable::tier_for(&[0], &s), GroupTier::DenseInt);
+        assert_eq!(GroupTable::tier_for(&[4], &s), GroupTier::DenseInt);
+        assert_eq!(GroupTable::tier_for(&[1], &s), GroupTier::Packed); // single Date
+        assert_eq!(GroupTable::tier_for(&[0, 4], &s), GroupTier::Packed); // 16 B
+        assert_eq!(GroupTable::tier_for(&[1, 2], &s), GroupTier::Packed); // 7 B
+        assert_eq!(GroupTable::tier_for(&[], &s), GroupTier::Packed); // scalar
+        assert_eq!(GroupTable::tier_for(&[3], &s), GroupTier::ByteKey); // 20 B
+        assert_eq!(GroupTable::tier_for(&[0, 1, 4], &s), GroupTier::ByteKey); // 20 B
+    }
+
+    #[test]
+    fn first_touch_order_all_tiers() {
+        let p = page(&[
+            (5, 20260101, "aa", "left-padded-wide-00", -1),
+            (3, 20260102, "bb", "left-padded-wide-01", -1),
+            (5, 20260101, "aa", "left-padded-wide-00", -1),
+            (i64::MIN, 20260103, "cc", "left-padded-wide-02", 7),
+            (3, 20260102, "bb", "left-padded-wide-01", -1),
+        ]);
+        let rows: Vec<u32> = (0..5).collect();
+        for group_by in [vec![0], vec![1, 2], vec![3]] {
+            let mut t = GroupTable::compile(&group_by, &schema());
+            let mut slots = Vec::new();
+            t.resolve_rows(&p, &rows, &mut slots);
+            assert_eq!(slots, vec![0, 1, 0, 2, 1], "{group_by:?}");
+            assert_eq!(t.len(), 3);
+            // Resolving again yields the same slots, no new groups.
+            t.resolve_rows(&p, &rows, &mut slots);
+            assert_eq!(slots, vec![0, 1, 0, 2, 1]);
+            assert_eq!(t.len(), 3);
+        }
+    }
+
+    #[test]
+    fn key_bytes_roundtrip() {
+        let p = page(&[(42, 19991231, "xy", "w", -9)]);
+        let mut t = GroupTable::compile(&[0, 1], &schema());
+        let mut slots = Vec::new();
+        t.resolve_rows(&p, &[0], &mut slots);
+        assert_eq!(slots, [0]);
+        let key = t.key_bytes(0);
+        assert_eq!(key.len(), 12);
+        assert_eq!(i64::from_le_bytes(key[..8].try_into().unwrap()), 42);
+        assert_eq!(u32::from_le_bytes(key[8..].try_into().unwrap()), 19991231);
+    }
+
+    #[test]
+    fn intern_key_matches_resolution() {
+        let p = page(&[(7, 1, "a", "w", 0)]);
+        let mut t = GroupTable::compile(&[0], &schema());
+        let slot = t.intern_key(&7i64.to_le_bytes());
+        assert_eq!(slot, 0);
+        let mut slots = Vec::new();
+        t.resolve_rows(&p, &[0], &mut slots);
+        assert_eq!(slots, [0]); // same group, not a new slot
+        assert_eq!(t.len(), 1);
+        // Scalar bootstrap: empty key over an empty-group_by table.
+        let mut scalar = GroupTable::compile(&[], &schema());
+        assert_eq!(scalar.intern_key(&[]), 0);
+        assert_eq!(scalar.intern_key(&[]), 0);
+        assert_eq!(scalar.len(), 1);
+    }
+
+    #[test]
+    fn resolve_batch_uses_selection() {
+        let p = Arc::new(page(&[
+            (1, 0, "a", "w", 0),
+            (2, 0, "a", "w", 0),
+            (1, 0, "a", "w", 0),
+            (3, 0, "a", "w", 0),
+        ]));
+        let fb = FactBatch::new(p, vec![1, 3], Vec::new());
+        let mut t = GroupTable::compile(&[0], &schema());
+        let mut slots = Vec::new();
+        t.resolve_batch(&fb, &mut slots);
+        assert_eq!(slots, [0, 1]); // keys 2 then 3; row 0/2 never touched
+        assert_eq!(t.key_bytes(0), &2i64.to_le_bytes());
+    }
+
+    #[test]
+    fn radix_partition_is_stable_and_complete() {
+        let rows: Vec<(i64, u32, &str, &str, i64)> = (0..64)
+            .map(|i| (i % 7, 20260101 + (i as u32 % 3), "kk", "wide-key-payload-xx", i))
+            .collect();
+        let p = page(&rows);
+        let all: Vec<u32> = (0..64).collect();
+        for group_by in [vec![0], vec![0, 1], vec![3]] {
+            let t = GroupTable::compile(&group_by, &schema());
+            let mut scratch = RadixScratch::new();
+            t.radix_partition(&p, &all, &mut scratch);
+            let mut seen: Vec<u32> =
+                scratch.buckets.iter().flatten().copied().collect();
+            seen.sort_unstable();
+            assert_eq!(seen, all, "{group_by:?}: buckets must partition the batch");
+            // Equal keys must share a bucket: map key → bucket and check.
+            let mut by_key: HashMap<Vec<u8>, usize> = HashMap::new();
+            for (b, bucket) in scratch.buckets.iter().enumerate() {
+                for &r in bucket {
+                    let row = p.row(r as usize);
+                    let mut key = Vec::new();
+                    for &c in &group_by {
+                        let off = schema().offset(c);
+                        let w = schema().dtype(c).width();
+                        key.extend_from_slice(&row.bytes()[off..off + w]);
+                    }
+                    let prev = by_key.insert(key, b);
+                    if let Some(prev) = prev {
+                        assert_eq!(prev, b, "equal keys split across buckets");
+                    }
+                }
+            }
+        }
+    }
+}

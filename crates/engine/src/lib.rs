@@ -22,13 +22,17 @@
 //!   testing oracle for all execution modes,
 //! * **aggregation kernels** ([`kernels`]) — typed, schema-resolved
 //!   batch folds over `qs_storage::ColumnBatch` shared by the engine's
-//!   `Aggregate` operator and `qs-cjoin`'s shared aggregation.
+//!   `Aggregate` operator and `qs-cjoin`'s shared aggregation,
+//! * **group-slot resolution** ([`group`]) — the tiered group-key →
+//!   dense-slot registry ([`group::GroupTable`]) both of those
+//!   aggregation consumers probe batch-at-a-time.
 
 pub mod agg;
 pub mod engine;
 pub mod error;
 pub mod fifo;
 pub mod governor;
+pub mod group;
 pub mod hub;
 pub mod kernels;
 pub mod metrics;
@@ -41,6 +45,7 @@ pub use engine::{EngineConfig, QpipeEngine, QueryTicket, SharingPolicy};
 pub use error::EngineError;
 pub use fifo::{BatchSource, EngineBatch, FifoBuffer, FifoReader};
 pub use governor::CoreGovernor;
+pub use group::{GroupTable, GroupTier, RadixScratch};
 pub use hub::{OutputHub, ShareMode};
 pub use kernels::{AccVec, AggKernel};
 pub use metrics::{Metrics, MetricsSnapshot, StageKind, ALL_STAGES, NUM_STAGES};

@@ -17,6 +17,7 @@
 use crate::error::EngineError;
 use crate::fifo::{BatchSource, EngineBatch};
 use crate::governor::CoreGovernor;
+use crate::group::GroupTable;
 use crate::hub::OutputHub;
 use crate::kernels::{kernel_columns, update_grouped, AccVec, AggKernel};
 use crate::metrics::Metrics;
@@ -456,64 +457,43 @@ fn run_aggregate(
     hub: &OutputHub,
     ctx: &ExecCtx,
 ) -> Result<(), EngineError> {
-    // Group key = concatenated raw bytes of the group columns; insertion
-    // order is preserved so output is deterministic given input order.
-    //
     // Batch shape: per batch, the key-resolution pass maps every surviving
-    // tuple to a dense group slot (one hash probe per tuple — the
-    // irreducible cost of hash aggregation), then each aggregate folds the
-    // whole batch through its typed kernel over the gathered column view.
-    // Key bytes are read in place from the shared page; no intermediate
-    // pages are built.
-    let group_spans = column_spans(in_schema, group_by);
-    let key_size: usize = group_spans.iter().map(|&(_, w)| w).sum();
+    // tuple to a dense group slot (one probe per tuple — the irreducible
+    // cost of hash aggregation), then each aggregate folds the whole batch
+    // through its typed kernel over the gathered column view. Resolution
+    // goes through the tiered [`GroupTable`] — single-`Int` and ≤16-byte
+    // fixed-width keys probe flat open-addressing tables straight off the
+    // page bytes with zero per-tuple allocation; only arbitrary-shape keys
+    // fall back to the byte-key `HashMap` (extracting into one reused
+    // scratch buffer). Slots are first-touch ordered, so output stays
+    // deterministic given input order. No intermediate pages are built.
+    let mut table = GroupTable::compile(group_by, in_schema);
     let kernels: Vec<AggKernel> = aggs
         .iter()
         .map(|a| AggKernel::compile(&a.func, in_schema))
         .collect();
     let agg_cols = kernel_columns(&kernels);
     let mut accs: Vec<AccVec> = kernels.iter().map(AccVec::for_kernel).collect();
-    let mut groups: HashMap<Vec<u8>, u32> = HashMap::new();
-    let mut order: Vec<Vec<u8>> = Vec::new();
     // Per-batch scratch: tuple → group slot, plus the identity tuple list
     // the grouped kernels consume.
     let mut gidx: Vec<u32> = Vec::new();
     let mut rows_idx: Vec<u32> = Vec::new();
     while let Some(batch) = input.next_batch()? {
         ctx.governor.run(|| {
-            let raw = batch.page().raw();
-            let rs = in_schema.row_size();
-            gidx.clear();
-            for &r in batch.sel() {
-                let row = &raw[r as usize * rs..(r + 1) as usize * rs];
-                let mut key = Vec::with_capacity(key_size);
-                for &(off, w) in &group_spans {
-                    key.extend_from_slice(&row[off..off + w]);
-                }
-                let slot = match groups.get(key.as_slice()) {
-                    Some(&s) => s,
-                    None => {
-                        let s = order.len() as u32;
-                        order.push(key.clone());
-                        groups.insert(key, s);
-                        s
-                    }
-                };
-                gidx.push(slot);
-            }
+            table.resolve_batch(&batch, &mut gidx);
             rows_idx.clear();
             rows_idx.extend(0..batch.len() as u32);
             let view = batch_view(&batch, &agg_cols);
             for (kernel, acc) in kernels.iter().zip(&mut accs) {
-                acc.resize(order.len());
+                acc.resize(table.len());
                 update_grouped(kernel, acc, &view, &rows_idx, &gidx);
             }
         });
     }
 
     // Global aggregate over empty input still emits one row of zeroes.
-    if group_by.is_empty() && order.is_empty() {
-        order.push(Vec::new());
+    if group_by.is_empty() && table.is_empty() {
+        table.intern_key(&[]);
         for acc in &mut accs {
             acc.resize(1);
         }
@@ -521,9 +501,10 @@ fn run_aggregate(
 
     let mut builder = PageBuilder::with_bytes(out_schema.clone(), ctx.out_page_bytes);
     let mut rowbuf: Vec<u8> = vec![0u8; out_schema.row_size()];
-    for (g, key) in order.iter().enumerate() {
+    for g in 0..table.len() {
         // Group columns occupy the prefix of the output row with identical
         // widths, so the key bytes land directly.
+        let key = table.key_bytes(g);
         rowbuf[..key.len()].copy_from_slice(key);
         for (i, acc) in accs.iter().enumerate() {
             let col = group_by.len() + i;

@@ -20,7 +20,10 @@
 //!   aggregation kernels in `qs-engine`,
 //! * selection masks and per-tuple query bitmaps ([`bitmap`]) plus the
 //!   [`batch::FactBatch`] that pairs them with a page — the
-//!   batch-at-a-time currency every post-predicate operator consumes.
+//!   batch-at-a-time currency every post-predicate operator consumes,
+//! * a flat open-addressing `key → u32` table ([`flat`]) shared by the
+//!   CJOIN dimension probe (`i64` surrogates) and group-slot resolution
+//!   in `qs-engine` (`i64` and packed-`u128` group keys).
 //!
 //! Everything is deterministic and in-process; "disk" pages are retained in
 //! memory but every buffer-pool miss pays the simulated I/O cost, which
@@ -32,6 +35,7 @@ pub mod bufferpool;
 pub mod catalog;
 pub mod disk;
 pub mod error;
+pub mod flat;
 pub mod page;
 pub mod row;
 pub mod scan;
@@ -45,6 +49,7 @@ pub use bufferpool::{BufferPool, BufferPoolConfig, BufferPoolStats};
 pub use catalog::Catalog;
 pub use disk::{DiskConfig, DiskModel, DiskStats};
 pub use error::StorageError;
+pub use flat::{FlatKey, FlatMap};
 pub use page::{Page, PageBuilder, PageId, DEFAULT_PAGE_BYTES};
 pub use row::{RowCursor, RowRef};
 pub use scan::CircularCursor;

@@ -6,14 +6,23 @@
 //! engine dataflow: any operator that mishandles a selection vector
 //! diverges from the oracle on some seed.
 //!
+//! Since PR 5 it is also the acceptance harness for tiered group-slot
+//! resolution: the generator steers ≥½ of plans onto a GROUP BY whose
+//! key shape is drawn from all three `GroupTable` tiers (single-`Int`
+//! dense, ≤16-byte packed, wide byte-key fallback), and the run *fails*
+//! unless every tier was actually generated — coverage is asserted, not
+//! hoped for.
+//!
 //! Budget: `MODE_DIFF_CASES` seeds (default 50), base seed
 //! `MODE_DIFF_SEED` (default below) — both env-overridable, and every
 //! failure message names the seed that produced the plan.
 
 use rand::rngs::StdRng;
 use rand::{RngExt, SeedableRng};
+use sharing_repro::engine::group::{GroupTable, GroupTier};
 use sharing_repro::engine::reference;
 use sharing_repro::prelude::*;
+use sharing_repro::storage::Column;
 use std::sync::Arc;
 
 /// `(dimension table, fact FK column name)` pairs of the SSB star.
@@ -108,9 +117,57 @@ fn gen_pred(
     Some(Expr::and(terms))
 }
 
+/// The group-by shape a generated aggregate targets, in `GroupTable`
+/// tier terms. `gen_group_by` guarantees the classification, so the
+/// per-run tier tally is exact.
+fn gen_group_by(
+    rng: &mut StdRng,
+    joined: &[DataType],
+    int_cols: &[usize],
+) -> Vec<usize> {
+    match rng.random_range(0..8) {
+        // Scalar aggregate — kept rare so ≥½ of all plans stay grouped.
+        0 => Vec::new(),
+        // Dense-int tier: one Int column.
+        1..=3 => vec![int_cols[rng.random_range(0..int_cols.len())]],
+        // Packed tier: two distinct narrow (≤8-byte) columns — ≤16 bytes
+        // total, and two columns can never be the single-Int tier.
+        4..=5 => {
+            let narrow: Vec<usize> = (0..joined.len())
+                .filter(|&c| joined[c].width() <= 8)
+                .collect();
+            let a = narrow[rng.random_range(0..narrow.len())];
+            let mut b = narrow[rng.random_range(0..narrow.len())];
+            while b == a {
+                b = narrow[rng.random_range(0..narrow.len())];
+            }
+            vec![a, b]
+        }
+        // Byte-key tier: add random distinct columns until the key
+        // outgrows the 16-byte packed boundary (a lone Int can never
+        // reach it, so the result is always ≥2 columns or one wide
+        // `Char`).
+        _ => {
+            let mut cols: Vec<usize> = Vec::new();
+            let mut width = 0usize;
+            while width <= 16 {
+                let c = rng.random_range(0..joined.len());
+                if !cols.contains(&c) {
+                    cols.push(c);
+                    width += joined[c].width();
+                }
+            }
+            cols
+        }
+    }
+}
+
 /// A random star-shaped plan: fact scan (+filter) ⋈ 0–3 dims (+filters),
-/// topped by a random aggregate / distinct-project / sort.
-fn gen_plan(rng: &mut StdRng, samples: &Samples) -> LogicalPlan {
+/// topped by a random aggregate / distinct-project / sort. The second
+/// element reports the `GroupTable` tier of a grouped aggregate top (or
+/// `None` for scalar/non-aggregate plans) so the run can tally tier
+/// coverage exactly.
+fn gen_plan(rng: &mut StdRng, samples: &Samples) -> (LogicalPlan, Option<GroupTier>) {
     let fact_schema = samples.schema("lineorder");
 
     // Random distinct dimension subset, in random order.
@@ -155,17 +212,11 @@ fn gen_plan(rng: &mut StdRng, samples: &Samples) -> LogicalPlan {
         .collect();
 
     match rng.random_range(0..10) {
-        // Aggregate: 0–2 group-by columns, 1–3 aggregates (the common
-        // case; the one that exercises the kernels).
+        // Aggregate: a group-by shape drawn across the GroupTable tiers,
+        // 1–3 aggregates (the common case; the one that exercises the
+        // kernels and the tiered group-slot resolution).
         0..=6 => {
-            let n_groups = rng.random_range(0..=2usize);
-            let mut group_by = Vec::new();
-            for _ in 0..n_groups {
-                let c = rng.random_range(0..joined.len());
-                if !group_by.contains(&c) {
-                    group_by.push(c);
-                }
-            }
+            let group_by = gen_group_by(rng, &joined, &int_cols);
             let mut aggs = vec![AggSpec::new(AggFunc::Count, "n")];
             for (i, _) in (0..rng.random_range(1..=2usize)).enumerate() {
                 let func = match rng.random_range(0..5) {
@@ -180,11 +231,28 @@ fn gen_plan(rng: &mut StdRng, samples: &Samples) -> LogicalPlan {
                 };
                 aggs.push(AggSpec::new(func, format!("a{i}")));
             }
-            LogicalPlan::Aggregate {
-                input: Box::new(plan),
-                group_by,
-                aggs,
-            }
+            let tier = if group_by.is_empty() {
+                None
+            } else {
+                // Classify against the joined schema exactly as the
+                // engine's Aggregate operator will compile it.
+                let joined_schema = Schema::new(
+                    joined
+                        .iter()
+                        .enumerate()
+                        .map(|(i, &dt)| Column::new(format!("j{i}"), dt))
+                        .collect(),
+                );
+                Some(GroupTable::tier_for(&group_by, &joined_schema))
+            };
+            (
+                LogicalPlan::Aggregate {
+                    input: Box::new(plan),
+                    group_by,
+                    aggs,
+                },
+                tier,
+            )
         }
         // Distinct over a narrow projection (duplicate elimination over
         // a batch-projected stream).
@@ -197,19 +265,25 @@ fn gen_plan(rng: &mut StdRng, samples: &Samples) -> LogicalPlan {
                     columns.push(c);
                 }
             }
-            LogicalPlan::Distinct {
-                input: Box::new(LogicalPlan::Project {
-                    input: Box::new(plan),
-                    columns,
-                }),
-            }
+            (
+                LogicalPlan::Distinct {
+                    input: Box::new(LogicalPlan::Project {
+                        input: Box::new(plan),
+                        columns,
+                    }),
+                },
+                None,
+            )
         }
         // Full sort of the joined stream (order is canonicalized away by
         // the comparison, but sort must not lose or duplicate tuples).
-        _ => LogicalPlan::Sort {
-            input: Box::new(plan),
-            keys: vec![(rng.random_range(0..joined.len()), rng.random_bool(0.5))],
-        },
+        _ => (
+            LogicalPlan::Sort {
+                input: Box::new(plan),
+                keys: vec![(rng.random_range(0..joined.len()), rng.random_bool(0.5))],
+            },
+            None,
+        ),
     }
 }
 
@@ -245,10 +319,21 @@ fn five_modes_agree_on_seeded_random_plans() {
         .collect();
 
     let mut stars = 0usize;
+    let mut grouped = 0usize;
+    // Per-tier plan tally, indexed DenseInt / Packed / ByteKey.
+    let mut tier_counts = [0usize; 3];
     for case in 0..cases {
         let seed = base_seed.wrapping_add(case);
         let mut rng = StdRng::seed_from_u64(seed);
-        let plan = gen_plan(&mut rng, &samples);
+        let (plan, tier) = gen_plan(&mut rng, &samples);
+        if let Some(tier) = tier {
+            grouped += 1;
+            tier_counts[match tier {
+                GroupTier::DenseInt => 0,
+                GroupTier::Packed => 1,
+                GroupTier::ByteKey => 2,
+            }] += 1;
+        }
         if StarQuery::detect(&plan, &catalog).is_some() {
             stars += 1;
         }
@@ -282,6 +367,34 @@ fn five_modes_agree_on_seeded_random_plans() {
         stars * 4 >= cases as usize,
         "only {stars}/{cases} generated plans were star queries"
     );
+    // …and the tiered group-slot resolution this fuzzer is the acceptance
+    // harness for: at least half the plans carry a GROUP BY, and every
+    // GroupTable tier was generated — an assertion, not a hope. Skipped
+    // under tiny budgets so the documented single-seed repro workflow
+    // (`MODE_DIFF_CASES=1 MODE_DIFF_SEED=<failing seed>`) keeps working;
+    // the CI budget (50) always asserts.
+    eprintln!(
+        "mode_differential: grouped={grouped}/{cases} \
+         tiers dense={} packed={} bytekey={}",
+        tier_counts[0], tier_counts[1], tier_counts[2]
+    );
+    if cases >= 20 {
+        assert!(
+            grouped * 2 >= cases as usize,
+            "only {grouped}/{cases} generated plans carried a GROUP BY"
+        );
+        for (tier, count) in ["DenseInt", "Packed", "ByteKey"]
+            .iter()
+            .zip(tier_counts)
+        {
+            assert!(
+                count > 0,
+                "no generated plan exercised the {tier} group-resolution tier \
+                 (seeds {base_seed}..{})",
+                base_seed + cases
+            );
+        }
+    }
     let (_, gqp_db) = dbs
         .iter()
         .find(|(m, _)| *m == ExecutionMode::Gqp)
