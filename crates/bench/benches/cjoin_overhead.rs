@@ -21,6 +21,7 @@ fn catalog() -> Arc<Catalog> {
             scale: 0.002,
             seed: 42,
             page_bytes: 64 * 1024,
+            ..Default::default()
         },
     );
     cat

@@ -36,6 +36,7 @@ fn setup() -> (Arc<Catalog>, QpipeEngine) {
             scale: 0.01,
             seed: 9,
             page_bytes: 16 * 1024,
+            ..Default::default()
         },
     );
     let pool = Arc::new(BufferPool::new(

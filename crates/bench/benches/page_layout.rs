@@ -1,0 +1,34 @@
+//! Page layout: scan→filter→aggregate over columnar pages (dict-code
+//! predicate, zero-copy lanes) vs the row-major gather — at 1/8/32
+//! concurrent queries over one shared fact table.
+//!
+//! PR 6's acceptance bar: columnar ≥ 2× the row-major qps at 32
+//! concurrent queries on the dict-coded flag predicate. The
+//! scenario-style bin (`cargo run -p qs-bench --bin page_layout`)
+//! measures the same passes windowed and feeds the `perfdiff` CI gate.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use qs_bench::page_layout::{make_pages, pass};
+use qs_storage::PageLayout;
+use std::hint::black_box;
+
+fn bench_layouts(c: &mut Criterion) {
+    let row = make_pages(24, 256, 64, 42, PageLayout::Row);
+    let col = make_pages(24, 256, 64, 42, PageLayout::Column);
+    let total_rows: usize = row.iter().map(|p| p.rows()).sum();
+    let mut group = c.benchmark_group("page_layout");
+    group.throughput(Throughput::Elements(total_rows as u64));
+
+    for &q in &[1usize, 8, 32] {
+        group.bench_with_input(BenchmarkId::new("row", q), &q, |b, &q| {
+            b.iter(|| black_box(pass(&row, q)))
+        });
+        group.bench_with_input(BenchmarkId::new("column", q), &q, |b, &q| {
+            b.iter(|| black_box(pass(&col, q)))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_layouts);
+criterion_main!(benches);

@@ -24,6 +24,7 @@ fn s1_point(c: &mut Criterion) {
             scale: 0.005,
             seed: 42,
             page_bytes: 64 * 1024,
+            ..Default::default()
         },
     );
     let plan = tpch_q1_plan(&cat, qs_workload::tpch::Q1_CUTOFF).unwrap();
@@ -81,6 +82,7 @@ fn s4_point(c: &mut Criterion) {
             scale: 0.002,
             seed: 42,
             page_bytes: 64 * 1024,
+            ..Default::default()
         },
     );
     let plan = SsbTemplate::Q2_1

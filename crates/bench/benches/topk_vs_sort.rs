@@ -23,6 +23,7 @@ fn setup() -> (Arc<Catalog>, QpipeEngine) {
             scale: 0.01,
             seed: 7,
             page_bytes: 16 * 1024,
+            ..Default::default()
         },
     );
     let pool = Arc::new(BufferPool::new(

@@ -1,0 +1,104 @@
+//! Windowed throughput of scan→filter→aggregate over row-major vs
+//! columnar pages (PR 6's tentpole): the same layout-generic pass over
+//! the same logical data, where columnar pages answer the dict-coded
+//! flag predicate off dictionary codes and hand the aggregate zero-copy
+//! `i64` lanes, while row-major pages pay a strided gather per column
+//! touch. Emits the `page_layout` perf series consumed by the
+//! `perfdiff` CI gate.
+//!
+//! ```sh
+//! cargo run --release -p qs-bench --bin page_layout -- --queries 1,8,32
+//! ```
+//!
+//! `--quick 1` runs the test-sized configuration; `--json PATH` merges
+//! the measured points into a machine-readable perf file.
+
+use qs_bench::page_layout::{make_pages, pass};
+use qs_bench::perf::PerfPoint;
+use qs_bench::{arg, arg_list, json_path, perf, quick_mode};
+use qs_storage::PageLayout;
+use std::hint::black_box;
+use std::time::{Duration, Instant};
+
+fn main() {
+    let (pages_n, rows_per_page, window, queries) = if quick_mode() {
+        (8usize, 128usize, Duration::from_millis(250), vec![1usize, 8, 32])
+    } else {
+        (
+            arg("pages", 24usize),
+            arg("rows-per-page", 256usize),
+            Duration::from_millis(arg("window-ms", 2000)),
+            arg_list("queries", &[1, 8, 32]),
+        )
+    };
+    let groups = arg("groups", 64usize);
+    let seed = arg("seed", 42u64);
+    eprintln!(
+        "page_layout config: pages={pages_n} rows_per_page={rows_per_page} \
+         window={window:?} queries={queries:?} groups={groups} seed={seed}"
+    );
+
+    let sides: [(&str, PageLayout); 2] =
+        [("row", PageLayout::Row), ("column", PageLayout::Column)];
+    let data: Vec<_> = sides
+        .iter()
+        .map(|&(_, layout)| make_pages(pages_n, rows_per_page, groups, seed, layout))
+        .collect();
+    // The two sides must fold identical sums, or the ratio is noise.
+    assert_eq!(pass(&data[0], 1), pass(&data[1], 1), "layout checksums differ");
+
+    let mut points: Vec<PerfPoint> = Vec::new();
+    println!("page_layout: columnar (dict-code predicate) vs row-major gather");
+    println!("{:>8} {:>10} {:>12} {:>12}", "queries", "layout", "qps", "passes");
+    for &q in &queries {
+        // Both sides alternate pass-by-pass inside one shared window, so
+        // machine-level interference (shared CI runners) lands on each
+        // side roughly equally and the *ratio* stays meaningful even
+        // when absolute qps wobbles.
+        let mut spent = [Duration::ZERO; 2];
+        let mut passes = [0u64; 2];
+        let start = Instant::now();
+        while start.elapsed() < window {
+            for (i, pages) in data.iter().enumerate() {
+                let t = Instant::now();
+                black_box(pass(pages, q));
+                spent[i] += t.elapsed();
+                passes[i] += 1;
+            }
+        }
+        for (i, &(label, _)) in sides.iter().enumerate() {
+            // Each pass runs every concurrent query once over the whole
+            // table; a "query" completion is one query × one pass.
+            let completed = passes[i] * q as u64;
+            let qps = completed as f64 / spent[i].as_secs_f64();
+            println!("{q:>8} {label:>10} {qps:>12.1} {:>12}", passes[i]);
+            points.push(PerfPoint {
+                mode: label.to_string(),
+                x: q as f64,
+                qps,
+                completed,
+                admission_evals: 0,
+                pages_shared: 0,
+                sp_hits: 0,
+            });
+        }
+    }
+    // The acceptance ratio at the highest sweep point, for the log.
+    if let Some(&qmax) = queries.iter().max() {
+        let at = |mode: &str| {
+            points
+                .iter()
+                .find(|p| p.mode == mode && p.x == qmax as f64)
+                .map(|p| p.qps)
+                .unwrap_or(0.0)
+        };
+        let (c, r) = (at("column"), at("row"));
+        if r > 0.0 {
+            eprintln!("page_layout: column/row at {qmax} queries = {:.2}x", c / r);
+        }
+    }
+    if let Some(path) = json_path() {
+        perf::write_points(&path, "page_layout", &points).expect("write perf points");
+        eprintln!("page_layout points merged into {path}");
+    }
+}

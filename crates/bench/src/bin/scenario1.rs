@@ -32,6 +32,7 @@ fn main() {
                 }
             },
             seed: arg("seed", 42),
+            layout: arg("layout", qs_storage::PageLayout::Row),
         }
     };
     eprintln!("scenario1 config: {cfg:?}");

@@ -28,6 +28,7 @@ fn main() {
             window: Duration::from_millis(arg("window-ms", 2000)),
             cores: arg("cores", 8),
             seed: arg("seed", 42),
+            layout: arg("layout", qs_storage::PageLayout::Row),
             ..Default::default()
         }
     };

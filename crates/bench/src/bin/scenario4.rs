@@ -26,6 +26,7 @@ fn main() {
             disk_resident: arg("disk", 1usize) != 0,
             cores: arg("cores", 8),
             seed: arg("seed", 42),
+            layout: arg("layout", qs_storage::PageLayout::Row),
             ..Default::default()
         }
     };

@@ -294,12 +294,19 @@ impl CjoinPipeline {
             let mut entries = Vec::with_capacity(table.row_count());
             let mut by_key = FlatMap::with_capacity(table.row_count());
             let mut cursor = qs_storage::CircularCursor::from_position(table.clone(), 0);
+            let key_off = schema.offset(d.dim_key);
+            let mut encrow = Vec::with_capacity(schema.row_size());
             while let Some(page) = cursor.next_page(&ctx.pool) {
-                for row in page.iter() {
+                // Rows are kept as encoded bytes (the join output slices
+                // them), so columnar pages re-encode through a scratch —
+                // same copy either way.
+                for r in 0..page.rows() {
+                    encrow.clear();
+                    page.encode_row_into(r, &mut encrow);
                     let idx = entries.len() as u32;
-                    by_key.insert(row.i64_col(d.dim_key), idx);
+                    by_key.insert(qs_storage::row::read_i64_at(&encrow, key_off), idx);
                     entries.push(DimEntry {
-                        row: row.bytes().to_vec().into_boxed_slice(),
+                        row: encrow.clone().into_boxed_slice(),
                         bitmap: AtomicBitmap::zeros(spec.max_queries),
                     });
                 }
@@ -705,7 +712,10 @@ fn eval_chunk(job: &ChunkJob, scratch: &mut ChunkScratch) -> (Vec<u32>, Vec<Bitm
     }
     let words = mask_words(n);
     let nq = job.preds.len();
-    let batch = ColumnBatch::from_page_range(&job.page, job.range.clone(), &job.cols);
+    // Predicate-shaped decode: dictionary-coded Char columns on columnar
+    // pages stay as codes, so every active query's string predicate is
+    // evaluated once per dictionary entry instead of once per row.
+    let batch = ColumnBatch::for_predicate_range(&job.page, job.range.clone(), &job.cols);
 
     scratch.masks.clear();
     scratch.masks.resize(nq * words, 0);

@@ -380,6 +380,7 @@ mod tests {
                 scale: 0.0005,
                 seed: 1,
                 page_bytes: 8192,
+                ..Default::default()
             },
         );
         let spec = ssb_pipeline_spec(&cat).unwrap();

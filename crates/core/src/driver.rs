@@ -154,6 +154,7 @@ mod tests {
                 scale: 0.0005,
                 seed: 3,
                 page_bytes: 8 * 1024,
+                ..Default::default()
             },
         );
         SharingDb::new(cat, DbConfig::new(mode)).unwrap()

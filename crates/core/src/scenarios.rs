@@ -8,7 +8,7 @@
 use crate::db::{DbConfig, ExecutionMode, SharingDb};
 use crate::driver::{run_response_time, run_throughput, DriverConfig};
 use qs_engine::{EngineError, ShareMode, SharingPolicy, StageKind};
-use qs_storage::{Catalog, DiskConfig};
+use qs_storage::{Catalog, DiskConfig, PageLayout};
 use qs_workload::ssb::data::{generate_ssb, SsbConfig};
 use qs_workload::ssb::queries::TemplateParams;
 use qs_workload::{generate_lineitem, tpch_q1_plan, SsbTemplate, TpchConfig, WorkloadKnobs};
@@ -35,6 +35,8 @@ pub struct Scenario1Config {
     pub buffer_pool_pages: Option<usize>,
     /// Dataset seed.
     pub seed: u64,
+    /// Page layout of the generated tables.
+    pub layout: PageLayout,
 }
 
 impl Default for Scenario1Config {
@@ -46,6 +48,7 @@ impl Default for Scenario1Config {
             disk_resident: false,
             buffer_pool_pages: None,
             seed: 42,
+            layout: PageLayout::Row,
         }
     }
 }
@@ -95,6 +98,7 @@ pub fn scenario1(cfg: &Scenario1Config) -> Result<Vec<Scenario1Row>, EngineError
             scale: cfg.scale,
             seed: cfg.seed,
             page_bytes: qs_storage::DEFAULT_PAGE_BYTES,
+            layout: cfg.layout,
         },
     );
     let plan = tpch_q1_plan(&catalog, qs_workload::tpch::Q1_CUTOFF)?;
@@ -162,7 +166,7 @@ pub fn scenario1(cfg: &Scenario1Config) -> Result<Vec<Scenario1Row>, EngineError
 // Scenarios II-IV share the SSB setup
 // ---------------------------------------------------------------------
 
-fn ssb_catalog(scale: f64, seed: u64) -> Arc<Catalog> {
+fn ssb_catalog(scale: f64, seed: u64, layout: PageLayout) -> Arc<Catalog> {
     let catalog = Catalog::new();
     generate_ssb(
         &catalog,
@@ -170,6 +174,7 @@ fn ssb_catalog(scale: f64, seed: u64) -> Arc<Catalog> {
             scale,
             seed,
             page_bytes: qs_storage::DEFAULT_PAGE_BYTES,
+            layout,
         },
     );
     catalog
@@ -247,6 +252,8 @@ pub struct Scenario2Config {
     pub cores: usize,
     /// Seed.
     pub seed: u64,
+    /// Page layout of the generated tables.
+    pub layout: PageLayout,
 }
 
 impl Default for Scenario2Config {
@@ -260,6 +267,7 @@ impl Default for Scenario2Config {
             disk_resident: true,
             cores: 8,
             seed: 42,
+            layout: PageLayout::Row,
         }
     }
 }
@@ -281,7 +289,7 @@ impl Scenario2Config {
 /// the number of concurrent clients. Parameters are randomized (wide plan
 /// space) to minimize SP common sub-plans, as in the paper.
 pub fn scenario2(cfg: &Scenario2Config) -> Result<Vec<ThroughputRow>, EngineError> {
-    let catalog = ssb_catalog(cfg.scale, cfg.seed);
+    let catalog = ssb_catalog(cfg.scale, cfg.seed, cfg.layout);
     let mut rows = Vec::new();
     for (label, mode) in [("QPipe+SP", ExecutionMode::SpPull), ("CJOIN", ExecutionMode::Gqp)] {
         for &k in &cfg.clients {
@@ -332,6 +340,8 @@ pub struct Scenario3Config {
     pub cores: usize,
     /// Seed.
     pub seed: u64,
+    /// Page layout of the generated tables.
+    pub layout: PageLayout,
 }
 
 impl Default for Scenario3Config {
@@ -347,6 +357,7 @@ impl Default for Scenario3Config {
             template: SsbTemplate::Q1_1,
             cores: 8,
             seed: 42,
+            layout: PageLayout::Row,
         }
     }
 }
@@ -367,7 +378,7 @@ impl Scenario3Config {
 /// selectivity — exposing the GQP's book-keeping overhead against
 /// query-centric operators.
 pub fn scenario3(cfg: &Scenario3Config) -> Result<Vec<ThroughputRow>, EngineError> {
-    let catalog = ssb_catalog(cfg.scale, cfg.seed);
+    let catalog = ssb_catalog(cfg.scale, cfg.seed, cfg.layout);
     let mut rows = Vec::new();
     for (label, mode) in [("QPipe+SP", ExecutionMode::SpPull), ("CJOIN", ExecutionMode::Gqp)] {
         for &sel in &cfg.selectivities {
@@ -420,6 +431,8 @@ pub struct Scenario4Config {
     pub cores: usize,
     /// Seed.
     pub seed: u64,
+    /// Page layout of the generated tables.
+    pub layout: PageLayout,
 }
 
 impl Default for Scenario4Config {
@@ -433,6 +446,7 @@ impl Default for Scenario4Config {
             disk_resident: true,
             cores: 8,
             seed: 42,
+            layout: PageLayout::Row,
         }
     }
 }
@@ -455,7 +469,7 @@ impl Scenario4Config {
 /// plan diversity with batched submission. Fewer possible plans ⇒ more
 /// common CJOIN sub-plans ⇒ more SP hits ⇒ fewer admissions.
 pub fn scenario4(cfg: &Scenario4Config) -> Result<Vec<ThroughputRow>, EngineError> {
-    let catalog = ssb_catalog(cfg.scale, cfg.seed);
+    let catalog = ssb_catalog(cfg.scale, cfg.seed, cfg.layout);
     let mut rows = Vec::new();
     for (label, mode) in [("GQP", ExecutionMode::Gqp), ("GQP+SP", ExecutionMode::GqpSp)] {
         for &n in &cfg.num_plans {

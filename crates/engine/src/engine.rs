@@ -171,8 +171,9 @@ impl QueryTicket {
             Some(b) => {
                 let mut builder =
                     PageBuilder::with_capacity(b.page().schema().clone(), b.len());
+                let mut tb = Vec::new();
                 for t in 0..b.len() {
-                    let ok = builder.push_encoded(b.tuple_bytes(t));
+                    let ok = builder.push_encoded(b.tuple_bytes_in(t, &mut tb));
                     debug_assert!(ok);
                 }
                 Ok(Some(Arc::new(builder.finish())))
@@ -370,6 +371,7 @@ impl QpipeEngine {
                 aggs: aggs.clone(),
                 in_schema: input.output_schema(&self.catalog)?,
                 out_schema: plan.output_schema(&self.catalog)?,
+                groups_hint: self.groups_hint(input, group_by),
             },
             LogicalPlan::Sort { keys, .. } => PhysicalOp::Sort {
                 keys: keys.clone(),
@@ -392,6 +394,36 @@ impl QpipeEngine {
                 schema: plan.output_schema(&self.catalog)?,
             },
         })
+    }
+
+    /// Expected group count for an aggregation, from base-table column
+    /// statistics. Only the dense-int shape (a single `Int` group column
+    /// traceable through schema-preserving operators to a base-table
+    /// column) is estimated — filters can only shrink the distinct
+    /// count, so the table-level figure is a valid capacity bound.
+    fn groups_hint(&self, input: &LogicalPlan, group_by: &[usize]) -> Option<usize> {
+        if group_by.len() != 1 {
+            return None;
+        }
+        let mut cur = input;
+        loop {
+            match cur {
+                LogicalPlan::Filter { input, .. }
+                | LogicalPlan::Limit { input, .. }
+                | LogicalPlan::Distinct { input } => cur = input,
+                LogicalPlan::Scan {
+                    table, projection, ..
+                } => {
+                    let col = match projection {
+                        None => group_by[0],
+                        Some(cols) => *cols.get(group_by[0])?,
+                    };
+                    let t = self.catalog.get(table).ok()?;
+                    return t.int_col_stats(col).map(|s| s.distinct);
+                }
+                _ => return None,
+            }
+        }
     }
 
     /// Recursively convert `plan` into packets, applying SP at each stage.

@@ -39,7 +39,7 @@
 
 use qs_storage::flat::{mix64, FlatKey, FlatMap};
 use qs_storage::row::read_i64_at;
-use qs_storage::{DataType, FactBatch, Page, Schema};
+use qs_storage::{ColumnPage, DataType, FactBatch, Page, Schema};
 use std::collections::HashMap;
 
 /// The resolution strategy a [`GroupTable`] compiled to — exposed so
@@ -62,6 +62,8 @@ enum TierState {
     DenseInt {
         /// Byte offset of the group column within a row.
         off: usize,
+        /// Column index (for columnar pages, where there is no row offset).
+        col: usize,
         map: FlatMap<i64>,
     },
     Packed {
@@ -82,10 +84,15 @@ enum TierState {
 pub struct GroupTable {
     /// `(byte offset, width)` of each group column within a row.
     spans: Vec<(usize, usize)>,
+    /// Group column indices (the columnar path extracts by column, not
+    /// by row offset).
+    cols: Vec<usize>,
     key_size: usize,
     state: TierState,
     /// Slot → encoded key bytes, in first-touch order.
     keys: Vec<Vec<u8>>,
+    /// Columnar-path key assembly scratch.
+    cell_buf: Vec<u8>,
 }
 
 impl GroupTable {
@@ -107,29 +114,44 @@ impl GroupTable {
     /// Compile `group_by` against `schema`. Every page later resolved
     /// must carry exactly this schema.
     pub fn compile(group_by: &[usize], schema: &Schema) -> GroupTable {
+        Self::compile_with_hint(group_by, schema, None)
+    }
+
+    /// Like [`Self::compile`] but pre-sizes the probe table for an
+    /// expected group count (e.g. from table column statistics), so the
+    /// hot resolution loop never pays a rehash-and-grow mid-stream.
+    pub fn compile_with_hint(
+        group_by: &[usize],
+        schema: &Schema,
+        groups_hint: Option<usize>,
+    ) -> GroupTable {
         let spans: Vec<(usize, usize)> = group_by
             .iter()
             .map(|&c| (schema.offset(c), schema.dtype(c).width()))
             .collect();
         let key_size = spans.iter().map(|&(_, w)| w).sum();
+        let cap = groups_hint.unwrap_or(0).clamp(64, 1 << 20);
         let state = match Self::tier_for(group_by, schema) {
             GroupTier::DenseInt => TierState::DenseInt {
                 off: spans[0].0,
-                map: FlatMap::with_capacity(64),
+                col: group_by[0],
+                map: FlatMap::with_capacity(cap),
             },
             GroupTier::Packed => TierState::Packed {
-                map: FlatMap::with_capacity(64),
+                map: FlatMap::with_capacity(cap),
             },
             GroupTier::ByteKey => TierState::ByteKey {
-                map: HashMap::new(),
+                map: HashMap::with_capacity(cap),
                 key_buf: Vec::with_capacity(key_size),
             },
         };
         GroupTable {
             spans,
+            cols: group_by.to_vec(),
             key_size,
             state,
-            keys: Vec::new(),
+            keys: Vec::with_capacity(groups_hint.unwrap_or(0)),
+            cell_buf: Vec::with_capacity(key_size),
         }
     }
 
@@ -179,13 +201,17 @@ impl GroupTable {
     /// each class resolves only the tuples relevant to its member
     /// queries.
     pub fn resolve_rows(&mut self, page: &Page, rows: &[u32], out: &mut Vec<u32>) {
-        let data = page.raw();
-        let rs = page.schema().row_size();
         out.clear();
         out.reserve(rows.len());
+        if let Some(cp) = page.column_page() {
+            self.resolve_rows_columnar(cp, rows, out);
+            return;
+        }
+        let data = page.raw();
+        let rs = page.schema().row_size();
         let keys = &mut self.keys;
         match &mut self.state {
-            TierState::DenseInt { off, map } => {
+            TierState::DenseInt { off, map, .. } => {
                 let off = *off;
                 for &r in rows {
                     let k = read_i64_at(data, r as usize * rs + off);
@@ -222,6 +248,66 @@ impl GroupTable {
                     key_buf.clear();
                     for &(off, w) in spans {
                         key_buf.extend_from_slice(&row[off..off + w]);
+                    }
+                    let slot = match map.get(key_buf.as_slice()) {
+                        Some(&s) => s,
+                        None => {
+                            let s = keys.len() as u32;
+                            let owned = key_buf.clone();
+                            keys.push(owned.clone());
+                            map.insert(owned, s);
+                            s
+                        }
+                    };
+                    out.push(slot);
+                }
+            }
+        }
+    }
+
+    /// Columnar twin of the row-major resolution body: keys are read
+    /// straight from the column arrays (`i64_at` for the dense-int tier,
+    /// per-column `extend_cell` otherwise) — no row needs to exist in
+    /// encoded form. Tier, slot numbering, and first-touch order are
+    /// identical to the row-major path.
+    fn resolve_rows_columnar(&mut self, cp: &ColumnPage, rows: &[u32], out: &mut Vec<u32>) {
+        let keys = &mut self.keys;
+        match &mut self.state {
+            TierState::DenseInt { col, map, .. } => {
+                let arr = cp.array(*col);
+                for &r in rows {
+                    let k = arr.i64_at(r as usize);
+                    let slot = map.get_or_insert_with(k, || {
+                        keys.push(k.to_le_bytes().to_vec());
+                        (keys.len() - 1) as u32
+                    });
+                    out.push(slot);
+                }
+            }
+            TierState::Packed { map } => {
+                let cols = &self.cols;
+                let key_size = self.key_size;
+                let cell = &mut self.cell_buf;
+                for &r in rows {
+                    cell.clear();
+                    for &c in cols {
+                        cp.array(c).extend_cell(r as usize, cell);
+                    }
+                    let mut buf = [0u8; PACK_BYTES];
+                    buf[..key_size].copy_from_slice(cell);
+                    let slot = map.get_or_insert_with(u128::from_le_bytes(buf), || {
+                        keys.push(cell.clone());
+                        (keys.len() - 1) as u32
+                    });
+                    out.push(slot);
+                }
+            }
+            TierState::ByteKey { map, key_buf } => {
+                let cols = &self.cols;
+                for &r in rows {
+                    key_buf.clear();
+                    for &c in cols {
+                        cp.array(c).extend_cell(r as usize, key_buf);
                     }
                     let slot = match map.get(key_buf.as_slice()) {
                         Some(&s) => s,
@@ -282,10 +368,53 @@ impl GroupTable {
     /// ROADMAP files as a follow-on. Resolution itself stays sequential
     /// (and first-touch ordering untouched) until that lands.
     pub fn radix_partition(&self, page: &Page, rows: &[u32], scratch: &mut RadixScratch) {
-        let data = page.raw();
-        let rs = page.schema().row_size();
         scratch.hashes.clear();
         scratch.hashes.reserve(rows.len());
+        if let Some(cp) = page.column_page() {
+            let mut cell: Vec<u8> = Vec::with_capacity(self.key_size);
+            match &self.state {
+                TierState::DenseInt { col, .. } => {
+                    let arr = cp.array(*col);
+                    for &r in rows {
+                        scratch.hashes.push(arr.i64_at(r as usize).mix());
+                    }
+                }
+                TierState::Packed { .. } => {
+                    for &r in rows {
+                        cell.clear();
+                        for &c in &self.cols {
+                            cp.array(c).extend_cell(r as usize, &mut cell);
+                        }
+                        let mut buf = [0u8; PACK_BYTES];
+                        buf[..cell.len()].copy_from_slice(&cell);
+                        scratch.hashes.push(u128::from_le_bytes(buf).mix());
+                    }
+                }
+                TierState::ByteKey { .. } => {
+                    for &r in rows {
+                        cell.clear();
+                        for &c in &self.cols {
+                            cp.array(c).extend_cell(r as usize, &mut cell);
+                        }
+                        let mut h = 0xcbf2_9ce4_8422_2325u64;
+                        for &b in &cell {
+                            h = (h ^ b as u64).wrapping_mul(0x100_0000_01b3);
+                        }
+                        scratch.hashes.push(mix64(h));
+                    }
+                }
+            }
+            for b in &mut scratch.buckets {
+                b.clear();
+            }
+            for (i, &h) in scratch.hashes.iter().enumerate() {
+                let part = (h >> (64 - RadixScratch::BITS)) as usize;
+                scratch.buckets[part].push(rows[i]);
+            }
+            return;
+        }
+        let data = page.raw();
+        let rs = page.schema().row_size();
         match &self.state {
             TierState::DenseInt { off, .. } => {
                 for &r in rows {
@@ -425,6 +554,36 @@ mod tests {
             t.resolve_rows(&p, &rows, &mut slots);
             assert_eq!(slots, vec![0, 1, 0, 2, 1]);
             assert_eq!(t.len(), 3);
+        }
+    }
+
+    #[test]
+    fn columnar_resolution_matches_row_major() {
+        let p = page(&[
+            (5, 20260101, "aa", "left-padded-wide-00", -1),
+            (3, 20260102, "bb", "left-padded-wide-01", -1),
+            (5, 20260101, "aa", "left-padded-wide-00", -1),
+            (i64::MIN, 20260103, "cc", "left-padded-wide-02", 7),
+            (3, 20260102, "bb", "left-padded-wide-01", -1),
+        ]);
+        let c = p.to_columnar();
+        let rows: Vec<u32> = (0..5).collect();
+        for group_by in [vec![0], vec![1, 2], vec![3]] {
+            let mut tr = GroupTable::compile(&group_by, &schema());
+            let mut tc = GroupTable::compile_with_hint(&group_by, &schema(), Some(8));
+            assert_eq!(tr.tier(), tc.tier());
+            let (mut sr, mut sc) = (Vec::new(), Vec::new());
+            tr.resolve_rows(&p, &rows, &mut sr);
+            tc.resolve_rows(&c, &rows, &mut sc);
+            assert_eq!(sr, sc, "{group_by:?}");
+            assert_eq!(tr.len(), tc.len());
+            for g in 0..tr.len() {
+                assert_eq!(tr.key_bytes(g), tc.key_bytes(g));
+            }
+            let (mut a, mut b) = (RadixScratch::new(), RadixScratch::new());
+            tr.radix_partition(&p, &rows, &mut a);
+            tc.radix_partition(&c, &rows, &mut b);
+            assert_eq!(a.buckets, b.buckets, "{group_by:?}");
         }
     }
 

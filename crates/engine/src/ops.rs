@@ -80,6 +80,9 @@ pub enum PhysicalOp {
         in_schema: Arc<Schema>,
         /// Output schema (group cols then agg cols).
         out_schema: Arc<Schema>,
+        /// Expected group count from table statistics (pre-sizes the
+        /// group table); `None` = unknown.
+        groups_hint: Option<usize>,
     },
     /// Full sort.
     Sort {
@@ -155,7 +158,17 @@ pub fn execute(
             aggs,
             in_schema,
             out_schema,
-        } => run_aggregate(group_by, aggs, in_schema, out_schema, &mut inputs[0], hub, ctx),
+            groups_hint,
+        } => run_aggregate(
+            group_by,
+            aggs,
+            in_schema,
+            out_schema,
+            *groups_hint,
+            &mut inputs[0],
+            hub,
+            ctx,
+        ),
         PhysicalOp::Sort { keys, schema } => run_sort(keys, schema, &mut inputs[0], hub, ctx),
         PhysicalOp::Project { columns, out_schema } => {
             run_project(columns, out_schema, &mut inputs[0], hub, ctx)
@@ -239,6 +252,17 @@ fn batch_view<'a>(batch: &'a FactBatch, cols: &[usize]) -> ColumnBatch<'a> {
     }
 }
 
+/// Like [`batch_view`] but for compiled-predicate inputs: on columnar
+/// pages, dictionary-coded `Char` columns stay as codes so the predicate
+/// evaluates once per dictionary entry instead of once per tuple.
+fn pred_view<'a>(batch: &'a FactBatch, cols: &[usize]) -> ColumnBatch<'a> {
+    if batch.is_full() {
+        ColumnBatch::for_predicate(batch.page(), cols)
+    } else {
+        batch.columns_for_predicate(cols)
+    }
+}
+
 fn flush_if_full(
     builder: &mut PageBuilder,
     hub: &OutputHub,
@@ -278,6 +302,7 @@ fn run_scan(
         .as_ref()
         .map(|_| PageBuilder::with_bytes(out_schema.clone(), ctx.out_page_bytes));
     let mut rowbuf: Vec<u8> = Vec::with_capacity(out_schema.row_size());
+    let mut encrow: Vec<u8> = Vec::with_capacity(table.schema().row_size());
     let mut scratch = PredScratch::new();
     let mut mask: Vec<u64> = Vec::new();
     let mut sel: Vec<u32> = Vec::new();
@@ -298,7 +323,7 @@ fn run_scan(
         ctx.governor.run(|| {
             match &compiled {
                 Some(c) => {
-                    let view = ColumnBatch::from_page(&page, c.columns());
+                    let view = ColumnBatch::for_predicate(&page, c.columns());
                     c.eval_batch(&view, &mut scratch, &mut mask);
                     selection_from_mask(&mask, &mut sel);
                 }
@@ -309,9 +334,19 @@ fn run_scan(
             }
             if let (Some(spans), Some(b)) = (&spans, &mut builder) {
                 // Projecting scan: the output rows are new (narrower)
-                // rows, so this is a materialization point.
+                // rows, so this is a materialization point. Columnar
+                // pages re-encode each surviving row through a reused
+                // scratch; row-major pages slice the arena in place.
                 for &r in &sel {
-                    project_spans_into(page.row(r as usize).bytes(), spans, &mut rowbuf);
+                    let row_bytes: &[u8] = match page.column_page() {
+                        Some(_) => {
+                            encrow.clear();
+                            page.encode_row_into(r as usize, &mut encrow);
+                            &encrow
+                        }
+                        None => page.row(r as usize).bytes(),
+                    };
+                    project_spans_into(row_bytes, spans, &mut rowbuf);
                     let ok = b.push_encoded(&rowbuf);
                     debug_assert!(ok);
                     if b.is_full() {
@@ -362,7 +397,10 @@ fn run_filter(
         let c = compiled
             .get_or_insert_with(|| CompiledPred::cached(predicate, batch.page().schema()));
         ctx.governor.run(|| {
-            let view = batch_view(&batch, c.columns());
+            // Selection-aware: on a partially-selected batch this gathers
+            // the predicate columns over the *surviving* tuples only, so
+            // evaluation cost tracks the live row count, not page size.
+            let view = pred_view(&batch, c.columns());
             c.eval_batch(&view, &mut scratch, &mut mask);
             // Mask bit i refers to batch tuple i = page row sel[i]: the
             // mask → selection handoff composes the two.
@@ -396,6 +434,7 @@ fn run_hash_join(
     let mut build_rs = 0usize;
     let mut ht: HashMap<i64, Vec<u32>> = HashMap::new();
     let mut keys: Vec<i64> = Vec::new();
+    let mut tb: Vec<u8> = Vec::new();
     while let Some(batch) = build.next_batch()? {
         ctx.governor.run(|| {
             build_rs = batch.page().schema().row_size();
@@ -405,7 +444,7 @@ fn run_hash_join(
                 ht.entry(k).or_default().push(base + i as u32);
             }
             for t in 0..batch.len() {
-                arena.extend_from_slice(batch.tuple_bytes(t));
+                arena.extend_from_slice(batch.tuple_bytes_in(t, &mut tb));
             }
         });
     }
@@ -424,7 +463,7 @@ fn run_hash_join(
                 let Some(matches) = ht.get(&k) else {
                     continue;
                 };
-                let probe_bytes = batch.tuple_bytes(t);
+                let probe_bytes = batch.tuple_bytes_in(t, &mut tb);
                 for &bidx in matches {
                     let bidx = bidx as usize;
                     let build_bytes = &arena[bidx * build_rs..(bidx + 1) * build_rs];
@@ -448,11 +487,13 @@ fn run_hash_join(
     flush_rest(&mut builder, hub)
 }
 
+#[allow(clippy::too_many_arguments)]
 fn run_aggregate(
     group_by: &[usize],
     aggs: &[AggSpec],
     in_schema: &Arc<Schema>,
     out_schema: &Arc<Schema>,
+    groups_hint: Option<usize>,
     input: &mut Box<dyn BatchSource>,
     hub: &OutputHub,
     ctx: &ExecCtx,
@@ -467,13 +508,21 @@ fn run_aggregate(
     // fall back to the byte-key `HashMap` (extracting into one reused
     // scratch buffer). Slots are first-touch ordered, so output stays
     // deterministic given input order. No intermediate pages are built.
-    let mut table = GroupTable::compile(group_by, in_schema);
+    let mut table = GroupTable::compile_with_hint(group_by, in_schema, groups_hint);
     let kernels: Vec<AggKernel> = aggs
         .iter()
         .map(|a| AggKernel::compile(&a.func, in_schema))
         .collect();
     let agg_cols = kernel_columns(&kernels);
     let mut accs: Vec<AccVec> = kernels.iter().map(AccVec::for_kernel).collect();
+    if let Some(h) = groups_hint {
+        // Stats-driven pre-size: one allocation up front instead of grow
+        // checks mid-stream. Slots never shrink and the output loop reads
+        // exactly `0..table.len()`, so an over-estimate costs only memory.
+        for acc in &mut accs {
+            acc.resize(h.clamp(1, 1 << 20));
+        }
+    }
     // Per-batch scratch: tuple → group slot, plus the identity tuple list
     // the grouped kernels consume.
     let mut gidx: Vec<u32> = Vec::new();
@@ -572,7 +621,15 @@ fn run_sort(
         for &r in batch.sel() {
             index.push((pidx, r));
         }
-        pages.push(batch.page().clone());
+        // The comparator slices encoded rows in place, so columnar input
+        // pages are flipped to row-major once here rather than re-encoding
+        // each row O(n log n) times during the sort.
+        let page = batch.page();
+        if page.column_page().is_some() {
+            pages.push(Arc::new(page.to_row_major()));
+        } else {
+            pages.push(page.clone());
+        }
     }
     let spec = key_spec(schema, keys);
     ctx.governor.run(|| {
@@ -601,6 +658,7 @@ fn run_project(
 ) -> Result<(), EngineError> {
     let mut builder = PageBuilder::with_bytes(out_schema.clone(), ctx.out_page_bytes);
     let mut rowbuf: Vec<u8> = Vec::with_capacity(out_schema.row_size());
+    let mut tb: Vec<u8> = Vec::new();
     let mut spans: Option<Vec<(usize, usize)>> = None;
     while let Some(batch) = input.next_batch()? {
         let spans =
@@ -608,7 +666,7 @@ fn run_project(
         let mut pending: Vec<Arc<Page>> = Vec::new();
         ctx.governor.run(|| {
             for t in 0..batch.len() {
-                project_spans_into(batch.tuple_bytes(t), spans, &mut rowbuf);
+                project_spans_into(batch.tuple_bytes_in(t, &mut tb), spans, &mut rowbuf);
                 debug_assert_eq!(rowbuf.len(), out_schema.row_size());
                 let ok = builder.push_encoded(&rowbuf);
                 debug_assert!(ok);
@@ -634,11 +692,12 @@ fn run_distinct(
     // over tuple bytes read in place from the shared page.
     let mut seen: std::collections::HashSet<Vec<u8>> = std::collections::HashSet::new();
     let mut builder = PageBuilder::with_bytes(schema.clone(), ctx.out_page_bytes);
+    let mut tb: Vec<u8> = Vec::new();
     while let Some(batch) = input.next_batch()? {
         let mut pending: Vec<Arc<Page>> = Vec::new();
         ctx.governor.run(|| {
             for t in 0..batch.len() {
-                let bytes = batch.tuple_bytes(t);
+                let bytes = batch.tuple_bytes_in(t, &mut tb);
                 if seen.insert(bytes.to_vec()) {
                     let ok = builder.push_encoded(bytes);
                     debug_assert!(ok);
@@ -675,10 +734,11 @@ fn run_topk(
     // copied out of the shared page.
     let spec = key_spec(schema, keys);
     let mut best: Vec<Vec<u8>> = Vec::with_capacity(n + 1);
+    let mut tb: Vec<u8> = Vec::new();
     while let Some(batch) = input.next_batch()? {
         ctx.governor.run(|| {
             for t in 0..batch.len() {
-                let bytes = batch.tuple_bytes(t);
+                let bytes = batch.tuple_bytes_in(t, &mut tb);
                 let full = best.len() == n;
                 if full {
                     let worst = best.last().expect("n > 0");

@@ -78,7 +78,11 @@ fn eval_inner(plan: &LogicalPlan, catalog: &Catalog) -> Result<Vec<Row>, EngineE
             let t = catalog.get(table)?;
             let mut out = Vec::new();
             for pno in 0..t.page_count() {
-                for row in t.raw_page(pno).iter() {
+                // The oracle walks encoded rows; columnar pages are
+                // flipped to row-major first (oracle speed is irrelevant,
+                // independence from the columnar read path is the point).
+                let page = t.raw_page(pno).to_row_major();
+                for row in page.iter() {
                     if let Some(p) = predicate {
                         if !p.eval(&row) {
                             continue;

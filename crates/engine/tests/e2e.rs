@@ -21,6 +21,7 @@ fn ssb_catalog() -> Arc<Catalog> {
             scale: 0.001,
             seed: 21,
             page_bytes: 8 * 1024,
+            ..Default::default()
         },
     );
     cat
@@ -81,6 +82,7 @@ fn tpch_q1_all_modes_match_oracle() {
             scale: 0.002,
             seed: 5,
             page_bytes: 8 * 1024,
+            ..Default::default()
         },
     );
     let plan = tpch_q1_plan(&cat, qs_workload::tpch::Q1_CUTOFF).unwrap();
@@ -105,6 +107,7 @@ fn batch_of_identical_q1_shares_scan_pull() {
             scale: 0.002,
             seed: 5,
             page_bytes: 8 * 1024,
+            ..Default::default()
         },
     );
     let plan = tpch_q1_plan(&cat, qs_workload::tpch::Q1_CUTOFF).unwrap();
@@ -136,6 +139,7 @@ fn batch_of_identical_q1_shares_scan_push_with_copies() {
             scale: 0.002,
             seed: 5,
             page_bytes: 8 * 1024,
+            ..Default::default()
         },
     );
     let plan = tpch_q1_plan(&cat, qs_workload::tpch::Q1_CUTOFF).unwrap();
@@ -210,6 +214,7 @@ fn sequential_submission_shares_in_pull_mode_while_in_flight() {
             scale: 0.005,
             seed: 5,
             page_bytes: 4 * 1024,
+            ..Default::default()
         },
     );
     let plan = tpch_q1_plan(&cat, qs_workload::tpch::Q1_CUTOFF).unwrap();
@@ -233,6 +238,7 @@ fn cancellation_of_one_consumer_does_not_break_others() {
             scale: 0.002,
             seed: 5,
             page_bytes: 4 * 1024,
+            ..Default::default()
         },
     );
     let plan = tpch_q1_plan(&cat, qs_workload::tpch::Q1_CUTOFF).unwrap();

@@ -28,7 +28,7 @@
 //! well-typed or not (the equivalence proptests rely on this).
 
 use crate::expr::{CmpOp, Expr};
-use qs_storage::{ColumnBatch, DataType, RowRef, Schema, Value};
+use qs_storage::{ColumnBatch, ColumnData, DataType, RowRef, Schema, Value};
 use std::cmp::Ordering;
 
 /// One instruction of a compiled predicate program (postfix order).
@@ -135,31 +135,39 @@ pub fn selection_from_mask(mask: &[u64], out: &mut Vec<u32>) {
 /// Fill a selection mask from a typed column slice: bit `i` of `out` is
 /// `pred(data[i])`.
 ///
-/// The body is hand-unrolled into 4×64-lane blocks: four mask words are
-/// accumulated in independent registers per pass, mirroring a `u64x4`
+/// The body is hand-unrolled into 8×64-lane blocks: eight mask words are
+/// accumulated in independent registers per pass, mirroring a `u64x8`
 /// (`std::simd`) layout so the port is mechanical once `std::simd`
-/// lands in-tree. Lane loops have a compile-time-known trip count of 64,
-/// which LLVM unrolls and vectorizes without bounds checks.
+/// lands in-tree — and sized to the contiguous lanes columnar pages now
+/// feed this loop. Lane loops have a compile-time-known trip count of
+/// 64, which LLVM unrolls and vectorizes without bounds checks; the
+/// scalar remainder path below the blocks is kept bit-identical.
 #[inline]
 fn fill_mask<T: Copy>(data: &[T], out: &mut [u64], pred: impl Fn(T) -> bool) {
-    let mut blocks = data.chunks_exact(256);
+    let mut blocks = data.chunks_exact(512);
     let mut w = 0usize;
     for block in &mut blocks {
         let (b0, rest) = block.split_at(64);
         let (b1, rest) = rest.split_at(64);
-        let (b2, b3) = rest.split_at(64);
+        let (b2, rest) = rest.split_at(64);
+        let (b3, rest) = rest.split_at(64);
+        let (b4, rest) = rest.split_at(64);
+        let (b5, rest) = rest.split_at(64);
+        let (b6, b7) = rest.split_at(64);
         let (mut w0, mut w1, mut w2, mut w3) = (0u64, 0u64, 0u64, 0u64);
+        let (mut w4, mut w5, mut w6, mut w7) = (0u64, 0u64, 0u64, 0u64);
         for b in 0..64 {
             w0 |= (pred(b0[b]) as u64) << b;
             w1 |= (pred(b1[b]) as u64) << b;
             w2 |= (pred(b2[b]) as u64) << b;
             w3 |= (pred(b3[b]) as u64) << b;
+            w4 |= (pred(b4[b]) as u64) << b;
+            w5 |= (pred(b5[b]) as u64) << b;
+            w6 |= (pred(b6[b]) as u64) << b;
+            w7 |= (pred(b7[b]) as u64) << b;
         }
-        out[w] = w0;
-        out[w + 1] = w1;
-        out[w + 2] = w2;
-        out[w + 3] = w3;
-        w += 4;
+        out[w..w + 8].copy_from_slice(&[w0, w1, w2, w3, w4, w5, w6, w7]);
+        w += 8;
     }
     for chunk in blocks.remainder().chunks(64) {
         let mut word = 0u64;
@@ -201,8 +209,26 @@ fn date_data<'a>(batch: &'a ColumnBatch<'_>, col: u32) -> &'a [u32] {
     batch.col(col as usize).dates()
 }
 
-fn str_data<'a, 'b>(batch: &'a ColumnBatch<'b>, col: u32) -> &'a [&'b str] {
-    batch.col(col as usize).strs()
+/// Fill a mask from a `Char` column. Decoded columns run `pred` per row;
+/// dictionary-coded columns (columnar pages via the `for_predicate`
+/// batch constructors) run `pred` once per *dictionary entry* into a
+/// pass-bit table, then map the per-row codes through it — O(dict + n)
+/// instead of O(n) string comparisons.
+fn str_mask(batch: &ColumnBatch<'_>, col: u32, out: &mut [u64], pred: impl Fn(&str) -> bool) {
+    match batch.col(col as usize) {
+        ColumnData::Str(v) => fill_mask(v, out, &pred),
+        ColumnData::DictStr { dict, codes } => {
+            let mut pass = [0u64; 4]; // dict is capped at 256 entries
+            debug_assert!(dict.len() <= 256);
+            for (c, s) in dict.iter().enumerate() {
+                pass[c / 64] |= (pred(s) as u64) << (c % 64);
+            }
+            fill_mask(&codes[..], out, |c| {
+                pass[(c / 64) as usize] >> (c % 64) & 1 != 0
+            });
+        }
+        other => panic!("Char column view over {other:?}"),
+    }
 }
 
 /// Type-rank of a [`Value`], mirroring `Value::total_cmp`'s cross-type
@@ -416,7 +442,8 @@ impl CompiledPred {
                 }
                 PredOp::CmpS { col, op, lit } => {
                     let mut m = scratch.take(words);
-                    cmp_mask(str_data(batch, *col), *op, &mut m, |v| v.cmp(lit));
+                    let op = *op;
+                    str_mask(batch, *col, &mut m, |v| op.matches(v.cmp(lit)));
                     scratch.stack.push(m);
                 }
                 PredOp::BetweenI { col, lo, hi } => {
@@ -441,7 +468,7 @@ impl CompiledPred {
                 }
                 PredOp::BetweenS { col, lo, hi } => {
                     let mut m = scratch.take(words);
-                    fill_mask(str_data(batch, *col), &mut m, |v| v >= &**lo && v <= &**hi);
+                    str_mask(batch, *col, &mut m, |v| v >= &**lo && v <= &**hi);
                     scratch.stack.push(m);
                 }
                 PredOp::InI { col, items } => {
@@ -467,7 +494,7 @@ impl CompiledPred {
                 }
                 PredOp::InS { col, items } => {
                     let mut m = scratch.take(words);
-                    fill_mask(str_data(batch, *col), &mut m, |v| {
+                    str_mask(batch, *col, &mut m, |v| {
                         items.binary_search_by(|it| (**it).cmp(v)).is_ok()
                     });
                     scratch.stack.push(m);
@@ -1013,7 +1040,7 @@ mod tests {
         let s = Schema::from_pairs(&[("k", DataType::Int)]);
         let e = Expr::eq(0, 1i64);
         let c = CompiledPred::compile(&e, &s);
-        for rows in [0usize, 1, 63, 64, 65, 255, 256, 257, 511, 512, 700] {
+        for rows in [0usize, 1, 63, 64, 65, 255, 256, 257, 511, 512, 513, 700, 1024, 1100] {
             let vals: Vec<Vec<Value>> = (0..rows)
                 .map(|i| vec![Value::Int((i % 3 == 0) as i64)])
                 .collect();
@@ -1042,6 +1069,56 @@ mod tests {
             assert!(b.push_values(r).unwrap());
         }
         b.finish()
+    }
+
+    #[test]
+    fn dict_coded_masks_are_bit_identical() {
+        // The test page's Char column has 50 distinct values over 100
+        // rows, so its columnar form dictionary-codes it. Every string
+        // op must produce the same mask over codes as over decoded
+        // strings — and as the interpreter on the row-major original.
+        let s = schema();
+        let row_page = page();
+        let col_page = row_page.to_columnar();
+        let exprs = [
+            Expr::Cmp {
+                col: 3,
+                op: CmpOp::Eq,
+                lit: Value::Str("s07".into()),
+            },
+            Expr::Cmp {
+                col: 3,
+                op: CmpOp::Gt,
+                lit: Value::Str("s25".into()),
+            },
+            Expr::Between {
+                col: 3,
+                lo: Value::Str("s10".into()),
+                hi: Value::Str("s30".into()),
+            },
+            Expr::InList {
+                col: 3,
+                items: vec![Value::Str("s03".into()), Value::Str("s44".into())],
+            },
+        ];
+        for e in exprs {
+            let c = CompiledPred::compile(&e, &s);
+            let coded = ColumnBatch::for_predicate(&col_page, c.columns());
+            assert!(
+                matches!(coded.col(3), ColumnData::DictStr { .. }),
+                "predicate batch must keep the dictionary codes"
+            );
+            let decoded = ColumnBatch::from_page(&col_page, c.columns());
+            let mut scratch = PredScratch::new();
+            let (mut m_coded, mut m_decoded) = (Vec::new(), Vec::new());
+            c.eval_batch(&coded, &mut scratch, &mut m_coded);
+            c.eval_batch(&decoded, &mut scratch, &mut m_decoded);
+            assert_eq!(m_coded, m_decoded, "expr {e:?}");
+            for (i, row) in row_page.iter().enumerate() {
+                let got = m_coded[i / 64] & (1 << (i % 64)) != 0;
+                assert_eq!(got, e.eval(&row), "expr {e:?} row {i}");
+            }
+        }
     }
 
     #[test]

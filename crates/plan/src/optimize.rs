@@ -394,6 +394,7 @@ pub fn estimate_selectivity(table: &Table, pred: Option<&Expr>, sample_rows: usi
     let mut hit = 0usize;
     let mut next = 0usize; // global row index of the next sample
     let mut base = 0usize; // global row index of the current page's first row
+    let mut encrow: Vec<u8> = Vec::new();
     for pno in 0..table.page_count() {
         let page = table.raw_page(pno);
         let rows = page.rows();
@@ -402,7 +403,17 @@ pub fn estimate_selectivity(table: &Table, pred: Option<&Expr>, sample_rows: usi
                 return hit as f64 / seen as f64;
             }
             seen += 1;
-            if pred.eval(&page.row(next - base)) {
+            // Sampled rows are re-encoded on columnar pages (a handful of
+            // rows per table; not worth a vectorized path here).
+            let row = match page.column_page() {
+                Some(_) => {
+                    encrow.clear();
+                    page.encode_row_into(next - base, &mut encrow);
+                    qs_storage::row::RowRef::new(&encrow, page.schema())
+                }
+                None => page.row(next - base),
+            };
+            if pred.eval(&row) {
                 hit += 1;
             }
             next += stride;

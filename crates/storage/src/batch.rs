@@ -12,9 +12,15 @@
 //! cache prefetches. Aggregation kernels (`qs_engine::kernels`) fold the
 //! same typed slices under selection masks.
 //!
-//! Batches borrow the underlying page: `Char` columns are exposed as
-//! trimmed `&str` slices into the page arena, so decoding allocates only
-//! the per-column vectors (nothing per row for numeric columns).
+//! Batches borrow the underlying page. On **row-major** pages, `Char`
+//! columns are exposed as trimmed `&str` slices into the page arena, so
+//! decoding allocates only the per-column vectors. On **columnar** pages
+//! ([`crate::ColumnPage`]) the numeric lanes are zero-copy borrows of the
+//! page's typed arrays (`I64View`/`F64View`/`DateView`) — no per-batch
+//! decode at all — and dictionary-coded `Char` columns can stay as codes
+//! ([`ColumnData::DictStr`], via the `for_predicate` constructors) so
+//! compiled predicates evaluate once per dictionary entry instead of once
+//! per row.
 //!
 //! [`FactBatch`] is the owned, channel-crossing sibling: the unit of
 //! post-predicate dataflow (page + surviving-row selection + per-tuple
@@ -25,24 +31,43 @@
 //! batch for whichever stage needs them.
 
 use crate::bitmap::Bitmap;
-use crate::page::Page;
+use crate::page::{ColumnArray, Page};
 use crate::row::{read_date_at, read_f64_at, read_i64_at, trim_char};
 use crate::schema::Schema;
 use crate::value::DataType;
+use std::borrow::Cow;
+use std::ops::Range;
 use std::sync::Arc;
 
 /// One decoded column of a batch.
 #[derive(Debug, Clone, PartialEq)]
 pub enum ColumnData<'a> {
-    /// `Int` column values.
+    /// `Int` column values (owned — gathered or decompressed).
     I64(Vec<i64>),
+    /// `Int` lanes borrowed zero-copy from a columnar page.
+    I64View(&'a [i64]),
     /// `Float` column values.
     F64(Vec<f64>),
+    /// `Float` lanes borrowed zero-copy from a columnar page.
+    F64View(&'a [f64]),
     /// `Date` column values (`yyyymmdd`).
     Date(Vec<u32>),
+    /// `Date` lanes borrowed zero-copy from a columnar page.
+    DateView(&'a [u32]),
     /// `Char(n)` column values, trailing padding trimmed, borrowing the
     /// underlying row bytes.
     Str(Vec<&'a str>),
+    /// Dictionary-coded `Char` column: `codes[row]` indexes `dict`.
+    /// Produced only by the `for_predicate` constructors over columnar
+    /// pages; compiled predicates evaluate per dictionary entry and
+    /// expand through the codes.
+    DictStr {
+        /// Trimmed distinct values, in code order.
+        dict: Vec<&'a str>,
+        /// One dictionary code per row (borrowed for full/range views,
+        /// owned when gathered through a selection).
+        codes: Cow<'a, [u32]>,
+    },
 }
 
 impl ColumnData<'_> {
@@ -50,9 +75,13 @@ impl ColumnData<'_> {
     pub fn len(&self) -> usize {
         match self {
             ColumnData::I64(v) => v.len(),
+            ColumnData::I64View(v) => v.len(),
             ColumnData::F64(v) => v.len(),
+            ColumnData::F64View(v) => v.len(),
             ColumnData::Date(v) => v.len(),
+            ColumnData::DateView(v) => v.len(),
             ColumnData::Str(v) => v.len(),
+            ColumnData::DictStr { codes, .. } => codes.len(),
         }
     }
 
@@ -70,6 +99,7 @@ impl<'a> ColumnData<'a> {
     pub fn i64s(&self) -> &[i64] {
         match self {
             ColumnData::I64(v) => v,
+            ColumnData::I64View(v) => v,
             other => panic!("Int column view over {other:?}"),
         }
     }
@@ -79,6 +109,7 @@ impl<'a> ColumnData<'a> {
     pub fn f64s(&self) -> &[f64] {
         match self {
             ColumnData::F64(v) => v,
+            ColumnData::F64View(v) => v,
             other => panic!("Float column view over {other:?}"),
         }
     }
@@ -88,11 +119,14 @@ impl<'a> ColumnData<'a> {
     pub fn dates(&self) -> &[u32] {
         match self {
             ColumnData::Date(v) => v,
+            ColumnData::DateView(v) => v,
             other => panic!("Date column view over {other:?}"),
         }
     }
 
-    /// Trimmed `Char` values. Panics on any other type.
+    /// Trimmed `Char` values. Panics on any other type — including
+    /// [`ColumnData::DictStr`], which predicate code must match
+    /// explicitly (that is the point of keeping the codes).
     #[inline]
     pub fn strs(&self) -> &[&'a str] {
         match self {
@@ -157,27 +191,163 @@ fn decode_stride<'a>(
     }
 }
 
+/// Expand rows `range` of an RLE `Int` column into plain lanes.
+fn expand_rle_range(values: &[i64], ends: &[u32], range: Range<usize>) -> Vec<i64> {
+    let mut out = Vec::with_capacity(range.len());
+    if range.is_empty() {
+        return out;
+    }
+    let mut run = ColumnArray::run_of(ends, range.start);
+    let mut i = range.start;
+    while i < range.end {
+        let e = (ends[run] as usize).min(range.end);
+        out.resize(out.len() + (e - i), values[run]);
+        i = e;
+        run += 1;
+    }
+    out
+}
+
+/// Trimmed dictionary entries of a dict-coded `Char` column, code order.
+fn dict_strs(width: usize, dict: &[u8]) -> Vec<&str> {
+    (0..dict.len() / width.max(1))
+        .map(|i| trim_char(&dict[i * width..(i + 1) * width]))
+        .collect()
+}
+
+/// Decode rows `range` of one columnar-page array. Plain numeric lanes
+/// are zero-copy borrows; `keep_dict` keeps dictionary codes coded
+/// (predicate path) instead of expanding to `&str` per row.
+fn decode_array<'a>(arr: &'a ColumnArray, range: Range<usize>, keep_dict: bool) -> ColumnData<'a> {
+    match arr {
+        ColumnArray::I64(v) => ColumnData::I64View(&v[range]),
+        ColumnArray::RleI64 { values, ends } => {
+            ColumnData::I64(expand_rle_range(values, ends, range))
+        }
+        ColumnArray::F64(v) => ColumnData::F64View(&v[range]),
+        ColumnArray::Date(v) => ColumnData::DateView(&v[range]),
+        ColumnArray::Chars { width, bytes } => ColumnData::Str(
+            range
+                .map(|r| trim_char(&bytes[r * width..(r + 1) * width]))
+                .collect(),
+        ),
+        ColumnArray::DictChars { width, dict, codes } => {
+            let dict = dict_strs(*width, dict);
+            if keep_dict {
+                ColumnData::DictStr {
+                    dict,
+                    codes: Cow::Borrowed(&codes[range]),
+                }
+            } else {
+                ColumnData::Str(codes[range].iter().map(|&c| dict[c as usize]).collect())
+            }
+        }
+    }
+}
+
+/// Gather page rows `sel` (any order) of one columnar-page array.
+fn gather_array<'a>(arr: &'a ColumnArray, sel: &[u32], keep_dict: bool) -> ColumnData<'a> {
+    match arr {
+        ColumnArray::I64(v) => {
+            ColumnData::I64(sel.iter().map(|&r| v[r as usize]).collect())
+        }
+        ColumnArray::RleI64 { values, ends } => ColumnData::I64(
+            sel.iter()
+                .map(|&r| values[ColumnArray::run_of(ends, r as usize)])
+                .collect(),
+        ),
+        ColumnArray::F64(v) => {
+            ColumnData::F64(sel.iter().map(|&r| v[r as usize]).collect())
+        }
+        ColumnArray::Date(v) => {
+            ColumnData::Date(sel.iter().map(|&r| v[r as usize]).collect())
+        }
+        ColumnArray::Chars { .. } => ColumnData::Str(
+            sel.iter()
+                .map(|&r| trim_char(arr.char_bytes(r as usize)))
+                .collect(),
+        ),
+        ColumnArray::DictChars { width, dict, codes } => {
+            let dict = dict_strs(*width, dict);
+            if keep_dict {
+                ColumnData::DictStr {
+                    dict,
+                    codes: Cow::Owned(sel.iter().map(|&r| codes[r as usize]).collect()),
+                }
+            } else {
+                ColumnData::Str(
+                    sel.iter()
+                        .map(|&r| dict[codes[r as usize] as usize])
+                        .collect(),
+                )
+            }
+        }
+    }
+}
+
 impl<'a> ColumnBatch<'a> {
     /// Decode columns `cols` of every row of `page`.
     pub fn from_page(page: &'a Page, cols: &[usize]) -> ColumnBatch<'a> {
-        Self::from_page_range(page, 0..page.rows(), cols)
+        Self::range_impl(page, 0..page.rows(), cols, false)
+    }
+
+    /// Like [`Self::from_page`], but dictionary-coded `Char` columns of a
+    /// columnar page stay coded ([`ColumnData::DictStr`]) for compiled
+    /// predicate evaluation over codes.
+    pub fn for_predicate(page: &'a Page, cols: &[usize]) -> ColumnBatch<'a> {
+        Self::range_impl(page, 0..page.rows(), cols, true)
     }
 
     /// Decode columns `cols` of rows `range` of `page`. Row `i` of the
     /// batch is row `range.start + i` of the page.
     pub fn from_page_range(
         page: &'a Page,
-        range: std::ops::Range<usize>,
+        range: Range<usize>,
         cols: &[usize],
     ) -> ColumnBatch<'a> {
+        Self::range_impl(page, range, cols, false)
+    }
+
+    /// Range form of [`Self::for_predicate`].
+    pub fn for_predicate_range(
+        page: &'a Page,
+        range: Range<usize>,
+        cols: &[usize],
+    ) -> ColumnBatch<'a> {
+        Self::range_impl(page, range, cols, true)
+    }
+
+    fn range_impl(
+        page: &'a Page,
+        range: Range<usize>,
+        cols: &[usize],
+        keep_dict: bool,
+    ) -> ColumnBatch<'a> {
         let schema = page.schema();
-        let rs = schema.row_size();
         let rows = range.len();
-        let data = &page.raw()[range.start * rs..range.end * rs];
         let mut out = vec![None; schema.len()];
-        for &c in cols {
-            if out[c].is_none() {
-                out[c] = Some(decode_stride(data, rs, rows, schema.offset(c), schema.dtype(c)));
+        match page.column_page() {
+            Some(cp) => {
+                for &c in cols {
+                    if out[c].is_none() {
+                        out[c] = Some(decode_array(cp.array(c), range.clone(), keep_dict));
+                    }
+                }
+            }
+            None => {
+                let rs = schema.row_size();
+                let data = &page.raw()[range.start * rs..range.end * rs];
+                for &c in cols {
+                    if out[c].is_none() {
+                        out[c] = Some(decode_stride(
+                            data,
+                            rs,
+                            rows,
+                            schema.offset(c),
+                            schema.dtype(c),
+                        ));
+                    }
+                }
             }
         }
         ColumnBatch { rows, cols: out }
@@ -220,40 +390,66 @@ impl<'a> ColumnBatch<'a> {
     /// indices, any order). Row `i` of the batch is page row `sel[i]` —
     /// the decoded view of a [`FactBatch`]'s surviving tuples.
     pub fn gather(page: &'a Page, sel: &[u32], cols: &[usize]) -> ColumnBatch<'a> {
+        Self::gather_impl(page, sel, cols, false)
+    }
+
+    /// Selection form of [`Self::for_predicate`]: gather only the
+    /// surviving rows, keeping dictionary columns coded.
+    pub fn gather_for_predicate(page: &'a Page, sel: &[u32], cols: &[usize]) -> ColumnBatch<'a> {
+        Self::gather_impl(page, sel, cols, true)
+    }
+
+    fn gather_impl(
+        page: &'a Page,
+        sel: &[u32],
+        cols: &[usize],
+        keep_dict: bool,
+    ) -> ColumnBatch<'a> {
         let schema = page.schema();
-        let rs = schema.row_size();
-        let data = page.raw();
         let mut out = vec![None; schema.len()];
-        for &c in cols {
-            if out[c].is_some() {
-                continue;
+        match page.column_page() {
+            Some(cp) => {
+                for &c in cols {
+                    if out[c].is_none() {
+                        out[c] = Some(gather_array(cp.array(c), sel, keep_dict));
+                    }
+                }
             }
-            let off = schema.offset(c);
-            out[c] = Some(match schema.dtype(c) {
-                DataType::Int => ColumnData::I64(
-                    sel.iter()
-                        .map(|&r| read_i64_at(data, r as usize * rs + off))
-                        .collect(),
-                ),
-                DataType::Float => ColumnData::F64(
-                    sel.iter()
-                        .map(|&r| read_f64_at(data, r as usize * rs + off))
-                        .collect(),
-                ),
-                DataType::Date => ColumnData::Date(
-                    sel.iter()
-                        .map(|&r| read_date_at(data, r as usize * rs + off))
-                        .collect(),
-                ),
-                DataType::Char(n) => ColumnData::Str(
-                    sel.iter()
-                        .map(|&r| {
-                            let p = r as usize * rs + off;
-                            trim_char(&data[p..p + n as usize])
-                        })
-                        .collect(),
-                ),
-            });
+            None => {
+                let rs = schema.row_size();
+                let data = page.raw();
+                for &c in cols {
+                    if out[c].is_some() {
+                        continue;
+                    }
+                    let off = schema.offset(c);
+                    out[c] = Some(match schema.dtype(c) {
+                        DataType::Int => ColumnData::I64(
+                            sel.iter()
+                                .map(|&r| read_i64_at(data, r as usize * rs + off))
+                                .collect(),
+                        ),
+                        DataType::Float => ColumnData::F64(
+                            sel.iter()
+                                .map(|&r| read_f64_at(data, r as usize * rs + off))
+                                .collect(),
+                        ),
+                        DataType::Date => ColumnData::Date(
+                            sel.iter()
+                                .map(|&r| read_date_at(data, r as usize * rs + off))
+                                .collect(),
+                        ),
+                        DataType::Char(n) => ColumnData::Str(
+                            sel.iter()
+                                .map(|&r| {
+                                    let p = r as usize * rs + off;
+                                    trim_char(&data[p..p + n as usize])
+                                })
+                                .collect(),
+                        ),
+                    });
+                }
+            }
         }
         ColumnBatch {
             rows: sel.len(),
@@ -300,7 +496,9 @@ impl<'a> ColumnBatch<'a> {
 ///   ([`Self::columns`]),
 /// * operators that truly need a tuple's encoded bytes (sort buffers,
 ///   join build sides, final output) slice them straight out of the page
-///   arena ([`Self::tuple_bytes`]) without building intermediate pages.
+///   arena ([`Self::tuple_bytes`]) on row-major pages, or re-encode them
+///   through a reusable scratch ([`Self::tuple_bytes_in`]) on either
+///   layout.
 ///
 /// The page travels by `Arc`, so a `FactBatch` is `Send` and crosses
 /// pipeline channels; decoded views borrow the batch locally. The CJOIN
@@ -419,25 +617,55 @@ impl FactBatch {
 
     /// Gather an `Int` column of the surviving tuples into `out`
     /// (cleared first). Scratch-reusable form of [`Self::columns`] for
-    /// the join-key hot path.
+    /// the join-key hot path. On columnar pages this reads the typed
+    /// lanes directly (walking runs in step with the ascending selection
+    /// for RLE columns); on row-major pages it strides the arena.
     pub fn gather_i64_into(&self, col: usize, out: &mut Vec<i64>) {
         let schema = self.page.schema();
         debug_assert_eq!(schema.dtype(col), DataType::Int);
-        let rs = schema.row_size();
-        let off = schema.offset(col);
-        let data = self.page.raw();
         out.clear();
-        out.extend(
-            self.sel
-                .iter()
-                .map(|&r| read_i64_at(data, r as usize * rs + off)),
-        );
+        match self.page.column_page() {
+            Some(cp) => match cp.array(col) {
+                ColumnArray::I64(v) => {
+                    out.extend(self.sel.iter().map(|&r| v[r as usize]));
+                }
+                ColumnArray::RleI64 { values, ends } => {
+                    // `sel` is strictly ascending, so a single run cursor
+                    // suffices: O(sel + runs) instead of a binary search
+                    // per tuple.
+                    let mut run = 0usize;
+                    out.extend(self.sel.iter().map(|&r| {
+                        while ends[run] <= r {
+                            run += 1;
+                        }
+                        values[run]
+                    }));
+                }
+                other => panic!("gather_i64_into on {}", other.encoding_name()),
+            },
+            None => {
+                let rs = schema.row_size();
+                let off = schema.offset(col);
+                let data = self.page.raw();
+                out.extend(
+                    self.sel
+                        .iter()
+                        .map(|&r| read_i64_at(data, r as usize * rs + off)),
+                );
+            }
+        }
     }
 
     /// Decode `cols` of the surviving tuples into a typed column view
     /// (row `i` of the view is tuple `i` of the batch).
     pub fn columns(&self, cols: &[usize]) -> ColumnBatch<'_> {
         ColumnBatch::gather(&self.page, &self.sel, cols)
+    }
+
+    /// Predicate form of [`Self::columns`]: dictionary-coded `Char`
+    /// columns of a columnar page stay coded through the gather.
+    pub fn columns_for_predicate(&self, cols: &[usize]) -> ColumnBatch<'_> {
+        ColumnBatch::gather_for_predicate(&self.page, &self.sel, cols)
     }
 
     /// Gather every surviving tuple's encoded row bytes back-to-back, one
@@ -448,11 +676,20 @@ impl FactBatch {
             return;
         }
         let rs = self.page.schema().row_size();
-        let data = self.page.raw();
         self.rows.reserve_exact(self.sel.len() * rs);
-        for &r in &self.sel {
-            let p = r as usize * rs;
-            self.rows.extend_from_slice(&data[p..p + rs]);
+        match self.page.column_page() {
+            Some(cp) => {
+                for &r in &self.sel {
+                    cp.encode_row_into(r as usize, &mut self.rows);
+                }
+            }
+            None => {
+                let data = self.page.raw();
+                for &r in &self.sel {
+                    let p = r as usize * rs;
+                    self.rows.extend_from_slice(&data[p..p + rs]);
+                }
+            }
         }
     }
 
@@ -463,15 +700,33 @@ impl FactBatch {
     }
 
     /// Encoded row bytes of tuple `t` (batch index, not page row), sliced
-    /// straight out of the shared page arena — no materialization. The
-    /// per-tuple form for true materialization points (sort buffers, join
-    /// builds, final output); fan-out loops that touch each tuple many
-    /// times should [`Self::materialize_rows`] once instead.
+    /// straight out of the shared page arena — no materialization.
+    /// Row-major pages only (panics via [`Page::raw`] on columnar ones);
+    /// layout-generic callers use [`Self::tuple_bytes_in`].
     #[inline]
     pub fn tuple_bytes(&self, t: usize) -> &[u8] {
         let rs = self.page.schema().row_size();
         let p = self.sel[t] as usize * rs;
         &self.page.raw()[p..p + rs]
+    }
+
+    /// Encoded row bytes of tuple `t` on either layout: a zero-copy arena
+    /// slice on row-major pages, a re-encode into `scratch` on columnar
+    /// ones. `scratch` is caller-owned so tight loops reuse one buffer.
+    #[inline]
+    pub fn tuple_bytes_in<'s>(&'s self, t: usize, scratch: &'s mut Vec<u8>) -> &'s [u8] {
+        match self.page.column_page() {
+            Some(cp) => {
+                scratch.clear();
+                cp.encode_row_into(self.sel[t] as usize, scratch);
+                scratch
+            }
+            None => {
+                let rs = self.page.schema().row_size();
+                let p = self.sel[t] as usize * rs;
+                &self.page.raw()[p..p + rs]
+            }
+        }
     }
 
     /// Encoded row bytes of tuple `t` (batch index, not page row).
@@ -688,5 +943,110 @@ mod tests {
         let mut keys = Vec::new();
         fb.gather_i64_into(0, &mut keys);
         assert!(keys.is_empty());
+    }
+
+    /// A page whose columnar form exercises every encoding: RLE ints,
+    /// plain ints, dict chars, plain floats/dates.
+    fn col_page() -> (Page, Page) {
+        let s = Schema::from_pairs(&[
+            ("run", DataType::Int),    // long runs -> RLE
+            ("k", DataType::Int),      // distinct -> plain
+            ("p", DataType::Float),
+            ("d", DataType::Date),
+            ("tag", DataType::Char(5)), // 3 distinct -> dict
+        ]);
+        let rows: Vec<Vec<Value>> = (0..64)
+            .map(|i| {
+                vec![
+                    Value::Int((i / 16) as i64),
+                    Value::Int(i as i64 * 7 - 100),
+                    Value::Float(i as f64 / 4.0),
+                    Value::Date(19930101 + i as u32),
+                    Value::Str(["aa", "bbb", "c"][i % 3].into()),
+                ]
+            })
+            .collect();
+        let row = Page::from_values(&s, &rows).unwrap();
+        let col = row.to_columnar();
+        (row, col)
+    }
+
+    #[test]
+    fn columnar_batch_matches_row_batch() {
+        let (row, col) = col_page();
+        let cols = [0usize, 1, 2, 3, 4];
+        let a = ColumnBatch::from_page(&row, &cols);
+        let b = ColumnBatch::from_page(&col, &cols);
+        assert_eq!(a.col(0).i64s(), b.col(0).i64s());
+        assert_eq!(a.col(1).i64s(), b.col(1).i64s());
+        assert_eq!(a.col(2).f64s(), b.col(2).f64s());
+        assert_eq!(a.col(3).dates(), b.col(3).dates());
+        assert_eq!(a.col(4).strs(), b.col(4).strs());
+        // Plain numeric lanes are zero-copy borrows, not decodes.
+        assert!(matches!(b.col(1), ColumnData::I64View(_)));
+        assert!(matches!(b.col(2), ColumnData::F64View(_)));
+        // Range + gather forms agree too.
+        let ar = ColumnBatch::from_page_range(&row, 5..40, &cols);
+        let br = ColumnBatch::from_page_range(&col, 5..40, &cols);
+        assert_eq!(ar.col(0).i64s(), br.col(0).i64s());
+        assert_eq!(ar.col(4).strs(), br.col(4).strs());
+        let sel = [3u32, 17, 18, 40, 63];
+        let ag = ColumnBatch::gather(&row, &sel, &cols);
+        let bg = ColumnBatch::gather(&col, &sel, &cols);
+        assert_eq!(ag.col(0).i64s(), bg.col(0).i64s());
+        assert_eq!(ag.col(4).strs(), bg.col(4).strs());
+    }
+
+    #[test]
+    fn predicate_batches_keep_dict_codes() {
+        let (_, col) = col_page();
+        let b = ColumnBatch::for_predicate(&col, &[4]);
+        match b.col(4) {
+            ColumnData::DictStr { dict, codes } => {
+                assert_eq!(dict.len(), 3);
+                assert_eq!(codes.len(), 64);
+                for (i, &c) in codes.iter().enumerate() {
+                    assert_eq!(dict[c as usize], ["aa", "bbb", "c"][i % 3]);
+                }
+                assert!(matches!(codes, Cow::Borrowed(_)));
+            }
+            other => panic!("expected DictStr, got {other:?}"),
+        }
+        // Gathered through a selection: codes become owned.
+        let fb = FactBatch::new(Arc::new(col_page().1), vec![1, 5, 9], Vec::new());
+        let g = fb.columns_for_predicate(&[4]);
+        match g.col(4) {
+            ColumnData::DictStr { codes, .. } => {
+                assert_eq!(codes.len(), 3);
+                assert!(matches!(codes, Cow::Owned(_)));
+            }
+            other => panic!("expected DictStr, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn columnar_fact_batch_views_match_row_major() {
+        let (row, col) = col_page();
+        let sel: Vec<u32> = (0..64).filter(|i| i % 3 != 1).collect();
+        let a = FactBatch::new(Arc::new(row), sel.clone(), Vec::new());
+        let mut b = FactBatch::new(Arc::new(col), sel, Vec::new());
+        let mut ka = Vec::new();
+        let mut kb = Vec::new();
+        a.gather_i64_into(0, &mut ka); // RLE column
+        b.gather_i64_into(0, &mut kb);
+        assert_eq!(ka, kb);
+        a.gather_i64_into(1, &mut ka); // plain column
+        b.gather_i64_into(1, &mut kb);
+        assert_eq!(ka, kb);
+        // tuple_bytes_in re-encodes columnar rows to the row codec.
+        let mut scratch = Vec::new();
+        for t in 0..a.len() {
+            assert_eq!(a.tuple_bytes(t), b.tuple_bytes_in(t, &mut scratch));
+        }
+        // materialize_rows produces the identical arena gather.
+        b.materialize_rows();
+        for t in 0..a.len() {
+            assert_eq!(a.tuple_bytes(t), b.row_bytes(t));
+        }
     }
 }

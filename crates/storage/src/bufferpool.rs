@@ -127,10 +127,12 @@ impl BufferPool {
         let pid = table.page_id(page_no);
 
         if self.capacity == 0 {
-            // Cache disabled: always charge the disk.
+            // Cache disabled: always charge the disk, sized to the page's
+            // encoded bytes (compressed columnar pages read faster).
             self.misses.fetch_add(1, Ordering::Relaxed);
-            self.disk.read_page();
-            return table.raw_page(page_no).clone();
+            let page = table.raw_page(page_no).clone();
+            self.disk.read_page_sized(page.byte_len());
+            return page;
         }
 
         loop {
@@ -157,9 +159,10 @@ impl BufferPool {
             }
 
             // Simulated I/O happens outside the pool lock so reads on
-            // different spindles overlap.
-            self.disk.read_page();
+            // different spindles overlap; the charge scales with the
+            // page's encoded size (columnar compression buys I/O time).
             let page = table.raw_page(page_no).clone();
+            self.disk.read_page_sized(page.byte_len());
 
             let mut inner = self.inner.lock();
             let idx = self.place(&mut inner, pid, page.clone());

@@ -90,8 +90,22 @@ impl DiskModel {
     /// blocks for the configured latency. Zero-latency disks return
     /// immediately without touching the semaphore.
     pub fn read_page(&self) {
+        self.read_with_latency(self.config.latency);
+    }
+
+    /// One simulated read of a page holding `bytes` encoded bytes: the
+    /// service time scales with the on-disk size (clamped to 0.25–4× the
+    /// nominal per-page latency), so compressed columnar pages buy real
+    /// I/O time while tiny-page tests don't round to zero. Counts one
+    /// read, same as [`Self::read_page`].
+    pub fn read_page_sized(&self, bytes: usize) {
+        let scale = (bytes as f64 / crate::page::DEFAULT_PAGE_BYTES as f64).clamp(0.25, 4.0);
+        self.read_with_latency(self.config.latency.mul_f64(scale));
+    }
+
+    fn read_with_latency(&self, latency: Duration) {
         self.reads.fetch_add(1, Ordering::Relaxed);
-        if self.config.latency.is_zero() {
+        if latency.is_zero() {
             return;
         }
         let start = Instant::now();
@@ -104,10 +118,10 @@ impl DiskModel {
         }
         // Service time. `sleep` granularity on Linux is tens of µs which is
         // fine for the 100µs default; shorter latencies spin.
-        if self.config.latency >= Duration::from_micros(60) {
-            std::thread::sleep(self.config.latency);
+        if latency >= Duration::from_micros(60) {
+            std::thread::sleep(latency);
         } else {
-            let until = start + self.config.latency;
+            let until = start + latency;
             while Instant::now() < until {
                 std::hint::spin_loop();
             }
@@ -193,6 +207,26 @@ mod tests {
         let el = t.elapsed();
         assert!(el >= Duration::from_millis(28), "got {el:?}");
         assert_eq!(d.stats().reads, 12);
+    }
+
+    #[test]
+    fn sized_reads_scale_latency_but_count_once() {
+        let d = DiskModel::new(DiskConfig {
+            spindles: 1,
+            latency: Duration::from_millis(4),
+        });
+        let t = Instant::now();
+        // Half-size pages pay half the nominal latency...
+        for _ in 0..4 {
+            d.read_page_sized(crate::page::DEFAULT_PAGE_BYTES / 2);
+        }
+        assert!(t.elapsed() >= Duration::from_millis(8));
+        // ...and the scale clamps below at 0.25x, so a tiny page still
+        // pays 1ms here.
+        let t = Instant::now();
+        d.read_page_sized(16);
+        assert!(t.elapsed() >= Duration::from_millis(1));
+        assert_eq!(d.stats().reads, 5);
     }
 
     #[test]

@@ -48,6 +48,8 @@ pub enum StorageError {
     },
     /// The buffer pool could not find an evictable frame (all pinned).
     PoolExhausted,
+    /// A serialized page failed to decode (truncated or bad tag).
+    Corrupt(String),
 }
 
 impl fmt::Display for StorageError {
@@ -75,6 +77,7 @@ impl fmt::Display for StorageError {
             StorageError::PoolExhausted => {
                 write!(f, "buffer pool exhausted: every frame is pinned")
             }
+            StorageError::Corrupt(msg) => write!(f, "corrupt page: {msg}"),
         }
     }
 }

@@ -50,7 +50,7 @@ pub use catalog::Catalog;
 pub use disk::{DiskConfig, DiskModel, DiskStats};
 pub use error::StorageError;
 pub use flat::{FlatKey, FlatMap};
-pub use page::{Page, PageBuilder, PageId, DEFAULT_PAGE_BYTES};
+pub use page::{ColumnArray, ColumnPage, Page, PageBuilder, PageId, PageLayout, DEFAULT_PAGE_BYTES};
 pub use row::{RowCursor, RowRef};
 pub use scan::CircularCursor;
 pub use schema::{Column, Schema};

@@ -6,15 +6,34 @@
 //! misses. The table also carries the global circular-scan clock used by
 //! shared scans (see [`crate::scan`]).
 
-use crate::page::{Page, PageBuilder, PageId};
+use crate::page::{ColumnArray, Page, PageBuilder, PageId, PageLayout};
+use crate::row::read_i64_at;
 use crate::schema::Schema;
-use crate::value::Value;
+use crate::value::{DataType, Value};
 use crate::Result;
 use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::Arc;
+use std::sync::{Arc, OnceLock};
 
 /// Identifier assigned by the catalog.
 pub type TableId = u32;
+
+/// Distinct-count cap for [`Table::int_col_stats`]: columns with more
+/// distinct values than this report a saturated count — they are not
+/// dense-group candidates, so the exact figure does not matter.
+pub const STATS_DISTINCT_CAP: usize = 4096;
+
+/// Bounded statistics for one `Int` column, computed lazily on first
+/// request and cached for the table's lifetime (tables are immutable).
+/// Consumers pre-size dense-int group accumulators from these.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct IntColStats {
+    /// Smallest value in the column.
+    pub min: i64,
+    /// Largest value in the column.
+    pub max: i64,
+    /// Exact distinct count, or [`STATS_DISTINCT_CAP`] once saturated.
+    pub distinct: usize,
+}
 
 /// An immutable heap table: schema + pages + shared-scan clock.
 pub struct Table {
@@ -27,6 +46,8 @@ pub struct Table {
     /// reader started from. New readers attach here so their reads overlap
     /// with in-progress scans (QPipe/CJOIN "circular scans").
     scan_clock: AtomicUsize,
+    /// Lazily computed per-column stats (`None` for non-`Int` columns).
+    int_stats: OnceLock<Vec<Option<IntColStats>>>,
 }
 
 impl Table {
@@ -39,7 +60,74 @@ impl Table {
             pages,
             rows,
             scan_clock: AtomicUsize::new(0),
+            int_stats: OnceLock::new(),
         }
+    }
+
+    /// Bounded min/max/distinct statistics for `Int` column `col`
+    /// (`None` for non-`Int` columns and empty tables). Computed on
+    /// first request with a distinct cap of [`STATS_DISTINCT_CAP`] and
+    /// cached; columnar pages read their typed lanes directly (RLE
+    /// columns touch only run values).
+    pub fn int_col_stats(&self, col: usize) -> Option<IntColStats> {
+        self.int_stats
+            .get_or_init(|| {
+                (0..self.schema.len())
+                    .map(|c| self.compute_int_stats(c))
+                    .collect()
+            })
+            .get(col)
+            .copied()
+            .flatten()
+    }
+
+    fn compute_int_stats(&self, col: usize) -> Option<IntColStats> {
+        if self.schema.dtype(col) != DataType::Int || self.rows == 0 {
+            return None;
+        }
+        let mut min = i64::MAX;
+        let mut max = i64::MIN;
+        let mut distinct = std::collections::HashSet::new();
+        let mut saturated = false;
+        let mut visit = |v: i64| {
+            min = min.min(v);
+            max = max.max(v);
+            if !saturated && !distinct.contains(&v) {
+                if distinct.len() == STATS_DISTINCT_CAP {
+                    saturated = true;
+                } else {
+                    distinct.insert(v);
+                }
+            }
+        };
+        for page in &self.pages {
+            match page.column_page() {
+                Some(cp) => match cp.array(col) {
+                    ColumnArray::I64(v) => v.iter().copied().for_each(&mut visit),
+                    ColumnArray::RleI64 { values, .. } => {
+                        values.iter().copied().for_each(&mut visit)
+                    }
+                    other => panic!("Int stats over {}", other.encoding_name()),
+                },
+                None => {
+                    let rs = self.schema.row_size();
+                    let off = self.schema.offset(col);
+                    let data = page.raw();
+                    for r in 0..page.rows() {
+                        visit(read_i64_at(data, r * rs + off));
+                    }
+                }
+            }
+        }
+        Some(IntColStats {
+            min,
+            max,
+            distinct: if saturated {
+                STATS_DISTINCT_CAP
+            } else {
+                distinct.len()
+            },
+        })
     }
 
     /// Catalog-assigned id.
@@ -132,6 +220,7 @@ pub struct TableBuilder {
     pages: Vec<Arc<Page>>,
     builder: PageBuilder,
     page_bytes: usize,
+    layout: PageLayout,
 }
 
 impl TableBuilder {
@@ -149,7 +238,17 @@ impl TableBuilder {
             pages: Vec::new(),
             builder: PageBuilder::with_bytes(schema, page_bytes),
             page_bytes,
+            layout: PageLayout::Row,
         }
+    }
+
+    /// Store sealed pages in the given physical layout. Rows are always
+    /// *staged* row-major (the page byte budget governs rows per page
+    /// identically under both layouts); with [`PageLayout::Column`] each
+    /// page is converted to its columnar form as it seals.
+    pub fn with_layout(mut self, layout: PageLayout) -> Self {
+        self.layout = layout;
+        self
     }
 
     /// Append one row of values.
@@ -174,6 +273,10 @@ impl TableBuilder {
     fn seal_page(&mut self) {
         if !self.builder.is_empty() {
             let page = self.builder.finish_and_reset();
+            let page = match self.layout {
+                PageLayout::Row => page,
+                PageLayout::Column => page.to_columnar(),
+            };
             self.pages.push(Arc::new(page));
         }
     }
@@ -245,6 +348,48 @@ mod tests {
         assert_eq!(t.page_count(), 0);
         assert_eq!(t.row_count(), 0);
         assert_eq!(t.attach_scan(), 0);
+    }
+
+    #[test]
+    fn columnar_builder_matches_row_builder() {
+        let s = Schema::from_pairs(&[("k", DataType::Int), ("tag", DataType::Char(3))]);
+        let mut row_b = TableBuilder::with_page_bytes("r", s.clone(), 512);
+        let mut col_b = TableBuilder::with_page_bytes("c", s, 512).with_layout(PageLayout::Column);
+        for i in 0..100i64 {
+            let vals = [Value::Int(i / 10), Value::Str(["x", "yy"][i as usize % 2].into())];
+            row_b.push_values(&vals).unwrap();
+            col_b.push_values(&vals).unwrap();
+        }
+        let (_, _, rp) = row_b.into_parts();
+        let (_, _, cp) = col_b.into_parts();
+        assert_eq!(rp.len(), cp.len(), "byte budget governs both layouts");
+        for (r, c) in rp.iter().zip(&cp) {
+            assert_eq!(r.layout(), PageLayout::Row);
+            assert_eq!(c.layout(), PageLayout::Column);
+            assert_eq!(r.to_values(), c.to_values());
+        }
+    }
+
+    #[test]
+    fn int_stats_bound_min_max_distinct() {
+        let s = Schema::from_pairs(&[("k", DataType::Int), ("tag", DataType::Char(3))]);
+        let mut b = TableBuilder::with_page_bytes("t", s, 256);
+        for i in 0..200i64 {
+            b.push_values(&[Value::Int((i % 7) - 3), Value::Str("ab".into())])
+                .unwrap();
+        }
+        let (name, sch, pages) = b.into_parts();
+        let t = Table::new(1, name, sch, pages);
+        let st = t.int_col_stats(0).unwrap();
+        assert_eq!((st.min, st.max, st.distinct), (-3, 3, 7));
+        assert_eq!(t.int_col_stats(1), None, "Char column has no int stats");
+        // Same answer through the cache and on a columnar twin.
+        assert_eq!(t.int_col_stats(0).unwrap(), st);
+        let cols: Vec<_> = (0..t.page_count())
+            .map(|p| Arc::new(t.raw_page(p).to_columnar()))
+            .collect();
+        let tc = Table::new(2, "tc".into(), t.schema().clone(), cols);
+        assert_eq!(tc.int_col_stats(0).unwrap(), st);
     }
 
     #[test]

@@ -115,6 +115,7 @@ mod tests {
                 scale: 0.0005,
                 seed: 11,
                 page_bytes: 8192,
+                ..Default::default()
             },
         );
         cat

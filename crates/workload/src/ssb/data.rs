@@ -7,7 +7,7 @@
 //! the templates select on (regions, nations, cities, `MFGR#...`
 //! hierarchies), so template selectivities match the SSB design.
 
-use qs_storage::{Catalog, DataType, Schema, Table, TableBuilder, Value};
+use qs_storage::{Catalog, DataType, PageLayout, Schema, Table, TableBuilder, Value};
 use rand::rngs::StdRng;
 use rand::{RngExt, SeedableRng};
 use std::sync::Arc;
@@ -54,6 +54,8 @@ pub struct SsbConfig {
     pub seed: u64,
     /// Page byte budget for the generated tables.
     pub page_bytes: usize,
+    /// Page layout of the generated tables (row-major or columnar).
+    pub layout: PageLayout,
 }
 
 impl Default for SsbConfig {
@@ -62,6 +64,7 @@ impl Default for SsbConfig {
             scale: 0.01,
             seed: 42,
             page_bytes: qs_storage::DEFAULT_PAGE_BYTES,
+            layout: PageLayout::Row,
         }
     }
 }
@@ -212,7 +215,8 @@ pub fn generate_ssb(catalog: &Catalog, cfg: &SsbConfig) -> SsbTables {
     let mut rng = StdRng::seed_from_u64(cfg.seed);
 
     // --- date: the full 1992-1998 calendar ----------------------------
-    let mut b = TableBuilder::with_page_bytes("date", date_schema(), cfg.page_bytes);
+    let mut b = TableBuilder::with_page_bytes("date", date_schema(), cfg.page_bytes)
+        .with_layout(cfg.layout);
     let keys = date_keys();
     let mut day_of_year = 0u32;
     let mut prev_year = 0u32;
@@ -235,7 +239,8 @@ pub fn generate_ssb(catalog: &Catalog, cfg: &SsbConfig) -> SsbTables {
     let date = catalog.register(b);
 
     // --- customer ------------------------------------------------------
-    let mut b = TableBuilder::with_page_bytes("customer", customer_schema(), cfg.page_bytes);
+    let mut b = TableBuilder::with_page_bytes("customer", customer_schema(), cfg.page_bytes)
+        .with_layout(cfg.layout);
     let segments = ["AUTOMOBILE", "BUILDING", "FURNITURE", "MACHINERY", "HOUSEHOLD"];
     for k in 1..=sizes.customer {
         let nation = rng.random_range(0..25);
@@ -252,7 +257,8 @@ pub fn generate_ssb(catalog: &Catalog, cfg: &SsbConfig) -> SsbTables {
     let customer = catalog.register(b);
 
     // --- supplier ------------------------------------------------------
-    let mut b = TableBuilder::with_page_bytes("supplier", supplier_schema(), cfg.page_bytes);
+    let mut b = TableBuilder::with_page_bytes("supplier", supplier_schema(), cfg.page_bytes)
+        .with_layout(cfg.layout);
     for k in 1..=sizes.supplier {
         let nation = rng.random_range(0..25);
         let city = rng.random_range(0..10);
@@ -269,7 +275,8 @@ pub fn generate_ssb(catalog: &Catalog, cfg: &SsbConfig) -> SsbTables {
     // --- part ------------------------------------------------------------
     // SSB hierarchy: mfgr MFGR#1-5, category MFGR#<m><1-5>, brand1
     // MFGR#<m><c><1-40>.
-    let mut b = TableBuilder::with_page_bytes("part", part_schema(), cfg.page_bytes);
+    let mut b = TableBuilder::with_page_bytes("part", part_schema(), cfg.page_bytes)
+        .with_layout(cfg.layout);
     for k in 1..=sizes.part {
         let m = rng.random_range(1..=5u32);
         let c = rng.random_range(1..=5u32);
@@ -286,7 +293,8 @@ pub fn generate_ssb(catalog: &Catalog, cfg: &SsbConfig) -> SsbTables {
     let part = catalog.register(b);
 
     // --- lineorder -------------------------------------------------------
-    let mut b = TableBuilder::with_page_bytes("lineorder", lineorder_schema(), cfg.page_bytes);
+    let mut b = TableBuilder::with_page_bytes("lineorder", lineorder_schema(), cfg.page_bytes)
+        .with_layout(cfg.layout);
     let n_dates = keys.len();
     for k in 1..=sizes.lineorder {
         let quantity = rng.random_range(1..=50i64);
@@ -351,6 +359,7 @@ mod tests {
             scale: 0.001,
             seed: 7,
             page_bytes: 4096,
+            ..Default::default()
         };
         let c1 = Catalog::new();
         let t1 = generate_ssb(&c1, &cfg);
@@ -368,6 +377,7 @@ mod tests {
             scale: 0.001,
             seed: 1,
             page_bytes: 8192,
+            ..Default::default()
         };
         let cat = Catalog::new();
         let t = generate_ssb(&cat, &cfg);
@@ -394,6 +404,7 @@ mod tests {
             scale: 0.001,
             seed: 2,
             page_bytes: 8192,
+            ..Default::default()
         };
         let cat = Catalog::new();
         let t = generate_ssb(&cat, &cfg);
@@ -426,10 +437,43 @@ mod tests {
                 scale: 0.0005,
                 seed: 3,
                 page_bytes: 8192,
+                ..Default::default()
             },
         );
         for name in ["lineorder", "date", "customer", "supplier", "part"] {
             assert!(cat.get(name).is_ok(), "{name} missing");
+        }
+    }
+
+    #[test]
+    fn columnar_ssb_matches_row_ssb() {
+        let row_cfg = SsbConfig {
+            scale: 0.0005,
+            seed: 11,
+            page_bytes: 4096,
+            ..Default::default()
+        };
+        let col_cfg = SsbConfig {
+            layout: PageLayout::Column,
+            ..row_cfg.clone()
+        };
+        let (c1, c2) = (Catalog::new(), Catalog::new());
+        let tr = generate_ssb(&c1, &row_cfg);
+        let tc = generate_ssb(&c2, &col_cfg);
+        for (r, c) in [
+            (&tr.lineorder, &tc.lineorder),
+            (&tr.date, &tc.date),
+            (&tr.customer, &tc.customer),
+            (&tr.supplier, &tc.supplier),
+            (&tr.part, &tc.part),
+        ] {
+            assert_eq!(r.page_count(), c.page_count(), "{}", r.name());
+            for pno in 0..r.page_count() {
+                let (rp, cp) = (r.raw_page(pno), c.raw_page(pno));
+                assert_eq!(rp.layout(), PageLayout::Row);
+                assert_eq!(cp.layout(), PageLayout::Column);
+                assert_eq!(rp.to_values(), cp.to_values(), "{} page {pno}", r.name());
+            }
         }
     }
 

@@ -404,6 +404,7 @@ mod tests {
                 scale: 0.0005,
                 seed: 11,
                 page_bytes: 8192,
+                ..Default::default()
             },
         );
         cat
@@ -515,6 +516,7 @@ mod sql_tests {
                 scale: 0.0005,
                 seed: 3,
                 page_bytes: 8 * 1024,
+                ..Default::default()
             },
         );
         for t in SsbTemplate::all() {
@@ -536,6 +538,7 @@ mod sql_tests {
                 scale: 0.0005,
                 seed: 3,
                 page_bytes: 8 * 1024,
+                ..Default::default()
             },
         );
         let a = SsbTemplate::Q1_1.sql(&cat, &TemplateParams::variant(0)).unwrap();

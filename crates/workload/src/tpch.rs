@@ -8,7 +8,7 @@
 //! for distributing it — dominates.
 
 use qs_plan::{AggFunc, AggSpec, Expr, LogicalPlan, PlanBuilder, Result};
-use qs_storage::{Catalog, DataType, Schema, Table, TableBuilder, Value};
+use qs_storage::{Catalog, DataType, PageLayout, Schema, Table, TableBuilder, Value};
 use rand::rngs::StdRng;
 use rand::{RngExt, SeedableRng};
 use std::sync::Arc;
@@ -22,6 +22,8 @@ pub struct TpchConfig {
     pub seed: u64,
     /// Page byte budget.
     pub page_bytes: usize,
+    /// Page layout of the generated table (row-major or columnar).
+    pub layout: PageLayout,
 }
 
 impl Default for TpchConfig {
@@ -30,6 +32,7 @@ impl Default for TpchConfig {
             scale: 0.01,
             seed: 42,
             page_bytes: qs_storage::DEFAULT_PAGE_BYTES,
+            layout: PageLayout::Row,
         }
     }
 }
@@ -66,7 +69,8 @@ pub fn lineitem_schema() -> Arc<Schema> {
 /// Generate `lineitem` and register it in the catalog.
 pub fn generate_lineitem(catalog: &Catalog, cfg: &TpchConfig) -> Arc<Table> {
     let mut rng = StdRng::seed_from_u64(cfg.seed);
-    let mut b = TableBuilder::with_page_bytes("lineitem", lineitem_schema(), cfg.page_bytes);
+    let mut b = TableBuilder::with_page_bytes("lineitem", lineitem_schema(), cfg.page_bytes)
+        .with_layout(cfg.layout);
     let flags = ["A", "N", "R"];
     let statuses = ["F", "O"];
     let dates = crate::ssb::data::date_keys();
@@ -143,6 +147,7 @@ mod tests {
             scale: 0.001,
             seed: 5,
             page_bytes: 8192,
+            ..Default::default()
         };
         let t = generate_lineitem(&cat, &cfg);
         assert_eq!(t.row_count(), 6000);
@@ -171,6 +176,7 @@ mod tests {
                 scale: 0.0005,
                 seed: 9,
                 page_bytes: 8192,
+                ..Default::default()
             },
         );
         for pno in 0..t.page_count() {

@@ -22,6 +22,7 @@ fn catalog() -> Arc<Catalog> {
                 scale: 0.002,
                 seed: 99,
                 page_bytes: 16 * 1024,
+                ..Default::default()
             },
         );
         cat

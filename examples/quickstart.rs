@@ -19,6 +19,7 @@ fn main() {
             scale: 0.001,
             seed: 42,
             page_bytes: 64 * 1024,
+            ..Default::default()
         },
     );
     println!(

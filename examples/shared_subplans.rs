@@ -54,6 +54,7 @@ fn main() {
             scale: 0.002,
             seed: 7,
             page_bytes: 64 * 1024,
+            ..Default::default()
         },
     );
     let (q1, q2) = build_queries(&catalog).expect("plans");

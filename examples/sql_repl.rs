@@ -40,6 +40,7 @@ fn main() {
             scale,
             seed: 42,
             page_bytes: 16 * 1024,
+            ..Default::default()
         },
     );
     let db = SharingDb::new(catalog.clone(), DbConfig::new(mode)).expect("build db");

@@ -20,6 +20,7 @@ fn main() {
             scale: 0.002,
             seed: 11,
             page_bytes: 64 * 1024,
+            ..Default::default()
         },
     );
 

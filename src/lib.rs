@@ -26,7 +26,7 @@
 //!
 //! // Generate a small SSB dataset.
 //! let catalog = Catalog::new();
-//! generate_ssb(&catalog, &SsbConfig { scale: 0.001, seed: 1, page_bytes: 8192 });
+//! generate_ssb(&catalog, &SsbConfig { scale: 0.001, seed: 1, page_bytes: 8192, ..Default::default() });
 //!
 //! // Evaluate one SSB query in every execution mode; all agree.
 //! let plan = SsbTemplate::Q2_1.plan(&catalog, &TemplateParams::variant(0)).unwrap();
@@ -60,7 +60,7 @@ pub mod prelude {
         optimize, AggFunc, AggSpec, Expr, LogicalPlan, OptimizerOptions, PlanBuilder, StarQuery,
     };
     pub use qs_sql::plan_sql;
-    pub use qs_storage::{Catalog, DataType, DiskConfig, Schema, TableBuilder, Value};
+    pub use qs_storage::{Catalog, DataType, DiskConfig, PageLayout, Schema, TableBuilder, Value};
     pub use qs_workload::ssb::data::{generate_ssb, SsbConfig};
     pub use qs_workload::ssb::queries::TemplateParams;
     pub use qs_workload::{

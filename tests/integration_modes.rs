@@ -14,6 +14,7 @@ fn ssb(scale: f64, seed: u64) -> Arc<Catalog> {
             scale,
             seed,
             page_bytes: 16 * 1024,
+            ..Default::default()
         },
     );
     catalog
@@ -163,6 +164,7 @@ fn tpch_q1_agrees_across_sp_configurations() {
             scale: 0.001,
             seed: 5,
             page_bytes: 16 * 1024,
+            ..Default::default()
         },
     );
     let plan = tpch_q1_plan(&catalog, sharing_repro::workload::tpch::Q1_CUTOFF).unwrap();

@@ -295,71 +295,99 @@ fn five_modes_agree_on_seeded_random_plans() {
         "mode_differential: MODE_DIFF_CASES={cases} MODE_DIFF_SEED={base_seed}"
     );
 
-    let catalog = Catalog::new();
-    generate_ssb(
-        &catalog,
-        &SsbConfig {
-            scale: 0.0005,
-            seed: base_seed ^ 0x55B,
-            page_bytes: 4 * 1024,
-        },
-    );
-    let samples = Samples::new(catalog.clone());
-
-    // One database per mode, built once and reused across every seed (the
-    // GQP pipelines stay warm, as they would in the demo).
-    let dbs: Vec<(ExecutionMode, SharingDb)> = ExecutionMode::all()
-        .into_iter()
-        .map(|mode| {
-            (
-                mode,
-                SharingDb::new(catalog.clone(), DbConfig::new(mode)).expect("db"),
-            )
-        })
-        .collect();
-
+    // Since PR 6 every seed runs against BOTH page layouts: the same
+    // logical dataset stored row-major and columnar (dict/RLE-encoded)
+    // must yield byte-identical canonical rows in all five modes. Any
+    // layout-dependent read path (dict-code predicates, columnar group
+    // resolution, stride gathers) that diverges fails on a named seed.
     let mut stars = 0usize;
     let mut grouped = 0usize;
-    // Per-tier plan tally, indexed DenseInt / Packed / ByteKey.
+    // Per-tier plan tally, indexed DenseInt / Packed / ByteKey (tallied
+    // once — the plan stream is identical across layouts).
     let mut tier_counts = [0usize; 3];
-    for case in 0..cases {
-        let seed = base_seed.wrapping_add(case);
-        let mut rng = StdRng::seed_from_u64(seed);
-        let (plan, tier) = gen_plan(&mut rng, &samples);
-        if let Some(tier) = tier {
-            grouped += 1;
-            tier_counts[match tier {
-                GroupTier::DenseInt => 0,
-                GroupTier::Packed => 1,
-                GroupTier::ByteKey => 2,
-            }] += 1;
-        }
-        if StarQuery::detect(&plan, &catalog).is_some() {
-            stars += 1;
-        }
-        let expected = reference::eval(&plan, &catalog)
-            .unwrap_or_else(|e| panic!("oracle failed (seed {seed}): {e}\n{plan:?}"));
-        for (mode, db) in &dbs {
-            let rows = db
-                .submit(&plan)
-                .and_then(|t| t.collect_rows())
-                .unwrap_or_else(|e| {
-                    panic!("{mode:?} failed (seed {seed}): {e}\n{plan:?}")
-                });
-            // assert_rows_match canonicalizes (sorts) both sides, so this
-            // is the "identical sorted results" check; it panics with the
-            // first differing cell. Wrap to name the seed.
-            let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-                reference::assert_rows_match(rows, expected.clone(), 1e-9);
-            }));
-            if let Err(p) = result {
-                panic!(
-                    "{mode:?} diverged from the oracle (seed {seed}):\n{plan:?}\n{:?}",
-                    p.downcast_ref::<String>()
-                );
+    let mut layouts_run = 0usize;
+    for layout in [PageLayout::Row, PageLayout::Column] {
+        let catalog = Catalog::new();
+        generate_ssb(
+            &catalog,
+            &SsbConfig {
+                scale: 0.0005,
+                seed: base_seed ^ 0x55B,
+                page_bytes: 4 * 1024,
+                layout,
+            },
+        );
+        // The layout knob must actually reach the stored pages.
+        let fact = catalog.get("lineorder").expect("lineorder");
+        assert_eq!(fact.raw_page(0).layout(), layout, "fact table layout");
+        layouts_run += 1;
+        let samples = Samples::new(catalog.clone());
+
+        // One database per mode, built once and reused across every seed
+        // (the GQP pipelines stay warm, as they would in the demo).
+        let dbs: Vec<(ExecutionMode, SharingDb)> = ExecutionMode::all()
+            .into_iter()
+            .map(|mode| {
+                (
+                    mode,
+                    SharingDb::new(catalog.clone(), DbConfig::new(mode)).expect("db"),
+                )
+            })
+            .collect();
+
+        for case in 0..cases {
+            let seed = base_seed.wrapping_add(case);
+            let mut rng = StdRng::seed_from_u64(seed);
+            let (plan, tier) = gen_plan(&mut rng, &samples);
+            if layout == PageLayout::Row {
+                if let Some(tier) = tier {
+                    grouped += 1;
+                    tier_counts[match tier {
+                        GroupTier::DenseInt => 0,
+                        GroupTier::Packed => 1,
+                        GroupTier::ByteKey => 2,
+                    }] += 1;
+                }
+                if StarQuery::detect(&plan, &catalog).is_some() {
+                    stars += 1;
+                }
+            }
+            let expected = reference::eval(&plan, &catalog).unwrap_or_else(|e| {
+                panic!("oracle failed (seed {seed}, {layout}): {e}\n{plan:?}")
+            });
+            for (mode, db) in &dbs {
+                let rows = db
+                    .submit(&plan)
+                    .and_then(|t| t.collect_rows())
+                    .unwrap_or_else(|e| {
+                        panic!("{mode:?} failed (seed {seed}, {layout}): {e}\n{plan:?}")
+                    });
+                // assert_rows_match canonicalizes (sorts) both sides, so
+                // this is the "identical sorted results" check; it panics
+                // with the first differing cell. Wrap to name the seed.
+                let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                    reference::assert_rows_match(rows, expected.clone(), 1e-9);
+                }));
+                if let Err(p) = result {
+                    panic!(
+                        "{mode:?} diverged from the oracle (seed {seed}, \
+                         {layout} layout):\n{plan:?}\n{:?}",
+                        p.downcast_ref::<String>()
+                    );
+                }
             }
         }
+
+        let (_, gqp_db) = dbs
+            .iter()
+            .find(|(m, _)| *m == ExecutionMode::Gqp)
+            .expect("GQP db");
+        assert!(
+            gqp_db.metrics().packets[StageKind::Cjoin as usize] > 0,
+            "no plan ever reached the CJOIN stage ({layout} layout)"
+        );
     }
+    assert_eq!(layouts_run, 2, "both page layouts must be exercised");
 
     // The generator must actually exercise the GQP path: a healthy share
     // of plans are CJOIN-admissible star queries.
@@ -395,12 +423,4 @@ fn five_modes_agree_on_seeded_random_plans() {
             );
         }
     }
-    let (_, gqp_db) = dbs
-        .iter()
-        .find(|(m, _)| *m == ExecutionMode::Gqp)
-        .expect("GQP db");
-    assert!(
-        gqp_db.metrics().packets[StageKind::Cjoin as usize] > 0,
-        "no plan ever reached the CJOIN stage"
-    );
 }

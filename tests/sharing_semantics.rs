@@ -14,6 +14,7 @@ fn ssb(scale: f64, seed: u64) -> Arc<Catalog> {
             scale,
             seed,
             page_bytes: 16 * 1024,
+            ..Default::default()
         },
     );
     catalog
@@ -202,6 +203,7 @@ fn scan_only_policy_limits_sharing_to_the_scan_stage() {
             scale: 0.001,
             seed: 5,
             page_bytes: 16 * 1024,
+            ..Default::default()
         },
     );
     let plan = tpch_q1_plan(&catalog, sharing_repro::workload::tpch::Q1_CUTOFF).unwrap();

@@ -45,6 +45,7 @@ fn ssb(scale: f64, seed: u64) -> Arc<Catalog> {
             scale,
             seed,
             page_bytes: 8 * 1024,
+            ..Default::default()
         },
     );
     catalog

@@ -19,6 +19,7 @@ fn ssb(scale: f64, seed: u64) -> Arc<Catalog> {
             scale,
             seed,
             page_bytes: 16 * 1024,
+            ..Default::default()
         },
     );
     catalog
