@@ -32,7 +32,7 @@ fn setup(rows: i64) -> (Arc<qs_storage::Table>, Arc<BufferPool>) {
 fn scan_all(table: &Arc<qs_storage::Table>, pool: &BufferPool) -> i64 {
     let mut cursor = CircularCursor::new(table.clone());
     let mut sum = 0i64;
-    while let Some(p) = cursor.next_page(pool) {
+    while let Some(p) = cursor.next_page(pool).unwrap() {
         for r in p.iter() {
             sum += r.i64_col(0);
         }

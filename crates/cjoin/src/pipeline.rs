@@ -47,8 +47,51 @@ use qs_plan::{CompiledPred, Expr, PredScratch, StarQuery};
 use qs_storage::{Catalog, ColumnBatch, FactBatch, Page, PageBuilder, Schema, Table};
 use std::collections::HashMap;
 use std::fmt;
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::Ordering;
 use std::sync::Arc;
+
+/// Joins the pipeline's stage threads when dropped. Declared *first* in
+/// [`CjoinPipeline::new`] so that on an early error return every channel
+/// sender (declared later, dropped sooner) is gone before the join —
+/// each stage loop then observes a closed channel and exits.
+struct JoinOnDrop(Vec<std::thread::JoinHandle<()>>);
+
+impl Drop for JoinOnDrop {
+    fn drop(&mut self) {
+        for h in self.0.drain(..) {
+            let _ = h.join();
+        }
+    }
+}
+
+/// Spawn one stage thread, propagating spawn failure as a typed error
+/// instead of panicking mid-construction (satellite of the fault-model
+/// work: a resource-exhausted host degrades to a clean `Err`).
+fn spawn_stage(
+    threads: &mut JoinOnDrop,
+    name: String,
+    f: impl FnOnce() + Send + 'static,
+) -> Result<(), CjoinError> {
+    let h = std::thread::Builder::new()
+        .name(name.clone())
+        .spawn(f)
+        .map_err(|e| CjoinError::Spawn(format!("{name}: {e}")))?;
+    threads.0.push(h);
+    Ok(())
+}
+
+/// Top-level panic belt for a stage thread: runs the loop body, and if it
+/// unwinds, records the containment and lets the thread exit. The channel
+/// cascade then tears the chain down to the distributors, whose drain
+/// path aborts every open query hub — co-runners degrade to failed
+/// tickets, never to a dead process or a hung reader.
+fn contain_stage_panic(metrics: &Arc<qs_engine::Metrics>, stage: &str, f: impl FnOnce()) {
+    if catch_unwind(AssertUnwindSafe(f)).is_err() {
+        metrics.panics_contained.fetch_add(1, Ordering::Relaxed);
+        eprintln!("cjoin: contained panic in {stage} stage; pipeline shutting down");
+    }
+}
 
 /// Errors surfaced by the CJOIN operator.
 #[derive(Debug, Clone, PartialEq)]
@@ -60,6 +103,15 @@ pub enum CjoinError {
     Saturated,
     /// Storage failure during construction.
     Storage(qs_storage::StorageError),
+    /// A stage thread could not be spawned at construction.
+    Spawn(String),
+    /// The pipeline's stage chain has terminated (shutdown, or a stage
+    /// thread died); no further admissions are possible.
+    Down,
+    /// Admission-time work for this query failed (e.g. its dimension
+    /// predicate panicked while scanning the hash table). The pipeline
+    /// and its co-running queries are unaffected.
+    Admission(String),
 }
 
 impl fmt::Display for CjoinError {
@@ -68,6 +120,9 @@ impl fmt::Display for CjoinError {
             CjoinError::Incompatible(msg) => write!(f, "incompatible star query: {msg}"),
             CjoinError::Saturated => write!(f, "pipeline saturated: no free query slots"),
             CjoinError::Storage(e) => write!(f, "storage: {e}"),
+            CjoinError::Spawn(msg) => write!(f, "could not spawn stage thread: {msg}"),
+            CjoinError::Down => write!(f, "cjoin pipeline is down"),
+            CjoinError::Admission(msg) => write!(f, "admission failed: {msg}"),
         }
     }
 }
@@ -171,6 +226,11 @@ enum Msg {
     Batch(Batch),
     Admitted(u32, Box<QueryOutput>),
     QueryDone(u32),
+    /// The query at this slot hit a contained fault (predicate panic,
+    /// failed fact-page read): stop feeding it and abort — not finish —
+    /// its output stream so the client sees a typed error, while every
+    /// co-running query continues undisturbed.
+    QueryAborted(u32, String),
 }
 
 /// Messages delivered to distributor shards: batches are broadcast
@@ -179,6 +239,7 @@ enum DistMsg {
     Batch(Arc<Batch>),
     Admitted(u32, Box<QueryOutput>),
     QueryDone(u32),
+    QueryAborted(u32, String),
 }
 
 enum Ctl {
@@ -296,7 +357,7 @@ impl CjoinPipeline {
             let mut cursor = qs_storage::CircularCursor::from_position(table.clone(), 0);
             let key_off = schema.offset(d.dim_key);
             let mut encrow = Vec::with_capacity(schema.row_size());
-            while let Some(page) = cursor.next_page(&ctx.pool) {
+            while let Some(page) = cursor.next_page(&ctx.pool)? {
                 // Rows are kept as encoded bytes (the join output slices
                 // them), so columnar pages re-encode through a scratch —
                 // same copy either way.
@@ -322,9 +383,13 @@ impl CjoinPipeline {
         let dims = Arc::new(dims);
         let metrics = Arc::new(CjoinMetrics::default());
 
+        // Stage threads are joined by this guard if construction errors
+        // out below; declared before every channel sender so the senders
+        // drop first and the loops observe closed channels.
+        let mut threads = JoinOnDrop(Vec::new());
+
         // Wire the chain: preproc -> dim[0] -> ... -> dim[k-1] -> dist.
         let (ctl_tx, ctl_rx) = bounded::<Ctl>(spec.max_queries.max(16));
-        let mut threads = Vec::new();
         let (head_tx, mut prev_rx) = bounded::<Msg>(spec.channel_depth.max(1));
 
         // Preprocessor helper pool (parallel fact-predicate evaluation).
@@ -332,12 +397,9 @@ impl CjoinPipeline {
         for w in 0..spec.preproc_workers.max(1) {
             let job_rx = job_rx.clone();
             let ctx = ctx.clone();
-            threads.push(
-                std::thread::Builder::new()
-                    .name(format!("cjoin-pre{w}"))
-                    .spawn(move || preproc_worker_loop(job_rx, ctx))
-                    .expect("spawn preproc worker"),
-            );
+            spawn_stage(&mut threads, format!("cjoin-pre{w}"), move || {
+                preproc_worker_loop(job_rx, ctx)
+            })?;
         }
         drop(job_rx);
 
@@ -347,16 +409,12 @@ impl CjoinPipeline {
             let ctx = ctx.clone();
             let metrics = metrics.clone();
             let max_queries = spec.max_queries;
-            threads.push(
-                std::thread::Builder::new()
-                    .name("cjoin-preproc".into())
-                    .spawn(move || {
-                        preprocessor_loop(
-                            fact, ctx, metrics, max_queries, ctl_rx, head_tx, job_tx,
-                        )
-                    })
-                    .expect("spawn preprocessor"),
-            );
+            spawn_stage(&mut threads, "cjoin-preproc".into(), move || {
+                let m = ctx.metrics.clone();
+                contain_stage_panic(&m, "preprocessor", move || {
+                    preprocessor_loop(fact, ctx, metrics, max_queries, ctl_rx, head_tx, job_tx)
+                });
+            })?;
         }
 
         // One thread per shared hash-join.
@@ -366,12 +424,12 @@ impl CjoinPipeline {
             let ctx = ctx.clone();
             let metrics = metrics.clone();
             let in_rx = prev_rx;
-            threads.push(
-                std::thread::Builder::new()
-                    .name(format!("cjoin-dim{dim_idx}"))
-                    .spawn(move || dim_stage_loop(dim_idx, dims, ctx, metrics, in_rx, tx))
-                    .expect("spawn dim stage"),
-            );
+            spawn_stage(&mut threads, format!("cjoin-dim{dim_idx}"), move || {
+                let m = ctx.metrics.clone();
+                contain_stage_panic(&m, "dim", move || {
+                    dim_stage_loop(dim_idx, dims, ctx, metrics, in_rx, tx)
+                });
+            })?;
             prev_rx = rx;
         }
 
@@ -390,12 +448,9 @@ impl CjoinPipeline {
             let metrics = metrics.clone();
             let free = free_slots.clone();
             let cache = pred_cache.clone();
-            threads.push(
-                std::thread::Builder::new()
-                    .name(format!("cjoin-dist{shard}"))
-                    .spawn(move || distributor_loop(dims, ctx, metrics, free, cache, rx))
-                    .expect("spawn distributor"),
-            );
+            spawn_stage(&mut threads, format!("cjoin-dist{shard}"), move || {
+                distributor_loop(dims, ctx, metrics, free, cache, rx)
+            })?;
         }
         // Fan-out thread: broadcasts batches to every shard, routes
         // admissions/completions to the owning shard. Surviving tuples'
@@ -403,45 +458,15 @@ impl CjoinPipeline {
         // shards fan out from a contiguous buffer instead of each
         // re-reading the page per (tuple × query).
         {
-            threads.push(
-                std::thread::Builder::new()
-                    .name("cjoin-fanout".into())
-                    .spawn(move || {
-                        while let Ok(msg) = prev_rx.recv() {
-                            match msg {
-                                Msg::Batch(mut b) => {
-                                    b.fact.materialize_rows();
-                                    let b = Arc::new(b);
-                                    for tx in &shard_txs {
-                                        if tx.send(DistMsg::Batch(b.clone())).is_err() {
-                                            return;
-                                        }
-                                    }
-                                }
-                                Msg::Admitted(slot, out) => {
-                                    let shard = slot as usize % shard_txs.len();
-                                    if shard_txs[shard]
-                                        .send(DistMsg::Admitted(slot, out))
-                                        .is_err()
-                                    {
-                                        return;
-                                    }
-                                }
-                                Msg::QueryDone(slot) => {
-                                    let shard = slot as usize % shard_txs.len();
-                                    if shard_txs[shard]
-                                        .send(DistMsg::QueryDone(slot))
-                                        .is_err()
-                                    {
-                                        return;
-                                    }
-                                }
-                            }
-                        }
-                    })
-                    .expect("spawn fanout"),
-            );
+            let ctx = ctx.clone();
+            spawn_stage(&mut threads, "cjoin-fanout".into(), move || {
+                let m = ctx.metrics.clone();
+                contain_stage_panic(&m, "fanout", move || {
+                    fanout_loop(prev_rx, shard_txs);
+                });
+            })?;
         }
+        let threads = std::mem::take(&mut threads.0);
 
         Ok(CjoinPipeline {
             fact,
@@ -549,8 +574,36 @@ impl CjoinPipeline {
                                 dedup_hits += 1;
                             }
                             _ => {
-                                evals += admission_scan(dim, &pred, slot);
-                                cache[idx].insert(key, (pred, slot));
+                                // Contained: a panicking dimension
+                                // predicate fails only this admission.
+                                // Entry bits already written for the slot
+                                // are fully overwritten by the slot's next
+                                // occupant, but cache entries pointing at
+                                // this slot must not survive (a later
+                                // query would copy half-evaluated bits).
+                                match catch_unwind(AssertUnwindSafe(|| {
+                                    admission_scan(dim, &pred, slot)
+                                })) {
+                                    Ok(n) => {
+                                        evals += n;
+                                        cache[idx].insert(key, (pred, slot));
+                                    }
+                                    Err(_) => {
+                                        for per_dim in cache.iter_mut() {
+                                            per_dim.retain(|_, (_, s)| *s != slot);
+                                        }
+                                        drop(cache);
+                                        self.free_slots.lock().push(slot);
+                                        self.ctx
+                                            .metrics
+                                            .panics_contained
+                                            .fetch_add(1, Ordering::Relaxed);
+                                        return Err(CjoinError::Admission(format!(
+                                            "dimension predicate on `{}` panicked",
+                                            dim.spec.table
+                                        )));
+                                    }
+                                }
                             }
                         }
                     }
@@ -583,9 +636,33 @@ impl CjoinPipeline {
             self.ctx.metrics.clone(),
             self.ctx.governor.clone(),
         );
+        // Output-page allocation runs on the submitter's thread; a panic
+        // here (e.g. the `page.alloc` failpoint, or a real OOM-style
+        // abort) must degrade to a failed admission, not kill the caller.
+        let builder = match catch_unwind(AssertUnwindSafe(|| {
+            PageBuilder::with_bytes(out_schema.clone(), self.out_page_bytes)
+        })) {
+            Ok(b) => b,
+            Err(_) => {
+                {
+                    let mut cache = self.pred_cache.lock();
+                    for per_dim in cache.iter_mut() {
+                        per_dim.retain(|_, (_, s)| *s != slot);
+                    }
+                }
+                self.free_slots.lock().push(slot);
+                self.ctx
+                    .metrics
+                    .panics_contained
+                    .fetch_add(1, Ordering::Relaxed);
+                return Err(CjoinError::Admission(
+                    "output page allocation panicked".into(),
+                ));
+            }
+        };
         let output = Box::new(QueryOutput {
             hub: hub.clone(),
-            builder: PageBuilder::with_bytes(out_schema.clone(), self.out_page_bytes),
+            builder,
             dim_order,
             out_schema: out_schema.clone(),
         });
@@ -594,13 +671,27 @@ impl CjoinPipeline {
             .fact_predicate
             .as_ref()
             .map(|e| Arc::new(CompiledPred::compile(e, &self.fact_schema)));
-        self.ctl_tx
+        if self
+            .ctl_tx
             .send(Ctl::Admit {
                 slot,
                 fact_pred,
                 output,
             })
-            .expect("preprocessor alive");
+            .is_err()
+        {
+            // The preprocessor is gone (pipeline shut down or its thread
+            // died): surface a typed error instead of panicking, and give
+            // the slot back so a later pipeline rebuild starts clean.
+            {
+                let mut cache = self.pred_cache.lock();
+                for per_dim in cache.iter_mut() {
+                    per_dim.retain(|_, (_, s)| *s != slot);
+                }
+            }
+            self.free_slots.lock().push(slot);
+            return Err(CjoinError::Down);
+        }
         // Slot is returned to the allocator by the distributor when the
         // revolution completes — see `distributor_loop`.
         Ok(CjoinQuery {
@@ -681,7 +772,17 @@ struct ChunkJob {
     cols: Arc<Vec<usize>>,
     max_queries: usize,
     chunk_id: usize,
-    reply: Sender<(usize, Vec<u32>, Vec<Bitmap>)>,
+    reply: Sender<ChunkReply>,
+}
+
+/// One evaluated chunk: surviving rows, their bitmaps, and the slots
+/// whose predicate panicked over this chunk (contained per query — they
+/// contribute no rows and are aborted by the preprocessor).
+struct ChunkReply {
+    chunk_id: usize,
+    rows: Vec<u32>,
+    bitmaps: Vec<Bitmap>,
+    poisoned: Vec<u32>,
 }
 
 /// Reusable buffers for [`eval_chunk`], held per worker thread so
@@ -705,10 +806,10 @@ struct ChunkScratch {
 /// into a per-query selection mask, then transpose the masks into the
 /// per-row query bitmaps the shared joins consume. Dead rows (no query
 /// bit set) never materialize a bitmap.
-fn eval_chunk(job: &ChunkJob, scratch: &mut ChunkScratch) -> (Vec<u32>, Vec<Bitmap>) {
+fn eval_chunk(job: &ChunkJob, scratch: &mut ChunkScratch) -> (Vec<u32>, Vec<Bitmap>, Vec<u32>) {
     let n = job.range.len();
     if n == 0 {
-        return (Vec::new(), Vec::new());
+        return (Vec::new(), Vec::new(), Vec::new());
     }
     let words = mask_words(n);
     let nq = job.preds.len();
@@ -721,11 +822,23 @@ fn eval_chunk(job: &ChunkJob, scratch: &mut ChunkScratch) -> (Vec<u32>, Vec<Bitm
     scratch.masks.resize(nq * words, 0);
     scratch.any.clear();
     scratch.any.resize(words, 0);
-    for (qi, (_, pred)) in job.preds.iter().enumerate() {
+    let mut poisoned: Vec<u32> = Vec::new();
+    for (qi, (slot, pred)) in job.preds.iter().enumerate() {
         let dst = &mut scratch.masks[qi * words..(qi + 1) * words];
         match pred {
             Some(p) => {
-                p.eval_batch(&batch, &mut scratch.pred, &mut scratch.qmask);
+                // Per-query containment: one query's panicking predicate
+                // must not take down the chunk (and with it every
+                // co-runner's rows). The poisoned query keeps an all-zero
+                // mask and is reported for abortion.
+                let ok = catch_unwind(AssertUnwindSafe(|| {
+                    p.eval_batch(&batch, &mut scratch.pred, &mut scratch.qmask)
+                }));
+                if ok.is_err() {
+                    scratch.pred = PredScratch::new(); // state unknown after unwind
+                    poisoned.push(*slot);
+                    continue;
+                }
                 dst.copy_from_slice(&scratch.qmask);
             }
             None => {
@@ -759,14 +872,35 @@ fn eval_chunk(job: &ChunkJob, scratch: &mut ChunkScratch) -> (Vec<u32>, Vec<Bitm
             bitmaps[scratch.sel_index[i] as usize].set(*slot as usize);
         }
     }
-    (rows, bitmaps)
+    (rows, bitmaps, poisoned)
 }
 
 fn preproc_worker_loop(job_rx: Receiver<ChunkJob>, ctx: Arc<ExecCtx>) {
     let mut scratch = ChunkScratch::default();
     while let Ok(job) = job_rx.recv() {
-        let (rows, bitmaps) = ctx.governor.run(|| eval_chunk(&job, &mut scratch));
-        let _ = job.reply.send((job.chunk_id, rows, bitmaps));
+        // Belt over the per-predicate containment inside `eval_chunk`: a
+        // panic outside any predicate (e.g. in the shared batch decode)
+        // kills this chunk, not the worker. No reply is sent — the
+        // preprocessor detects the missing chunk and treats the whole
+        // page as poisoned (silently dropping a chunk would corrupt every
+        // active query's results).
+        let result = catch_unwind(AssertUnwindSafe(|| {
+            ctx.governor.run(|| eval_chunk(&job, &mut scratch))
+        }));
+        match result {
+            Ok((rows, bitmaps, poisoned)) => {
+                let _ = job.reply.send(ChunkReply {
+                    chunk_id: job.chunk_id,
+                    rows,
+                    bitmaps,
+                    poisoned,
+                });
+            }
+            Err(_) => {
+                ctx.metrics.panics_contained.fetch_add(1, Ordering::Relaxed);
+                scratch = ChunkScratch::default();
+            }
+        }
     }
 }
 
@@ -851,8 +985,24 @@ fn preprocessor_loop(
             continue;
         }
 
-        // One page of the circular fact scan.
-        let page = ctx.pool.get(&fact, pos);
+        // One page of the circular fact scan. A failed read poisons every
+        // query whose revolution spans this page — i.e. all currently
+        // active ones — but not the pipeline: their outputs are aborted
+        // with the typed cause and the scan moves on for future admits.
+        let page = match ctx.pool.get(&fact, pos) {
+            Ok(p) => p,
+            Err(e) => {
+                let msg = format!("fact page {pos} unreadable: {e}");
+                for q in active.drain(..) {
+                    if out.send(Msg::QueryAborted(q.slot, msg.clone())).is_err() {
+                        break 'outer;
+                    }
+                }
+                snapshot = None;
+                pos = (pos + 1) % pages;
+                continue;
+            }
+        };
         fact.advance_clock(pos);
         pos = (pos + 1) % pages;
         metrics.fact_pages.fetch_add(1, Ordering::Relaxed);
@@ -883,6 +1033,8 @@ fn preprocessor_loop(
             .clone();
         let n_rows = page.rows();
         let parallel = n_rows * active.len() >= 512;
+        let mut page_poisoned = false;
+        let mut poisoned_slots: Vec<u32> = Vec::new();
         let (mut rows, mut bitmaps) = if parallel {
             let chunks = 4usize;
             let step = n_rows.div_ceil(chunks);
@@ -904,36 +1056,67 @@ fn preprocessor_loop(
                 sent += 1;
             }
             drop(reply_tx);
-            let mut parts: Vec<(usize, Vec<u32>, Vec<Bitmap>)> =
-                reply_rx.iter().take(sent).collect();
-            parts.sort_by_key(|(cid, _, _)| *cid);
+            // `iter()` ends when every job's reply sender is gone, so a
+            // worker that contained a chunk-level panic (and sent no
+            // reply) surfaces here as `parts.len() < sent`.
+            let mut parts: Vec<ChunkReply> = reply_rx.iter().collect();
+            page_poisoned = parts.len() != sent;
+            parts.sort_by_key(|p| p.chunk_id);
             let mut rows = Vec::with_capacity(n_rows);
             let mut bitmaps = Vec::with_capacity(n_rows);
-            for (_, r, b) in parts {
-                rows.extend(r);
-                bitmaps.extend(b);
+            for mut p in parts {
+                rows.extend(p.rows);
+                bitmaps.extend(p.bitmaps);
+                poisoned_slots.append(&mut p.poisoned);
             }
             (rows, bitmaps)
         } else {
-            ctx.governor.run(|| {
-                eval_chunk(
-                    &ChunkJob {
-                        page: page.clone(),
-                        range: 0..n_rows,
-                        preds: preds.clone(),
-                        cols: cols.clone(),
-                        max_queries,
-                        chunk_id: 0,
-                        reply: {
-                            // unused for the inline path
-                            let (tx, _rx) = bounded(1);
-                            tx
+            let inline = catch_unwind(AssertUnwindSafe(|| {
+                ctx.governor.run(|| {
+                    eval_chunk(
+                        &ChunkJob {
+                            page: page.clone(),
+                            range: 0..n_rows,
+                            preds: preds.clone(),
+                            cols: cols.clone(),
+                            max_queries,
+                            chunk_id: 0,
+                            reply: {
+                                // unused for the inline path
+                                let (tx, _rx) = bounded(1);
+                                tx
+                            },
                         },
-                    },
-                    &mut inline_scratch,
-                )
-            })
+                        &mut inline_scratch,
+                    )
+                })
+            }));
+            match inline {
+                Ok((rows, bitmaps, poisoned)) => {
+                    poisoned_slots = poisoned;
+                    (rows, bitmaps)
+                }
+                Err(_) => {
+                    ctx.metrics.panics_contained.fetch_add(1, Ordering::Relaxed);
+                    inline_scratch = ChunkScratch::default();
+                    page_poisoned = true;
+                    (Vec::new(), Vec::new())
+                }
+            }
         };
+        if page_poisoned {
+            // A chunk evaluated by no surviving reply: any batch built
+            // from the remaining chunks would silently drop rows for
+            // *every* active query. Abort them all; the pipeline lives.
+            let msg = format!("fact page {} evaluation panicked", (pos + pages - 1) % pages);
+            for q in active.drain(..) {
+                if out.send(Msg::QueryAborted(q.slot, msg.clone())).is_err() {
+                    break 'outer;
+                }
+            }
+            snapshot = None;
+            continue;
+        }
         rows.shrink_to_fit();
         bitmaps.shrink_to_fit();
         metrics
@@ -947,6 +1130,25 @@ fn preprocessor_loop(
             .is_err()
         {
             break;
+        }
+        // Queries whose predicate panicked on this page: contained per
+        // query — abort them (after the batch, so the abort supersedes
+        // any of their bits already in flight) and keep the co-runners.
+        if !poisoned_slots.is_empty() {
+            poisoned_slots.sort_unstable();
+            poisoned_slots.dedup();
+            for slot in poisoned_slots {
+                let before = active.len();
+                active.retain(|q| q.slot != slot);
+                if active.len() < before {
+                    snapshot = None;
+                    ctx.metrics.panics_contained.fetch_add(1, Ordering::Relaxed);
+                    let msg = "fact predicate panicked".to_string();
+                    if out.send(Msg::QueryAborted(slot, msg)).is_err() {
+                        break 'outer;
+                    }
+                }
+            }
         }
 
         // Retire queries whose revolution completed.
@@ -970,6 +1172,45 @@ fn preprocessor_loop(
         }
     }
     // Channel closes on drop; downstream stages drain and exit.
+}
+
+/// Fan-out stage: broadcasts batches to every distributor shard and
+/// routes per-query control messages to the owning shard.
+fn fanout_loop(in_rx: Receiver<Msg>, shard_txs: Vec<Sender<DistMsg>>) {
+    while let Ok(msg) = in_rx.recv() {
+        match msg {
+            Msg::Batch(mut b) => {
+                b.fact.materialize_rows();
+                let b = Arc::new(b);
+                for tx in &shard_txs {
+                    if tx.send(DistMsg::Batch(b.clone())).is_err() {
+                        return;
+                    }
+                }
+            }
+            Msg::Admitted(slot, out) => {
+                let shard = slot as usize % shard_txs.len();
+                if shard_txs[shard].send(DistMsg::Admitted(slot, out)).is_err() {
+                    return;
+                }
+            }
+            Msg::QueryDone(slot) => {
+                let shard = slot as usize % shard_txs.len();
+                if shard_txs[shard].send(DistMsg::QueryDone(slot)).is_err() {
+                    return;
+                }
+            }
+            Msg::QueryAborted(slot, cause) => {
+                let shard = slot as usize % shard_txs.len();
+                if shard_txs[shard]
+                    .send(DistMsg::QueryAborted(slot, cause))
+                    .is_err()
+                {
+                    return;
+                }
+            }
+        }
+    }
 }
 
 fn dim_stage_loop(
@@ -1055,78 +1296,163 @@ fn distributor_loop(
     let mut outputs: HashMap<u32, Box<QueryOutput>> = HashMap::new();
     let mut rowbuf: Vec<u8> = Vec::new();
     while let Ok(msg) = in_rx.recv() {
-        match msg {
-            DistMsg::Admitted(slot, output) => {
-                outputs.insert(slot, output);
+        // Per-message panic belt. A panic mid-batch leaves this shard's
+        // materialization state ambiguous (which query got which rows),
+        // so every open output on the shard is aborted — but their slots
+        // are NOT freed here: the preprocessor still scans for them and
+        // their eventual QueryDone/QueryAborted performs the (single)
+        // slot release. The shard itself keeps serving future queries.
+        let step = catch_unwind(AssertUnwindSafe(|| {
+            distributor_step(
+                msg,
+                &dims,
+                &ctx,
+                &metrics,
+                &free_slots,
+                &pred_cache,
+                &mut outputs,
+                &mut rowbuf,
+            )
+        }));
+        if step.is_err() {
+            ctx.metrics.panics_contained.fetch_add(1, Ordering::Relaxed);
+            for (_, out) in outputs.drain() {
+                out.hub.abort("panic in cjoin distributor");
             }
-            DistMsg::QueryDone(slot) => {
-                if let Some(mut out) = outputs.remove(&slot) {
-                    if !out.builder.is_empty() {
-                        let page = out.builder.finish_and_reset();
-                        let _ = out.hub.push_page(Arc::new(page));
-                    }
-                    out.hub.finish();
-                    metrics.completions.fetch_add(1, Ordering::Relaxed);
-                }
-                // The slot's predicate-cache entries die with it.
-                {
-                    let mut cache = pred_cache.lock();
-                    for per_dim in cache.iter_mut() {
-                        per_dim.retain(|_, (_, s)| *s != slot);
-                    }
-                }
-                free_slots.lock().push(slot);
-            }
-            DistMsg::Batch(batch) => {
-                if outputs.is_empty() {
-                    continue; // none of this shard's queries are active
-                }
-                let mut flushes: Vec<(u32, Arc<Page>)> = Vec::new();
-                ctx.governor.run(|| {
-                    for (t, bm) in batch.fact.bitmaps().iter().enumerate() {
-                        // Fact bytes were gathered once per batch at
-                        // fan-out; the per-(tuple × query) loop only
-                        // concatenates slices.
-                        let fact_bytes = batch.fact.row_bytes(t);
-                        for q in bm.iter_ones() {
-                            let Some(out) = outputs.get_mut(&(q as u32)) else {
-                                continue;
-                            };
-                            rowbuf.clear();
-                            rowbuf.extend_from_slice(fact_bytes);
-                            for &d in &out.dim_order {
-                                let eidx = batch.dim_hits[d as usize][t];
-                                debug_assert_ne!(
-                                    eidx,
-                                    u32::MAX,
-                                    "query joined this dim, so it must have matched"
-                                );
-                                rowbuf.extend_from_slice(
-                                    &dims[d as usize].entries[eidx as usize].row,
-                                );
-                            }
-                            debug_assert_eq!(rowbuf.len(), out.out_schema.row_size());
-                            if !out.builder.push_encoded(&rowbuf) {
-                                let page = out.builder.finish_and_reset();
-                                flushes.push((q as u32, Arc::new(page)));
-                                let ok = out.builder.push_encoded(&rowbuf);
-                                debug_assert!(ok);
-                            }
-                            metrics.rows_out.fetch_add(1, Ordering::Relaxed);
-                        }
-                    }
-                });
-                for (q, page) in flushes {
-                    if let Some(out) = outputs.get(&q) {
-                        // A dropped reader is fine: the SPL keeps accepting.
-                        let _ = out.hub.push_page(page);
-                    }
-                }
-            }
+            rowbuf = Vec::new();
         }
     }
     // Pipeline shutting down: abort any query still open.
     for (_, out) in outputs.drain() {
         out.hub.abort("cjoin pipeline shut down");
+    }
+}
+
+#[allow(clippy::too_many_arguments)]
+fn distributor_step(
+    msg: DistMsg,
+    dims: &Arc<Vec<DimData>>,
+    ctx: &Arc<ExecCtx>,
+    metrics: &Arc<CjoinMetrics>,
+    free_slots: &Arc<Mutex<Vec<u32>>>,
+    pred_cache: &Arc<PredCache>,
+    outputs: &mut HashMap<u32, Box<QueryOutput>>,
+    rowbuf: &mut Vec<u8>,
+) {
+    // Frees the slot of a terminated query: its predicate-cache entries
+    // die with it and the slot returns to the pool. Runs even when the
+    // output was already dropped by the shard-level panic belt — the
+    // release must happen exactly once, and it is this (terminal) message
+    // that performs it. It runs, along with the counter ticks, BEFORE the
+    // query's stream is closed: the moment finish/abort lands, a blocked
+    // consumer can wake, read stats, and re-admit — every externally
+    // observable effect of the termination must already be in place.
+    // (Slot reuse cannot race this shard: a re-admission's `Admitted`
+    // travels the same preprocessor → fan-out → shard channels behind
+    // this message.)
+    let release = |slot: u32| {
+        {
+            let mut cache = pred_cache.lock();
+            for per_dim in cache.iter_mut() {
+                per_dim.retain(|_, (_, s)| *s != slot);
+            }
+        }
+        free_slots.lock().push(slot);
+    };
+    match msg {
+        DistMsg::Admitted(slot, output) => {
+            outputs.insert(slot, output);
+        }
+        DistMsg::QueryDone(slot) => {
+            if let Some(mut out) = outputs.remove(&slot) {
+                // A push failure on the final flush must abort, not
+                // finish: finishing would hand the consumer a silently
+                // truncated stream as a successful result.
+                let mut flushed = Ok(());
+                if !out.builder.is_empty() {
+                    let page = out.builder.finish_and_reset();
+                    flushed = out.hub.push_page(Arc::new(page));
+                }
+                match flushed {
+                    Ok(()) => {
+                        metrics.completions.fetch_add(1, Ordering::Relaxed);
+                        release(slot);
+                        out.hub.finish();
+                    }
+                    Err(e) => {
+                        metrics.aborts.fetch_add(1, Ordering::Relaxed);
+                        release(slot);
+                        out.hub.abort(format!("cjoin output flush failed: {e}"));
+                    }
+                }
+            } else {
+                release(slot);
+            }
+        }
+        DistMsg::QueryAborted(slot, cause) => {
+            if let Some(out) = outputs.remove(&slot) {
+                metrics.aborts.fetch_add(1, Ordering::Relaxed);
+                release(slot);
+                out.hub.abort(cause);
+            } else {
+                release(slot);
+            }
+        }
+        DistMsg::Batch(batch) => {
+            if outputs.is_empty() {
+                return; // none of this shard's queries are active
+            }
+            let mut flushes: Vec<(u32, Arc<Page>)> = Vec::new();
+            ctx.governor.run(|| {
+                for (t, bm) in batch.fact.bitmaps().iter().enumerate() {
+                    // Fact bytes were gathered once per batch at
+                    // fan-out; the per-(tuple × query) loop only
+                    // concatenates slices.
+                    let fact_bytes = batch.fact.row_bytes(t);
+                    for q in bm.iter_ones() {
+                        let Some(out) = outputs.get_mut(&(q as u32)) else {
+                            continue;
+                        };
+                        rowbuf.clear();
+                        rowbuf.extend_from_slice(fact_bytes);
+                        for &d in &out.dim_order {
+                            let eidx = batch.dim_hits[d as usize][t];
+                            debug_assert_ne!(
+                                eidx,
+                                u32::MAX,
+                                "query joined this dim, so it must have matched"
+                            );
+                            rowbuf.extend_from_slice(
+                                &dims[d as usize].entries[eidx as usize].row,
+                            );
+                        }
+                        debug_assert_eq!(rowbuf.len(), out.out_schema.row_size());
+                        if !out.builder.push_encoded(rowbuf) {
+                            let page = out.builder.finish_and_reset();
+                            flushes.push((q as u32, Arc::new(page)));
+                            let ok = out.builder.push_encoded(rowbuf);
+                            debug_assert!(ok);
+                        }
+                        metrics.rows_out.fetch_add(1, Ordering::Relaxed);
+                    }
+                }
+            });
+            for (q, page) in flushes {
+                if let Some(out) = outputs.get(&q) {
+                    // A dropped push reader surfaces as `Cancelled` and is
+                    // pruned inside the hub (push_many returns Ok), so an
+                    // Err here is a real delivery failure (e.g. an injected
+                    // channel abort): close this query's output as aborted
+                    // now — the later terminal message would otherwise
+                    // `finish` a truncated stream as a success. The slot is
+                    // NOT freed here; the terminal message still does that.
+                    if let Err(e) = out.hub.push_page(page) {
+                        let out = outputs.remove(&q).expect("output just seen");
+                        metrics.aborts.fetch_add(1, Ordering::Relaxed);
+                        out.hub.abort(format!("cjoin output delivery failed: {e}"));
+                    }
+                }
+            }
+        }
     }
 }

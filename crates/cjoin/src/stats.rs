@@ -23,6 +23,10 @@ pub struct CjoinMetrics {
     /// Admissions whose dimension predicate was copied from an active
     /// query with the identical predicate (predicate sharing).
     pub admission_dedup_hits: AtomicU64,
+    /// Queries whose output was aborted by a contained fault (predicate
+    /// panic, unreadable fact page, early removal after a stage fault)
+    /// while the pipeline and its co-runners kept going.
+    pub aborts: AtomicU64,
 }
 
 impl CjoinMetrics {
@@ -37,6 +41,7 @@ impl CjoinMetrics {
             rows_out: self.rows_out.load(Ordering::Relaxed),
             admission_evals: self.admission_evals.load(Ordering::Relaxed),
             admission_dedup_hits: self.admission_dedup_hits.load(Ordering::Relaxed),
+            aborts: self.aborts.load(Ordering::Relaxed),
         }
     }
 
@@ -50,6 +55,7 @@ impl CjoinMetrics {
         self.rows_out.store(0, Ordering::Relaxed);
         self.admission_evals.store(0, Ordering::Relaxed);
         self.admission_dedup_hits.store(0, Ordering::Relaxed);
+        self.aborts.store(0, Ordering::Relaxed);
     }
 }
 
@@ -72,6 +78,8 @@ pub struct CjoinStats {
     pub admission_evals: u64,
     /// Admission predicate-sharing hits.
     pub admission_dedup_hits: u64,
+    /// Query outputs aborted by contained faults.
+    pub aborts: u64,
 }
 
 #[cfg(test)]

@@ -20,8 +20,8 @@
 use parking_lot::Mutex;
 use qs_cjoin::{CjoinPipeline, CjoinStats, PipelineSpec};
 use qs_engine::{
-    EngineConfig, EngineError, MetricsSnapshot, QpipeEngine, QueryTicket, ShareMode,
-    SharingPolicy, StageKind,
+    AdmissionConfig, EngineConfig, EngineError, MetricsSnapshot, QpipeEngine, QueryOpts,
+    QueryTicket, ShareMode, SharingPolicy, StageKind,
 };
 use qs_plan::{LogicalPlan, StarQuery};
 use qs_storage::{
@@ -95,6 +95,9 @@ pub struct DbConfig {
     pub sharing_override: Option<SharingPolicy>,
     /// CJOIN pipeline shape; required for the GQP modes.
     pub pipeline: Option<PipelineSpec>,
+    /// Overload valve: bounded admission queue ahead of the engine.
+    /// `None` (default) admits every submission.
+    pub admission: Option<AdmissionConfig>,
 }
 
 impl DbConfig {
@@ -109,6 +112,7 @@ impl DbConfig {
             out_page_bytes: qs_storage::DEFAULT_PAGE_BYTES,
             sharing_override: None,
             pipeline: None,
+            admission: None,
         }
     }
 
@@ -176,6 +180,15 @@ pub struct SharingDb {
 impl SharingDb {
     /// Build the system over an already-populated catalog.
     pub fn new(catalog: Arc<Catalog>, config: DbConfig) -> Result<Self, EngineError> {
+        // Honor `QS_FAULTS`/`QS_FAULT_SEED` once per process so every
+        // front door (REPL, scenario bins, a future server) can be run
+        // under injected faults without code changes.
+        static ARM_ENV: std::sync::Once = std::sync::Once::new();
+        ARM_ENV.call_once(|| {
+            if qs_storage::fault::arm_from_env() {
+                eprintln!("fault registry armed from QS_FAULTS");
+            }
+        });
         let disk = Arc::new(DiskModel::new(config.disk.clone()));
         let pool_cfg = match config.buffer_pool_pages {
             Some(n) => BufferPoolConfig::with_capacity(n),
@@ -190,6 +203,7 @@ impl SharingDb {
                 fifo_capacity: config.fifo_capacity,
                 out_page_bytes: config.out_page_bytes,
                 sharing: config.sharing_policy(),
+                admission: config.admission.clone(),
                 ..Default::default()
             },
         );
@@ -271,11 +285,23 @@ impl SharingDb {
 
     /// Submit one query.
     pub fn submit(&self, plan: &LogicalPlan) -> Result<QueryTicket, EngineError> {
+        self.submit_with(plan, &QueryOpts::default())
+    }
+
+    /// Submit one query with per-query options (deadline). The returned
+    /// ticket can also be cancelled ([`QueryTicket::cancel`]); in the GQP
+    /// mode cancellation propagates into the CJOIN pipeline as an early
+    /// removal, freeing the query's slot before its revolution completes.
+    pub fn submit_with(
+        &self,
+        plan: &LogicalPlan,
+        opts: &QueryOpts,
+    ) -> Result<QueryTicket, EngineError> {
         match self.config.mode {
             ExecutionMode::QueryCentric | ExecutionMode::SpPush | ExecutionMode::SpPull => {
-                self.engine.submit(plan)
+                self.engine.submit_with(plan, opts)
             }
-            ExecutionMode::Gqp | ExecutionMode::GqpSp => self.submit_gqp(plan),
+            ExecutionMode::Gqp | ExecutionMode::GqpSp => self.submit_gqp_pinned(plan, opts, None),
         }
     }
 
@@ -285,9 +311,19 @@ impl SharingDb {
     /// amortizes admission costs because all queries ride the same
     /// revolution.
     pub fn submit_batch(&self, plans: &[LogicalPlan]) -> Result<Vec<QueryTicket>, EngineError> {
+        self.submit_batch_with(plans, &QueryOpts::default())
+    }
+
+    /// [`Self::submit_batch`] with per-query options applied to every
+    /// plan in the batch.
+    pub fn submit_batch_with(
+        &self,
+        plans: &[LogicalPlan],
+        opts: &QueryOpts,
+    ) -> Result<Vec<QueryTicket>, EngineError> {
         match self.config.mode {
             ExecutionMode::QueryCentric | ExecutionMode::SpPush | ExecutionMode::SpPull => {
-                self.engine.submit_batch(plans)
+                self.engine.submit_batch_with(plans, opts)
             }
             ExecutionMode::Gqp | ExecutionMode::GqpSp => {
                 // Pin every admission's output hub until the whole batch
@@ -299,29 +335,35 @@ impl SharingDb {
                 let mut pins: Vec<Arc<qs_engine::OutputHub>> = Vec::new();
                 plans
                     .iter()
-                    .map(|p| self.submit_gqp_pinned(p, Some(&mut pins)))
+                    .map(|p| self.submit_gqp_pinned(p, opts, Some(&mut pins)))
                     .collect()
             }
         }
     }
 
-    fn submit_gqp(&self, plan: &LogicalPlan) -> Result<QueryTicket, EngineError> {
-        self.submit_gqp_pinned(plan, None)
-    }
-
     fn submit_gqp_pinned(
         &self,
         plan: &LogicalPlan,
+        opts: &QueryOpts,
         pins: Option<&mut Vec<Arc<qs_engine::OutputHub>>>,
     ) -> Result<QueryTicket, EngineError> {
         let cjoin = self.cjoin.as_ref().expect("GQP mode has a pipeline");
         let Some(star) = StarQuery::detect(plan, &self.catalog) else {
             // Not a star query: CJOIN cannot evaluate it; fall back to
             // query-centric operators (paper §3).
-            return self.engine.submit(plan);
+            return self.engine.submit_with(plan, opts);
         };
 
         let metrics = self.engine.metrics_handle();
+        // In plain GQP every admission belongs to exactly one query, so
+        // cancelling the query may remove its CJOIN admission early. In
+        // GqpSp an admission's output can acquire SP subscribers at any
+        // time, and CJOIN's early removal *finishes* (not aborts) the
+        // stream at a page boundary — cancelling the owner would silently
+        // truncate every subscriber's results. There, cancellation only
+        // takes effect at the ticket boundary (the admission completes
+        // its revolution for whoever still listens).
+        let mut cancel_hook: Option<qs_cjoin::CjoinCancel> = None;
         let source: Box<dyn qs_engine::BatchSource> = if self.config.mode
             == ExecutionMode::GqpSp
         {
@@ -356,13 +398,20 @@ impl SharingDb {
                 .admit(&star)
                 .map_err(|e| EngineError::Aborted(e.to_string()))?;
             metrics.packet(StageKind::Cjoin);
+            cancel_hook = Some(q.cancel.clone());
             q.reader
         };
 
         // Run the query-centric operators above the join on the CJOIN
         // output. `submit_consumer` replaces the plan's join/scan leaf
         // with the external stream.
-        self.engine.submit_consumer(plan, source)
+        let ticket = self.engine.submit_consumer_with(plan, source, opts)?;
+        if let Some(cancel) = cancel_hook {
+            ticket
+                .ctl()
+                .set_hook(Box::new(move || cancel.cancel()));
+        }
+        Ok(ticket)
     }
 }
 

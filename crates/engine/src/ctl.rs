@@ -1,0 +1,193 @@
+//! Per-query control block: cooperative cancellation and deadlines.
+//!
+//! A [`QueryCtl`] is created at submit time and threaded to the query's
+//! root ticket and to every *exclusive* packet of its plan (packets
+//! registered for simultaneous pipelining are shared property — another
+//! query's deadline must never kill a co-runner's producer, so shared
+//! packets only observe control at the ticket boundary).
+//!
+//! Cancellation is cooperative: [`QueryCtl::cancel`] raises a flag that
+//! operator loops and `QueryTicket::next_batch` check at batch
+//! boundaries, and fires a one-shot hook. The hook is how cancellation
+//! reaches subsystems with their own teardown protocol — `qs-core` points
+//! it at CJOIN's early-removal path so a cancelled GQP query leaves the
+//! shared pipeline instead of merely having its results discarded.
+
+use crate::error::EngineError;
+use crate::metrics::Metrics;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::sync::Mutex;
+use std::time::{Duration, Instant};
+
+/// Options accepted alongside a plan at submit time.
+#[derive(Debug, Clone, Default)]
+pub struct QueryOpts {
+    /// Wall-clock budget for the query, measured from submit. Checked at
+    /// batch boundaries; an expired query surfaces
+    /// [`EngineError::DeadlineExceeded`] at its ticket.
+    pub deadline: Option<Duration>,
+}
+
+impl QueryOpts {
+    /// Options carrying only a deadline.
+    pub fn with_deadline(deadline: Duration) -> QueryOpts {
+        QueryOpts {
+            deadline: Some(deadline),
+        }
+    }
+}
+
+/// Shared control block for one submitted query.
+pub struct QueryCtl {
+    cancelled: AtomicBool,
+    /// Absolute deadline, fixed when the query was submitted.
+    deadline: Option<Instant>,
+    metrics: Arc<Metrics>,
+    /// Ensures `deadline_aborts` counts each query at most once.
+    deadline_counted: AtomicBool,
+    /// One-shot teardown hook (e.g. CJOIN early removal).
+    hook: Mutex<Option<Box<dyn FnOnce() + Send>>>,
+}
+
+impl QueryCtl {
+    /// Control block for a query submitted now with `opts`.
+    pub fn new(opts: &QueryOpts, metrics: Arc<Metrics>) -> Arc<QueryCtl> {
+        Arc::new(QueryCtl {
+            cancelled: AtomicBool::new(false),
+            deadline: opts.deadline.map(|d| Instant::now() + d),
+            metrics,
+            deadline_counted: AtomicBool::new(false),
+            hook: Mutex::new(None),
+        })
+    }
+
+    /// Whether `cancel` has been called.
+    pub fn is_cancelled(&self) -> bool {
+        self.cancelled.load(Ordering::Acquire)
+    }
+
+    /// Raise the cancellation flag and fire the teardown hook. Idempotent;
+    /// only the first call counts toward `queries_cancelled`.
+    pub fn cancel(&self) {
+        if !self.cancelled.swap(true, Ordering::AcqRel) {
+            self.metrics.queries_cancelled.fetch_add(1, Ordering::Relaxed);
+            self.fire_hook();
+        }
+    }
+
+    /// Install the one-shot teardown hook. If the query was already
+    /// cancelled (or its deadline already observed) the hook fires
+    /// immediately — the race between submit-side wiring and a concurrent
+    /// `cancel` must not lose the teardown.
+    pub fn set_hook(&self, hook: Box<dyn FnOnce() + Send>) {
+        {
+            let mut slot = self.hook.lock().unwrap_or_else(|p| p.into_inner());
+            *slot = Some(hook);
+        }
+        if self.is_cancelled() || self.deadline_counted.load(Ordering::Acquire) {
+            self.fire_hook();
+        }
+    }
+
+    fn fire_hook(&self) {
+        let hook = {
+            let mut slot = self.hook.lock().unwrap_or_else(|p| p.into_inner());
+            slot.take()
+        };
+        if let Some(hook) = hook {
+            hook();
+        }
+    }
+
+    /// Batch-boundary control check: `Err(Cancelled)` once cancelled,
+    /// `Err(DeadlineExceeded)` once past the deadline, `Ok` otherwise.
+    /// The first deadline observation counts toward `deadline_aborts` and
+    /// fires the teardown hook, exactly like a cancel.
+    pub fn check(&self) -> Result<(), EngineError> {
+        if self.is_cancelled() {
+            return Err(EngineError::Cancelled);
+        }
+        if let Some(deadline) = self.deadline {
+            if Instant::now() >= deadline {
+                if !self.deadline_counted.swap(true, Ordering::AcqRel) {
+                    self.metrics.deadline_aborts.fetch_add(1, Ordering::Relaxed);
+                    self.fire_hook();
+                }
+                return Err(EngineError::DeadlineExceeded);
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Clonable handle that can cancel a query from another thread while the
+/// submitter is blocked draining the ticket.
+#[derive(Clone)]
+pub struct CancelHandle {
+    ctl: Arc<QueryCtl>,
+}
+
+impl CancelHandle {
+    pub(crate) fn new(ctl: Arc<QueryCtl>) -> CancelHandle {
+        CancelHandle { ctl }
+    }
+
+    /// Cancel the query this handle was taken from.
+    pub fn cancel(&self) {
+        self.ctl.cancel();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicU64;
+
+    #[test]
+    fn cancel_is_idempotent_and_counted_once() {
+        let m = Metrics::new();
+        let ctl = QueryCtl::new(&QueryOpts::default(), m.clone());
+        assert!(ctl.check().is_ok());
+        ctl.cancel();
+        ctl.cancel();
+        assert_eq!(ctl.check(), Err(EngineError::Cancelled));
+        assert_eq!(m.snapshot().queries_cancelled, 1);
+    }
+
+    #[test]
+    fn expired_deadline_counts_once_and_fires_hook() {
+        let m = Metrics::new();
+        let ctl = QueryCtl::new(&QueryOpts::with_deadline(Duration::ZERO), m.clone());
+        let fired = Arc::new(AtomicU64::new(0));
+        let f = fired.clone();
+        ctl.set_hook(Box::new(move || {
+            f.fetch_add(1, Ordering::SeqCst);
+        }));
+        assert_eq!(ctl.check(), Err(EngineError::DeadlineExceeded));
+        assert_eq!(ctl.check(), Err(EngineError::DeadlineExceeded));
+        assert_eq!(m.snapshot().deadline_aborts, 1);
+        assert_eq!(fired.load(Ordering::SeqCst), 1);
+    }
+
+    #[test]
+    fn hook_installed_after_cancel_fires_immediately() {
+        let m = Metrics::new();
+        let ctl = QueryCtl::new(&QueryOpts::default(), m);
+        ctl.cancel();
+        let fired = Arc::new(AtomicU64::new(0));
+        let f = fired.clone();
+        ctl.set_hook(Box::new(move || {
+            f.fetch_add(1, Ordering::SeqCst);
+        }));
+        assert_eq!(fired.load(Ordering::SeqCst), 1);
+    }
+
+    #[test]
+    fn far_deadline_passes_checks() {
+        let m = Metrics::new();
+        let ctl = QueryCtl::new(&QueryOpts::with_deadline(Duration::from_secs(3600)), m.clone());
+        assert!(ctl.check().is_ok());
+        assert_eq!(m.snapshot().deadline_aborts, 0);
+    }
+}

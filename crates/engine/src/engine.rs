@@ -1,7 +1,8 @@
 //! The QPipe engine facade: plan → packets → stages → result stream.
 
+use crate::ctl::{CancelHandle, QueryCtl, QueryOpts};
 use crate::fifo::{BatchSource, EngineBatch};
-use crate::governor::CoreGovernor;
+use crate::governor::{AdmissionConfig, AdmissionGate, AdmissionPermit, CoreGovernor};
 use crate::hub::{OutputHub, ShareMode};
 use crate::metrics::{Metrics, MetricsSnapshot, StageKind, NUM_STAGES};
 use crate::ops::{ExecCtx, PhysicalOp};
@@ -120,6 +121,11 @@ pub struct EngineConfig {
     pub max_workers: usize,
     /// SP policy.
     pub sharing: SharingPolicy,
+    /// Overload valve: when set, every submission must first acquire an
+    /// admission permit from a bounded queue, and excess load is shed
+    /// with [`EngineError::Shed`] (see [`AdmissionGate`]). `None` (the
+    /// default) admits everything, as before.
+    pub admission: Option<AdmissionConfig>,
 }
 
 impl Default for EngineConfig {
@@ -131,6 +137,7 @@ impl Default for EngineConfig {
             initial_workers: 1,
             max_workers: 1024,
             sharing: SharingPolicy::query_centric(),
+            admission: None,
         }
     }
 }
@@ -143,6 +150,10 @@ pub struct QueryTicket {
     schema: Arc<Schema>,
     source: Box<dyn BatchSource>,
     metrics: Arc<Metrics>,
+    ctl: Arc<QueryCtl>,
+    /// Admission slot, freed when the ticket is dropped (results consumed
+    /// or abandoned). `None` when the engine runs without admission.
+    _permit: Option<AdmissionPermit>,
 }
 
 impl QueryTicket {
@@ -156,16 +167,50 @@ impl QueryTicket {
         &self.schema
     }
 
+    /// The query's control block (cancellation flag + deadline).
+    pub fn ctl(&self) -> &Arc<QueryCtl> {
+        &self.ctl
+    }
+
+    /// Cancel the query. Subsequent batch pulls fail with
+    /// [`EngineError::Cancelled`]; exclusive (unshared) operator packets
+    /// also observe the flag at batch boundaries and abort early.
+    pub fn cancel(&self) {
+        self.ctl.cancel();
+    }
+
+    /// A clonable handle that can cancel this query from another thread
+    /// (e.g. a client disconnect watcher) after the ticket moved away.
+    pub fn cancel_handle(&self) -> CancelHandle {
+        CancelHandle::new(self.ctl.clone())
+    }
+
     /// Pull the next result batch without materializing (zero-copy
     /// consumption for clients that understand selections).
+    ///
+    /// Cancellation/deadline is enforced here — the *ticket boundary* —
+    /// for every execution mode: even when the producing packets are
+    /// shared with co-runners (and therefore must keep running), this
+    /// query's client observes the typed error immediately.
     pub fn next_batch(&mut self) -> Result<Option<EngineBatch>, EngineError> {
-        self.source.next_batch()
+        self.ctl.check()?;
+        match self.source.next_batch() {
+            Err(e) => {
+                // An exclusive producer may observe this query's own
+                // cancellation/deadline first and abort the stream; the
+                // client should see the typed control error, not the
+                // secondhand `Aborted("cancelled")`.
+                self.ctl.check()?;
+                Err(e)
+            }
+            ok => ok,
+        }
     }
 
     /// Pull the next result page (pipelined consumption). A full batch
     /// hands back its page as-is; a sparse one is compacted here.
     pub fn next_page(&mut self) -> Result<Option<Arc<Page>>, EngineError> {
-        match self.source.next_batch()? {
+        match self.next_batch()? {
             None => Ok(None),
             Some(b) if b.is_full() => Ok(Some(b.page().clone())),
             Some(b) => {
@@ -206,6 +251,7 @@ pub struct QpipeEngine {
     ctx: Arc<ExecCtx>,
     stages: [Stage; NUM_STAGES],
     config: EngineConfig,
+    admission: Option<Arc<AdmissionGate>>,
     next_query_id: AtomicU64,
 }
 
@@ -228,13 +274,23 @@ impl QpipeEngine {
                 config.max_workers,
             )
         });
+        let admission = config
+            .admission
+            .clone()
+            .map(|c| AdmissionGate::new(c, ctx.metrics.clone()));
         QpipeEngine {
             catalog,
             ctx,
             stages,
             config,
+            admission,
             next_query_id: AtomicU64::new(1),
         }
+    }
+
+    /// The admission gate, if the engine was configured with one.
+    pub fn admission(&self) -> Option<&Arc<AdmissionGate>> {
+        self.admission.as_ref()
     }
 
     /// The catalog.
@@ -274,7 +330,16 @@ impl QpipeEngine {
 
     /// Validate and submit a plan; returns the result stream handle.
     pub fn submit(&self, plan: &LogicalPlan) -> Result<QueryTicket, EngineError> {
-        let mut tickets = self.submit_batch(std::slice::from_ref(plan))?;
+        self.submit_with(plan, &QueryOpts::default())
+    }
+
+    /// [`Self::submit`] with per-query options (deadline).
+    pub fn submit_with(
+        &self,
+        plan: &LogicalPlan,
+        opts: &QueryOpts,
+    ) -> Result<QueryTicket, EngineError> {
+        let mut tickets = self.submit_batch_with(std::slice::from_ref(plan), opts)?;
         Ok(tickets.pop().expect("one ticket per plan"))
     }
 
@@ -284,18 +349,45 @@ impl QpipeEngine {
     /// whose window closes at the first produced page. This is the demo's
     /// "clients co-ordinate to submit their queries in batches" knob.
     pub fn submit_batch(&self, plans: &[LogicalPlan]) -> Result<Vec<QueryTicket>, EngineError> {
+        self.submit_batch_with(plans, &QueryOpts::default())
+    }
+
+    /// [`Self::submit_batch`] with per-query options applied to every plan
+    /// in the batch.
+    ///
+    /// Admission: one permit is acquired *per plan*, all up front, before
+    /// any packet is built. A batch larger than the gate's
+    /// `max_concurrent` therefore sheds its tail (a batch cannot admit
+    /// itself past the concurrency bound — the permits it already holds
+    /// only free when its tickets are dropped).
+    pub fn submit_batch_with(
+        &self,
+        plans: &[LogicalPlan],
+        opts: &QueryOpts,
+    ) -> Result<Vec<QueryTicket>, EngineError> {
+        let mut permits = Vec::with_capacity(plans.len());
+        if let Some(gate) = &self.admission {
+            for _ in plans {
+                permits.push(Some(gate.admit()?));
+            }
+        } else {
+            permits.resize_with(plans.len(), || None);
+        }
         let mut pending: Vec<(StageKind, Packet)> = Vec::new();
         let mut tickets = Vec::with_capacity(plans.len());
-        for plan in plans {
+        for (plan, permit) in plans.iter().zip(&mut permits) {
             plan.validate(&self.catalog)?;
             let schema = plan.output_schema(&self.catalog)?;
             let query_id = self.next_query_id.fetch_add(1, Ordering::Relaxed);
-            let source = self.build_node(plan, query_id, &mut pending, true)?;
+            let ctl = QueryCtl::new(opts, self.ctx.metrics.clone());
+            let source = self.build_node(plan, query_id, &ctl, &mut pending, true)?;
             tickets.push(QueryTicket {
                 query_id,
                 schema,
                 source,
                 metrics: self.ctx.metrics.clone(),
+                ctl,
+                _permit: permit.take(),
             });
         }
         for (kind, packet) in pending {
@@ -313,14 +405,30 @@ impl QpipeEngine {
         above_plan: &LogicalPlan,
         input: Box<dyn BatchSource>,
     ) -> Result<QueryTicket, EngineError> {
+        self.submit_consumer_with(above_plan, input, &QueryOpts::default())
+    }
+
+    /// [`Self::submit_consumer`] with per-query options. No admission
+    /// permit is taken here: CJOIN admission is governed by the GQP's own
+    /// slot table, and double-gating the consumer half would deadlock a
+    /// full gate against the already-admitted producer half.
+    pub fn submit_consumer_with(
+        &self,
+        above_plan: &LogicalPlan,
+        input: Box<dyn BatchSource>,
+        opts: &QueryOpts,
+    ) -> Result<QueryTicket, EngineError> {
         let schema = above_plan.output_schema(&self.catalog)?;
         let query_id = self.next_query_id.fetch_add(1, Ordering::Relaxed);
-        let source = self.build_above(above_plan, input, query_id)?;
+        let ctl = QueryCtl::new(opts, self.ctx.metrics.clone());
+        let source = self.build_above(above_plan, input, query_id, &ctl)?;
         Ok(QueryTicket {
             query_id,
             schema,
             source,
             metrics: self.ctx.metrics.clone(),
+            ctl,
+            _permit: None,
         })
     }
 
@@ -439,6 +547,7 @@ impl QpipeEngine {
         &self,
         plan: &LogicalPlan,
         query_id: u64,
+        ctl: &Arc<QueryCtl>,
         pending: &mut Vec<(StageKind, Packet)>,
         root: bool,
     ) -> Result<Box<dyn BatchSource>, EngineError> {
@@ -463,7 +572,7 @@ impl QpipeEngine {
         // Children first (build side before probe side for joins).
         let mut inputs = Vec::new();
         for child in plan.children() {
-            inputs.push(self.build_node(child, query_id, pending, false)?);
+            inputs.push(self.build_node(child, query_id, ctl, pending, false)?);
         }
 
         let op = self.physical(plan)?;
@@ -484,6 +593,12 @@ impl QpipeEngine {
         if sharing {
             stage.registry().register(signature(plan), &hub);
         }
+        // An SP-registered packet may acquire subscribers from *other*
+        // queries at any time, so it must never honor this query's
+        // cancellation or deadline mid-stream (a co-runner would lose
+        // rows). Those queries still observe control at the ticket
+        // boundary. Only packets that can never be shared run exclusive.
+        let exclusive = !sharing;
         pending.push((
             kind,
             Packet {
@@ -491,6 +606,8 @@ impl QpipeEngine {
                 op,
                 inputs,
                 hub,
+                ctl: exclusive.then(|| ctl.clone()),
+                exclusive,
             },
         ));
         Ok(primary)
@@ -504,6 +621,7 @@ impl QpipeEngine {
         plan: &LogicalPlan,
         input: Box<dyn BatchSource>,
         query_id: u64,
+        ctl: &Arc<QueryCtl>,
     ) -> Result<Box<dyn BatchSource>, EngineError> {
         // Collect the unary chain top-down, then build bottom-up from the
         // external input.
@@ -540,11 +658,15 @@ impl QpipeEngine {
                 self.ctx.metrics.clone(),
                 self.ctx.governor.clone(),
             );
+            // Consumer chains are always per-query (never SP-registered),
+            // so they honor cancellation/deadline at batch boundaries.
             self.stages[kind as usize].dispatch(Packet {
                 query_id,
                 op,
                 inputs: vec![source],
                 hub,
+                ctl: Some(ctl.clone()),
+                exclusive: true,
             });
             source = primary;
         }

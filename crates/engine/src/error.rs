@@ -15,6 +15,12 @@ pub enum EngineError {
     Aborted(String),
     /// The query (or every consumer of a producer) was cancelled.
     Cancelled,
+    /// The query ran past the deadline given at submit.
+    DeadlineExceeded,
+    /// Admission control shed the query before it started: the engine was
+    /// at its concurrency bound and the admission queue was full or the
+    /// queue wait exceeded its timeout.
+    Shed,
 }
 
 impl fmt::Display for EngineError {
@@ -24,6 +30,8 @@ impl fmt::Display for EngineError {
             EngineError::Storage(e) => write!(f, "storage error: {e}"),
             EngineError::Aborted(msg) => write!(f, "aborted: {msg}"),
             EngineError::Cancelled => write!(f, "cancelled"),
+            EngineError::DeadlineExceeded => write!(f, "deadline exceeded"),
+            EngineError::Shed => write!(f, "shed by admission control (overload)"),
         }
     }
 }

@@ -34,6 +34,22 @@ struct FifoState {
     reader_alive: bool,
 }
 
+/// Chaos failpoint at a channel boundary: an injected scheduling stall
+/// (`*_delay` point) and/or an injected producer abort (`*_abort` point).
+/// Disarmed cost: one relaxed atomic load before the channel lock.
+pub(crate) fn channel_fault(delay_point: &str, abort_point: &str) -> Result<(), EngineError> {
+    if !qs_storage::fault::armed() {
+        return Ok(());
+    }
+    qs_storage::fault::maybe_delay(delay_point);
+    if qs_storage::fault::should_fire(abort_point) {
+        return Err(EngineError::Aborted(format!(
+            "injected fault `{abort_point}`"
+        )));
+    }
+    Ok(())
+}
+
 /// A single-producer single-consumer bounded batch queue.
 pub struct FifoBuffer {
     state: Mutex<FifoState>,
@@ -64,6 +80,7 @@ impl FifoBuffer {
     /// [`EngineError::Cancelled`] if the reader is gone, or with the abort
     /// cause if the stream was aborted.
     pub fn push(&self, batch: EngineBatch) -> Result<(), EngineError> {
+        channel_fault("fifo.push.delay", "fifo.push.abort")?;
         let mut st = self.state.lock();
         loop {
             if let Some(msg) = &st.aborted {
@@ -88,6 +105,7 @@ impl FifoBuffer {
     /// in groups (see `ops::EmitBuffer`). Drains `batches`; blocks while
     /// the queue is full, exactly like repeated [`Self::push`].
     pub fn push_many(&self, batches: &mut Vec<EngineBatch>) -> Result<(), EngineError> {
+        channel_fault("fifo.push.delay", "fifo.push.abort")?;
         let mut st = self.state.lock();
         for batch in batches.drain(..) {
             loop {

@@ -28,6 +28,7 @@
 //!   aggregation consumers probe batch-at-a-time.
 
 pub mod agg;
+pub mod ctl;
 pub mod engine;
 pub mod error;
 pub mod fifo;
@@ -41,10 +42,11 @@ pub mod reference;
 pub mod spl;
 pub mod stage;
 
+pub use ctl::{CancelHandle, QueryCtl, QueryOpts};
 pub use engine::{EngineConfig, QpipeEngine, QueryTicket, SharingPolicy};
 pub use error::EngineError;
 pub use fifo::{BatchSource, EngineBatch, FifoBuffer, FifoReader};
-pub use governor::CoreGovernor;
+pub use governor::{AdmissionConfig, AdmissionGate, AdmissionPermit, CoreGovernor};
 pub use group::{GroupTable, GroupTier, RadixScratch};
 pub use hub::{OutputHub, ShareMode};
 pub use kernels::{AccVec, AggKernel};

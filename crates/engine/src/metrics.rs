@@ -87,6 +87,15 @@ pub struct Metrics {
     pub rows_joined: AtomicU64,
     /// Completed queries.
     pub queries_completed: AtomicU64,
+    /// Panics caught by a stage/pipeline worker and converted into a
+    /// per-query abort (the worker and its co-runners survived).
+    pub panics_contained: AtomicU64,
+    /// Queries cancelled via `QueryTicket::cancel` / `CancelHandle`.
+    pub queries_cancelled: AtomicU64,
+    /// Queries aborted because their submit-time deadline passed.
+    pub deadline_aborts: AtomicU64,
+    /// Queries shed by admission control instead of being executed.
+    pub queries_shed: AtomicU64,
 }
 
 impl Metrics {
@@ -128,6 +137,10 @@ impl Metrics {
             rows_scanned: self.rows_scanned.load(Ordering::Relaxed),
             rows_joined: self.rows_joined.load(Ordering::Relaxed),
             queries_completed: self.queries_completed.load(Ordering::Relaxed),
+            panics_contained: self.panics_contained.load(Ordering::Relaxed),
+            queries_cancelled: self.queries_cancelled.load(Ordering::Relaxed),
+            deadline_aborts: self.deadline_aborts.load(Ordering::Relaxed),
+            queries_shed: self.queries_shed.load(Ordering::Relaxed),
         }
     }
 
@@ -146,6 +159,10 @@ impl Metrics {
         self.rows_scanned.store(0, Ordering::Relaxed);
         self.rows_joined.store(0, Ordering::Relaxed);
         self.queries_completed.store(0, Ordering::Relaxed);
+        self.panics_contained.store(0, Ordering::Relaxed);
+        self.queries_cancelled.store(0, Ordering::Relaxed);
+        self.deadline_aborts.store(0, Ordering::Relaxed);
+        self.queries_shed.store(0, Ordering::Relaxed);
     }
 }
 
@@ -174,6 +191,14 @@ pub struct MetricsSnapshot {
     pub rows_joined: u64,
     /// Completed queries.
     pub queries_completed: u64,
+    /// Panics contained to a single query.
+    pub panics_contained: u64,
+    /// Queries cancelled by their submitter.
+    pub queries_cancelled: u64,
+    /// Queries aborted on deadline.
+    pub deadline_aborts: u64,
+    /// Queries shed under overload.
+    pub queries_shed: u64,
 }
 
 impl MetricsSnapshot {

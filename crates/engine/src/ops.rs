@@ -14,6 +14,7 @@
 //! [`CoreGovernor`]; waits on inputs, outputs and simulated disk do not
 //! hold a permit.
 
+use crate::ctl::QueryCtl;
 use crate::error::EngineError;
 use crate::fifo::{BatchSource, EngineBatch};
 use crate::governor::CoreGovernor;
@@ -123,11 +124,17 @@ pub enum PhysicalOp {
 
 /// Execute one packet body: read `inputs`, write to `hub`. The caller
 /// (stage worker) is responsible for `hub.finish()` / `hub.abort()`.
+///
+/// `ctl` is the owning query's control block, present only when the
+/// packet is *exclusive* (not registered for simultaneous pipelining):
+/// a shared producer must never be killed by one subscriber's deadline,
+/// so shared packets observe control solely at the ticket boundary.
 pub fn execute(
     op: &PhysicalOp,
     inputs: &mut [Box<dyn BatchSource>],
     hub: &OutputHub,
     ctx: &ExecCtx,
+    ctl: Option<&QueryCtl>,
 ) -> Result<(), EngineError> {
     match op {
         PhysicalOp::Scan {
@@ -135,8 +142,8 @@ pub fn execute(
             predicate,
             projection,
             out_schema,
-        } => run_scan(table, predicate.as_ref(), projection.as_deref(), out_schema, hub, ctx),
-        PhysicalOp::Filter { predicate } => run_filter(predicate, &mut inputs[0], hub, ctx),
+        } => run_scan(table, predicate.as_ref(), projection.as_deref(), out_schema, hub, ctx, ctl),
+        PhysicalOp::Filter { predicate } => run_filter(predicate, &mut inputs[0], hub, ctx, ctl),
         PhysicalOp::HashJoin {
             build_key,
             probe_key,
@@ -151,6 +158,7 @@ pub fn execute(
                 &mut probe[0],
                 hub,
                 ctx,
+                ctl,
             )
         }
         PhysicalOp::Aggregate {
@@ -168,16 +176,27 @@ pub fn execute(
             &mut inputs[0],
             hub,
             ctx,
+            ctl,
         ),
-        PhysicalOp::Sort { keys, schema } => run_sort(keys, schema, &mut inputs[0], hub, ctx),
+        PhysicalOp::Sort { keys, schema } => run_sort(keys, schema, &mut inputs[0], hub, ctx, ctl),
         PhysicalOp::Project { columns, out_schema } => {
-            run_project(columns, out_schema, &mut inputs[0], hub, ctx)
+            run_project(columns, out_schema, &mut inputs[0], hub, ctx, ctl)
         }
-        PhysicalOp::Limit { n, schema } => run_limit(*n, schema, &mut inputs[0], hub, ctx),
-        PhysicalOp::Distinct { schema } => run_distinct(schema, &mut inputs[0], hub, ctx),
+        PhysicalOp::Limit { n, schema } => run_limit(*n, schema, &mut inputs[0], hub, ctx, ctl),
+        PhysicalOp::Distinct { schema } => run_distinct(schema, &mut inputs[0], hub, ctx, ctl),
         PhysicalOp::TopK { keys, n, schema } => {
-            run_topk(keys, *n, schema, &mut inputs[0], hub, ctx)
+            run_topk(keys, *n, schema, &mut inputs[0], hub, ctx, ctl)
         }
+    }
+}
+
+/// Batch-boundary control check for exclusive packets; a no-op for
+/// shared packets (`ctl == None`).
+#[inline]
+fn ctl_check(ctl: Option<&QueryCtl>) -> Result<(), EngineError> {
+    match ctl {
+        Some(c) => c.check(),
+        None => Ok(()),
     }
 }
 
@@ -289,6 +308,7 @@ fn run_scan(
     out_schema: &Arc<Schema>,
     hub: &OutputHub,
     ctx: &ExecCtx,
+    ctl: Option<&QueryCtl>,
 ) -> Result<(), EngineError> {
     let mut cursor = CircularCursor::new(table.clone());
     // Predicate fetched from the shared program cache (compiled at most
@@ -307,7 +327,8 @@ fn run_scan(
     let mut mask: Vec<u64> = Vec::new();
     let mut sel: Vec<u32> = Vec::new();
     let mut emit = EmitBuffer::new();
-    while let Some(page) = cursor.next_page(&ctx.pool) {
+    while let Some(page) = cursor.next_page(&ctx.pool)? {
+        ctl_check(ctl)?;
         // Fast path: no selection, no projection — forward table pages
         // as-is under an identity selection (zero copy; the whole point of
         // batch-based exchange).
@@ -383,6 +404,7 @@ fn run_filter(
     input: &mut Box<dyn BatchSource>,
     hub: &OutputHub,
     ctx: &ExecCtx,
+    ctl: Option<&QueryCtl>,
 ) -> Result<(), EngineError> {
     // Fetched lazily from the shared program cache against the first
     // batch's schema (identical for the whole stream), then evaluated
@@ -394,6 +416,7 @@ fn run_filter(
     let mut sel: Vec<u32> = Vec::new();
     let mut emit = EmitBuffer::new();
     while let Some(batch) = input.next_batch()? {
+        ctl_check(ctl)?;
         let c = compiled
             .get_or_insert_with(|| CompiledPred::cached(predicate, batch.page().schema()));
         ctx.governor.run(|| {
@@ -416,6 +439,7 @@ fn run_filter(
     emit.flush(hub)
 }
 
+#[allow(clippy::too_many_arguments)]
 fn run_hash_join(
     build_key: usize,
     probe_key: usize,
@@ -424,6 +448,7 @@ fn run_hash_join(
     probe: &mut Box<dyn BatchSource>,
     hub: &OutputHub,
     ctx: &ExecCtx,
+    ctl: Option<&QueryCtl>,
 ) -> Result<(), EngineError> {
     // Build phase: hash the (dimension) side. This is a true
     // materialization point — build tuples must outlive their batches, so
@@ -436,6 +461,7 @@ fn run_hash_join(
     let mut keys: Vec<i64> = Vec::new();
     let mut tb: Vec<u8> = Vec::new();
     while let Some(batch) = build.next_batch()? {
+        ctl_check(ctl)?;
         ctx.governor.run(|| {
             build_rs = batch.page().schema().row_size();
             let base = (arena.len() / build_rs) as u32;
@@ -456,6 +482,7 @@ fn run_hash_join(
     let mut rowbuf: Vec<u8> = Vec::with_capacity(out_schema.row_size());
     let mut joined = 0u64;
     while let Some(batch) = probe.next_batch()? {
+        ctl_check(ctl)?;
         let mut pending: Vec<Arc<Page>> = Vec::new();
         ctx.governor.run(|| {
             batch.gather_i64_into(probe_key, &mut keys);
@@ -497,7 +524,19 @@ fn run_aggregate(
     input: &mut Box<dyn BatchSource>,
     hub: &OutputHub,
     ctx: &ExecCtx,
+    ctl: Option<&QueryCtl>,
 ) -> Result<(), EngineError> {
+    // Chaos poison plan: while faults are armed, an aggregate output
+    // named `POISON_AGG_NAME` panics deliberately — the chaos harness's
+    // deterministic stand-in for the fuzzer-found operator panic. The
+    // name is part of the plan signature, so SP can never attach a
+    // healthy co-runner to a poisoned packet, and the panic is contained
+    // by the stage worker into a single-query abort.
+    if qs_storage::fault::armed()
+        && aggs.iter().any(|a| a.name == qs_storage::fault::POISON_AGG_NAME)
+    {
+        panic!("chaos poison plan: aggregate `{}`", qs_storage::fault::POISON_AGG_NAME);
+    }
     // Batch shape: per batch, the key-resolution pass maps every surviving
     // tuple to a dense group slot (one probe per tuple — the irreducible
     // cost of hash aggregation), then each aggregate folds the whole batch
@@ -528,6 +567,7 @@ fn run_aggregate(
     let mut gidx: Vec<u32> = Vec::new();
     let mut rows_idx: Vec<u32> = Vec::new();
     while let Some(batch) = input.next_batch()? {
+        ctl_check(ctl)?;
         ctx.governor.run(|| {
             table.resolve_batch(&batch, &mut gidx);
             rows_idx.clear();
@@ -609,6 +649,7 @@ fn run_sort(
     input: &mut Box<dyn BatchSource>,
     hub: &OutputHub,
     ctx: &ExecCtx,
+    ctl: Option<&QueryCtl>,
 ) -> Result<(), EngineError> {
     // The sort buffer is a true materialization point, but even here no
     // row bytes move on ingest: the buffer is (page handle, row) pairs
@@ -617,6 +658,7 @@ fn run_sort(
     let mut pages: Vec<Arc<Page>> = Vec::new();
     let mut index: Vec<(u32, u32)> = Vec::new();
     while let Some(batch) = input.next_batch()? {
+        ctl_check(ctl)?;
         let pidx = pages.len() as u32;
         for &r in batch.sel() {
             index.push((pidx, r));
@@ -655,12 +697,14 @@ fn run_project(
     input: &mut Box<dyn BatchSource>,
     hub: &OutputHub,
     ctx: &ExecCtx,
+    ctl: Option<&QueryCtl>,
 ) -> Result<(), EngineError> {
     let mut builder = PageBuilder::with_bytes(out_schema.clone(), ctx.out_page_bytes);
     let mut rowbuf: Vec<u8> = Vec::with_capacity(out_schema.row_size());
     let mut tb: Vec<u8> = Vec::new();
     let mut spans: Option<Vec<(usize, usize)>> = None;
     while let Some(batch) = input.next_batch()? {
+        ctl_check(ctl)?;
         let spans =
             spans.get_or_insert_with(|| column_spans(batch.page().schema(), columns));
         let mut pending: Vec<Arc<Page>> = Vec::new();
@@ -687,6 +731,7 @@ fn run_distinct(
     input: &mut Box<dyn BatchSource>,
     hub: &OutputHub,
     ctx: &ExecCtx,
+    ctl: Option<&QueryCtl>,
 ) -> Result<(), EngineError> {
     // Rows are fixed-width encoded, so whole-row dedup is byte equality
     // over tuple bytes read in place from the shared page.
@@ -694,6 +739,7 @@ fn run_distinct(
     let mut builder = PageBuilder::with_bytes(schema.clone(), ctx.out_page_bytes);
     let mut tb: Vec<u8> = Vec::new();
     while let Some(batch) = input.next_batch()? {
+        ctl_check(ctl)?;
         let mut pending: Vec<Arc<Page>> = Vec::new();
         ctx.governor.run(|| {
             for t in 0..batch.len() {
@@ -721,6 +767,7 @@ fn run_topk(
     input: &mut Box<dyn BatchSource>,
     hub: &OutputHub,
     ctx: &ExecCtx,
+    ctl: Option<&QueryCtl>,
 ) -> Result<(), EngineError> {
     if n == 0 {
         // Still drain the input so the producer is not blocked forever.
@@ -736,6 +783,7 @@ fn run_topk(
     let mut best: Vec<Vec<u8>> = Vec::with_capacity(n + 1);
     let mut tb: Vec<u8> = Vec::new();
     while let Some(batch) = input.next_batch()? {
+        ctl_check(ctl)?;
         ctx.governor.run(|| {
             for t in 0..batch.len() {
                 let bytes = batch.tuple_bytes_in(t, &mut tb);
@@ -771,6 +819,7 @@ fn run_limit(
     input: &mut Box<dyn BatchSource>,
     hub: &OutputHub,
     ctx: &ExecCtx,
+    ctl: Option<&QueryCtl>,
 ) -> Result<(), EngineError> {
     // Limit is pure selection slicing: whole batches are forwarded by
     // `Arc` clone, and the boundary batch is trimmed with
@@ -778,6 +827,7 @@ fn run_limit(
     let _ = ctx;
     let mut remaining = n;
     while let Some(batch) = input.next_batch()? {
+        ctl_check(ctl)?;
         if remaining == 0 {
             break;
         }

@@ -48,6 +48,7 @@ impl SharedPagesList {
 
     /// Append a batch (producer side). A no-op error after abort.
     pub fn append(&self, batch: EngineBatch) -> Result<(), EngineError> {
+        crate::fifo::channel_fault("spl.append.delay", "spl.append.abort")?;
         let mut st = self.state.lock();
         if let Some(msg) = &st.aborted {
             return Err(EngineError::Aborted(msg.clone()));
@@ -63,6 +64,7 @@ impl SharedPagesList {
     /// buffer tiny batches so readers are not woken per page). Drains
     /// `batches`.
     pub fn append_many(&self, batches: &mut Vec<EngineBatch>) -> Result<(), EngineError> {
+        crate::fifo::channel_fault("spl.append.delay", "spl.append.abort")?;
         let mut st = self.state.lock();
         if let Some(msg) = &st.aborted {
             return Err(EngineError::Aborted(msg.clone()));

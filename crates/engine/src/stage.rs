@@ -12,6 +12,7 @@
 //! is still open, the new packet is never executed — it subscribes to the
 //! existing output instead (Simultaneous Pipelining).
 
+use crate::ctl::QueryCtl;
 use crate::fifo::BatchSource;
 use crate::hub::OutputHub;
 use crate::metrics::StageKind;
@@ -20,6 +21,7 @@ use crate::EngineError;
 use crossbeam::channel::{unbounded, Receiver, Sender};
 use parking_lot::Mutex;
 use std::collections::HashMap;
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicIsize, AtomicUsize, Ordering};
 use std::sync::{Arc, Weak};
 
@@ -33,6 +35,33 @@ pub struct Packet {
     pub inputs: Vec<Box<dyn BatchSource>>,
     /// Output fan-out point.
     pub hub: Arc<OutputHub>,
+    /// Owning query's control block (cancellation/deadline), if any.
+    pub ctl: Option<Arc<QueryCtl>>,
+    /// Whether this packet belongs to exactly one query. Only exclusive
+    /// packets honor `ctl` inside the operator loop — a packet registered
+    /// for SP may serve co-runners, and one subscriber's deadline must
+    /// not starve the rest.
+    pub exclusive: bool,
+}
+
+impl Packet {
+    /// A packet with no control block, owned by a single query (the
+    /// common construction in tests and non-submit paths).
+    pub fn new(
+        query_id: u64,
+        op: PhysicalOp,
+        inputs: Vec<Box<dyn BatchSource>>,
+        hub: Arc<OutputHub>,
+    ) -> Packet {
+        Packet {
+            query_id,
+            op,
+            inputs,
+            hub,
+            ctl: None,
+            exclusive: true,
+        }
+    }
 }
 
 /// Per-stage map: sub-plan signature → in-flight packet's hub.
@@ -177,15 +206,36 @@ impl Stage {
                 let pkt = inner.rx.recv();
                 match pkt {
                     Ok(mut pkt) => {
-                        let result =
-                            execute(&pkt.op, &mut pkt.inputs, &pkt.hub, &inner.ctx);
+                        // Panic containment: a packet that unwinds (the PR 6
+                        // fuzzer's num_col panic, an injected alloc failure)
+                        // must cost exactly one query, not this worker and
+                        // every packet queued behind it. The catch converts
+                        // the panic into an abort on the packet's own hub;
+                        // the drop chain below cancels its upstream, and the
+                        // worker (and its credit) survive for co-runners.
+                        let ctl = pkt.ctl.clone().filter(|_| pkt.exclusive);
+                        let result = catch_unwind(AssertUnwindSafe(|| {
+                            execute(&pkt.op, &mut pkt.inputs, &pkt.hub, &inner.ctx, ctl.as_deref())
+                        }));
                         match result {
-                            Ok(()) => pkt.hub.finish(),
-                            Err(EngineError::Cancelled) => {
+                            Ok(Ok(())) => pkt.hub.finish(),
+                            Ok(Err(EngineError::Cancelled)) => {
                                 // Every consumer is gone; nothing to tell.
                                 pkt.hub.abort("cancelled");
                             }
-                            Err(e) => pkt.hub.abort(e.to_string()),
+                            Ok(Err(e)) => pkt.hub.abort(e.to_string()),
+                            Err(payload) => {
+                                inner
+                                    .ctx
+                                    .metrics
+                                    .panics_contained
+                                    .fetch_add(1, Ordering::Relaxed);
+                                pkt.hub.abort(format!(
+                                    "panic in {} stage: {}",
+                                    inner.kind.name(),
+                                    panic_message(&payload)
+                                ));
+                            }
                         }
                         // Dropping the packet drops its input readers,
                         // cascading cancellation upstream if this packet
@@ -202,6 +252,17 @@ impl Stage {
                 }
             })
             .expect("spawn stage worker");
+    }
+}
+
+/// Best-effort extraction of a panic payload's message.
+pub fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&'static str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "opaque panic payload".to_string()
     }
 }
 
@@ -251,17 +312,17 @@ mod tests {
             ctx.governor.clone(),
         );
         (
-            Packet {
-                query_id: 1,
-                op: PhysicalOp::Scan {
+            Packet::new(
+                1,
+                PhysicalOp::Scan {
                     table,
                     predicate: None,
                     projection: None,
                     out_schema,
                 },
-                inputs: vec![],
+                vec![],
                 hub,
-            },
+            ),
             reader,
         )
     }
@@ -299,6 +360,79 @@ mod tests {
             assert_eq!(rows, 100);
         }
         assert!(stage.worker_count() >= 2);
+    }
+
+    #[test]
+    fn worker_contains_panics_and_keeps_serving() {
+        let _guard = qs_storage::fault::test_guard();
+        let (ctx, catalog) = ctx();
+        let stage = Stage::new(StageKind::Aggregate, ctx.clone(), 1, 4);
+
+        // Poisoned packet: an aggregate whose output name is the chaos
+        // sentinel panics inside the operator while faults are armed.
+        qs_storage::fault::arm(1, &[]);
+        let table = catalog.get("t").unwrap();
+        let out_schema = Schema::from_pairs(&[("n", DataType::Int)]);
+        let (hub, mut poisoned_reader) = OutputHub::new(
+            ShareMode::Push,
+            StageKind::Aggregate,
+            8,
+            ctx.metrics.clone(),
+            ctx.governor.clone(),
+        );
+        let (scan_hub, scan_reader) = OutputHub::new(
+            ShareMode::Push,
+            StageKind::Scan,
+            crate::hub::UNBOUNDED_CAPACITY,
+            ctx.metrics.clone(),
+            ctx.governor.clone(),
+        );
+        // Feed the aggregate from an already-finished scan stream.
+        scan_hub
+            .push(Arc::new(qs_storage::FactBatch::all(
+                ctx.pool.get(&table, 0).unwrap(),
+            )))
+            .unwrap();
+        scan_hub.finish();
+        stage.dispatch(Packet::new(
+            7,
+            PhysicalOp::Aggregate {
+                group_by: vec![],
+                aggs: vec![qs_plan::AggSpec::new(
+                    qs_plan::AggFunc::Count,
+                    qs_storage::fault::POISON_AGG_NAME,
+                )],
+                in_schema: table.schema().clone(),
+                out_schema: out_schema.clone(),
+                groups_hint: None,
+            },
+            vec![scan_reader],
+            hub,
+        ));
+        let err = loop {
+            match poisoned_reader.next_batch() {
+                Ok(Some(_)) => continue,
+                Ok(None) => panic!("poisoned packet finished cleanly"),
+                Err(e) => break e,
+            }
+        };
+        qs_storage::fault::disarm();
+        match err {
+            EngineError::Aborted(msg) => assert!(msg.contains("panic"), "{msg}"),
+            other => panic!("expected Aborted, got {other:?}"),
+        }
+        assert_eq!(ctx.metrics.snapshot().panics_contained, 1);
+
+        // The same stage (and its possibly-sole worker) still executes
+        // healthy packets afterwards.
+        let (pkt, mut reader) = scan_packet(&ctx, &catalog);
+        let scan_stage = Stage::new(StageKind::Scan, ctx.clone(), 1, 4);
+        scan_stage.dispatch(pkt);
+        let mut rows = 0;
+        while let Some(b) = reader.next_batch().unwrap() {
+            rows += b.len();
+        }
+        assert_eq!(rows, 100);
     }
 
     #[test]

@@ -14,6 +14,8 @@
 //! scans would lose their I/O benefit.
 
 use crate::disk::DiskModel;
+use crate::error::StorageError;
+use crate::fault;
 use crate::page::{Page, PageId};
 use crate::table::Table;
 use parking_lot::{Condvar, Mutex};
@@ -122,17 +124,20 @@ impl BufferPool {
 
     /// Fetch page `page_no` of `table`, reading through the simulated disk
     /// on a miss. Concurrent misses for the same page are collapsed into a
-    /// single simulated read.
-    pub fn get(&self, table: &Table, page_no: usize) -> Arc<Page> {
+    /// single simulated read. A read failure (only the `disk.read`
+    /// failpoint in this in-process model) surfaces as
+    /// [`StorageError::Io`] to the caller that drew it; hits never fail.
+    pub fn get(&self, table: &Table, page_no: usize) -> Result<Arc<Page>, StorageError> {
         let pid = table.page_id(page_no);
 
         if self.capacity == 0 {
             // Cache disabled: always charge the disk, sized to the page's
             // encoded bytes (compressed columnar pages read faster).
             self.misses.fetch_add(1, Ordering::Relaxed);
+            fault::maybe_io("disk.read", "uncached page read")?;
             let page = table.raw_page(page_no).clone();
             self.disk.read_page_sized(page.byte_len());
-            return page;
+            return Ok(page);
         }
 
         loop {
@@ -143,7 +148,7 @@ impl BufferPool {
                         let idx = *idx;
                         inner.frames[idx].ref_bit = true;
                         self.hits.fetch_add(1, Ordering::Relaxed);
-                        return inner.frames[idx].page.clone();
+                        return Ok(inner.frames[idx].page.clone());
                     }
                     Some(Entry::Loading) => {
                         // Another thread is reading it; wait for the frame.
@@ -161,14 +166,29 @@ impl BufferPool {
             // Simulated I/O happens outside the pool lock so reads on
             // different spindles overlap; the charge scales with the
             // page's encoded size (columnar compression buys I/O time).
-            let page = table.raw_page(page_no).clone();
-            self.disk.read_page_sized(page.byte_len());
+            let read = fault::maybe_io("disk.read", "page read").map(|()| {
+                let page = table.raw_page(page_no).clone();
+                self.disk.read_page_sized(page.byte_len());
+                page
+            });
 
             let mut inner = self.inner.lock();
-            let idx = self.place(&mut inner, pid, page.clone());
-            debug_assert!(idx < inner.frames.len());
-            self.loaded.notify_all();
-            return page;
+            match read {
+                Ok(page) => {
+                    let idx = self.place(&mut inner, pid, page.clone());
+                    debug_assert!(idx < inner.frames.len());
+                    self.loaded.notify_all();
+                    return Ok(page);
+                }
+                Err(e) => {
+                    // We own the `Loading` entry; it must not outlive the
+                    // failed read or every waiter blocks forever. Clearing
+                    // it makes the next caller retry the load fresh.
+                    inner.map.remove(&pid);
+                    self.loaded.notify_all();
+                    return Err(e);
+                }
+            }
         }
     }
 
@@ -268,9 +288,9 @@ mod tests {
     fn hit_after_miss() {
         let t = table(8, 32); // 2 pages
         let pool = BufferPool::new(BufferPoolConfig::with_capacity(4), mem_disk());
-        let p0 = pool.get(&t, 0);
+        let p0 = pool.get(&t, 0).unwrap();
         assert_eq!(p0.rows(), 4);
-        let p0b = pool.get(&t, 0);
+        let p0b = pool.get(&t, 0).unwrap();
         assert!(Arc::ptr_eq(&p0, &p0b));
         let s = pool.stats();
         assert_eq!((s.hits, s.misses, s.evictions), (1, 1, 0));
@@ -281,16 +301,16 @@ mod tests {
     fn eviction_at_capacity_clock_order() {
         let t = table(16, 32); // 4 pages
         let pool = BufferPool::new(BufferPoolConfig::with_capacity(2), mem_disk());
-        pool.get(&t, 0);
-        pool.get(&t, 1);
+        pool.get(&t, 0).unwrap();
+        pool.get(&t, 1).unwrap();
         assert_eq!(pool.resident_pages(), 2);
-        pool.get(&t, 2); // evicts one of {0,1}
+        pool.get(&t, 2).unwrap(); // evicts one of {0,1}
         let s = pool.stats();
         assert_eq!(s.evictions, 1);
         assert_eq!(pool.resident_pages(), 2);
         // the page read again is a miss for whichever got evicted
-        pool.get(&t, 0);
-        pool.get(&t, 1);
+        pool.get(&t, 0).unwrap();
+        pool.get(&t, 1).unwrap();
         assert!(pool.stats().misses >= 4);
     }
 
@@ -298,8 +318,8 @@ mod tests {
     fn zero_capacity_always_misses() {
         let t = table(4, 32);
         let pool = BufferPool::new(BufferPoolConfig::with_capacity(0), mem_disk());
-        pool.get(&t, 0);
-        pool.get(&t, 0);
+        pool.get(&t, 0).unwrap();
+        pool.get(&t, 0).unwrap();
         let s = pool.stats();
         assert_eq!((s.hits, s.misses), (0, 2));
         assert_eq!(pool.disk().stats().reads, 2);
@@ -329,7 +349,7 @@ mod tests {
             .map(|_| {
                 let t = t.clone();
                 let pool = pool.clone();
-                std::thread::spawn(move || pool.get(&t, 0).rows())
+                std::thread::spawn(move || pool.get(&t, 0).unwrap().rows())
             })
             .collect();
         for h in hs {
@@ -342,14 +362,28 @@ mod tests {
     }
 
     #[test]
+    fn injected_read_fault_is_typed_and_recoverable() {
+        let _g = fault::test_guard();
+        let t = table(8, 32); // 2 pages
+        let pool = BufferPool::new(BufferPoolConfig::with_capacity(4), mem_disk());
+        fault::arm(1, &[("disk.read", fault::FaultSpec::prob(1.0))]);
+        let err = pool.get(&t, 0).unwrap_err();
+        assert!(matches!(err, StorageError::Io(_)), "{err:?}");
+        fault::disarm();
+        // The failed load must not leave a stuck `Loading` entry: the
+        // same page is readable again once the fault clears.
+        assert_eq!(pool.get(&t, 0).unwrap().rows(), 4);
+    }
+
+    #[test]
     fn clear_drops_residency() {
         let t = table(8, 32);
         let pool = BufferPool::new(BufferPoolConfig::unbounded(), mem_disk());
-        pool.get(&t, 0);
+        pool.get(&t, 0).unwrap();
         assert_eq!(pool.resident_pages(), 1);
         pool.clear();
         assert_eq!(pool.resident_pages(), 0);
-        pool.get(&t, 0);
+        pool.get(&t, 0).unwrap();
         assert_eq!(pool.stats().misses, 2);
     }
 }

@@ -50,6 +50,12 @@ pub enum StorageError {
     PoolExhausted,
     /// A serialized page failed to decode (truncated or bad tag).
     Corrupt(String),
+    /// A (simulated) I/O operation failed. In this in-process model the
+    /// only source is the `fault` failpoint registry, but the variant is
+    /// the taxonomy slot a real disk error would occupy, and everything
+    /// above the buffer pool must route it as a typed error rather than
+    /// unwind.
+    Io(String),
 }
 
 impl fmt::Display for StorageError {
@@ -78,6 +84,7 @@ impl fmt::Display for StorageError {
                 write!(f, "buffer pool exhausted: every frame is pinned")
             }
             StorageError::Corrupt(msg) => write!(f, "corrupt page: {msg}"),
+            StorageError::Io(msg) => write!(f, "i/o error: {msg}"),
         }
     }
 }

@@ -35,6 +35,7 @@ pub mod bufferpool;
 pub mod catalog;
 pub mod disk;
 pub mod error;
+pub mod fault;
 pub mod flat;
 pub mod page;
 pub mod row;
@@ -49,6 +50,7 @@ pub use bufferpool::{BufferPool, BufferPoolConfig, BufferPoolStats};
 pub use catalog::Catalog;
 pub use disk::{DiskConfig, DiskModel, DiskStats};
 pub use error::StorageError;
+pub use fault::FaultSpec;
 pub use flat::{FlatKey, FlatMap};
 pub use page::{ColumnArray, ColumnPage, Page, PageBuilder, PageId, PageLayout, DEFAULT_PAGE_BYTES};
 pub use row::{RowCursor, RowRef};

@@ -779,6 +779,11 @@ impl PageBuilder {
 
     /// Builder with an explicit row capacity.
     pub fn with_capacity(schema: Arc<Schema>, capacity_rows: usize) -> Self {
+        // Chaos failpoint standing in for allocation failure: every
+        // operator that materializes output pages funnels through here,
+        // so an injected panic exercises stage-level containment on the
+        // allocation path. Disarmed cost: one relaxed atomic load.
+        crate::fault::maybe_panic("page.alloc");
         let rs = schema.row_size();
         PageBuilder {
             schema,

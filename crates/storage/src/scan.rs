@@ -11,6 +11,7 @@
 //! from the per-table scan clock maintained in [`crate::Table`].
 
 use crate::bufferpool::BufferPool;
+use crate::error::StorageError;
 use crate::page::Page;
 use crate::table::Table;
 use std::sync::Arc;
@@ -64,17 +65,19 @@ impl CircularCursor {
         &self.table
     }
 
-    /// Fetch the next page through the buffer pool, or `None` after one
-    /// full revolution.
-    pub fn next_page(&mut self, pool: &BufferPool) -> Option<Arc<Page>> {
+    /// Fetch the next page through the buffer pool, or `Ok(None)` after
+    /// one full revolution. A failed read surfaces as the pool's typed
+    /// error and does **not** consume the page: the revolution can be
+    /// resumed by calling again (the position only advances on success).
+    pub fn next_page(&mut self, pool: &BufferPool) -> Result<Option<Arc<Page>>, StorageError> {
         if self.remaining == 0 {
-            return None;
+            return Ok(None);
         }
-        let page = pool.get(&self.table, self.pos);
+        let page = pool.get(&self.table, self.pos)?;
         self.table.advance_clock(self.pos);
         self.pos = (self.pos + 1) % self.table.page_count();
         self.remaining -= 1;
-        Some(page)
+        Ok(Some(page))
     }
 }
 
@@ -105,13 +108,13 @@ mod tests {
         let (t, pool) = setup(20); // 5 pages
         let mut c = CircularCursor::new(t);
         let mut seen = Vec::new();
-        while let Some(p) = c.next_page(&pool) {
+        while let Some(p) = c.next_page(&pool).unwrap() {
             seen.extend(p.iter().map(|r| r.i64_col(0)));
         }
         seen.sort_unstable();
         assert_eq!(seen, (0..20).collect::<Vec<_>>());
         assert_eq!(c.remaining(), 0);
-        assert!(c.next_page(&pool).is_none());
+        assert!(c.next_page(&pool).unwrap().is_none());
     }
 
     #[test]
@@ -120,13 +123,13 @@ mod tests {
         let mut first = CircularCursor::new(t.clone());
         // advance the first scan by 3 pages
         for _ in 0..3 {
-            first.next_page(&pool).unwrap();
+            first.next_page(&pool).unwrap().unwrap();
         }
         let mut second = CircularCursor::new(t.clone());
         assert_eq!(second.start_position(), 2, "attaches at last-read page");
         // second still sees all rows exactly once
         let mut seen = Vec::new();
-        while let Some(p) = second.next_page(&pool) {
+        while let Some(p) = second.next_page(&pool).unwrap() {
             seen.extend(p.iter().map(|r| r.i64_col(0)));
         }
         seen.sort_unstable();
@@ -151,11 +154,11 @@ mod tests {
         let pool = Arc::new(BufferPool::new(BufferPoolConfig::unbounded(), disk));
 
         let mut a = CircularCursor::new(table.clone());
-        while a.next_page(&pool).is_some() {}
+        while a.next_page(&pool).unwrap().is_some() {}
         assert_eq!(pool.disk().stats().reads, 5);
 
         let mut b2 = CircularCursor::new(table.clone());
-        while b2.next_page(&pool).is_some() {}
+        while b2.next_page(&pool).unwrap().is_some() {}
         assert_eq!(pool.disk().stats().reads, 5, "second scan fully buffered");
     }
 
@@ -164,7 +167,7 @@ mod tests {
         let (t, pool) = setup(8); // 2 pages
         let mut c = CircularCursor::from_position(t, 5); // 5 % 2 = 1
         assert_eq!(c.start_position(), 1);
-        let p = c.next_page(&pool).unwrap();
+        let p = c.next_page(&pool).unwrap().unwrap();
         assert_eq!(p.row(0).i64_col(0), 4); // page 1 starts at row 4
     }
 
@@ -172,6 +175,6 @@ mod tests {
     fn empty_table_scan_is_empty() {
         let (t, pool) = setup(0);
         let mut c = CircularCursor::new(t);
-        assert!(c.next_page(&pool).is_none());
+        assert!(c.next_page(&pool).unwrap().is_none());
     }
 }

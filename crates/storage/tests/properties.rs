@@ -131,7 +131,7 @@ proptest! {
         );
         let mut cursor = CircularCursor::from_position(table.clone(), start);
         let mut seen: Vec<i64> = Vec::new();
-        while let Some(p) = cursor.next_page(&pool) {
+        while let Some(p) = cursor.next_page(&pool).unwrap() {
             seen.extend(p.iter().map(|r| r.i64_col(0)));
         }
         seen.sort_unstable();
@@ -155,7 +155,7 @@ proptest! {
             Arc::new(DiskModel::new(DiskConfig::memory_resident())),
         );
         for &page_no in &accesses {
-            let page: Arc<Page> = pool.get(&table, page_no);
+            let page: Arc<Page> = pool.get(&table, page_no).unwrap();
             prop_assert_eq!(page.row(0).i64_col(0), (page_no * 4) as i64);
         }
         let s = pool.stats();

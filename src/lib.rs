@@ -54,7 +54,8 @@ pub mod prelude {
         run_response_time, run_throughput, DbConfig, DriverConfig, ExecutionMode, SharingDb,
     };
     pub use qs_engine::{
-        EngineConfig, QpipeEngine, QueryTicket, ShareMode, SharingPolicy, StageKind,
+        AdmissionConfig, CancelHandle, EngineConfig, EngineError, QpipeEngine, QueryOpts,
+        QueryTicket, ShareMode, SharingPolicy, StageKind,
     };
     pub use qs_plan::{
         optimize, AggFunc, AggSpec, Expr, LogicalPlan, OptimizerOptions, PlanBuilder, StarQuery,

@@ -219,7 +219,7 @@ fn shared_aggregator_matches_per_query_reference_on_annotated_stream() {
         .collect();
 
     let mut cursor = sharing_repro::storage::CircularCursor::new(lo.clone());
-    while let Some(page) = cursor.next_page(&pool) {
+    while let Some(page) = cursor.next_page(&pool).unwrap() {
         let bitmaps: Vec<Bitmap> = page
             .iter()
             .map(|row| {

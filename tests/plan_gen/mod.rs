@@ -1,0 +1,280 @@
+//! Shared seeded random-plan generator over the SSB star schema, used by
+//! the five-mode differential fuzzer (`mode_differential.rs`) and the
+//! chaos harness (`chaos.rs`). Plans are star-shaped — fact scan
+//! (+filter) ⋈ 0–3 dims (+filters) under a random aggregate /
+//! distinct-project / sort top — with predicate literals sampled from the
+//! data so selectivities stay non-degenerate.
+
+// Each test target compiles this module separately and uses a different
+// subset of it.
+#![allow(dead_code)]
+
+use rand::rngs::StdRng;
+use rand::RngExt;
+use sharing_repro::engine::group::{GroupTable, GroupTier};
+use sharing_repro::engine::reference;
+use sharing_repro::prelude::*;
+use sharing_repro::storage::Column;
+use std::sync::Arc;
+
+/// `(dimension table, fact FK column name)` pairs of the SSB star.
+pub const DIMS: [(&str, &str); 4] = [
+    ("date", "lo_orderdate"),
+    ("customer", "lo_custkey"),
+    ("supplier", "lo_suppkey"),
+    ("part", "lo_partkey"),
+];
+
+pub fn env_u64(name: &str, default: u64) -> u64 {
+    match std::env::var(name) {
+        Ok(v) => v
+            .parse()
+            .unwrap_or_else(|_| panic!("{name} must be a u64, got `{v}`")),
+        Err(_) => default,
+    }
+}
+
+/// Decoded rows of every table, sampled for predicate literals so random
+/// predicates always sit inside the data's value domain (non-degenerate
+/// selectivities instead of constant-true/false).
+pub struct Samples {
+    catalog: Arc<Catalog>,
+    tables: Vec<(String, Vec<Vec<Value>>)>,
+}
+
+impl Samples {
+    pub fn new(catalog: Arc<Catalog>) -> Samples {
+        let mut tables = Vec::new();
+        for name in ["lineorder", "date", "customer", "supplier", "part"] {
+            let scan = LogicalPlan::Scan {
+                table: name.into(),
+                predicate: None,
+                projection: None,
+            };
+            let rows = reference::eval(&scan, &catalog).expect("table scan");
+            tables.push((name.to_string(), rows));
+        }
+        Samples { catalog, tables }
+    }
+
+    pub fn rows(&self, table: &str) -> &[Vec<Value>] {
+        &self.tables.iter().find(|(n, _)| n == table).expect("table").1
+    }
+
+    pub fn schema(&self, table: &str) -> Arc<Schema> {
+        self.catalog.get(table).expect("table").schema().clone()
+    }
+
+    /// A literal sampled from column `col` of `table`.
+    pub fn sample(&self, rng: &mut StdRng, table: &str, col: usize) -> Value {
+        let rows = self.rows(table);
+        rows[rng.random_range(0..rows.len())][col].clone()
+    }
+}
+
+/// One random comparison/range term over a sampled-literal domain.
+pub fn gen_term(rng: &mut StdRng, samples: &Samples, table: &str, schema: &Schema) -> Expr {
+    let col = rng.random_range(0..schema.len());
+    let a = samples.sample(rng, table, col);
+    match rng.random_range(0..4) {
+        0 => Expr::eq(col, a),
+        1 => Expr::lt(col, a),
+        2 => Expr::ge(col, a),
+        _ => {
+            let b = samples.sample(rng, table, col);
+            let (lo, hi) = if a.total_cmp(&b) != std::cmp::Ordering::Greater {
+                (a, b)
+            } else {
+                (b, a)
+            };
+            Expr::between(col, lo, hi)
+        }
+    }
+}
+
+/// A random predicate: 1–2 terms under AND, or none.
+pub fn gen_pred(
+    rng: &mut StdRng,
+    samples: &Samples,
+    table: &str,
+    p_some: f64,
+) -> Option<Expr> {
+    if !rng.random_bool(p_some) {
+        return None;
+    }
+    let schema = samples.schema(table);
+    let terms: Vec<Expr> = (0..rng.random_range(1..=2))
+        .map(|_| gen_term(rng, samples, table, &schema))
+        .collect();
+    Some(Expr::and(terms))
+}
+
+/// The group-by shape a generated aggregate targets, in `GroupTable`
+/// tier terms. `gen_group_by` guarantees the classification, so the
+/// per-run tier tally is exact.
+pub fn gen_group_by(
+    rng: &mut StdRng,
+    joined: &[DataType],
+    int_cols: &[usize],
+) -> Vec<usize> {
+    match rng.random_range(0..8) {
+        // Scalar aggregate — kept rare so ≥½ of all plans stay grouped.
+        0 => Vec::new(),
+        // Dense-int tier: one Int column.
+        1..=3 => vec![int_cols[rng.random_range(0..int_cols.len())]],
+        // Packed tier: two distinct narrow (≤8-byte) columns — ≤16 bytes
+        // total, and two columns can never be the single-Int tier.
+        4..=5 => {
+            let narrow: Vec<usize> = (0..joined.len())
+                .filter(|&c| joined[c].width() <= 8)
+                .collect();
+            let a = narrow[rng.random_range(0..narrow.len())];
+            let mut b = narrow[rng.random_range(0..narrow.len())];
+            while b == a {
+                b = narrow[rng.random_range(0..narrow.len())];
+            }
+            vec![a, b]
+        }
+        // Byte-key tier: add random distinct columns until the key
+        // outgrows the 16-byte packed boundary (a lone Int can never
+        // reach it, so the result is always ≥2 columns or one wide
+        // `Char`).
+        _ => {
+            let mut cols: Vec<usize> = Vec::new();
+            let mut width = 0usize;
+            while width <= 16 {
+                let c = rng.random_range(0..joined.len());
+                if !cols.contains(&c) {
+                    cols.push(c);
+                    width += joined[c].width();
+                }
+            }
+            cols
+        }
+    }
+}
+
+/// A random star-shaped plan: fact scan (+filter) ⋈ 0–3 dims (+filters),
+/// topped by a random aggregate / distinct-project / sort. The second
+/// element reports the `GroupTable` tier of a grouped aggregate top (or
+/// `None` for scalar/non-aggregate plans) so a run can tally tier
+/// coverage exactly.
+pub fn gen_plan(rng: &mut StdRng, samples: &Samples) -> (LogicalPlan, Option<GroupTier>) {
+    let fact_schema = samples.schema("lineorder");
+
+    // Random distinct dimension subset, in random order.
+    let mut dims: Vec<usize> = (0..DIMS.len()).collect();
+    for i in (1..dims.len()).rev() {
+        let j = rng.random_range(0..=i);
+        dims.swap(i, j);
+    }
+    let n_dims = rng.random_range(0..=3usize);
+    dims.truncate(n_dims);
+
+    let mut plan = LogicalPlan::Scan {
+        table: "lineorder".into(),
+        predicate: gen_pred(rng, samples, "lineorder", 0.7),
+        projection: None,
+    };
+    // Joined-schema column inventory: (global index, dtype) as fact cols
+    // then each dim's cols in join order.
+    let mut joined: Vec<DataType> =
+        (0..fact_schema.len()).map(|c| fact_schema.dtype(c)).collect();
+    for &d in &dims {
+        let (table, fk) = DIMS[d];
+        let dim_schema = samples.schema(table);
+        plan = LogicalPlan::HashJoin {
+            build: Box::new(LogicalPlan::Scan {
+                table: table.into(),
+                predicate: gen_pred(rng, samples, table, 0.6),
+                projection: None,
+            }),
+            probe: Box::new(plan),
+            build_key: 0, // SSB dim keys are the first column
+            probe_key: fact_schema.index_of(fk).expect("fact FK"),
+        };
+        joined.extend((0..dim_schema.len()).map(|c| dim_schema.dtype(c)));
+    }
+
+    let int_cols: Vec<usize> = joined
+        .iter()
+        .enumerate()
+        .filter(|(_, dt)| **dt == DataType::Int)
+        .map(|(i, _)| i)
+        .collect();
+
+    match rng.random_range(0..10) {
+        // Aggregate: a group-by shape drawn across the GroupTable tiers,
+        // 1–3 aggregates (the common case; the one that exercises the
+        // kernels and the tiered group-slot resolution).
+        0..=6 => {
+            let group_by = gen_group_by(rng, &joined, &int_cols);
+            let mut aggs = vec![AggSpec::new(AggFunc::Count, "n")];
+            for (i, _) in (0..rng.random_range(1..=2usize)).enumerate() {
+                let func = match rng.random_range(0..5) {
+                    0 => AggFunc::Sum(int_cols[rng.random_range(0..int_cols.len())]),
+                    1 => AggFunc::Avg(int_cols[rng.random_range(0..int_cols.len())]),
+                    2 => AggFunc::Min(rng.random_range(0..joined.len())),
+                    3 => AggFunc::Max(rng.random_range(0..joined.len())),
+                    _ => AggFunc::SumProd(
+                        int_cols[rng.random_range(0..int_cols.len())],
+                        int_cols[rng.random_range(0..int_cols.len())],
+                    ),
+                };
+                aggs.push(AggSpec::new(func, format!("a{i}")));
+            }
+            let tier = if group_by.is_empty() {
+                None
+            } else {
+                // Classify against the joined schema exactly as the
+                // engine's Aggregate operator will compile it.
+                let joined_schema = Schema::new(
+                    joined
+                        .iter()
+                        .enumerate()
+                        .map(|(i, &dt)| Column::new(format!("j{i}"), dt))
+                        .collect(),
+                );
+                Some(GroupTable::tier_for(&group_by, &joined_schema))
+            };
+            (
+                LogicalPlan::Aggregate {
+                    input: Box::new(plan),
+                    group_by,
+                    aggs,
+                },
+                tier,
+            )
+        }
+        // Distinct over a narrow projection (duplicate elimination over
+        // a batch-projected stream).
+        7..=8 => {
+            let n_cols = rng.random_range(1..=3usize);
+            let mut columns = Vec::new();
+            for _ in 0..n_cols {
+                let c = rng.random_range(0..joined.len());
+                if !columns.contains(&c) {
+                    columns.push(c);
+                }
+            }
+            (
+                LogicalPlan::Distinct {
+                    input: Box::new(LogicalPlan::Project {
+                        input: Box::new(plan),
+                        columns,
+                    }),
+                },
+                None,
+            )
+        }
+        // Full sort of the joined stream (order is canonicalized away by
+        // the comparison, but sort must not lose or duplicate tuples).
+        _ => (
+            LogicalPlan::Sort {
+                input: Box::new(plan),
+                keys: vec![(rng.random_range(0..joined.len()), rng.random_bool(0.5))],
+            },
+            None,
+        ),
+    }
+}

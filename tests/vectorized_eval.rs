@@ -35,7 +35,7 @@ fn interpreted_filter(catalog: &Catalog, table: &str, pred: &Expr) -> Vec<Vec<Va
     );
     let mut out = Vec::new();
     let mut cursor = sharing_repro::storage::CircularCursor::new(t.clone());
-    while let Some(page) = cursor.next_page(&pool) {
+    while let Some(page) = cursor.next_page(&pool).unwrap() {
         for row in page.iter() {
             if pred.eval(&row) {
                 out.push(row.values());
@@ -136,7 +136,7 @@ fn batch_eval_agrees_with_interpreter_on_real_ssb_pages() {
     let mut mask: Vec<u64> = Vec::new();
     let mut cursor = sharing_repro::storage::CircularCursor::new(lo.clone());
     let mut pages = 0;
-    while let Some(page) = cursor.next_page(&pool) {
+    while let Some(page) = cursor.next_page(&pool).unwrap() {
         pages += 1;
         for (p, c) in preds.iter().zip(&compiled) {
             let batch = ColumnBatch::from_page(&page, c.columns());
