@@ -1,0 +1,33 @@
+//! Morsel-pool scaling: parallel group-slot resolution
+//! (`GroupTable::resolve_rows_parallel`) at pool widths 1/2/4, dense and
+//! wide key shapes. Width 1 is the sequential baseline — the pool runs
+//! the batch inline — so each group directly reads as a speedup curve.
+//!
+//! PR 8's acceptance bar (dense shape ≥ 1.8× at workers 4 vs 1) is
+//! enforced by the scenario-style bin (`cargo run -p qs-bench --bin
+//! morsel_scaling`) on machines with ≥ 4 cores; this bench provides the
+//! criterion-tracked view of the same passes.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use qs_bench::morsel_scaling::{make_pages, make_pool, pass_parallel, SHAPE_DENSE, SHAPE_WIDE};
+use std::hint::black_box;
+
+fn bench_scaling(c: &mut Criterion) {
+    let pages = make_pages(4, qs_engine::PARALLEL_MIN_ROWS + 512, 256, 42);
+    let total_rows: usize = pages.iter().map(|p| p.rows()).sum();
+    let mut group = c.benchmark_group("morsel_scaling");
+    group.throughput(Throughput::Elements(total_rows as u64));
+
+    for &w in &[1usize, 2, 4] {
+        for (name, shape) in [("dense", SHAPE_DENSE), ("wide", SHAPE_WIDE)] {
+            let (pool, mut scratch) = make_pool(w);
+            group.bench_with_input(BenchmarkId::new(name, w), &w, |b, _| {
+                b.iter(|| black_box(pass_parallel(&pages, &pool, &mut scratch, shape)))
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_scaling);
+criterion_main!(benches);

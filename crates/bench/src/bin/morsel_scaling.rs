@@ -1,0 +1,132 @@
+//! Morsel-pool scaling of group-slot resolution (PR 8's tentpole):
+//! `GroupTable::resolve_rows_parallel` swept over worker-pool widths,
+//! interleaved pass-by-pass inside one shared window so the worker-count
+//! *ratios* stay meaningful on noisy shared runners. Emits the
+//! `morsel_scaling` perf series consumed by the `perfdiff` CI gate
+//! (which pins `--workers 1`, the parity point).
+//!
+//! ```sh
+//! cargo run --release -p qs-bench --bin morsel_scaling -- --workers 1,2,4
+//! ```
+//!
+//! The scaling bar (workers 4 ≥ 1.8× workers 1 on the dense shape) is
+//! asserted only when the machine actually has ≥ 4 cores; on smaller
+//! containers the sweep ratio is reported informationally — see README,
+//! "Choosing a worker count".
+//!
+//! `--quick 1` runs the test-sized configuration; `--json PATH` merges
+//! the measured points into a machine-readable perf file.
+
+use qs_bench::morsel_scaling::{make_pages, make_pool, pass_parallel, SHAPE_DENSE, SHAPE_WIDE};
+use qs_bench::perf::PerfPoint;
+use qs_bench::{arg, arg_list, json_path, perf, quick_mode};
+use std::hint::black_box;
+use std::time::{Duration, Instant};
+
+fn main() {
+    let (pages_n, rows_per_page, window, workers) = if quick_mode() {
+        (
+            2usize,
+            qs_engine::PARALLEL_MIN_ROWS + 256,
+            Duration::from_millis(250),
+            vec![1usize, 2, 4],
+        )
+    } else {
+        (
+            arg("pages", 8usize),
+            arg("rows-per-page", 4096usize),
+            Duration::from_millis(arg("window-ms", 2000)),
+            arg_list("workers", &[1, 2, 4]),
+        )
+    };
+    let groups = arg("groups", 512usize);
+    let seed = arg("seed", 42u64);
+    eprintln!(
+        "morsel_scaling config: pages={pages_n} rows_per_page={rows_per_page} \
+         window={window:?} workers={workers:?} groups={groups} seed={seed}"
+    );
+
+    let pages = make_pages(pages_n, rows_per_page, groups, seed);
+    let rows_per_pass: u64 = pages.iter().map(|p| p.rows() as u64).sum();
+
+    // One side per (shape, width); every side gets its own pool so pool
+    // threads never bleed between measurement slices.
+    let shapes: [(&str, &[usize]); 2] = [("dense", SHAPE_DENSE), ("wide", SHAPE_WIDE)];
+    let mut sides = Vec::new();
+    for &(shape_name, shape) in &shapes {
+        for &w in &workers {
+            let (pool, scratch) = make_pool(w);
+            sides.push((format!("{shape_name}-w{w}"), shape, w, pool, scratch));
+        }
+    }
+
+    // All sides alternate pass-by-pass inside one shared window, so
+    // machine-level interference lands on every width roughly equally.
+    let mut spent = vec![Duration::ZERO; sides.len()];
+    let mut passes = vec![0u64; sides.len()];
+    let start = Instant::now();
+    while start.elapsed() < window {
+        for (i, (_, shape, _, pool, scratch)) in sides.iter_mut().enumerate() {
+            let t = Instant::now();
+            black_box(pass_parallel(&pages, pool, scratch, shape));
+            spent[i] += t.elapsed();
+            passes[i] += 1;
+        }
+    }
+
+    let mut points: Vec<PerfPoint> = Vec::new();
+    println!("morsel_scaling: parallel group-slot resolution vs pool width");
+    println!("{:>12} {:>8} {:>14} {:>10}", "mode", "workers", "rows/s", "passes");
+    for (i, (mode, _, w, _, _)) in sides.iter().enumerate() {
+        let rows_per_s = (passes[i] * rows_per_pass) as f64 / spent[i].as_secs_f64();
+        println!("{mode:>12} {w:>8} {rows_per_s:>14.0} {:>10}", passes[i]);
+        points.push(PerfPoint {
+            mode: mode.clone(),
+            x: *w as f64,
+            qps: rows_per_s,
+            completed: passes[i],
+            admission_evals: 0,
+            pages_shared: 0,
+            sp_hits: 0,
+        });
+    }
+
+    // The scaling ratio, per shape, at the widest vs the narrowest point.
+    let cores = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+    let at = |mode: &str| points.iter().find(|p| p.mode == mode).map(|p| p.qps);
+    let (wmin, wmax) = (
+        workers.iter().copied().min().unwrap_or(1),
+        workers.iter().copied().max().unwrap_or(1),
+    );
+    let mut gate_failed = false;
+    for &(shape_name, _) in &shapes {
+        let (Some(lo), Some(hi)) = (
+            at(&format!("{shape_name}-w{wmin}")),
+            at(&format!("{shape_name}-w{wmax}")),
+        ) else {
+            continue;
+        };
+        let ratio = hi / lo;
+        eprintln!(
+            "morsel_scaling: {shape_name} workers {wmax} vs {wmin} = {ratio:.2}x \
+             ({cores} cores available)"
+        );
+        // The acceptance gate rides the sweep ratio, never absolute qps,
+        // and only on machines where the speedup is physically possible.
+        if shape_name == "dense" && wmin == 1 && wmax >= 4 && cores >= 4 && ratio < 1.8 {
+            eprintln!(
+                "morsel_scaling: FAIL — dense scaling {ratio:.2}x < 1.8x \
+                 with {cores} cores"
+            );
+            gate_failed = true;
+        }
+    }
+
+    if let Some(path) = json_path() {
+        perf::write_points(&path, "morsel_scaling", &points).expect("write perf points");
+        eprintln!("morsel_scaling points merged into {path}");
+    }
+    if gate_failed {
+        std::process::exit(1);
+    }
+}

@@ -15,7 +15,7 @@ use qs_bench::{arg, arg_list, json_path, perf, quick_mode};
 use qs_core::scenarios::{format_scenario1_table, scenario1, Scenario1Config};
 
 fn main() {
-    let cfg = if quick_mode() {
+    let mut cfg = if quick_mode() {
         Scenario1Config::quick()
     } else {
         Scenario1Config {
@@ -33,8 +33,11 @@ fn main() {
             },
             seed: arg("seed", 42),
             layout: arg("layout", qs_storage::PageLayout::Row),
+            ..Default::default()
         }
     };
+    // Applies in quick mode too, so CI can smoke-test the pooled paths.
+    cfg.workers = arg("workers", 1);
     eprintln!("scenario1 config: {cfg:?}");
     let rows = scenario1(&cfg).expect("scenario 1");
     println!("{}", format_scenario1_table(&rows));

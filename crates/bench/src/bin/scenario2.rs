@@ -14,7 +14,7 @@ use qs_core::scenarios::{format_throughput_table, scenario2, Scenario2Config};
 use std::time::Duration;
 
 fn main() {
-    let cfg = if quick_mode() {
+    let mut cfg = if quick_mode() {
         Scenario2Config::quick()
     } else {
         Scenario2Config {
@@ -29,6 +29,8 @@ fn main() {
             ..Default::default()
         }
     };
+    // Applies in quick mode too, so CI can smoke-test the pooled paths.
+    cfg.workers = arg("workers", 1);
     eprintln!("scenario2 config: {cfg:?}");
     let rows = scenario2(&cfg).expect("scenario 2");
     println!(

@@ -14,7 +14,7 @@ use qs_core::scenarios::{format_throughput_table, scenario3, Scenario3Config};
 use std::time::Duration;
 
 fn main() {
-    let cfg = if quick_mode() {
+    let mut cfg = if quick_mode() {
         Scenario3Config::quick()
     } else {
         Scenario3Config {
@@ -32,6 +32,8 @@ fn main() {
             ..Default::default()
         }
     };
+    // Applies in quick mode too, so CI can smoke-test the pooled paths.
+    cfg.workers = arg("workers", 1);
     eprintln!("scenario3 config: {cfg:?}");
     let rows = scenario3(&cfg).expect("scenario 3");
     println!(

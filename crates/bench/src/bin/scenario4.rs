@@ -15,7 +15,7 @@ use qs_core::scenarios::{format_throughput_table, scenario4, Scenario4Config};
 use std::time::Duration;
 
 fn main() {
-    let cfg = if quick_mode() {
+    let mut cfg = if quick_mode() {
         Scenario4Config::quick()
     } else {
         Scenario4Config {
@@ -30,6 +30,8 @@ fn main() {
             ..Default::default()
         }
     };
+    // Applies in quick mode too, so CI can smoke-test the pooled paths.
+    cfg.workers = arg("workers", 1);
     eprintln!("scenario4 config: {cfg:?}");
     let rows = scenario4(&cfg).expect("scenario 4");
     println!(

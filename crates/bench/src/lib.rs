@@ -12,6 +12,7 @@
 
 pub mod engine_batch;
 pub mod group_resolve;
+pub mod morsel_scaling;
 pub mod page_layout;
 pub mod perf;
 

@@ -1,0 +1,87 @@
+//! The tentpole measurement behind PR 8: morsel-parallel group-slot
+//! resolution across the shared [`qs_engine::WorkerPool`], swept over
+//! pool widths.
+//!
+//! One pass resolves every page of a fact-shaped table through a fresh
+//! [`GroupTable`] via [`GroupTable::resolve_rows_parallel`]: the batch is
+//! radix-partitioned by key hash, each bucket resolves into a private
+//! sub-table as one pool morsel, and a sequential renumbering merge
+//! restores the exact first-touch slot order of the single-threaded
+//! path. Pages here are sized past [`qs_engine::PARALLEL_MIN_ROWS`] so
+//! the fan-out genuinely executes at `workers > 1`; at `workers = 1` the
+//! same call is the sequential baseline (the pool runs inline).
+//!
+//! The acceptance bar is a *ratio* on this sweep — workers = 4 vs
+//! workers = 1 on the same machine in the same window — not an absolute
+//! qps, so it is meaningful on shared runners. On containers with fewer
+//! than 4 cores the ratio cannot exceed ~1 and is reported
+//! informationally (see README, "Choosing a worker count").
+
+use crate::group_resolve;
+use qs_engine::group::GroupTable;
+use qs_engine::{Metrics, ParallelScratch, WorkerPool};
+use qs_storage::Page;
+use std::sync::Arc;
+
+pub use crate::group_resolve::{SHAPE_DENSE, SHAPE_WIDE};
+
+/// Deterministic fact pages sized for morsel fan-out: same shape as the
+/// `group_resolve` pages, but each page holds `rows_per_page` rows, which
+/// callers set ≥ [`qs_engine::PARALLEL_MIN_ROWS`].
+pub fn make_pages(pages: usize, rows_per_page: usize, groups: usize, seed: u64) -> Vec<Arc<Page>> {
+    group_resolve::make_pages(pages, rows_per_page, groups, seed)
+}
+
+/// A pool of width `workers` with its own metrics sink, plus the reusable
+/// per-pass scratch.
+pub fn make_pool(workers: usize) -> (Arc<WorkerPool>, ParallelScratch) {
+    (WorkerPool::new(workers, Metrics::new()), ParallelScratch::new())
+}
+
+/// One pass: a fresh `GroupTable` (as an operator's registry is fresh per
+/// query) resolves every page's full row set through the pool. Returns a
+/// slot checksum, which is identical at every pool width — the parallel
+/// path's output contract.
+pub fn pass_parallel(
+    pages: &[Arc<Page>],
+    pool: &WorkerPool,
+    scratch: &mut ParallelScratch,
+    group_by: &[usize],
+) -> u64 {
+    let s = group_resolve::schema();
+    let mut table = GroupTable::compile(group_by, &s);
+    let mut slots: Vec<u32> = Vec::new();
+    let mut sum = 0u64;
+    for page in pages {
+        let rows: Vec<u32> = (0..page.rows() as u32).collect();
+        table
+            .resolve_rows_parallel(page, &rows, pool, scratch, &mut slots)
+            .expect("no faults armed");
+        sum = slots.iter().fold(sum, |a, &s| a.wrapping_add(s as u64));
+    }
+    sum
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The checksum — and therefore the slot assignment — is identical
+    /// at every pool width, including widths above the core count.
+    #[test]
+    fn checksum_is_width_invariant() {
+        let pages = make_pages(2, qs_engine::PARALLEL_MIN_ROWS + 64, 96, 11);
+        for shape in [SHAPE_DENSE, SHAPE_WIDE] {
+            let (pool1, mut s1) = make_pool(1);
+            let baseline = pass_parallel(&pages, &pool1, &mut s1, shape);
+            for w in [2usize, 4, 8] {
+                let (pool, mut s) = make_pool(w);
+                assert_eq!(
+                    baseline,
+                    pass_parallel(&pages, &pool, &mut s, shape),
+                    "workers={w} {shape:?}"
+                );
+            }
+        }
+    }
+}

@@ -163,12 +163,12 @@ pub struct PipelineSpec {
     /// many distributor threads, parallelizing the per-(tuple × query)
     /// materialization work the way the CJOIN prototype parallelizes its
     /// pipeline.
+    ///
+    /// (Preprocessor parallelism — vectorized fact-predicate evaluation
+    /// chunked across workers per page — now rides the engine's shared
+    /// morsel pool, `ExecCtx::workers`, instead of dedicated helper
+    /// threads.)
     pub dist_shards: usize,
-    /// Preprocessor workers: vectorized fact-predicate evaluation (one
-    /// batch decode + one compiled program per active query per chunk) is
-    /// spread across this many helper threads per page — the preprocessor
-    /// parallelism of the CJOIN prototype.
-    pub preproc_workers: usize,
 }
 
 impl PipelineSpec {
@@ -181,7 +181,6 @@ impl PipelineSpec {
             channel_depth: 4,
             out_page_bytes: qs_storage::DEFAULT_PAGE_BYTES,
             dist_shards: 4,
-            preproc_workers: 4,
         }
     }
 }
@@ -392,18 +391,8 @@ impl CjoinPipeline {
         let (ctl_tx, ctl_rx) = bounded::<Ctl>(spec.max_queries.max(16));
         let (head_tx, mut prev_rx) = bounded::<Msg>(spec.channel_depth.max(1));
 
-        // Preprocessor helper pool (parallel fact-predicate evaluation).
-        let (job_tx, job_rx) = bounded::<ChunkJob>(spec.preproc_workers.max(1) * 2);
-        for w in 0..spec.preproc_workers.max(1) {
-            let job_rx = job_rx.clone();
-            let ctx = ctx.clone();
-            spawn_stage(&mut threads, format!("cjoin-pre{w}"), move || {
-                preproc_worker_loop(job_rx, ctx)
-            })?;
-        }
-        drop(job_rx);
-
-        // Preprocessor thread.
+        // Preprocessor thread. Per-page fact-predicate evaluation fans
+        // out across the engine's shared morsel pool (`ctx.workers`).
         {
             let fact = fact.clone();
             let ctx = ctx.clone();
@@ -412,7 +401,7 @@ impl CjoinPipeline {
             spawn_stage(&mut threads, "cjoin-preproc".into(), move || {
                 let m = ctx.metrics.clone();
                 contain_stage_panic(&m, "preprocessor", move || {
-                    preprocessor_loop(fact, ctx, metrics, max_queries, ctl_rx, head_tx, job_tx)
+                    preprocessor_loop(fact, ctx, metrics, max_queries, ctl_rx, head_tx)
                 });
             })?;
         }
@@ -760,9 +749,9 @@ struct ActiveQuery {
 }
 
 /// A unit of parallel fact-predicate evaluation: rows `range` of `page`
-/// against the compiled-predicate snapshot; passing rows and their
-/// bitmaps are replied with the chunk id so the preprocessor can
-/// reassemble in order.
+/// against the compiled-predicate snapshot. One chunk is one morsel task
+/// on the engine's shared worker pool; the preprocessor reassembles chunk
+/// results in range order.
 struct ChunkJob {
     page: Arc<Page>,
     range: std::ops::Range<usize>,
@@ -771,18 +760,6 @@ struct ChunkJob {
     /// the batch decodes once for all queries.
     cols: Arc<Vec<usize>>,
     max_queries: usize,
-    chunk_id: usize,
-    reply: Sender<ChunkReply>,
-}
-
-/// One evaluated chunk: surviving rows, their bitmaps, and the slots
-/// whose predicate panicked over this chunk (contained per query — they
-/// contribute no rows and are aborted by the preprocessor).
-struct ChunkReply {
-    chunk_id: usize,
-    rows: Vec<u32>,
-    bitmaps: Vec<Bitmap>,
-    poisoned: Vec<u32>,
 }
 
 /// Reusable buffers for [`eval_chunk`], held per worker thread so
@@ -875,33 +852,20 @@ fn eval_chunk(job: &ChunkJob, scratch: &mut ChunkScratch) -> (Vec<u32>, Vec<Bitm
     (rows, bitmaps, poisoned)
 }
 
-fn preproc_worker_loop(job_rx: Receiver<ChunkJob>, ctx: Arc<ExecCtx>) {
-    let mut scratch = ChunkScratch::default();
-    while let Ok(job) = job_rx.recv() {
-        // Belt over the per-predicate containment inside `eval_chunk`: a
-        // panic outside any predicate (e.g. in the shared batch decode)
-        // kills this chunk, not the worker. No reply is sent — the
-        // preprocessor detects the missing chunk and treats the whole
-        // page as poisoned (silently dropping a chunk would corrupt every
-        // active query's results).
-        let result = catch_unwind(AssertUnwindSafe(|| {
-            ctx.governor.run(|| eval_chunk(&job, &mut scratch))
-        }));
-        match result {
-            Ok((rows, bitmaps, poisoned)) => {
-                let _ = job.reply.send(ChunkReply {
-                    chunk_id: job.chunk_id,
-                    rows,
-                    bitmaps,
-                    poisoned,
-                });
-            }
-            Err(_) => {
-                ctx.metrics.panics_contained.fetch_add(1, Ordering::Relaxed);
-                scratch = ChunkScratch::default();
-            }
-        }
+/// The `cjoin.chan` failpoint: injected where the preprocessor hands a
+/// finished batch to the stage channel. `cjoin.chan.delay` stalls the
+/// send (stage-channel backpressure); `cjoin.chan.abort` fails it — the
+/// semantics match a poisoned page: every active query is aborted with
+/// the typed cause and the pipeline lives on for future admissions.
+fn chan_fault() -> Result<(), String> {
+    if !qs_storage::fault::armed() {
+        return Ok(());
     }
+    qs_storage::fault::maybe_delay("cjoin.chan.delay");
+    if qs_storage::fault::should_fire("cjoin.chan.abort") {
+        return Err("injected fault `cjoin.chan.abort`".into());
+    }
+    Ok(())
 }
 
 fn preprocessor_loop(
@@ -911,12 +875,16 @@ fn preprocessor_loop(
     max_queries: usize,
     ctl_rx: Receiver<Ctl>,
     out: Sender<Msg>,
-    job_tx: Sender<ChunkJob>,
 ) {
     let mut active: Vec<ActiveQuery> = Vec::new();
     let mut pos = 0usize;
     let pages = fact.page_count();
     let mut inline_scratch = ChunkScratch::default();
+    // Per-chunk scratch and result slots for the pooled parallel path,
+    // reused across pages: surviving rows, their bitmaps, eval counts.
+    type ChunkResult = (Vec<u32>, Vec<Bitmap>, Vec<u32>);
+    let mut chunk_scratch: Vec<ChunkScratch> = Vec::new();
+    let mut chunk_out: Vec<Option<ChunkResult>> = Vec::new();
     // Predicate snapshot shared with the worker pool, plus the union of
     // referenced columns; invariant between admissions/removals, so it is
     // rebuilt only when `active` changes, not per page.
@@ -1032,44 +1000,66 @@ fn preprocessor_loop(
             })
             .clone();
         let n_rows = page.rows();
-        let parallel = n_rows * active.len() >= 512;
+        let parallel = ctx.workers.workers() > 1 && n_rows * active.len() >= 512;
         let mut page_poisoned = false;
         let mut poisoned_slots: Vec<u32> = Vec::new();
         let (mut rows, mut bitmaps) = if parallel {
+            // Chunked across the shared morsel pool: one task per chunk,
+            // each with its own reused scratch and result slot. The pool
+            // contains per-task panics (a panic outside any predicate,
+            // e.g. in the shared batch decode) and reports them as an
+            // `Err` after every sibling finished — the whole-page poison
+            // signal that used to be a missing reply.
             let chunks = 4usize;
-            let step = n_rows.div_ceil(chunks);
-            let (reply_tx, reply_rx) = bounded(chunks);
-            let mut sent = 0usize;
-            for (cid, start) in (0..n_rows).step_by(step.max(1)).enumerate() {
-                let job = ChunkJob {
-                    page: page.clone(),
-                    range: start..(start + step).min(n_rows),
-                    preds: preds.clone(),
-                    cols: cols.clone(),
-                    max_queries,
-                    chunk_id: cid,
-                    reply: reply_tx.clone(),
-                };
-                if job_tx.send(job).is_err() {
-                    break 'outer;
+            let step = n_rows.div_ceil(chunks).max(1);
+            let starts: Vec<usize> = (0..n_rows).step_by(step).collect();
+            if chunk_scratch.len() < starts.len() {
+                chunk_scratch.resize_with(starts.len(), ChunkScratch::default);
+            }
+            chunk_out.clear();
+            chunk_out.resize_with(starts.len(), || None);
+            let run = ctx.governor.run(|| {
+                let mut tasks: Vec<qs_engine::pool::Task> =
+                    Vec::with_capacity(starts.len());
+                for ((slot_out, scratch), &start) in chunk_out
+                    .iter_mut()
+                    .zip(chunk_scratch.iter_mut())
+                    .zip(&starts)
+                {
+                    let job = ChunkJob {
+                        page: page.clone(),
+                        range: start..(start + step).min(n_rows),
+                        preds: preds.clone(),
+                        cols: cols.clone(),
+                        max_queries,
+                    };
+                    tasks.push(Box::new(move || {
+                        *slot_out = Some(eval_chunk(&job, scratch));
+                    }));
                 }
-                sent += 1;
+                ctx.workers.run(tasks)
+            });
+            match run {
+                Ok(()) => {
+                    let mut rows = Vec::with_capacity(n_rows);
+                    let mut bitmaps = Vec::with_capacity(n_rows);
+                    for part in chunk_out.iter_mut() {
+                        let (r, b, mut p) =
+                            part.take().expect("clean pool run fills every chunk");
+                        rows.extend(r);
+                        bitmaps.extend(b);
+                        poisoned_slots.append(&mut p);
+                    }
+                    (rows, bitmaps)
+                }
+                Err(_) => {
+                    // A task panicked (or hit the pool failpoint) —
+                    // scratches may hold mid-unwind state; rebuild them.
+                    chunk_scratch.clear();
+                    page_poisoned = true;
+                    (Vec::new(), Vec::new())
+                }
             }
-            drop(reply_tx);
-            // `iter()` ends when every job's reply sender is gone, so a
-            // worker that contained a chunk-level panic (and sent no
-            // reply) surfaces here as `parts.len() < sent`.
-            let mut parts: Vec<ChunkReply> = reply_rx.iter().collect();
-            page_poisoned = parts.len() != sent;
-            parts.sort_by_key(|p| p.chunk_id);
-            let mut rows = Vec::with_capacity(n_rows);
-            let mut bitmaps = Vec::with_capacity(n_rows);
-            for mut p in parts {
-                rows.extend(p.rows);
-                bitmaps.extend(p.bitmaps);
-                poisoned_slots.append(&mut p.poisoned);
-            }
-            (rows, bitmaps)
         } else {
             let inline = catch_unwind(AssertUnwindSafe(|| {
                 ctx.governor.run(|| {
@@ -1080,12 +1070,6 @@ fn preprocessor_loop(
                             preds: preds.clone(),
                             cols: cols.clone(),
                             max_queries,
-                            chunk_id: 0,
-                            reply: {
-                                // unused for the inline path
-                                let (tx, _rx) = bounded(1);
-                                tx
-                            },
                         },
                         &mut inline_scratch,
                     )
@@ -1119,6 +1103,19 @@ fn preprocessor_loop(
         }
         rows.shrink_to_fit();
         bitmaps.shrink_to_fit();
+        // Failpoint on the stage channel: an injected send failure is a
+        // lost batch — like a poisoned page, it must abort every query
+        // whose revolution spans it, never silently drop their rows.
+        if let Err(cause) = chan_fault() {
+            let msg = format!("stage channel fault: {cause}");
+            for q in active.drain(..) {
+                if out.send(Msg::QueryAborted(q.slot, msg.clone())).is_err() {
+                    break 'outer;
+                }
+            }
+            snapshot = None;
+            continue;
+        }
         metrics
             .tuples_in
             .fetch_add(rows.len() as u64, Ordering::Relaxed);

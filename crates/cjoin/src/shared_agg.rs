@@ -27,8 +27,9 @@
 //! row-at-a-time `update_acc` baseline.
 
 use crate::bitmap::Bitmap;
-use qs_engine::group::GroupTable;
+use qs_engine::group::{GroupTable, ParallelScratch};
 use qs_engine::kernels::{update_grouped, update_masked, AccVec, AggKernel};
+use qs_engine::WorkerPool;
 use qs_plan::AggSpec;
 use qs_storage::{mask_words, ColumnBatch, FactBatch, Page, Schema, Value};
 use std::collections::HashMap;
@@ -82,6 +83,9 @@ struct GroupClass {
     rel_rows: Vec<u32>,
     rel_pagerows: Vec<u32>,
     rel_groups: Vec<u32>,
+    /// Scratch for pooled parallel resolution (see
+    /// [`GroupTable::resolve_rows_parallel`]).
+    pscratch: ParallelScratch,
 }
 
 /// Shared aggregation operator: single batch-at-a-time pass over
@@ -97,6 +101,9 @@ pub struct SharedAggregator {
     agg_cols: Vec<usize>,
     /// Selection scratch: batch rows with any query bit set.
     sel_scratch: Vec<u32>,
+    /// Morsel pool for parallel class-level group resolution; `None` =
+    /// resolve sequentially (the historical behavior).
+    workers: Option<Arc<WorkerPool>>,
     tuples_seen: u64,
     updates_applied: u64,
 }
@@ -112,9 +119,19 @@ impl SharedAggregator {
             by_slot: HashMap::new(),
             agg_cols: Vec::new(),
             sel_scratch: Vec::new(),
+            workers: None,
             tuples_seen: 0,
             updates_applied: 0,
         }
+    }
+
+    /// [`Self::new`] with a morsel pool: class-level group resolution of
+    /// large batches fans out across `workers` (slot numbering — and so
+    /// every query's output order — is identical either way).
+    pub fn with_workers(in_schema: Arc<Schema>, workers: Arc<WorkerPool>) -> Self {
+        let mut agg = SharedAggregator::new(in_schema);
+        agg.workers = Some(workers);
+        agg
     }
 
     /// Register the aggregation of query `slot`. Queries registering a
@@ -136,6 +153,7 @@ impl SharedAggregator {
                     rel_rows: Vec::new(),
                     rel_pagerows: Vec::new(),
                     rel_groups: Vec::new(),
+                    pscratch: ParallelScratch::new(),
                 });
                 self.classes.len() - 1
             }
@@ -261,9 +279,27 @@ impl SharedAggregator {
             if class.rel_rows.is_empty() {
                 continue;
             }
-            class
-                .table
-                .resolve_rows(page, &class.rel_pagerows, &mut class.rel_groups);
+            // Pooled parallel resolution when a pool is attached; a pool
+            // failure (injected fault / contained task panic) leaves the
+            // registry untouched, so falling back to the sequential
+            // resolver yields the same slots the clean run would have.
+            let resolved = self.workers.as_ref().is_some_and(|pool| {
+                class
+                    .table
+                    .resolve_rows_parallel(
+                        page,
+                        &class.rel_pagerows,
+                        pool,
+                        &mut class.pscratch,
+                        &mut class.rel_groups,
+                    )
+                    .is_ok()
+            });
+            if !resolved {
+                class
+                    .table
+                    .resolve_rows(page, &class.rel_pagerows, &mut class.rel_groups);
+            }
             let ngroups = class.table.len();
             let scalar = class.group_by.is_empty();
             for &q in &class.members {

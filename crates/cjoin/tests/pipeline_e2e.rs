@@ -47,6 +47,7 @@ fn ctx() -> Arc<ExecCtx> {
             Arc::new(DiskModel::new(DiskConfig::memory_resident())),
         )),
         governor: CoreGovernor::new(0, metrics.clone()),
+        workers: qs_engine::WorkerPool::new(1, metrics.clone()),
         metrics,
         out_page_bytes: 256,
     })

@@ -81,6 +81,10 @@ pub struct DbConfig {
     pub mode: ExecutionMode,
     /// Core permits (`0` = unlimited) — "bind server to N cores".
     pub cores: usize,
+    /// Morsel worker-pool size for intra-operator parallelism (group
+    /// resolution, parallel scans, the CJOIN preprocessor); `1` =
+    /// single-threaded.
+    pub workers: usize,
     /// Simulated disk.
     pub disk: DiskConfig,
     /// Buffer pool frames; `None` = big enough for everything
@@ -106,6 +110,7 @@ impl DbConfig {
         DbConfig {
             mode,
             cores: 0,
+            workers: 1,
             disk: DiskConfig::memory_resident(),
             buffer_pool_pages: None,
             fifo_capacity: 16,
@@ -200,6 +205,7 @@ impl SharingDb {
             pool.clone(),
             EngineConfig {
                 cores: config.cores,
+                workers: config.workers,
                 fifo_capacity: config.fifo_capacity,
                 out_page_bytes: config.out_page_bytes,
                 sharing: config.sharing_policy(),

@@ -29,6 +29,8 @@ pub struct Scenario1Config {
     pub clients: Vec<usize>,
     /// "Bind server to N cores" (0 = unlimited).
     pub cores: usize,
+    /// Morsel worker-pool size (`1` = single-threaded).
+    pub workers: usize,
     /// Disk-resident database? (memory-resident otherwise)
     pub disk_resident: bool,
     /// Buffer-pool frames for the disk-resident case.
@@ -45,6 +47,7 @@ impl Default for Scenario1Config {
             scale: 0.02,
             clients: vec![1, 2, 4, 8, 16, 32],
             cores: 8,
+            workers: 1,
             disk_resident: false,
             buffer_pool_pages: None,
             seed: 42,
@@ -124,6 +127,7 @@ pub fn scenario1(cfg: &Scenario1Config) -> Result<Vec<Scenario1Row>, EngineError
                 catalog.clone(),
                 DbConfig {
                     cores: cfg.cores,
+                    workers: cfg.workers,
                     disk: if cfg.disk_resident {
                         DiskConfig::disk_resident()
                     } else {
@@ -184,6 +188,7 @@ fn ssb_db(
     catalog: &Arc<Catalog>,
     mode: ExecutionMode,
     cores: usize,
+    workers: usize,
     disk_resident: bool,
     sharing_override: Option<SharingPolicy>,
 ) -> Result<SharingDb, EngineError> {
@@ -191,6 +196,7 @@ fn ssb_db(
         catalog.clone(),
         DbConfig {
             cores,
+            workers,
             disk: if disk_resident {
                 DiskConfig::disk_resident()
             } else {
@@ -250,6 +256,8 @@ pub struct Scenario2Config {
     pub disk_resident: bool,
     /// Cores.
     pub cores: usize,
+    /// Morsel worker-pool size (`1` = single-threaded).
+    pub workers: usize,
     /// Seed.
     pub seed: u64,
     /// Page layout of the generated tables.
@@ -266,6 +274,7 @@ impl Default for Scenario2Config {
             template: SsbTemplate::Q3_2,
             disk_resident: true,
             cores: 8,
+            workers: 1,
             seed: 42,
             layout: PageLayout::Row,
         }
@@ -293,7 +302,7 @@ pub fn scenario2(cfg: &Scenario2Config) -> Result<Vec<ThroughputRow>, EngineErro
     let mut rows = Vec::new();
     for (label, mode) in [("QPipe+SP", ExecutionMode::SpPull), ("CJOIN", ExecutionMode::Gqp)] {
         for &k in &cfg.clients {
-            let db = ssb_db(&catalog, mode, cfg.cores, cfg.disk_resident, None)?;
+            let db = ssb_db(&catalog, mode, cfg.cores, cfg.workers, cfg.disk_resident, None)?;
             let knobs = WorkloadKnobs {
                 selectivity: Some(cfg.selectivity),
                 ..WorkloadKnobs::randomized(cfg.template, cfg.seed)
@@ -338,6 +347,8 @@ pub struct Scenario3Config {
     pub template: SsbTemplate,
     /// Cores.
     pub cores: usize,
+    /// Morsel worker-pool size (`1` = single-threaded).
+    pub workers: usize,
     /// Seed.
     pub seed: u64,
     /// Page layout of the generated tables.
@@ -356,6 +367,7 @@ impl Default for Scenario3Config {
             // scenario is designed to expose.
             template: SsbTemplate::Q1_1,
             cores: 8,
+            workers: 1,
             seed: 42,
             layout: PageLayout::Row,
         }
@@ -382,7 +394,7 @@ pub fn scenario3(cfg: &Scenario3Config) -> Result<Vec<ThroughputRow>, EngineErro
     let mut rows = Vec::new();
     for (label, mode) in [("QPipe+SP", ExecutionMode::SpPull), ("CJOIN", ExecutionMode::Gqp)] {
         for &sel in &cfg.selectivities {
-            let db = ssb_db(&catalog, mode, cfg.cores, false, None)?;
+            let db = ssb_db(&catalog, mode, cfg.cores, cfg.workers, false, None)?;
             let knobs = WorkloadKnobs {
                 selectivity: Some(sel),
                 ..WorkloadKnobs::randomized(cfg.template, cfg.seed)
@@ -429,6 +441,8 @@ pub struct Scenario4Config {
     pub disk_resident: bool,
     /// Cores.
     pub cores: usize,
+    /// Morsel worker-pool size (`1` = single-threaded).
+    pub workers: usize,
     /// Seed.
     pub seed: u64,
     /// Page layout of the generated tables.
@@ -445,6 +459,7 @@ impl Default for Scenario4Config {
             template: SsbTemplate::Q2_1,
             disk_resident: true,
             cores: 8,
+            workers: 1,
             seed: 42,
             layout: PageLayout::Row,
         }
@@ -473,7 +488,7 @@ pub fn scenario4(cfg: &Scenario4Config) -> Result<Vec<ThroughputRow>, EngineErro
     let mut rows = Vec::new();
     for (label, mode) in [("GQP", ExecutionMode::Gqp), ("GQP+SP", ExecutionMode::GqpSp)] {
         for &n in &cfg.num_plans {
-            let db = ssb_db(&catalog, mode, cfg.cores, cfg.disk_resident, None)?;
+            let db = ssb_db(&catalog, mode, cfg.cores, cfg.workers, cfg.disk_resident, None)?;
             // Every client draws from the same restricted space, and
             // batching aligns their waves (maximal sharing opportunity).
             let knobs = WorkloadKnobs::restricted(cfg.template, n, cfg.seed);

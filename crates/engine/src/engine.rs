@@ -111,6 +111,10 @@ pub struct EngineConfig {
     /// Core permits for CPU-bound work (`0` = unlimited). The demo's
     /// "bind to N cores" knob.
     pub cores: usize,
+    /// Morsel worker-pool size for intra-operator parallelism (group
+    /// resolution, parallel scans, the CJOIN preprocessor). `1` =
+    /// single-threaded (no pool threads are spawned).
+    pub workers: usize,
     /// Capacity (pages) of each FIFO buffer.
     pub fifo_capacity: usize,
     /// Byte budget for operator output pages.
@@ -132,6 +136,7 @@ impl Default for EngineConfig {
     fn default() -> Self {
         EngineConfig {
             cores: 0,
+            workers: 1,
             fifo_capacity: 16,
             out_page_bytes: qs_storage::DEFAULT_PAGE_BYTES,
             initial_workers: 1,
@@ -260,10 +265,12 @@ impl QpipeEngine {
     pub fn new(catalog: Arc<Catalog>, pool: Arc<BufferPool>, config: EngineConfig) -> Self {
         let metrics = Metrics::new();
         let governor = CoreGovernor::new(config.cores, metrics.clone());
+        let workers = crate::pool::WorkerPool::new(config.workers, metrics.clone());
         let ctx = Arc::new(ExecCtx {
             pool,
             governor,
             metrics,
+            workers,
             out_page_bytes: config.out_page_bytes,
         });
         let stages = std::array::from_fn(|i| {

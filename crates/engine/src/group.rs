@@ -19,9 +19,13 @@
 //!   short `Char`s). Key bytes are packed into one `u128` on the stack
 //!   and probed through a [`FlatMap<u128>`] — again zero allocation per
 //!   tuple.
-//! * [`GroupTier::ByteKey`] — the arbitrary-shape fallback: the familiar
-//!   `HashMap<Vec<u8>, u32>`, but extracting into one reused scratch
-//!   buffer; allocation happens only when a *new group* is interned.
+//! * [`GroupTier::ByteKey`] — the arbitrary-shape fallback: keys are
+//!   extracted into one reused scratch buffer, hashed (FNV-1a +
+//!   SplitMix finish), and chained through a flat hash → head-slot map;
+//!   the key bytes themselves are interned into the table's shared
+//!   arena, so a new group costs an arena append and a handle push
+//!   instead of the two owned `Vec<u8>` allocations the pre-PR-8
+//!   `HashMap<Vec<u8>, u32>` fallback paid.
 //!
 //! All three tiers assign slots in **first-touch order**, so every
 //! consumer's output row order is bit-identical to the pre-PR-5
@@ -30,17 +34,23 @@
 //! differential fuzzer.
 //!
 //! Resolution is batch-at-a-time ([`GroupTable::resolve_batch`] /
-//! [`GroupTable::resolve_rows`]) with caller-owned scratch, and
+//! [`GroupTable::resolve_rows`]) with caller-owned scratch.
 //! [`GroupTable::radix_partition`] lays a batch out as hash-radix
-//! buckets — the partitioned-grouping layout the ROADMAP's parallel
-//! resolution follow-on will fan out across workers (each bucket's keys
-//! land in disjoint table regions), without this PR committing to the
-//! extra threads yet.
+//! buckets (equal keys never split across buckets), and
+//! [`GroupTable::resolve_rows_parallel`] cashes that layout in: each
+//! bucket is resolved against a private sub-table on its own
+//! [`crate::pool::WorkerPool`] morsel, then a sequential renumbering
+//! pass walks the batch in original row order and interns each
+//! sub-table key at first sight — so the dense slot numbering (and
+//! therefore every consumer's output bytes) is **identical** to the
+//! single-threaded path, batch after batch. Batches smaller than
+//! [`PARALLEL_MIN_ROWS`] skip the fan-out entirely.
 
+use crate::error::EngineError;
+use crate::pool::{Task, WorkerPool};
 use qs_storage::flat::{mix64, FlatKey, FlatMap};
 use qs_storage::row::read_i64_at;
 use qs_storage::{ColumnPage, DataType, FactBatch, Page, Schema};
-use std::collections::HashMap;
 
 /// The resolution strategy a [`GroupTable`] compiled to — exposed so
 /// tests (and the differential fuzzer) can assert which tier a grouping
@@ -70,11 +80,63 @@ enum TierState {
         map: FlatMap<u128>,
     },
     ByteKey {
-        map: HashMap<Vec<u8>, u32>,
+        /// Key hash → head slot of the collision chain. Key bytes live in
+        /// the table-wide arena; equality walks the chain via `next`.
+        map: FlatMap<i64>,
+        /// Per-slot chain link (`u32::MAX` ends a chain).
+        next: Vec<u32>,
         /// Per-tuple extraction scratch — the fallback's own fix for the
         /// old per-tuple `Vec::with_capacity(key_size)`.
         key_buf: Vec<u8>,
     },
+}
+
+/// FNV-1a over raw key bytes — the byte-key tier's pre-mix hash (shared
+/// with the radix partitioner so bucket assignment and chain hashing
+/// agree).
+#[inline]
+fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for &b in bytes {
+        h = (h ^ b as u64).wrapping_mul(0x100_0000_01b3);
+    }
+    h
+}
+
+/// Intern `key` into the arena and return its new slot.
+#[inline]
+fn push_key(arena: &mut Vec<u8>, handles: &mut Vec<(u32, u32)>, key: &[u8]) -> u32 {
+    let off = arena.len() as u32;
+    arena.extend_from_slice(key);
+    handles.push((off, key.len() as u32));
+    (handles.len() - 1) as u32
+}
+
+/// Byte-key resolution primitive: find `key`'s slot through the hash
+/// chain, interning it into the arena on a miss (first-touch slot
+/// assignment, same as the flat tiers' `get_or_insert_with`).
+fn bytekey_slot(
+    map: &mut FlatMap<i64>,
+    next: &mut Vec<u32>,
+    arena: &mut Vec<u8>,
+    handles: &mut Vec<(u32, u32)>,
+    key: &[u8],
+) -> u32 {
+    let h = mix64(fnv1a(key)) as i64;
+    let head = map.get(h);
+    let mut cur = head;
+    while let Some(s) = cur {
+        let (off, len) = handles[s as usize];
+        if &arena[off as usize..(off + len) as usize] == key {
+            return s;
+        }
+        let n = next[s as usize];
+        cur = (n != u32::MAX).then_some(n);
+    }
+    let s = push_key(arena, handles, key);
+    next.push(head.unwrap_or(u32::MAX));
+    map.insert(h, s);
+    s
 }
 
 /// A group-by spec compiled against its input schema: key extraction
@@ -89,8 +151,11 @@ pub struct GroupTable {
     cols: Vec<usize>,
     key_size: usize,
     state: TierState,
-    /// Slot → encoded key bytes, in first-touch order.
-    keys: Vec<Vec<u8>>,
+    /// Interned key bytes of every slot, concatenated in first-touch
+    /// order — one arena instead of one `Vec<u8>` per group.
+    key_arena: Vec<u8>,
+    /// Slot → `(offset, len)` handle into `key_arena`.
+    key_spans: Vec<(u32, u32)>,
     /// Columnar-path key assembly scratch.
     cell_buf: Vec<u8>,
 }
@@ -141,7 +206,8 @@ impl GroupTable {
                 map: FlatMap::with_capacity(cap),
             },
             GroupTier::ByteKey => TierState::ByteKey {
-                map: HashMap::with_capacity(cap),
+                map: FlatMap::with_capacity(cap),
+                next: Vec::with_capacity(cap),
                 key_buf: Vec::with_capacity(key_size),
             },
         };
@@ -150,8 +216,56 @@ impl GroupTable {
             cols: group_by.to_vec(),
             key_size,
             state,
-            keys: Vec::with_capacity(groups_hint.unwrap_or(0)),
+            key_arena: Vec::with_capacity(groups_hint.unwrap_or(0) * key_size),
+            key_spans: Vec::with_capacity(groups_hint.unwrap_or(0)),
             cell_buf: Vec::with_capacity(key_size),
+        }
+    }
+
+    /// An empty table with the same compiled spec (spans, columns, tier)
+    /// — the private sub-table each radix bucket resolves against on the
+    /// parallel path.
+    fn fresh(&self) -> GroupTable {
+        let state = match &self.state {
+            TierState::DenseInt { off, col, .. } => TierState::DenseInt {
+                off: *off,
+                col: *col,
+                map: FlatMap::with_capacity(64),
+            },
+            TierState::Packed { .. } => TierState::Packed {
+                map: FlatMap::with_capacity(64),
+            },
+            TierState::ByteKey { .. } => TierState::ByteKey {
+                map: FlatMap::with_capacity(64),
+                next: Vec::new(),
+                key_buf: Vec::new(),
+            },
+        };
+        GroupTable {
+            spans: self.spans.clone(),
+            cols: self.cols.clone(),
+            key_size: self.key_size,
+            state,
+            key_arena: Vec::new(),
+            key_spans: Vec::new(),
+            cell_buf: Vec::new(),
+        }
+    }
+
+    /// Forget every interned group but keep all allocations — the
+    /// per-batch reset of the parallel path's bucket sub-tables.
+    fn reset(&mut self) {
+        self.key_arena.clear();
+        self.key_spans.clear();
+        self.cell_buf.clear();
+        match &mut self.state {
+            TierState::DenseInt { map, .. } => map.clear(),
+            TierState::Packed { map } => map.clear(),
+            TierState::ByteKey { map, next, key_buf } => {
+                map.clear();
+                next.clear();
+                key_buf.clear();
+            }
         }
     }
 
@@ -166,12 +280,12 @@ impl GroupTable {
 
     /// Number of distinct groups interned so far.
     pub fn len(&self) -> usize {
-        self.keys.len()
+        self.key_spans.len()
     }
 
     /// Whether no group has been interned yet.
     pub fn is_empty(&self) -> bool {
-        self.keys.is_empty()
+        self.key_spans.is_empty()
     }
 
     /// Concatenated key bytes (kept in first-touch order).
@@ -184,7 +298,8 @@ impl GroupTable {
     /// output row prefix.
     #[inline]
     pub fn key_bytes(&self, slot: usize) -> &[u8] {
-        &self.keys[slot]
+        let (off, len) = self.key_spans[slot];
+        &self.key_arena[off as usize..(off + len) as usize]
     }
 
     /// Resolve every surviving tuple of `batch` to its dense group slot:
@@ -209,16 +324,15 @@ impl GroupTable {
         }
         let data = page.raw();
         let rs = page.schema().row_size();
-        let keys = &mut self.keys;
+        let arena = &mut self.key_arena;
+        let handles = &mut self.key_spans;
         match &mut self.state {
             TierState::DenseInt { off, map, .. } => {
                 let off = *off;
                 for &r in rows {
                     let k = read_i64_at(data, r as usize * rs + off);
-                    let slot = map.get_or_insert_with(k, || {
-                        keys.push(k.to_le_bytes().to_vec());
-                        (keys.len() - 1) as u32
-                    });
+                    let slot = map
+                        .get_or_insert_with(k, || push_key(arena, handles, &k.to_le_bytes()));
                     out.push(slot);
                 }
             }
@@ -234,14 +348,12 @@ impl GroupTable {
                         p += w;
                     }
                     let k = u128::from_le_bytes(buf);
-                    let slot = map.get_or_insert_with(k, || {
-                        keys.push(buf[..key_size].to_vec());
-                        (keys.len() - 1) as u32
-                    });
+                    let slot = map
+                        .get_or_insert_with(k, || push_key(arena, handles, &buf[..key_size]));
                     out.push(slot);
                 }
             }
-            TierState::ByteKey { map, key_buf } => {
+            TierState::ByteKey { map, next, key_buf } => {
                 let spans = &self.spans;
                 for &r in rows {
                     let row = &data[r as usize * rs..(r as usize + 1) * rs];
@@ -249,17 +361,7 @@ impl GroupTable {
                     for &(off, w) in spans {
                         key_buf.extend_from_slice(&row[off..off + w]);
                     }
-                    let slot = match map.get(key_buf.as_slice()) {
-                        Some(&s) => s,
-                        None => {
-                            let s = keys.len() as u32;
-                            let owned = key_buf.clone();
-                            keys.push(owned.clone());
-                            map.insert(owned, s);
-                            s
-                        }
-                    };
-                    out.push(slot);
+                    out.push(bytekey_slot(map, next, arena, handles, key_buf));
                 }
             }
         }
@@ -271,16 +373,15 @@ impl GroupTable {
     /// encoded form. Tier, slot numbering, and first-touch order are
     /// identical to the row-major path.
     fn resolve_rows_columnar(&mut self, cp: &ColumnPage, rows: &[u32], out: &mut Vec<u32>) {
-        let keys = &mut self.keys;
+        let arena = &mut self.key_arena;
+        let handles = &mut self.key_spans;
         match &mut self.state {
             TierState::DenseInt { col, map, .. } => {
                 let arr = cp.array(*col);
                 for &r in rows {
                     let k = arr.i64_at(r as usize);
-                    let slot = map.get_or_insert_with(k, || {
-                        keys.push(k.to_le_bytes().to_vec());
-                        (keys.len() - 1) as u32
-                    });
+                    let slot = map
+                        .get_or_insert_with(k, || push_key(arena, handles, &k.to_le_bytes()));
                     out.push(slot);
                 }
             }
@@ -296,30 +397,19 @@ impl GroupTable {
                     let mut buf = [0u8; PACK_BYTES];
                     buf[..key_size].copy_from_slice(cell);
                     let slot = map.get_or_insert_with(u128::from_le_bytes(buf), || {
-                        keys.push(cell.clone());
-                        (keys.len() - 1) as u32
+                        push_key(arena, handles, cell)
                     });
                     out.push(slot);
                 }
             }
-            TierState::ByteKey { map, key_buf } => {
+            TierState::ByteKey { map, next, key_buf } => {
                 let cols = &self.cols;
                 for &r in rows {
                     key_buf.clear();
                     for &c in cols {
                         cp.array(c).extend_cell(r as usize, key_buf);
                     }
-                    let slot = match map.get(key_buf.as_slice()) {
-                        Some(&s) => s,
-                        None => {
-                            let s = keys.len() as u32;
-                            let owned = key_buf.clone();
-                            keys.push(owned.clone());
-                            map.insert(owned, s);
-                            s
-                        }
-                    };
-                    out.push(slot);
+                    out.push(bytekey_slot(map, next, arena, handles, key_buf));
                 }
             }
         }
@@ -331,42 +421,32 @@ impl GroupTable {
     /// input) and for oracles that replay recorded keys.
     pub fn intern_key(&mut self, key: &[u8]) -> u32 {
         debug_assert_eq!(key.len(), self.key_size);
-        let keys = &mut self.keys;
+        let arena = &mut self.key_arena;
+        let handles = &mut self.key_spans;
         match &mut self.state {
             TierState::DenseInt { map, .. } => {
                 let k = i64::from_le_bytes(key.try_into().expect("8-byte Int key"));
-                map.get_or_insert_with(k, || {
-                    keys.push(key.to_vec());
-                    (keys.len() - 1) as u32
-                })
+                map.get_or_insert_with(k, || push_key(arena, handles, key))
             }
             TierState::Packed { map } => {
                 let mut buf = [0u8; PACK_BYTES];
                 buf[..key.len()].copy_from_slice(key);
                 map.get_or_insert_with(u128::from_le_bytes(buf), || {
-                    keys.push(key.to_vec());
-                    (keys.len() - 1) as u32
+                    push_key(arena, handles, key)
                 })
             }
-            TierState::ByteKey { map, .. } => match map.get(key) {
-                Some(&s) => s,
-                None => {
-                    let s = keys.len() as u32;
-                    map.insert(key.to_vec(), s);
-                    keys.push(key.to_vec());
-                    s
-                }
-            },
+            TierState::ByteKey { map, next, .. } => {
+                bytekey_slot(map, next, arena, handles, key)
+            }
         }
     }
 
     /// Hash-radix layout of one batch: bucket the rows of `rows` by the
     /// top [`RadixScratch::BITS`] bits of their key hash into
     /// `scratch.buckets`. Rows with equal keys always land in the same
-    /// bucket, so each bucket could be resolved by an independent worker
-    /// against a private table — the parallel-resolution layout the
-    /// ROADMAP files as a follow-on. Resolution itself stays sequential
-    /// (and first-touch ordering untouched) until that lands.
+    /// bucket, so each bucket is resolved by an independent worker
+    /// against a private table — the layout
+    /// [`Self::resolve_rows_parallel`] fans out across the morsel pool.
     pub fn radix_partition(&self, page: &Page, rows: &[u32], scratch: &mut RadixScratch) {
         scratch.hashes.clear();
         scratch.hashes.reserve(rows.len());
@@ -458,6 +538,146 @@ impl GroupTable {
             scratch.buckets[part].push(rows[i]);
         }
     }
+
+    /// [`Self::resolve_batch`] with the per-bucket fan-out of
+    /// [`Self::resolve_rows_parallel`].
+    pub fn resolve_batch_parallel(
+        &mut self,
+        batch: &FactBatch,
+        pool: &WorkerPool,
+        scratch: &mut ParallelScratch,
+        out: &mut Vec<u32>,
+    ) -> Result<(), EngineError> {
+        self.resolve_rows_parallel(batch.page(), batch.sel(), pool, scratch, out)
+    }
+
+    /// Parallel twin of [`Self::resolve_rows`]: radix-partition the
+    /// batch, resolve every bucket against a private sub-table on its
+    /// own pool morsel, then renumber sub-table slots into this table in
+    /// original row order — first-touch slot numbering (and therefore
+    /// every consumer's output bytes) is identical to the sequential
+    /// path, because a global slot is interned exactly when the
+    /// sequential loop would first have seen its key. The renumber pass
+    /// probes this table once per *distinct group per batch*, not per
+    /// row; the per-row probes all happen in the parallel sub-tables.
+    ///
+    /// Batches under [`PARALLEL_MIN_ROWS`] rows (or a 1-worker pool) use
+    /// the sequential path directly — the fan-out costs one partition
+    /// pass plus task dispatch, which small batches cannot amortize.
+    ///
+    /// `Err` means a bucket task panicked or was killed by the
+    /// `pool.task` failpoint; `out` holds garbage and the caller must
+    /// abort the query (this table's interned groups remain valid —
+    /// sub-tables are merged only by the renumber pass, which runs only
+    /// when every bucket resolved cleanly).
+    pub fn resolve_rows_parallel(
+        &mut self,
+        page: &Page,
+        rows: &[u32],
+        pool: &WorkerPool,
+        scratch: &mut ParallelScratch,
+        out: &mut Vec<u32>,
+    ) -> Result<(), EngineError> {
+        if pool.workers() <= 1 || rows.len() < PARALLEL_MIN_ROWS {
+            self.resolve_rows(page, rows, out);
+            return Ok(());
+        }
+        self.radix_partition(page, rows, &mut scratch.radix);
+        let nb = scratch.radix.buckets.len();
+        if scratch.subs.len() != nb {
+            scratch.subs = (0..nb).map(|_| self.fresh()).collect();
+        } else {
+            for sub in &mut scratch.subs {
+                sub.reset();
+            }
+        }
+        scratch.local.resize_with(nb, Vec::new);
+        {
+            let ParallelScratch {
+                radix, subs, local, ..
+            } = scratch;
+            let mut tasks: Vec<Task<'_>> = Vec::with_capacity(nb);
+            for ((sub, local_b), bucket) in subs
+                .iter_mut()
+                .zip(local.iter_mut())
+                .zip(radix.buckets.iter())
+            {
+                local_b.clear();
+                if bucket.is_empty() {
+                    continue;
+                }
+                tasks.push(Box::new(move || sub.resolve_rows(page, bucket, local_b)));
+            }
+            pool.run(tasks)?;
+        }
+        // Renumbering merge: walk the batch in original row order
+        // (scratch.radix.hashes is aligned with `rows`; bucket vectors
+        // preserve input order, so a per-bucket cursor recovers each
+        // row's local slot without any lookup).
+        let ParallelScratch {
+            radix,
+            subs,
+            local,
+            global_of,
+            cursors,
+        } = scratch;
+        cursors.clear();
+        cursors.resize(nb, 0);
+        global_of.resize_with(nb, Vec::new);
+        for (g, sub) in global_of.iter_mut().zip(subs.iter()) {
+            g.clear();
+            g.resize(sub.len(), u32::MAX);
+        }
+        out.clear();
+        out.reserve(rows.len());
+        for &h in radix.hashes.iter() {
+            let b = (h >> (64 - RadixScratch::BITS)) as usize;
+            let l = local[b][cursors[b]] as usize;
+            cursors[b] += 1;
+            let mut g = global_of[b][l];
+            if g == u32::MAX {
+                g = self.intern_key(subs[b].key_bytes(l));
+                global_of[b][l] = g;
+            }
+            out.push(g);
+        }
+        Ok(())
+    }
+}
+
+/// Minimum batch size (surviving rows) for the parallel resolution
+/// fan-out; smaller batches stay on the sequential path.
+pub const PARALLEL_MIN_ROWS: usize = 1024;
+
+/// Reusable scratch for [`GroupTable::resolve_rows_parallel`]: the radix
+/// buckets, the per-bucket private sub-tables (kept allocated across
+/// batches), their local slot outputs, and the renumbering maps.
+pub struct ParallelScratch {
+    radix: RadixScratch,
+    subs: Vec<GroupTable>,
+    local: Vec<Vec<u32>>,
+    global_of: Vec<Vec<u32>>,
+    cursors: Vec<usize>,
+}
+
+impl ParallelScratch {
+    /// Empty scratch; sub-tables are created lazily from the target
+    /// table's compiled spec on first parallel batch.
+    pub fn new() -> ParallelScratch {
+        ParallelScratch {
+            radix: RadixScratch::new(),
+            subs: Vec::new(),
+            local: Vec::new(),
+            global_of: Vec::new(),
+            cursors: Vec::new(),
+        }
+    }
+}
+
+impl Default for ParallelScratch {
+    fn default() -> Self {
+        Self::new()
+    }
 }
 
 /// Reusable buckets for [`GroupTable::radix_partition`].
@@ -493,6 +713,7 @@ impl Default for RadixScratch {
 mod tests {
     use super::*;
     use qs_storage::Value;
+    use std::collections::HashMap;
     use std::sync::Arc;
 
     fn schema() -> Arc<Schema> {
@@ -631,6 +852,112 @@ mod tests {
         t.resolve_batch(&fb, &mut slots);
         assert_eq!(slots, [0, 1]); // keys 2 then 3; row 0/2 never touched
         assert_eq!(t.key_bytes(0), &2i64.to_le_bytes());
+    }
+
+    #[test]
+    fn parallel_resolution_matches_sequential_slot_for_slot() {
+        use crate::metrics::Metrics;
+        use crate::pool::WorkerPool;
+        // Enough rows to clear PARALLEL_MIN_ROWS, spread over two
+        // batches so cross-batch first-touch numbering is exercised.
+        let mk_rows = |salt: i64| -> Vec<(i64, u32, &'static str, &'static str, i64)> {
+            (0..(PARALLEL_MIN_ROWS as i64 + 500))
+                .map(|i| {
+                    let k = (i * 7 + salt) % 97;
+                    (
+                        k,
+                        20260101 + (k as u32 % 5),
+                        "kk",
+                        ["wide-key-payload-aa", "wide-key-payload-bb", "wide-key-payload-cc"]
+                            [(k % 3) as usize],
+                        i,
+                    )
+                })
+                .collect()
+        };
+        let p1 = page(&mk_rows(0));
+        let p2 = page(&mk_rows(13));
+        let all: Vec<u32> = (0..p1.rows() as u32).collect();
+        for group_by in [vec![0], vec![0, 1], vec![3], vec![0, 1, 3]] {
+            for workers in [2, 4] {
+                let pool = WorkerPool::new(workers, Metrics::new());
+                let mut seq = GroupTable::compile(&group_by, &schema());
+                let mut par = GroupTable::compile(&group_by, &schema());
+                let mut scratch = ParallelScratch::new();
+                let (mut s_out, mut p_out) = (Vec::new(), Vec::new());
+                for p in [&p1, &p2, &p1] {
+                    seq.resolve_rows(p, &all, &mut s_out);
+                    par.resolve_rows_parallel(p, &all, &pool, &mut scratch, &mut p_out)
+                        .unwrap();
+                    assert_eq!(s_out, p_out, "{group_by:?} workers={workers}");
+                }
+                assert_eq!(seq.len(), par.len());
+                for g in 0..seq.len() {
+                    assert_eq!(seq.key_bytes(g), par.key_bytes(g), "slot {g}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn parallel_resolution_matches_on_columnar_pages() {
+        use crate::metrics::Metrics;
+        use crate::pool::WorkerPool;
+        let rows: Vec<(i64, u32, &str, &str, i64)> = (0..(PARALLEL_MIN_ROWS as i64 * 2))
+            .map(|i| (i % 31, 20260101, "aa", "wide-key-payload-xx", i))
+            .collect();
+        let p = page(&rows).to_columnar();
+        let all: Vec<u32> = (0..rows.len() as u32).collect();
+        let pool = WorkerPool::new(4, Metrics::new());
+        let mut seq = GroupTable::compile(&[0], &schema());
+        let mut par = GroupTable::compile(&[0], &schema());
+        let mut scratch = ParallelScratch::new();
+        let (mut s_out, mut p_out) = (Vec::new(), Vec::new());
+        seq.resolve_rows(&p, &all, &mut s_out);
+        par.resolve_rows_parallel(&p, &all, &pool, &mut scratch, &mut p_out)
+            .unwrap();
+        assert_eq!(s_out, p_out);
+    }
+
+    #[test]
+    fn small_batches_stay_sequential() {
+        use crate::metrics::Metrics;
+        use crate::pool::WorkerPool;
+        let m = Metrics::new();
+        let pool = WorkerPool::new(4, m.clone());
+        let p = page(&[(1, 0, "a", "w", 0), (2, 0, "a", "w", 0)]);
+        let mut t = GroupTable::compile(&[0], &schema());
+        let mut scratch = ParallelScratch::new();
+        let mut out = Vec::new();
+        t.resolve_rows_parallel(&p, &[0, 1], &pool, &mut scratch, &mut out)
+            .unwrap();
+        assert_eq!(out, [0, 1]);
+        assert_eq!(m.snapshot().pool_tasks, 0, "below-threshold batch must not fan out");
+    }
+
+    #[test]
+    fn bytekey_arena_interning_survives_hash_chains() {
+        // Many distinct wide keys: hash chaining plus arena handles must
+        // resolve every one and keep first-touch numbering.
+        let rows: Vec<(i64, u32, &str, &str, i64)> = (0..256)
+            .map(|i| (i, 0, "aa", "wide-key-payload-xx", i % 17))
+            .collect();
+        let p = page(&rows);
+        let all: Vec<u32> = (0..256).collect();
+        // (wide, j) is 28 bytes → ByteKey; wide is constant so slots
+        // follow j's first-touch order: 0..17 then repeats.
+        let mut t = GroupTable::compile(&[3, 4], &schema());
+        assert_eq!(t.tier(), GroupTier::ByteKey);
+        let mut out = Vec::new();
+        t.resolve_rows(&p, &all, &mut out);
+        assert_eq!(t.len(), 17);
+        for (i, &s) in out.iter().enumerate() {
+            assert_eq!(s as i64, (i as i64) % 17);
+        }
+        let mut expect = Vec::new();
+        expect.extend_from_slice("wide-key-payload-xx ".as_bytes()); // space-padded Char(20)
+        expect.extend_from_slice(&3i64.to_le_bytes());
+        assert_eq!(t.key_bytes(3), &expect[..]);
     }
 
     #[test]

@@ -38,6 +38,7 @@ pub mod hub;
 pub mod kernels;
 pub mod metrics;
 pub mod ops;
+pub mod pool;
 pub mod reference;
 pub mod spl;
 pub mod stage;
@@ -47,11 +48,12 @@ pub use engine::{EngineConfig, QpipeEngine, QueryTicket, SharingPolicy};
 pub use error::EngineError;
 pub use fifo::{BatchSource, EngineBatch, FifoBuffer, FifoReader};
 pub use governor::{AdmissionConfig, AdmissionGate, AdmissionPermit, CoreGovernor};
-pub use group::{GroupTable, GroupTier, RadixScratch};
+pub use group::{GroupTable, GroupTier, ParallelScratch, RadixScratch, PARALLEL_MIN_ROWS};
 pub use hub::{OutputHub, ShareMode};
 pub use kernels::{AccVec, AggKernel};
 pub use metrics::{Metrics, MetricsSnapshot, StageKind, ALL_STAGES, NUM_STAGES};
 pub use ops::{ExecCtx, PhysicalOp};
+pub use pool::WorkerPool;
 pub use spl::{SharedPagesList, SplReader};
 pub use stage::{Packet, SpRegistry, Stage};
 

@@ -96,6 +96,10 @@ pub struct Metrics {
     pub deadline_aborts: AtomicU64,
     /// Queries shed by admission control instead of being executed.
     pub queries_shed: AtomicU64,
+    /// Morsel tasks executed by the shared worker pool.
+    pub pool_tasks: AtomicU64,
+    /// Pool tasks a worker stole from another worker's queue.
+    pub pool_steals: AtomicU64,
 }
 
 impl Metrics {
@@ -141,6 +145,8 @@ impl Metrics {
             queries_cancelled: self.queries_cancelled.load(Ordering::Relaxed),
             deadline_aborts: self.deadline_aborts.load(Ordering::Relaxed),
             queries_shed: self.queries_shed.load(Ordering::Relaxed),
+            pool_tasks: self.pool_tasks.load(Ordering::Relaxed),
+            pool_steals: self.pool_steals.load(Ordering::Relaxed),
         }
     }
 
@@ -163,6 +169,8 @@ impl Metrics {
         self.queries_cancelled.store(0, Ordering::Relaxed);
         self.deadline_aborts.store(0, Ordering::Relaxed);
         self.queries_shed.store(0, Ordering::Relaxed);
+        self.pool_tasks.store(0, Ordering::Relaxed);
+        self.pool_steals.store(0, Ordering::Relaxed);
     }
 }
 
@@ -199,6 +207,10 @@ pub struct MetricsSnapshot {
     pub deadline_aborts: u64,
     /// Queries shed under overload.
     pub queries_shed: u64,
+    /// Morsel tasks executed by the worker pool.
+    pub pool_tasks: u64,
+    /// Pool tasks executed by a stealing worker.
+    pub pool_steals: u64,
 }
 
 impl MetricsSnapshot {

@@ -18,10 +18,11 @@ use crate::ctl::QueryCtl;
 use crate::error::EngineError;
 use crate::fifo::{BatchSource, EngineBatch};
 use crate::governor::CoreGovernor;
-use crate::group::GroupTable;
+use crate::group::{GroupTable, ParallelScratch};
 use crate::hub::OutputHub;
 use crate::kernels::{kernel_columns, update_grouped, AccVec, AggKernel};
 use crate::metrics::Metrics;
+use crate::pool::{Task, WorkerPool};
 use qs_plan::compiled::{refine_selection, selection_from_mask};
 use qs_plan::{AggSpec, CompiledPred, Expr, PredScratch};
 use qs_storage::{
@@ -40,6 +41,9 @@ pub struct ExecCtx {
     pub governor: Arc<CoreGovernor>,
     /// Metrics sink.
     pub metrics: Arc<Metrics>,
+    /// Morsel worker pool shared by every operator (group resolution,
+    /// parallel scans, the CJOIN preprocessor).
+    pub workers: Arc<WorkerPool>,
     /// Byte budget for operator output pages.
     pub out_page_bytes: usize,
 }
@@ -301,6 +305,14 @@ fn flush_rest(builder: &mut PageBuilder, hub: &OutputHub) -> Result<(), EngineEr
     Ok(())
 }
 
+/// Per-worker scratch for one parallel-scan morsel: predicate state plus
+/// the page's surviving-row selection, reused across rounds.
+struct ScanSlot {
+    scratch: PredScratch,
+    mask: Vec<u64>,
+    sel: Vec<u32>,
+}
+
 fn run_scan(
     table: &Arc<Table>,
     predicate: Option<&Expr>,
@@ -327,6 +339,92 @@ fn run_scan(
     let mut mask: Vec<u64> = Vec::new();
     let mut sel: Vec<u32> = Vec::new();
     let mut emit = EmitBuffer::new();
+    // Parallel shared scan: with a predicate to evaluate and pool workers
+    // available, pages are processed in rounds — up to one page per worker
+    // evaluated concurrently, then pushed downstream strictly in page
+    // order. Ordered rounds keep the batch stream identical to the
+    // sequential scan's (downstream first-touch group slots depend on row
+    // order), and the output hub / SPL keeps a single producer.
+    if let (Some(c), true) = (&compiled, ctx.workers.workers() > 1) {
+        let round = ctx.workers.workers();
+        let mut slots: Vec<ScanSlot> = Vec::new();
+        slots.resize_with(round, || ScanSlot {
+            scratch: PredScratch::new(),
+            mask: Vec::new(),
+            sel: Vec::new(),
+        });
+        let mut pages: Vec<Arc<Page>> = Vec::with_capacity(round);
+        loop {
+            ctl_check(ctl)?;
+            pages.clear();
+            while pages.len() < round {
+                match cursor.next_page(&ctx.pool)? {
+                    Some(p) => pages.push(p),
+                    None => break,
+                }
+            }
+            if pages.is_empty() {
+                break;
+            }
+            // Evaluate every page of the round under one governed unit:
+            // pool parallelism is *within* a core permit — the `--workers`
+            // knob is orthogonal to the `--cores` knob.
+            ctx.governor.run(|| -> Result<(), EngineError> {
+                let mut tasks: Vec<Task> = Vec::with_capacity(pages.len());
+                for (slot, page) in slots.iter_mut().zip(&pages) {
+                    tasks.push(Box::new(move || {
+                        let view = ColumnBatch::for_predicate(page, c.columns());
+                        c.eval_batch(&view, &mut slot.scratch, &mut slot.mask);
+                        selection_from_mask(&slot.mask, &mut slot.sel);
+                    }));
+                }
+                ctx.workers.run(tasks)
+            })?;
+            for (slot, page) in slots.iter_mut().zip(&pages) {
+                ctx.metrics
+                    .rows_scanned
+                    .fetch_add(slot.sel.len() as u64, Ordering::Relaxed);
+                if let (Some(spans), Some(b)) = (&spans, &mut builder) {
+                    let mut pending: Vec<Arc<Page>> = Vec::new();
+                    ctx.governor.run(|| {
+                        for &r in &slot.sel {
+                            let row_bytes: &[u8] = match page.column_page() {
+                                Some(_) => {
+                                    encrow.clear();
+                                    page.encode_row_into(r as usize, &mut encrow);
+                                    &encrow
+                                }
+                                None => page.row(r as usize).bytes(),
+                            };
+                            project_spans_into(row_bytes, spans, &mut rowbuf);
+                            let ok = b.push_encoded(&rowbuf);
+                            debug_assert!(ok);
+                            if b.is_full() {
+                                pending.push(Arc::new(b.finish_and_reset()));
+                            }
+                        }
+                    });
+                    for p in pending {
+                        hub.push_page(p)?;
+                    }
+                } else if !slot.sel.is_empty() {
+                    emit.push(
+                        FactBatch::new(
+                            page.clone(),
+                            std::mem::take(&mut slot.sel),
+                            Vec::new(),
+                        ),
+                        hub,
+                    )?;
+                }
+            }
+        }
+        emit.flush(hub)?;
+        if let Some(mut b) = builder {
+            flush_rest(&mut b, hub)?;
+        }
+        return Ok(());
+    }
     while let Some(page) = cursor.next_page(&ctx.pool)? {
         ctl_check(ctl)?;
         // Fast path: no selection, no projection — forward table pages
@@ -563,13 +661,17 @@ fn run_aggregate(
         }
     }
     // Per-batch scratch: tuple → group slot, plus the identity tuple list
-    // the grouped kernels consume.
+    // the grouped kernels consume. Large batches fan key resolution across
+    // the shared worker pool (radix-partitioned sub-tables merged back in
+    // first-touch order, so slot numbering is identical to the sequential
+    // path); the kernel folds stay on this thread.
     let mut gidx: Vec<u32> = Vec::new();
     let mut rows_idx: Vec<u32> = Vec::new();
+    let mut pscratch = ParallelScratch::new();
     while let Some(batch) = input.next_batch()? {
         ctl_check(ctl)?;
-        ctx.governor.run(|| {
-            table.resolve_batch(&batch, &mut gidx);
+        ctx.governor.run(|| -> Result<(), EngineError> {
+            table.resolve_batch_parallel(&batch, &ctx.workers, &mut pscratch, &mut gidx)?;
             rows_idx.clear();
             rows_idx.extend(0..batch.len() as u32);
             let view = batch_view(&batch, &agg_cols);
@@ -577,7 +679,8 @@ fn run_aggregate(
                 acc.resize(table.len());
                 update_grouped(kernel, acc, &view, &rows_idx, &gidx);
             }
-        });
+            Ok(())
+        })?;
     }
 
     // Global aggregate over empty input still emits one row of zeroes.

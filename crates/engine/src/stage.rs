@@ -294,6 +294,7 @@ mod tests {
             Arc::new(ExecCtx {
                 pool,
                 governor: CoreGovernor::new(0, metrics.clone()),
+                workers: crate::pool::WorkerPool::new(1, metrics.clone()),
                 metrics,
                 out_page_bytes: 64,
             }),

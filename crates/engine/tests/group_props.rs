@@ -305,6 +305,70 @@ proptest! {
     }
 }
 
+fn splitmix(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    x ^ (x >> 31)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// PR 8's lock: parallel bucket resolution + renumbering equals the
+    /// single-threaded `resolve_rows` slot-for-slot — same assignment,
+    /// same first-touch intern order, same key bytes — on every tier,
+    /// across consecutive batches against a long-lived table (so the
+    /// merge runs against a pre-populated main table too), at several
+    /// pool widths. Batches are sized past [`PARALLEL_MIN_ROWS`] so the
+    /// fan-out path genuinely executes (asserted via `pool_tasks`).
+    #[test]
+    fn parallel_resolution_matches_sequential_slot_for_slot(
+        shape_idx in 0usize..7,
+        seeds in prop::collection::vec(any::<u64>(), 1..3),
+        extra in 0usize..300,
+        workers in 2usize..5,
+    ) {
+        let shape = shapes()[shape_idx].clone();
+        let n = qs_engine::PARALLEL_MIN_ROWS + extra;
+        let metrics = qs_engine::Metrics::new();
+        let pool = qs_engine::WorkerPool::new(workers, metrics.clone());
+
+        let (probe_schema, _) = build_page(&shape, &[vec![0; shape.columns.len()]]);
+        let mut seq = GroupTable::compile(&shape.group_by, &probe_schema);
+        let mut par = GroupTable::compile(&shape.group_by, &probe_schema);
+        let mut pscratch = qs_engine::ParallelScratch::new();
+        let mut a = Vec::new();
+        let mut b = Vec::new();
+        for &seed in &seeds {
+            let picks: Vec<Vec<u64>> = (0..n as u64)
+                .map(|i| {
+                    (0..shape.columns.len() as u64)
+                        .map(|c| splitmix(seed ^ splitmix(i ^ (c << 40))))
+                        .collect()
+                })
+                .collect();
+            let (_, page) = build_page(&shape, &picks);
+            let rows: Vec<u32> = (0..page.rows() as u32).collect();
+            seq.resolve_rows(&page, &rows, &mut a);
+            par.resolve_rows_parallel(&page, &rows, &pool, &mut pscratch, &mut b)
+                .expect("no faults armed");
+            prop_assert_eq!(&a, &b, "slot assignment diverged (workers {})", workers);
+            prop_assert_eq!(seq.len(), par.len(), "group count diverged");
+            for g in 0..seq.len() {
+                prop_assert_eq!(
+                    seq.key_bytes(g), par.key_bytes(g),
+                    "first-touch key order diverged at slot {}", g
+                );
+            }
+        }
+        prop_assert!(
+            metrics.snapshot().pool_tasks > 0,
+            "the parallel path never fanned out"
+        );
+    }
+}
+
 /// Deterministic corner: a long strided i64 sequence (every key hits a
 /// different multiple of 2^32) plus the extremes, resolved in one batch —
 /// the dense-int tier must intern them all distinctly and in order.

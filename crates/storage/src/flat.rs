@@ -92,6 +92,14 @@ impl<K: FlatKey> FlatMap<K> {
         self.len == 0
     }
 
+    /// Drop every entry but keep the allocation — one `memset` of the
+    /// value array. Lets per-bucket scratch tables be reused across
+    /// batches without reallocating.
+    pub fn clear(&mut self) {
+        self.vals.fill(EMPTY);
+        self.len = 0;
+    }
+
     /// Insert `key → value`, overwriting an existing entry (last wins,
     /// like `HashMap::insert`). `value` must not be `u32::MAX` (reserved
     /// as the empty-slot sentinel).
@@ -239,6 +247,20 @@ mod tests {
         for k in 0..5_000i64 {
             assert!(m.get(k * 7 - 3).is_some());
         }
+    }
+
+    #[test]
+    fn clear_empties_but_keeps_working() {
+        let mut m = FlatMap::<i64>::with_capacity(8);
+        for k in 0..100 {
+            m.insert(k, k as u32);
+        }
+        m.clear();
+        assert!(m.is_empty());
+        assert_eq!(m.get(5), None);
+        m.insert(5, 99);
+        assert_eq!(m.get(5), Some(99));
+        assert_eq!(m.len(), 1);
     }
 
     #[test]

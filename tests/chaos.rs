@@ -84,10 +84,22 @@ fn oracle_match(mode: ExecutionMode, seed: u64, rows: Vec<Vec<Value>>, expected:
 /// the containment is observable in `panics_contained`.
 #[test]
 fn poisoned_plan_aborts_alone_among_31_healthy_queries() {
+    poisoned_plan_round(1);
+}
+
+/// The same round with the morsel pool on: group resolution, shared scans
+/// and the CJOIN preprocessor all fan out as pool tasks, and the panic
+/// belt must hold exactly as it does single-threaded.
+#[test]
+fn poisoned_plan_aborts_alone_with_worker_pool() {
+    poisoned_plan_round(4);
+}
+
+fn poisoned_plan_round(workers: usize) {
     let _guard = fault::test_guard();
     fault::disarm();
     let base_seed = chaos_seed();
-    eprintln!("chaos: poisoned-plan round, CHAOS_SEED={base_seed}");
+    eprintln!("chaos: poisoned-plan round, CHAOS_SEED={base_seed} workers={workers}");
 
     let catalog = build_catalog(base_seed ^ 0x55B);
     let samples = Samples::new(catalog.clone());
@@ -110,7 +122,14 @@ fn poisoned_plan_aborts_alone_among_31_healthy_queries() {
         ExecutionMode::SpPush,
         ExecutionMode::SpPull,
     ] {
-        let db = SharingDb::new(catalog.clone(), DbConfig::new(mode)).expect("db");
+        let db = SharingDb::new(
+            catalog.clone(),
+            DbConfig {
+                workers,
+                ..DbConfig::new(mode)
+            },
+        )
+        .expect("db");
 
         // Arm with an empty failpoint set: `armed()` flips on (which is
         // what triggers the poison sentinel) but no probabilistic fault
@@ -269,7 +288,17 @@ fn seeded_chaos_storm_every_ticket_terminates() {
                 plans.push((seed, plan, expected));
             }
 
-            let db = SharingDb::new(catalog.clone(), DbConfig::new(mode)).expect("db");
+            // Odd rounds run with the morsel pool on, so the pool and
+            // preprocessor-channel failpoints actually have targets.
+            let workers = if round % 2 == 0 { 1 } else { 4 };
+            let db = SharingDb::new(
+                catalog.clone(),
+                DbConfig {
+                    workers,
+                    ..DbConfig::new(mode)
+                },
+            )
+            .expect("db");
             fault::arm(
                 round_seed,
                 &[
@@ -279,6 +308,10 @@ fn seeded_chaos_storm_every_ticket_terminates() {
                     ("fifo.push.abort", fault::FaultSpec::prob(0.005)),
                     ("spl.append.delay", fault::FaultSpec::prob(0.02)),
                     ("spl.append.abort", fault::FaultSpec::prob(0.005)),
+                    ("pool.task.delay", fault::FaultSpec::prob(0.02)),
+                    ("pool.task.abort", fault::FaultSpec::prob(0.005)),
+                    ("cjoin.chan.delay", fault::FaultSpec::prob(0.02)),
+                    ("cjoin.chan.abort", fault::FaultSpec::prob(0.005)),
                 ],
             );
 
@@ -337,6 +370,128 @@ fn seeded_chaos_storm_every_ticket_terminates() {
             fault::disarm();
         }
     }
+}
+
+/// A `pool.task.abort` injected into the morsel pool kills exactly the
+/// query whose batch fanned out — a witness running concurrently on a
+/// path that spawns no pool tasks is untouched, and once the failpoint
+/// disarms the same pool (threads intact) serves the query cleanly.
+#[test]
+fn pool_task_abort_kills_only_its_query_and_pool_survives() {
+    let _guard = fault::test_guard();
+    fault::disarm();
+    let base_seed = chaos_seed() ^ 0x900;
+    let catalog = build_catalog(base_seed ^ 0x55B);
+
+    // The victim carries a predicate, so at `workers = 4` its scan takes
+    // the parallel path and every page fans out as pool tasks; the
+    // witness is a bare scan, which stays off the pool entirely.
+    let victim = LogicalPlan::Scan {
+        table: "lineorder".into(),
+        predicate: Some(Expr::Cmp {
+            col: 0,
+            op: sharing_repro::plan::CmpOp::Ge,
+            lit: Value::Int(0),
+        }),
+        projection: None,
+    };
+    let witness = LogicalPlan::Scan {
+        table: "date".into(),
+        predicate: None,
+        projection: None,
+    };
+    let db = SharingDb::new(
+        catalog.clone(),
+        DbConfig {
+            workers: 4,
+            ..DbConfig::new(ExecutionMode::QueryCentric)
+        },
+    )
+    .expect("db");
+    let expected_victim = reference::eval(&victim, &catalog).expect("oracle");
+    let expected_witness = reference::eval(&witness, &catalog).expect("oracle");
+
+    fault::arm(
+        base_seed,
+        &[("pool.task.abort", fault::FaultSpec::prob(1.0))],
+    );
+    let t_victim = db.submit(&victim).expect("submit victim");
+    let t_witness = db.submit(&witness).expect("submit witness");
+    match t_victim.collect_rows() {
+        Err(EngineError::Aborted(msg)) => {
+            assert!(msg.contains("pool.task.abort"), "abort names the failpoint: {msg}")
+        }
+        other => panic!("victim should abort on the pool failpoint, got {other:?}"),
+    }
+    oracle_match(
+        ExecutionMode::QueryCentric,
+        base_seed,
+        t_witness.collect_rows().expect("witness unaffected"),
+        &expected_witness,
+    );
+    fault::disarm();
+
+    // The pool threads survived the aborted run: the same query now
+    // completes on the same engine, oracle-exact.
+    oracle_match(
+        ExecutionMode::QueryCentric,
+        base_seed,
+        db.submit(&victim)
+            .expect("resubmit")
+            .collect_rows()
+            .expect("clean run after disarm"),
+        &expected_victim,
+    );
+}
+
+/// A `cjoin.chan.abort` at the preprocessor's batch send aborts every
+/// active GQP query with a typed error (a lost fact batch corrupts all of
+/// them — same blast radius as a poisoned page), but the pipeline itself
+/// survives: once disarmed, the next admission runs oracle-exact.
+#[test]
+fn cjoin_chan_abort_aborts_active_queries_but_pipeline_survives() {
+    let _guard = fault::test_guard();
+    fault::disarm();
+    let base_seed = chaos_seed() ^ 0xC14;
+    let catalog = build_catalog(base_seed ^ 0x55B);
+    let samples = Samples::new(catalog.clone());
+
+    // First generated plan that the GQP actually admits as a star query.
+    let mut star = None;
+    for case in 0..64u64 {
+        let mut rng = StdRng::seed_from_u64(base_seed.wrapping_add(case));
+        let (plan, _) = gen_plan(&mut rng, &samples);
+        if StarQuery::detect(&plan, &catalog).is_some() {
+            star = Some(plan);
+            break;
+        }
+    }
+    let star = star.expect("generator produced a star query within 64 seeds");
+    let expected = reference::eval(&star, &catalog).expect("oracle");
+
+    let db = SharingDb::new(catalog.clone(), DbConfig::new(ExecutionMode::Gqp)).expect("db");
+    fault::arm(
+        base_seed,
+        &[("cjoin.chan.abort", fault::FaultSpec::prob(1.0))],
+    );
+    match db.submit(&star).and_then(|t| t.collect_rows()) {
+        Err(EngineError::Aborted(msg)) => assert!(
+            msg.contains("cjoin.chan.abort"),
+            "abort names the failpoint: {msg}"
+        ),
+        other => panic!("active query should abort on the channel fault, got {other:?}"),
+    }
+    fault::disarm();
+
+    oracle_match(
+        ExecutionMode::Gqp,
+        base_seed,
+        db.submit(&star)
+            .expect("pipeline still admits")
+            .collect_rows()
+            .expect("clean run after disarm"),
+        &expected,
+    );
 }
 
 /// Overload shedding: with the bounded admission queue configured, excess

@@ -28,10 +28,24 @@ use sharing_repro::prelude::*;
 
 #[test]
 fn five_modes_agree_on_seeded_random_plans() {
+    run_fuzzer(1);
+}
+
+/// Since PR 8 the same fuzzer also runs with the morsel worker pool on:
+/// parallel group resolution, parallel shared scans and the parallel
+/// CJOIN preprocessor must all be invisible in the output — every mode
+/// stays pinned to the serial oracle at `workers = 4`.
+#[test]
+fn five_modes_agree_with_worker_pool() {
+    run_fuzzer(4);
+}
+
+fn run_fuzzer(workers: usize) {
     let cases = env_u64("MODE_DIFF_CASES", 50);
     let base_seed = env_u64("MODE_DIFF_SEED", 0xD1FF_2026);
     eprintln!(
-        "mode_differential: MODE_DIFF_CASES={cases} MODE_DIFF_SEED={base_seed}"
+        "mode_differential: MODE_DIFF_CASES={cases} MODE_DIFF_SEED={base_seed} \
+         workers={workers}"
     );
 
     // Since PR 6 every seed runs against BOTH page layouts: the same
@@ -69,7 +83,14 @@ fn five_modes_agree_on_seeded_random_plans() {
             .map(|mode| {
                 (
                     mode,
-                    SharingDb::new(catalog.clone(), DbConfig::new(mode)).expect("db"),
+                    SharingDb::new(
+                        catalog.clone(),
+                        DbConfig {
+                            workers,
+                            ..DbConfig::new(mode)
+                        },
+                    )
+                    .expect("db"),
                 )
             })
             .collect();
