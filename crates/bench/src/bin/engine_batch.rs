@@ -72,6 +72,7 @@ fn main() {
                 admission_evals: 0,
                 pages_shared: 0,
                 sp_hits: 0,
+                ..Default::default()
             });
         }
     }

@@ -1,0 +1,376 @@
+//! Open-loop load generator for the SQL serving front door (PR 9's
+//! tentpole harness): offered load is an *arrival schedule* fixed before
+//! the run, so a slow server cannot slow the workload down — the classic
+//! closed-loop coordination trap where each stalled client politely stops
+//! offering load and latency percentiles collapse to fiction.
+//!
+//! ```sh
+//! cargo run --release -p qs-bench --bin load_gen -- \
+//!     --rates 100,200,400 --duration-s 5 --clients 24 --arrival poisson \
+//!     --json BENCH_PR9.json
+//! cargo run --release -p qs-bench --bin load_gen -- --connect 127.0.0.1:7878
+//! ```
+//!
+//! By default the generator starts an in-process [`qs_server`] on an
+//! ephemeral loopback port (self-contained for CI); `--connect` points it
+//! at an external server instead. Requests draw round-robin from every
+//! SSB template (all four query flights), so the stream mixes cheap
+//! single-join filters with 4-dimension star joins.
+//!
+//! The request clock is **concurrency-independent**: request *i*'s
+//! latency runs from its *scheduled arrival* `t0 + schedule[i]` to the
+//! terminal frame, so time spent waiting for a free connection counts
+//! against the server, exactly as a queueing user would experience it.
+//! `ERR SHED` replies count into the shed rate, not the latency
+//! population. Each swept rate emits one perf point
+//! (`x` = offered req/s) into the `serving_open_loop` series.
+
+use qs_bench::perf::PerfPoint;
+use qs_bench::{arg, arg_list, json_path, perf, quick_mode};
+use qs_core::{DbConfig, ExecutionMode, SharingDb};
+use qs_engine::AdmissionConfig;
+use qs_storage::Catalog;
+use qs_workload::ssb::data::{generate_ssb, SsbConfig};
+use qs_workload::ssb::queries::TemplateParams;
+use qs_workload::SsbTemplate;
+use rand::rngs::StdRng;
+use rand::{RngCore, SeedableRng};
+use std::io::{BufRead, BufReader, Write};
+use std::net::TcpStream;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+fn parse_mode(s: &str) -> ExecutionMode {
+    match s.to_ascii_lowercase().as_str() {
+        "qc" | "querycentric" => ExecutionMode::QueryCentric,
+        "push" | "sppush" => ExecutionMode::SpPush,
+        "pull" | "sppull" | "spl" => ExecutionMode::SpPull,
+        "gqp" | "cjoin" => ExecutionMode::Gqp,
+        _ => ExecutionMode::GqpSp,
+    }
+}
+
+/// Exponential inter-arrival sample (Poisson process at `rate`/s).
+fn exp_sample(rng: &mut StdRng, rate: f64) -> f64 {
+    // Uniform in (0, 1]: never 0, so ln() stays finite.
+    let u = ((rng.next_u64() >> 11) + 1) as f64 * (1.0 / (1u64 << 53) as f64);
+    -u.ln() / rate
+}
+
+/// Arrival offsets from the run origin for `n` requests at `rate`/s.
+fn schedule(n: usize, rate: f64, poisson: bool, seed: u64) -> Vec<Duration> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut t = 0.0f64;
+    (0..n)
+        .map(|i| {
+            if poisson {
+                t += exp_sample(&mut rng, rate);
+                Duration::from_secs_f64(t)
+            } else {
+                Duration::from_secs_f64(i as f64 / rate)
+            }
+        })
+        .collect()
+}
+
+/// Outcome of one request round-trip.
+enum Reply {
+    Ok { rows: u64 },
+    Shed,
+    Err(String),
+}
+
+/// Send one SQL line and consume frames until the terminal one.
+fn roundtrip(
+    stream: &mut TcpStream,
+    reader: &mut BufReader<TcpStream>,
+    sql: &str,
+) -> std::io::Result<Reply> {
+    stream.write_all(sql.as_bytes())?;
+    stream.write_all(b"\n")?;
+    stream.flush()?;
+    let mut line = String::new();
+    let mut rows = 0u64;
+    loop {
+        line.clear();
+        if reader.read_line(&mut line)? == 0 {
+            return Err(std::io::Error::new(
+                std::io::ErrorKind::UnexpectedEof,
+                "server closed mid-reply",
+            ));
+        }
+        let frame = line.trim_end();
+        if frame.starts_with("ROW ") || frame.starts_with("SCHEMA ") {
+            if frame.starts_with("ROW ") {
+                rows += 1;
+            }
+            continue;
+        }
+        if frame.starts_with("END ") {
+            return Ok(Reply::Ok { rows });
+        }
+        if let Some(err) = frame.strip_prefix("ERR ") {
+            if err.starts_with("SHED") {
+                return Ok(Reply::Shed);
+            }
+            return Ok(Reply::Err(err.to_string()));
+        }
+        return Ok(Reply::Err(format!("unexpected frame: {frame}")));
+    }
+}
+
+/// Aggregated results of one swept rate.
+struct RateResult {
+    completed: u64,
+    shed: u64,
+    errors: u64,
+    rows: u64,
+    latencies_ms: Vec<f64>,
+    elapsed: Duration,
+}
+
+fn percentile(sorted_ms: &[f64], q: f64) -> f64 {
+    if sorted_ms.is_empty() {
+        return 0.0;
+    }
+    let idx = ((q * sorted_ms.len() as f64).ceil() as usize).clamp(1, sorted_ms.len()) - 1;
+    sorted_ms[idx]
+}
+
+/// Run one open-loop window: `n` requests at `rate`/s over `clients`
+/// connections, latency clocked from each request's scheduled arrival.
+#[allow(clippy::too_many_arguments)]
+fn run_rate(
+    addr: &str,
+    sqls: &[String],
+    n: usize,
+    rate: f64,
+    poisson: bool,
+    clients: usize,
+    seed: u64,
+) -> RateResult {
+    let sched = Arc::new(schedule(n, rate, poisson, seed));
+    let next = AtomicUsize::new(0);
+    let completed = AtomicU64::new(0);
+    let shed = AtomicU64::new(0);
+    let errors = AtomicU64::new(0);
+    let rows = AtomicU64::new(0);
+    let lat_buckets: Vec<std::sync::Mutex<Vec<f64>>> =
+        (0..clients).map(|_| std::sync::Mutex::new(Vec::new())).collect();
+
+    // Connect and warm every client *before* the clock starts, so
+    // connection setup never bleeds into the first percentiles.
+    let mut conns: Vec<(TcpStream, BufReader<TcpStream>)> = (0..clients)
+        .map(|_| {
+            let s = TcpStream::connect(addr).expect("connect");
+            s.set_nodelay(true).ok();
+            let r = BufReader::new(s.try_clone().expect("clone stream"));
+            (s, r)
+        })
+        .collect();
+    for (c, (s, r)) in conns.iter_mut().enumerate() {
+        if let Reply::Err(e) = roundtrip(s, r, &sqls[c % sqls.len()]).expect("warmup roundtrip") {
+            panic!("warmup query failed: {e}");
+        }
+    }
+
+    let t0 = Instant::now();
+    std::thread::scope(|scope| {
+        for (c, (mut stream, mut reader)) in conns.into_iter().enumerate() {
+            let sched = Arc::clone(&sched);
+            let next = &next;
+            let completed = &completed;
+            let shed = &shed;
+            let errors = &errors;
+            let rows = &rows;
+            let bucket = &lat_buckets[c];
+            scope.spawn(move || {
+                let mut local = Vec::new();
+                loop {
+                    let i = next.fetch_add(1, Ordering::Relaxed);
+                    if i >= sched.len() {
+                        break;
+                    }
+                    let due = sched[i];
+                    let now = t0.elapsed();
+                    if due > now {
+                        std::thread::sleep(due - now);
+                    }
+                    match roundtrip(&mut stream, &mut reader, &sqls[i % sqls.len()]) {
+                        Ok(Reply::Ok { rows: r }) => {
+                            completed.fetch_add(1, Ordering::Relaxed);
+                            rows.fetch_add(r, Ordering::Relaxed);
+                            // Clock from the *scheduled* arrival: waiting
+                            // for this connection to free up is server
+                            // queueing delay, not a workload slowdown.
+                            local.push((t0.elapsed() - due).as_secs_f64() * 1e3);
+                        }
+                        Ok(Reply::Shed) => {
+                            shed.fetch_add(1, Ordering::Relaxed);
+                        }
+                        Ok(Reply::Err(e)) => {
+                            errors.fetch_add(1, Ordering::Relaxed);
+                            eprintln!("load_gen: request {i} failed: {e}");
+                        }
+                        Err(e) => {
+                            errors.fetch_add(1, Ordering::Relaxed);
+                            eprintln!("load_gen: connection {c} lost: {e}");
+                            break;
+                        }
+                    }
+                }
+                *bucket.lock().unwrap() = local;
+            });
+        }
+    });
+    let elapsed = t0.elapsed();
+
+    let mut latencies_ms: Vec<f64> = lat_buckets
+        .iter()
+        .flat_map(|b| b.lock().unwrap().clone())
+        .collect();
+    latencies_ms.sort_by(|a, b| a.partial_cmp(b).expect("finite latency"));
+    RateResult {
+        completed: completed.load(Ordering::Relaxed),
+        shed: shed.load(Ordering::Relaxed),
+        errors: errors.load(Ordering::Relaxed),
+        rows: rows.load(Ordering::Relaxed),
+        latencies_ms,
+        elapsed,
+    }
+}
+
+fn main() {
+    let quick = quick_mode();
+    let (scale, rates, duration_s, clients) = if quick {
+        (0.002, vec![60usize], 1.0f64, 8usize)
+    } else {
+        (
+            arg("scale", 0.01f64),
+            arg_list("rates", &[100, 200, 400]),
+            arg("duration-s", 5.0f64),
+            arg("clients", 24usize),
+        )
+    };
+    let mode = parse_mode(&arg("mode", "gqpsp".to_string()));
+    let seed: u64 = arg("seed", 42);
+    let poisson = arg("arrival", "poisson".to_string()) != "fixed";
+    let connect: String = arg("connect", String::new());
+    let max_concurrent: usize = arg("max-concurrent", 8);
+    let max_queued: usize = arg("max-queued", 8);
+    let queue_timeout_ms: u64 = arg("queue-timeout-ms", 100);
+
+    // In-process server by default; --connect targets an external one.
+    let mut handle = None;
+    let addr = if connect.is_empty() {
+        eprintln!("load_gen: generating SSB scale {scale}, mode {} ...", mode.label());
+        let catalog = Catalog::new();
+        generate_ssb(
+            &catalog,
+            &SsbConfig { scale, seed, page_bytes: 16 * 1024, ..Default::default() },
+        );
+        let mut config = DbConfig::new(mode);
+        config.admission = Some(AdmissionConfig {
+            max_concurrent,
+            max_queued,
+            queue_timeout: Duration::from_millis(queue_timeout_ms),
+        });
+        let db = Arc::new(SharingDb::new(catalog, config).expect("build shared db"));
+        let h = qs_server::serve(db, "127.0.0.1:0").expect("bind loopback");
+        let addr = h.addr().to_string();
+        handle = Some(h);
+        addr
+    } else {
+        connect
+    };
+    eprintln!(
+        "load_gen: target {addr}, arrival {}, rates {rates:?} req/s, \
+         {clients} clients, {duration_s}s per rate",
+        if poisson { "poisson" } else { "fixed" }
+    );
+
+    // Mixed workload: every SSB template (all four flights), four
+    // parameter variants each, round-robin across the request stream.
+    let catalog_for_sql = {
+        // SQL text only needs the schema; regenerate a tiny catalog when
+        // targeting an external server.
+        let cat = Catalog::new();
+        generate_ssb(
+            &cat,
+            &SsbConfig { scale: 0.0005, seed, page_bytes: 8 * 1024, ..Default::default() },
+        );
+        cat
+    };
+    let mut sqls = Vec::new();
+    for t in SsbTemplate::all() {
+        for v in 0..4u64 {
+            sqls.push(
+                t.sql(&catalog_for_sql, &TemplateParams::variant(v)).expect("template sql"),
+            );
+        }
+    }
+
+    let mut points = Vec::new();
+    let mut total_errors = 0u64;
+    println!("load_gen: open-loop sweep ({} templates in the mix)", sqls.len());
+    println!(
+        "{:>8} {:>10} {:>8} {:>8} {:>10} {:>9} {:>9} {:>9} {:>10}",
+        "rate", "completed", "shed", "errors", "rows", "p50 ms", "p95 ms", "p99 ms", "shed rate"
+    );
+    for &rate in &rates {
+        let n = ((rate as f64) * duration_s).ceil() as usize;
+        let r = run_rate(&addr, &sqls, n, rate as f64, poisson, clients, seed);
+        let offered = r.completed + r.shed + r.errors;
+        let shed_rate = if offered > 0 { r.shed as f64 / offered as f64 } else { 0.0 };
+        let p50 = percentile(&r.latencies_ms, 0.50);
+        let p95 = percentile(&r.latencies_ms, 0.95);
+        let p99 = percentile(&r.latencies_ms, 0.99);
+        println!(
+            "{rate:>8} {:>10} {:>8} {:>8} {:>10} {p50:>9.2} {p95:>9.2} {p99:>9.2} {shed_rate:>10.4}",
+            r.completed, r.shed, r.errors, r.rows
+        );
+        total_errors += r.errors;
+        points.push(PerfPoint {
+            mode: format!("{}-{}", mode.label(), if poisson { "poisson" } else { "fixed" }),
+            x: rate as f64,
+            qps: r.completed as f64 / r.elapsed.as_secs_f64(),
+            completed: r.completed,
+            p50_ms: p50,
+            p95_ms: p95,
+            p99_ms: p99,
+            shed_rate,
+            ..Default::default()
+        });
+    }
+
+    if let Some(path) = json_path() {
+        perf::write_points(&path, "serving_open_loop", &points).expect("write perf points");
+        eprintln!("load_gen: points merged into {path}");
+    }
+    if let Some(h) = handle {
+        let s = h.stats();
+        eprintln!(
+            "load_gen: server stats — requests {}, completed {}, sheds {}, \
+             errors {}, panics contained {}",
+            s.requests, s.completed, s.sheds, s.errors, s.panics_contained
+        );
+        h.shutdown();
+    }
+
+    // Valid SQL against a healthy server must only ever complete or shed;
+    // any other error is a serving bug, so the harness fails loudly.
+    if total_errors > 0 {
+        eprintln!("load_gen: FAIL — {total_errors} non-shed errors");
+        std::process::exit(1);
+    }
+    if quick {
+        let p99 = points[0].p99_ms;
+        assert!(
+            p99.is_finite() && p99 > 0.0,
+            "quick mode: p99 must be measured, got {p99}"
+        );
+        assert!(points[0].completed > 0, "quick mode: no requests completed");
+        eprintln!("load_gen: quick smoke OK (p99 {p99:.2} ms)");
+    }
+}

@@ -14,11 +14,11 @@ use std::io;
 use std::path::Path;
 
 /// One measured perf point of a scenario sweep.
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone, PartialEq, Default)]
 pub struct PerfPoint {
     /// Execution-mode label (`QC`, `SP-SPL`, `CJOIN`, …).
     pub mode: String,
-    /// Swept x value (clients / selectivity / #plans).
+    /// Swept x value (clients / selectivity / #plans / offered rate).
     pub x: f64,
     /// Queries per second.
     pub qps: f64,
@@ -30,15 +30,36 @@ pub struct PerfPoint {
     pub pages_shared: u64,
     /// Total SP hits.
     pub sp_hits: u64,
+    /// Open-loop latency percentiles in milliseconds, measured from the
+    /// request's *scheduled arrival* (concurrency-independent clock).
+    /// Zero for closed-loop series, which have no arrival schedule.
+    pub p50_ms: f64,
+    /// 95th percentile (see [`PerfPoint::p50_ms`]).
+    pub p95_ms: f64,
+    /// 99th percentile (see [`PerfPoint::p50_ms`]).
+    pub p99_ms: f64,
+    /// Fraction of requests answered with `ERR SHED` (0 when admission
+    /// never shed or the series is closed-loop).
+    pub shed_rate: f64,
 }
 
 impl PerfPoint {
     fn to_json(&self) -> String {
-        format!(
-            "{{\"mode\":\"{}\",\"x\":{},\"qps\":{:.3},\"completed\":{},\"admission_evals\":{},\"pages_shared\":{},\"sp_hits\":{}}}",
+        let mut s = format!(
+            "{{\"mode\":\"{}\",\"x\":{},\"qps\":{:.3},\"completed\":{},\"admission_evals\":{},\"pages_shared\":{},\"sp_hits\":{}",
             self.mode, self.x, self.qps, self.completed, self.admission_evals,
             self.pages_shared, self.sp_hits
-        )
+        );
+        // Latency/shed fields are written only when measured, keeping
+        // closed-loop series byte-identical with the historical format.
+        if self.p50_ms > 0.0 || self.p95_ms > 0.0 || self.p99_ms > 0.0 || self.shed_rate > 0.0 {
+            s.push_str(&format!(
+                ",\"p50_ms\":{:.3},\"p95_ms\":{:.3},\"p99_ms\":{:.3},\"shed_rate\":{:.4}",
+                self.p50_ms, self.p95_ms, self.p99_ms, self.shed_rate
+            ));
+        }
+        s.push('}');
+        s
     }
 }
 
@@ -53,6 +74,7 @@ pub fn throughput_points(rows: &[qs_core::scenarios::ThroughputRow]) -> Vec<Perf
             admission_evals: r.admission_evals,
             pages_shared: r.pages_shared,
             sp_hits: r.sp_hits,
+            ..Default::default()
         })
         .collect()
 }
@@ -73,6 +95,7 @@ pub fn scenario1_points(rows: &[qs_core::scenarios::Scenario1Row]) -> Vec<PerfPo
             admission_evals: 0,
             pages_shared: r.pages_shared,
             sp_hits: 0,
+            ..Default::default()
         })
         .collect()
 }
@@ -149,6 +172,11 @@ fn parse_point(obj: &str) -> Option<PerfPoint> {
         admission_evals: field("admission_evals")?.parse().ok()?,
         pages_shared: field("pages_shared")?.parse().ok()?,
         sp_hits: field("sp_hits")?.parse().ok()?,
+        // Latency/shed fields post-date the format: absent in old files.
+        p50_ms: field("p50_ms").and_then(|s| s.parse().ok()).unwrap_or(0.0),
+        p95_ms: field("p95_ms").and_then(|s| s.parse().ok()).unwrap_or(0.0),
+        p99_ms: field("p99_ms").and_then(|s| s.parse().ok()).unwrap_or(0.0),
+        shed_rate: field("shed_rate").and_then(|s| s.parse().ok()).unwrap_or(0.0),
     })
 }
 
@@ -262,7 +290,30 @@ mod tests {
             admission_evals: 7,
             pages_shared: 3,
             sp_hits: 1,
+            ..Default::default()
         }
+    }
+
+    #[test]
+    fn latency_fields_roundtrip_and_old_format_still_parses() {
+        let p = PerfPoint {
+            p50_ms: 1.5,
+            p95_ms: 9.25,
+            p99_ms: 20.125,
+            shed_rate: 0.0625,
+            ..point("OPEN", 100.0)
+        };
+        let json = p.to_json();
+        assert!(json.contains("\"p99_ms\":20.125"), "{json}");
+        let back = parse_point(&json).unwrap();
+        assert_eq!(back.p95_ms, 9.25);
+        assert_eq!(back.shed_rate, 0.0625);
+        // Historical files lack the latency fields entirely.
+        let old = point("QC", 1.0).to_json();
+        assert!(!old.contains("p50_ms"), "closed-loop point stays in the old format: {old}");
+        let parsed = parse_point(&old).unwrap();
+        assert_eq!(parsed.p99_ms, 0.0);
+        assert_eq!(parsed.shed_rate, 0.0);
     }
 
     #[test]

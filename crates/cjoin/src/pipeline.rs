@@ -230,6 +230,13 @@ enum Msg {
     /// its output stream so the client sees a typed error, while every
     /// co-running query continues undisturbed.
     QueryAborted(u32, String),
+    /// Mid-chain abort (a dim or fan-out stage lost a batch): abort the
+    /// query's output stream, but do NOT release its slot — unlike the
+    /// terminal `QueryDone`/`QueryAborted`, which the preprocessor still
+    /// owes for this slot and which performs the (single) release. The
+    /// faulting stage also requests early removal via `Ctl::Remove`, so
+    /// that terminal message arrives promptly.
+    StreamAborted(u32, String),
 }
 
 /// Messages delivered to distributor shards: batches are broadcast
@@ -239,6 +246,8 @@ enum DistMsg {
     Admitted(u32, Box<QueryOutput>),
     QueryDone(u32),
     QueryAborted(u32, String),
+    /// Mid-chain abort: closes the output stream, never frees the slot.
+    StreamAborted(u32, String),
 }
 
 enum Ctl {
@@ -413,10 +422,11 @@ impl CjoinPipeline {
             let ctx = ctx.clone();
             let metrics = metrics.clone();
             let in_rx = prev_rx;
+            let ctl = ctl_tx.clone();
             spawn_stage(&mut threads, format!("cjoin-dim{dim_idx}"), move || {
                 let m = ctx.metrics.clone();
                 contain_stage_panic(&m, "dim", move || {
-                    dim_stage_loop(dim_idx, dims, ctx, metrics, in_rx, tx)
+                    dim_stage_loop(dim_idx, dims, ctx, metrics, in_rx, tx, ctl)
                 });
             })?;
             prev_rx = rx;
@@ -448,10 +458,11 @@ impl CjoinPipeline {
         // re-reading the page per (tuple × query).
         {
             let ctx = ctx.clone();
+            let ctl = ctl_tx.clone();
             spawn_stage(&mut threads, "cjoin-fanout".into(), move || {
                 let m = ctx.metrics.clone();
                 contain_stage_panic(&m, "fanout", move || {
-                    fanout_loop(prev_rx, shard_txs);
+                    fanout_loop(prev_rx, shard_txs, ctl);
                 });
             })?;
         }
@@ -852,20 +863,41 @@ fn eval_chunk(job: &ChunkJob, scratch: &mut ChunkScratch) -> (Vec<u32>, Vec<Bitm
     (rows, bitmaps, poisoned)
 }
 
-/// The `cjoin.chan` failpoint: injected where the preprocessor hands a
-/// finished batch to the stage channel. `cjoin.chan.delay` stalls the
-/// send (stage-channel backpressure); `cjoin.chan.abort` fails it — the
-/// semantics match a poisoned page: every active query is aborted with
-/// the typed cause and the pipeline lives on for future admissions.
-fn chan_fault() -> Result<(), String> {
+/// Stage-channel failpoints, injected where a stage hands a batch to the
+/// next channel. `<point>.delay` stalls the send (stage-channel
+/// backpressure); `<point>.abort` fails it — a lost batch. Sites:
+/// `cjoin.chan` (preprocessor — aborts every active query, like a
+/// poisoned page), `cjoin.dim.chan` (dim hash-join stages) and
+/// `cjoin.fanout.chan` (fan-out broadcast), which abort exactly the
+/// queries with bits in the lost batch. The pipeline lives on in every
+/// case.
+fn chan_fault_at(delay: &'static str, abort: &'static str) -> Result<(), String> {
     if !qs_storage::fault::armed() {
         return Ok(());
     }
-    qs_storage::fault::maybe_delay("cjoin.chan.delay");
-    if qs_storage::fault::should_fire("cjoin.chan.abort") {
-        return Err("injected fault `cjoin.chan.abort`".into());
+    qs_storage::fault::maybe_delay(delay);
+    if qs_storage::fault::should_fire(abort) {
+        return Err(format!("injected fault `{abort}`"));
     }
     Ok(())
+}
+
+fn chan_fault() -> Result<(), String> {
+    chan_fault_at("cjoin.chan.delay", "cjoin.chan.abort")
+}
+
+/// The queries named by any per-tuple bitmap of `batch` — exactly the
+/// set whose rows a lost batch would silently drop. Sorted, deduped.
+fn affected_slots(batch: &Batch) -> Vec<u32> {
+    let mut slots: Vec<u32> = batch
+        .fact
+        .bitmaps()
+        .iter()
+        .flat_map(|bm| bm.iter_ones().map(|q| q as u32))
+        .collect();
+    slots.sort_unstable();
+    slots.dedup();
+    slots
 }
 
 fn preprocessor_loop(
@@ -1173,10 +1205,30 @@ fn preprocessor_loop(
 
 /// Fan-out stage: broadcasts batches to every distributor shard and
 /// routes per-query control messages to the owning shard.
-fn fanout_loop(in_rx: Receiver<Msg>, shard_txs: Vec<Sender<DistMsg>>) {
+fn fanout_loop(in_rx: Receiver<Msg>, shard_txs: Vec<Sender<DistMsg>>, ctl_tx: Sender<Ctl>) {
     while let Ok(msg) = in_rx.recv() {
         match msg {
             Msg::Batch(mut b) => {
+                // Failpoint on the broadcast: a batch lost here drops rows
+                // for exactly the queries with bits in it — abort their
+                // streams (non-terminal; the preprocessor still owes the
+                // releasing message) and keep broadcasting for co-runners.
+                if let Err(cause) =
+                    chan_fault_at("cjoin.fanout.chan.delay", "cjoin.fanout.chan.abort")
+                {
+                    let msg = format!("fan-out channel fault: {cause}");
+                    for slot in affected_slots(&b) {
+                        let shard = slot as usize % shard_txs.len();
+                        if shard_txs[shard]
+                            .send(DistMsg::StreamAborted(slot, msg.clone()))
+                            .is_err()
+                        {
+                            return;
+                        }
+                        let _ = ctl_tx.try_send(Ctl::Remove(slot));
+                    }
+                    continue;
+                }
                 b.fact.materialize_rows();
                 let b = Arc::new(b);
                 for tx in &shard_txs {
@@ -1206,6 +1258,15 @@ fn fanout_loop(in_rx: Receiver<Msg>, shard_txs: Vec<Sender<DistMsg>>) {
                     return;
                 }
             }
+            Msg::StreamAborted(slot, cause) => {
+                let shard = slot as usize % shard_txs.len();
+                if shard_txs[shard]
+                    .send(DistMsg::StreamAborted(slot, cause))
+                    .is_err()
+                {
+                    return;
+                }
+            }
         }
     }
 }
@@ -1217,6 +1278,7 @@ fn dim_stage_loop(
     metrics: Arc<CjoinMetrics>,
     in_rx: Receiver<Msg>,
     out: Sender<Msg>,
+    ctl_tx: Sender<Ctl>,
 ) {
     let dim = &dims[dim_idx];
     // Join-key scratch, reused across batches: the key column of the
@@ -1226,6 +1288,28 @@ fn dim_stage_loop(
     while let Ok(msg) = in_rx.recv() {
         match msg {
             Msg::Batch(mut batch) => {
+                // Failpoint on this stage's output channel: a lost batch
+                // aborts exactly the queries with bits in it (mid-chain,
+                // so via the non-terminal `StreamAborted` — the slot is
+                // still released by the preprocessor's terminal message,
+                // requested early via `Ctl::Remove`). Co-runners admitted
+                // later and the pipeline itself continue undisturbed.
+                if let Err(cause) =
+                    chan_fault_at("cjoin.dim.chan.delay", "cjoin.dim.chan.abort")
+                {
+                    let msg = format!("dim stage {dim_idx} channel fault: {cause}");
+                    for slot in affected_slots(&batch) {
+                        if out.send(Msg::StreamAborted(slot, msg.clone())).is_err() {
+                            return;
+                        }
+                        // Never block on the ctl channel from mid-chain
+                        // (the preprocessor may be blocked sending to us);
+                        // on a full channel the query simply rides out its
+                        // revolution and QueryDone releases the slot.
+                        let _ = ctl_tx.try_send(Ctl::Remove(slot));
+                    }
+                    continue;
+                }
                 let before = batch.fact.len();
                 let mut hits: Vec<u32> = vec![u32::MAX; before];
                 let mut keep: Vec<bool> = vec![false; before];
@@ -1393,6 +1477,18 @@ fn distributor_step(
                 out.hub.abort(cause);
             } else {
                 release(slot);
+            }
+        }
+        DistMsg::StreamAborted(slot, cause) => {
+            // Mid-chain abort: close the stream, but the slot stays owned
+            // — the preprocessor's terminal message (ordered behind this
+            // one on the same channels) performs the single release. With
+            // no open output this is a no-op: the terminal message won the
+            // race, and re-issuing a release here would double-free a
+            // possibly re-admitted slot.
+            if let Some(out) = outputs.remove(&slot) {
+                metrics.aborts.fetch_add(1, Ordering::Relaxed);
+                out.hub.abort(cause);
             }
         }
         DistMsg::Batch(batch) => {

@@ -251,6 +251,13 @@ impl SharingDb {
         self.config.mode
     }
 
+    /// The full configuration this database was built with (admission
+    /// bounds included — the serving front door scales its Retry-After
+    /// hints by them).
+    pub fn config(&self) -> &DbConfig {
+        &self.config
+    }
+
     /// Engine metrics snapshot.
     pub fn metrics(&self) -> MetricsSnapshot {
         self.engine.metrics()
@@ -279,6 +286,18 @@ impl SharingDb {
     pub fn submit_sql(&self, sql: &str) -> Result<QueryTicket, EngineError> {
         let plan = self.plan_sql(sql)?;
         self.submit(&plan)
+    }
+
+    /// [`Self::submit_sql`] with per-query options — the serving front
+    /// door's entry point: one call from untrusted SQL text to a
+    /// streaming ticket, deadline and cancellation included.
+    pub fn submit_sql_with(
+        &self,
+        sql: &str,
+        opts: &QueryOpts,
+    ) -> Result<QueryTicket, EngineError> {
+        let plan = self.plan_sql(sql)?;
+        self.submit_with(&plan, opts)
     }
 
     /// Front-end only: SQL text → optimized [`LogicalPlan`] (no
@@ -360,6 +379,18 @@ impl SharingDb {
             return self.engine.submit_with(plan, opts);
         };
 
+        // Admission-gate the star path too. The CJOIN consumer half is
+        // submitted via `submit_consumer_with`, which deliberately takes
+        // no permit (see its docs), so without this the overload valve
+        // only protected the QC/SP modes — a GQP server would accept
+        // unbounded concurrent queries and never shed. One permit per
+        // query, acquired before anything is held, so the queue wait
+        // cannot deadlock against another admitted query.
+        let permit = match self.engine.admission() {
+            Some(gate) => Some(gate.admit()?),
+            None => None,
+        };
+
         let metrics = self.engine.metrics_handle();
         // In plain GQP every admission belongs to exactly one query, so
         // cancelling the query may remove its CJOIN admission early. In
@@ -411,7 +442,10 @@ impl SharingDb {
         // Run the query-centric operators above the join on the CJOIN
         // output. `submit_consumer` replaces the plan's join/scan leaf
         // with the external stream.
-        let ticket = self.engine.submit_consumer_with(plan, source, opts)?;
+        let mut ticket = self.engine.submit_consumer_with(plan, source, opts)?;
+        if let Some(p) = permit {
+            ticket = ticket.with_permit(p);
+        }
         if let Some(cancel) = cancel_hook {
             ticket
                 .ctl()
@@ -425,6 +459,48 @@ impl SharingDb {
 mod tests {
     use super::*;
     use qs_workload::ssb::data::{generate_ssb, SsbConfig};
+
+    #[test]
+    fn gqp_star_path_respects_the_admission_gate() {
+        use qs_workload::ssb::queries::TemplateParams;
+        use qs_workload::SsbTemplate;
+        use std::time::Duration;
+
+        let cat = Catalog::new();
+        generate_ssb(
+            &cat,
+            &SsbConfig {
+                scale: 0.0005,
+                seed: 2,
+                page_bytes: 8192,
+                ..Default::default()
+            },
+        );
+        let mut cfg = DbConfig::new(ExecutionMode::GqpSp);
+        cfg.admission = Some(AdmissionConfig {
+            max_concurrent: 1,
+            max_queued: 0,
+            queue_timeout: Duration::from_millis(10),
+        });
+        let db = SharingDb::new(cat, cfg).unwrap();
+        let plan = SsbTemplate::Q1_1
+            .plan(db.catalog(), &TemplateParams::variant(0))
+            .unwrap();
+
+        // Holding the only slot: the next star submission must shed with
+        // a typed error — the CJOIN path takes a permit too, it does not
+        // bypass the gate via submit_consumer.
+        let held = db.submit(&plan).unwrap();
+        match db.submit(&plan) {
+            Err(EngineError::Shed(hint)) => assert_eq!(hint.running, 1),
+            other => panic!("expected shed on the GQP path, got {:?}", other.map(|_| ())),
+        }
+
+        // Releasing the ticket frees the slot.
+        drop(held);
+        let t = db.submit(&plan).unwrap();
+        assert!(t.drain().is_ok());
+    }
 
     #[test]
     fn ssb_pipeline_spec_resolves_all_dims() {

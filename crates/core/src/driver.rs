@@ -64,7 +64,9 @@ pub fn run_throughput(db: &SharingDb, cfg: &DriverConfig) -> Result<ThroughputRe
             std::thread::scope(|s| {
                 for t in tickets {
                     s.spawn(|| {
-                        if t.collect_pages().is_ok() {
+                        // Batch-at-a-time drain: no page re-materialization
+                        // just to count rows.
+                        if t.drain().is_ok() {
                             completed.fetch_add(1, Ordering::Relaxed);
                         }
                     });
@@ -88,7 +90,7 @@ pub fn run_throughput(db: &SharingDb, cfg: &DriverConfig) -> Result<ThroughputRe
                         };
                         match db.submit(&plan) {
                             Ok(t) => {
-                                if t.collect_pages().is_ok() {
+                                if t.drain().is_ok() {
                                     completed.fetch_add(1, Ordering::Relaxed);
                                 }
                             }
@@ -126,7 +128,7 @@ pub fn run_response_time(
         for t in tickets {
             let failures = failures.clone();
             s.spawn(move || {
-                if t.collect_pages().is_err() {
+                if t.drain().is_err() {
                     failures.fetch_add(1, Ordering::Relaxed);
                 }
             });

@@ -190,6 +190,16 @@ impl QueryTicket {
         CancelHandle::new(self.ctl.clone())
     }
 
+    /// Attach an admission permit so it is released when this ticket
+    /// drops. Used by submitters whose producer half runs outside the
+    /// engine (the CJOIN integration): [`Engine::submit_consumer_with`]
+    /// takes no permit itself, so overload gating there is the caller's
+    /// responsibility.
+    pub fn with_permit(mut self, permit: AdmissionPermit) -> Self {
+        self._permit = Some(permit);
+        self
+    }
+
     /// Pull the next result batch without materializing (zero-copy
     /// consumption for clients that understand selections).
     ///
@@ -229,6 +239,21 @@ impl QueryTicket {
                 Ok(Some(Arc::new(builder.finish())))
             }
         }
+    }
+
+    /// Drain the query to completion batch-at-a-time, without compacting
+    /// sparse batches into fresh pages; returns the number of result
+    /// rows. The cheapest way to consume a query whose rows are counted,
+    /// not kept (throughput drivers, smoke clients).
+    pub fn drain(mut self) -> Result<u64, EngineError> {
+        let mut rows = 0u64;
+        while let Some(b) = self.next_batch()? {
+            rows += b.len() as u64;
+        }
+        self.metrics
+            .queries_completed
+            .fetch_add(1, Ordering::Relaxed);
+        Ok(rows)
     }
 
     /// Drain the query to completion, returning all result pages.

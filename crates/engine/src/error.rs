@@ -4,6 +4,17 @@ use qs_plan::PlanError;
 use qs_storage::StorageError;
 use std::fmt;
 
+/// Load snapshot taken by the [`AdmissionGate`](crate::AdmissionGate) at
+/// the instant a query is shed, so callers (a serving front door, a retry
+/// loop) can compute a Retry-After instead of treating `Shed` as opaque.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct RetryHint {
+    /// Submitters waiting for an admission slot when the query was shed.
+    pub queue_depth: usize,
+    /// Queries holding admission permits when the query was shed.
+    pub running: usize,
+}
+
 /// Errors surfaced by query execution.
 #[derive(Debug, Clone, PartialEq)]
 pub enum EngineError {
@@ -19,8 +30,9 @@ pub enum EngineError {
     DeadlineExceeded,
     /// Admission control shed the query before it started: the engine was
     /// at its concurrency bound and the admission queue was full or the
-    /// queue wait exceeded its timeout.
-    Shed,
+    /// queue wait exceeded its timeout. Carries the gate's load snapshot
+    /// at shed time.
+    Shed(RetryHint),
 }
 
 impl fmt::Display for EngineError {
@@ -31,7 +43,11 @@ impl fmt::Display for EngineError {
             EngineError::Aborted(msg) => write!(f, "aborted: {msg}"),
             EngineError::Cancelled => write!(f, "cancelled"),
             EngineError::DeadlineExceeded => write!(f, "deadline exceeded"),
-            EngineError::Shed => write!(f, "shed by admission control (overload)"),
+            EngineError::Shed(hint) => write!(
+                f,
+                "shed by admission control (overload; {} running, {} queued)",
+                hint.running, hint.queue_depth
+            ),
         }
     }
 }

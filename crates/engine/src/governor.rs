@@ -144,7 +144,7 @@ impl AdmissionGate {
         }
         if state.queued >= self.config.max_queued {
             self.metrics.queries_shed.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
-            return Err(EngineError::Shed);
+            return Err(EngineError::Shed(Self::hint(&state)));
         }
         state.queued += 1;
         let deadline = Instant::now() + self.config.queue_timeout;
@@ -158,9 +158,18 @@ impl AdmissionGate {
             if now >= deadline {
                 state.queued -= 1;
                 self.metrics.queries_shed.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
-                return Err(EngineError::Shed);
+                return Err(EngineError::Shed(Self::hint(&state)));
             }
             self.freed.wait_for(&mut state, deadline - now);
+        }
+    }
+
+    /// Load snapshot for the [`RetryHint`] attached to a shed, taken
+    /// under the state lock so `queue_depth`/`running` are consistent.
+    fn hint(state: &AdmissionState) -> crate::error::RetryHint {
+        crate::error::RetryHint {
+            queue_depth: state.queued,
+            running: state.running,
         }
     }
 
@@ -242,8 +251,15 @@ mod tests {
             m.clone(),
         );
         let p = gate.admit().expect("first query admitted");
-        // Queue depth 0: the second arrival is shed immediately.
-        assert_eq!(gate.admit().err(), Some(EngineError::Shed));
+        // Queue depth 0: the second arrival is shed immediately, and the
+        // hint snapshots the gate saturated at its concurrency bound.
+        match gate.admit().err() {
+            Some(EngineError::Shed(hint)) => {
+                assert_eq!(hint.running, 1);
+                assert_eq!(hint.queue_depth, 0);
+            }
+            other => panic!("expected shed, got {other:?}"),
+        }
         assert_eq!(m.snapshot().queries_shed, 1);
         drop(p);
         // Slot freed: admission works again.
@@ -263,7 +279,7 @@ mod tests {
         );
         let _held = gate.admit().expect("admitted");
         let t = Instant::now();
-        assert_eq!(gate.admit().err(), Some(EngineError::Shed));
+        assert!(matches!(gate.admit(), Err(EngineError::Shed(_))));
         assert!(t.elapsed() >= Duration::from_millis(20));
         assert_eq!(m.snapshot().queries_shed, 1);
     }

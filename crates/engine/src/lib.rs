@@ -45,7 +45,7 @@ pub mod stage;
 
 pub use ctl::{CancelHandle, QueryCtl, QueryOpts};
 pub use engine::{EngineConfig, QpipeEngine, QueryTicket, SharingPolicy};
-pub use error::EngineError;
+pub use error::{EngineError, RetryHint};
 pub use fifo::{BatchSource, EngineBatch, FifoBuffer, FifoReader};
 pub use governor::{AdmissionConfig, AdmissionGate, AdmissionPermit, CoreGovernor};
 pub use group::{GroupTable, GroupTier, ParallelScratch, RadixScratch, PARALLEL_MIN_ROWS};

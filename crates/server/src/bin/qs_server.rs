@@ -1,0 +1,88 @@
+//! The serving front door as a process: generate SSB, build one shared
+//! [`SharingDb`] (engine + CJOIN pipeline constructed once), and listen
+//! for line-protocol SQL clients until killed.
+//!
+//! ```sh
+//! cargo run --release -p qs-server --bin qs_server -- \
+//!     --addr 127.0.0.1:7878 --mode gqpsp --scale 0.01 --workers 2 \
+//!     --max-concurrent 32 --max-queued 64 --queue-timeout-ms 200
+//! ```
+//!
+//! Every flag is `--key value`; defaults below. `--max-concurrent 0`
+//! disables admission control (not recommended for untrusted traffic).
+
+use qs_core::{DbConfig, ExecutionMode, SharingDb};
+use qs_engine::AdmissionConfig;
+use qs_storage::{Catalog, PageLayout};
+use qs_workload::ssb::data::{generate_ssb, SsbConfig};
+use std::sync::Arc;
+use std::time::Duration;
+
+fn arg<T: std::str::FromStr>(key: &str, default: T) -> T {
+    let args: Vec<String> = std::env::args().collect();
+    args.iter()
+        .position(|a| a == &format!("--{key}"))
+        .and_then(|i| args.get(i + 1))
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
+}
+
+fn parse_mode(s: &str) -> ExecutionMode {
+    match s.to_ascii_lowercase().as_str() {
+        "qc" | "querycentric" => ExecutionMode::QueryCentric,
+        "push" | "sppush" => ExecutionMode::SpPush,
+        "pull" | "sppull" | "spl" => ExecutionMode::SpPull,
+        "gqp" | "cjoin" => ExecutionMode::Gqp,
+        "gqpsp" | "gqp+sp" => ExecutionMode::GqpSp,
+        other => {
+            eprintln!("unknown mode `{other}`; using gqpsp");
+            ExecutionMode::GqpSp
+        }
+    }
+}
+
+fn main() {
+    let addr: String = arg("addr", "127.0.0.1:7878".to_string());
+    let mode = parse_mode(&arg("mode", "gqpsp".to_string()));
+    let scale: f64 = arg("scale", 0.01);
+    let seed: u64 = arg("seed", 42);
+    let layout: PageLayout = arg("layout", PageLayout::Row);
+    let max_concurrent: usize = arg("max-concurrent", 64);
+    let max_queued: usize = arg("max-queued", 128);
+    let queue_timeout_ms: u64 = arg("queue-timeout-ms", 500);
+
+    eprintln!("qs_server: generating SSB scale {scale} (seed {seed}, {layout:?} layout) ...");
+    let catalog = Catalog::new();
+    generate_ssb(
+        &catalog,
+        &SsbConfig {
+            scale,
+            seed,
+            page_bytes: 16 * 1024,
+            layout,
+        },
+    );
+
+    let mut config = DbConfig::new(mode);
+    config.cores = arg("cores", config.cores);
+    config.workers = arg("workers", config.workers);
+    if max_concurrent > 0 {
+        config.admission = Some(AdmissionConfig {
+            max_concurrent,
+            max_queued,
+            queue_timeout: Duration::from_millis(queue_timeout_ms),
+        });
+    }
+    eprintln!(
+        "qs_server: mode {} cores {} workers {} admission {:?}",
+        mode.label(),
+        config.cores,
+        config.workers,
+        config.admission
+    );
+    let db = Arc::new(SharingDb::new(catalog, config).expect("build shared db"));
+
+    let handle = qs_server::serve(db, &addr).expect("bind listener");
+    eprintln!("qs_server: serving on {}", handle.addr());
+    handle.join();
+}

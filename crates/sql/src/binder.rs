@@ -339,7 +339,15 @@ impl<'c> Binder<'c> {
                         cols.push(r.index);
                         out_names.push(alias.clone().unwrap_or_else(|| col.name.clone()));
                     }
-                    SelectItem::Agg { .. } => unreachable!("caller checked"),
+                    // `bind_plain_projection` is only reached when no
+                    // aggregate was seen, but user-supplied SQL must never
+                    // be able to panic the process: surface a typed error
+                    // instead of trusting the caller's check.
+                    SelectItem::Agg { .. } => {
+                        return Err(SqlError::bind(
+                            "aggregate in a non-aggregate select list",
+                        ))
+                    }
                 }
             }
             LogicalPlan::Project {

@@ -108,9 +108,14 @@ impl Parser {
 
     fn ident(&mut self) -> Result<String> {
         match self.peek() {
+            // The peek guarantees the bump yields an identifier, but the
+            // parser faces untrusted input: fail typed, never panic.
             TokenKind::Ident(_) => match self.bump() {
                 TokenKind::Ident(s) => Ok(s),
-                _ => unreachable!(),
+                other => Err(SqlError::parse(
+                    self.here(),
+                    format!("expected identifier, found {other}"),
+                )),
             },
             // Allow non-reserved-feeling keywords as identifiers where they
             // commonly appear as names in SSB (`date` table!).
@@ -259,7 +264,12 @@ impl Parser {
     fn agg_call(&mut self) -> Result<AstAgg> {
         let kw = match self.bump() {
             TokenKind::Keyword(k) => k,
-            _ => unreachable!("caller checked"),
+            other => {
+                return Err(SqlError::parse(
+                    self.here(),
+                    format!("expected aggregate function, found {other}"),
+                ))
+            }
         };
         self.expect(TokenKind::LParen)?;
         let agg = match kw {

@@ -116,34 +116,55 @@ fn main() {
 
         let started = std::time::Instant::now();
         match db.submit_sql(line) {
-            Ok(ticket) => {
-                let schema = ticket.schema().clone();
-                match ticket.collect_rows() {
-                    Ok(rows) => {
-                        let header: Vec<&str> = schema
-                            .columns()
-                            .iter()
-                            .map(|c| c.name.as_str())
-                            .collect();
-                        writeln!(out, "  {}", header.join(" | ")).expect("stdout");
-                        let shown = rows.len().min(40);
-                        for row in rows.iter().take(shown) {
-                            let cells: Vec<String> =
-                                row.iter().map(|v| v.to_string()).collect();
-                            writeln!(out, "  {}", cells.join(" | ")).expect("stdout");
+            Ok(mut ticket) => {
+                let header: Vec<&str> = ticket
+                    .schema()
+                    .columns()
+                    .iter()
+                    .map(|c| c.name.as_str())
+                    .collect();
+                writeln!(out, "  {}", header.join(" | ")).expect("stdout");
+                // Consume batch-at-a-time off the zero-copy currency:
+                // rows print straight from the shared page through the
+                // selection, with no output-page re-materialization.
+                const SHOW: u64 = 40;
+                let mut total = 0u64;
+                let mut failed = false;
+                loop {
+                    match ticket.next_batch() {
+                        Ok(Some(batch)) => {
+                            let page = batch.page();
+                            let ncols = page.schema().columns().len();
+                            for &t in batch.sel() {
+                                if total < SHOW {
+                                    let cells: Vec<String> = (0..ncols)
+                                        .map(|c| page.value(t as usize, c).to_string())
+                                        .collect();
+                                    writeln!(out, "  {}", cells.join(" | "))
+                                        .expect("stdout");
+                                }
+                                total += 1;
+                            }
                         }
-                        if rows.len() > shown {
-                            writeln!(out, "  ... ({} rows total)", rows.len()).expect("stdout");
+                        Ok(None) => break,
+                        Err(e) => {
+                            eprintln!("execution error: {e}");
+                            failed = true;
+                            break;
                         }
-                        writeln!(
-                            out,
-                            "  {} row(s) in {:.1} ms",
-                            rows.len(),
-                            started.elapsed().as_secs_f64() * 1e3
-                        )
-                        .expect("stdout");
                     }
-                    Err(e) => eprintln!("execution error: {e}"),
+                }
+                if !failed {
+                    if total > SHOW {
+                        writeln!(out, "  ... ({total} rows total)").expect("stdout");
+                    }
+                    writeln!(
+                        out,
+                        "  {} row(s) in {:.1} ms",
+                        total,
+                        started.elapsed().as_secs_f64() * 1e3
+                    )
+                    .expect("stdout");
                 }
             }
             Err(e) => eprintln!("error: {e}"),

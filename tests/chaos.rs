@@ -518,12 +518,15 @@ fn overload_is_shed_with_typed_error_and_counter() {
     };
     // First query holds the only admission slot until its ticket drops.
     let held = db.submit(&plan).expect("first query admitted");
-    // Queue depth 0: the next arrival is shed at the door.
-    assert_eq!(
-        db.submit(&plan).err(),
-        Some(EngineError::Shed),
-        "second concurrent submit must be shed"
-    );
+    // Queue depth 0: the next arrival is shed at the door, with a load
+    // snapshot a front door can turn into a Retry-After.
+    match db.submit(&plan) {
+        Err(EngineError::Shed(hint)) => {
+            assert_eq!(hint.running, 1, "gate saturated by the held query");
+        }
+        Err(other) => panic!("second concurrent submit must be shed, got {other:?}"),
+        Ok(_) => panic!("second concurrent submit must be shed, got an admitted ticket"),
+    }
     assert_eq!(db.metrics().queries_shed, 1, "shed is counted");
 
     // Draining (consuming) the first ticket frees the slot.

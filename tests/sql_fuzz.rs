@@ -1,0 +1,189 @@
+//! Adversarial-SQL fuzz: no input string may panic the parse→bind→plan
+//! front end. The serving front door (`qs-server`) feeds untrusted SQL
+//! straight into `plan_sql`, so a panic here is a process-killer there.
+//!
+//! Deterministic: the seed comes from `FUZZ_SEED` (default below) and the
+//! case budget from `FUZZ_CASES`; the harness logs both so a red run
+//! names the exact configuration to replay.
+
+use qs_storage::Catalog;
+use qs_workload::ssb::data::{generate_ssb, SsbConfig};
+use qs_workload::ssb::queries::TemplateParams;
+use qs_workload::SsbTemplate;
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::Arc;
+
+fn env_u64(key: &str, default: u64) -> u64 {
+    std::env::var(key)
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
+}
+
+fn ssb_catalog() -> Arc<Catalog> {
+    let catalog = Catalog::new();
+    generate_ssb(
+        &catalog,
+        &SsbConfig {
+            scale: 0.0005,
+            seed: 7,
+            page_bytes: 8 * 1024,
+            ..Default::default()
+        },
+    );
+    catalog
+}
+
+/// Valid SSB SQL texts — the mutation corpus.
+fn corpus(catalog: &Catalog) -> Vec<String> {
+    SsbTemplate::all()
+        .iter()
+        .flat_map(|t| (0..4).filter_map(|v| t.sql(catalog, &TemplateParams::variant(v)).ok()))
+        .collect()
+}
+
+const TOKENS: &[&str] = &[
+    "SELECT", "FROM", "WHERE", "AND", "OR", "GROUP", "ORDER", "BY", "SUM", "COUNT", "MIN", "MAX",
+    "AVG", "AS", "BETWEEN", "IN", "ASC", "DESC", "DISTINCT", "DATE", "*", "(", ")", ",", ".", "=",
+    "<", ">", "<=", ">=", "<>", "'", "\"", ";", "--", "lineorder", "lo_quantity", "d_year",
+    "customer", "supplier", "part", "1997", "0", "-1", "9999999999999999999999", "1e308", "''",
+    "\\", "\0", "\u{1F984}", "日本語",
+];
+
+fn mutate(rng: &mut StdRng, base: &str) -> String {
+    let mut s = base.to_string();
+    for _ in 0..rng.random_range(1..=4usize) {
+        match rng.random_range(0..6u32) {
+            // Truncate at a random byte (respecting char boundaries).
+            0 => {
+                if !s.is_empty() {
+                    let mut cut = rng.random_range(0..=s.len());
+                    while !s.is_char_boundary(cut) {
+                        cut -= 1;
+                    }
+                    s.truncate(cut);
+                }
+            }
+            // Splice a random token somewhere.
+            1 => {
+                let tok = TOKENS[rng.random_range(0..TOKENS.len())];
+                let mut at = rng.random_range(0..=s.len());
+                while !s.is_char_boundary(at) {
+                    at -= 1;
+                }
+                s.insert_str(at, tok);
+            }
+            // Duplicate a random slice.
+            2 => {
+                if s.len() > 2 {
+                    let mut a = rng.random_range(0..s.len());
+                    while !s.is_char_boundary(a) {
+                        a -= 1;
+                    }
+                    let mut b = rng.random_range(a..=s.len());
+                    while !s.is_char_boundary(b) {
+                        b -= 1;
+                    }
+                    let slice = s[a..b].to_string();
+                    s.insert_str(b, &slice);
+                }
+            }
+            // Flip one ASCII byte to another printable ASCII byte.
+            3 => {
+                if !s.is_empty() {
+                    let mut at = rng.random_range(0..s.len());
+                    while !s.is_char_boundary(at) {
+                        at -= 1;
+                    }
+                    let c = char::from(rng.random_range(0x20u8..0x7f));
+                    let mut end = at + 1;
+                    while !s.is_char_boundary(end) {
+                        end += 1;
+                    }
+                    s.replace_range(at..end, &c.to_string());
+                }
+            }
+            // Deep nesting: wrap the predicate region in many parens.
+            4 => {
+                let depth = rng.random_range(1..=64usize);
+                s = format!(
+                    "SELECT * FROM lineorder WHERE {}lo_quantity = 1{}",
+                    "(".repeat(depth),
+                    ")".repeat(depth)
+                );
+            }
+            // Pure token soup.
+            _ => {
+                let n = rng.random_range(1..=20usize);
+                s = (0..n)
+                    .map(|_| TOKENS[rng.random_range(0..TOKENS.len())])
+                    .collect::<Vec<_>>()
+                    .join(" ");
+            }
+        }
+    }
+    s
+}
+
+#[test]
+fn no_sql_input_panics_the_planner() {
+    let seed = env_u64("FUZZ_SEED", 20260808);
+    let cases = env_u64("FUZZ_CASES", 2000);
+    eprintln!("sql_fuzz: FUZZ_SEED={seed} FUZZ_CASES={cases}");
+    let catalog = ssb_catalog();
+    let corpus = corpus(&catalog);
+    assert!(!corpus.is_empty(), "template corpus must not be empty");
+    // Sanity: every corpus entry still plans (the mutations below must be
+    // fuzzing a live grammar, not a permanently broken one).
+    for sql in &corpus {
+        qs_sql::plan_sql(sql, &catalog).expect("valid template SQL plans");
+    }
+
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut rejected = 0u64;
+    for i in 0..cases {
+        let base = &corpus[rng.random_range(0..corpus.len())];
+        let sql = mutate(&mut rng, base);
+        let outcome = catch_unwind(AssertUnwindSafe(|| qs_sql::plan_sql(&sql, &catalog)));
+        match outcome {
+            Ok(Ok(_)) => {}
+            Ok(Err(_)) => rejected += 1,
+            Err(_) => panic!(
+                "plan_sql panicked on adversarial input (case {i}, seed {seed}): {sql:?}"
+            ),
+        }
+    }
+    eprintln!("sql_fuzz: {cases} cases, {rejected} rejected with typed errors, 0 panics");
+    assert!(rejected > 0, "mutations should produce some invalid SQL");
+}
+
+/// The historical panic sites, pinned as regression cases: a bare
+/// aggregate where the parser's caller-checked invariants used to be
+/// trusted, and statements that stress `ident()`/`agg_call()` entry.
+#[test]
+fn historical_panic_sites_return_typed_errors() {
+    let catalog = ssb_catalog();
+    for sql in [
+        "SELECT",
+        "SELECT FROM",
+        "SELECT , FROM lineorder",
+        "SELECT SUM FROM lineorder",
+        "SELECT SUM( FROM lineorder",
+        "SELECT COUNT(*)",
+        "SELECT * FROM",
+        "SELECT * FROM lineorder WHERE",
+        "SELECT * FROM lineorder GROUP BY",
+        "(((((",
+        "SELECT * FROM lineorder ORDER BY SUM(lo_quantity)",
+        "\0\0\0",
+    ] {
+        let r = catch_unwind(AssertUnwindSafe(|| qs_sql::plan_sql(sql, &catalog)));
+        match r {
+            Ok(Err(_)) => {}
+            Ok(Ok(_)) => panic!("{sql:?} unexpectedly planned"),
+            Err(_) => panic!("{sql:?} panicked"),
+        }
+    }
+}
