@@ -1,0 +1,132 @@
+//! The `router` perf series: the AUTO mode-router against the fixed
+//! execution modes on the mixed workload (`qs_workload::mix`), across the
+//! two regimes where the fixed modes diverge hardest:
+//!
+//! * **selective** — 2 clients, 1% selectivity, memory-resident
+//!   (Scenario III's regime: QPipe+SP beats the always-on GQP ~5×);
+//! * **concurrent** — 16 clients, randomized parameters, disk-resident
+//!   (Scenario II's regime: sharing of either kind is the difference
+//!   between scaling and thrashing).
+//!
+//! The router has no mode to hide behind: the same binary sweeps QC,
+//! SP-SPL and GQP as fixed baselines and AUTO routed per query. The
+//! printed verdict compares AUTO against the best and worst fixed mode of
+//! each regime; the committed series is the PR's evidence that per-query
+//! routing tracks the best fixed choice without knowing the workload in
+//! advance.
+//!
+//! ```sh
+//! cargo run --release -p qs-bench --bin router -- --scale 0.01 --window-ms 2000
+//! ```
+//!
+//! `--quick 1` runs the test-sized configuration; `--json PATH` merges
+//! the points into a machine-readable perf file.
+
+use qs_bench::{arg, json_path, perf, quick_mode};
+use qs_core::scenarios::{
+    format_throughput_table, scenario2, scenario3, Scenario2Config, Scenario3Config,
+    ThroughputRow,
+};
+use qs_core::ExecutionMode;
+use std::time::Duration;
+
+const MODES: [ExecutionMode; 4] = [
+    ExecutionMode::QueryCentric,
+    ExecutionMode::SpPull,
+    ExecutionMode::Gqp,
+    ExecutionMode::Auto,
+];
+
+fn verdict(regime: &str, rows: &[ThroughputRow]) {
+    let qps = |label: &str| {
+        rows.iter()
+            .filter(|r| r.mode == label)
+            .map(|r| r.qps)
+            .next()
+            .unwrap_or(0.0)
+    };
+    let auto = qps("AUTO");
+    let fixed: Vec<(f64, &str)> = MODES[..3]
+        .iter()
+        .map(|m| (qps(m.label()), m.label()))
+        .collect();
+    let (best, best_label) = fixed
+        .iter()
+        .cloned()
+        .fold((0.0, ""), |a, b| if b.0 > a.0 { b } else { a });
+    let (worst, worst_label) = fixed
+        .iter()
+        .cloned()
+        .fold((f64::MAX, ""), |a, b| if b.0 < a.0 { b } else { a });
+    eprintln!(
+        "router[{regime}]: AUTO {auto:.1} qps = {:.2}x best fixed ({best_label} {best:.1}), \
+         {:.2}x worst fixed ({worst_label} {worst:.1})",
+        auto / best.max(1e-9),
+        auto / worst.max(1e-9),
+    );
+}
+
+fn main() {
+    let quick = quick_mode();
+    let workers = arg("workers", 1);
+    let window = Duration::from_millis(arg("window-ms", if quick { 300 } else { 2000 }));
+    let scale = arg("scale", if quick { 0.001 } else { 0.01 });
+    let seed: u64 = arg("seed", 42);
+    let layout: qs_storage::PageLayout = arg("layout", qs_storage::PageLayout::Row);
+
+    // Regime 1 — selective: Scenario III's point of maximal divergence.
+    let mut selective: Vec<ThroughputRow> = Vec::new();
+    for mode in MODES {
+        let cfg = Scenario3Config {
+            scale,
+            clients: 2,
+            selectivities: vec![0.01],
+            window,
+            cores: arg("cores", 8),
+            workers,
+            seed,
+            layout,
+            mode_override: Some(mode),
+            ..Default::default()
+        };
+        selective.extend(scenario3(&cfg).expect("router selective regime"));
+    }
+
+    // Regime 2 — concurrent: Scenario II's high-concurrency point.
+    let mut concurrent: Vec<ThroughputRow> = Vec::new();
+    for mode in MODES {
+        let cfg = Scenario2Config {
+            scale,
+            clients: vec![if quick { 8 } else { 16 }],
+            selectivity: 0.01,
+            window,
+            disk_resident: !quick,
+            cores: arg("cores", 8),
+            workers,
+            seed,
+            layout,
+            mode_override: Some(mode),
+            ..Default::default()
+        };
+        concurrent.extend(scenario2(&cfg).expect("router concurrent regime"));
+    }
+
+    let mut rows = selective.clone();
+    rows.extend(concurrent.iter().cloned());
+    println!(
+        "{}",
+        format_throughput_table(
+            "Router: AUTO vs fixed modes (x = selectivity for the 2-client regime, clients for the concurrent one)",
+            "x",
+            &rows
+        )
+    );
+    verdict("selective", &selective);
+    verdict("concurrent", &concurrent);
+
+    if let Some(path) = json_path() {
+        perf::write_points(&path, "router", &perf::throughput_points(&rows))
+            .expect("write perf points");
+        eprintln!("router points merged into {path}");
+    }
+}

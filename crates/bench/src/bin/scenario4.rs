@@ -32,6 +32,8 @@ fn main() {
     };
     // Applies in quick mode too, so CI can smoke-test the pooled paths.
     cfg.workers = arg("workers", 1);
+    // `--mode auto` (or any fixed mode) pins the sweep to one mode.
+    cfg.mode_override = qs_bench::mode_arg();
     eprintln!("scenario4 config: {cfg:?}");
     let rows = scenario4(&cfg).expect("scenario 4");
     println!(

@@ -35,6 +35,28 @@ pub fn json_path() -> Option<String> {
     }
 }
 
+/// The optional `--mode qc|push|pull|gqp|gqpsp|auto` override for the
+/// scenario binaries: pin the sweep to a single execution mode instead of
+/// the scenario's default pair (e.g. `--mode auto` measures the router
+/// against the committed fixed-mode series).
+pub fn mode_arg() -> Option<qs_core::ExecutionMode> {
+    use qs_core::ExecutionMode as M;
+    let s: String = arg("mode", String::new());
+    match s.to_ascii_lowercase().as_str() {
+        "" => None,
+        "qc" | "querycentric" => Some(M::QueryCentric),
+        "push" | "sppush" => Some(M::SpPush),
+        "pull" | "sppull" | "spl" => Some(M::SpPull),
+        "gqp" | "cjoin" => Some(M::Gqp),
+        "gqpsp" | "gqp+sp" => Some(M::GqpSp),
+        "auto" => Some(M::Auto),
+        other => {
+            eprintln!("unknown --mode `{other}`; running the default sweep");
+            None
+        }
+    }
+}
+
 /// Parse `--key value`-style overrides from a binary's argument list.
 /// Returns the value for `key` parsed as `T`, or `default`.
 pub fn arg<T: std::str::FromStr>(key: &str, default: T) -> T {

@@ -253,14 +253,21 @@ enum DistMsg {
 enum Ctl {
     Admit {
         slot: u32,
+        /// Admission generation (see [`ActiveQuery::gen`]).
+        gen: u64,
         /// Fact predicate, compiled once at admission; shared by every
         /// page-of-rows snapshot for the query's whole revolution.
         fact_pred: Option<Arc<CompiledPred>>,
         output: Box<QueryOutput>,
     },
     /// Early removal (cancellation): stop feeding the query and finish its
-    /// output at the next page boundary.
-    Remove(u32),
+    /// output at the next page boundary. `gen: Some(g)` removes the
+    /// occupant only if it is still admission `g` — a cancel arriving
+    /// after natural completion must not kill a successor that reused the
+    /// slot. `gen: None` (mid-chain fault paths, whose abort already went
+    /// to the stream actively receiving batches) removes whatever is
+    /// active in the slot.
+    Remove { slot: u32, gen: Option<u64> },
     Shutdown,
 }
 
@@ -271,13 +278,20 @@ enum Ctl {
 pub struct CjoinCancel {
     ctl_tx: Sender<Ctl>,
     slot: u32,
+    gen: u64,
 }
 
 impl CjoinCancel {
     /// Request removal. The query's output stream ends (cleanly) at the
-    /// next fact-page boundary instead of after the full revolution.
+    /// next fact-page boundary instead of after the full revolution. The
+    /// removal is generation-checked: if this admission already completed
+    /// and the slot was reused, the cancel is a no-op rather than a kill
+    /// of the slot's new occupant.
     pub fn cancel(&self) {
-        let _ = self.ctl_tx.send(Ctl::Remove(self.slot));
+        let _ = self.ctl_tx.send(Ctl::Remove {
+            slot: self.slot,
+            gen: Some(self.gen),
+        });
     }
 }
 
@@ -314,6 +328,8 @@ pub struct CjoinPipeline {
     dims: Arc<Vec<DimData>>,
     ctl_tx: Sender<Ctl>,
     free_slots: Arc<Mutex<Vec<u32>>>,
+    /// Monotonic admission counter (see [`ActiveQuery::gen`]).
+    admit_gen: std::sync::atomic::AtomicU64,
     pred_cache: Arc<PredCache>,
     max_queries: usize,
     out_page_bytes: usize,
@@ -474,6 +490,7 @@ impl CjoinPipeline {
             dims,
             ctl_tx,
             free_slots,
+            admit_gen: std::sync::atomic::AtomicU64::new(0),
             pred_cache,
             max_queries: spec.max_queries,
             out_page_bytes: spec.out_page_bytes,
@@ -671,10 +688,12 @@ impl CjoinPipeline {
             .fact_predicate
             .as_ref()
             .map(|e| Arc::new(CompiledPred::compile(e, &self.fact_schema)));
+        let gen = self.admit_gen.fetch_add(1, Ordering::Relaxed);
         if self
             .ctl_tx
             .send(Ctl::Admit {
                 slot,
+                gen,
                 fact_pred,
                 output,
             })
@@ -702,6 +721,7 @@ impl CjoinPipeline {
             cancel: CjoinCancel {
                 ctl_tx: self.ctl_tx.clone(),
                 slot,
+                gen,
             },
         })
     }
@@ -755,6 +775,10 @@ fn admission_scan(dim: &DimData, pred: &Option<Expr>, slot: u32) -> u64 {
 
 struct ActiveQuery {
     slot: u32,
+    /// Admission generation: distinguishes this occupancy of `slot` from
+    /// earlier (freed) ones, so a stale gen-checked removal can't kill a
+    /// successor query that reused the slot.
+    gen: u64,
     fact_pred: Option<Arc<CompiledPred>>,
     remaining_pages: usize,
 }
@@ -943,6 +967,7 @@ fn preprocessor_loop(
             match ctl {
                 Ctl::Admit {
                     slot,
+                    gen,
                     fact_pred,
                     output,
                 } => {
@@ -957,19 +982,23 @@ fn preprocessor_loop(
                     } else {
                         active.push(ActiveQuery {
                             slot,
+                            gen,
                             fact_pred,
                             remaining_pages: pages,
                         });
                         snapshot = None;
                     }
                 }
-                Ctl::Remove(slot) => {
+                Ctl::Remove { slot, gen } => {
                     // Only forward QueryDone if the query is still active;
                     // a natural completion may have raced the removal (in
                     // which case its QueryDone is already in flight and
-                    // the slot must not be double-freed).
+                    // the slot must not be double-freed). A gen-checked
+                    // removal additionally requires the occupant to be the
+                    // admission that requested it — a stale cancel must
+                    // not kill a successor query that reused the slot.
                     let before = active.len();
-                    active.retain(|q| q.slot != slot);
+                    active.retain(|q| q.slot != slot || gen.is_some_and(|g| g != q.gen));
                     if active.len() < before {
                         snapshot = None;
                         if out.send(Msg::QueryDone(slot)).is_err() {
@@ -1225,13 +1254,34 @@ fn fanout_loop(in_rx: Receiver<Msg>, shard_txs: Vec<Sender<DistMsg>>, ctl_tx: Se
                         {
                             return;
                         }
-                        let _ = ctl_tx.try_send(Ctl::Remove(slot));
+                        let _ = ctl_tx.try_send(Ctl::Remove { slot, gen: None });
                     }
                     continue;
                 }
                 b.fact.materialize_rows();
+                let slots = affected_slots(&b);
                 let b = Arc::new(b);
-                for tx in &shard_txs {
+                for (shard, tx) in shard_txs.iter().enumerate() {
+                    // Per-shard failpoint on the distributor channels: a
+                    // batch lost on shard `i`'s channel drops rows for
+                    // exactly that shard's queries. Abort their streams
+                    // (mid-chain `StreamAborted` — the slot release stays
+                    // with the preprocessor's terminal message, requested
+                    // early via `Ctl::Remove`) and keep delivering to the
+                    // other shards.
+                    if let Err(cause) =
+                        chan_fault_at("cjoin.shard.chan.delay", "cjoin.shard.chan.abort")
+                    {
+                        let msg = format!("distributor shard {shard} channel fault: {cause}");
+                        for &slot in slots.iter().filter(|&&s| s as usize % shard_txs.len() == shard)
+                        {
+                            if tx.send(DistMsg::StreamAborted(slot, msg.clone())).is_err() {
+                                return;
+                            }
+                            let _ = ctl_tx.try_send(Ctl::Remove { slot, gen: None });
+                        }
+                        continue;
+                    }
                     if tx.send(DistMsg::Batch(b.clone())).is_err() {
                         return;
                     }
@@ -1306,7 +1356,7 @@ fn dim_stage_loop(
                         // (the preprocessor may be blocked sending to us);
                         // on a full channel the query simply rides out its
                         // revolution and QueryDone releases the slot.
-                        let _ = ctl_tx.try_send(Ctl::Remove(slot));
+                        let _ = ctl_tx.try_send(Ctl::Remove { slot, gen: None });
                     }
                     continue;
                 }

@@ -276,6 +276,39 @@ fn pipeline_shutdown_aborts_open_queries() {
     }
 }
 
+/// Removals are generation-checked: a cancel handle that outlives its
+/// query's natural completion must not kill the admission that reused the
+/// slot. (Regression test — GQP+SP admission leases release their cancel
+/// on every completion, so stale cancels are the common case, not the
+/// exception.)
+#[test]
+fn stale_cancel_after_slot_reuse_is_a_noop() {
+    let cat = catalog();
+    let pipe = CjoinPipeline::new(ctx(), &cat, &spec()).unwrap();
+    let plan = star_plan(&cat, None, None);
+    let star = StarQuery::detect(&plan, &cat).unwrap();
+    let expected = eval(&plan, &cat).unwrap();
+
+    let q1 = pipe.admit(&star).unwrap();
+    let stale = q1.cancel.clone();
+    let slot1 = q1.slot;
+    assert_rows_match(drain(q1.reader), expected.clone(), 0.0);
+
+    // The freed slot is reused by the next admission (free list is a
+    // stack, so this is deterministic), then the dead query's cancel
+    // fires while the successor's revolution is in flight.
+    let q2 = pipe.admit(&star).expect("slot reused after completion");
+    assert_eq!(q2.slot, slot1, "successor reuses the freed slot");
+    stale.cancel();
+    assert_rows_match(drain(q2.reader), expected, 0.0);
+
+    // The successor's own cancel (right generation) still works: admit a
+    // third query and remove it early; its stream ends without error.
+    let q3 = pipe.admit(&star).unwrap();
+    q3.cancel.cancel();
+    drain(q3.reader); // finishes at a page boundary, possibly truncated
+}
+
 #[test]
 fn admission_predicate_dedup_copies_bits() {
     let cat = catalog();

@@ -43,10 +43,19 @@ pub enum ExecutionMode {
     Gqp,
     /// Proactive + reactive: CJOIN with SP at the CJOIN stage.
     GqpSp,
+    /// Per-query routing: the [`crate::router::ModeRouter`] planner pass
+    /// picks one of the fixed modes above for every submitted query, from
+    /// plan shape, predicate selectivity estimates, live concurrency and
+    /// sharing-feedback counters. The engine is built with the full SP
+    /// machinery and a lazily-started CJOIN pipeline side by side.
+    Auto,
 }
 
 impl ExecutionMode {
-    /// All modes, plot order.
+    /// All *fixed* modes, plot order. [`ExecutionMode::Auto`] is not a
+    /// fixed strategy (it picks one of these per query) and is therefore
+    /// excluded — the differential fuzzer and the scenario sweeps iterate
+    /// this array and compare Auto against it separately.
     pub fn all() -> [ExecutionMode; 5] {
         [
             ExecutionMode::QueryCentric,
@@ -65,10 +74,14 @@ impl ExecutionMode {
             ExecutionMode::SpPull => "SP-SPL",
             ExecutionMode::Gqp => "GQP",
             ExecutionMode::GqpSp => "GQP+SP",
+            ExecutionMode::Auto => "AUTO",
         }
     }
 
-    /// Whether this mode uses the CJOIN pipeline.
+    /// Whether this mode *eagerly* constructs the CJOIN pipeline at
+    /// database build time. `Auto` routes into the GQP too, but starts
+    /// its pipeline lazily on the first routed star query (and degrades
+    /// to query-centric execution if the catalog cannot host one).
     pub fn uses_gqp(&self) -> bool {
         matches!(self, ExecutionMode::Gqp | ExecutionMode::GqpSp)
     }
@@ -97,6 +110,11 @@ pub struct DbConfig {
     /// Override the per-stage SP policy implied by `mode` (e.g.
     /// Scenario I uses SP at the scan stage only).
     pub sharing_override: Option<SharingPolicy>,
+    /// Push-mode SP copy shape: selection-proportional copies for sparse
+    /// batches instead of full deep page copies. Diverges from the
+    /// paper's page-copy cost model, hence flagged (default off). See
+    /// `EngineConfig::compact_push_copies`.
+    pub compact_push_copies: bool,
     /// CJOIN pipeline shape; required for the GQP modes.
     pub pipeline: Option<PipelineSpec>,
     /// Overload valve: bounded admission queue ahead of the engine.
@@ -116,6 +134,7 @@ impl DbConfig {
             fifo_capacity: 16,
             out_page_bytes: qs_storage::DEFAULT_PAGE_BYTES,
             sharing_override: None,
+            compact_push_copies: false,
             pipeline: None,
             admission: None,
         }
@@ -133,6 +152,24 @@ impl DbConfig {
             // them is a separate dimension the demo leaves to the CJOIN
             // stage, which qs-core implements itself (see submit()).
             ExecutionMode::Gqp | ExecutionMode::GqpSp => SharingPolicy::query_centric(),
+            // Auto's engine-level baseline is query-centric: the router
+            // supplies a per-query `SharingPolicy` override at submit
+            // time for queries it sends down an SP route.
+            ExecutionMode::Auto => SharingPolicy::query_centric(),
+        }
+    }
+
+    /// The per-query sharing policy the router applies when it picks
+    /// `mode` for a routed query (honoring a config-level override, as
+    /// the fixed modes do).
+    pub fn routed_policy(&self, mode: ExecutionMode) -> SharingPolicy {
+        if let Some(p) = self.sharing_override {
+            return p;
+        }
+        match mode {
+            ExecutionMode::SpPush => SharingPolicy::all_stages(ShareMode::Push),
+            ExecutionMode::SpPull => SharingPolicy::all_stages(ShareMode::Pull),
+            _ => SharingPolicy::query_centric(),
         }
     }
 }
@@ -171,14 +208,72 @@ pub fn ssb_pipeline_spec(catalog: &Catalog) -> Result<PipelineSpec, EngineError>
     ))
 }
 
+/// One GqpSp share-registry entry: the in-flight admission's output hub
+/// plus the lease that keeps the admission alive.
+struct ShareEntry {
+    hub: Weak<qs_engine::OutputHub>,
+    lease: Weak<CjoinLease>,
+}
+
+type ShareRegistry = Mutex<HashMap<u64, ShareEntry>>;
+
+/// Shared ownership of one in-flight CJOIN admission (GQP+SP).
+///
+/// Every query interested in the admission's output — the one that paid
+/// for the admission and every SP subscriber — holds one `Arc` through its
+/// ticket's cancel/deadline hook. When a query dies (cancelled, deadline,
+/// or its ticket dropped) its `Arc` goes with it; the *last* release
+/// removes the admission from the pipeline. This fixes the
+/// deadline-at-revolution bug where a dead GqpSp query kept consuming fact
+/// pages for the rest of the revolution because cancellation "for whoever
+/// still listens" had nobody checking whether anyone still listened.
+struct CjoinLease {
+    sig: u64,
+    cancel: qs_cjoin::CjoinCancel,
+    registry: Weak<ShareRegistry>,
+}
+
+impl Drop for CjoinLease {
+    fn drop(&mut self) {
+        // Unpublish before cancelling: a subscriber that found the entry
+        // after the cancel could attach to a stream CJOIN is about to
+        // finish early (silently truncated results). Removing first means
+        // late arrivals miss the registry and re-admit. Only a dead entry
+        // is removed — a re-admission may have replaced it already.
+        if let Some(reg) = self.registry.upgrade() {
+            let mut reg = reg.lock();
+            if reg
+                .get(&self.sig)
+                .is_some_and(|e| e.lease.strong_count() == 0)
+            {
+                reg.remove(&self.sig);
+            }
+        }
+        // Early removal *finishes* the stream at a page boundary and frees
+        // the query's slot; a no-op if the revolution already completed.
+        self.cancel.cancel();
+    }
+}
+
 /// The unified system.
 pub struct SharingDb {
     catalog: Arc<Catalog>,
     pool: Arc<BufferPool>,
     engine: QpipeEngine,
+    /// Eagerly-built pipeline (the fixed GQP modes).
     cjoin: Option<CjoinPipeline>,
-    /// GqpSp: join-signature → live CJOIN output hub.
-    cjoin_registry: Mutex<HashMap<u64, Weak<qs_engine::OutputHub>>>,
+    /// Lazily-built pipeline for [`ExecutionMode::Auto`]: started on the
+    /// first routed star query; `Some(None)` caches a failed build so the
+    /// router degrades to reactive routes instead of retrying forever.
+    lazy_cjoin: std::sync::OnceLock<Option<CjoinPipeline>>,
+    /// Cached "a pipeline *could* be built" probe (spec resolution only,
+    /// no threads) — the router's `gqp_available` signal before the lazy
+    /// pipeline exists.
+    gqp_probe: std::sync::OnceLock<bool>,
+    /// GqpSp: join-signature → live CJOIN admission (hub + lease).
+    cjoin_registry: Arc<ShareRegistry>,
+    /// Routing decisions (Auto mode only; zero otherwise).
+    router_stats: crate::router::RouterStats,
     config: DbConfig,
 }
 
@@ -210,6 +305,7 @@ impl SharingDb {
                 out_page_bytes: config.out_page_bytes,
                 sharing: config.sharing_policy(),
                 admission: config.admission.clone(),
+                compact_push_copies: config.compact_push_copies,
                 ..Default::default()
             },
         );
@@ -231,7 +327,10 @@ impl SharingDb {
             pool,
             engine,
             cjoin,
-            cjoin_registry: Mutex::new(HashMap::new()),
+            lazy_cjoin: std::sync::OnceLock::new(),
+            gqp_probe: std::sync::OnceLock::new(),
+            cjoin_registry: Arc::new(Mutex::new(HashMap::new())),
+            router_stats: crate::router::RouterStats::default(),
             config,
         })
     }
@@ -263,19 +362,81 @@ impl SharingDb {
         self.engine.metrics()
     }
 
-    /// CJOIN statistics (GQP modes only).
+    /// CJOIN statistics (GQP modes, and Auto once its lazy pipeline has
+    /// started).
     pub fn cjoin_stats(&self) -> Option<CjoinStats> {
-        self.cjoin.as_ref().map(|c| c.stats())
+        self.active_cjoin().map(|c| c.stats())
+    }
+
+    /// Routing decision counters ([`ExecutionMode::Auto`] only; all-zero
+    /// under the fixed modes).
+    pub fn router_stats(&self) -> crate::router::RouterSnapshot {
+        self.router_stats.snapshot()
     }
 
     /// Reset all counters between experiment points.
     pub fn reset_metrics(&self) {
         self.engine.reset_metrics();
-        if let Some(c) = &self.cjoin {
+        if let Some(c) = self.active_cjoin() {
             c.reset_stats();
         }
+        self.router_stats.reset();
         self.pool.reset_stats();
         self.pool.disk().reset_stats();
+    }
+
+    /// The pipeline currently running, if any (eager or lazily started).
+    fn active_cjoin(&self) -> Option<&CjoinPipeline> {
+        match self.config.mode {
+            ExecutionMode::Auto => self.lazy_cjoin.get().and_then(|p| p.as_ref()),
+            _ => self.cjoin.as_ref(),
+        }
+    }
+
+    /// The pipeline for a GQP-routed submission, starting Auto's lazily.
+    /// The typed error (never a panic — this used to be an
+    /// `expect("GQP mode has a pipeline")`) lets the submit path degrade
+    /// to query-centric execution.
+    fn gqp_pipeline(&self) -> Result<&CjoinPipeline, EngineError> {
+        let slot = match self.config.mode {
+            ExecutionMode::Auto => self
+                .lazy_cjoin
+                .get_or_init(|| {
+                    let spec = match self
+                        .config
+                        .pipeline
+                        .clone()
+                        .map(Ok)
+                        .unwrap_or_else(|| ssb_pipeline_spec(&self.catalog))
+                    {
+                        Ok(s) => s,
+                        Err(_) => return None,
+                    };
+                    CjoinPipeline::new(self.engine.ctx().clone(), &self.catalog, &spec).ok()
+                })
+                .as_ref(),
+            _ => self.cjoin.as_ref(),
+        };
+        slot.ok_or_else(|| {
+            EngineError::Plan(qs_plan::PlanError::Invalid(
+                "GQP route needs a CJOIN pipeline, but none can be built for this catalog"
+                    .into(),
+            ))
+        })
+    }
+
+    /// Router signal: could a GQP route work at all? Cheap — resolves the
+    /// pipeline spec against the catalog (cached), never spawns threads.
+    fn gqp_route_available(&self) -> bool {
+        match self.config.mode {
+            ExecutionMode::Auto => match self.lazy_cjoin.get() {
+                Some(p) => p.is_some(),
+                None => *self.gqp_probe.get_or_init(|| {
+                    self.config.pipeline.is_some() || ssb_pipeline_spec(&self.catalog).is_ok()
+                }),
+            },
+            _ => self.cjoin.is_some(),
+        }
     }
 
     /// Parse, bind, optimize and submit a SQL `SELECT`. The statement goes
@@ -326,7 +487,10 @@ impl SharingDb {
             ExecutionMode::QueryCentric | ExecutionMode::SpPush | ExecutionMode::SpPull => {
                 self.engine.submit_with(plan, opts)
             }
-            ExecutionMode::Gqp | ExecutionMode::GqpSp => self.submit_gqp_pinned(plan, opts, None),
+            ExecutionMode::Gqp | ExecutionMode::GqpSp => {
+                self.submit_gqp_pinned(plan, opts, None, self.config.mode)
+            }
+            ExecutionMode::Auto => self.submit_routed(plan, opts, None),
         }
     }
 
@@ -360,10 +524,74 @@ impl SharingDb {
                 let mut pins: Vec<Arc<qs_engine::OutputHub>> = Vec::new();
                 plans
                     .iter()
-                    .map(|p| self.submit_gqp_pinned(p, opts, Some(&mut pins)))
+                    .map(|p| self.submit_gqp_pinned(p, opts, Some(&mut pins), self.config.mode))
+                    .collect()
+            }
+            ExecutionMode::Auto => {
+                // Each plan is routed individually (one may ride CJOIN
+                // while its neighbor runs query-centric); hubs of any
+                // GQP-routed members are pinned across the whole batch so
+                // identical CJOIN sub-plans still share one admission.
+                let mut pins: Vec<Arc<qs_engine::OutputHub>> = Vec::new();
+                plans
+                    .iter()
+                    .map(|p| self.submit_routed(p, opts, Some(&mut pins)))
                     .collect()
             }
         }
+    }
+
+    /// [`ExecutionMode::Auto`]: run the router pass, then submit under the
+    /// mode it picked. The decision is recorded on the ticket
+    /// ([`QueryTicket::route`]) and in [`Self::router_stats`].
+    fn submit_routed(
+        &self,
+        plan: &LogicalPlan,
+        opts: &QueryOpts,
+        pins: Option<&mut Vec<Arc<qs_engine::OutputHub>>>,
+    ) -> Result<QueryTicket, EngineError> {
+        let star = StarQuery::detect(plan, &self.catalog);
+        let gqp_available = star.is_some() && self.gqp_route_available();
+        let m = self.engine.metrics();
+        let cstats = self.cjoin_stats().unwrap_or_default();
+        let signals = crate::router::RouteSignals {
+            star: star.is_some(),
+            selectivity: star
+                .as_ref()
+                .map(|s| crate::router::estimate_star_selectivity(s, &self.catalog)),
+            load: self.engine.admission().map(|g| g.load()),
+            gqp_available,
+            live_share: gqp_available
+                && star.as_ref().is_some_and(|s| {
+                    let reg = self.cjoin_registry.lock();
+                    reg.get(&s.join_signature())
+                        .is_some_and(|e| e.lease.strong_count() > 0 && e.hub.strong_count() > 0)
+                }),
+            cjoin_sp_hits: m.sp_hits_for(StageKind::Cjoin),
+            sp_hits: m.total_sp_hits(),
+            pages_shared: m.pages_shared,
+            admission_evals: cstats.admission_evals,
+            panics_contained: m.panics_contained + cstats.aborts,
+        };
+        let mode = crate::router::decide(&signals);
+        self.router_stats.record(mode);
+        let ticket = match mode {
+            ExecutionMode::QueryCentric | ExecutionMode::SpPush | ExecutionMode::SpPull => {
+                // The engine was built with a query-centric baseline
+                // policy; SP routes ride the per-query override (an
+                // explicit caller override wins, like the fixed modes).
+                let routed = match opts.sharing {
+                    Some(_) => opts.clone(),
+                    None => opts.clone().with_sharing(self.config.routed_policy(mode)),
+                };
+                self.engine.submit_with(plan, &routed)?
+            }
+            ExecutionMode::Gqp | ExecutionMode::GqpSp => {
+                self.submit_gqp_pinned(plan, opts, pins, mode)?
+            }
+            ExecutionMode::Auto => unreachable!("router decisions are fixed modes"),
+        };
+        Ok(ticket.with_route(mode.label()))
     }
 
     fn submit_gqp_pinned(
@@ -371,8 +599,17 @@ impl SharingDb {
         plan: &LogicalPlan,
         opts: &QueryOpts,
         pins: Option<&mut Vec<Arc<qs_engine::OutputHub>>>,
+        mode: ExecutionMode,
     ) -> Result<QueryTicket, EngineError> {
-        let cjoin = self.cjoin.as_ref().expect("GQP mode has a pipeline");
+        let cjoin = match self.gqp_pipeline() {
+            Ok(c) => c,
+            // No pipeline (Auto's lazy build failed, or a future caller
+            // misroutes): degrade to query-centric execution. The old code
+            // panicked here, taking the whole worker down for a plan the
+            // engine could evaluate fine.
+            Err(EngineError::Plan(_)) => return self.engine.submit_with(plan, opts),
+            Err(e) => return Err(e),
+        };
         let Some(star) = StarQuery::detect(plan, &self.catalog) else {
             // Not a star query: CJOIN cannot evaluate it; fall back to
             // query-centric operators (paper §3).
@@ -393,25 +630,37 @@ impl SharingDb {
 
         let metrics = self.engine.metrics_handle();
         // In plain GQP every admission belongs to exactly one query, so
-        // cancelling the query may remove its CJOIN admission early. In
+        // cancelling the query removes its CJOIN admission directly. In
         // GqpSp an admission's output can acquire SP subscribers at any
-        // time, and CJOIN's early removal *finishes* (not aborts) the
-        // stream at a page boundary — cancelling the owner would silently
-        // truncate every subscriber's results. There, cancellation only
-        // takes effect at the ticket boundary (the admission completes
-        // its revolution for whoever still listens).
+        // time, so ownership is shared: every interested query holds an
+        // `Arc<CjoinLease>` through its ticket hook, and only the *last*
+        // release (cancel, deadline, or ticket drop) removes the
+        // admission. Survivors are safe — CJOIN keeps streaming until the
+        // lease count hits zero — while a revolution with no listeners
+        // left stops consuming fact pages instead of running to the end.
         let mut cancel_hook: Option<qs_cjoin::CjoinCancel> = None;
-        let source: Box<dyn qs_engine::BatchSource> = if self.config.mode
-            == ExecutionMode::GqpSp
-        {
+        let mut lease_hook: Option<Arc<CjoinLease>> = None;
+        let source: Box<dyn qs_engine::BatchSource> = if mode == ExecutionMode::GqpSp {
             let sig = star.join_signature();
             let mut reg = self.cjoin_registry.lock();
-            let existing = reg.get(&sig).and_then(|w| w.upgrade());
-            match existing.and_then(|hub| hub.subscribe()) {
-                Some(reader) => {
+            // A hit needs the hub (to subscribe), a live lease (a dead
+            // lease means the admission is being torn down — treat as a
+            // miss and replace the entry), and an open SP window.
+            let hit = reg.get(&sig).and_then(|e| {
+                let reader = e.hub.upgrade()?.subscribe()?;
+                // Upgrade the lease *last* so a successfully-created
+                // `Arc<CjoinLease>` is always moved out of this locked
+                // scope: dropping the last lease ref here would re-lock
+                // the registry in `CjoinLease::drop` and self-deadlock.
+                let lease = e.lease.upgrade()?;
+                Some((reader, lease))
+            });
+            match hit {
+                Some((reader, lease)) => {
                     // SP hit on the CJOIN stage: this query reuses the
                     // in-flight admission's output.
                     metrics.sp_hit(StageKind::Cjoin);
+                    lease_hook = Some(lease);
                     reader
                 }
                 None => {
@@ -420,13 +669,25 @@ impl SharingDb {
                         .admit(&star)
                         .map_err(|e| EngineError::Aborted(e.to_string()))?;
                     metrics.packet(StageKind::Cjoin);
-                    reg.insert(sig, Arc::downgrade(&q.hub));
+                    let lease = Arc::new(CjoinLease {
+                        sig,
+                        cancel: q.cancel.clone(),
+                        registry: Arc::downgrade(&self.cjoin_registry),
+                    });
+                    reg.insert(
+                        sig,
+                        ShareEntry {
+                            hub: Arc::downgrade(&q.hub),
+                            lease: Arc::downgrade(&lease),
+                        },
+                    );
                     if reg.len() > 1024 {
-                        reg.retain(|_, w| w.strong_count() > 0);
+                        reg.retain(|_, e| e.hub.strong_count() > 0);
                     }
                     if let Some(pins) = pins {
                         pins.push(q.hub.clone());
                     }
+                    lease_hook = Some(lease);
                     q.reader
                 }
             }
@@ -450,6 +711,11 @@ impl SharingDb {
             ticket
                 .ctl()
                 .set_hook(Box::new(move || cancel.cancel()));
+        }
+        if let Some(lease) = lease_hook {
+            // Fires on cancel/deadline; if neither happens the unfired
+            // hook (and the lease with it) drops with the query's ctl.
+            ticket.ctl().set_hook(Box::new(move || drop(lease)));
         }
         Ok(ticket)
     }
@@ -539,6 +805,134 @@ mod tests {
         assert!(ExecutionMode::Gqp.uses_gqp());
         assert!(ExecutionMode::GqpSp.uses_gqp());
         assert!(!ExecutionMode::SpPull.uses_gqp());
+    }
+
+    /// A predicate-free one-dim star over the SSB tables (selectivity
+    /// 1.0, so the router's GQP gate is decided purely by load).
+    fn open_star_plan(db: &SharingDb) -> qs_plan::LogicalPlan {
+        use qs_plan::{AggFunc, AggSpec, LogicalPlan};
+        let lo = db.catalog().get("lineorder").unwrap();
+        let rev = lo.schema().index_of("lo_revenue").unwrap();
+        let od = lo.schema().index_of("lo_orderdate").unwrap();
+        LogicalPlan::Aggregate {
+            input: Box::new(LogicalPlan::HashJoin {
+                build: Box::new(LogicalPlan::Scan {
+                    table: "date".into(),
+                    predicate: None,
+                    projection: None,
+                }),
+                probe: Box::new(LogicalPlan::Scan {
+                    table: "lineorder".into(),
+                    predicate: None,
+                    projection: None,
+                }),
+                build_key: 0,
+                probe_key: od,
+            }),
+            group_by: vec![],
+            aggs: vec![AggSpec::new(AggFunc::Sum(rev), "sum_rev")],
+        }
+    }
+
+    fn tiny_ssb() -> Arc<Catalog> {
+        let cat = Catalog::new();
+        generate_ssb(
+            &cat,
+            &SsbConfig {
+                scale: 0.0005,
+                seed: 7,
+                page_bytes: 8192,
+                ..Default::default()
+            },
+        );
+        cat
+    }
+
+    #[test]
+    fn auto_mode_routes_and_records_the_decision() {
+        let cat = tiny_ssb();
+        let db = SharingDb::new(cat.clone(), DbConfig::new(ExecutionMode::Auto)).unwrap();
+        let qc = SharingDb::new(cat, DbConfig::new(ExecutionMode::QueryCentric)).unwrap();
+        let plan = open_star_plan(&db);
+        let expect = qc.submit(&plan).unwrap().drain().unwrap();
+
+        // Open star, no admission gate (load unknown): the router bets on
+        // sharing and sends it down the CJOIN route.
+        let t = db.submit(&plan).unwrap();
+        assert_eq!(t.route(), Some("GQP+SP"));
+        assert_eq!(t.drain().unwrap(), expect);
+        assert_eq!(db.router_stats().gqp_sp, 1);
+
+        // Non-star plans can never ride CJOIN.
+        let scan = qs_plan::LogicalPlan::Scan {
+            table: "date".into(),
+            predicate: None,
+            projection: None,
+        };
+        let t = db.submit(&scan).unwrap();
+        assert_eq!(t.route(), Some("SP-SPL"));
+        assert!(t.drain().is_ok());
+        assert_eq!(db.router_stats().total(), 2);
+
+        // The lazy pipeline exists now, and stats flow through it.
+        assert!(db.cjoin_stats().is_some());
+    }
+
+    /// Satellite regression: a GQP-routed submission without a working
+    /// pipeline must degrade to query-centric execution — this path used
+    /// to be `expect("GQP mode has a pipeline")`.
+    #[test]
+    fn gqp_route_without_pipeline_degrades_to_query_centric() {
+        let cat = tiny_ssb();
+        let qc = SharingDb::new(cat.clone(), DbConfig::new(ExecutionMode::QueryCentric)).unwrap();
+
+        // A spec naming a missing fact table passes the cheap availability
+        // probe (`config.pipeline.is_some()`) but fails the lazy build, so
+        // the router picks the GQP route and the submit path has to cope.
+        let mut cfg = DbConfig::new(ExecutionMode::Auto);
+        cfg.pipeline = Some(qs_cjoin::PipelineSpec::new("no_such_table", vec![]));
+        let db = SharingDb::new(cat, cfg).unwrap();
+
+        let plan = open_star_plan(&db);
+        let expect = qc.submit(&plan).unwrap().drain().unwrap();
+        let t = db.submit(&plan).unwrap();
+        assert_eq!(t.route(), Some("GQP+SP"), "decision is still recorded");
+        assert_eq!(t.drain().unwrap(), expect, "query-centric fallback ran");
+        // The failed build is cached: no pipeline, stats stay absent.
+        assert!(db.cjoin_stats().is_none());
+    }
+
+    /// Satellite regression: in GQP+SP, a query that dies mid-revolution
+    /// hands its admission to the surviving subscribers; when the *last*
+    /// one dies the admission is removed instead of silently streaming to
+    /// nobody until the revolution completes.
+    #[test]
+    fn gqpsp_admission_follows_the_surviving_subscribers() {
+        let cat = tiny_ssb();
+        let db = SharingDb::new(cat.clone(), DbConfig::new(ExecutionMode::GqpSp)).unwrap();
+        let qc = SharingDb::new(cat, DbConfig::new(ExecutionMode::QueryCentric)).unwrap();
+        let plan = open_star_plan(&db);
+        let expect = qc.submit(&plan).unwrap().drain().unwrap();
+
+        // Two tickets share one admission (batch pins the hub).
+        let tickets = db.submit_batch(&[plan.clone(), plan.clone()]).unwrap();
+        let m = db.metrics();
+        assert_eq!(m.sp_hits_for(qs_engine::StageKind::Cjoin), 1);
+        let mut it = tickets.into_iter();
+        let owner = it.next().unwrap();
+        let subscriber = it.next().unwrap();
+
+        // The admission's original owner is cancelled; the subscriber
+        // still holds a lease, so its results are complete and exact.
+        owner.cancel();
+        drop(owner);
+        assert_eq!(subscriber.drain().unwrap(), expect);
+
+        // All leases are gone now; the registry entry dies with them and
+        // a fresh submission re-admits rather than subscribing to a
+        // cancelled stream.
+        let t = db.submit(&plan).unwrap();
+        assert_eq!(t.drain().unwrap(), expect);
     }
 
     #[test]

@@ -10,12 +10,17 @@
 //!   throughput measurements).
 //! * [`scenarios`] — Scenario I–IV experiment runners (the demo GUI's
 //!   predefined scenarios as reproducible functions).
+//! * [`router`] — the [`ExecutionMode::Auto`] planner pass: per-query
+//!   mode decisions from plan shape, selectivity estimates, live
+//!   concurrency and sharing feedback.
 
 pub mod db;
 pub mod driver;
+pub mod router;
 pub mod scenarios;
 
 pub use db::{ssb_pipeline_spec, DbConfig, ExecutionMode, SharingDb};
+pub use router::{RouteSignals, RouterSnapshot, RouterStats};
 pub use driver::{run_response_time, run_throughput, DriverConfig, ThroughputResult};
 pub use scenarios::{
     scenario1, scenario2, scenario3, scenario4, Scenario1Config, Scenario1Row, Scenario2Config,

@@ -39,6 +39,9 @@ pub struct Scenario1Config {
     pub seed: u64,
     /// Page layout of the generated tables.
     pub layout: PageLayout,
+    /// Pin the sweep to one execution mode (the bins' `--mode` flag);
+    /// `None` runs the scenario's default configurations.
+    pub mode_override: Option<ExecutionMode>,
 }
 
 impl Default for Scenario1Config {
@@ -52,6 +55,7 @@ impl Default for Scenario1Config {
             buffer_pool_pages: None,
             seed: 42,
             layout: PageLayout::Row,
+            mode_override: None,
         }
     }
 }
@@ -106,19 +110,22 @@ pub fn scenario1(cfg: &Scenario1Config) -> Result<Vec<Scenario1Row>, EngineError
     );
     let plan = tpch_q1_plan(&catalog, qs_workload::tpch::Q1_CUTOFF)?;
 
-    let configs: [(&str, ExecutionMode, Option<SharingPolicy>); 3] = [
-        ("QC", ExecutionMode::QueryCentric, None),
-        (
-            "SP-FIFO",
-            ExecutionMode::SpPush,
-            Some(SharingPolicy::scan_only(ShareMode::Push)),
-        ),
-        (
-            "SP-SPL",
-            ExecutionMode::SpPull,
-            Some(SharingPolicy::scan_only(ShareMode::Pull)),
-        ),
-    ];
+    let configs: Vec<(&str, ExecutionMode, Option<SharingPolicy>)> = match cfg.mode_override {
+        Some(m) => vec![(m.label(), m, None)],
+        None => vec![
+            ("QC", ExecutionMode::QueryCentric, None),
+            (
+                "SP-FIFO",
+                ExecutionMode::SpPush,
+                Some(SharingPolicy::scan_only(ShareMode::Push)),
+            ),
+            (
+                "SP-SPL",
+                ExecutionMode::SpPull,
+                Some(SharingPolicy::scan_only(ShareMode::Pull)),
+            ),
+        ],
+    };
 
     let mut rows = Vec::new();
     for (label, mode, over) in configs {
@@ -142,6 +149,7 @@ pub fn scenario1(cfg: &Scenario1Config) -> Result<Vec<Scenario1Row>, EngineError
                         None
                     },
                     sharing_override: over,
+                    admission: auto_admission(mode),
                     ..DbConfig::new(mode)
                 },
             )?;
@@ -169,6 +177,30 @@ pub fn scenario1(cfg: &Scenario1Config) -> Result<Vec<Scenario1Row>, EngineError
 // ---------------------------------------------------------------------
 // Scenarios II-IV share the SSB setup
 // ---------------------------------------------------------------------
+
+/// The `(label, mode)` pairs a scenario sweeps: its historical default
+/// pair, or the single pinned mode (labelled by [`ExecutionMode::label`])
+/// when the bin was invoked with `--mode`.
+fn mode_sweep(
+    over: Option<ExecutionMode>,
+    default: &[(&'static str, ExecutionMode)],
+) -> Vec<(&'static str, ExecutionMode)> {
+    match over {
+        Some(m) => vec![(m.label(), m)],
+        None => default.to_vec(),
+    }
+}
+
+/// Auto-mode databases get a generous admission gate — it never sheds at
+/// scenario client counts, but it is where the router's live-concurrency
+/// signal comes from. Fixed modes keep the historical no-gate setup.
+fn auto_admission(mode: ExecutionMode) -> Option<qs_engine::AdmissionConfig> {
+    (mode == ExecutionMode::Auto).then(|| qs_engine::AdmissionConfig {
+        max_concurrent: 256,
+        max_queued: 1024,
+        queue_timeout: Duration::from_secs(10),
+    })
+}
 
 fn ssb_catalog(scale: f64, seed: u64, layout: PageLayout) -> Arc<Catalog> {
     let catalog = Catalog::new();
@@ -211,6 +243,7 @@ fn ssb_db(
                 None
             },
             sharing_override,
+            admission: auto_admission(mode),
             ..DbConfig::new(mode)
         },
     )
@@ -262,6 +295,8 @@ pub struct Scenario2Config {
     pub seed: u64,
     /// Page layout of the generated tables.
     pub layout: PageLayout,
+    /// Pin the sweep to one execution mode (the bins' `--mode` flag).
+    pub mode_override: Option<ExecutionMode>,
 }
 
 impl Default for Scenario2Config {
@@ -277,6 +312,7 @@ impl Default for Scenario2Config {
             workers: 1,
             seed: 42,
             layout: PageLayout::Row,
+            mode_override: None,
         }
     }
 }
@@ -300,7 +336,11 @@ impl Scenario2Config {
 pub fn scenario2(cfg: &Scenario2Config) -> Result<Vec<ThroughputRow>, EngineError> {
     let catalog = ssb_catalog(cfg.scale, cfg.seed, cfg.layout);
     let mut rows = Vec::new();
-    for (label, mode) in [("QPipe+SP", ExecutionMode::SpPull), ("CJOIN", ExecutionMode::Gqp)] {
+    let sweep = mode_sweep(
+        cfg.mode_override,
+        &[("QPipe+SP", ExecutionMode::SpPull), ("CJOIN", ExecutionMode::Gqp)],
+    );
+    for (label, mode) in sweep {
         for &k in &cfg.clients {
             let db = ssb_db(&catalog, mode, cfg.cores, cfg.workers, cfg.disk_resident, None)?;
             let knobs = WorkloadKnobs {
@@ -353,6 +393,8 @@ pub struct Scenario3Config {
     pub seed: u64,
     /// Page layout of the generated tables.
     pub layout: PageLayout,
+    /// Pin the sweep to one execution mode (the bins' `--mode` flag).
+    pub mode_override: Option<ExecutionMode>,
 }
 
 impl Default for Scenario3Config {
@@ -370,6 +412,7 @@ impl Default for Scenario3Config {
             workers: 1,
             seed: 42,
             layout: PageLayout::Row,
+            mode_override: None,
         }
     }
 }
@@ -392,7 +435,11 @@ impl Scenario3Config {
 pub fn scenario3(cfg: &Scenario3Config) -> Result<Vec<ThroughputRow>, EngineError> {
     let catalog = ssb_catalog(cfg.scale, cfg.seed, cfg.layout);
     let mut rows = Vec::new();
-    for (label, mode) in [("QPipe+SP", ExecutionMode::SpPull), ("CJOIN", ExecutionMode::Gqp)] {
+    let sweep = mode_sweep(
+        cfg.mode_override,
+        &[("QPipe+SP", ExecutionMode::SpPull), ("CJOIN", ExecutionMode::Gqp)],
+    );
+    for (label, mode) in sweep {
         for &sel in &cfg.selectivities {
             let db = ssb_db(&catalog, mode, cfg.cores, cfg.workers, false, None)?;
             let knobs = WorkloadKnobs {
@@ -447,6 +494,8 @@ pub struct Scenario4Config {
     pub seed: u64,
     /// Page layout of the generated tables.
     pub layout: PageLayout,
+    /// Pin the sweep to one execution mode (the bins' `--mode` flag).
+    pub mode_override: Option<ExecutionMode>,
 }
 
 impl Default for Scenario4Config {
@@ -462,6 +511,7 @@ impl Default for Scenario4Config {
             workers: 1,
             seed: 42,
             layout: PageLayout::Row,
+            mode_override: None,
         }
     }
 }
@@ -486,7 +536,11 @@ impl Scenario4Config {
 pub fn scenario4(cfg: &Scenario4Config) -> Result<Vec<ThroughputRow>, EngineError> {
     let catalog = ssb_catalog(cfg.scale, cfg.seed, cfg.layout);
     let mut rows = Vec::new();
-    for (label, mode) in [("GQP", ExecutionMode::Gqp), ("GQP+SP", ExecutionMode::GqpSp)] {
+    let sweep = mode_sweep(
+        cfg.mode_override,
+        &[("GQP", ExecutionMode::Gqp), ("GQP+SP", ExecutionMode::GqpSp)],
+    );
+    for (label, mode) in sweep {
         for &n in &cfg.num_plans {
             let db = ssb_db(&catalog, mode, cfg.cores, cfg.workers, cfg.disk_resident, None)?;
             // Every client draws from the same restricted space, and

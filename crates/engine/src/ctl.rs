@@ -13,6 +13,7 @@
 //! it at CJOIN's early-removal path so a cancelled GQP query leaves the
 //! shared pipeline instead of merely having its results discarded.
 
+use crate::engine::SharingPolicy;
 use crate::error::EngineError;
 use crate::metrics::Metrics;
 use std::sync::atomic::{AtomicBool, Ordering};
@@ -27,6 +28,11 @@ pub struct QueryOpts {
     /// batch boundaries; an expired query surfaces
     /// [`EngineError::DeadlineExceeded`] at its ticket.
     pub deadline: Option<Duration>,
+    /// Per-query sharing policy. `None` uses the engine's configured
+    /// policy; `Some` overrides it for this query only — the mode
+    /// router's lever for picking QC vs SP push/pull per submission
+    /// without rebuilding the engine.
+    pub sharing: Option<SharingPolicy>,
 }
 
 impl QueryOpts {
@@ -34,7 +40,14 @@ impl QueryOpts {
     pub fn with_deadline(deadline: Duration) -> QueryOpts {
         QueryOpts {
             deadline: Some(deadline),
+            ..QueryOpts::default()
         }
+    }
+
+    /// Override the engine's sharing policy for this query.
+    pub fn with_sharing(mut self, sharing: SharingPolicy) -> QueryOpts {
+        self.sharing = Some(sharing);
+        self
     }
 }
 

@@ -125,6 +125,12 @@ pub struct EngineConfig {
     pub max_workers: usize,
     /// SP policy.
     pub sharing: SharingPolicy,
+    /// Push-mode SP copy shape: when `true`, the per-extra-consumer copy
+    /// of a *sparse* batch materializes only the selected tuples into a
+    /// fresh dense page (selection-proportional cost) instead of deep-
+    /// copying the whole page. Off by default — the full-page copy is the
+    /// paper's page-copy model; this flag is the measured divergence.
+    pub compact_push_copies: bool,
     /// Overload valve: when set, every submission must first acquire an
     /// admission permit from a bounded queue, and excess load is shed
     /// with [`EngineError::Shed`] (see [`AdmissionGate`]). `None` (the
@@ -142,6 +148,7 @@ impl Default for EngineConfig {
             initial_workers: 1,
             max_workers: 1024,
             sharing: SharingPolicy::query_centric(),
+            compact_push_copies: false,
             admission: None,
         }
     }
@@ -159,6 +166,12 @@ pub struct QueryTicket {
     /// Admission slot, freed when the ticket is dropped (results consumed
     /// or abandoned). `None` when the engine runs without admission.
     _permit: Option<AdmissionPermit>,
+    /// Execution-mode label recorded by the router (`None` for pinned
+    /// modes — the mode was the submitter's, not a routing decision).
+    route: Option<&'static str>,
+    /// Opaque resource held for the ticket's lifetime (e.g. the shared
+    /// CJOIN admission lease in GQP+SP mode). Dropped with the ticket.
+    _hold: Option<Arc<dyn std::any::Any + Send + Sync>>,
 }
 
 impl QueryTicket {
@@ -200,6 +213,25 @@ impl QueryTicket {
         self
     }
 
+    /// Record the router's mode decision on the ticket.
+    pub fn with_route(mut self, route: &'static str) -> Self {
+        self.route = Some(route);
+        self
+    }
+
+    /// The routed execution-mode label, if this query went through the
+    /// mode router (`None` when the mode was pinned).
+    pub fn route(&self) -> Option<&'static str> {
+        self.route
+    }
+
+    /// Keep `hold` alive for the ticket's lifetime. Used by `qs-core` to
+    /// tie a shared CJOIN admission lease to every interested ticket.
+    pub fn with_hold(mut self, hold: Arc<dyn std::any::Any + Send + Sync>) -> Self {
+        self._hold = Some(hold);
+        self
+    }
+
     /// Pull the next result batch without materializing (zero-copy
     /// consumption for clients that understand selections).
     ///
@@ -217,6 +249,15 @@ impl QueryTicket {
                 // secondhand `Aborted("cancelled")`.
                 self.ctl.check()?;
                 Err(e)
+            }
+            Ok(None) => {
+                // A shared producer reacts to this query's cancel/deadline
+                // by releasing its admission lease, which truncates the
+                // stream *cleanly* (the co-runners keep it). The clean end
+                // must not mask the typed control error the client asked
+                // for — re-check before reporting completion.
+                self.ctl.check()?;
+                Ok(None)
             }
             ok => ok,
         }
@@ -405,6 +446,7 @@ impl QpipeEngine {
         } else {
             permits.resize_with(plans.len(), || None);
         }
+        let policy = opts.sharing.unwrap_or(self.config.sharing);
         let mut pending: Vec<(StageKind, Packet)> = Vec::new();
         let mut tickets = Vec::with_capacity(plans.len());
         for (plan, permit) in plans.iter().zip(&mut permits) {
@@ -412,7 +454,7 @@ impl QpipeEngine {
             let schema = plan.output_schema(&self.catalog)?;
             let query_id = self.next_query_id.fetch_add(1, Ordering::Relaxed);
             let ctl = QueryCtl::new(opts, self.ctx.metrics.clone());
-            let source = self.build_node(plan, query_id, &ctl, &mut pending, true)?;
+            let source = self.build_node(plan, query_id, &ctl, &policy, &mut pending, true)?;
             tickets.push(QueryTicket {
                 query_id,
                 schema,
@@ -420,6 +462,8 @@ impl QpipeEngine {
                 metrics: self.ctx.metrics.clone(),
                 ctl,
                 _permit: permit.take(),
+                route: None,
+                _hold: None,
             });
         }
         for (kind, packet) in pending {
@@ -461,6 +505,8 @@ impl QpipeEngine {
             metrics: self.ctx.metrics.clone(),
             ctl,
             _permit: None,
+            route: None,
+            _hold: None,
         })
     }
 
@@ -580,12 +626,13 @@ impl QpipeEngine {
         plan: &LogicalPlan,
         query_id: u64,
         ctl: &Arc<QueryCtl>,
+        policy: &SharingPolicy,
         pending: &mut Vec<(StageKind, Packet)>,
         root: bool,
     ) -> Result<Box<dyn BatchSource>, EngineError> {
         let kind = Self::stage_kind(plan);
         let stage = &self.stages[kind as usize];
-        let sharing = self.config.sharing.enabled(kind);
+        let sharing = policy.enabled(kind);
         let reader_capacity = if root {
             crate::hub::UNBOUNDED_CAPACITY
         } else {
@@ -604,12 +651,12 @@ impl QpipeEngine {
         // Children first (build side before probe side for joins).
         let mut inputs = Vec::new();
         for child in plan.children() {
-            inputs.push(self.build_node(child, query_id, ctl, pending, false)?);
+            inputs.push(self.build_node(child, query_id, ctl, policy, pending, false)?);
         }
 
         let op = self.physical(plan)?;
         let mode = if sharing {
-            self.config.sharing.mode
+            policy.mode
         } else {
             // Unshared packets always use the bounded push pipeline
             // (backpressure); an unshared SPL would buffer without bound.
@@ -622,6 +669,9 @@ impl QpipeEngine {
             self.ctx.metrics.clone(),
             self.ctx.governor.clone(),
         );
+        if self.config.compact_push_copies {
+            hub.set_compact_copies(true);
+        }
         if sharing {
             stage.registry().register(signature(plan), &hub);
         }

@@ -133,6 +133,13 @@ impl AdmissionGate {
         self.state.lock().running
     }
 
+    /// Load snapshot: `(running, queued)` under one lock acquisition —
+    /// the mode router's live-concurrency signal.
+    pub fn load(&self) -> (usize, usize) {
+        let state = self.state.lock();
+        (state.running, state.queued)
+    }
+
     /// Acquire an admission permit or shed the query. The permit is
     /// released when dropped — tie it to the query's ticket so the slot
     /// frees exactly when the query's results are consumed or abandoned.

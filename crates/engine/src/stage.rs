@@ -77,6 +77,17 @@ impl SpRegistry {
     /// operator inputs, [`crate::hub::UNBOUNDED_CAPACITY`] for root
     /// tickets — see [`OutputHub::subscribe_with_capacity`].
     pub fn try_subscribe(&self, sig: u64, cap: usize) -> Option<Box<dyn BatchSource>> {
+        // Failpoints on the registry lock: `sp.registry.delay` models
+        // contention on the shared map; `sp.registry.abort` a failed
+        // lookup. Either way the registry degrades to an SP miss — the
+        // query builds its own packet, which is always correct — and
+        // never to a torn subscription.
+        if qs_storage::fault::armed() {
+            qs_storage::fault::maybe_delay("sp.registry.delay");
+            if qs_storage::fault::should_fire("sp.registry.abort") {
+                return None;
+            }
+        }
         let mut map = self.inner.lock();
         if let Some(weak) = map.get(&sig) {
             if let Some(hub) = weak.upgrade() {
@@ -91,6 +102,15 @@ impl SpRegistry {
 
     /// Publish a new in-flight packet's hub under its signature.
     pub fn register(&self, sig: u64, hub: &Arc<OutputHub>) {
+        // `sp.registry.abort` here skips publication: the packet still
+        // runs (its own query drains it) but later identical sub-plans
+        // miss instead of sharing — degraded sharing, never lost rows.
+        if qs_storage::fault::armed() {
+            qs_storage::fault::maybe_delay("sp.registry.delay");
+            if qs_storage::fault::should_fire("sp.registry.abort") {
+                return;
+            }
+        }
         let mut map = self.inner.lock();
         map.insert(sig, Arc::downgrade(hub));
         // Opportunistic pruning keeps the map from accumulating dead

@@ -34,6 +34,7 @@ fn parse_mode(s: &str) -> ExecutionMode {
         "pull" | "sppull" | "spl" => ExecutionMode::SpPull,
         "gqp" | "cjoin" => ExecutionMode::Gqp,
         "gqpsp" | "gqp+sp" => ExecutionMode::GqpSp,
+        "auto" => ExecutionMode::Auto,
         other => {
             eprintln!("unknown mode `{other}`; using gqpsp");
             ExecutionMode::GqpSp

@@ -15,6 +15,7 @@
 //! ```text
 //! .ping            -> PONG
 //! .mode            -> OK mode <label>
+//! .routes          -> OK routes qc=N spl=N gqp=N   (AUTO routing counters)
 //! .deadline_ms N   -> OK deadline_ms N     (0 clears; applies per query)
 //! .quit            -> BYE                  (server closes the connection)
 //! ```
@@ -300,6 +301,15 @@ fn connection_loop(db: Arc<SharingDb>, stats: Arc<ServerStats>, stream: TcpStrea
                     return;
                 }
                 None if meta == "mode" => format!("OK mode {}", db.mode().label()),
+                None if meta == "routes" => {
+                    // Routing decision counters: all-zero unless the
+                    // server runs in AUTO mode.
+                    let r = db.router_stats();
+                    format!(
+                        "OK routes qc={} spl={} gqp={}",
+                        r.query_centric, r.sp_pull, r.gqp_sp
+                    )
+                }
                 Some(("deadline_ms", v)) => match v.trim().parse::<u64>() {
                     Ok(0) => {
                         deadline = None;

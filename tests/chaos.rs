@@ -116,11 +116,15 @@ fn poisoned_plan_round(workers: usize) {
     }
     let poison = poison_plan();
 
+    // `Auto` rides along since PR 10: the routed round must contain the
+    // poison exactly like a fixed mode no matter which route each of the
+    // 32 queries takes.
     for mode in [
         ExecutionMode::Gqp,
         ExecutionMode::GqpSp,
         ExecutionMode::SpPush,
         ExecutionMode::SpPull,
+        ExecutionMode::Auto,
     ] {
         let db = SharingDb::new(
             catalog.clone(),
@@ -271,7 +275,9 @@ fn seeded_chaos_storm_every_ticket_terminates() {
     let samples = Samples::new(catalog.clone());
 
     for round in 0..rounds {
-        for mode in ExecutionMode::all() {
+        // The five fixed modes plus the PR 10 router: routed tickets must
+        // satisfy the same termination invariant under the same storm.
+        for mode in ExecutionMode::all().into_iter().chain([ExecutionMode::Auto]) {
             let round_seed = base_seed
                 .wrapping_add(round.wrapping_mul(1000))
                 .wrapping_add(mode as u64);
@@ -312,6 +318,10 @@ fn seeded_chaos_storm_every_ticket_terminates() {
                     ("pool.task.abort", fault::FaultSpec::prob(0.005)),
                     ("cjoin.chan.delay", fault::FaultSpec::prob(0.02)),
                     ("cjoin.chan.abort", fault::FaultSpec::prob(0.005)),
+                    ("sp.registry.delay", fault::FaultSpec::prob(0.02)),
+                    ("sp.registry.abort", fault::FaultSpec::prob(0.005)),
+                    ("cjoin.shard.chan.delay", fault::FaultSpec::prob(0.02)),
+                    ("cjoin.shard.chan.abort", fault::FaultSpec::prob(0.005)),
                 ],
             );
 
@@ -491,6 +501,75 @@ fn cjoin_chan_abort_aborts_active_queries_but_pipeline_survives() {
             .collect_rows()
             .expect("clean run after disarm"),
         &expected,
+    );
+}
+
+/// GQP+SP deadline-at-revolution (the ROADMAP carried item): when the
+/// ticket that owns a shared CJOIN admission dies mid-revolution —
+/// cancelled or dropped — the admission is handed off to the surviving
+/// SP subscribers via leases. Co-runners must stay oracle-exact (never a
+/// truncated stream), and once the last lease drops, the registry entry
+/// dies with it so fresh submissions re-admit a live stream instead of
+/// attaching to a cancelled one.
+#[test]
+fn gqpsp_dead_owner_hands_admission_to_surviving_subscribers() {
+    let _guard = fault::test_guard();
+    fault::disarm();
+    let base_seed = chaos_seed() ^ 0x1EA5;
+    let catalog = build_catalog(base_seed ^ 0x55B);
+    let samples = Samples::new(catalog.clone());
+
+    // First generated plan the GQP admits as a star query.
+    let mut star = None;
+    for case in 0..64u64 {
+        let mut rng = StdRng::seed_from_u64(base_seed.wrapping_add(case));
+        let (plan, _) = gen_plan(&mut rng, &samples);
+        if StarQuery::detect(&plan, &catalog).is_some() {
+            star = Some(plan);
+            break;
+        }
+    }
+    let star = star.expect("generator produced a star query within 64 seeds");
+    let expected = reference::eval(&star, &catalog).expect("oracle");
+
+    let db = SharingDb::new(catalog.clone(), DbConfig::new(ExecutionMode::GqpSp)).expect("db");
+    for round in 0..4u64 {
+        // Four tickets share one admission (the batch's SP window
+        // guarantees the last three subscribe to the first one's stream).
+        let tickets = db.submit_batch(&vec![star.clone(); 4]).expect("batch");
+        let mut it = tickets.into_iter();
+        let owner = it.next().expect("owner ticket");
+        let drains: Vec<_> = it
+            .map(|t| std::thread::spawn(move || t.collect_rows()))
+            .collect();
+        // Kill the admission's original owner: immediately on even
+        // rounds, mid-drain on odd ones (subscribers already consuming).
+        if round % 2 == 1 {
+            std::thread::sleep(Duration::from_micros(200));
+        }
+        owner.cancel();
+        drop(owner);
+        for h in drains {
+            let rows = h
+                .join()
+                .expect("drain thread never panics")
+                .unwrap_or_else(|e| panic!("round {round}: surviving subscriber failed: {e}"));
+            oracle_match(ExecutionMode::GqpSp, base_seed, rows, &expected);
+        }
+    }
+    // Every lease from every round is gone: fresh work re-admits cleanly.
+    oracle_match(
+        ExecutionMode::GqpSp,
+        base_seed,
+        db.submit(&star)
+            .expect("fresh admission")
+            .collect_rows()
+            .expect("clean run after the dead owners"),
+        &expected,
+    );
+    assert!(
+        db.metrics().sp_hits_for(StageKind::Cjoin) >= 12,
+        "each round shares one admission across four tickets"
     );
 }
 

@@ -13,6 +13,13 @@
 //! unless every tier was actually generated — coverage is asserted, not
 //! hoped for.
 //!
+//! Since PR 10 the fuzzer is also the mode router's oracle: a routed
+//! (`ExecutionMode::Auto`) database runs every seed alongside the five
+//! fixed modes and must match them byte-for-byte no matter which route
+//! it picks, and a second SP-push database runs with
+//! `compact_push_copies` on — the selection-proportional copy shape must
+//! be invisible in output under both settings.
+//!
 //! Budget: `MODE_DIFF_CASES` seeds (default 50), base seed
 //! `MODE_DIFF_SEED` (default below) — both env-overridable, and every
 //! failure message names the seed that produced the plan.
@@ -78,11 +85,17 @@ fn run_fuzzer(workers: usize) {
 
         // One database per mode, built once and reused across every seed
         // (the GQP pipelines stay warm, as they would in the demo).
-        let dbs: Vec<(ExecutionMode, SharingDb)> = ExecutionMode::all()
+        // Since PR 10 two extra participants join the five fixed modes:
+        // the routed AUTO database (the mode router must be invisible in
+        // output no matter which mode it picks per seed) and a second
+        // SP-push database with selection-proportional copies enabled
+        // (`compact_push_copies` changes the copy shape, never the bytes
+        // a consumer sees).
+        let mut dbs: Vec<(String, SharingDb)> = ExecutionMode::all()
             .into_iter()
             .map(|mode| {
                 (
-                    mode,
+                    format!("{mode:?}"),
                     SharingDb::new(
                         catalog.clone(),
                         DbConfig {
@@ -94,6 +107,29 @@ fn run_fuzzer(workers: usize) {
                 )
             })
             .collect();
+        dbs.push((
+            "Auto(routed)".to_string(),
+            SharingDb::new(
+                catalog.clone(),
+                DbConfig {
+                    workers,
+                    ..DbConfig::new(ExecutionMode::Auto)
+                },
+            )
+            .expect("auto db"),
+        ));
+        dbs.push((
+            "SpPush(compact)".to_string(),
+            SharingDb::new(
+                catalog.clone(),
+                DbConfig {
+                    workers,
+                    compact_push_copies: true,
+                    ..DbConfig::new(ExecutionMode::SpPush)
+                },
+            )
+            .expect("compact push db"),
+        ));
 
         for case in 0..cases {
             let seed = base_seed.wrapping_add(case);
@@ -120,7 +156,7 @@ fn run_fuzzer(workers: usize) {
                     .submit(&plan)
                     .and_then(|t| t.collect_rows())
                     .unwrap_or_else(|e| {
-                        panic!("{mode:?} failed (seed {seed}, {layout}): {e}\n{plan:?}")
+                        panic!("{mode} failed (seed {seed}, {layout}): {e}\n{plan:?}")
                     });
                 // assert_rows_match canonicalizes (sorts) both sides, so
                 // this is the "identical sorted results" check; it panics
@@ -130,7 +166,7 @@ fn run_fuzzer(workers: usize) {
                 }));
                 if let Err(p) = result {
                     panic!(
-                        "{mode:?} diverged from the oracle (seed {seed}, \
+                        "{mode} diverged from the oracle (seed {seed}, \
                          {layout} layout):\n{plan:?}\n{:?}",
                         p.downcast_ref::<String>()
                     );
@@ -140,11 +176,30 @@ fn run_fuzzer(workers: usize) {
 
         let (_, gqp_db) = dbs
             .iter()
-            .find(|(m, _)| *m == ExecutionMode::Gqp)
+            .find(|(m, _)| m == "Gqp")
             .expect("GQP db");
         assert!(
             gqp_db.metrics().packets[StageKind::Cjoin as usize] > 0,
             "no plan ever reached the CJOIN stage ({layout} layout)"
+        );
+        // The routed database must actually have routed: every submitted
+        // plan got a decision, and with star queries plentiful (asserted
+        // below) and no admission gate the router's default is to share.
+        let (_, auto_db) = dbs
+            .iter()
+            .find(|(m, _)| m == "Auto(routed)")
+            .expect("auto db");
+        let routes = auto_db.router_stats();
+        assert_eq!(
+            routes.total(),
+            cases,
+            "routed db decided {} of {cases} submissions ({layout} layout)",
+            routes.total()
+        );
+        assert!(
+            routes.gqp_sp > 0,
+            "the router never picked a GQP route across {cases} seeds \
+             ({layout} layout): {routes:?}"
         );
     }
     assert_eq!(layouts_run, 2, "both page layouts must be exercised");
